@@ -1,0 +1,133 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6.
+//!
+//! Each bench times a full BO run under one knob setting so the cost of a
+//! design decision is visible next to its quality effect (quality is
+//! reported by the `ablation_study` experiment binary):
+//!
+//! - failure handling: §5.1 slicing vs. the rejected large-penalty scheme;
+//! - initial samples: 1 / 3 (paper default) / 5;
+//! - measurement noise: σ ∈ {0, 3%, 10%};
+//! - EI exploration ξ: 0.001 / 0.01 (default) / 0.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freedom::GatewayEvaluator;
+use freedom_faas::{FunctionSpec, Gateway};
+use freedom_optimizer::{BayesianOptimizer, BoConfig, FailureHandling, Objective, SearchSpace};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+fn evaluator(kind: FunctionKind, seed: u64, sigma: f64) -> GatewayEvaluator {
+    let mut gateway = Gateway::new(seed).expect("gateway");
+    gateway.set_noise_sigma(sigma);
+    gateway
+        .deploy(
+            FunctionSpec::new(kind.name(), kind),
+            SearchSpace::table1().configs()[0],
+        )
+        .expect("deploy");
+    GatewayEvaluator::new(gateway, kind.name(), kind.default_input(), 1)
+}
+
+fn run_bo(config: BoConfig, sigma: f64) {
+    // transcode exercises slicing (it OOMs at small memory levels).
+    let kind = FunctionKind::Transcode;
+    let mut eval = evaluator(kind, config.seed, sigma);
+    BayesianOptimizer::new(SurrogateKind::Gp, config)
+        .optimize(&SearchSpace::table1(), &mut eval, Objective::ExecutionTime)
+        .expect("optimize");
+}
+
+fn bench_failure_handling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_failure_handling");
+    group.sample_size(10);
+    for (label, handling) in [
+        ("slice", FailureHandling::Slice),
+        ("penalty_1000", FailureHandling::Penalty(1000.0)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_bo(
+                    BoConfig {
+                        failure_handling: handling,
+                        seed: 5,
+                        budget: 12,
+                        ..BoConfig::default()
+                    },
+                    0.03,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_initial_samples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_initial_samples");
+    group.sample_size(10);
+    for n_initial in [1usize, 3, 5] {
+        group.bench_function(format!("init_{n_initial}"), |b| {
+            b.iter(|| {
+                run_bo(
+                    BoConfig {
+                        n_initial,
+                        seed: 5,
+                        budget: 12,
+                        ..BoConfig::default()
+                    },
+                    0.03,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_noise_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_noise");
+    group.sample_size(10);
+    for sigma_pct in [0u32, 3, 10] {
+        group.bench_function(format!("sigma_{sigma_pct}pct"), |b| {
+            b.iter(|| {
+                run_bo(
+                    BoConfig {
+                        seed: 5,
+                        budget: 12,
+                        ..BoConfig::default()
+                    },
+                    sigma_pct as f64 / 100.0,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_xi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_xi");
+    group.sample_size(10);
+    for (label, xi) in [("xi_0001", 0.001), ("xi_001", 0.01), ("xi_01", 0.1)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_bo(
+                    BoConfig {
+                        xi,
+                        seed: 5,
+                        budget: 12,
+                        ..BoConfig::default()
+                    },
+                    0.03,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_failure_handling,
+    bench_initial_samples,
+    bench_noise_sensitivity,
+    bench_xi
+);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Micro-benchmarks of the substrate operations.
+//!
+//! These isolate the costs that dominate the figure kernels: surrogate
+//! fitting and prediction, the EI sweep over the 288-point space, the
+//! ground-truth sweep, and the platform fast paths (invoke, placement,
+//! pricing, Pareto extraction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use freedom_cluster::{Cluster, InstanceFamily, PlacementPolicy};
+use freedom_faas::{collect_ground_truth, FunctionSpec, Gateway, ResourceConfig};
+use freedom_linalg::{cholesky, lu_solve, Matrix};
+use freedom_optimizer::pareto::pareto_front;
+use freedom_optimizer::{expected_improvement, LatinHypercube, Sampler, SearchSpace};
+use freedom_pricing::CostModel;
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+/// A 20-point training set shaped like a BO run's trials.
+fn training_set() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let space = SearchSpace::table1();
+    let x: Vec<Vec<f64>> = space
+        .configs()
+        .iter()
+        .step_by(14)
+        .take(20)
+        .map(SearchSpace::encode)
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|f| 10.0 / f[0] + f[1] * 0.3 + f[2] * 2.0)
+        .collect();
+    (x, y)
+}
+
+fn bench_surrogates(c: &mut Criterion) {
+    let (x, y) = training_set();
+    let mut group = c.benchmark_group("surrogates");
+    for kind in SurrogateKind::ALL {
+        group.bench_function(format!("fit_{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut model = kind.build(7);
+                model.fit(black_box(&x), black_box(&y)).expect("fit");
+                model
+            })
+        });
+    }
+    let mut gp = SurrogateKind::Gp.build(7);
+    gp.fit(&x, &y).expect("fit");
+    group.bench_function("predict_GP", |b| {
+        b.iter(|| gp.predict(black_box(&x[3])).expect("predict"))
+    });
+    group.finish();
+}
+
+fn bench_optimizer_primitives(c: &mut Criterion) {
+    let (x, y) = training_set();
+    let mut gp = SurrogateKind::Gp.build(7);
+    gp.fit(&x, &y).expect("fit");
+    let space = SearchSpace::table1();
+    let mut group = c.benchmark_group("optimizer");
+    group.bench_function("ei_sweep_288", |b| {
+        b.iter(|| {
+            let mut best = f64::NEG_INFINITY;
+            for config in space.configs() {
+                let p = gp.predict(&SearchSpace::encode(config)).expect("predict");
+                best = best.max(expected_improvement(p.mean, p.std, 5.0, 0.05));
+            }
+            best
+        })
+    });
+    group.bench_function("lhs_sample_20", |b| {
+        let mut sampler = LatinHypercube::new(3);
+        b.iter(|| sampler.sample(black_box(&space), 20).expect("sample"))
+    });
+    let cloud: Vec<(f64, f64)> = (0..288)
+        .map(|i| {
+            let t = 1.0 + ((i * 37) % 97) as f64;
+            let c = 1.0 + ((i * 61) % 89) as f64;
+            (t, c)
+        })
+        .collect();
+    group.bench_function("pareto_front_288", |b| {
+        b.iter(|| pareto_front(black_box(&cloud)))
+    });
+    group.finish();
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform");
+    group.bench_function("gateway_invoke", |b| {
+        let mut gw = Gateway::new(1).expect("gateway");
+        gw.deploy(
+            FunctionSpec::new("s3", FunctionKind::S3),
+            ResourceConfig::new(InstanceFamily::M5, 1.0, 256).expect("config"),
+        )
+        .expect("deploy");
+        let input = FunctionKind::S3.default_input();
+        b.iter(|| gw.invoke("s3", black_box(&input)).expect("invoke"))
+    });
+    group.bench_function("ground_truth_sweep_288x1", |b| {
+        let space = SearchSpace::table1();
+        b.iter(|| {
+            collect_ground_truth(
+                FunctionKind::Faceblur,
+                &FunctionKind::Faceblur.default_input(),
+                space.configs(),
+                1,
+                9,
+            )
+            .expect("sweep")
+        })
+    });
+    group.bench_function("cluster_place_release", |b| {
+        let mut cluster = Cluster::auto_provisioning(PlacementPolicy::BestFit);
+        b.iter(|| {
+            let sb = cluster.place(InstanceFamily::C6g, 1.0, 512).expect("place");
+            cluster.release(sb).expect("release");
+        })
+    });
+    let model = CostModel::aws().expect("cost model");
+    group.bench_function("execution_cost", |b| {
+        b.iter(|| {
+            model
+                .execution_cost(InstanceFamily::C5, black_box(1.25), 768, 12.5)
+                .expect("cost")
+        })
+    });
+    group.finish();
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    // A 20x20 SPD matrix, the size of a BO kernel matrix.
+    let n = 20;
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = (-(((i as f64) - (j as f64)).powi(2)) / 8.0).exp();
+            a.set(i, j, v);
+        }
+        a.set(i, i, a.get(i, i) + 0.1);
+    }
+    group.bench_function("cholesky_20", |b| {
+        b.iter(|| cholesky(black_box(&a), 0.0).expect("spd"))
+    });
+    let sys = Matrix::from_rows(&[&[2.0, 0.0, 4.0], &[0.0, 2.0, 8.0], &[0.0, 2.0, 16.0]])
+        .expect("matrix");
+    group.bench_function("lu_solve_pricing_3x3", |b| {
+        b.iter(|| lu_solve(black_box(&sys), &[0.085, 0.096, 0.126]).expect("solve"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_surrogates,
+    bench_optimizer_primitives,
+    bench_platform,
+    bench_linalg
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! One Criterion bench per paper table/figure.
+//!
+//! Each bench runs the corresponding `freedom-experiments` kernel at
+//! reduced repetitions (see [`freedom_bench::bench_opts`]), so `cargo
+//! bench` exercises every experiment end-to-end and tracks regressions in
+//! the kernels that regenerate the paper's results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freedom_bench::bench_opts;
+use freedom_experiments as exp;
+use freedom_optimizer::Objective;
+
+fn bench_experiments(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+
+    group.bench_function("fig01_config_spread", |b| {
+        b.iter(|| exp::fig01_config_spread::run(&opts).expect("fig01"))
+    });
+    group.bench_function("fig03_strategies", |b| {
+        b.iter(|| exp::fig03_strategies::run(&opts).expect("fig03"))
+    });
+    group.bench_function("table3_alternatives", |b| {
+        b.iter(|| exp::table3_alternatives::run(&opts).expect("table3"))
+    });
+    group.bench_function("fig04_sampling_vs_bo", |b| {
+        b.iter(|| exp::fig04_sampling_vs_bo::run(&opts).expect("fig04"))
+    });
+    group.bench_function("fig05_convergence_et", |b| {
+        b.iter(|| exp::fig05_convergence::run(&opts, Objective::ExecutionTime).expect("fig05"))
+    });
+    group.bench_function("fig06_convergence_ec", |b| {
+        b.iter(|| exp::fig05_convergence::run(&opts, Objective::ExecutionCost).expect("fig06"))
+    });
+    group.bench_function("fig07_input_specific", |b| {
+        b.iter(|| exp::fig07_input_specific::run(&opts).expect("fig07"))
+    });
+    group.bench_function("fig08_online_violations", |b| {
+        b.iter(|| exp::fig08_online_violations::run(&opts).expect("fig08"))
+    });
+    group.bench_function("fig09_mape_space", |b| {
+        b.iter(|| {
+            exp::fig09_mape::run(&opts, exp::fig09_mape::Scenario::WholeSpace).expect("fig09")
+        })
+    });
+    group.bench_function("fig10_mape_per_family", |b| {
+        b.iter(|| {
+            exp::fig09_mape::run(&opts, exp::fig09_mape::Scenario::PerFamilyBest).expect("fig10")
+        })
+    });
+    group.bench_function("fig12_pareto_distance", |b| {
+        b.iter(|| exp::fig12_pareto_distance::run(&opts).expect("fig12"))
+    });
+    group.bench_function("fig13_weighted_mo", |b| {
+        b.iter(|| exp::fig13_weighted_mo::run(&opts).expect("fig13"))
+    });
+    group.bench_function("fig14_hierarchical", |b| {
+        b.iter(|| exp::fig14_hierarchical::run(&opts).expect("fig14"))
+    });
+    group.bench_function("fig15_provider_savings", |b| {
+        b.iter(|| exp::fig15_provider_savings::run(&opts).expect("fig15"))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_experiments
+}
+criterion_main!(benches);

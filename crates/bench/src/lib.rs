@@ -1,0 +1,35 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Every paper table/figure has a bench in `benches/paper_figures.rs`
+//! (running the corresponding `freedom-experiments` kernel at reduced
+//! repetitions so a full `cargo bench` stays tractable); low-level
+//! substrate operations are timed in `benches/microbench.rs`; and the
+//! DESIGN.md §6 ablation knobs in `benches/ablations.rs`.
+
+use freedom_experiments::ExperimentOpts;
+
+/// Experiment settings used by the figure benches: one ground-truth rep,
+/// one optimization repeat, a reduced budget — the same code paths as the
+/// paper-scale runs at a fraction of the work, so bench timings reflect
+/// kernel cost rather than repetition count.
+pub fn bench_opts() -> ExperimentOpts {
+    ExperimentOpts {
+        gt_reps: 1,
+        opt_repeats: 1,
+        budget: 10,
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_opts_are_cheap() {
+        let o = bench_opts();
+        assert_eq!(o.gt_reps, 1);
+        assert_eq!(o.opt_repeats, 1);
+        assert!(o.budget <= 10);
+    }
+}

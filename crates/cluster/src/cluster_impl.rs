@@ -1,0 +1,318 @@
+//! Fleet management: placement, provisioning, and idle-capacity queries.
+
+use std::collections::BTreeMap;
+
+use crate::{ClusterError, InstanceFamily, InstanceSize, InstanceType, Result, Vm, VmId};
+
+/// Opaque sandbox identifier returned by [`Cluster::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SandboxId(u64);
+
+impl SandboxId {
+    /// Raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// How the cluster chooses a VM for a new sandbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// First VM (in id order) of the right family with enough capacity.
+    #[default]
+    FirstFit,
+    /// VM with the least free vCPU capacity that still fits (bin-packing).
+    BestFit,
+}
+
+#[derive(Debug, Clone)]
+struct SandboxRecord {
+    vm: VmId,
+    milli_vcpus: u32,
+    mib: u32,
+}
+
+/// A fleet of VMs across instance families.
+///
+/// The cluster can either be pre-provisioned (fixed fleet, placements fail
+/// when full) or auto-provisioning (a new `.4xlarge` VM of the requested
+/// family is added when nothing fits — mirroring how a provider elastically
+/// backs a serverless pool).
+///
+/// # Examples
+///
+/// ```
+/// use freedom_cluster::{Cluster, InstanceFamily, PlacementPolicy};
+///
+/// let mut cluster = Cluster::auto_provisioning(PlacementPolicy::BestFit);
+/// let sb = cluster.place(InstanceFamily::C6g, 2.0, 2048).unwrap();
+/// assert_eq!(cluster.vm_count(), 1);
+/// cluster.release(sb).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    vms: BTreeMap<VmId, Vm>,
+    sandboxes: BTreeMap<SandboxId, SandboxRecord>,
+    policy: PlacementPolicy,
+    auto_provision: bool,
+    next_vm_id: u64,
+    next_sandbox_id: u64,
+}
+
+impl Cluster {
+    /// Creates an empty, fixed-fleet cluster.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        Self {
+            vms: BTreeMap::new(),
+            sandboxes: BTreeMap::new(),
+            policy,
+            auto_provision: false,
+            next_vm_id: 0,
+            next_sandbox_id: 0,
+        }
+    }
+
+    /// Creates a cluster that provisions new VMs on demand.
+    pub fn auto_provisioning(policy: PlacementPolicy) -> Self {
+        let mut c = Self::new(policy);
+        c.auto_provision = true;
+        c
+    }
+
+    /// Adds a VM of the given family and size; returns its id.
+    pub fn provision(&mut self, family: InstanceFamily, size: InstanceSize) -> VmId {
+        let id = VmId(self.next_vm_id);
+        self.next_vm_id += 1;
+        self.vms
+            .insert(id, Vm::new(id, InstanceType::new(family, size)));
+        id
+    }
+
+    /// Number of VMs in the fleet.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of live sandboxes.
+    pub fn sandbox_count(&self) -> usize {
+        self.sandboxes.len()
+    }
+
+    /// Looks up a VM.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    /// The VM hosting a sandbox.
+    pub fn sandbox_vm(&self, id: SandboxId) -> Option<VmId> {
+        self.sandboxes.get(&id).map(|r| r.vm)
+    }
+
+    /// Places a sandbox with `cpu_share` vCPUs and `memory_mib` MiB on a VM
+    /// of `family`.
+    ///
+    /// Returns [`ClusterError::InvalidRequest`] for non-positive shares or
+    /// zero memory, and [`ClusterError::InsufficientCapacity`] when nothing
+    /// fits and auto-provisioning is off.
+    pub fn place(
+        &mut self,
+        family: InstanceFamily,
+        cpu_share: f64,
+        memory_mib: u32,
+    ) -> Result<SandboxId> {
+        if !cpu_share.is_finite() || cpu_share <= 0.0 {
+            return Err(ClusterError::InvalidRequest(format!(
+                "cpu share must be positive, got {cpu_share}"
+            )));
+        }
+        if memory_mib == 0 {
+            return Err(ClusterError::InvalidRequest(
+                "memory must be non-zero".into(),
+            ));
+        }
+        let milli_vcpus = (cpu_share * 1000.0).round() as u32;
+
+        let candidate = self.pick_vm(family, milli_vcpus, memory_mib);
+        let vm_id = match candidate {
+            Some(id) => id,
+            None if self.auto_provision => self.provision(family, InstanceSize::X4Large),
+            None => {
+                return Err(ClusterError::InsufficientCapacity {
+                    family: family.to_string(),
+                    cpu_share_milli: milli_vcpus,
+                    memory_mib,
+                })
+            }
+        };
+        let vm = self.vms.get_mut(&vm_id).expect("picked VM exists");
+        vm.reserve(milli_vcpus, memory_mib)?;
+
+        let id = SandboxId(self.next_sandbox_id);
+        self.next_sandbox_id += 1;
+        self.sandboxes.insert(
+            id,
+            SandboxRecord {
+                vm: vm_id,
+                milli_vcpus,
+                mib: memory_mib,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Releases a sandbox and returns its capacity to the hosting VM.
+    ///
+    /// Returns [`ClusterError::UnknownId`] for ids that were never placed or
+    /// were already released.
+    pub fn release(&mut self, id: SandboxId) -> Result<()> {
+        let record = self
+            .sandboxes
+            .remove(&id)
+            .ok_or(ClusterError::UnknownId(id.0))?;
+        if let Some(vm) = self.vms.get_mut(&record.vm) {
+            vm.release(record.milli_vcpus, record.mib);
+        }
+        Ok(())
+    }
+
+    /// Total idle vCPUs across VMs of `family`.
+    pub fn idle_vcpus(&self, family: InstanceFamily) -> f64 {
+        self.vms
+            .values()
+            .filter(|vm| vm.instance_type().family == family)
+            .map(|vm| vm.free_milli_vcpus() as f64 / 1000.0)
+            .sum()
+    }
+
+    /// Total idle memory in MiB across VMs of `family`.
+    pub fn idle_memory_mib(&self, family: InstanceFamily) -> u64 {
+        self.vms
+            .values()
+            .filter(|vm| vm.instance_type().family == family)
+            .map(|vm| vm.free_mib() as u64)
+            .sum()
+    }
+
+    /// Fraction of fleet vCPU capacity currently allocated (0 when empty).
+    pub fn cpu_utilization(&self) -> f64 {
+        let capacity: u64 = self
+            .vms
+            .values()
+            .map(|vm| vm.capacity_milli_vcpus() as u64)
+            .sum();
+        if capacity == 0 {
+            return 0.0;
+        }
+        let allocated: u64 = self
+            .vms
+            .values()
+            .map(|vm| vm.allocated_milli_vcpus() as u64)
+            .sum();
+        allocated as f64 / capacity as f64
+    }
+
+    fn pick_vm(&self, family: InstanceFamily, milli_vcpus: u32, mib: u32) -> Option<VmId> {
+        let fitting = self
+            .vms
+            .values()
+            .filter(|vm| vm.instance_type().family == family && vm.fits(milli_vcpus, mib));
+        match self.policy {
+            PlacementPolicy::FirstFit => fitting.map(|vm| vm.id()).next(),
+            PlacementPolicy::BestFit => fitting
+                .min_by_key(|vm| (vm.free_milli_vcpus(), vm.id()))
+                .map(|vm| vm.id()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_fleet_rejects_when_full() {
+        let mut c = Cluster::new(PlacementPolicy::FirstFit);
+        c.provision(InstanceFamily::M5, InstanceSize::Large); // 2 vCPU / 8 GiB
+        let _a = c.place(InstanceFamily::M5, 2.0, 1024).unwrap();
+        let err = c.place(InstanceFamily::M5, 0.25, 128).unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn wrong_family_never_matches() {
+        let mut c = Cluster::new(PlacementPolicy::FirstFit);
+        c.provision(InstanceFamily::M5, InstanceSize::X4Large);
+        assert!(c.place(InstanceFamily::C6g, 0.5, 128).is_err());
+    }
+
+    #[test]
+    fn auto_provisioning_grows_fleet() {
+        let mut c = Cluster::auto_provisioning(PlacementPolicy::FirstFit);
+        assert_eq!(c.vm_count(), 0);
+        let _s = c.place(InstanceFamily::C5a, 1.0, 512).unwrap();
+        assert_eq!(c.vm_count(), 1);
+        // 4xlarge has 16 vCPUs; a 16-vCPU request forces a second VM.
+        let _big = c.place(InstanceFamily::C5a, 16.0, 512).unwrap();
+        assert_eq!(c.vm_count(), 2);
+    }
+
+    #[test]
+    fn best_fit_packs_tightly() {
+        let mut c = Cluster::new(PlacementPolicy::BestFit);
+        let _roomy = c.provision(InstanceFamily::M5, InstanceSize::X4Large);
+        let snug = c.provision(InstanceFamily::M5, InstanceSize::Large);
+        let sb = c.place(InstanceFamily::M5, 1.0, 512).unwrap();
+        assert_eq!(c.sandbox_vm(sb).unwrap(), snug);
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_id() {
+        let mut c = Cluster::new(PlacementPolicy::FirstFit);
+        let first = c.provision(InstanceFamily::M5, InstanceSize::X4Large);
+        let _second = c.provision(InstanceFamily::M5, InstanceSize::Large);
+        let sb = c.place(InstanceFamily::M5, 1.0, 512).unwrap();
+        assert_eq!(c.sandbox_vm(sb).unwrap(), first);
+    }
+
+    #[test]
+    fn release_returns_capacity_and_rejects_double_free() {
+        let mut c = Cluster::new(PlacementPolicy::FirstFit);
+        c.provision(InstanceFamily::M6g, InstanceSize::Large);
+        let sb = c.place(InstanceFamily::M6g, 1.5, 2048).unwrap();
+        assert_eq!(c.idle_vcpus(InstanceFamily::M6g), 0.5);
+        c.release(sb).unwrap();
+        assert_eq!(c.idle_vcpus(InstanceFamily::M6g), 2.0);
+        assert!(matches!(c.release(sb), Err(ClusterError::UnknownId(_))));
+    }
+
+    #[test]
+    fn validates_requests() {
+        let mut c = Cluster::auto_provisioning(PlacementPolicy::FirstFit);
+        assert!(matches!(
+            c.place(InstanceFamily::M5, 0.0, 128),
+            Err(ClusterError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            c.place(InstanceFamily::M5, 1.0, 0),
+            Err(ClusterError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn utilization_tracks_allocations() {
+        let mut c = Cluster::new(PlacementPolicy::FirstFit);
+        assert_eq!(c.cpu_utilization(), 0.0);
+        c.provision(InstanceFamily::C5, InstanceSize::Large);
+        let _sb = c.place(InstanceFamily::C5, 1.0, 512).unwrap();
+        assert!((c.cpu_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_memory_per_family() {
+        let mut c = Cluster::new(PlacementPolicy::FirstFit);
+        c.provision(InstanceFamily::C5, InstanceSize::Large); // 4096 MiB
+        let _sb = c.place(InstanceFamily::C5, 0.5, 1024).unwrap();
+        assert_eq!(c.idle_memory_mib(InstanceFamily::C5), 3072);
+        assert_eq!(c.idle_memory_mib(InstanceFamily::M5), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the cluster substrate.
+
+use std::fmt;
+
+/// Errors produced by cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The requested instance-family name is not modelled.
+    UnknownFamily(String),
+    /// No VM of the requested family has enough free capacity and the
+    /// cluster is not allowed to provision more.
+    InsufficientCapacity {
+        /// Family that was requested.
+        family: String,
+        /// vCPU share requested.
+        cpu_share_milli: u32,
+        /// Memory requested in MiB.
+        memory_mib: u32,
+    },
+    /// The sandbox or VM id is not (or no longer) known.
+    UnknownId(u64),
+    /// A resource request was invalid (zero/negative share, zero memory, or
+    /// larger than any single VM of the family).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownFamily(name) => write!(f, "unknown instance family: {name}"),
+            Self::InsufficientCapacity {
+                family,
+                cpu_share_milli,
+                memory_mib,
+            } => write!(
+                f,
+                "insufficient capacity on {family} for {} vCPU / {memory_mib} MiB",
+                *cpu_share_milli as f64 / 1000.0
+            ),
+            Self::UnknownId(id) => write!(f, "unknown sandbox or VM id: {id}"),
+            Self::InvalidRequest(msg) => write!(f, "invalid resource request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ClusterError::InsufficientCapacity {
+            family: "m5".into(),
+            cpu_share_milli: 1500,
+            memory_mib: 2048,
+        };
+        assert!(e.to_string().contains("m5"));
+        assert!(e.to_string().contains("1.5 vCPU"));
+        assert!(e.to_string().contains("2048 MiB"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Instance families, architectures, sizes, and capacities.
+//!
+//! Mirrors the Table 1 search space: families `c6g, m6g, c5, m5, c5a, m5a`
+//! (prefix `c` = compute-optimized, `m` = general-purpose; suffix `g` =
+//! Graviton2/ARM, `a` = AMD, none = Intel). The memory-optimized `r`
+//! families are also modelled because §3.2 needs their prices to close the
+//! per-vCPU/per-GB linear systems.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ClusterError;
+
+/// CPU architecture of an instance family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Architecture {
+    /// Intel x86-64 (no family suffix, e.g. `m5`).
+    IntelX86,
+    /// AMD x86-64 (`a` suffix, e.g. `m5a`).
+    Amd,
+    /// AWS Graviton2 ARM (`g` suffix, e.g. `m6g`).
+    Graviton2,
+}
+
+impl Architecture {
+    /// All modelled architectures.
+    pub const ALL: [Architecture; 3] = [
+        Architecture::IntelX86,
+        Architecture::Amd,
+        Architecture::Graviton2,
+    ];
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IntelX86 => write!(f, "intel"),
+            Self::Amd => write!(f, "amd"),
+            Self::Graviton2 => write!(f, "graviton2"),
+        }
+    }
+}
+
+/// Instance class, which fixes the memory:vCPU ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstanceClass {
+    /// `c` prefix: 2 GiB of memory per vCPU, higher sustained clocks.
+    ComputeOptimized,
+    /// `m` prefix: 4 GiB of memory per vCPU.
+    GeneralPurpose,
+    /// `r` prefix: 8 GiB of memory per vCPU (pricing-only in this study).
+    MemoryOptimized,
+}
+
+impl InstanceClass {
+    /// GiB of memory per vCPU for this class.
+    pub fn memory_per_vcpu_gib(self) -> f64 {
+        match self {
+            Self::ComputeOptimized => 2.0,
+            Self::GeneralPurpose => 4.0,
+            Self::MemoryOptimized => 8.0,
+        }
+    }
+}
+
+/// An EC2-style instance family (architecture × class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum InstanceFamily {
+    /// Intel general-purpose.
+    M5,
+    /// Intel compute-optimized.
+    C5,
+    /// Intel memory-optimized (pricing-only).
+    R5,
+    /// AMD general-purpose.
+    M5a,
+    /// AMD compute-optimized.
+    C5a,
+    /// AMD memory-optimized (pricing-only).
+    R5a,
+    /// Graviton2 general-purpose.
+    M6g,
+    /// Graviton2 compute-optimized.
+    C6g,
+    /// Graviton2 memory-optimized (pricing-only).
+    R6g,
+}
+
+impl InstanceFamily {
+    /// The six families of the paper's search space (Table 1), in the
+    /// paper's presentation order.
+    pub const SEARCH_SPACE: [InstanceFamily; 6] = [
+        InstanceFamily::C6g,
+        InstanceFamily::M6g,
+        InstanceFamily::C5,
+        InstanceFamily::M5,
+        InstanceFamily::C5a,
+        InstanceFamily::M5a,
+    ];
+
+    /// All modelled families, including the pricing-only `r` classes.
+    pub const ALL: [InstanceFamily; 9] = [
+        InstanceFamily::M5,
+        InstanceFamily::C5,
+        InstanceFamily::R5,
+        InstanceFamily::M5a,
+        InstanceFamily::C5a,
+        InstanceFamily::R5a,
+        InstanceFamily::M6g,
+        InstanceFamily::C6g,
+        InstanceFamily::R6g,
+    ];
+
+    /// The family's CPU architecture.
+    pub fn architecture(self) -> Architecture {
+        match self {
+            Self::M5 | Self::C5 | Self::R5 => Architecture::IntelX86,
+            Self::M5a | Self::C5a | Self::R5a => Architecture::Amd,
+            Self::M6g | Self::C6g | Self::R6g => Architecture::Graviton2,
+        }
+    }
+
+    /// The family's instance class.
+    pub fn class(self) -> InstanceClass {
+        match self {
+            Self::C5 | Self::C5a | Self::C6g => InstanceClass::ComputeOptimized,
+            Self::M5 | Self::M5a | Self::M6g => InstanceClass::GeneralPurpose,
+            Self::R5 | Self::R5a | Self::R6g => InstanceClass::MemoryOptimized,
+        }
+    }
+
+    /// Whether this family is compute-optimized (`c` prefix).
+    pub fn is_compute_optimized(self) -> bool {
+        self.class() == InstanceClass::ComputeOptimized
+    }
+}
+
+impl fmt::Display for InstanceFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::M5 => "m5",
+            Self::C5 => "c5",
+            Self::R5 => "r5",
+            Self::M5a => "m5a",
+            Self::C5a => "c5a",
+            Self::R5a => "r5a",
+            Self::M6g => "m6g",
+            Self::C6g => "c6g",
+            Self::R6g => "r6g",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl FromStr for InstanceFamily {
+    type Err = ClusterError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "m5" => Ok(Self::M5),
+            "c5" => Ok(Self::C5),
+            "r5" => Ok(Self::R5),
+            "m5a" => Ok(Self::M5a),
+            "c5a" => Ok(Self::C5a),
+            "r5a" => Ok(Self::R5a),
+            "m6g" => Ok(Self::M6g),
+            "c6g" => Ok(Self::C6g),
+            "r6g" => Ok(Self::R6g),
+            other => Err(ClusterError::UnknownFamily(other.to_string())),
+        }
+    }
+}
+
+/// Instance size (the `.large`, `.xlarge`, … suffix), which scales vCPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstanceSize {
+    /// 2 vCPUs.
+    Large,
+    /// 4 vCPUs.
+    XLarge,
+    /// 8 vCPUs.
+    X2Large,
+    /// 16 vCPUs.
+    X4Large,
+}
+
+impl InstanceSize {
+    /// Number of vCPUs at this size.
+    pub fn vcpus(self) -> u32 {
+        match self {
+            Self::Large => 2,
+            Self::XLarge => 4,
+            Self::X2Large => 8,
+            Self::X4Large => 16,
+        }
+    }
+}
+
+impl fmt::Display for InstanceSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Large => "large",
+            Self::XLarge => "xlarge",
+            Self::X2Large => "2xlarge",
+            Self::X4Large => "4xlarge",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A concrete instance type: family plus size.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_cluster::{InstanceFamily, InstanceSize, InstanceType};
+///
+/// let it = InstanceType::new(InstanceFamily::C5, InstanceSize::Large);
+/// assert_eq!(it.vcpus(), 2);
+/// assert_eq!(it.memory_mib(), 4096);
+/// assert_eq!(it.to_string(), "c5.large");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceType {
+    /// Instance family.
+    pub family: InstanceFamily,
+    /// Instance size.
+    pub size: InstanceSize,
+}
+
+impl InstanceType {
+    /// Creates an instance type.
+    pub fn new(family: InstanceFamily, size: InstanceSize) -> Self {
+        Self { family, size }
+    }
+
+    /// vCPU count.
+    pub fn vcpus(self) -> u32 {
+        self.size.vcpus()
+    }
+
+    /// Memory capacity in MiB (class ratio × vCPUs).
+    pub fn memory_mib(self) -> u32 {
+        (self.family.class().memory_per_vcpu_gib() * self.vcpus() as f64 * 1024.0) as u32
+    }
+}
+
+impl fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.family, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_space_matches_table_1() {
+        assert_eq!(InstanceFamily::SEARCH_SPACE.len(), 6);
+        // No pricing-only r families in the search space.
+        assert!(InstanceFamily::SEARCH_SPACE
+            .iter()
+            .all(|f| f.class() != InstanceClass::MemoryOptimized));
+        // Two families per architecture.
+        for arch in Architecture::ALL {
+            let n = InstanceFamily::SEARCH_SPACE
+                .iter()
+                .filter(|f| f.architecture() == arch)
+                .count();
+            assert_eq!(n, 2, "{arch} should contribute two families");
+        }
+    }
+
+    #[test]
+    fn family_taxonomy() {
+        assert_eq!(InstanceFamily::M6g.architecture(), Architecture::Graviton2);
+        assert_eq!(InstanceFamily::C5a.architecture(), Architecture::Amd);
+        assert_eq!(InstanceFamily::R5.architecture(), Architecture::IntelX86);
+        assert!(InstanceFamily::C5.is_compute_optimized());
+        assert!(!InstanceFamily::M5a.is_compute_optimized());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for fam in InstanceFamily::ALL {
+            let s = fam.to_string();
+            assert_eq!(s.parse::<InstanceFamily>().unwrap(), fam);
+        }
+        assert!(matches!(
+            "z9".parse::<InstanceFamily>(),
+            Err(ClusterError::UnknownFamily(_))
+        ));
+    }
+
+    #[test]
+    fn capacities_follow_class_ratio() {
+        let m5l = InstanceType::new(InstanceFamily::M5, InstanceSize::Large);
+        assert_eq!(m5l.vcpus(), 2);
+        assert_eq!(m5l.memory_mib(), 8192);
+        let c6g4 = InstanceType::new(InstanceFamily::C6g, InstanceSize::X4Large);
+        assert_eq!(c6g4.vcpus(), 16);
+        assert_eq!(c6g4.memory_mib(), 32768);
+        let r5x = InstanceType::new(InstanceFamily::R5, InstanceSize::XLarge);
+        assert_eq!(r5x.memory_mib(), 32768);
+    }
+
+    #[test]
+    fn display_formats() {
+        let it = InstanceType::new(InstanceFamily::M5a, InstanceSize::X2Large);
+        assert_eq!(it.to_string(), "m5a.2xlarge");
+        assert_eq!(Architecture::Graviton2.to_string(), "graviton2");
+    }
+}

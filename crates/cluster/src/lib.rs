@@ -1,0 +1,42 @@
+//! Simulated EC2-style cluster substrate.
+//!
+//! The paper runs OpenFaaS on k3s across six AWS EC2 instance families
+//! (Table 1) and controls each function's resources with cgroups: a CPU
+//! *share* (CFS bandwidth control) and a memory *limit* (OOM on breach).
+//! This crate reproduces exactly the mechanisms the study relies on:
+//!
+//! - the instance-family taxonomy (architecture × class) and capacities,
+//! - cgroup-style CPU-share and memory-limit accounting ([`cgroup`]),
+//! - VM-level resource allocation and sandbox placement ([`Vm`], [`Cluster`]),
+//! - idle-capacity queries per family, used by the §6.2 provider planner,
+//! - a deterministic virtual clock ([`SimClock`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use freedom_cluster::{Cluster, InstanceFamily, InstanceSize, PlacementPolicy};
+//!
+//! let mut cluster = Cluster::new(PlacementPolicy::FirstFit);
+//! cluster.provision(InstanceFamily::M5, InstanceSize::XLarge);
+//! let sandbox = cluster.place(InstanceFamily::M5, 1.0, 1024).unwrap();
+//! assert_eq!(cluster.idle_vcpus(InstanceFamily::M5), 3.0);
+//! cluster.release(sandbox).unwrap();
+//! assert_eq!(cluster.idle_vcpus(InstanceFamily::M5), 4.0);
+//! ```
+
+pub mod cgroup;
+mod clock;
+mod cluster_impl;
+mod error;
+mod family;
+mod vm;
+
+pub use cgroup::{CpuCgroup, MemCgroup, OomKill};
+pub use clock::SimClock;
+pub use cluster_impl::{Cluster, PlacementPolicy, SandboxId};
+pub use error::ClusterError;
+pub use family::{Architecture, InstanceClass, InstanceFamily, InstanceSize, InstanceType};
+pub use vm::{Vm, VmId};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,157 @@
+//! A single virtual machine with vCPU-share and memory accounting.
+
+use crate::{ClusterError, InstanceType, Result};
+
+/// Opaque VM identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(pub(crate) u64);
+
+impl VmId {
+    /// Raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// A virtual machine hosting function sandboxes.
+///
+/// Resource accounting is done in milli-vCPUs (to keep the arithmetic exact
+/// for shares like 0.25) and MiB of memory. A VM never oversubscribes:
+/// placements that would exceed capacity are rejected.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    id: VmId,
+    instance_type: InstanceType,
+    allocated_milli_vcpus: u32,
+    allocated_mib: u32,
+}
+
+impl Vm {
+    pub(crate) fn new(id: VmId, instance_type: InstanceType) -> Self {
+        Self {
+            id,
+            instance_type,
+            allocated_milli_vcpus: 0,
+            allocated_mib: 0,
+        }
+    }
+
+    /// This VM's id.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The VM's instance type.
+    pub fn instance_type(&self) -> InstanceType {
+        self.instance_type
+    }
+
+    /// Total vCPU capacity in milli-vCPUs.
+    pub fn capacity_milli_vcpus(&self) -> u32 {
+        self.instance_type.vcpus() * 1000
+    }
+
+    /// Total memory capacity in MiB.
+    pub fn capacity_mib(&self) -> u32 {
+        self.instance_type.memory_mib()
+    }
+
+    /// Currently allocated milli-vCPUs.
+    pub fn allocated_milli_vcpus(&self) -> u32 {
+        self.allocated_milli_vcpus
+    }
+
+    /// Currently allocated MiB.
+    pub fn allocated_mib(&self) -> u32 {
+        self.allocated_mib
+    }
+
+    /// Free milli-vCPUs.
+    pub fn free_milli_vcpus(&self) -> u32 {
+        self.capacity_milli_vcpus() - self.allocated_milli_vcpus
+    }
+
+    /// Free MiB.
+    pub fn free_mib(&self) -> u32 {
+        self.capacity_mib() - self.allocated_mib
+    }
+
+    /// Whether a request for `milli_vcpus` and `mib` fits on this VM.
+    pub fn fits(&self, milli_vcpus: u32, mib: u32) -> bool {
+        self.free_milli_vcpus() >= milli_vcpus && self.free_mib() >= mib
+    }
+
+    /// Reserves capacity; rejects oversubscription.
+    pub(crate) fn reserve(&mut self, milli_vcpus: u32, mib: u32) -> Result<()> {
+        if !self.fits(milli_vcpus, mib) {
+            return Err(ClusterError::InsufficientCapacity {
+                family: self.instance_type.family.to_string(),
+                cpu_share_milli: milli_vcpus,
+                memory_mib: mib,
+            });
+        }
+        self.allocated_milli_vcpus += milli_vcpus;
+        self.allocated_mib += mib;
+        Ok(())
+    }
+
+    /// Releases previously reserved capacity (saturating, so a double
+    /// release cannot underflow the accounting).
+    pub(crate) fn release(&mut self, milli_vcpus: u32, mib: u32) {
+        self.allocated_milli_vcpus = self.allocated_milli_vcpus.saturating_sub(milli_vcpus);
+        self.allocated_mib = self.allocated_mib.saturating_sub(mib);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstanceFamily, InstanceSize};
+
+    fn vm() -> Vm {
+        Vm::new(
+            VmId(1),
+            InstanceType::new(InstanceFamily::M5, InstanceSize::Large),
+        )
+    }
+
+    #[test]
+    fn capacity_reflects_instance_type() {
+        let vm = vm();
+        assert_eq!(vm.capacity_milli_vcpus(), 2000);
+        assert_eq!(vm.capacity_mib(), 8192);
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut vm = vm();
+        vm.reserve(1500, 4096).unwrap();
+        assert_eq!(vm.free_milli_vcpus(), 500);
+        assert_eq!(vm.free_mib(), 4096);
+        vm.release(1500, 4096);
+        assert_eq!(vm.free_milli_vcpus(), 2000);
+        assert_eq!(vm.free_mib(), 8192);
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        let mut vm = vm();
+        vm.reserve(2000, 1024).unwrap();
+        let err = vm.reserve(1, 1).unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+        // Memory can also be the binding constraint.
+        let mut vm2 = self::vm();
+        vm2.reserve(100, 8192).unwrap();
+        assert!(vm2.reserve(100, 1).is_err());
+    }
+
+    #[test]
+    fn double_release_saturates() {
+        let mut vm = vm();
+        vm.reserve(500, 512).unwrap();
+        vm.release(500, 512);
+        vm.release(500, 512);
+        assert_eq!(vm.allocated_milli_vcpus(), 0);
+        assert_eq!(vm.allocated_mib(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests: the cluster never oversubscribes and accounting
+//! round-trips.
+
+use freedom_cluster::{Cluster, InstanceFamily, InstanceSize, PlacementPolicy};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Place { share_milli: u32, mib: u32 },
+    ReleaseOldest,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (250u32..4000, 64u32..4096).prop_map(|(share_milli, mib)| Op::Place { share_milli, mib }),
+        Just(Op::ReleaseOldest),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn capacity_is_never_oversubscribed(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut cluster = Cluster::new(PlacementPolicy::FirstFit);
+        cluster.provision(InstanceFamily::M5, InstanceSize::XLarge);
+        cluster.provision(InstanceFamily::M5, InstanceSize::Large);
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                Op::Place { share_milli, mib } => {
+                    if let Ok(id) = cluster.place(
+                        InstanceFamily::M5,
+                        share_milli as f64 / 1000.0,
+                        mib,
+                    ) {
+                        live.push(id);
+                    }
+                }
+                Op::ReleaseOldest => {
+                    if !live.is_empty() {
+                        let id = live.remove(0);
+                        cluster.release(id).unwrap();
+                    }
+                }
+            }
+            // Invariant: utilization stays within [0, 1] on every step.
+            let u = cluster.cpu_utilization();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&u), "utilization {u}");
+        }
+        // Releasing everything returns the fleet to fully idle.
+        for id in live {
+            cluster.release(id).unwrap();
+        }
+        prop_assert_eq!(cluster.cpu_utilization(), 0.0);
+        prop_assert_eq!(cluster.idle_vcpus(InstanceFamily::M5), 6.0);
+        prop_assert_eq!(cluster.sandbox_count(), 0);
+    }
+
+    #[test]
+    fn auto_provisioning_always_places_valid_requests(
+        requests in prop::collection::vec((250u32..4000, 64u32..4096), 1..40),
+    ) {
+        let mut cluster = Cluster::auto_provisioning(PlacementPolicy::BestFit);
+        for (share_milli, mib) in requests {
+            let res = cluster.place(InstanceFamily::C6g, share_milli as f64 / 1000.0, mib);
+            prop_assert!(res.is_ok());
+        }
+        let u = cluster.cpu_utilization();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&u));
+    }
+}

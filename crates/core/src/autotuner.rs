@@ -1,0 +1,275 @@
+//! Offline and online autotuning over a live gateway (§5).
+//!
+//! *Offline* optimization profiles a function at deployment time: each
+//! trial reconfigures the deployment and runs several repetitions of a
+//! representative input. *Online* optimization uses production invocations
+//! themselves as trials (one invocation per trial), which is cheaper but
+//! exposes users to bad configurations — quantified by
+//! [`freedom_optimizer::online`].
+
+use freedom_faas::{FunctionSpec, Gateway, InvocationStatus, ResourceConfig};
+use freedom_linalg::stats;
+use freedom_optimizer::{
+    BayesianOptimizer, BoConfig, Evaluator, Objective, OptimizationRun, SearchSpace, Trial,
+};
+use freedom_surrogates::{Surrogate, SurrogateKind};
+use freedom_workloads::{FunctionKind, InputData};
+
+use crate::Result;
+
+/// An [`Evaluator`] that measures configurations by reconfiguring and
+/// invoking a deployed function on a live gateway.
+pub struct GatewayEvaluator {
+    gateway: Gateway,
+    function: String,
+    input: InputData,
+    reps: usize,
+}
+
+impl GatewayEvaluator {
+    /// Creates an evaluator that runs `reps` invocations per trial
+    /// (clamped to ≥ 1) and aggregates by median.
+    pub fn new(
+        gateway: Gateway,
+        function: impl Into<String>,
+        input: InputData,
+        reps: usize,
+    ) -> Self {
+        Self {
+            gateway,
+            function: function.into(),
+            input,
+            reps: reps.max(1),
+        }
+    }
+
+    /// Total invocations issued so far (cost-of-profiling accounting).
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+}
+
+impl Evaluator for GatewayEvaluator {
+    fn evaluate(&mut self, config: &ResourceConfig) -> freedom_optimizer::Result<Trial> {
+        self.gateway
+            .reconfigure(&self.function, *config)
+            .map_err(freedom_optimizer::OptimizerError::Evaluation)?;
+        let mut times = Vec::with_capacity(self.reps);
+        let mut costs = Vec::with_capacity(self.reps);
+        let mut failed = false;
+        for _ in 0..self.reps {
+            let record = self
+                .gateway
+                .invoke(&self.function, &self.input)
+                .map_err(freedom_optimizer::OptimizerError::Evaluation)?;
+            failed |= record.status == InvocationStatus::OomKilled;
+            times.push(record.duration_secs);
+            costs.push(record.cost_usd);
+        }
+        Ok(Trial {
+            config: *config,
+            exec_time_secs: stats::median(&times).unwrap_or(f64::NAN),
+            exec_cost_usd: stats::median(&costs).unwrap_or(f64::NAN),
+            failed,
+        })
+    }
+}
+
+/// Everything an autotuning session produces.
+pub struct TuneOutcome {
+    /// The full optimization history.
+    pub run: OptimizationRun,
+    /// The surrogate fitted on the run's trials (for §5.5 predictions and
+    /// the §6 interfaces); `None` when too few trials succeeded.
+    pub model: Option<Box<dyn Surrogate>>,
+}
+
+impl TuneOutcome {
+    /// The recommended configuration, if any trial succeeded.
+    pub fn recommended(&self) -> Option<ResourceConfig> {
+        self.run.best_feasible().map(|t| t.config)
+    }
+}
+
+/// High-level driver tying the optimizer to the platform.
+#[derive(Debug, Clone)]
+pub struct Autotuner {
+    surrogate: SurrogateKind,
+    bo: BoConfig,
+}
+
+impl Autotuner {
+    /// Creates an autotuner with the paper's defaults (3 initial samples,
+    /// 20-trial budget, EI, §5.1 slicing).
+    pub fn new(surrogate: SurrogateKind) -> Self {
+        Self {
+            surrogate,
+            bo: BoConfig::default(),
+        }
+    }
+
+    /// Overrides the optimization-loop settings.
+    pub fn with_bo_config(mut self, bo: BoConfig) -> Self {
+        self.bo = bo;
+        self
+    }
+
+    /// The configured surrogate kind.
+    pub fn surrogate_kind(&self) -> SurrogateKind {
+        self.surrogate
+    }
+
+    /// Offline tuning (§5.2): deploys `function` on a fresh gateway and
+    /// profiles it with 5 repetitions per trial over the full Decoupled
+    /// space.
+    pub fn tune_offline(
+        &self,
+        function: FunctionKind,
+        input: &InputData,
+        objective: Objective,
+        seed: u64,
+    ) -> Result<TuneOutcome> {
+        self.tune_offline_in_space(function, input, objective, &SearchSpace::table1(), seed)
+    }
+
+    /// Offline tuning restricted to a caller-chosen space (e.g. one
+    /// strategy's space, or a family-restricted space for §6.2).
+    pub fn tune_offline_in_space(
+        &self,
+        function: FunctionKind,
+        input: &InputData,
+        objective: Objective,
+        space: &SearchSpace,
+        seed: u64,
+    ) -> Result<TuneOutcome> {
+        self.tune(function, input, objective, space, seed, 5)
+    }
+
+    /// Online tuning (§5.4): each trial is a single production invocation.
+    pub fn tune_online(
+        &self,
+        function: FunctionKind,
+        input: &InputData,
+        objective: Objective,
+        seed: u64,
+    ) -> Result<TuneOutcome> {
+        self.tune(function, input, objective, &SearchSpace::table1(), seed, 1)
+    }
+
+    fn tune(
+        &self,
+        function: FunctionKind,
+        input: &InputData,
+        objective: Objective,
+        space: &SearchSpace,
+        seed: u64,
+        reps: usize,
+    ) -> Result<TuneOutcome> {
+        let mut gateway = Gateway::new(seed)?;
+        let initial = space
+            .configs()
+            .first()
+            .copied()
+            .ok_or(freedom_optimizer::OptimizerError::EmptySearchSpace)?;
+        gateway.deploy(FunctionSpec::new(function.name(), function), initial)?;
+        let mut evaluator = GatewayEvaluator::new(gateway, function.name(), input.clone(), reps);
+
+        let bo = BoConfig { seed, ..self.bo };
+        let optimizer = BayesianOptimizer::new(self.surrogate, bo);
+        let run = optimizer.optimize(space, &mut evaluator, objective)?;
+        let model = optimizer.fit_on_trials(&run.trials, objective, seed);
+        Ok(TuneOutcome { run, model })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_tuning_finds_a_good_faceblur_config() {
+        let tuner = Autotuner::new(SurrogateKind::Gp);
+        let outcome = tuner
+            .tune_offline(
+                FunctionKind::Faceblur,
+                &FunctionKind::Faceblur.default_input(),
+                Objective::ExecutionTime,
+                7,
+            )
+            .unwrap();
+        assert_eq!(outcome.run.trials.len(), 20);
+        let best = outcome.run.best_feasible().unwrap();
+        // faceblur is serial: a good config has share ≥ 0.75 and a fast
+        // family; its ET should be within 2x of the global best (~4 s).
+        assert!(best.exec_time_secs < 8.0, "ET {}", best.exec_time_secs);
+        assert!(outcome.recommended().is_some());
+        assert!(outcome.model.is_some());
+    }
+
+    #[test]
+    fn online_tuning_uses_single_invocations() {
+        let tuner = Autotuner::new(SurrogateKind::Rf);
+        let outcome = tuner
+            .tune_online(
+                FunctionKind::S3,
+                &FunctionKind::S3.default_input(),
+                Objective::ExecutionCost,
+                3,
+            )
+            .unwrap();
+        assert_eq!(outcome.run.trials.len(), 20);
+        assert!(outcome.run.best_value().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn slicing_kicks_in_for_memory_hungry_functions() {
+        // transcode OOMs below ~256 MiB: the run must slice, and no trial
+        // after the first failure may use a sliced memory level.
+        let tuner = Autotuner::new(SurrogateKind::Gp);
+        let outcome = tuner
+            .tune_offline(
+                FunctionKind::Transcode,
+                &FunctionKind::Transcode.default_input(),
+                Objective::ExecutionTime,
+                11,
+            )
+            .unwrap();
+        let failures = outcome.run.failures();
+        if failures > 0 {
+            assert!(outcome.run.sliced_away > 0);
+        }
+    }
+
+    #[test]
+    fn restricted_space_stays_restricted() {
+        let space = SearchSpace::decoupled_m5();
+        let tuner = Autotuner::new(SurrogateKind::Et);
+        let outcome = tuner
+            .tune_offline_in_space(
+                FunctionKind::Linpack,
+                &FunctionKind::Linpack.default_input(),
+                Objective::ExecutionTime,
+                &space,
+                5,
+            )
+            .unwrap();
+        assert!(outcome
+            .run
+            .trials
+            .iter()
+            .all(|t| t.config.family() == freedom_cluster::InstanceFamily::M5));
+    }
+
+    #[test]
+    fn outcomes_are_reproducible_per_seed() {
+        let tuner = Autotuner::new(SurrogateKind::Gp);
+        let input = FunctionKind::Ocr.default_input();
+        let a = tuner
+            .tune_offline(FunctionKind::Ocr, &input, Objective::ExecutionTime, 9)
+            .unwrap();
+        let b = tuner
+            .tune_offline(FunctionKind::Ocr, &input, Objective::ExecutionTime, 9)
+            .unwrap();
+        assert_eq!(a.run.trials, b.run.trials);
+    }
+}

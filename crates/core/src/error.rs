@@ -1,0 +1,81 @@
+//! Error type for the core framework.
+
+use std::fmt;
+
+use freedom_faas::FaasError;
+use freedom_optimizer::OptimizerError;
+use freedom_pricing::PricingError;
+
+/// Errors produced by the autotuning framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FreedomError {
+    /// The underlying platform failed.
+    Faas(FaasError),
+    /// The optimizer failed.
+    Optimizer(OptimizerError),
+    /// The pricing model failed.
+    Pricing(PricingError),
+    /// Not enough data to serve the request (e.g. all trials failed).
+    InsufficientData(String),
+    /// An invalid argument (θ out of range, empty weight list, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FreedomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Faas(e) => write!(f, "platform error: {e}"),
+            Self::Optimizer(e) => write!(f, "optimizer error: {e}"),
+            Self::Pricing(e) => write!(f, "pricing error: {e}"),
+            Self::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FreedomError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Faas(e) => Some(e),
+            Self::Optimizer(e) => Some(e),
+            Self::Pricing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaasError> for FreedomError {
+    fn from(e: FaasError) -> Self {
+        Self::Faas(e)
+    }
+}
+
+impl From<OptimizerError> for FreedomError {
+    fn from(e: OptimizerError) -> Self {
+        Self::Optimizer(e)
+    }
+}
+
+impl From<PricingError> for FreedomError {
+    fn from(e: PricingError) -> Self {
+        Self::Pricing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e: FreedomError = FaasError::UnknownFunction("f".into()).into();
+        assert!(e.to_string().contains("platform"));
+        assert!(e.source().is_some());
+        let o: FreedomError = OptimizerError::EmptySearchSpace.into();
+        assert!(o.to_string().contains("optimizer"));
+        assert!(FreedomError::InsufficientData("x".into())
+            .source()
+            .is_none());
+    }
+}

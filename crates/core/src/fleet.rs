@@ -1,0 +1,452 @@
+//! Trace-driven fleet simulation (extension of §6.2).
+//!
+//! Figure 15 scores the planner's per-family decisions one function at a
+//! time. A provider, though, operates a *fleet*: idle capacity of each
+//! family is finite, invocations arrive concurrently, and a placement
+//! decision that looks free in isolation competes with every other
+//! function for the same idle VMs. This module closes that loop with a
+//! discrete-event simulation:
+//!
+//! - a Poisson arrival [`Trace`] over the six benchmark functions;
+//! - a fixed idle fleet (spot-priced) per family plus an elastic
+//!   on-demand pool that always has room for the tuned best
+//!   configuration at list price;
+//! - two [`PlacementStrategy`]s: always-best-config (baseline) and
+//!   idle-aware (prefer θ-guardrailed alternate families on spot
+//!   capacity, fall back to on-demand);
+//! - a [`FleetReport`] with cost, latency inflation, spot utilization.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use freedom_cluster::{Cluster, InstanceFamily, InstanceSize, PlacementPolicy, SandboxId};
+use freedom_faas::{PerfTable, ResourceConfig};
+use freedom_linalg::stats;
+use freedom_pricing::SpotPricing;
+use freedom_workloads::FunctionKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::provider::PlannedPlacement;
+use crate::{FreedomError, Result};
+
+/// One invocation arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival time in seconds since trace start.
+    pub at_secs: f64,
+    /// Which function is invoked.
+    pub function: FunctionKind,
+}
+
+/// A generated arrival trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Generates a Poisson arrival trace: each function gets independent
+    /// exponential inter-arrival times with rate `rps_per_function`, over
+    /// `duration_secs`, merged and sorted.
+    ///
+    /// Returns [`FreedomError::InvalidArgument`] for non-positive rates or
+    /// durations.
+    pub fn poisson(duration_secs: f64, rps_per_function: f64, seed: u64) -> Result<Self> {
+        if !(duration_secs > 0.0) || !(rps_per_function > 0.0) {
+            return Err(FreedomError::InvalidArgument(format!(
+                "duration and rate must be positive, got {duration_secs}s at {rps_per_function}rps"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for function in FunctionKind::ALL {
+            let mut t = 0.0;
+            loop {
+                // Exponential inter-arrival via inverse transform.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / rps_per_function;
+                if t >= duration_secs {
+                    break;
+                }
+                events.push(TraceEvent {
+                    at_secs: t,
+                    function,
+                });
+            }
+        }
+        events.sort_by(|a, b| a.at_secs.total_cmp(&b.at_secs));
+        Ok(Self { events })
+    }
+
+    /// The events, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// How the provider places each invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Always run the tuned best configuration on the on-demand pool.
+    BestConfigOnly,
+    /// Prefer θ-accepted alternate families while their idle (spot)
+    /// capacity lasts; fall back to the on-demand best configuration.
+    IdleAware,
+}
+
+/// Everything the simulator needs to place one function.
+#[derive(Debug, Clone)]
+pub struct FunctionPlan {
+    /// The function this plan serves.
+    pub function: FunctionKind,
+    /// The tuned best configuration (on-demand fallback).
+    pub best_config: ResourceConfig,
+    /// Planner output: per-family predicted-best placements; only
+    /// `accepted` ones are used, in the given order.
+    pub alternates: Vec<PlannedPlacement>,
+    /// Ground truth used to look up execution outcomes.
+    pub table: PerfTable,
+}
+
+/// Fleet-simulation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Idle `.4xlarge` VMs provisioned per family (the spot pool).
+    pub idle_vms_per_family: usize,
+    /// Spot pricing on the idle pool.
+    pub spot: SpotPricing,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            idle_vms_per_family: 2,
+            spot: SpotPricing::PAPER_DEFAULT,
+        }
+    }
+}
+
+/// Aggregate outcome of one simulated trace.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Strategy simulated.
+    pub strategy: PlacementStrategy,
+    /// Invocations served.
+    pub invocations: usize,
+    /// Total provider cost in USD.
+    pub total_cost_usd: f64,
+    /// Mean latency inflation vs. each function's best configuration
+    /// (1.0 = every invocation ran at best-config speed).
+    pub mean_latency_inflation: f64,
+    /// 95th-percentile latency inflation.
+    pub p95_latency_inflation: f64,
+    /// Invocations served from the spot (idle) pool.
+    pub spot_placements: usize,
+    /// Spot placements that failed for lack of idle capacity and fell
+    /// back to on-demand.
+    pub spot_capacity_misses: usize,
+}
+
+impl FleetReport {
+    /// Fraction of invocations served from idle capacity.
+    pub fn spot_share(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.spot_placements as f64 / self.invocations as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Arrival(usize),
+    Completion(SandboxId),
+}
+
+/// Min-heap entry ordered by time in nanoseconds (then sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QueuedEvent {
+    at_nanos: u128,
+    seq: u64,
+    kind_order: u8, // completions before arrivals at the same instant
+}
+
+/// The fleet simulator: a fixed spot pool plus elastic on-demand.
+pub struct FleetSimulator {
+    plans: BTreeMap<FunctionKind, FunctionPlan>,
+    config: FleetConfig,
+}
+
+impl FleetSimulator {
+    /// Creates a simulator from per-function plans.
+    ///
+    /// Returns [`FreedomError::InvalidArgument`] when a plan is missing
+    /// for any benchmark function.
+    pub fn new(plans: Vec<FunctionPlan>, config: FleetConfig) -> Result<Self> {
+        let plans: BTreeMap<FunctionKind, FunctionPlan> =
+            plans.into_iter().map(|p| (p.function, p)).collect();
+        for function in FunctionKind::ALL {
+            if !plans.contains_key(&function) {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "missing plan for {function}"
+                )));
+            }
+        }
+        Ok(Self { plans, config })
+    }
+
+    /// Runs the trace under a strategy and reports aggregates.
+    pub fn run(&self, trace: &Trace, strategy: PlacementStrategy) -> Result<FleetReport> {
+        // The spot pool: a fixed fleet, `idle_vms_per_family` 4xlarge VMs
+        // per search-space family.
+        let mut spot_pool = Cluster::new(PlacementPolicy::BestFit);
+        for family in InstanceFamily::SEARCH_SPACE {
+            for _ in 0..self.config.idle_vms_per_family {
+                spot_pool.provision(family, InstanceSize::X4Large);
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
+        let mut payloads: BTreeMap<(u128, u64), EventKind> = BTreeMap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Reverse<QueuedEvent>>,
+                    payloads: &mut BTreeMap<(u128, u64), EventKind>,
+                    seq: &mut u64,
+                    at_secs: f64,
+                    kind: EventKind| {
+            let at_nanos = (at_secs * 1e9) as u128;
+            let kind_order = match kind {
+                EventKind::Completion(_) => 0,
+                EventKind::Arrival(_) => 1,
+            };
+            heap.push(Reverse(QueuedEvent {
+                at_nanos,
+                seq: *seq,
+                kind_order,
+            }));
+            payloads.insert((at_nanos, *seq), kind);
+            *seq += 1;
+        };
+
+        for (i, event) in trace.events().iter().enumerate() {
+            push(
+                &mut heap,
+                &mut payloads,
+                &mut seq,
+                event.at_secs,
+                EventKind::Arrival(i),
+            );
+        }
+
+        let mut total_cost = 0.0;
+        let mut inflations = Vec::with_capacity(trace.len());
+        let mut spot_placements = 0usize;
+        let mut spot_capacity_misses = 0usize;
+
+        while let Some(Reverse(entry)) = heap.pop() {
+            let kind = payloads
+                .remove(&(entry.at_nanos, entry.seq))
+                .expect("payload for queued event");
+            match kind {
+                EventKind::Completion(sandbox) => {
+                    spot_pool
+                        .release(sandbox)
+                        .map_err(|e| FreedomError::Faas(e.into()))?;
+                }
+                EventKind::Arrival(idx) => {
+                    let event = trace.events()[idx];
+                    let plan = self
+                        .plans
+                        .get(&event.function)
+                        .expect("validated at construction");
+                    let best_point = plan.table.lookup(&plan.best_config).ok_or_else(|| {
+                        FreedomError::InsufficientData("best config missing in table".into())
+                    })?;
+
+                    // Try spot placement first under the idle-aware policy.
+                    let mut placed_spot = false;
+                    if strategy == PlacementStrategy::IdleAware {
+                        let mut wanted_spot = false;
+                        for alt in plan.alternates.iter().filter(|a| a.accepted) {
+                            wanted_spot = true;
+                            let cfg = alt.config;
+                            match spot_pool.place(cfg.family(), cfg.cpu_share(), cfg.memory_mib()) {
+                                Ok(sandbox) => {
+                                    let point = plan.table.lookup(&cfg).ok_or_else(|| {
+                                        FreedomError::InsufficientData(
+                                            "alternate config missing in table".into(),
+                                        )
+                                    })?;
+                                    let duration = point.exec_time_secs;
+                                    total_cost += point.exec_cost_usd * self.config.spot.fraction;
+                                    inflations.push(duration / best_point.exec_time_secs);
+                                    push(
+                                        &mut heap,
+                                        &mut payloads,
+                                        &mut seq,
+                                        event.at_secs + duration,
+                                        EventKind::Completion(sandbox),
+                                    );
+                                    spot_placements += 1;
+                                    placed_spot = true;
+                                    break;
+                                }
+                                Err(_) => continue, // that family is full
+                            }
+                        }
+                        if wanted_spot && !placed_spot {
+                            spot_capacity_misses += 1;
+                        }
+                    }
+
+                    if !placed_spot {
+                        // On-demand pool: elastic, always fits, list price.
+                        total_cost += best_point.exec_cost_usd;
+                        inflations.push(1.0);
+                        // No completion event needed: elastic capacity.
+                    }
+                }
+            }
+        }
+
+        Ok(FleetReport {
+            strategy,
+            invocations: trace.len(),
+            total_cost_usd: total_cost,
+            mean_latency_inflation: stats::mean(&inflations).unwrap_or(1.0),
+            p95_latency_inflation: stats::quantile(&inflations, 0.95).unwrap_or(1.0),
+            spot_placements,
+            spot_capacity_misses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::IdleCapacityPlanner;
+    use crate::Autotuner;
+    use freedom_faas::collect_ground_truth;
+    use freedom_optimizer::{Objective, SearchSpace};
+    use freedom_surrogates::SurrogateKind;
+
+    fn make_plans(seed: u64) -> Vec<FunctionPlan> {
+        let planner = IdleCapacityPlanner::default();
+        let space = SearchSpace::table1();
+        FunctionKind::ALL
+            .into_iter()
+            .map(|function| {
+                let input = function.default_input();
+                let table =
+                    collect_ground_truth(function, &input, space.configs(), 2, seed).unwrap();
+                let outcome = Autotuner::new(SurrogateKind::Gp)
+                    .tune_offline(function, &input, Objective::ExecutionTime, seed)
+                    .unwrap();
+                let alternates = planner.plan(&outcome, &table, &space).unwrap();
+                FunctionPlan {
+                    function,
+                    best_config: outcome.recommended().unwrap(),
+                    alternates,
+                    table,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn poisson_trace_shape() {
+        let trace = Trace::poisson(100.0, 0.5, 7).unwrap();
+        // ~0.5 rps × 6 functions × 100 s = ~300 arrivals.
+        assert!((150..=450).contains(&trace.len()), "{}", trace.len());
+        assert!(!trace.is_empty());
+        // Sorted by time, all within the window.
+        for w in trace.events().windows(2) {
+            assert!(w[0].at_secs <= w[1].at_secs);
+        }
+        assert!(trace.events().iter().all(|e| e.at_secs < 100.0));
+        // Deterministic per seed.
+        let again = Trace::poisson(100.0, 0.5, 7).unwrap();
+        assert_eq!(trace.events(), again.events());
+        assert!(Trace::poisson(-1.0, 0.5, 7).is_err());
+        assert!(Trace::poisson(10.0, 0.0, 7).is_err());
+    }
+
+    #[test]
+    fn idle_aware_strategy_cuts_cost_within_latency_budget() {
+        let plans = make_plans(3);
+        let sim = FleetSimulator::new(plans, FleetConfig::default()).unwrap();
+        let trace = Trace::poisson(120.0, 0.3, 3).unwrap();
+
+        let baseline = sim.run(&trace, PlacementStrategy::BestConfigOnly).unwrap();
+        let idle_aware = sim.run(&trace, PlacementStrategy::IdleAware).unwrap();
+
+        assert_eq!(baseline.invocations, idle_aware.invocations);
+        assert_eq!(baseline.spot_placements, 0);
+        assert!((baseline.mean_latency_inflation - 1.0).abs() < 1e-12);
+
+        // The idle-aware fleet serves a meaningful share from spot and
+        // pays less overall.
+        assert!(idle_aware.spot_share() > 0.2, "{}", idle_aware.spot_share());
+        assert!(
+            idle_aware.total_cost_usd < baseline.total_cost_usd,
+            "{} vs {}",
+            idle_aware.total_cost_usd,
+            baseline.total_cost_usd
+        );
+        // Latency inflation stays near the θ=10% guardrail on average.
+        assert!(
+            idle_aware.mean_latency_inflation < 1.25,
+            "{}",
+            idle_aware.mean_latency_inflation
+        );
+    }
+
+    #[test]
+    fn capacity_pressure_forces_on_demand_fallbacks() {
+        let plans = make_plans(5);
+        // A starved spot pool under a hot trace must miss sometimes.
+        let sim = FleetSimulator::new(
+            plans,
+            FleetConfig {
+                idle_vms_per_family: 1,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let trace = Trace::poisson(60.0, 2.0, 5).unwrap();
+        let report = sim.run(&trace, PlacementStrategy::IdleAware).unwrap();
+        assert!(report.spot_placements > 0);
+        assert!(
+            report.spot_capacity_misses > 0,
+            "expected misses under pressure"
+        );
+        assert_eq!(
+            report.spot_placements
+                + report.spot_capacity_misses
+                + (report.invocations - report.spot_placements - report.spot_capacity_misses),
+            report.invocations
+        );
+    }
+
+    #[test]
+    fn missing_plan_is_rejected() {
+        let mut plans = make_plans(1);
+        plans.pop();
+        assert!(matches!(
+            FleetSimulator::new(plans, FleetConfig::default()),
+            Err(FreedomError::InvalidArgument(_))
+        ));
+    }
+}

@@ -1,0 +1,477 @@
+//! The three §6.1 user interfaces.
+//!
+//! Instead of exposing raw (CPU, memory, family) knobs, the provider can
+//! speak to users in outcomes — performance and cost:
+//!
+//! 1. **Predicted Pareto front**: train one model for execution time and
+//!    one for execution cost, predict both metrics for the whole space,
+//!    and offer the configurations on the predicted front (2–10 options).
+//! 2. **Weighted multi-objective**: pre-train models for
+//!    `W_t ∈ {0, 0.25, 0.5, 0.75, 1}` (Eq. 2) and offer each one's best
+//!    configuration — at most five options.
+//! 3. **Hierarchical multi-objective**: optimize a primary objective, then
+//!    use the model to pick the configuration that minimizes the secondary
+//!    objective while degrading the primary by at most θ.
+
+use freedom_faas::{PerfTable, ResourceConfig};
+use freedom_optimizer::pareto::{pareto_front_indices, BiPoint};
+use freedom_optimizer::{Objective, SearchSpace, Trial};
+use freedom_surrogates::{Surrogate, SurrogateKind};
+use freedom_workloads::{FunctionKind, InputData};
+
+use crate::{Autotuner, FreedomError, Result, TuneOutcome};
+
+/// One user-facing choice: a configuration with its predicted outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPerfOption {
+    /// The configuration behind this option (hidden from the user in a
+    /// production interface, shown here for observability).
+    pub config: ResourceConfig,
+    /// Predicted execution time, seconds.
+    pub predicted_time_secs: f64,
+    /// Predicted execution cost, USD.
+    pub predicted_cost_usd: f64,
+}
+
+/// Fits a fresh surrogate of `kind` on a run's trials under `objective`.
+fn fit_model(
+    kind: SurrogateKind,
+    trials: &[Trial],
+    objective: Objective,
+    seed: u64,
+) -> Result<Box<dyn Surrogate>> {
+    freedom_optimizer::BayesianOptimizer::new(kind, freedom_optimizer::BoConfig::default())
+        .fit_on_trials(trials, objective, seed)
+        .ok_or_else(|| {
+            FreedomError::InsufficientData("too few successful trials to fit a model".into())
+        })
+}
+
+/// Builds the predicted Pareto front from two trained models (§6.1).
+///
+/// `bt`/`bc` are the normalizers observed while optimizing each objective
+/// (the paper: "we use the minimum values observed while optimizing
+/// execution cost and execution time to perform normalization"). At most
+/// `max_options` evenly-spaced front points are returned (the paper
+/// exposes 2–10).
+pub fn predicted_pareto_options(
+    et_model: &dyn Surrogate,
+    ec_model: &dyn Surrogate,
+    space: &SearchSpace,
+    bt: f64,
+    bc: f64,
+    max_options: usize,
+) -> Result<Vec<CostPerfOption>> {
+    if max_options == 0 {
+        return Err(FreedomError::InvalidArgument(
+            "max_options must be at least 1".into(),
+        ));
+    }
+    let mut options = Vec::with_capacity(space.len());
+    let mut normalized: Vec<BiPoint> = Vec::with_capacity(space.len());
+    for config in space.configs() {
+        let features = SearchSpace::encode(config);
+        let t = et_model
+            .predict(&features)
+            .map_err(freedom_optimizer::OptimizerError::Surrogate)?;
+        let c = ec_model
+            .predict(&features)
+            .map_err(freedom_optimizer::OptimizerError::Surrogate)?;
+        options.push(CostPerfOption {
+            config: *config,
+            predicted_time_secs: t.mean,
+            predicted_cost_usd: c.mean,
+        });
+        let bt = if bt > 0.0 { bt } else { 1.0 };
+        let bc = if bc > 0.0 { bc } else { 1.0 };
+        normalized.push((t.mean / bt, c.mean / bc));
+    }
+    let mut front: Vec<CostPerfOption> = pareto_front_indices(&normalized)
+        .into_iter()
+        .map(|i| options[i])
+        .collect();
+    front.sort_by(|a, b| a.predicted_time_secs.total_cmp(&b.predicted_time_secs));
+    front.dedup_by(|a, b| a.config == b.config);
+    if front.len() > max_options {
+        // Keep evenly spaced representatives, always including both ends.
+        let k = max_options;
+        let picked: Vec<CostPerfOption> = (0..k)
+            .map(|i| front[i * (front.len() - 1) / (k - 1).max(1)])
+            .collect();
+        front = picked;
+        front.dedup_by(|a, b| a.config == b.config);
+    }
+    Ok(front)
+}
+
+/// Convenience: run the two optimizations (§6.1 trains two models) and
+/// return the predicted Pareto options for a function.
+pub fn pareto_interface(
+    function: FunctionKind,
+    input: &InputData,
+    kind: SurrogateKind,
+    seed: u64,
+) -> Result<Vec<CostPerfOption>> {
+    let tuner = Autotuner::new(kind);
+    let et = tuner.tune_offline(function, input, Objective::ExecutionTime, seed)?;
+    let ec = tuner.tune_offline(function, input, Objective::ExecutionCost, seed ^ 0x5bd1)?;
+    let et_model = et
+        .model
+        .as_ref()
+        .ok_or_else(|| FreedomError::InsufficientData("ET model missing".into()))?;
+    let ec_model = ec
+        .model
+        .as_ref()
+        .ok_or_else(|| FreedomError::InsufficientData("EC model missing".into()))?;
+    let (bt, _) = et.run.bt_bc();
+    let (_, bc) = ec.run.bt_bc();
+    // Never offer configurations the runs learned are OOM-infeasible.
+    let space = ec
+        .run
+        .apply_slicing(&et.run.apply_slicing(&SearchSpace::table1()));
+    predicted_pareto_options(et_model.as_ref(), ec_model.as_ref(), &space, bt, bc, 10)
+}
+
+/// One weighted-interface option: the best configuration found under a
+/// particular weighting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedOption {
+    /// Weight of execution time in this option's objective.
+    pub wt: f64,
+    /// The offered configuration with its *measured* outcomes (the values
+    /// the optimization observed at its best trial).
+    pub option: CostPerfOption,
+}
+
+/// The weighted multi-objective interface: five pre-trained weightings
+/// `W_t ∈ {0, 0.25, 0.5, 0.75, 1}`, each contributing its best
+/// configuration (§6.1).
+pub fn weighted_interface(
+    function: FunctionKind,
+    input: &InputData,
+    kind: SurrogateKind,
+    seed: u64,
+) -> Result<Vec<WeightedOption>> {
+    let tuner = Autotuner::new(kind);
+    let mut out = Vec::with_capacity(5);
+    for (i, &wt) in [1.0, 0.75, 0.5, 0.25, 0.0].iter().enumerate() {
+        let objective = match wt {
+            w if w == 1.0 => Objective::ExecutionTime,
+            w if w == 0.0 => Objective::ExecutionCost,
+            w => Objective::weighted(w, 1.0 - w)?,
+        };
+        let outcome = tuner.tune_offline(function, input, objective, seed + i as u64)?;
+        let best = outcome.run.best_feasible().ok_or_else(|| {
+            FreedomError::InsufficientData(format!("no feasible trial for wt={wt}"))
+        })?;
+        out.push(WeightedOption {
+            wt,
+            option: CostPerfOption {
+                config: best.config,
+                predicted_time_secs: best.exec_time_secs,
+                predicted_cost_usd: best.exec_cost_usd,
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Outcome of the hierarchical interface (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalOutcome {
+    /// The primary objective that was optimized first.
+    pub primary: Objective,
+    /// The user's degradation budget θ (e.g. 0.2 = 20%).
+    pub theta: f64,
+    /// Best configuration found for the primary objective alone.
+    pub primary_best: CostPerfOption,
+    /// Configuration chosen to minimize the secondary objective within the
+    /// θ-budget on the (predicted) primary objective.
+    pub chosen: CostPerfOption,
+}
+
+/// Hierarchical multi-objective optimization: optimize `primary`, then let
+/// the model trade ≤ θ of it for the best secondary objective.
+///
+/// Only one optimization process runs (the paper's cost argument); the
+/// secondary-objective model is fitted on the same trials at no extra
+/// profiling cost.
+pub fn hierarchical_interface(
+    function: FunctionKind,
+    input: &InputData,
+    primary: Objective,
+    theta: f64,
+    kind: SurrogateKind,
+    seed: u64,
+) -> Result<HierarchicalOutcome> {
+    if !(0.0..=10.0).contains(&theta) {
+        return Err(FreedomError::InvalidArgument(format!(
+            "theta must be in [0, 10], got {theta}"
+        )));
+    }
+    let secondary = match primary {
+        Objective::ExecutionTime => Objective::ExecutionCost,
+        Objective::ExecutionCost => Objective::ExecutionTime,
+        Objective::Weighted { .. } => {
+            return Err(FreedomError::InvalidArgument(
+                "hierarchical primary must be ET or EC".into(),
+            ))
+        }
+    };
+    let tuner = Autotuner::new(kind);
+    let outcome: TuneOutcome = tuner.tune_offline(function, input, primary, seed)?;
+    let best = outcome.run.best_feasible().ok_or_else(|| {
+        FreedomError::InsufficientData("no feasible trial for the primary objective".into())
+    })?;
+    let primary_model = outcome
+        .model
+        .ok_or_else(|| FreedomError::InsufficientData("primary model missing".into()))?;
+    let secondary_model = fit_model(kind, &outcome.run.trials, secondary, seed ^ 0x2545)?;
+
+    let best_primary_value = match primary {
+        Objective::ExecutionTime => best.exec_time_secs,
+        _ => best.exec_cost_usd,
+    };
+    let budget = best_primary_value * (1.0 + theta);
+
+    // Among configurations the model predicts to fit the budget, pick the
+    // best predicted secondary value. Fall back to the primary best.
+    let mut chosen = CostPerfOption {
+        config: best.config,
+        predicted_time_secs: best.exec_time_secs,
+        predicted_cost_usd: best.exec_cost_usd,
+    };
+    let mut best_secondary = f64::INFINITY;
+    // Candidates come from the run-sliced space: configurations at or
+    // below the observed OOM watermark are known-infeasible and must not
+    // be offered, however cheap the model predicts them to be. On top of
+    // that, both objectives are scored by the conservative `mean + std`
+    // bound, so poorly-explored regions (where the watermark may
+    // underestimate the true memory cliff) do not win on wishful
+    // predictions.
+    let candidate_space = outcome.run.apply_slicing(&SearchSpace::table1());
+    for config in candidate_space.configs() {
+        let features = SearchSpace::encode(config);
+        let p_primary = primary_model
+            .predict(&features)
+            .map_err(freedom_optimizer::OptimizerError::Surrogate)?;
+        if p_primary.mean + p_primary.std > budget {
+            continue;
+        }
+        let p_secondary = secondary_model
+            .predict(&features)
+            .map_err(freedom_optimizer::OptimizerError::Surrogate)?;
+        let secondary_ucb = p_secondary.mean + p_secondary.std;
+        if secondary_ucb < best_secondary {
+            best_secondary = secondary_ucb;
+            let (t, c) = match primary {
+                Objective::ExecutionTime => (p_primary.mean, p_secondary.mean),
+                _ => (p_secondary.mean, p_primary.mean),
+            };
+            chosen = CostPerfOption {
+                config: *config,
+                predicted_time_secs: t,
+                predicted_cost_usd: c,
+            };
+        }
+    }
+
+    Ok(HierarchicalOutcome {
+        primary,
+        theta,
+        primary_best: CostPerfOption {
+            config: best.config,
+            predicted_time_secs: best.exec_time_secs,
+            predicted_cost_usd: best.exec_cost_usd,
+        },
+        chosen,
+    })
+}
+
+/// Oracle version of the hierarchical trade-off over ground truth: the
+/// configuration with the best actual secondary objective among those
+/// whose actual primary objective is within θ of the table's best
+/// (Figure 14's "ideal" bars).
+pub fn hierarchical_ideal(
+    table: &PerfTable,
+    primary: Objective,
+    theta: f64,
+) -> Option<CostPerfOption> {
+    let best_primary = match primary {
+        Objective::ExecutionTime => table.best_by_time()?.exec_time_secs,
+        _ => table.best_by_cost()?.exec_cost_usd,
+    };
+    let budget = best_primary * (1.0 + theta);
+    let candidate = table
+        .feasible()
+        .filter(|p| {
+            let v = match primary {
+                Objective::ExecutionTime => p.exec_time_secs,
+                _ => p.exec_cost_usd,
+            };
+            v <= budget
+        })
+        .min_by(|a, b| {
+            let (sa, sb) = match primary {
+                Objective::ExecutionTime => (a.exec_cost_usd, b.exec_cost_usd),
+                _ => (a.exec_time_secs, b.exec_time_secs),
+            };
+            sa.total_cmp(&sb)
+        })?;
+    Some(CostPerfOption {
+        config: candidate.config,
+        predicted_time_secs: candidate.exec_time_secs,
+        predicted_cost_usd: candidate.exec_cost_usd,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_faas::collect_ground_truth;
+
+    #[test]
+    fn pareto_interface_offers_a_small_tradeoff_menu() {
+        let options = pareto_interface(
+            FunctionKind::S3,
+            &FunctionKind::S3.default_input(),
+            SurrogateKind::Gp,
+            3,
+        )
+        .unwrap();
+        assert!(
+            (1..=10).contains(&options.len()),
+            "expected 1-10 options, got {}",
+            options.len()
+        );
+        // Sorted by predicted time; costs trend the other way (trade-off).
+        for w in options.windows(2) {
+            assert!(w[0].predicted_time_secs <= w[1].predicted_time_secs + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_interface_offers_five_options() {
+        let options = weighted_interface(
+            FunctionKind::Faceblur,
+            &FunctionKind::Faceblur.default_input(),
+            SurrogateKind::Gp,
+            1,
+        )
+        .unwrap();
+        assert_eq!(options.len(), 5);
+        let wts: Vec<f64> = options.iter().map(|o| o.wt).collect();
+        assert_eq!(wts, vec![1.0, 0.75, 0.5, 0.25, 0.0]);
+        // The pure-ET option should be roughly the fastest of the menu and
+        // the pure-EC option roughly the cheapest. Each run is a single
+        // seeded 20-trial optimization, so allow optimizer slack.
+        let et = &options[0].option;
+        let ec = &options[4].option;
+        assert!(et.predicted_time_secs <= ec.predicted_time_secs * 1.5);
+        assert!(ec.predicted_cost_usd <= et.predicted_cost_usd * 1.75);
+    }
+
+    #[test]
+    fn hierarchical_trades_primary_for_secondary() {
+        let outcome = hierarchical_interface(
+            FunctionKind::Linpack,
+            &FunctionKind::Linpack.default_input(),
+            Objective::ExecutionTime,
+            0.2,
+            SurrogateKind::Gp,
+            5,
+        )
+        .unwrap();
+        // The chosen configuration should not cost more than the pure-ET
+        // best (that is the whole point of the trade).
+        assert!(
+            outcome.chosen.predicted_cost_usd <= outcome.primary_best.predicted_cost_usd * 1.05,
+            "{} vs {}",
+            outcome.chosen.predicted_cost_usd,
+            outcome.primary_best.predicted_cost_usd
+        );
+        assert_eq!(outcome.theta, 0.2);
+    }
+
+    #[test]
+    fn hierarchical_validates_arguments() {
+        let input = FunctionKind::S3.default_input();
+        assert!(hierarchical_interface(
+            FunctionKind::S3,
+            &input,
+            Objective::ExecutionTime,
+            -1.0,
+            SurrogateKind::Gp,
+            1,
+        )
+        .is_err());
+        assert!(hierarchical_interface(
+            FunctionKind::S3,
+            &input,
+            Objective::Weighted { wt: 0.5, wc: 0.5 },
+            0.2,
+            SurrogateKind::Gp,
+            1,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ideal_hierarchical_respects_the_budget() {
+        let space = SearchSpace::table1();
+        let table = collect_ground_truth(
+            FunctionKind::S3,
+            &FunctionKind::S3.default_input(),
+            space.configs(),
+            3,
+            7,
+        )
+        .unwrap();
+        let best_et = table.best_by_time().unwrap().exec_time_secs;
+        let ideal = hierarchical_ideal(&table, Objective::ExecutionTime, 0.2).unwrap();
+        assert!(ideal.predicted_time_secs <= best_et * 1.2 + 1e-9);
+        // And it is at least as cheap as the raw ET-best configuration.
+        let et_best_cost = table.best_by_time().unwrap().exec_cost_usd;
+        assert!(ideal.predicted_cost_usd <= et_best_cost + 1e-12);
+    }
+
+    #[test]
+    fn pareto_option_cap_is_enforced() {
+        // A synthetic pair of models with a big front: cap at 4.
+        struct Linear {
+            slope_t: f64,
+            slope_c: f64,
+        }
+        impl Surrogate for Linear {
+            fn fit(&mut self, _x: &[Vec<f64>], _y: &[f64]) -> freedom_surrogates::Result<()> {
+                Ok(())
+            }
+            fn predict(
+                &self,
+                p: &[f64],
+            ) -> freedom_surrogates::Result<freedom_surrogates::Prediction> {
+                // Time falls with share, cost rises with share: every share
+                // level is on the front.
+                Ok(freedom_surrogates::Prediction {
+                    mean: 10.0 + self.slope_t * p[0] + self.slope_c * p[1],
+                    std: 0.0,
+                })
+            }
+            fn name(&self) -> &'static str {
+                "linear"
+            }
+        }
+        let et = Linear {
+            slope_t: -2.0,
+            slope_c: 0.0,
+        };
+        let ec = Linear {
+            slope_t: 2.0,
+            slope_c: 0.1,
+        };
+        let options =
+            predicted_pareto_options(&et, &ec, &SearchSpace::table1(), 1.0, 1.0, 4).unwrap();
+        assert!(options.len() <= 4);
+        assert!(options.len() >= 2);
+    }
+}

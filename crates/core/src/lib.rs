@@ -1,0 +1,53 @@
+//! `freedom` — the paper's core contribution as a library.
+//!
+//! *With Great Freedom Comes Great Opportunity* (EuroSys 2023) argues that
+//! serverless platforms should decouple CPU, memory, and instance-type
+//! allocation, and shows how black-box optimization turns the resulting
+//! 288-point configuration space (Table 1) into simple user-facing choices.
+//! This crate assembles the substrates into that system:
+//!
+//! - [`strategies`]: the four §4.1 allocation strategies (Fixed CPU,
+//!   Prop. CPU, Decoupled (m5), Decoupled) with their billing rules;
+//! - [`Autotuner`]: offline and online optimization of a deployed function
+//!   over a live [`freedom_faas::Gateway`] (§5);
+//! - [`interfaces`]: the three §6.1 user interfaces — predicted Pareto
+//!   front, weighted multi-objective, hierarchical multi-objective;
+//! - [`provider`]: the §4.2/§6.2 provider-side machinery — alternative
+//!   instance-type counting (Table 3) and the idle-capacity planner that
+//!   trades ≤θ execution time for spot-priced instance types (Figure 15).
+//!
+//! # Examples
+//!
+//! ```
+//! use freedom::Autotuner;
+//! use freedom_optimizer::Objective;
+//! use freedom_surrogates::SurrogateKind;
+//! use freedom_workloads::FunctionKind;
+//!
+//! // Autotune faceblur's resource configuration for execution time.
+//! let tuner = Autotuner::new(SurrogateKind::Gp);
+//! let outcome = tuner
+//!     .tune_offline(
+//!         FunctionKind::Faceblur,
+//!         &FunctionKind::Faceblur.default_input(),
+//!         Objective::ExecutionTime,
+//!         42,
+//!     )
+//!     .unwrap();
+//! let best = outcome.run.best_feasible().unwrap();
+//! assert!(!best.failed);
+//! ```
+
+mod autotuner;
+mod error;
+pub mod fleet;
+pub mod interfaces;
+pub mod provider;
+pub mod strategies;
+
+pub use autotuner::{Autotuner, GatewayEvaluator, TuneOutcome};
+pub use error::FreedomError;
+pub use strategies::AllocationStrategy;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, FreedomError>;

@@ -1,0 +1,257 @@
+//! Provider-side machinery: alternative instance types and idle capacity.
+//!
+//! §4.2 (Table 3) quantifies how often a *different* instance family can
+//! serve a function within θ% of its best configuration — the prerequisite
+//! for steering load onto whatever capacity is idle. §6.2 (Figure 15)
+//! turns that into money: a planner that places functions on
+//! spot-discounted idle families whenever the model predicts an execution
+//! time within θ of the best found configuration.
+
+use freedom_cluster::InstanceFamily;
+use freedom_faas::PerfTable;
+use freedom_optimizer::eval::{best_predicted_per_family_with, table_normalizers};
+use freedom_optimizer::{Objective, SearchSpace};
+use freedom_pricing::SpotPricing;
+
+use crate::{FreedomError, Result, TuneOutcome};
+
+/// Table 3: the number of *alternative* instance families (excluding the
+/// best configuration's own family) that have at least one feasible
+/// configuration within `theta` (e.g. 0.1 = 10%) of the best objective
+/// value in the table.
+///
+/// Weighted objectives are normalized with the table's own best time/cost
+/// (Eq. 2).
+pub fn alternative_families_within(
+    table: &PerfTable,
+    objective: Objective,
+    theta: f64,
+) -> Result<usize> {
+    if !(0.0..=10.0).contains(&theta) {
+        return Err(FreedomError::InvalidArgument(format!(
+            "theta must be in [0, 10], got {theta}"
+        )));
+    }
+    let (bt, bc) = table_normalizers(table);
+    let value =
+        |p: &freedom_faas::PerfPoint| objective.value_of(p.exec_time_secs, p.exec_cost_usd, bt, bc);
+    let best = table
+        .feasible()
+        .min_by(|a, b| value(a).total_cmp(&value(b)))
+        .ok_or_else(|| FreedomError::InsufficientData("no feasible configuration".into()))?;
+    let best_value = value(best);
+    let budget = best_value * (1.0 + theta);
+    let count = InstanceFamily::SEARCH_SPACE
+        .iter()
+        .filter(|&&family| family != best.config.family())
+        .filter(|&&family| {
+            table
+                .feasible()
+                .any(|p| p.config.family() == family && value(p) <= budget)
+        })
+        .count();
+    Ok(count)
+}
+
+/// Planner settings for §6.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Allowed predicted execution-time degradation (paper: 0.10).
+    pub theta: f64,
+    /// Spot pricing applied to idle families (paper: 20% of list price).
+    pub spot: SpotPricing,
+    /// Risk aversion: candidates are scored by `mean + beta·std`, so
+    /// high-uncertainty extrapolations fail the guardrail instead of
+    /// surprising production traffic.
+    pub beta: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            theta: 0.10,
+            spot: SpotPricing::PAPER_DEFAULT,
+            beta: 1.0,
+        }
+    }
+}
+
+/// One family's planned placement, normalized against the best found
+/// configuration (Figure 15's y-axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedPlacement {
+    /// Idle family considered.
+    pub family: InstanceFamily,
+    /// The model's best-predicted configuration on that family.
+    pub config: freedom_faas::ResourceConfig,
+    /// Whether the prediction passed the θ execution-time guardrail.
+    pub accepted: bool,
+    /// Actual execution time ÷ best-found execution time.
+    pub norm_exec_time: f64,
+    /// Spot-discounted actual cost ÷ best-found (undiscounted) cost.
+    pub norm_spot_cost: f64,
+}
+
+/// The §6.2 idle-capacity planner.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IdleCapacityPlanner {
+    config: PlannerConfig,
+}
+
+impl IdleCapacityPlanner {
+    /// Creates a planner.
+    pub fn new(config: PlannerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The planner's settings.
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
+
+    /// Plans placements for every instance family using an execution-time
+    /// tuning outcome and the ground-truth table (to score the decisions).
+    ///
+    /// The planner only sees the model and the best-found trial; the table
+    /// supplies the *actual* outcomes the experiment reports.
+    pub fn plan(
+        &self,
+        outcome: &TuneOutcome,
+        table: &PerfTable,
+        space: &SearchSpace,
+    ) -> Result<Vec<PlannedPlacement>> {
+        let model = outcome
+            .model
+            .as_ref()
+            .ok_or_else(|| FreedomError::InsufficientData("no fitted model".into()))?;
+        let best = outcome
+            .run
+            .best_feasible()
+            .ok_or_else(|| FreedomError::InsufficientData("no feasible trial".into()))?;
+        let best_point = table
+            .lookup(&best.config)
+            .ok_or_else(|| FreedomError::InsufficientData("best config missing in table".into()))?;
+        let base_time = best_point.exec_time_secs;
+        let base_cost = best_point.exec_cost_usd;
+        if !(base_time > 0.0) || !(base_cost > 0.0) {
+            return Err(FreedomError::InsufficientData(
+                "degenerate best configuration metrics".into(),
+            ));
+        }
+
+        let per_family = best_predicted_per_family_with(
+            model.as_ref(),
+            space,
+            table,
+            Objective::ExecutionTime,
+            self.config.beta,
+        )?;
+        let budget = base_time * (1.0 + self.config.theta);
+        let mut out = Vec::with_capacity(per_family.len());
+        for fb in per_family {
+            let point = table
+                .lookup(&fb.config)
+                .ok_or_else(|| FreedomError::InsufficientData("config missing in table".into()))?;
+            out.push(PlannedPlacement {
+                family: fb.family,
+                config: fb.config,
+                accepted: fb.predicted <= budget,
+                norm_exec_time: point.exec_time_secs / base_time,
+                norm_spot_cost: point.exec_cost_usd * self.config.spot.fraction / base_cost,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Autotuner;
+    use freedom_faas::collect_ground_truth;
+    use freedom_optimizer::Objective;
+    use freedom_surrogates::SurrogateKind;
+    use freedom_workloads::FunctionKind;
+
+    fn table_for(kind: FunctionKind, seed: u64) -> PerfTable {
+        collect_ground_truth(
+            kind,
+            &kind.default_input(),
+            SearchSpace::table1().configs(),
+            3,
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alternative_counts_grow_with_theta() {
+        let table = table_for(FunctionKind::Faceblur, 1);
+        let tight = alternative_families_within(&table, Objective::ExecutionTime, 0.05).unwrap();
+        let loose = alternative_families_within(&table, Objective::ExecutionTime, 0.20).unwrap();
+        assert!(tight <= loose);
+        assert!(loose <= 5, "at most five alternatives exist");
+    }
+
+    #[test]
+    fn network_bound_function_has_many_alternatives() {
+        // s3 barely cares about the family: nearly every family has a
+        // configuration within 10% of the best execution time.
+        let table = table_for(FunctionKind::S3, 2);
+        let n = alternative_families_within(&table, Objective::ExecutionTime, 0.10).unwrap();
+        assert!(n >= 4, "s3 should have ≥4 alternatives, got {n}");
+    }
+
+    #[test]
+    fn arch_bound_function_has_few_cheap_alternatives() {
+        // transcode's Intel affinity means few families reach within 5%
+        // of its best execution time.
+        let table = table_for(FunctionKind::Transcode, 3);
+        let n = alternative_families_within(&table, Objective::ExecutionTime, 0.05).unwrap();
+        assert!(
+            n <= 2,
+            "transcode should have ≤2 close alternatives, got {n}"
+        );
+    }
+
+    #[test]
+    fn theta_validation() {
+        let table = table_for(FunctionKind::S3, 4);
+        assert!(alternative_families_within(&table, Objective::ExecutionTime, -0.1).is_err());
+    }
+
+    #[test]
+    fn planner_produces_discounted_placements() {
+        let kind = FunctionKind::Faceblur;
+        let table = table_for(kind, 5);
+        let outcome = Autotuner::new(SurrogateKind::Gp)
+            .tune_offline(kind, &kind.default_input(), Objective::ExecutionTime, 5)
+            .unwrap();
+        let planner = IdleCapacityPlanner::default();
+        let placements = planner
+            .plan(&outcome, &table, &SearchSpace::table1())
+            .unwrap();
+        assert_eq!(placements.len(), 6, "one placement per family");
+        let accepted: Vec<_> = placements.iter().filter(|p| p.accepted).collect();
+        assert!(!accepted.is_empty(), "some family must pass the guardrail");
+        for p in &accepted {
+            // Spot discount should push most accepted placements below the
+            // best configuration's cost.
+            assert!(p.norm_spot_cost < 1.0, "{:?}", p);
+            // Actual time can exceed the guardrail due to prediction error,
+            // but not absurdly.
+            assert!(p.norm_exec_time < 2.5, "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn planner_config_is_visible() {
+        let planner = IdleCapacityPlanner::new(PlannerConfig {
+            theta: 0.25,
+            spot: SpotPricing { fraction: 0.5 },
+            beta: 0.5,
+        });
+        assert_eq!(planner.config().theta, 0.25);
+        assert_eq!(planner.config().spot.fraction, 0.5);
+    }
+}

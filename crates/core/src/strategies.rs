@@ -1,0 +1,269 @@
+//! The four resource-allocation strategies of §4.1 (Figure 2).
+//!
+//! Each strategy is a subset of the full configuration space plus a
+//! billing rule:
+//!
+//! | Strategy        | CPU share        | Memory       | Family | Billing |
+//! |-----------------|------------------|--------------|--------|---------|
+//! | Fixed CPU       | 1 vCPU, fixed    | any level    | m5     | 1 vCPU + *actual consumption* (Azure-style) |
+//! | Prop. CPU       | `mem / 1769 MB`  | any level    | m5     | allocated share + limit (AWS/GCP-style) |
+//! | Decoupled (m5)  | any level        | any level    | m5     | allocated share + limit |
+//! | Decoupled       | any level        | any level    | any    | allocated share + limit |
+
+use freedom_cluster::InstanceFamily;
+use freedom_faas::{collect_ground_truth, PerfTable, ResourceConfig};
+use freedom_optimizer::{SearchSpace, MEMORY_MIB};
+use freedom_pricing::CostModel;
+use freedom_workloads::{FunctionKind, InputData};
+
+use crate::{FreedomError, Result};
+
+/// AWS Lambda's memory-to-vCPU proportionality constant: one full vCPU at
+/// 1769 MB.
+pub const LAMBDA_MB_PER_VCPU: f64 = 1769.0;
+
+/// A resource-allocation strategy (an increasing level of flexibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AllocationStrategy {
+    /// One fixed vCPU, memory billed by actual consumption (Azure-like).
+    FixedCpu,
+    /// CPU share proportional to the memory limit (AWS/GCP-like).
+    PropCpu,
+    /// Decoupled CPU and memory on the default m5 family.
+    DecoupledM5,
+    /// Fully decoupled: CPU, memory, and instance family (Table 1).
+    Decoupled,
+}
+
+impl AllocationStrategy {
+    /// All four strategies, from most to least restrictive.
+    pub const ALL: [AllocationStrategy; 4] = [
+        AllocationStrategy::FixedCpu,
+        AllocationStrategy::PropCpu,
+        AllocationStrategy::DecoupledM5,
+        AllocationStrategy::Decoupled,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::FixedCpu => "Fixed CPU",
+            Self::PropCpu => "Prop. CPU",
+            Self::DecoupledM5 => "Decoupled (m5)",
+            Self::Decoupled => "Decoupled",
+        }
+    }
+
+    /// The strategy's configuration search space.
+    pub fn search_space(self) -> SearchSpace {
+        match self {
+            Self::FixedCpu => SearchSpace::custom(&[1.0], &MEMORY_MIB, &[InstanceFamily::M5]),
+            Self::PropCpu => {
+                // The platform quantizes shares to the Table 1 levels (the
+                // paper's Figure 3 normalizes every strategy against
+                // Decoupled "since its search space includes all others",
+                // which requires Prop. CPU ⊆ Decoupled). Snap the Lambda
+                // proportionality to the nearest grid share.
+                let configs = MEMORY_MIB
+                    .iter()
+                    .filter_map(|&mem| {
+                        let exact = mem as f64 / LAMBDA_MB_PER_VCPU;
+                        let snapped = freedom_optimizer::CPU_SHARES
+                            .iter()
+                            .copied()
+                            .min_by(|a, b| (a - exact).abs().total_cmp(&(b - exact).abs()))
+                            .expect("share grid is non-empty");
+                        ResourceConfig::new(InstanceFamily::M5, snapped, mem)
+                    })
+                    .collect();
+                SearchSpace::from_configs(configs)
+            }
+            Self::DecoupledM5 => SearchSpace::decoupled_m5(),
+            Self::Decoupled => SearchSpace::table1(),
+        }
+    }
+
+    /// Whether the strategy bills memory by actual consumption rather than
+    /// the configured limit (Azure Functions' model).
+    pub fn bills_actual_consumption(self) -> bool {
+        matches!(self, Self::FixedCpu)
+    }
+}
+
+impl std::fmt::Display for AllocationStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The best achievable metrics within one strategy's space (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyBest {
+    /// Strategy evaluated.
+    pub strategy: AllocationStrategy,
+    /// Best (minimum) execution time in the space, seconds.
+    pub best_exec_time_secs: f64,
+    /// Best (minimum) execution cost in the space, USD, under the
+    /// strategy's billing rule.
+    pub best_exec_cost_usd: f64,
+}
+
+/// Measures a strategy's best execution time and cost for one function and
+/// input, sweeping its space with `reps` repetitions.
+///
+/// For [`AllocationStrategy::FixedCpu`] the cost of each configuration is
+/// recomputed from the measured peak memory (consumption billing); other
+/// strategies bill the configured limit, as the platform meters.
+pub fn best_within_strategy(
+    strategy: AllocationStrategy,
+    function: FunctionKind,
+    input: &InputData,
+    reps: usize,
+    seed: u64,
+) -> Result<StrategyBest> {
+    let space = strategy.search_space();
+    let table = collect_ground_truth(function, input, space.configs(), reps, seed)?;
+    best_from_table(strategy, &table)
+}
+
+/// Like [`best_within_strategy`], over an already-collected table.
+pub fn best_from_table(strategy: AllocationStrategy, table: &PerfTable) -> Result<StrategyBest> {
+    let best_time = table
+        .best_by_time()
+        .ok_or_else(|| no_feasible(strategy, table))?;
+    let best_cost_limit_billed = table
+        .best_by_cost()
+        .ok_or_else(|| no_feasible(strategy, table))?;
+
+    let best_exec_cost_usd = if strategy.bills_actual_consumption() {
+        let model = CostModel::aws()?;
+        let mut best = f64::INFINITY;
+        for p in table.feasible() {
+            // Azure-style: bill the fixed vCPU plus *measured* memory.
+            let billed_mem = p.peak_mem_mib.unwrap_or(p.config.memory_mib());
+            let cost = model.execution_cost(
+                p.config.family(),
+                p.config.cpu_share(),
+                billed_mem.max(1),
+                p.exec_time_secs,
+            )?;
+            best = best.min(cost);
+        }
+        best
+    } else {
+        best_cost_limit_billed.exec_cost_usd
+    };
+
+    Ok(StrategyBest {
+        strategy,
+        best_exec_time_secs: best_time.exec_time_secs,
+        best_exec_cost_usd,
+    })
+}
+
+fn no_feasible(strategy: AllocationStrategy, table: &PerfTable) -> FreedomError {
+    FreedomError::InsufficientData(format!(
+        "no feasible configuration for {} under {strategy}",
+        table.function
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaces_have_expected_sizes() {
+        assert_eq!(AllocationStrategy::FixedCpu.search_space().len(), 6);
+        assert_eq!(AllocationStrategy::PropCpu.search_space().len(), 6);
+        assert_eq!(AllocationStrategy::DecoupledM5.search_space().len(), 48);
+        assert_eq!(AllocationStrategy::Decoupled.search_space().len(), 288);
+    }
+
+    #[test]
+    fn strategy_spaces_nest_by_flexibility() {
+        // Decoupled ⊇ Decoupled(m5) ⊇ {Fixed CPU}. (Prop. CPU's shares are
+        // off-grid, so it is a subset of the m5 *plane*, not of the grid.)
+        let decoupled = AllocationStrategy::Decoupled.search_space();
+        let m5 = AllocationStrategy::DecoupledM5.search_space();
+        for c in m5.configs() {
+            assert!(decoupled.contains(c));
+        }
+        for c in AllocationStrategy::FixedCpu.search_space().configs() {
+            assert!(m5.contains(c));
+        }
+        for c in AllocationStrategy::PropCpu.search_space().configs() {
+            assert_eq!(c.family(), InstanceFamily::M5);
+            // Snapped to the nearest grid share (the grid floor of 0.25
+            // clamps the smallest memory levels).
+            let exact = c.memory_mib() as f64 / LAMBDA_MB_PER_VCPU;
+            let nearest = freedom_optimizer::CPU_SHARES
+                .iter()
+                .copied()
+                .min_by(|a, b| (a - exact).abs().total_cmp(&(b - exact).abs()))
+                .unwrap();
+            assert_eq!(c.cpu_share(), nearest);
+            // And inside the Decoupled superset, as Figure 3 requires.
+            assert!(decoupled.contains(c), "{c} escapes Decoupled");
+        }
+    }
+
+    #[test]
+    fn decoupled_wins_on_both_metrics() {
+        // Figure 3: the fully decoupled space contains every other space's
+        // best, so its best ET and EC are ≤ everyone else's.
+        let kind = FunctionKind::Faceblur;
+        let input = kind.default_input();
+        let bests: Vec<StrategyBest> = AllocationStrategy::ALL
+            .iter()
+            .map(|&s| best_within_strategy(s, kind, &input, 3, 9).unwrap())
+            .collect();
+        let decoupled = bests
+            .iter()
+            .find(|b| b.strategy == AllocationStrategy::Decoupled)
+            .unwrap();
+        for b in &bests {
+            assert!(
+                decoupled.best_exec_time_secs <= b.best_exec_time_secs * 1.02,
+                "{}: {} vs {}",
+                b.strategy,
+                decoupled.best_exec_time_secs,
+                b.best_exec_time_secs
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_cpu_hurts_parallel_functions() {
+        // The paper: Fixed CPU leads to ~2-3x higher ET for transcode.
+        let kind = FunctionKind::Transcode;
+        let input = kind.default_input();
+        let fixed = best_within_strategy(AllocationStrategy::FixedCpu, kind, &input, 3, 1).unwrap();
+        let decoupled =
+            best_within_strategy(AllocationStrategy::Decoupled, kind, &input, 3, 1).unwrap();
+        let ratio = fixed.best_exec_time_secs / decoupled.best_exec_time_secs;
+        assert!(ratio > 1.8, "expected ≥1.8x penalty, got {ratio}");
+    }
+
+    #[test]
+    fn decoupling_cpu_from_memory_cuts_cost() {
+        // Figure 3b: Decoupled (m5) reaches 10-50% better EC than Prop. CPU.
+        let kind = FunctionKind::Linpack;
+        let input = kind.default_input();
+        let prop = best_within_strategy(AllocationStrategy::PropCpu, kind, &input, 3, 2).unwrap();
+        let m5 = best_within_strategy(AllocationStrategy::DecoupledM5, kind, &input, 3, 2).unwrap();
+        assert!(
+            m5.best_exec_cost_usd < prop.best_exec_cost_usd,
+            "{} vs {}",
+            m5.best_exec_cost_usd,
+            prop.best_exec_cost_usd
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AllocationStrategy::FixedCpu.to_string(), "Fixed CPU");
+        assert_eq!(AllocationStrategy::Decoupled.to_string(), "Decoupled");
+        assert_eq!(AllocationStrategy::ALL.len(), 4);
+    }
+}

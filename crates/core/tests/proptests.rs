@@ -1,0 +1,111 @@
+//! Property-based tests for the framework-level invariants.
+
+use freedom::interfaces::hierarchical_ideal;
+use freedom::provider::alternative_families_within;
+use freedom::strategies::AllocationStrategy;
+use freedom_faas::{collect_ground_truth, PerfTable};
+use freedom_optimizer::{Objective, SearchSpace};
+use freedom_workloads::FunctionKind;
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = FunctionKind> {
+    prop::sample::select(FunctionKind::ALL.to_vec())
+}
+
+fn table_for(kind: FunctionKind, seed: u64) -> PerfTable {
+    collect_ground_truth(
+        kind,
+        &kind.default_input(),
+        SearchSpace::table1().configs(),
+        1,
+        seed,
+    )
+    .expect("sweep succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn strategy_spaces_nest_inside_decoupled(_x in 0u8..1) {
+        let decoupled = AllocationStrategy::Decoupled.search_space();
+        for strategy in [
+            AllocationStrategy::FixedCpu,
+            AllocationStrategy::PropCpu,
+            AllocationStrategy::DecoupledM5,
+        ] {
+            for config in strategy.search_space().configs() {
+                prop_assert!(decoupled.contains(config), "{strategy}: {config}");
+            }
+        }
+    }
+
+    #[test]
+    fn alternative_counts_are_monotone_in_theta(
+        kind in any_kind(),
+        seed in 0u64..50,
+        lo_pct in 1u32..15,
+        delta_pct in 1u32..20,
+    ) {
+        let table = table_for(kind, seed);
+        let lo = lo_pct as f64 / 100.0;
+        let hi = lo + delta_pct as f64 / 100.0;
+        for objective in [Objective::ExecutionTime, Objective::ExecutionCost] {
+            let at_lo = alternative_families_within(&table, objective, lo).unwrap();
+            let at_hi = alternative_families_within(&table, objective, hi).unwrap();
+            prop_assert!(at_lo <= at_hi, "{kind}/{objective}: {at_lo} > {at_hi}");
+            prop_assert!(at_hi <= 5);
+        }
+    }
+
+    #[test]
+    fn hierarchical_ideal_respects_any_budget(
+        kind in any_kind(),
+        seed in 0u64..50,
+        theta_pct in 0u32..100,
+    ) {
+        let table = table_for(kind, seed);
+        let theta = theta_pct as f64 / 100.0;
+        for primary in [Objective::ExecutionTime, Objective::ExecutionCost] {
+            let Some(ideal) = hierarchical_ideal(&table, primary, theta) else {
+                // Only possible when nothing is feasible; our tables always
+                // have feasible points.
+                prop_assert!(false, "no ideal for {kind}");
+                return Ok(());
+            };
+            let (best_primary, ideal_primary, best_secondary, ideal_secondary) = match primary {
+                Objective::ExecutionTime => (
+                    table.best_by_time().unwrap().exec_time_secs,
+                    ideal.predicted_time_secs,
+                    table.best_by_time().unwrap().exec_cost_usd,
+                    ideal.predicted_cost_usd,
+                ),
+                _ => (
+                    table.best_by_cost().unwrap().exec_cost_usd,
+                    ideal.predicted_cost_usd,
+                    table.best_by_cost().unwrap().exec_time_secs,
+                    ideal.predicted_time_secs,
+                ),
+            };
+            // Budget respected...
+            prop_assert!(ideal_primary <= best_primary * (1.0 + theta) + 1e-12);
+            // ...and the trade never worsens the secondary vs the
+            // primary-optimal configuration.
+            prop_assert!(ideal_secondary <= best_secondary + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bigger_budgets_never_hurt_the_ideal_secondary(
+        kind in any_kind(),
+        seed in 0u64..50,
+        theta_pct in 0u32..50,
+    ) {
+        let table = table_for(kind, seed);
+        let lo = theta_pct as f64 / 100.0;
+        let hi = lo + 0.25;
+        let a = hierarchical_ideal(&table, Objective::ExecutionTime, lo).unwrap();
+        let b = hierarchical_ideal(&table, Objective::ExecutionTime, hi).unwrap();
+        prop_assert!(b.predicted_cost_usd <= a.predicted_cost_usd + 1e-15);
+    }
+}

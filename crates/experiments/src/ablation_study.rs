@@ -1,0 +1,297 @@
+//! Ablation study of the optimizer design choices (DESIGN.md §6).
+//!
+//! The paper motivates §5.1's search-space slicing by noting that penalty
+//! values "created a non-smooth underlying function, which affects the
+//! quality of the optimization". This experiment quantifies that and the
+//! other knobs on our substrate:
+//!
+//! - failure handling: slicing vs. large-penalty;
+//! - initial random samples: 1 / 3 (paper default) / 5;
+//! - measurement noise σ: 0 / 3% / 10%;
+//! - EI exploration ξ: 0.001 / 0.01 (default) / 0.1.
+//!
+//! Quality is the best-found execution time after the budget, normalized
+//! to the space optimum, plus the number of failed (wasted) trials.
+
+use freedom::GatewayEvaluator;
+use freedom_faas::{FunctionSpec, Gateway};
+use freedom_linalg::stats;
+use freedom_optimizer::{
+    BayesianOptimizer, BoConfig, FailureHandling, Objective, SearchSpace, TableEvaluator,
+};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// One ablation setting's aggregate quality.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Knob group, e.g. `"failure"`.
+    pub group: &'static str,
+    /// Setting label, e.g. `"slice"`.
+    pub setting: String,
+    /// Mean normalized best-found ET (1.0 = space optimum).
+    pub mean_norm_best: f64,
+    /// 95% CI half-width of the normalized best.
+    pub ci: f64,
+    /// Mean failed trials per run.
+    pub mean_failures: f64,
+}
+
+/// The full ablation dataset.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// All rows, grouped by knob.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationResult {
+    /// Looks up one setting's row.
+    pub fn row(&self, group: &str, setting: &str) -> Option<&AblationRow> {
+        self.rows
+            .iter()
+            .find(|r| r.group == group && r.setting == setting)
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "knob",
+            "setting",
+            "norm. best ET",
+            "ci95",
+            "failed trials",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.group.to_string(),
+                r.setting.clone(),
+                fmt_f(r.mean_norm_best, 3),
+                fmt_f(r.ci, 3),
+                fmt_f(r.mean_failures, 1),
+            ]);
+        }
+        format!(
+            "Ablation study (transcode, ET objective; DESIGN.md §6)\n{}",
+            t.render()
+        )
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec!["knob", "setting", "norm_best", "ci95", "failures"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.group.to_string(),
+                r.setting.clone(),
+                r.mean_norm_best.to_string(),
+                r.ci.to_string(),
+                r.mean_failures.to_string(),
+            ]);
+        }
+        t.write_csv("ablation_study.csv")
+    }
+}
+
+/// transcode exercises every knob: it OOMs at small memory (slicing), is
+/// parallel (a real optimum to find), and arch-sensitive.
+const FUNCTION: FunctionKind = FunctionKind::Transcode;
+
+fn table_runs(
+    opts: &ExperimentOpts,
+    optimum: f64,
+    table: &freedom_faas::PerfTable,
+    config_of: impl Fn(u64) -> BoConfig,
+) -> freedom::Result<(f64, f64, f64)> {
+    let space = SearchSpace::table1();
+    let mut bests = Vec::with_capacity(opts.opt_repeats);
+    let mut failures = Vec::with_capacity(opts.opt_repeats);
+    for rep in 0..opts.opt_repeats {
+        let mut evaluator = TableEvaluator::new(table);
+        let run = BayesianOptimizer::new(SurrogateKind::Gp, config_of(opts.repeat_seed(rep)))
+            .optimize(&space, &mut evaluator, Objective::ExecutionTime)?;
+        if let Some(best) = run.best_value() {
+            bests.push(best / optimum);
+        }
+        failures.push(run.failures() as f64);
+    }
+    Ok((
+        stats::mean(&bests).unwrap_or(f64::NAN),
+        stats::ci95_half_width(&bests).unwrap_or(0.0),
+        stats::mean(&failures).unwrap_or(0.0),
+    ))
+}
+
+fn noisy_gateway_runs(
+    opts: &ExperimentOpts,
+    optimum: f64,
+    sigma: f64,
+) -> freedom::Result<(f64, f64, f64)> {
+    let space = SearchSpace::table1();
+    let mut bests = Vec::with_capacity(opts.opt_repeats);
+    let mut failures = Vec::with_capacity(opts.opt_repeats);
+    for rep in 0..opts.opt_repeats {
+        let seed = opts.repeat_seed(rep);
+        let mut gateway = Gateway::new(seed)?;
+        gateway.set_noise_sigma(sigma);
+        gateway.deploy(
+            FunctionSpec::new(FUNCTION.name(), FUNCTION),
+            space.configs()[0],
+        )?;
+        let mut evaluator =
+            GatewayEvaluator::new(gateway, FUNCTION.name(), FUNCTION.default_input(), 1);
+        let run = BayesianOptimizer::new(
+            SurrogateKind::Gp,
+            BoConfig {
+                seed,
+                budget: opts.budget,
+                ..BoConfig::default()
+            },
+        )
+        .optimize(&space, &mut evaluator, Objective::ExecutionTime)?;
+        if let Some(best) = run.best_value() {
+            bests.push(best / optimum);
+        }
+        failures.push(run.failures() as f64);
+    }
+    Ok((
+        stats::mean(&bests).unwrap_or(f64::NAN),
+        stats::ci95_half_width(&bests).unwrap_or(0.0),
+        stats::mean(&failures).unwrap_or(0.0),
+    ))
+}
+
+/// Runs the ablation study.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<AblationResult> {
+    let table = ground_truth_default(FUNCTION, opts)?;
+    let optimum = table
+        .best_by_time()
+        .map(|p| p.exec_time_secs)
+        .ok_or_else(|| freedom::FreedomError::InsufficientData("no feasible config".into()))?;
+    let mut rows = Vec::new();
+
+    // Knob 1: failure handling.
+    for (setting, handling) in [
+        ("slice", FailureHandling::Slice),
+        ("penalty_1000", FailureHandling::Penalty(1000.0)),
+    ] {
+        let (mean, ci, fails) = table_runs(opts, optimum, &table, |seed| BoConfig {
+            failure_handling: handling,
+            seed,
+            budget: opts.budget,
+            ..BoConfig::default()
+        })?;
+        rows.push(AblationRow {
+            group: "failure",
+            setting: setting.to_string(),
+            mean_norm_best: mean,
+            ci,
+            mean_failures: fails,
+        });
+    }
+
+    // Knob 2: initial samples.
+    for n_initial in [1usize, 3, 5] {
+        let (mean, ci, fails) = table_runs(opts, optimum, &table, |seed| BoConfig {
+            n_initial,
+            seed,
+            budget: opts.budget,
+            ..BoConfig::default()
+        })?;
+        rows.push(AblationRow {
+            group: "init_samples",
+            setting: n_initial.to_string(),
+            mean_norm_best: mean,
+            ci,
+            mean_failures: fails,
+        });
+    }
+
+    // Knob 3: measurement noise (live gateway, single-invocation trials).
+    for sigma_pct in [0u32, 3, 10] {
+        let (mean, ci, fails) = noisy_gateway_runs(opts, optimum, sigma_pct as f64 / 100.0)?;
+        rows.push(AblationRow {
+            group: "noise_sigma",
+            setting: format!("{sigma_pct}%"),
+            mean_norm_best: mean,
+            ci,
+            mean_failures: fails,
+        });
+    }
+
+    // Knob 4: EI exploration.
+    for xi in [0.001, 0.01, 0.1] {
+        let (mean, ci, fails) = table_runs(opts, optimum, &table, |seed| BoConfig {
+            xi,
+            seed,
+            budget: opts.budget,
+            ..BoConfig::default()
+        })?;
+        rows.push(AblationRow {
+            group: "xi",
+            setting: xi.to_string(),
+            mean_norm_best: mean,
+            ci,
+            mean_failures: fails,
+        });
+    }
+
+    // Knob 5: acquisition function.
+    for (setting, acquisition) in [
+        ("EI", freedom_optimizer::Acquisition::ExpectedImprovement),
+        (
+            "LCB_1.96",
+            freedom_optimizer::Acquisition::LowerConfidenceBound { kappa: 1.96 },
+        ),
+    ] {
+        let (mean, ci, fails) = table_runs(opts, optimum, &table, |seed| BoConfig {
+            acquisition,
+            seed,
+            budget: opts.budget,
+            ..BoConfig::default()
+        })?;
+        rows.push(AblationRow {
+            group: "acquisition",
+            setting: setting.to_string(),
+            mean_norm_best: mean,
+            ci,
+            mean_failures: fails,
+        });
+    }
+
+    Ok(AblationResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_setting_produces_sane_quality() {
+        let result = run(&ExperimentOpts::fast()).unwrap();
+        assert_eq!(result.rows.len(), 2 + 3 + 3 + 3 + 2);
+        for r in &result.rows {
+            assert!(
+                r.mean_norm_best >= 1.0 - 1e-9,
+                "{}-{}: {}",
+                r.group,
+                r.setting,
+                r.mean_norm_best
+            );
+            assert!(
+                r.mean_norm_best < 3.0,
+                "{}-{}: {}",
+                r.group,
+                r.setting,
+                r.mean_norm_best
+            );
+            assert!(r.mean_failures >= 0.0);
+        }
+        // Slicing exists in both modes; the table has the rows we promise.
+        assert!(result.row("failure", "slice").is_some());
+        assert!(result.row("failure", "penalty_1000").is_some());
+        assert!(result.render().contains("Ablation"));
+    }
+}

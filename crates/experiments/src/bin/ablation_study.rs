@@ -1,0 +1,12 @@
+//! Runs the DESIGN.md §6 ablation study (quality side; timing lives in
+//! the `ablations` Criterion bench).
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result = freedom_experiments::ablation_study::run(&opts).expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

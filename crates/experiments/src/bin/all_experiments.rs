@@ -1,0 +1,74 @@
+//! Runs every experiment in paper order and writes all CSV artifacts.
+//!
+//! Pass `--fast` for a quick smoke run; default settings mirror the paper
+//! (5 ground-truth repetitions, 10 optimization repeats, 20-trial budget).
+
+use freedom_experiments as exp;
+use freedom_optimizer::Objective;
+
+fn main() {
+    let opts = exp::ExperimentOpts::from_args();
+    println!("== running all experiments with {opts:?} ==\n");
+
+    let fig01 = exp::fig01_config_spread::run(&opts).expect("fig01");
+    println!("{}", fig01.render());
+    let _ = fig01.write_csv();
+
+    let fig03 = exp::fig03_strategies::run(&opts).expect("fig03");
+    println!("{}", fig03.render());
+    let _ = fig03.write_csv();
+
+    let table3 = exp::table3_alternatives::run(&opts).expect("table3");
+    println!("{}", table3.render());
+    let _ = table3.write_csv();
+
+    let fig04 = exp::fig04_sampling_vs_bo::run(&opts).expect("fig04");
+    println!("{}", fig04.render());
+    let _ = fig04.write_csv();
+
+    let fig05 = exp::fig05_convergence::run(&opts, Objective::ExecutionTime).expect("fig05");
+    println!("{}", fig05.render());
+    let _ = fig05.write_csv();
+
+    let fig06 = exp::fig05_convergence::run(&opts, Objective::ExecutionCost).expect("fig06");
+    println!("{}", fig06.render());
+    let _ = fig06.write_csv();
+
+    let fig07 = exp::fig07_input_specific::run(&opts).expect("fig07");
+    println!("{}", fig07.render());
+    let _ = fig07.write_csv();
+
+    let fig08 = exp::fig08_online_violations::run(&opts).expect("fig08");
+    println!("{}", fig08.render());
+    let _ = fig08.write_csv();
+
+    let fig09 = exp::fig09_mape::run(&opts, exp::fig09_mape::Scenario::WholeSpace).expect("fig09");
+    println!("{}", fig09.render());
+    let _ = fig09.write_csv();
+
+    let fig10 =
+        exp::fig09_mape::run(&opts, exp::fig09_mape::Scenario::PerFamilyBest).expect("fig10");
+    println!("{}", fig10.render());
+    let _ = fig10.write_csv();
+
+    let fig12 = exp::fig12_pareto_distance::run(&opts).expect("fig12");
+    println!("{}", fig12.render());
+    let _ = fig12.write_csv();
+
+    let fig13 = exp::fig13_weighted_mo::run(&opts).expect("fig13");
+    println!("{}", fig13.render());
+    let _ = fig13.write_csv();
+
+    let fig14 = exp::fig14_hierarchical::run(&opts).expect("fig14");
+    println!("{}", fig14.render());
+    let _ = fig14.write_csv();
+
+    let fig15 = exp::fig15_provider_savings::run(&opts).expect("fig15");
+    println!("{}", fig15.render());
+    let _ = fig15.write_csv();
+
+    println!(
+        "== all experiments complete; CSVs in {} ==",
+        exp::report::results_dir().display()
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 1 (configuration-space ET/EC spread).
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result = freedom_experiments::fig01_config_spread::run(&opts).expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

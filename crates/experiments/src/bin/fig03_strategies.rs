@@ -1,0 +1,11 @@
+//! Regenerates Figure 3 (best ET/EC per allocation strategy).
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result = freedom_experiments::fig03_strategies::run(&opts).expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

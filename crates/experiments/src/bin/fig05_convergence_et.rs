@@ -1,0 +1,14 @@
+//! Regenerates Figure 5 (execution-time convergence of the BO variants).
+
+use freedom_optimizer::Objective;
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result = freedom_experiments::fig05_convergence::run(&opts, Objective::ExecutionTime)
+        .expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7 (generic vs data-specific vs ideal per input).
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result = freedom_experiments::fig07_input_specific::run(&opts).expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

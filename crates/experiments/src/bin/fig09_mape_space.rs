@@ -1,0 +1,13 @@
+//! Regenerates Figure 9 (MAPE over the whole space per BO variant).
+
+use freedom_experiments::fig09_mape::{run, Scenario};
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result = run(&opts, Scenario::WholeSpace).expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 12 (predicted-vs-actual Pareto-front distance).
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result = freedom_experiments::fig12_pareto_distance::run(&opts).expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 15 (provider savings from idle instance types).
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result =
+        freedom_experiments::fig15_provider_savings::run(&opts).expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

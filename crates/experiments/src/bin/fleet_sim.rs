@@ -1,0 +1,11 @@
+//! Runs the fleet-level provider simulation (extension of Figure 15).
+
+fn main() {
+    let opts = freedom_experiments::ExperimentOpts::from_args();
+    let result = freedom_experiments::fleet_simulation::run(&opts).expect("experiment failed");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

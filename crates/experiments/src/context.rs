@@ -1,0 +1,139 @@
+//! Shared experiment configuration and ground-truth collection.
+
+use freedom_faas::{collect_ground_truth, PerfTable};
+use freedom_optimizer::SearchSpace;
+use freedom_workloads::{FunctionKind, InputData};
+
+/// Knobs shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentOpts {
+    /// Repetitions per configuration in ground-truth sweeps (paper: ≥5).
+    pub gt_reps: usize,
+    /// Independent repetitions of each optimization process (paper: 10).
+    pub opt_repeats: usize,
+    /// Trial budget per optimization (paper: 20).
+    pub budget: usize,
+    /// Base seed; repetition `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        Self {
+            gt_reps: 5,
+            opt_repeats: 10,
+            budget: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// Reduced settings for benches and smoke tests: the same code paths
+    /// at a fraction of the repetitions.
+    pub fn fast() -> Self {
+        Self {
+            gt_reps: 2,
+            opt_repeats: 2,
+            budget: 12,
+            seed: 42,
+        }
+    }
+
+    /// Seed for optimization repetition `i`.
+    pub fn repeat_seed(&self, i: usize) -> u64 {
+        self.seed.wrapping_add(1 + i as u64)
+    }
+
+    /// Parses experiment options from CLI arguments.
+    ///
+    /// Supported flags: `--fast` (reduced settings), `--seed N`,
+    /// `--gt-reps N`, `--repeats N`, `--budget N`. Unknown flags are
+    /// ignored so binaries can add their own.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = if args.iter().any(|a| a == "--fast") {
+            Self::fast()
+        } else {
+            Self::default()
+        };
+        let value_of = |flag: &str| -> Option<u64> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        if let Some(v) = value_of("--seed") {
+            opts.seed = v;
+        }
+        if let Some(v) = value_of("--gt-reps") {
+            opts.gt_reps = v as usize;
+        }
+        if let Some(v) = value_of("--repeats") {
+            opts.opt_repeats = v as usize;
+        }
+        if let Some(v) = value_of("--budget") {
+            opts.budget = (v as usize).max(4);
+        }
+        opts
+    }
+}
+
+/// Collects the full Table 1 ground truth for one function and input.
+pub fn ground_truth(
+    kind: FunctionKind,
+    input: &InputData,
+    opts: &ExperimentOpts,
+) -> freedom_faas::Result<PerfTable> {
+    collect_ground_truth(
+        kind,
+        input,
+        SearchSpace::table1().configs(),
+        opts.gt_reps,
+        opts.seed,
+    )
+}
+
+/// Ground truth on the function's default input.
+pub fn ground_truth_default(
+    kind: FunctionKind,
+    opts: &ExperimentOpts,
+) -> freedom_faas::Result<PerfTable> {
+    ground_truth(kind, &kind.default_input(), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = ExperimentOpts::default();
+        assert_eq!(o.gt_reps, 5);
+        assert_eq!(o.opt_repeats, 10);
+        assert_eq!(o.budget, 20);
+    }
+
+    #[test]
+    fn fast_mode_is_cheaper() {
+        let f = ExperimentOpts::fast();
+        let d = ExperimentOpts::default();
+        assert!(f.gt_reps < d.gt_reps);
+        assert!(f.opt_repeats < d.opt_repeats);
+        assert!(f.budget < d.budget);
+    }
+
+    #[test]
+    fn repeat_seeds_are_distinct() {
+        let o = ExperimentOpts::default();
+        assert_ne!(o.repeat_seed(0), o.repeat_seed(1));
+        assert_ne!(o.repeat_seed(0), o.seed);
+    }
+
+    #[test]
+    fn ground_truth_covers_the_space() {
+        let opts = ExperimentOpts::fast();
+        let t = ground_truth_default(FunctionKind::S3, &opts).unwrap();
+        assert_eq!(t.points().len(), 288);
+    }
+}

@@ -1,0 +1,164 @@
+//! Figure 1: execution time and cost of every function across the whole
+//! configuration space, normalized to each function's best configuration.
+//!
+//! Paper headline: the worst configuration is up to 14.9× slower and 5.6×
+//! more expensive than the best one.
+
+use freedom_linalg::stats::{self, BoxplotSummary};
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_box, fmt_f, TextTable};
+
+/// One function's normalized spread.
+#[derive(Debug, Clone)]
+pub struct FunctionSpread {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Boxplot of normalized execution time (best = 1.0).
+    pub time_box: BoxplotSummary,
+    /// Boxplot of normalized execution cost (best = 1.0).
+    pub cost_box: BoxplotSummary,
+    /// Worst-case normalized execution time.
+    pub worst_time: f64,
+    /// Worst-case normalized execution cost.
+    pub worst_cost: f64,
+    /// Number of configurations that failed (OOM).
+    pub failed_configs: usize,
+}
+
+/// The full Figure 1 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig01Result {
+    /// Per-function spreads, in the paper's function order.
+    pub spreads: Vec<FunctionSpread>,
+}
+
+impl Fig01Result {
+    /// The largest normalized execution time anywhere (paper: 14.9×).
+    pub fn max_time_ratio(&self) -> f64 {
+        self.spreads
+            .iter()
+            .map(|s| s.worst_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// The largest normalized execution cost anywhere (paper: 5.6×).
+    pub fn max_cost_ratio(&self) -> f64 {
+        self.spreads
+            .iter()
+            .map(|s| s.worst_cost)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the paper-style summary table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "function",
+            "norm. exec time (box)",
+            "worst ET",
+            "norm. exec cost (box)",
+            "worst EC",
+            "failed cfgs",
+        ]);
+        for s in &self.spreads {
+            t.row(vec![
+                s.function.to_string(),
+                fmt_box(&s.time_box, 2),
+                format!("{}x", fmt_f(s.worst_time, 1)),
+                fmt_box(&s.cost_box, 2),
+                format!("{}x", fmt_f(s.worst_cost, 1)),
+                s.failed_configs.to_string(),
+            ]);
+        }
+        format!(
+            "Figure 1 — normalized ET/EC across the {}-point space\n{}\nmax ET ratio {}x (paper: 14.9x) | max EC ratio {}x (paper: 5.6x)\n",
+            288,
+            t.render(),
+            fmt_f(self.max_time_ratio(), 1),
+            fmt_f(self.max_cost_ratio(), 1),
+        )
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec![
+            "function",
+            "et_q1",
+            "et_median",
+            "et_q3",
+            "et_worst",
+            "ec_q1",
+            "ec_median",
+            "ec_q3",
+            "ec_worst",
+            "failed",
+        ]);
+        for s in &self.spreads {
+            t.row(vec![
+                s.function.to_string(),
+                s.time_box.q1.to_string(),
+                s.time_box.median.to_string(),
+                s.time_box.q3.to_string(),
+                s.worst_time.to_string(),
+                s.cost_box.q1.to_string(),
+                s.cost_box.median.to_string(),
+                s.cost_box.q3.to_string(),
+                s.worst_cost.to_string(),
+                s.failed_configs.to_string(),
+            ]);
+        }
+        t.write_csv("fig01_config_spread.csv")
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExperimentOpts) -> freedom_faas::Result<Fig01Result> {
+    let mut spreads = Vec::with_capacity(FunctionKind::ALL.len());
+    for kind in FunctionKind::ALL {
+        let table = ground_truth_default(kind, opts)?;
+        let times = table.normalized_times();
+        let costs = table.normalized_costs();
+        let time_box = stats::boxplot(&times).expect("feasible configs exist");
+        let cost_box = stats::boxplot(&costs).expect("feasible configs exist");
+        spreads.push(FunctionSpread {
+            function: kind,
+            worst_time: times.iter().copied().fold(0.0, f64::max),
+            worst_cost: costs.iter().copied().fold(0.0, f64::max),
+            failed_configs: table.points().len() - table.feasible().count(),
+            time_box,
+            cost_box,
+        });
+    }
+    Ok(Fig01Result { spreads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_shapes_match_the_paper() {
+        let result = run(&ExperimentOpts::fast()).unwrap();
+        assert_eq!(result.spreads.len(), 6);
+        // Worst-case ET is an order of magnitude (paper: up to 14.9x).
+        assert!(
+            result.max_time_ratio() > 8.0,
+            "max ET ratio {}",
+            result.max_time_ratio()
+        );
+        // Worst-case EC several-fold (paper: up to 5.6x).
+        assert!(
+            result.max_cost_ratio() > 3.0,
+            "max EC ratio {}",
+            result.max_cost_ratio()
+        );
+        // transcode has the largest time spread (it is the most parallel).
+        let transcode = &result.spreads[0];
+        assert!(transcode.worst_time >= result.max_time_ratio() * 0.99);
+        // Render sanity.
+        let text = result.render();
+        assert!(text.contains("transcode"));
+        assert!(text.contains("max ET ratio"));
+    }
+}

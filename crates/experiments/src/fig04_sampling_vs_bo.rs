@@ -1,0 +1,192 @@
+//! Figure 4: best-found configuration after 20 trials — Random sampling
+//! vs. Latin hypercube vs. BO with GP, normalized to the best
+//! configuration in the space, over repeated runs.
+
+use freedom_linalg::stats::{self, BoxplotSummary};
+use freedom_optimizer::{
+    run_sampling, BayesianOptimizer, BoConfig, LatinHypercube, Objective, RandomSearch,
+    SearchSpace, TableEvaluator,
+};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_box, TextTable};
+
+/// The three methods of Figure 4, in presentation order.
+pub const METHODS: [&str; 3] = ["Random", "LHS", "BO-GP"];
+
+/// One (function, method) cell: the distribution of normalized best-found
+/// values across repetitions.
+#[derive(Debug, Clone)]
+pub struct MethodCell {
+    /// Method name (see [`METHODS`]).
+    pub method: &'static str,
+    /// Normalized best-found values, one per repetition (1.0 = optimal).
+    pub norm_best: Vec<f64>,
+    /// Boxplot over the repetitions.
+    pub summary: BoxplotSummary,
+}
+
+/// One function's Figure 4 data for one objective.
+#[derive(Debug, Clone)]
+pub struct FunctionCells {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Cells in [`METHODS`] order.
+    pub cells: Vec<MethodCell>,
+}
+
+/// The full Figure 4 dataset (one panel per objective).
+#[derive(Debug, Clone)]
+pub struct Fig04Result {
+    /// Panel (a): execution time.
+    pub time_panel: Vec<FunctionCells>,
+    /// Panel (b): execution cost.
+    pub cost_panel: Vec<FunctionCells>,
+}
+
+impl Fig04Result {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, panel) in [
+            ("(a) Norm. best ET after 20 trials", &self.time_panel),
+            ("(b) Norm. best EC after 20 trials", &self.cost_panel),
+        ] {
+            let mut t = TextTable::new(vec!["function", "Random", "LHS", "BO-GP"]);
+            for f in panel {
+                let mut row = vec![f.function.to_string()];
+                for c in &f.cells {
+                    row.push(fmt_box(&c.summary, 2));
+                }
+                t.row(row);
+            }
+            out.push_str(&format!("Figure 4 {title}\n{}\n", t.render()));
+        }
+        out
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec!["objective", "function", "method", "rep", "norm_best"]);
+        for (obj, panel) in [("ET", &self.time_panel), ("EC", &self.cost_panel)] {
+            for f in panel {
+                for c in &f.cells {
+                    for (rep, v) in c.norm_best.iter().enumerate() {
+                        t.row(vec![
+                            obj.to_string(),
+                            f.function.to_string(),
+                            c.method.to_string(),
+                            rep.to_string(),
+                            v.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+        t.write_csv("fig04_sampling_vs_bo.csv")
+    }
+}
+
+fn run_panel(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Vec<FunctionCells>> {
+    let space = SearchSpace::table1();
+    let mut panel = Vec::with_capacity(FunctionKind::ALL.len());
+    for kind in FunctionKind::ALL {
+        let table = ground_truth_default(kind, opts)?;
+        let truth = match objective {
+            Objective::ExecutionTime => table.best_by_time(),
+            _ => table.best_by_cost(),
+        }
+        .map(|p| match objective {
+            Objective::ExecutionTime => p.exec_time_secs,
+            _ => p.exec_cost_usd,
+        })
+        .ok_or_else(|| {
+            freedom::FreedomError::InsufficientData(format!("no feasible config for {kind}"))
+        })?;
+
+        let mut cells: Vec<MethodCell> = METHODS
+            .iter()
+            .map(|&method| MethodCell {
+                method,
+                norm_best: Vec::with_capacity(opts.opt_repeats),
+                summary: stats::boxplot(&[1.0]).expect("non-empty"),
+            })
+            .collect();
+        for rep in 0..opts.opt_repeats {
+            let seed = opts.repeat_seed(rep);
+            let mut evaluator = TableEvaluator::new(&table);
+            let runs = [
+                run_sampling(
+                    &mut RandomSearch::new(seed),
+                    &space,
+                    &mut evaluator,
+                    objective,
+                    opts.budget,
+                )?,
+                run_sampling(
+                    &mut LatinHypercube::new(seed),
+                    &space,
+                    &mut evaluator,
+                    objective,
+                    opts.budget,
+                )?,
+                BayesianOptimizer::new(
+                    SurrogateKind::Gp,
+                    BoConfig {
+                        seed,
+                        budget: opts.budget,
+                        ..BoConfig::default()
+                    },
+                )
+                .optimize(&space, &mut evaluator, objective)?,
+            ];
+            for (cell, run) in cells.iter_mut().zip(runs) {
+                let best = run.best_value().unwrap_or(f64::NAN);
+                cell.norm_best.push(best / truth);
+            }
+        }
+        for cell in &mut cells {
+            cell.summary = stats::boxplot(&cell.norm_best).expect("repetitions exist");
+        }
+        panel.push(FunctionCells {
+            function: kind,
+            cells,
+        });
+    }
+    Ok(panel)
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig04Result> {
+    Ok(Fig04Result {
+        time_panel: run_panel(opts, Objective::ExecutionTime)?,
+        cost_panel: run_panel(opts, Objective::ExecutionCost)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_find_reasonable_configs() {
+        let result = run(&ExperimentOpts::fast()).unwrap();
+        for panel in [&result.time_panel, &result.cost_panel] {
+            assert_eq!(panel.len(), 6);
+            for f in panel {
+                for c in &f.cells {
+                    // Normalized best is ≥ 1 by construction and should be
+                    // within ~2x of optimal for every method (Fig. 4's
+                    // y-axis tops out around 1.8).
+                    for &v in &c.norm_best {
+                        assert!(v >= 1.0 - 1e-9, "{} {}: {v}", f.function, c.method);
+                        assert!(v < 2.6, "{} {}: {v}", f.function, c.method);
+                    }
+                }
+            }
+        }
+        assert!(result.render().contains("BO-GP"));
+    }
+}

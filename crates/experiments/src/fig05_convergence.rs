@@ -1,0 +1,231 @@
+//! Figures 5 and 6: convergence of the four BO variants toward the best
+//! configuration, for execution time (Fig. 5) and execution cost (Fig. 6).
+//!
+//! For each function and variant the best-found objective value is traced
+//! after every trial, averaged over repetitions with a 95% confidence
+//! interval — the paper's shaded-line plots, rendered as tables.
+
+use freedom_linalg::stats;
+use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, TableEvaluator};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_f, fmt_usd, TextTable};
+
+/// One (function, variant) convergence trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Surrogate variant.
+    pub variant: SurrogateKind,
+    /// Mean best-so-far value after each trial (length = budget).
+    pub mean_by_step: Vec<f64>,
+    /// 95% CI half-width after each trial.
+    pub ci_by_step: Vec<f64>,
+}
+
+/// One function's traces plus the ground-truth optimum (the dashed line).
+#[derive(Debug, Clone)]
+pub struct FunctionTraces {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Best value in the search space (the dashed line in the figures).
+    pub optimum: f64,
+    /// Traces in [`SurrogateKind::ALL`] order.
+    pub traces: Vec<Trace>,
+}
+
+impl FunctionTraces {
+    /// Final-step gap of a variant, as a fraction of the optimum
+    /// (`0.05` = within 5%).
+    pub fn final_gap(&self, variant: SurrogateKind) -> Option<f64> {
+        let trace = self.traces.iter().find(|t| t.variant == variant)?;
+        let last = *trace.mean_by_step.last()?;
+        Some((last - self.optimum) / self.optimum)
+    }
+}
+
+/// The full Figure 5 (ET) or Figure 6 (EC) dataset.
+#[derive(Debug, Clone)]
+pub struct ConvergenceResult {
+    /// Which objective this panel traces.
+    pub objective: Objective,
+    /// Per-function traces.
+    pub functions: Vec<FunctionTraces>,
+}
+
+impl ConvergenceResult {
+    /// Renders a per-function table at selected steps.
+    pub fn render(&self) -> String {
+        let figure = match self.objective {
+            Objective::ExecutionTime => "Figure 5 (execution time)",
+            _ => "Figure 6 (execution cost)",
+        };
+        // Costs are ~1e-5 USD: use scientific notation there.
+        let fmt = |v: f64| match self.objective {
+            Objective::ExecutionTime => fmt_f(v, 4),
+            _ => fmt_usd(v),
+        };
+        let mut out = format!("{figure} — best-found value vs optimization trials\n");
+        for f in &self.functions {
+            let steps: Vec<usize> = [3, 7, 11, 15, 19]
+                .into_iter()
+                .filter(|&s| s < f.traces[0].mean_by_step.len())
+                .collect();
+            let mut headers = vec!["variant".to_string()];
+            headers.extend(steps.iter().map(|s| format!("trial {}", s + 1)));
+            headers.push("gap".to_string());
+            let mut t = TextTable::new(headers);
+            for trace in &f.traces {
+                let mut row = vec![trace.variant.to_string()];
+                for &s in &steps {
+                    row.push(format!(
+                        "{}±{}",
+                        fmt(trace.mean_by_step[s]),
+                        fmt(trace.ci_by_step[s])
+                    ));
+                }
+                let gap = self
+                    .functions
+                    .iter()
+                    .find(|x| x.function == f.function)
+                    .and_then(|x| x.final_gap(trace.variant))
+                    .unwrap_or(f64::NAN);
+                row.push(format!("{}%", fmt_f(gap * 100.0, 1)));
+                t.row(row);
+            }
+            out.push_str(&format!(
+                "\n{} (optimum {}):\n{}",
+                f.function,
+                fmt(f.optimum),
+                t.render()
+            ));
+        }
+        out
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let name = match self.objective {
+            Objective::ExecutionTime => "fig05_convergence_et.csv",
+            _ => "fig06_convergence_ec.csv",
+        };
+        let mut t = TextTable::new(vec![
+            "function",
+            "variant",
+            "trial",
+            "mean_best",
+            "ci95",
+            "optimum",
+        ]);
+        for f in &self.functions {
+            for trace in &f.traces {
+                for (step, (m, ci)) in trace.mean_by_step.iter().zip(&trace.ci_by_step).enumerate()
+                {
+                    t.row(vec![
+                        f.function.to_string(),
+                        trace.variant.to_string(),
+                        (step + 1).to_string(),
+                        m.to_string(),
+                        ci.to_string(),
+                        f.optimum.to_string(),
+                    ]);
+                }
+            }
+        }
+        t.write_csv(name)
+    }
+}
+
+/// Runs the experiment for one objective (Fig. 5 = ET, Fig. 6 = EC).
+pub fn run(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<ConvergenceResult> {
+    let space = SearchSpace::table1();
+    let mut functions = Vec::with_capacity(FunctionKind::ALL.len());
+    for kind in FunctionKind::ALL {
+        let table = ground_truth_default(kind, opts)?;
+        let optimum = match objective {
+            Objective::ExecutionTime => table.best_by_time().map(|p| p.exec_time_secs),
+            _ => table.best_by_cost().map(|p| p.exec_cost_usd),
+        }
+        .ok_or_else(|| {
+            freedom::FreedomError::InsufficientData(format!("no feasible config for {kind}"))
+        })?;
+
+        let mut traces = Vec::with_capacity(SurrogateKind::ALL.len());
+        for variant in SurrogateKind::ALL {
+            // curves[rep][step]
+            let mut curves: Vec<Vec<f64>> = Vec::with_capacity(opts.opt_repeats);
+            for rep in 0..opts.opt_repeats {
+                let mut evaluator = TableEvaluator::new(&table);
+                let run = BayesianOptimizer::new(
+                    variant,
+                    BoConfig {
+                        seed: opts.repeat_seed(rep),
+                        budget: opts.budget,
+                        ..BoConfig::default()
+                    },
+                )
+                .optimize(&space, &mut evaluator, objective)?;
+                let mut curve = run.best_value_by_step.clone();
+                curve.resize(opts.budget, *curve.last().unwrap_or(&f64::NAN));
+                curves.push(curve);
+            }
+            let mut mean_by_step = Vec::with_capacity(opts.budget);
+            let mut ci_by_step = Vec::with_capacity(opts.budget);
+            for step in 0..opts.budget {
+                let vals: Vec<f64> = curves
+                    .iter()
+                    .map(|c| c[step])
+                    .filter(|v| v.is_finite())
+                    .collect();
+                mean_by_step.push(stats::mean(&vals).unwrap_or(f64::NAN));
+                ci_by_step.push(stats::ci95_half_width(&vals).unwrap_or(0.0));
+            }
+            traces.push(Trace {
+                variant,
+                mean_by_step,
+                ci_by_step,
+            });
+        }
+        functions.push(FunctionTraces {
+            function: kind,
+            optimum,
+            traces,
+        });
+    }
+    Ok(ConvergenceResult {
+        objective,
+        functions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_monotone_and_converge() {
+        let result = run(&ExperimentOpts::fast(), Objective::ExecutionTime).unwrap();
+        assert_eq!(result.functions.len(), 6);
+        for f in &result.functions {
+            assert_eq!(f.traces.len(), 4);
+            for trace in &f.traces {
+                for w in trace.mean_by_step.windows(2) {
+                    assert!(
+                        w[1] <= w[0] + 1e-9,
+                        "{} {}: curve rose",
+                        f.function,
+                        trace.variant
+                    );
+                }
+                // Everything ends at or above the optimum.
+                let last = *trace.mean_by_step.last().unwrap();
+                assert!(last >= f.optimum * 0.999);
+            }
+            // GP ends within a sane multiple of the optimum even in fast mode.
+            let gp_gap = f.final_gap(SurrogateKind::Gp).unwrap();
+            assert!(gp_gap < 1.0, "{}: GP gap {gp_gap}", f.function);
+        }
+        assert!(result.render().contains("Figure 5"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Figure 7: generic vs. data-specific optimization vs. the ideal
+//! configuration, per input sample (§5.3).
+//!
+//! The generic model is trained on the default input only; its recommended
+//! configuration is then applied to every other input. The data-specific
+//! model re-optimizes per input. The paper finds data-specific gains of at
+//! most ~20%, and that `linpack` N=7500 OOMs under the generic
+//! configuration in 3 of 10 repetitions (the default-input optimum is
+//! indifferent to memory, so some repetitions pick a limit the larger
+//! matrix no longer fits).
+
+use freedom_linalg::stats;
+use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, TableEvaluator};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::{FunctionKind, InputData, InputId};
+
+use crate::context::{ground_truth, ExperimentOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// One (function, input) comparison row, aggregated over repetitions.
+#[derive(Debug, Clone)]
+pub struct InputRow {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Input sample.
+    pub input: InputId,
+    /// Median ET of the generic configurations that *work* on this input;
+    /// `None` when every repetition's generic configuration fails here.
+    pub generic_et: Option<f64>,
+    /// Fraction of repetitions whose generic configuration OOMs here.
+    pub generic_oom_rate: f64,
+    /// Median ET of the per-input (data-specific) configurations.
+    pub specific_et: f64,
+    /// Best ET in this input's ground-truth table.
+    pub ideal_et: f64,
+}
+
+/// The full Figure 7 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig07Result {
+    /// All rows, grouped by function in dataset order.
+    pub rows: Vec<InputRow>,
+}
+
+impl Fig07Result {
+    /// The largest generic-over-specific ET ratio among inputs where the
+    /// generic configuration works (paper: ≤ ~1.2).
+    pub fn max_specific_gain(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter_map(|r| r.generic_et.map(|g| g / r.specific_et))
+            .fold(1.0, f64::max)
+    }
+
+    /// Renders the per-input table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "function",
+            "input",
+            "generic ET",
+            "generic OOM rate",
+            "data-specific ET",
+            "ideal ET",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.function.to_string(),
+                r.input.to_string(),
+                r.generic_et
+                    .map(|v| fmt_f(v, 3))
+                    .unwrap_or_else(|| "OOM".to_string()),
+                format!("{}%", fmt_f(r.generic_oom_rate * 100.0, 0)),
+                fmt_f(r.specific_et, 3),
+                fmt_f(r.ideal_et, 3),
+            ]);
+        }
+        format!(
+            "Figure 7 — generic vs data-specific vs ideal (execution time, s)\n{}\nmax data-specific gain: {}x (paper: ≤ ~1.2x)\n",
+            t.render(),
+            fmt_f(self.max_specific_gain(), 2),
+        )
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec![
+            "function",
+            "input",
+            "generic_et",
+            "generic_oom_rate",
+            "specific_et",
+            "ideal_et",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.function.to_string(),
+                r.input.to_string(),
+                r.generic_et.map(|v| v.to_string()).unwrap_or_default(),
+                r.generic_oom_rate.to_string(),
+                r.specific_et.to_string(),
+                r.ideal_et.to_string(),
+            ]);
+        }
+        t.write_csv("fig07_input_specific.csv")
+    }
+}
+
+fn optimize_on(
+    table: &freedom_faas::PerfTable,
+    opts: &ExperimentOpts,
+    seed: u64,
+) -> freedom::Result<freedom_faas::ResourceConfig> {
+    let mut evaluator = TableEvaluator::new(table);
+    let run = BayesianOptimizer::new(
+        SurrogateKind::Gp,
+        BoConfig {
+            seed,
+            budget: opts.budget,
+            ..BoConfig::default()
+        },
+    )
+    .optimize(
+        &SearchSpace::table1(),
+        &mut evaluator,
+        Objective::ExecutionTime,
+    )?;
+    run.best_feasible()
+        .map(|t| t.config)
+        .ok_or_else(|| freedom::FreedomError::InsufficientData("no feasible trial".into()))
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig07Result> {
+    let mut rows = Vec::new();
+    for kind in FunctionKind::ALL {
+        // Train generic configurations (one per repetition) on the default
+        // input, mirroring the paper's 10 repeated optimization processes.
+        let default_table = ground_truth(kind, &kind.default_input(), opts)?;
+        let generic_configs: Vec<freedom_faas::ResourceConfig> = (0..opts.opt_repeats)
+            .map(|rep| optimize_on(&default_table, opts, opts.repeat_seed(rep)))
+            .collect::<freedom::Result<_>>()?;
+
+        let inputs: Vec<InputData> = kind.inputs();
+        for (i, input) in inputs.iter().enumerate() {
+            let table = ground_truth(kind, input, opts)?;
+            let ideal_et = table
+                .best_by_time()
+                .map(|p| p.exec_time_secs)
+                .ok_or_else(|| {
+                    freedom::FreedomError::InsufficientData(format!(
+                        "no feasible config for {kind} on {}",
+                        input.id()
+                    ))
+                })?;
+            // Data-specific configurations, re-optimized per repetition.
+            let specific_ets: Vec<f64> = (0..opts.opt_repeats)
+                .map(|rep| {
+                    let cfg =
+                        optimize_on(&table, opts, opts.repeat_seed(rep) ^ (i as u64 + 1) << 24)?;
+                    Ok(table
+                        .lookup(&cfg)
+                        .map(|p| p.exec_time_secs)
+                        .unwrap_or(f64::NAN))
+                })
+                .collect::<freedom::Result<_>>()?;
+            // Apply each repetition's generic configuration to this input.
+            let mut generic_ets = Vec::new();
+            let mut ooms = 0usize;
+            for cfg in &generic_configs {
+                match table.lookup(cfg) {
+                    Some(p) if !p.failed => generic_ets.push(p.exec_time_secs),
+                    _ => ooms += 1,
+                }
+            }
+            rows.push(InputRow {
+                function: kind,
+                input: input.id(),
+                generic_et: stats::median(&generic_ets),
+                generic_oom_rate: ooms as f64 / generic_configs.len().max(1) as f64,
+                specific_et: stats::median(&specific_ets).unwrap_or(f64::NAN),
+                ideal_et,
+            });
+        }
+    }
+    Ok(Fig07Result { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_configs_transfer_across_inputs() {
+        let opts = ExperimentOpts {
+            opt_repeats: 4,
+            ..ExperimentOpts::fast()
+        };
+        let result = run(&opts).unwrap();
+        // 5 inputs × 5 functions + 3 linpack inputs.
+        assert_eq!(result.rows.len(), 28);
+        // The paper's headline: good configurations transfer; the generic
+        // config is within ~20-30% of the data-specific one wherever it
+        // runs at all.
+        let gain = result.max_specific_gain();
+        assert!(gain < 1.6, "specific gain {gain} too large");
+        // linpack N=7500 is the fragile case: its matrix does not fit some
+        // generic memory choices. The rate is seed-dependent (paper: 3/10);
+        // what must hold structurally is that a 512 MiB generic pick OOMs.
+        let linpack_7500 = result
+            .rows
+            .iter()
+            .find(|r| r.function == FunctionKind::Linpack && r.input.to_string() == "7500")
+            .unwrap();
+        assert!(
+            (0.0..=1.0).contains(&linpack_7500.generic_oom_rate),
+            "rate {}",
+            linpack_7500.generic_oom_rate
+        );
+        let table_7500 =
+            ground_truth(FunctionKind::Linpack, &InputData::Matrix { n: 7500 }, &opts).unwrap();
+        let small_mem =
+            freedom_faas::ResourceConfig::new(freedom_cluster::InstanceFamily::M5, 1.0, 512)
+                .unwrap();
+        assert!(table_7500.lookup(&small_mem).unwrap().failed);
+        // Every other function's generic config works on all its inputs.
+        for r in &result.rows {
+            if r.function != FunctionKind::Linpack {
+                assert_eq!(r.generic_oom_rate, 0.0, "{} on {}", r.function, r.input);
+            }
+            assert!(r.specific_et >= r.ideal_et * 0.999, "{:?}", r);
+        }
+        assert!(result.render().contains("Figure 7"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Figure 8: average number of violations during online optimization.
+//!
+//! Online trials are single production invocations; a violation is a trial
+//! whose objective lands at ≥1.5× the best configuration's value (§5.4).
+//! Compared methods: the four BO variants plus Random and LHS.
+
+use freedom::GatewayEvaluator;
+use freedom_faas::{FunctionSpec, Gateway};
+use freedom_optimizer::online::average_violations;
+use freedom_optimizer::{
+    run_sampling, BayesianOptimizer, BoConfig, LatinHypercube, Objective, OptimizationRun,
+    RandomSearch, SearchSpace,
+};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// Method labels in presentation order (BO variants then samplers).
+pub const METHODS: [&str; 6] = ["GP", "GBRT", "ET", "RF", "Random", "LHS"];
+
+/// One function's average violations per method.
+#[derive(Debug, Clone)]
+pub struct ViolationRow {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Average violations, one per [`METHODS`] entry.
+    pub avg_violations: Vec<f64>,
+}
+
+/// The full Figure 8 dataset (one panel per objective).
+#[derive(Debug, Clone)]
+pub struct Fig08Result {
+    /// Panel (a): execution time.
+    pub time_panel: Vec<ViolationRow>,
+    /// Panel (b): execution cost.
+    pub cost_panel: Vec<ViolationRow>,
+}
+
+impl Fig08Result {
+    /// Mean violations of one method across functions in a panel.
+    pub fn method_mean(panel: &[ViolationRow], method: &str) -> f64 {
+        let idx = METHODS.iter().position(|&m| m == method).unwrap_or(0);
+        let total: f64 = panel.iter().map(|r| r.avg_violations[idx]).sum();
+        total / panel.len().max(1) as f64
+    }
+
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, panel) in [
+            ("(a) Execution time", &self.time_panel),
+            ("(b) Execution cost", &self.cost_panel),
+        ] {
+            let mut headers = vec!["function".to_string()];
+            headers.extend(METHODS.iter().map(|m| m.to_string()));
+            let mut t = TextTable::new(headers);
+            for r in panel {
+                let mut row = vec![r.function.to_string()];
+                row.extend(r.avg_violations.iter().map(|v| fmt_f(*v, 1)));
+                t.row(row);
+            }
+            out.push_str(&format!(
+                "Figure 8 {title} — avg violations\n{}\n",
+                t.render()
+            ));
+        }
+        out
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec!["objective", "function", "method", "avg_violations"]);
+        for (obj, panel) in [("ET", &self.time_panel), ("EC", &self.cost_panel)] {
+            for r in panel {
+                for (m, v) in METHODS.iter().zip(&r.avg_violations) {
+                    t.row(vec![
+                        obj.to_string(),
+                        r.function.to_string(),
+                        m.to_string(),
+                        v.to_string(),
+                    ]);
+                }
+            }
+        }
+        t.write_csv("fig08_online_violations.csv")
+    }
+}
+
+/// Builds a live single-invocation evaluator (online trials).
+fn online_evaluator(kind: FunctionKind, seed: u64) -> freedom::Result<GatewayEvaluator> {
+    let mut gateway = Gateway::new(seed)?;
+    let initial = SearchSpace::table1().configs()[0];
+    gateway.deploy(FunctionSpec::new(kind.name(), kind), initial)?;
+    Ok(GatewayEvaluator::new(
+        gateway,
+        kind.name(),
+        kind.default_input(),
+        1,
+    ))
+}
+
+fn run_panel(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Vec<ViolationRow>> {
+    let space = SearchSpace::table1();
+    let mut panel = Vec::with_capacity(FunctionKind::ALL.len());
+    for kind in FunctionKind::ALL {
+        let table = ground_truth_default(kind, opts)?;
+        let best_in_space = match objective {
+            Objective::ExecutionTime => table.best_by_time().map(|p| p.exec_time_secs),
+            _ => table.best_by_cost().map(|p| p.exec_cost_usd),
+        }
+        .ok_or_else(|| {
+            freedom::FreedomError::InsufficientData(format!("no feasible config for {kind}"))
+        })?;
+
+        let mut avg_violations = Vec::with_capacity(METHODS.len());
+        for &method in &METHODS {
+            let mut runs: Vec<OptimizationRun> = Vec::with_capacity(opts.opt_repeats);
+            for rep in 0..opts.opt_repeats {
+                let seed = opts.repeat_seed(rep) ^ (method.len() as u64) << 8;
+                let mut evaluator = online_evaluator(kind, seed)?;
+                let run = match method {
+                    "Random" => run_sampling(
+                        &mut RandomSearch::new(seed),
+                        &space,
+                        &mut evaluator,
+                        objective,
+                        opts.budget,
+                    )?,
+                    "LHS" => run_sampling(
+                        &mut LatinHypercube::new(seed),
+                        &space,
+                        &mut evaluator,
+                        objective,
+                        opts.budget,
+                    )?,
+                    name => {
+                        let variant = SurrogateKind::ALL
+                            .into_iter()
+                            .find(|k| k.name() == name)
+                            .expect("method is a surrogate name");
+                        BayesianOptimizer::new(
+                            variant,
+                            BoConfig {
+                                seed,
+                                budget: opts.budget,
+                                ..BoConfig::default()
+                            },
+                        )
+                        .optimize(&space, &mut evaluator, objective)?
+                    }
+                };
+                runs.push(run);
+            }
+            avg_violations.push(average_violations(&runs, best_in_space));
+        }
+        panel.push(ViolationRow {
+            function: kind,
+            avg_violations,
+        });
+    }
+    Ok(panel)
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig08Result> {
+    Ok(Fig08Result {
+        time_panel: run_panel(opts, Objective::ExecutionTime)?,
+        cost_panel: run_panel(opts, Objective::ExecutionCost)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_counts_are_bounded_and_sane() {
+        let opts = ExperimentOpts::fast();
+        let result = run(&opts).unwrap();
+        for panel in [&result.time_panel, &result.cost_panel] {
+            assert_eq!(panel.len(), 6);
+            for r in panel {
+                assert_eq!(r.avg_violations.len(), 6);
+                for &v in &r.avg_violations {
+                    assert!(v >= 0.0 && v <= opts.budget as f64, "{}: {v}", r.function);
+                }
+            }
+        }
+        assert!(result.render().contains("Figure 8"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Figures 9 and 10: prediction error (MAPE) of each BO variant's model.
+//!
+//! Figure 9 scores predictions across every feasible configuration of the
+//! space; Figure 10 scores the best predicted configuration of each
+//! instance family (§5.5). Paper headline: GP has up to 16× (Fig. 9) and
+//! 7× (Fig. 10) lower MAPE than the other variants.
+
+use freedom_linalg::stats;
+use freedom_optimizer::eval::{mape_over_space, mape_per_family_best};
+use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, TableEvaluator};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// Which MAPE scenario to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Figure 9: the whole feasible space.
+    WholeSpace,
+    /// Figure 10: per-family best predicted configurations.
+    PerFamilyBest,
+}
+
+/// One (function, variant) cell: MAPE statistics over repetitions.
+#[derive(Debug, Clone)]
+pub struct MapeCell {
+    /// Surrogate variant.
+    pub variant: SurrogateKind,
+    /// Mean MAPE over repetitions, in percent.
+    pub mean: f64,
+    /// 95% CI half-width.
+    pub ci: f64,
+}
+
+/// One function's row.
+#[derive(Debug, Clone)]
+pub struct MapeRow {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Cells in [`SurrogateKind::ALL`] order.
+    pub cells: Vec<MapeCell>,
+}
+
+/// The full Figure 9/10 dataset (one panel per objective).
+#[derive(Debug, Clone)]
+pub struct MapeResult {
+    /// Scenario measured.
+    pub scenario: Scenario,
+    /// Panel (a): execution time.
+    pub time_panel: Vec<MapeRow>,
+    /// Panel (b): execution cost.
+    pub cost_panel: Vec<MapeRow>,
+}
+
+impl MapeResult {
+    /// GP's advantage for a function in a panel: (worst other variant's
+    /// MAPE) ÷ (GP's MAPE).
+    pub fn gp_advantage(row: &MapeRow) -> f64 {
+        let gp = row
+            .cells
+            .iter()
+            .find(|c| c.variant == SurrogateKind::Gp)
+            .map(|c| c.mean)
+            .unwrap_or(f64::NAN);
+        let worst = row
+            .cells
+            .iter()
+            .filter(|c| c.variant != SurrogateKind::Gp)
+            .map(|c| c.mean)
+            .fold(0.0, f64::max);
+        worst / gp
+    }
+
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let figure = match self.scenario {
+            Scenario::WholeSpace => "Figure 9 (whole space)",
+            Scenario::PerFamilyBest => "Figure 10 (per-family best)",
+        };
+        let mut out = String::new();
+        for (title, panel) in [
+            ("(a) Execution time", &self.time_panel),
+            ("(b) Execution cost", &self.cost_panel),
+        ] {
+            let mut headers = vec!["function".to_string()];
+            headers.extend(SurrogateKind::ALL.iter().map(|k| k.to_string()));
+            headers.push("GP advantage".to_string());
+            let mut t = TextTable::new(headers);
+            for r in panel {
+                let mut row = vec![r.function.to_string()];
+                for c in &r.cells {
+                    row.push(format!("{}±{}", fmt_f(c.mean, 1), fmt_f(c.ci, 1)));
+                }
+                row.push(format!("{}x", fmt_f(Self::gp_advantage(r), 1)));
+                t.row(row);
+            }
+            out.push_str(&format!("{figure} {title} — MAPE %\n{}\n", t.render()));
+        }
+        out
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let name = match self.scenario {
+            Scenario::WholeSpace => "fig09_mape_space.csv",
+            Scenario::PerFamilyBest => "fig10_mape_per_family.csv",
+        };
+        let mut t = TextTable::new(vec!["objective", "function", "variant", "mape", "ci95"]);
+        for (obj, panel) in [("ET", &self.time_panel), ("EC", &self.cost_panel)] {
+            for r in panel {
+                for c in &r.cells {
+                    t.row(vec![
+                        obj.to_string(),
+                        r.function.to_string(),
+                        c.variant.to_string(),
+                        c.mean.to_string(),
+                        c.ci.to_string(),
+                    ]);
+                }
+            }
+        }
+        t.write_csv(name)
+    }
+}
+
+fn run_panel(
+    opts: &ExperimentOpts,
+    objective: Objective,
+    scenario: Scenario,
+) -> freedom::Result<Vec<MapeRow>> {
+    let space = SearchSpace::table1();
+    let mut panel = Vec::with_capacity(FunctionKind::ALL.len());
+    for kind in FunctionKind::ALL {
+        let table = ground_truth_default(kind, opts)?;
+        let mut cells = Vec::with_capacity(SurrogateKind::ALL.len());
+        for variant in SurrogateKind::ALL {
+            let mut mapes = Vec::with_capacity(opts.opt_repeats);
+            for rep in 0..opts.opt_repeats {
+                let seed = opts.repeat_seed(rep);
+                let optimizer = BayesianOptimizer::new(
+                    variant,
+                    BoConfig {
+                        seed,
+                        budget: opts.budget,
+                        ..BoConfig::default()
+                    },
+                );
+                let mut evaluator = TableEvaluator::new(&table);
+                let run = optimizer.optimize(&space, &mut evaluator, objective)?;
+                let Some(model) = optimizer.fit_on_trials(&run.trials, objective, seed) else {
+                    continue;
+                };
+                let mape = match scenario {
+                    Scenario::WholeSpace => {
+                        mape_over_space(model.as_ref(), &space, &table, objective)?
+                    }
+                    Scenario::PerFamilyBest => {
+                        mape_per_family_best(model.as_ref(), &space, &table, objective)?
+                    }
+                };
+                mapes.push(mape);
+            }
+            cells.push(MapeCell {
+                variant,
+                mean: stats::mean(&mapes).unwrap_or(f64::NAN),
+                ci: stats::ci95_half_width(&mapes).unwrap_or(0.0),
+            });
+        }
+        panel.push(MapeRow {
+            function: kind,
+            cells,
+        });
+    }
+    Ok(panel)
+}
+
+/// Runs the experiment for one scenario.
+pub fn run(opts: &ExperimentOpts, scenario: Scenario) -> freedom::Result<MapeResult> {
+    Ok(MapeResult {
+        scenario,
+        time_panel: run_panel(opts, Objective::ExecutionTime, scenario)?,
+        cost_panel: run_panel(opts, Objective::ExecutionCost, scenario)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_predicts_better_than_tree_variants_on_average() {
+        let result = run(&ExperimentOpts::fast(), Scenario::WholeSpace).unwrap();
+        assert_eq!(result.time_panel.len(), 6);
+        // Average GP advantage across functions (ET panel) should be > 1:
+        // the paper's headline is "up to 16x lower MAPE".
+        let advantages: Vec<f64> = result
+            .time_panel
+            .iter()
+            .map(MapeResult::gp_advantage)
+            .filter(|v| v.is_finite())
+            .collect();
+        let mean_adv = stats::mean(&advantages).unwrap();
+        assert!(mean_adv > 1.0, "GP advantage {mean_adv}");
+        for r in &result.time_panel {
+            for c in &r.cells {
+                assert!(c.mean >= 0.0, "{} {}: {}", r.function, c.variant, c.mean);
+            }
+        }
+        assert!(result.render().contains("Figure 9"));
+    }
+
+    #[test]
+    fn per_family_scenario_runs() {
+        let result = run(&ExperimentOpts::fast(), Scenario::PerFamilyBest).unwrap();
+        assert_eq!(result.cost_panel.len(), 6);
+        assert!(result.render().contains("Figure 10"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Figure 12: distance between the predicted and actual Pareto fronts.
+//!
+//! Two GP models are trained (one optimizing ET, one EC); their
+//! predictions over the whole space form the predicted front, which is
+//! compared against the ground-truth front using the Figure 11 metric
+//! (`d_t`, `d_c` components, normalized by the nearest actual point).
+//! Paper headline: average distance up to 20% (cost) and 25% (time).
+
+use freedom::interfaces::predicted_pareto_options;
+use freedom_linalg::stats;
+use freedom_optimizer::pareto::{front_distance, pareto_front, BiPoint};
+use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, TableEvaluator};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// One function's front distances.
+#[derive(Debug, Clone)]
+pub struct DistanceRow {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Mean execution-time distance component over repetitions.
+    pub dt: f64,
+    /// Mean execution-cost distance component over repetitions.
+    pub dc: f64,
+    /// Size of the predicted front in the last repetition.
+    pub front_size: usize,
+}
+
+/// The full Figure 12 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// Per-function rows.
+    pub rows: Vec<DistanceRow>,
+}
+
+impl Fig12Result {
+    /// Renders the distance table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["function", "d_t", "d_c", "front size"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.function.to_string(),
+                fmt_f(r.dt, 3),
+                fmt_f(r.dc, 3),
+                r.front_size.to_string(),
+            ]);
+        }
+        format!(
+            "Figure 12 — normalized avg distance, predicted vs actual Pareto front\n{}\n(paper: d_t ≤ ~0.25, d_c ≤ ~0.20)\n",
+            t.render()
+        )
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec!["function", "dt", "dc", "front_size"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.function.to_string(),
+                r.dt.to_string(),
+                r.dc.to_string(),
+                r.front_size.to_string(),
+            ]);
+        }
+        t.write_csv("fig12_pareto_distance.csv")
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig12Result> {
+    let space = SearchSpace::table1();
+    let mut rows = Vec::with_capacity(FunctionKind::ALL.len());
+    for kind in FunctionKind::ALL {
+        let table = ground_truth_default(kind, opts)?;
+        let actual: Vec<BiPoint> = pareto_front(
+            &table
+                .feasible()
+                .map(|p| (p.exec_time_secs, p.exec_cost_usd))
+                .collect::<Vec<_>>(),
+        );
+        let mut dts = Vec::with_capacity(opts.opt_repeats);
+        let mut dcs = Vec::with_capacity(opts.opt_repeats);
+        let mut front_size = 0;
+        for rep in 0..opts.opt_repeats {
+            let seed = opts.repeat_seed(rep);
+            // Two optimization processes, as §6.1 prescribes.
+            let mut models = Vec::with_capacity(2);
+            let mut normalizers = Vec::with_capacity(2);
+            for (i, objective) in [Objective::ExecutionTime, Objective::ExecutionCost]
+                .into_iter()
+                .enumerate()
+            {
+                let optimizer = BayesianOptimizer::new(
+                    SurrogateKind::Gp,
+                    BoConfig {
+                        seed: seed ^ (i as u64) << 16,
+                        budget: opts.budget,
+                        ..BoConfig::default()
+                    },
+                );
+                let mut evaluator = TableEvaluator::new(&table);
+                let run = optimizer.optimize(&space, &mut evaluator, objective)?;
+                let model = optimizer
+                    .fit_on_trials(&run.trials, objective, seed)
+                    .ok_or_else(|| {
+                        freedom::FreedomError::InsufficientData("model fit failed".into())
+                    })?;
+                let (bt, bc) = run.bt_bc();
+                normalizers.push(match objective {
+                    Objective::ExecutionTime => bt,
+                    _ => bc,
+                });
+                models.push(model);
+            }
+            // Offer only configurations the runs did not slice away as
+            // OOM-infeasible (what the real interface would expose).
+            let feasible_space =
+                SearchSpace::from_configs(table.feasible().map(|p| p.config).collect());
+            let options = predicted_pareto_options(
+                models[0].as_ref(),
+                models[1].as_ref(),
+                &feasible_space,
+                normalizers[0],
+                normalizers[1],
+                usize::MAX >> 1,
+            )?;
+            let predicted: Vec<BiPoint> = options
+                .iter()
+                .map(|o| (o.predicted_time_secs, o.predicted_cost_usd))
+                .collect();
+            front_size = predicted.len();
+            if let Some((dt, dc)) = front_distance(&predicted, &actual) {
+                dts.push(dt);
+                dcs.push(dc);
+            }
+        }
+        rows.push(DistanceRow {
+            function: kind,
+            dt: stats::mean(&dts).unwrap_or(f64::NAN),
+            dc: stats::mean(&dcs).unwrap_or(f64::NAN),
+            front_size,
+        });
+    }
+    Ok(Fig12Result { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_fronts_land_near_actual_ones() {
+        let result = run(&ExperimentOpts::fast()).unwrap();
+        assert_eq!(result.rows.len(), 6);
+        for r in &result.rows {
+            assert!(
+                r.dt.is_finite() && r.dt >= 0.0,
+                "{}: dt {}",
+                r.function,
+                r.dt
+            );
+            assert!(
+                r.dc.is_finite() && r.dc >= 0.0,
+                "{}: dc {}",
+                r.function,
+                r.dc
+            );
+            // Paper scale: ≤ ~0.25; allow slack for the fast test settings.
+            assert!(r.dt < 0.8, "{}: dt {}", r.function, r.dt);
+            assert!(r.front_size >= 1);
+        }
+        assert!(result.render().contains("Figure 12"));
+    }
+}

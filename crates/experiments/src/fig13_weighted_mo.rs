@@ -1,0 +1,178 @@
+//! Figure 13: convergence of weighted multi-objective optimization
+//! (BO with GP) for the three paper weightings, normalized to the best
+//! weighted objective value in the space.
+
+use freedom_linalg::stats;
+use freedom_optimizer::eval::table_normalizers;
+use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, TableEvaluator};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// One (weighting, function) convergence trace, normalized so 1.0 is the
+/// best weighted value in the space.
+#[derive(Debug, Clone)]
+pub struct WeightedTrace {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Mean normalized best-so-far after each trial.
+    pub norm_by_step: Vec<f64>,
+}
+
+/// One panel per weighting.
+#[derive(Debug, Clone)]
+pub struct WeightPanel {
+    /// The weighting (`wt`, `wc`).
+    pub objective: Objective,
+    /// Traces per function.
+    pub traces: Vec<WeightedTrace>,
+}
+
+/// The full Figure 13 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// Panels for `W_t ∈ {0.25, 0.5, 0.75}`.
+    pub panels: Vec<WeightPanel>,
+}
+
+impl Fig13Result {
+    /// Renders one table per weighting at selected steps.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 13 — weighted multi-objective convergence (norm.)\n");
+        for panel in &self.panels {
+            let steps: Vec<usize> = [3, 7, 11, 15, 19]
+                .into_iter()
+                .filter(|&s| {
+                    panel
+                        .traces
+                        .first()
+                        .map(|t| s < t.norm_by_step.len())
+                        .unwrap_or(false)
+                })
+                .collect();
+            let mut headers = vec!["function".to_string()];
+            headers.extend(steps.iter().map(|s| format!("trial {}", s + 1)));
+            let mut t = TextTable::new(headers);
+            for trace in &panel.traces {
+                let mut row = vec![trace.function.to_string()];
+                for &s in &steps {
+                    row.push(fmt_f(trace.norm_by_step[s], 3));
+                }
+                t.row(row);
+            }
+            out.push_str(&format!("\n{}:\n{}", panel.objective, t.render()));
+        }
+        out
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec!["objective", "function", "trial", "norm_best"]);
+        for panel in &self.panels {
+            for trace in &panel.traces {
+                for (step, v) in trace.norm_by_step.iter().enumerate() {
+                    t.row(vec![
+                        panel.objective.to_string(),
+                        trace.function.to_string(),
+                        (step + 1).to_string(),
+                        v.to_string(),
+                    ]);
+                }
+            }
+        }
+        t.write_csv("fig13_weighted_mo.csv")
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig13Result> {
+    let space = SearchSpace::table1();
+    let mut panels = Vec::with_capacity(3);
+    for objective in Objective::paper_weight_grid() {
+        let mut traces = Vec::with_capacity(FunctionKind::ALL.len());
+        for kind in FunctionKind::ALL {
+            let table = ground_truth_default(kind, opts)?;
+            // Ground-truth best weighted value, normalized with the
+            // table's own Bt/Bc (the oracle target).
+            let (bt, bc) = table_normalizers(&table);
+            let truth = table
+                .feasible()
+                .map(|p| objective.value_of(p.exec_time_secs, p.exec_cost_usd, bt, bc))
+                .fold(f64::INFINITY, f64::min);
+            // curves[rep][step]
+            let mut curves: Vec<Vec<f64>> = Vec::with_capacity(opts.opt_repeats);
+            for rep in 0..opts.opt_repeats {
+                let mut evaluator = TableEvaluator::new(&table);
+                let run = BayesianOptimizer::new(
+                    SurrogateKind::Gp,
+                    BoConfig {
+                        seed: opts.repeat_seed(rep),
+                        budget: opts.budget,
+                        ..BoConfig::default()
+                    },
+                )
+                .optimize(&space, &mut evaluator, objective)?;
+                // Re-score the best-so-far curve with the oracle Bt/Bc so
+                // curves are comparable across repetitions.
+                let mut best = f64::INFINITY;
+                let curve: Vec<f64> = run
+                    .trials
+                    .iter()
+                    .map(|t| {
+                        if !t.failed {
+                            let v = objective.value_of(t.exec_time_secs, t.exec_cost_usd, bt, bc);
+                            best = best.min(v);
+                        }
+                        best / truth
+                    })
+                    .collect();
+                let mut curve = curve;
+                curve.resize(opts.budget, *curve.last().unwrap_or(&f64::NAN));
+                curves.push(curve);
+            }
+            let norm_by_step: Vec<f64> = (0..opts.budget)
+                .map(|step| {
+                    let vals: Vec<f64> = curves
+                        .iter()
+                        .map(|c| c[step])
+                        .filter(|v| v.is_finite())
+                        .collect();
+                    stats::mean(&vals).unwrap_or(f64::NAN)
+                })
+                .collect();
+            traces.push(WeightedTrace {
+                function: kind,
+                norm_by_step,
+            });
+        }
+        panels.push(WeightPanel { objective, traces });
+    }
+    Ok(Fig13Result { panels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_runs_approach_the_best_weighted_value() {
+        let result = run(&ExperimentOpts::fast()).unwrap();
+        assert_eq!(result.panels.len(), 3);
+        for panel in &result.panels {
+            assert_eq!(panel.traces.len(), 6);
+            for trace in &panel.traces {
+                let last = *trace.norm_by_step.last().unwrap();
+                // Normalized values are ≥ 1 and the paper reports within
+                // ~20% after 20 trials (fast mode gets slack).
+                assert!(last >= 1.0 - 1e-9, "{}: {last}", trace.function);
+                assert!(last < 1.8, "{}: {last}", trace.function);
+                for w in trace.norm_by_step.windows(2) {
+                    assert!(w[1] <= w[0] + 1e-9, "curve rose");
+                }
+            }
+        }
+        assert!(result.render().contains("Figure 13"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Figure 14: hierarchical multi-objective optimization with θ = 20%.
+//!
+//! For both orderings (primary ET / primary EC), the model-driven choice
+//! and the oracle ("ideal") choice are evaluated on ground truth and
+//! normalized to the configuration found when optimizing the primary
+//! objective alone.
+
+use freedom::interfaces::{hierarchical_ideal, hierarchical_interface};
+use freedom_optimizer::Objective;
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// The paper's degradation threshold.
+pub const THETA: f64 = 0.20;
+
+/// One function's hierarchical outcome for one ordering, all normalized to
+/// the primary-only best configuration's actual metrics.
+#[derive(Debug, Clone)]
+pub struct HierarchicalRow {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Model choice: normalized actual execution time.
+    pub norm_et: f64,
+    /// Model choice: normalized actual execution cost.
+    pub norm_ec: f64,
+    /// Oracle choice: normalized actual execution time.
+    pub ideal_norm_et: f64,
+    /// Oracle choice: normalized actual execution cost.
+    pub ideal_norm_ec: f64,
+}
+
+/// The full Figure 14 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig14Result {
+    /// Primary = execution time, secondary = cost.
+    pub primary_et: Vec<HierarchicalRow>,
+    /// Primary = execution cost, secondary = time.
+    pub primary_ec: Vec<HierarchicalRow>,
+}
+
+impl Fig14Result {
+    /// Renders both orderings.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 14 — hierarchical MO, θ = 20%\n");
+        for (title, rows) in [
+            ("Primary: ET, Secondary: EC", &self.primary_et),
+            ("Primary: EC, Secondary: ET", &self.primary_ec),
+        ] {
+            let mut t = TextTable::new(vec!["function", "ET", "ideal-ET", "EC", "ideal-EC"]);
+            for r in rows {
+                t.row(vec![
+                    r.function.to_string(),
+                    fmt_f(r.norm_et, 2),
+                    fmt_f(r.ideal_norm_et, 2),
+                    fmt_f(r.norm_ec, 2),
+                    fmt_f(r.ideal_norm_ec, 2),
+                ]);
+            }
+            out.push_str(&format!(
+                "\n{title} (normalized to primary-only best)\n{}",
+                t.render()
+            ));
+        }
+        out
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec![
+            "ordering",
+            "function",
+            "norm_et",
+            "norm_ec",
+            "ideal_norm_et",
+            "ideal_norm_ec",
+        ]);
+        for (ordering, rows) in [
+            ("ET-first", &self.primary_et),
+            ("EC-first", &self.primary_ec),
+        ] {
+            for r in rows {
+                t.row(vec![
+                    ordering.to_string(),
+                    r.function.to_string(),
+                    r.norm_et.to_string(),
+                    r.norm_ec.to_string(),
+                    r.ideal_norm_et.to_string(),
+                    r.ideal_norm_ec.to_string(),
+                ]);
+            }
+        }
+        t.write_csv("fig14_hierarchical.csv")
+    }
+}
+
+fn run_ordering(
+    opts: &ExperimentOpts,
+    primary: Objective,
+) -> freedom::Result<Vec<HierarchicalRow>> {
+    let mut rows = Vec::with_capacity(FunctionKind::ALL.len());
+    for kind in FunctionKind::ALL {
+        let table = ground_truth_default(kind, opts)?;
+        let outcome = hierarchical_interface(
+            kind,
+            &kind.default_input(),
+            primary,
+            THETA,
+            SurrogateKind::Gp,
+            opts.seed,
+        )?;
+        // Normalize actual metrics against the primary-only best config.
+        let base = table
+            .lookup(&outcome.primary_best.config)
+            .ok_or_else(|| freedom::FreedomError::InsufficientData("base config missing".into()))?;
+        let chosen = table.lookup(&outcome.chosen.config).ok_or_else(|| {
+            freedom::FreedomError::InsufficientData("chosen config missing".into())
+        })?;
+        let ideal = hierarchical_ideal(&table, primary, THETA).ok_or_else(|| {
+            freedom::FreedomError::InsufficientData("no ideal hierarchical choice".into())
+        })?;
+        rows.push(HierarchicalRow {
+            function: kind,
+            norm_et: chosen.exec_time_secs / base.exec_time_secs,
+            norm_ec: chosen.exec_cost_usd / base.exec_cost_usd,
+            ideal_norm_et: ideal.predicted_time_secs / base.exec_time_secs,
+            ideal_norm_ec: ideal.predicted_cost_usd / base.exec_cost_usd,
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig14Result> {
+    Ok(Fig14Result {
+        primary_et: run_ordering(opts, Objective::ExecutionTime)?,
+        primary_ec: run_ordering(opts, Objective::ExecutionCost)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_trades_within_reasonable_budgets() {
+        let result = run(&ExperimentOpts::fast()).unwrap();
+        assert_eq!(result.primary_et.len(), 6);
+        assert_eq!(result.primary_ec.len(), 6);
+        for r in &result.primary_et {
+            // The ideal choice respects the θ budget on the primary (ET)
+            // objective relative to the primary-only best. Note the base
+            // is the best *found* config, which can be slightly worse than
+            // the space optimum, so allow headroom.
+            assert!(
+                r.ideal_norm_et <= 1.0 + THETA + 0.05,
+                "{}: ideal ET {}",
+                r.function,
+                r.ideal_norm_et
+            );
+            // Trading time should not *increase* cost for the ideal.
+            assert!(
+                r.ideal_norm_ec <= 1.0 + 1e-9,
+                "{}: ideal EC {}",
+                r.function,
+                r.ideal_norm_ec
+            );
+            // Model choices sit near the ideal, allowing prediction error.
+            assert!(r.norm_et < 2.0, "{}: ET {}", r.function, r.norm_et);
+        }
+        assert!(result.render().contains("Figure 14"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Fleet-level provider simulation (extension of §6.2 / Figure 15).
+//!
+//! Figure 15 evaluates placement decisions one function at a time; this
+//! experiment replays a Poisson invocation trace over *all six* functions
+//! against a finite idle (spot) fleet, so placements compete for
+//! capacity. It reports the aggregate cost reduction, latency inflation,
+//! spot share, and capacity misses of the idle-aware policy against the
+//! always-best-config baseline, across a sweep of fleet sizes.
+
+use freedom::fleet::{
+    FleetConfig, FleetReport, FleetSimulator, FunctionPlan, PlacementStrategy, Trace,
+};
+use freedom::provider::IdleCapacityPlanner;
+use freedom::Autotuner;
+use freedom_optimizer::{Objective, SearchSpace};
+use freedom_surrogates::SurrogateKind;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// One fleet-size data point.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Idle VMs provisioned per family.
+    pub idle_vms_per_family: usize,
+    /// Baseline (best-config-only) report.
+    pub baseline: FleetReport,
+    /// Idle-aware report.
+    pub idle_aware: FleetReport,
+}
+
+impl FleetRow {
+    /// Cost reduction of idle-aware vs. baseline.
+    pub fn cost_reduction(&self) -> f64 {
+        1.0 - self.idle_aware.total_cost_usd / self.baseline.total_cost_usd
+    }
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct FleetSimResult {
+    /// Arrivals in the simulated trace.
+    pub invocations: usize,
+    /// Rows, one per fleet size.
+    pub rows: Vec<FleetRow>,
+}
+
+impl FleetSimResult {
+    /// Renders the sweep table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "idle VMs/family",
+            "cost reduction",
+            "spot share",
+            "capacity misses",
+            "mean lat. inflation",
+            "p95 lat. inflation",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.idle_vms_per_family.to_string(),
+                format!("{}%", fmt_f(r.cost_reduction() * 100.0, 1)),
+                format!("{}%", fmt_f(r.idle_aware.spot_share() * 100.0, 1)),
+                r.idle_aware.spot_capacity_misses.to_string(),
+                fmt_f(r.idle_aware.mean_latency_inflation, 3),
+                fmt_f(r.idle_aware.p95_latency_inflation, 3),
+            ]);
+        }
+        format!(
+            "Fleet simulation (extension of Fig. 15): {} invocations over all six functions\n{}",
+            self.invocations,
+            t.render()
+        )
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec![
+            "idle_vms_per_family",
+            "baseline_cost_usd",
+            "idle_aware_cost_usd",
+            "cost_reduction",
+            "spot_share",
+            "capacity_misses",
+            "mean_latency_inflation",
+            "p95_latency_inflation",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.idle_vms_per_family.to_string(),
+                r.baseline.total_cost_usd.to_string(),
+                r.idle_aware.total_cost_usd.to_string(),
+                r.cost_reduction().to_string(),
+                r.idle_aware.spot_share().to_string(),
+                r.idle_aware.spot_capacity_misses.to_string(),
+                r.idle_aware.mean_latency_inflation.to_string(),
+                r.idle_aware.p95_latency_inflation.to_string(),
+            ]);
+        }
+        t.write_csv("fleet_simulation.csv")
+    }
+}
+
+/// Runs the sweep: fleet sizes {0 VMs ⇒ all on-demand, 1, 2, 4} per
+/// family over a 10-minute, ~0.5 rps/function trace.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
+    // Build plans once (one tuning run + planner pass per function).
+    let planner = IdleCapacityPlanner::default();
+    let space = SearchSpace::table1();
+    let mut plans = Vec::with_capacity(FunctionKind::ALL.len());
+    for function in FunctionKind::ALL {
+        let table = ground_truth_default(function, opts)?;
+        let outcome = Autotuner::new(SurrogateKind::Gp).tune_offline(
+            function,
+            &function.default_input(),
+            Objective::ExecutionTime,
+            opts.seed,
+        )?;
+        let alternates = planner.plan(&outcome, &table, &space)?;
+        plans.push(FunctionPlan {
+            function,
+            best_config: outcome.recommended().ok_or_else(|| {
+                freedom::FreedomError::InsufficientData(format!("no config for {function}"))
+            })?,
+            alternates,
+            table,
+        });
+    }
+
+    let duration = if opts.opt_repeats <= 2 { 120.0 } else { 600.0 };
+    let trace = Trace::poisson(duration, 0.5, opts.seed)?;
+    let mut rows = Vec::new();
+    for idle_vms_per_family in [1usize, 2, 4] {
+        let sim = FleetSimulator::new(
+            plans.clone(),
+            FleetConfig {
+                idle_vms_per_family,
+                ..FleetConfig::default()
+            },
+        )?;
+        rows.push(FleetRow {
+            idle_vms_per_family,
+            baseline: sim.run(&trace, PlacementStrategy::BestConfigOnly)?,
+            idle_aware: sim.run(&trace, PlacementStrategy::IdleAware)?,
+        });
+    }
+    Ok(FleetSimResult {
+        invocations: trace.len(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_fleets_save_more_and_miss_less() {
+        let result = run(&ExperimentOpts::fast()).unwrap();
+        assert_eq!(result.rows.len(), 3);
+        for r in &result.rows {
+            assert_eq!(r.baseline.invocations, result.invocations);
+            // Savings are positive whenever anything ran on spot.
+            if r.idle_aware.spot_placements > 0 {
+                assert!(r.cost_reduction() > 0.0, "{:?}", r.idle_vms_per_family);
+            }
+            // Latency guardrail holds in aggregate.
+            assert!(
+                r.idle_aware.mean_latency_inflation < 1.3,
+                "{}",
+                r.idle_aware.mean_latency_inflation
+            );
+        }
+        // More idle capacity ⇒ no fewer spot placements.
+        assert!(
+            result.rows[2].idle_aware.spot_placements >= result.rows[0].idle_aware.spot_placements
+        );
+        // And no more capacity misses.
+        assert!(
+            result.rows[2].idle_aware.spot_capacity_misses
+                <= result.rows[0].idle_aware.spot_capacity_misses
+        );
+        assert!(result.render().contains("Fleet simulation"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment harness: one module per table/figure of the paper.
+//!
+//! Each module exposes `run(&ExperimentOpts) -> Result<...>` returning a
+//! structured result with a `render()` text table and a `write_csv()`
+//! export, so the same kernels serve the CLI binaries (`src/bin/*`), the
+//! Criterion benches, and the integration tests. See `DESIGN.md` §5 for
+//! the experiment index and `EXPERIMENTS.md` for measured-vs-paper values.
+
+pub mod context;
+pub mod report;
+
+pub mod ablation_study;
+pub mod fig01_config_spread;
+pub mod fig03_strategies;
+pub mod fig04_sampling_vs_bo;
+pub mod fig05_convergence;
+pub mod fig07_input_specific;
+pub mod fig08_online_violations;
+pub mod fig09_mape;
+pub mod fig12_pareto_distance;
+pub mod fig13_weighted_mo;
+pub mod fig14_hierarchical;
+pub mod fig15_provider_savings;
+pub mod fleet_simulation;
+pub mod table3_alternatives;
+
+pub use context::ExperimentOpts;

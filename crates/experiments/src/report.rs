@@ -1,0 +1,210 @@
+//! Text-table rendering and CSV export for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use freedom_linalg::stats::BoxplotSummary;
+
+/// Directory CSV artifacts are written to (`FREEDOM_RESULTS` env override,
+/// default `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("FREEDOM_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len().max(row.len()), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let _ = write!(line, "{cell:<w$}  ");
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as CSV into [`results_dir()`].
+    pub fn write_csv(&self, filename: &str) -> io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(filename);
+        self.write_csv_to(&path)?;
+        Ok(path)
+    }
+
+    /// Writes the table as CSV to an explicit path.
+    pub fn write_csv_to(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row));
+        }
+        fs::write(path, out)
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else {
+        format!("{v:.prec$}")
+    }
+}
+
+/// Formats a cost in scientific-ish USD (the paper's 1e-5 axis style).
+pub fn fmt_usd(v: f64) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Formats a boxplot summary compactly:
+/// `lo⊢ q1 [median] q3 ⊣hi (+n outliers)`.
+pub fn fmt_box(b: &BoxplotSummary, prec: usize) -> String {
+    let mut s = format!(
+        "{}⊢ {} [{}] {} ⊣{}",
+        fmt_f(b.lo_whisker, prec),
+        fmt_f(b.q1, prec),
+        fmt_f(b.median, prec),
+        fmt_f(b.q3, prec),
+        fmt_f(b.hi_whisker, prec),
+    );
+    if b.outliers > 0 {
+        let _ = write!(s, " (+{} outl.)", b.outliers);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_linalg::stats::boxplot;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a-much-longer-name", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "he said \"hi\""]);
+        let tmp = std::env::temp_dir().join("freedom_report_test.csv");
+        t.write_csv_to(&tmp).unwrap();
+        let content = std::fs::read_to_string(&tmp).unwrap();
+        assert!(content.contains("\"x,y\""));
+        assert!(content.contains("\"he said \"\"hi\"\"\""));
+        let _ = std::fs::remove_file(&tmp);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(f64::NAN, 2), "—");
+        assert!(fmt_usd(3.2e-5).contains('e'));
+    }
+
+    #[test]
+    fn boxplot_formatting() {
+        let b = boxplot(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        let s = fmt_box(&b, 1);
+        assert!(s.contains('['));
+        assert!(s.contains("outl."));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+}

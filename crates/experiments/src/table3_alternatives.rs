@@ -1,0 +1,161 @@
+//! Table 3: number of alternative instance families with at least one
+//! configuration within θ of the best configuration, per objective.
+
+use freedom::provider::alternative_families_within;
+use freedom_optimizer::Objective;
+use freedom_workloads::FunctionKind;
+
+use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::report::TextTable;
+
+/// The θ thresholds of Table 3.
+pub const THETAS: [f64; 3] = [0.05, 0.10, 0.20];
+
+/// The five objectives of Table 3, in column order.
+pub fn objectives() -> [Objective; 5] {
+    [
+        Objective::ExecutionTime,
+        Objective::Weighted { wt: 0.25, wc: 0.75 },
+        Objective::Weighted { wt: 0.5, wc: 0.5 },
+        Objective::Weighted { wt: 0.75, wc: 0.25 },
+        Objective::ExecutionCost,
+    ]
+}
+
+/// One function's row: `counts[objective][theta]`.
+#[derive(Debug, Clone)]
+pub struct AlternativeRow {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// `counts[i][j]` = alternatives for `objectives()[i]` at `THETAS[j]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+/// The full Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// Per-function rows.
+    pub rows: Vec<AlternativeRow>,
+}
+
+impl Table3Result {
+    /// Cells where *no* alternative family exists (the paper's red cells).
+    pub fn red_cells(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| r.counts.iter().flatten())
+            .filter(|&&c| c == 0)
+            .count()
+    }
+
+    /// Cells where *every* other family qualifies (the paper's blue cells).
+    pub fn blue_cells(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| r.counts.iter().flatten())
+            .filter(|&&c| c == 5)
+            .count()
+    }
+
+    /// Renders the paper-style matrix.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["benchmark".to_string()];
+        for obj in objectives() {
+            for theta in THETAS {
+                headers.push(format!("{obj} {}%", (theta * 100.0) as u32));
+            }
+        }
+        let mut t = TextTable::new(headers);
+        for row in &self.rows {
+            let mut cells = vec![row.function.to_string()];
+            for per_obj in &row.counts {
+                for &c in per_obj {
+                    cells.push(c.to_string());
+                }
+            }
+            t.row(cells);
+        }
+        format!(
+            "Table 3 — alternative instance families within θ of the best configuration\n{}\nred cells (no alternative): {} | blue cells (all 5 families): {}\n",
+            t.render(),
+            self.red_cells(),
+            self.blue_cells(),
+        )
+    }
+
+    /// Writes the CSV artifact.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut t = TextTable::new(vec!["function", "objective", "theta", "alternatives"]);
+        for row in &self.rows {
+            for (i, obj) in objectives().iter().enumerate() {
+                for (j, theta) in THETAS.iter().enumerate() {
+                    t.row(vec![
+                        row.function.to_string(),
+                        obj.to_string(),
+                        theta.to_string(),
+                        row.counts[i][j].to_string(),
+                    ]);
+                }
+            }
+        }
+        t.write_csv("table3_alternatives.csv")
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<Table3Result> {
+    let mut rows = Vec::with_capacity(FunctionKind::ALL.len());
+    for kind in FunctionKind::ALL {
+        let table = ground_truth_default(kind, opts)?;
+        let mut counts = Vec::with_capacity(5);
+        for obj in objectives() {
+            let mut per_theta = Vec::with_capacity(THETAS.len());
+            for theta in THETAS {
+                per_theta.push(alternative_families_within(&table, obj, theta)?);
+            }
+            counts.push(per_theta);
+        }
+        rows.push(AlternativeRow {
+            function: kind,
+            counts,
+        });
+    }
+    Ok(Table3Result { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternatives_exist_for_most_cells() {
+        let result = run(&ExperimentOpts::fast()).unwrap();
+        assert_eq!(result.rows.len(), 6);
+        for row in &result.rows {
+            for per_obj in &row.counts {
+                // Counts grow (weakly) with theta.
+                assert!(per_obj[0] <= per_obj[1] && per_obj[1] <= per_obj[2]);
+                for &c in per_obj {
+                    assert!(c <= 5);
+                }
+            }
+        }
+        // The paper: "except for two scenarios, there are opportunities to
+        // use idle instances of different types within 10%". Our shape:
+        // most 10%-cells are non-zero.
+        let ten_pct_nonzero = result
+            .rows
+            .iter()
+            .flat_map(|r| r.counts.iter().map(|per_obj| per_obj[1]))
+            .filter(|&c| c > 0)
+            .count();
+        assert!(
+            ten_pct_nonzero >= 24,
+            "only {ten_pct_nonzero}/30 cells non-zero"
+        );
+        // Both special cases exist somewhere in the matrix.
+        assert!(result.red_cells() > 0, "no red cells at all");
+        assert!(result.blue_cells() > 0, "no blue cells at all");
+        assert!(result.render().contains("Table 3"));
+    }
+}

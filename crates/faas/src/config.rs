@@ -1,0 +1,139 @@
+//! The decoupled resource configuration (Table 1).
+
+use std::fmt;
+
+use freedom_cluster::InstanceFamily;
+
+/// A point in the paper's resource-allocation space: CPU share, memory
+/// limit, and instance family, chosen independently.
+///
+/// Shares are stored in milli-vCPUs internally so that configurations are
+/// hashable and orderable (needed as search-space keys).
+///
+/// # Examples
+///
+/// ```
+/// use freedom_cluster::InstanceFamily;
+/// use freedom_faas::ResourceConfig;
+///
+/// let cfg = ResourceConfig::new(InstanceFamily::C5, 1.25, 512).unwrap();
+/// assert_eq!(cfg.cpu_share(), 1.25);
+/// assert_eq!(cfg.to_string(), "c5/1.25vCPU/512MiB");
+/// assert!(ResourceConfig::new(InstanceFamily::C5, 0.0, 512).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceConfig {
+    /// Instance family to run on.
+    family: InstanceFamily,
+    /// CPU share in milli-vCPUs (250 = 0.25 vCPU).
+    cpu_milli: u32,
+    /// Memory limit in MiB.
+    memory_mib: u32,
+}
+
+impl ResourceConfig {
+    /// Creates a configuration; returns `None` for non-positive shares or
+    /// zero memory.
+    pub fn new(family: InstanceFamily, cpu_share: f64, memory_mib: u32) -> Option<Self> {
+        if !cpu_share.is_finite() || cpu_share <= 0.0 || memory_mib == 0 {
+            return None;
+        }
+        Some(Self {
+            family,
+            cpu_milli: (cpu_share * 1000.0).round() as u32,
+            memory_mib,
+        })
+    }
+
+    /// The instance family.
+    pub fn family(&self) -> InstanceFamily {
+        self.family
+    }
+
+    /// The CPU share in vCPUs.
+    pub fn cpu_share(&self) -> f64 {
+        self.cpu_milli as f64 / 1000.0
+    }
+
+    /// The CPU share in milli-vCPUs (exact).
+    pub fn cpu_milli(&self) -> u32 {
+        self.cpu_milli
+    }
+
+    /// The memory limit in MiB.
+    pub fn memory_mib(&self) -> u32 {
+        self.memory_mib
+    }
+
+    /// Returns a copy with a different memory limit (`None` if zero).
+    pub fn with_memory(&self, memory_mib: u32) -> Option<Self> {
+        if memory_mib == 0 {
+            return None;
+        }
+        Some(Self {
+            memory_mib,
+            ..*self
+        })
+    }
+
+    /// Returns a copy on a different family.
+    pub fn with_family(&self, family: InstanceFamily) -> Self {
+        Self { family, ..*self }
+    }
+}
+
+impl fmt::Display for ResourceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}vCPU/{}MiB",
+            self.family,
+            self.cpu_share(),
+            self.memory_mib
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ResourceConfig::new(InstanceFamily::M5, -1.0, 128).is_none());
+        assert!(ResourceConfig::new(InstanceFamily::M5, f64::NAN, 128).is_none());
+        assert!(ResourceConfig::new(InstanceFamily::M5, 1.0, 0).is_none());
+        assert!(ResourceConfig::new(InstanceFamily::M5, 0.25, 128).is_some());
+    }
+
+    #[test]
+    fn share_round_trips_through_milli() {
+        for &s in &[0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0] {
+            let cfg = ResourceConfig::new(InstanceFamily::C6g, s, 256).unwrap();
+            assert_eq!(cfg.cpu_share(), s);
+        }
+    }
+
+    #[test]
+    fn modifiers_preserve_other_fields() {
+        let cfg = ResourceConfig::new(InstanceFamily::M5a, 1.5, 512).unwrap();
+        let bigger = cfg.with_memory(1024).unwrap();
+        assert_eq!(bigger.cpu_share(), 1.5);
+        assert_eq!(bigger.family(), InstanceFamily::M5a);
+        assert_eq!(bigger.memory_mib(), 1024);
+        assert!(cfg.with_memory(0).is_none());
+        let moved = cfg.with_family(InstanceFamily::C5);
+        assert_eq!(moved.family(), InstanceFamily::C5);
+        assert_eq!(moved.memory_mib(), 512);
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let a = ResourceConfig::new(InstanceFamily::C5, 0.25, 128).unwrap();
+        let b = ResourceConfig::new(InstanceFamily::C5, 0.25, 256).unwrap();
+        assert!(a < b);
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v[0], a);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the FaaS platform.
+
+use std::fmt;
+
+use freedom_cluster::ClusterError;
+use freedom_pricing::PricingError;
+
+/// Errors produced by gateway operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaasError {
+    /// The function name is not deployed.
+    UnknownFunction(String),
+    /// A function with this name is already deployed.
+    AlreadyDeployed(String),
+    /// The cluster could not place the sandbox.
+    Placement(ClusterError),
+    /// Cost metering failed.
+    Pricing(PricingError),
+    /// An invalid argument was supplied (empty name, bad timeout, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FaasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            Self::AlreadyDeployed(name) => write!(f, "function already deployed: {name}"),
+            Self::Placement(e) => write!(f, "placement failed: {e}"),
+            Self::Pricing(e) => write!(f, "metering failed: {e}"),
+            Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FaasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Placement(e) => Some(e),
+            Self::Pricing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for FaasError {
+    fn from(e: ClusterError) -> Self {
+        Self::Placement(e)
+    }
+}
+
+impl From<PricingError> for FaasError {
+    fn from(e: PricingError) -> Self {
+        Self::Pricing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error;
+        let e: FaasError = ClusterError::UnknownId(3).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("placement"));
+        let p: FaasError = PricingError::InvalidParameter("x".into()).into();
+        assert!(p.to_string().contains("metering"));
+        assert!(FaasError::UnknownFunction("f".into()).source().is_none());
+    }
+}

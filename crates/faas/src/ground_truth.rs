@@ -1,0 +1,287 @@
+//! Exhaustive ground-truth sweeps (§2, §3).
+//!
+//! The paper's foundation is a dataset of every (function, configuration,
+//! input) combination, each executed at least five times, with the median
+//! taken as the configuration's execution time and cost. [`collect_ground_truth`]
+//! reproduces that procedure on the simulated platform and [`PerfTable`]
+//! answers the queries the rest of the study makes of the dataset (best
+//! configuration, normalized spreads, per-family bests, …).
+
+use freedom_linalg::stats;
+use freedom_workloads::{FunctionKind, InputData, InputId};
+
+use crate::{FunctionSpec, Gateway, ResourceConfig, Result};
+
+/// Aggregated measurements of one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// The configuration measured.
+    pub config: ResourceConfig,
+    /// Whether the function was OOM-killed under this configuration — the
+    /// §5.1 failure mode that drives search-space slicing. Timeouts are
+    /// *not* failures here: a timed-out run is a valid (terrible)
+    /// measurement at the clamped timeout duration, and treating it as a
+    /// memory failure would slice feasible configurations away. OOM is
+    /// deterministic in the memory dimension, so one failing repetition
+    /// marks the configuration failed.
+    pub failed: bool,
+    /// Median execution time over repetitions, seconds.
+    pub exec_time_secs: f64,
+    /// Median execution cost over repetitions, USD.
+    pub exec_cost_usd: f64,
+    /// Peak memory footprint in MiB (from successful repetitions) — what an
+    /// Azure-style consumption-billed strategy would charge for.
+    pub peak_mem_mib: Option<u32>,
+    /// Number of repetitions aggregated.
+    pub reps: usize,
+}
+
+/// The ground-truth table for one (function, input) pair.
+#[derive(Debug, Clone)]
+pub struct PerfTable {
+    /// Function measured.
+    pub function: FunctionKind,
+    /// Input sample measured.
+    pub input: InputId,
+    points: Vec<PerfPoint>,
+}
+
+impl PerfTable {
+    /// Builds a table from pre-aggregated points (used by tests and by
+    /// table-backed evaluators).
+    pub fn from_points(function: FunctionKind, input: InputId, points: Vec<PerfPoint>) -> Self {
+        Self {
+            function,
+            input,
+            points,
+        }
+    }
+
+    /// All measured points.
+    pub fn points(&self) -> &[PerfPoint] {
+        &self.points
+    }
+
+    /// Points where the function completed successfully.
+    pub fn feasible(&self) -> impl Iterator<Item = &PerfPoint> {
+        self.points.iter().filter(|p| !p.failed)
+    }
+
+    /// Looks up a configuration.
+    pub fn lookup(&self, config: &ResourceConfig) -> Option<&PerfPoint> {
+        self.points.iter().find(|p| &p.config == config)
+    }
+
+    /// The feasible point with the lowest execution time.
+    pub fn best_by_time(&self) -> Option<&PerfPoint> {
+        self.feasible()
+            .min_by(|a, b| a.exec_time_secs.total_cmp(&b.exec_time_secs))
+    }
+
+    /// The feasible point with the lowest execution cost.
+    pub fn best_by_cost(&self) -> Option<&PerfPoint> {
+        self.feasible()
+            .min_by(|a, b| a.exec_cost_usd.total_cmp(&b.exec_cost_usd))
+    }
+
+    /// The feasible point minimizing an arbitrary objective.
+    pub fn best_by<F: Fn(&PerfPoint) -> f64>(&self, objective: F) -> Option<&PerfPoint> {
+        self.feasible()
+            .min_by(|a, b| objective(a).total_cmp(&objective(b)))
+    }
+
+    /// Execution times of all feasible points, normalized to the best
+    /// (minimum) one — the data behind Figure 1 (left).
+    pub fn normalized_times(&self) -> Vec<f64> {
+        Self::normalize(self.feasible().map(|p| p.exec_time_secs).collect())
+    }
+
+    /// Execution costs of all feasible points, normalized to the best
+    /// (minimum) one — the data behind Figure 1 (right).
+    pub fn normalized_costs(&self) -> Vec<f64> {
+        Self::normalize(self.feasible().map(|p| p.exec_cost_usd).collect())
+    }
+
+    fn normalize(values: Vec<f64>) -> Vec<f64> {
+        let best = values.iter().copied().fold(f64::INFINITY, f64::min);
+        if !best.is_finite() || best <= 0.0 {
+            return Vec::new();
+        }
+        values.into_iter().map(|v| v / best).collect()
+    }
+}
+
+/// Runs the §2 sweep: every configuration in `configs`, `reps` times each,
+/// aggregated by median.
+///
+/// `reps` is clamped to at least 1. A fresh gateway is built per sweep so
+/// tables are independent and reproducible from `seed`.
+pub fn collect_ground_truth(
+    function: FunctionKind,
+    input: &InputData,
+    configs: &[ResourceConfig],
+    reps: usize,
+    seed: u64,
+) -> Result<PerfTable> {
+    let reps = reps.max(1);
+    let mut gateway = Gateway::new(seed)?;
+    gateway.deploy(
+        FunctionSpec::new(function.name(), function),
+        configs.first().copied().unwrap_or_else(|| {
+            ResourceConfig::new(freedom_cluster::InstanceFamily::M5, 1.0, 1024)
+                .expect("static config is valid")
+        }),
+    )?;
+
+    let mut points = Vec::with_capacity(configs.len());
+    for &config in configs {
+        gateway.reconfigure(function.name(), config)?;
+        let mut times = Vec::with_capacity(reps);
+        let mut costs = Vec::with_capacity(reps);
+        let mut failed = false;
+        let mut peak_mem_mib = None;
+        for _ in 0..reps {
+            let record = gateway.invoke(function.name(), input)?;
+            failed |= record.status == crate::InvocationStatus::OomKilled;
+            peak_mem_mib = peak_mem_mib.max(record.peak_mem_mib);
+            times.push(record.duration_secs);
+            costs.push(record.cost_usd);
+        }
+        points.push(PerfPoint {
+            config,
+            failed,
+            exec_time_secs: stats::median(&times).unwrap_or(f64::NAN),
+            exec_cost_usd: stats::median(&costs).unwrap_or(f64::NAN),
+            peak_mem_mib,
+            reps,
+        });
+    }
+    Ok(PerfTable::from_points(function, input.id(), points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_cluster::InstanceFamily;
+
+    fn small_space() -> Vec<ResourceConfig> {
+        let mut out = Vec::new();
+        for family in [InstanceFamily::M5, InstanceFamily::C6g] {
+            for share in [0.5, 1.0, 2.0] {
+                for mem in [128, 512, 1024] {
+                    out.push(ResourceConfig::new(family, share, mem).unwrap());
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_covers_every_configuration() {
+        let space = small_space();
+        let table = collect_ground_truth(
+            FunctionKind::Faceblur,
+            &FunctionKind::Faceblur.default_input(),
+            &space,
+            5,
+            42,
+        )
+        .unwrap();
+        assert_eq!(table.points().len(), space.len());
+        assert!(table.points().iter().all(|p| p.reps == 5));
+        for config in &space {
+            assert!(table.lookup(config).is_some());
+        }
+    }
+
+    #[test]
+    fn failures_are_recorded_for_small_memory() {
+        let space = small_space();
+        let table = collect_ground_truth(
+            FunctionKind::Transcode,
+            &FunctionKind::Transcode.default_input(),
+            &space,
+            3,
+            7,
+        )
+        .unwrap();
+        // transcode's default input needs ~234 MiB: all 128 MiB configs fail.
+        for p in table.points() {
+            assert_eq!(p.failed, p.config.memory_mib() == 128, "{}", p.config);
+        }
+        assert!(table.feasible().count() < table.points().len());
+    }
+
+    #[test]
+    fn best_points_minimize_their_objective() {
+        let table = collect_ground_truth(
+            FunctionKind::Ocr,
+            &FunctionKind::Ocr.default_input(),
+            &small_space(),
+            5,
+            11,
+        )
+        .unwrap();
+        let best_t = table.best_by_time().unwrap();
+        let best_c = table.best_by_cost().unwrap();
+        for p in table.feasible() {
+            assert!(p.exec_time_secs >= best_t.exec_time_secs);
+            assert!(p.exec_cost_usd >= best_c.exec_cost_usd);
+        }
+        // best_by with a time objective agrees with best_by_time.
+        let via_generic = table.best_by(|p| p.exec_time_secs).unwrap();
+        assert_eq!(via_generic.config, best_t.config);
+    }
+
+    #[test]
+    fn normalized_metrics_start_at_one() {
+        let table = collect_ground_truth(
+            FunctionKind::S3,
+            &FunctionKind::S3.default_input(),
+            &small_space(),
+            5,
+            3,
+        )
+        .unwrap();
+        let times = table.normalized_times();
+        let costs = table.normalized_costs();
+        assert!(!times.is_empty());
+        let min_t = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_c = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!((min_t - 1.0).abs() < 1e-12);
+        assert!((min_c - 1.0).abs() < 1e-12);
+        assert!(times.iter().all(|&t| t >= 1.0));
+    }
+
+    #[test]
+    fn sweeps_are_reproducible_per_seed() {
+        let run = |seed| {
+            collect_ground_truth(
+                FunctionKind::Linpack,
+                &FunctionKind::Linpack.default_input(),
+                &small_space(),
+                5,
+                seed,
+            )
+            .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        let c = run(6);
+        assert_eq!(a.points(), b.points());
+        assert_ne!(a.points(), c.points());
+    }
+
+    #[test]
+    fn reps_clamped_to_one() {
+        let table = collect_ground_truth(
+            FunctionKind::S3,
+            &FunctionKind::S3.default_input(),
+            &small_space()[..2],
+            0,
+            1,
+        )
+        .unwrap();
+        assert!(table.points().iter().all(|p| p.reps == 1));
+    }
+}

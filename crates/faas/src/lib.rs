@@ -1,0 +1,49 @@
+//! OpenFaaS-style serverless platform over the simulated cluster.
+//!
+//! The paper deploys its benchmarks on OpenFaaS/k3s and drives them through
+//! a gateway that enforces a per-invocation resource configuration and a
+//! 600 s timeout (§3). This crate reproduces that control plane:
+//!
+//! - [`ResourceConfig`]: the decoupled (CPU share, memory limit, instance
+//!   family) triple of Table 1;
+//! - [`FunctionSpec`] and [`Gateway`]: function registry, deployment,
+//!   invocation with placement on the [`freedom_cluster::Cluster`],
+//!   timeout enforcement, and cost metering via [`freedom_pricing`];
+//! - [`InvocationRecord`]: what the study measures for every run;
+//! - [`ground_truth`]: the exhaustive §2 sweep over a configuration space,
+//!   with ≥5 repetitions and median aggregation, producing a [`PerfTable`].
+//!
+//! # Examples
+//!
+//! ```
+//! use freedom_cluster::InstanceFamily;
+//! use freedom_faas::{FunctionSpec, Gateway, ResourceConfig};
+//! use freedom_workloads::FunctionKind;
+//!
+//! let mut gw = Gateway::new(7).unwrap();
+//! gw.deploy(
+//!     FunctionSpec::new("blur", FunctionKind::Faceblur),
+//!     ResourceConfig::new(InstanceFamily::C6g, 1.0, 256).unwrap(),
+//! )
+//! .unwrap();
+//! let record = gw.invoke("blur", &FunctionKind::Faceblur.default_input()).unwrap();
+//! assert!(record.is_success());
+//! assert!(record.cost_usd > 0.0);
+//! ```
+
+mod config;
+mod error;
+pub mod ground_truth;
+pub mod persist;
+mod record;
+mod runtime;
+
+pub use config::ResourceConfig;
+pub use error::FaasError;
+pub use ground_truth::{collect_ground_truth, PerfPoint, PerfTable};
+pub use persist::{load_table, save_table};
+pub use record::{InvocationRecord, InvocationStatus};
+pub use runtime::{FunctionSpec, Gateway, DEFAULT_TIMEOUT_SECS};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, FaasError>;

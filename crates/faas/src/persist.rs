@@ -1,0 +1,208 @@
+//! Ground-truth persistence.
+//!
+//! Collecting the §2 dataset is the expensive step of the study (5,000+
+//! runs on real hardware). A downstream user wants to collect once and
+//! reuse: this module round-trips a [`PerfTable`] through a plain CSV
+//! format (`family,cpu_share,memory_mib,failed,exec_time_secs,
+//! exec_cost_usd,peak_mem_mib,reps` with a two-line header carrying the
+//! function and input id).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::str::FromStr;
+
+use freedom_cluster::InstanceFamily;
+use freedom_workloads::{FunctionKind, InputId};
+
+use crate::{FaasError, PerfPoint, PerfTable, ResourceConfig, Result};
+
+/// Serializes a table to the CSV format.
+pub fn table_to_csv(table: &PerfTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# function={} input={}", table.function, table.input);
+    let _ = writeln!(
+        out,
+        "family,cpu_share,memory_mib,failed,exec_time_secs,exec_cost_usd,peak_mem_mib,reps"
+    );
+    for p in table.points() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            p.config.family(),
+            p.config.cpu_share(),
+            p.config.memory_mib(),
+            p.failed,
+            p.exec_time_secs,
+            p.exec_cost_usd,
+            p.peak_mem_mib.map(|v| v.to_string()).unwrap_or_default(),
+            p.reps,
+        );
+    }
+    out
+}
+
+/// Parses a table from the CSV format produced by [`table_to_csv`].
+pub fn table_from_csv(content: &str) -> Result<PerfTable> {
+    let mut lines = content.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| FaasError::InvalidArgument("empty table file".into()))?;
+    let (function, input) = parse_header(header)?;
+    let columns = lines
+        .next()
+        .ok_or_else(|| FaasError::InvalidArgument("missing column header".into()))?;
+    if !columns.starts_with("family,") {
+        return Err(FaasError::InvalidArgument(format!(
+            "unexpected column header: {columns}"
+        )));
+    }
+    let mut points = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        points
+            .push(parse_point(line).map_err(|msg| {
+                FaasError::InvalidArgument(format!("line {}: {msg}", lineno + 3))
+            })?);
+    }
+    Ok(PerfTable::from_points(function, input, points))
+}
+
+/// Writes a table to a file.
+pub fn save_table(table: &PerfTable, path: &Path) -> Result<()> {
+    fs::write(path, table_to_csv(table))
+        .map_err(|e| FaasError::InvalidArgument(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Reads a table from a file.
+pub fn load_table(path: &Path) -> Result<PerfTable> {
+    let content = fs::read_to_string(path)
+        .map_err(|e| FaasError::InvalidArgument(format!("cannot read {}: {e}", path.display())))?;
+    table_from_csv(&content)
+}
+
+fn parse_header(header: &str) -> Result<(FunctionKind, InputId)> {
+    let rest = header
+        .strip_prefix("# ")
+        .ok_or_else(|| FaasError::InvalidArgument(format!("bad header: {header}")))?;
+    let mut function = None;
+    let mut input = None;
+    for token in rest.split_whitespace() {
+        if let Some(v) = token.strip_prefix("function=") {
+            function = Some(FunctionKind::from_str(v).map_err(FaasError::InvalidArgument)?);
+        } else if let Some(v) = token.strip_prefix("input=") {
+            input = Some(InputId(v.to_string()));
+        }
+    }
+    match (function, input) {
+        (Some(f), Some(i)) => Ok((f, i)),
+        _ => Err(FaasError::InvalidArgument(format!(
+            "header missing function/input: {header}"
+        ))),
+    }
+}
+
+fn parse_point(line: &str) -> std::result::Result<PerfPoint, String> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 8 {
+        return Err(format!("expected 8 fields, found {}", fields.len()));
+    }
+    let family: InstanceFamily = fields[0].parse().map_err(|_| "bad family".to_string())?;
+    let cpu_share: f64 = fields[1].parse().map_err(|_| "bad cpu_share".to_string())?;
+    let memory_mib: u32 = fields[2].parse().map_err(|_| "bad memory".to_string())?;
+    let config = ResourceConfig::new(family, cpu_share, memory_mib)
+        .ok_or_else(|| "invalid configuration".to_string())?;
+    let failed: bool = fields[3]
+        .parse()
+        .map_err(|_| "bad failed flag".to_string())?;
+    let exec_time_secs: f64 = fields[4].parse().map_err(|_| "bad time".to_string())?;
+    let exec_cost_usd: f64 = fields[5].parse().map_err(|_| "bad cost".to_string())?;
+    let peak_mem_mib = if fields[6].is_empty() {
+        None
+    } else {
+        Some(fields[6].parse().map_err(|_| "bad peak mem".to_string())?)
+    };
+    let reps: usize = fields[7].parse().map_err(|_| "bad reps".to_string())?;
+    Ok(PerfPoint {
+        config,
+        failed,
+        exec_time_secs,
+        exec_cost_usd,
+        peak_mem_mib,
+        reps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect_ground_truth;
+
+    fn sample_table() -> PerfTable {
+        let configs: Vec<ResourceConfig> = [128u32, 512, 2048]
+            .into_iter()
+            .flat_map(|mem| {
+                [InstanceFamily::M5, InstanceFamily::C6g]
+                    .into_iter()
+                    .filter_map(move |fam| ResourceConfig::new(fam, 1.0, mem))
+            })
+            .collect();
+        collect_ground_truth(
+            FunctionKind::Ocr,
+            &FunctionKind::Ocr.default_input(),
+            &configs,
+            3,
+            99,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_round_trips_exactly() {
+        let table = sample_table();
+        let csv = table_to_csv(&table);
+        let back = table_from_csv(&csv).unwrap();
+        assert_eq!(back.function, table.function);
+        assert_eq!(back.input, table.input);
+        assert_eq!(back.points(), table.points());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let table = sample_table();
+        let path = std::env::temp_dir().join("freedom_persist_test.csv");
+        save_table(&table, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.points(), table.points());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(table_from_csv("").is_err());
+        assert!(table_from_csv("# function=ocr input=x").is_err());
+        assert!(table_from_csv("# nofunction\nfamily,...").is_err());
+        let bad_row = "# function=ocr input=x\nfamily,cpu_share,memory_mib,failed,exec_time_secs,exec_cost_usd,peak_mem_mib,reps\nm5,1.0,512,false,1.0";
+        let err = table_from_csv(bad_row).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let bad_family = "# function=ocr input=x\nfamily,cpu_share,memory_mib,failed,exec_time_secs,exec_cost_usd,peak_mem_mib,reps\nz9,1.0,512,false,1.0,2e-5,,3";
+        assert!(table_from_csv(bad_family).is_err());
+    }
+
+    #[test]
+    fn missing_peak_mem_round_trips_as_none() {
+        let csv = "# function=s3 input=video-3\nfamily,cpu_share,memory_mib,failed,exec_time_secs,exec_cost_usd,peak_mem_mib,reps\nm5,0.5,128,true,0.5,1e-6,,5\n";
+        let table = table_from_csv(csv).unwrap();
+        assert_eq!(table.points().len(), 1);
+        assert_eq!(table.points()[0].peak_mem_mib, None);
+        assert!(table.points()[0].failed);
+    }
+
+    #[test]
+    fn loading_a_missing_file_fails_cleanly() {
+        let err = load_table(Path::new("/nonexistent/freedom.csv")).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+}

@@ -1,0 +1,99 @@
+//! What the platform records about every invocation.
+
+use std::fmt;
+
+use freedom_workloads::InputId;
+
+use crate::ResourceConfig;
+
+/// Terminal status of an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvocationStatus {
+    /// Completed within the timeout.
+    Success,
+    /// Killed by the memory cgroup (§5.1's failure mode).
+    OomKilled,
+    /// Exceeded the platform timeout (600 s by default, §3).
+    TimedOut,
+}
+
+impl fmt::Display for InvocationStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Success => write!(f, "success"),
+            Self::OomKilled => write!(f, "oom-killed"),
+            Self::TimedOut => write!(f, "timed-out"),
+        }
+    }
+}
+
+/// One row of the measurement log: everything the study needs about a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationRecord {
+    /// Deployed function name.
+    pub function: String,
+    /// Configuration the invocation ran under.
+    pub config: ResourceConfig,
+    /// Input sample id.
+    pub input: InputId,
+    /// Terminal status.
+    pub status: InvocationStatus,
+    /// Wall-clock duration in seconds (time burned, even on failure).
+    pub duration_secs: f64,
+    /// Metered cost in USD (billed on allocated resources × duration).
+    pub cost_usd: f64,
+    /// Peak memory footprint in MiB, when the run got far enough to
+    /// measure one.
+    pub peak_mem_mib: Option<u32>,
+    /// Virtual timestamp (seconds since platform start) of completion.
+    pub finished_at_secs: f64,
+}
+
+impl InvocationRecord {
+    /// Whether the invocation completed successfully.
+    pub fn is_success(&self) -> bool {
+        self.status == InvocationStatus::Success
+    }
+}
+
+impl fmt::Display for InvocationRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] on {}: {} in {:.3}s for ${:.6}",
+            self.function, self.input, self.config, self.status, self.duration_secs, self.cost_usd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_cluster::InstanceFamily;
+
+    #[test]
+    fn display_mentions_all_key_fields() {
+        let r = InvocationRecord {
+            function: "blur".into(),
+            config: ResourceConfig::new(InstanceFamily::C5, 1.0, 256).unwrap(),
+            input: InputId("image-1".into()),
+            status: InvocationStatus::Success,
+            duration_secs: 1.5,
+            cost_usd: 2e-5,
+            peak_mem_mib: Some(120),
+            finished_at_secs: 10.0,
+        };
+        let s = r.to_string();
+        assert!(s.contains("blur"));
+        assert!(s.contains("image-1"));
+        assert!(s.contains("c5"));
+        assert!(s.contains("success"));
+        assert!(r.is_success());
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(InvocationStatus::OomKilled.to_string(), "oom-killed");
+        assert_eq!(InvocationStatus::TimedOut.to_string(), "timed-out");
+    }
+}

@@ -1,0 +1,338 @@
+//! The gateway: registry, deployment, invocation, metering.
+
+use std::collections::BTreeMap;
+
+use freedom_cluster::{Cluster, PlacementPolicy, SimClock};
+use freedom_pricing::CostModel;
+use freedom_workloads::{noise, ExecOutcome, FunctionKind, InputData, ResourceEnv};
+
+use crate::{FaasError, InvocationRecord, InvocationStatus, ResourceConfig, Result};
+
+/// The platform's function timeout (§3: "600s, comparable to the timeouts
+/// in current serverless offerings").
+pub const DEFAULT_TIMEOUT_SECS: f64 = 600.0;
+
+/// A function to deploy: a name and which benchmark it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSpec {
+    /// Deployment name (gateway-unique).
+    pub name: String,
+    /// Which benchmark function this is.
+    pub kind: FunctionKind,
+}
+
+impl FunctionSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, kind: FunctionKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Deployment {
+    kind: FunctionKind,
+    config: ResourceConfig,
+}
+
+/// The serverless gateway: deploy functions with a [`ResourceConfig`],
+/// invoke them on the simulated cluster, and meter every run.
+///
+/// All randomness flows from the constructor seed, so a gateway replays
+/// identically; distinct invocations still see fresh measurement noise.
+#[derive(Debug, Clone)]
+pub struct Gateway {
+    cluster: Cluster,
+    cost_model: CostModel,
+    deployments: BTreeMap<String, Deployment>,
+    clock: SimClock,
+    timeout_secs: f64,
+    noise_sigma: f64,
+    seed: u64,
+    invocation_seq: u64,
+}
+
+impl Gateway {
+    /// Creates a gateway over an auto-provisioning cluster.
+    pub fn new(seed: u64) -> Result<Self> {
+        Ok(Self {
+            cluster: Cluster::auto_provisioning(PlacementPolicy::BestFit),
+            cost_model: CostModel::aws()?,
+            deployments: BTreeMap::new(),
+            clock: SimClock::new(),
+            timeout_secs: DEFAULT_TIMEOUT_SECS,
+            noise_sigma: noise::DEFAULT_SIGMA,
+            seed,
+            invocation_seq: 0,
+        })
+    }
+
+    /// Overrides the invocation timeout.
+    ///
+    /// Returns [`FaasError::InvalidArgument`] for non-positive timeouts.
+    pub fn set_timeout(&mut self, timeout_secs: f64) -> Result<()> {
+        if !timeout_secs.is_finite() || timeout_secs <= 0.0 {
+            return Err(FaasError::InvalidArgument(format!(
+                "timeout must be positive, got {timeout_secs}"
+            )));
+        }
+        self.timeout_secs = timeout_secs;
+        Ok(())
+    }
+
+    /// Overrides the measurement-noise sigma (0 disables jitter).
+    pub fn set_noise_sigma(&mut self, sigma: f64) {
+        self.noise_sigma = sigma.clamp(0.0, 0.5);
+    }
+
+    /// The configured timeout.
+    pub fn timeout_secs(&self) -> f64 {
+        self.timeout_secs
+    }
+
+    /// Read access to the backing cluster (idle-capacity queries, §6.2).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The platform's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Deploys a function.
+    ///
+    /// Returns [`FaasError::AlreadyDeployed`] on name collision and
+    /// [`FaasError::InvalidArgument`] for empty names.
+    pub fn deploy(&mut self, spec: FunctionSpec, config: ResourceConfig) -> Result<()> {
+        if spec.name.is_empty() {
+            return Err(FaasError::InvalidArgument(
+                "function name must not be empty".into(),
+            ));
+        }
+        if self.deployments.contains_key(&spec.name) {
+            return Err(FaasError::AlreadyDeployed(spec.name));
+        }
+        self.deployments.insert(
+            spec.name,
+            Deployment {
+                kind: spec.kind,
+                config,
+            },
+        );
+        Ok(())
+    }
+
+    /// Changes the resource configuration of a deployed function — the
+    /// operation an autotuner performs between trials.
+    pub fn reconfigure(&mut self, name: &str, config: ResourceConfig) -> Result<()> {
+        let dep = self
+            .deployments
+            .get_mut(name)
+            .ok_or_else(|| FaasError::UnknownFunction(name.to_string()))?;
+        dep.config = config;
+        Ok(())
+    }
+
+    /// Returns the kind and current configuration of a deployment.
+    pub fn deployment(&self, name: &str) -> Option<(FunctionKind, ResourceConfig)> {
+        self.deployments.get(name).map(|d| (d.kind, d.config))
+    }
+
+    /// Names of all deployments, in name order.
+    pub fn deployed_functions(&self) -> Vec<String> {
+        self.deployments.keys().cloned().collect()
+    }
+
+    /// Invokes a deployed function on an input.
+    ///
+    /// The sandbox is placed on the cluster for the duration of the run
+    /// (auto-provisioning a VM when needed), the workload model produces
+    /// the outcome, the timeout is enforced, and the run is metered on its
+    /// *allocated* share and memory — the paper's billing model.
+    pub fn invoke(&mut self, name: &str, input: &InputData) -> Result<InvocationRecord> {
+        let dep = self
+            .deployments
+            .get(name)
+            .ok_or_else(|| FaasError::UnknownFunction(name.to_string()))?
+            .clone();
+        let config = dep.config;
+
+        // Place the sandbox; auto-provisioning means this only fails for
+        // requests larger than the biggest VM.
+        let sandbox =
+            self.cluster
+                .place(config.family(), config.cpu_share(), config.memory_mib())?;
+
+        let env = ResourceEnv::new(config.family(), config.cpu_share(), config.memory_mib())
+            .expect("config validated at construction");
+        // Derive a fresh, deterministic seed per invocation (splitmix-style).
+        self.invocation_seq += 1;
+        let exec_seed = self
+            .seed
+            .wrapping_add(self.invocation_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut noise_model = noise::NoiseModel::new(exec_seed, self.noise_sigma);
+        let outcome = dep.kind.execute_with_noise(input, &env, &mut noise_model);
+
+        let (status, duration, peak) = match outcome {
+            ExecOutcome::Completed {
+                duration_secs,
+                peak_mem_mib,
+            } if duration_secs <= self.timeout_secs => {
+                (InvocationStatus::Success, duration_secs, Some(peak_mem_mib))
+            }
+            ExecOutcome::Completed { peak_mem_mib, .. } => {
+                // Ran past the platform timeout: killed and billed for the
+                // full timeout window.
+                (
+                    InvocationStatus::TimedOut,
+                    self.timeout_secs,
+                    Some(peak_mem_mib),
+                )
+            }
+            ExecOutcome::OutOfMemory { elapsed_secs, .. } => {
+                (InvocationStatus::OomKilled, elapsed_secs, None)
+            }
+        };
+
+        let cost = self.cost_model.execution_cost(
+            config.family(),
+            config.cpu_share(),
+            config.memory_mib(),
+            duration,
+        )?;
+
+        self.clock.advance_secs(duration);
+        self.cluster.release(sandbox)?;
+
+        Ok(InvocationRecord {
+            function: name.to_string(),
+            config,
+            input: input.id(),
+            status,
+            duration_secs: duration,
+            cost_usd: cost,
+            peak_mem_mib: peak,
+            finished_at_secs: self.clock.now_secs(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_cluster::InstanceFamily;
+    use freedom_workloads::InputData;
+
+    fn cfg(share: f64, mem: u32) -> ResourceConfig {
+        ResourceConfig::new(InstanceFamily::M5, share, mem).unwrap()
+    }
+
+    fn gateway_with(name: &str, kind: FunctionKind, config: ResourceConfig) -> Gateway {
+        let mut gw = Gateway::new(1).unwrap();
+        gw.deploy(FunctionSpec::new(name, kind), config).unwrap();
+        gw
+    }
+
+    #[test]
+    fn deploy_invoke_release_cycle() {
+        let mut gw = gateway_with("blur", FunctionKind::Faceblur, cfg(1.0, 256));
+        let rec = gw
+            .invoke("blur", &FunctionKind::Faceblur.default_input())
+            .unwrap();
+        assert!(rec.is_success());
+        assert!(rec.duration_secs > 0.0);
+        assert!(rec.cost_usd > 0.0);
+        assert_eq!(rec.peak_mem_mib, Some(132)); // 80 + 40·1.3 MP
+                                                 // The sandbox was released: the fleet is fully idle again.
+        assert_eq!(gw.cluster().sandbox_count(), 0);
+        assert_eq!(gw.cluster().cpu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn unknown_function_and_double_deploy() {
+        let mut gw = gateway_with("f", FunctionKind::S3, cfg(0.5, 256));
+        assert!(matches!(
+            gw.invoke("nope", &FunctionKind::S3.default_input()),
+            Err(FaasError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            gw.deploy(FunctionSpec::new("f", FunctionKind::S3), cfg(0.5, 256)),
+            Err(FaasError::AlreadyDeployed(_))
+        ));
+        assert!(matches!(
+            gw.deploy(FunctionSpec::new("", FunctionKind::S3), cfg(0.5, 256)),
+            Err(FaasError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn oom_is_recorded_and_billed_for_elapsed_time() {
+        let mut gw = gateway_with("lin", FunctionKind::Linpack, cfg(1.0, 128));
+        let rec = gw.invoke("lin", &InputData::Matrix { n: 7500 }).unwrap();
+        assert_eq!(rec.status, InvocationStatus::OomKilled);
+        assert!(rec.duration_secs > 0.0);
+        assert!(rec.cost_usd > 0.0, "failed runs still burn money");
+        assert_eq!(rec.peak_mem_mib, None);
+    }
+
+    #[test]
+    fn timeout_caps_duration_and_billing() {
+        let mut gw = gateway_with("t", FunctionKind::Transcode, cfg(0.25, 1024));
+        gw.set_timeout(5.0).unwrap();
+        let rec = gw
+            .invoke("t", &FunctionKind::Transcode.default_input())
+            .unwrap();
+        assert_eq!(rec.status, InvocationStatus::TimedOut);
+        assert_eq!(rec.duration_secs, 5.0);
+        assert!(gw.set_timeout(0.0).is_err());
+        assert!(gw.set_timeout(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn reconfigure_changes_behaviour() {
+        let mut gw = gateway_with("t", FunctionKind::Transcode, cfg(0.5, 1024));
+        gw.set_noise_sigma(0.0);
+        let slow = gw
+            .invoke("t", &FunctionKind::Transcode.default_input())
+            .unwrap();
+        gw.reconfigure("t", cfg(2.0, 1024)).unwrap();
+        let fast = gw
+            .invoke("t", &FunctionKind::Transcode.default_input())
+            .unwrap();
+        assert!(fast.duration_secs < slow.duration_secs / 2.0);
+        assert!(gw.reconfigure("missing", cfg(1.0, 128)).is_err());
+    }
+
+    #[test]
+    fn clock_advances_with_invocations() {
+        let mut gw = gateway_with("s", FunctionKind::S3, cfg(1.0, 256));
+        let a = gw.invoke("s", &FunctionKind::S3.default_input()).unwrap();
+        let b = gw.invoke("s", &FunctionKind::S3.default_input()).unwrap();
+        assert!(b.finished_at_secs > a.finished_at_secs);
+    }
+
+    #[test]
+    fn noise_makes_repeat_invocations_differ_but_replays_identically() {
+        let mut gw1 = gateway_with("s", FunctionKind::S3, cfg(1.0, 256));
+        let r1a = gw1.invoke("s", &FunctionKind::S3.default_input()).unwrap();
+        let r1b = gw1.invoke("s", &FunctionKind::S3.default_input()).unwrap();
+        assert_ne!(r1a.duration_secs, r1b.duration_secs);
+
+        let mut gw2 = gateway_with("s", FunctionKind::S3, cfg(1.0, 256));
+        let r2a = gw2.invoke("s", &FunctionKind::S3.default_input()).unwrap();
+        assert_eq!(r1a.duration_secs, r2a.duration_secs);
+    }
+
+    #[test]
+    fn deployment_lookup() {
+        let gw = gateway_with("x", FunctionKind::Ocr, cfg(1.0, 512));
+        let (kind, config) = gw.deployment("x").unwrap();
+        assert_eq!(kind, FunctionKind::Ocr);
+        assert_eq!(config.memory_mib(), 512);
+        assert!(gw.deployment("y").is_none());
+        assert_eq!(gw.deployed_functions(), vec!["x".to_string()]);
+    }
+}

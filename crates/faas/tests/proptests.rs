@@ -1,0 +1,92 @@
+//! Property-based tests for the platform invariants.
+
+use freedom_cluster::InstanceFamily;
+use freedom_faas::{FunctionSpec, Gateway, InvocationStatus, ResourceConfig};
+use freedom_pricing::CostModel;
+use freedom_workloads::FunctionKind;
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = FunctionKind> {
+    prop::sample::select(FunctionKind::ALL.to_vec())
+}
+
+fn any_family() -> impl Strategy<Value = InstanceFamily> {
+    prop::sample::select(InstanceFamily::SEARCH_SPACE.to_vec())
+}
+
+fn any_mem() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![128u32, 256, 512, 768, 1024, 2048])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metering_always_matches_the_cost_model(
+        kind in any_kind(),
+        family in any_family(),
+        share_milli in 250u32..2000,
+        mem in any_mem(),
+        seed in 0u64..500,
+    ) {
+        let config = ResourceConfig::new(family, share_milli as f64 / 1000.0, mem).unwrap();
+        let mut gw = Gateway::new(seed).unwrap();
+        gw.deploy(FunctionSpec::new("f", kind), config).unwrap();
+        let record = gw.invoke("f", &kind.default_input()).unwrap();
+        // The bill is exactly allocated-resources × duration, whatever the
+        // outcome was.
+        let expected = CostModel::aws()
+            .unwrap()
+            .execution_cost(family, config.cpu_share(), mem, record.duration_secs)
+            .unwrap();
+        prop_assert!((record.cost_usd - expected).abs() < 1e-15);
+        // Durations never exceed the platform timeout.
+        prop_assert!(record.duration_secs <= gw.timeout_secs() + 1e-12);
+        // Success implies the footprint fit the limit.
+        if let Some(peak) = record.peak_mem_mib {
+            prop_assert!(peak <= mem);
+        }
+        // The sandbox is always released, success or not.
+        prop_assert_eq!(gw.cluster().sandbox_count(), 0);
+        prop_assert_eq!(gw.cluster().cpu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn oom_verdict_is_exactly_the_demand_threshold(
+        kind in any_kind(),
+        family in any_family(),
+        mem in any_mem(),
+        seed in 0u64..200,
+    ) {
+        let config = ResourceConfig::new(family, 1.0, mem).unwrap();
+        let mut gw = Gateway::new(seed).unwrap();
+        gw.deploy(FunctionSpec::new("f", kind), config).unwrap();
+        let input = kind.default_input();
+        let required = kind.demand(&input).required_mem_mib;
+        let record = gw.invoke("f", &input).unwrap();
+        if required <= mem {
+            prop_assert_ne!(record.status, InvocationStatus::OomKilled);
+        } else {
+            prop_assert_eq!(record.status, InvocationStatus::OomKilled);
+        }
+    }
+
+    #[test]
+    fn repeated_invocations_are_independent_and_positive(
+        kind in any_kind(),
+        seed in 0u64..100,
+        n in 2usize..8,
+    ) {
+        let config = ResourceConfig::new(InstanceFamily::M5, 1.0, 2048).unwrap();
+        let mut gw = Gateway::new(seed).unwrap();
+        gw.deploy(FunctionSpec::new("f", kind), config).unwrap();
+        let input = kind.default_input();
+        let mut last_finish = 0.0;
+        for _ in 0..n {
+            let record = gw.invoke("f", &input).unwrap();
+            prop_assert!(record.duration_secs > 0.0);
+            prop_assert!(record.finished_at_secs > last_finish);
+            last_finish = record.finished_at_secs;
+        }
+    }
+}

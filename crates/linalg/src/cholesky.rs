@@ -1,0 +1,231 @@
+//! Cholesky factorization for symmetric positive-definite matrices.
+//!
+//! The Gaussian-process surrogate factorizes its kernel matrix on every fit;
+//! kernel matrices can be numerically borderline, so [`cholesky`] retries
+//! with growing diagonal jitter before giving up, the standard GP trick.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_linalg::{Matrix, cholesky};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+/// let ch = cholesky(&a, 0.0).unwrap();
+/// let x = ch.solve(&[8.0, 7.0]).unwrap();
+/// let ax = a.matvec(&x).unwrap();
+/// assert!((ax[0] - 8.0).abs() < 1e-10);
+/// assert!((ax[1] - 7.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// The jitter that was actually added to the diagonal to achieve
+    /// positive definiteness (0.0 when none was needed).
+    jitter_used: f64,
+}
+
+impl Cholesky {
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Diagonal jitter that was required for the factorization to succeed.
+    pub fn jitter_used(&self) -> f64 {
+        self.jitter_used
+    }
+
+    /// Solves `A x = b` via forward then backward substitution.
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l.get(i, j) * y[j];
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ x = y` (backward substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if y.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", y.len()),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.l.get(j, i) * x[j];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A`, i.e. `2 Σ log L[i][i]`.
+    ///
+    /// Needed for the GP log-marginal-likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// Factorizes a symmetric positive-definite matrix, retrying with growing
+/// diagonal jitter starting from `initial_jitter`.
+///
+/// Pass `0.0` to attempt an exact factorization first. On failure the
+/// routine escalates jitter by ×10 up to `1e-2 · mean(diag)` before
+/// returning [`LinalgError::NotPositiveDefinite`].
+pub fn cholesky(a: &Matrix, initial_jitter: f64) -> Result<Cholesky> {
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mean_diag = (0..n).map(|i| a.get(i, i).abs()).sum::<f64>() / n as f64;
+    let max_jitter = (1e-2 * mean_diag).max(1e-10);
+    let mut jitter = initial_jitter;
+    loop {
+        match try_factorize(a, jitter) {
+            Ok(l) => {
+                return Ok(Cholesky {
+                    l,
+                    jitter_used: jitter,
+                })
+            }
+            Err(_) if jitter < max_jitter => {
+                jitter = if jitter == 0.0 { 1e-10 } else { jitter * 10.0 };
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn try_factorize(a: &Matrix, jitter: f64) -> Result<Matrix> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            if i == j {
+                sum += jitter;
+            }
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 3.0, 0.4], &[0.6, 0.4, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let ch = cholesky(&a, 0.0).unwrap();
+        let l = ch.factor();
+        let lt = l.transpose();
+        let back = l.matmul(&lt).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((back.get(r, c) - a.get(r, c)).abs() < 1e-10);
+            }
+        }
+        assert_eq!(ch.jitter_used(), 0.0);
+    }
+
+    #[test]
+    fn solve_matches_direct_solution() {
+        let a = spd3();
+        let ch = cholesky(&a, 0.0).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = ch.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (lhs, rhs) in ax.iter().zip(b.iter()) {
+            assert!((lhs - rhs).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det(diag(4, 9)) = 36.
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]).unwrap();
+        let ch = cholesky(&a, 0.0).unwrap();
+        assert!((ch.log_det() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite_matrix() {
+        // Rank-1 matrix: positive semi-definite but not definite.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let ch = cholesky(&a, 0.0).unwrap();
+        assert!(ch.jitter_used() > 0.0);
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert_eq!(
+            cholesky(&a, 0.0).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            cholesky(&a, 0.0).unwrap_err(),
+            LinalgError::DimensionMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the linear-algebra kernel.
+
+use std::fmt;
+
+/// Errors produced by dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions do not match the operation's requirements.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was supplied.
+        found: String,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized or inverted.
+    Singular,
+    /// The matrix is not positive definite, so a Cholesky factorization does
+    /// not exist even after jitter was added to the diagonal.
+    NotPositiveDefinite,
+    /// An input was empty where at least one element is required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Self::Singular => write!(f, "matrix is singular"),
+            Self::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            Self::Empty => write!(f, "input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_stable() {
+        let e = LinalgError::DimensionMismatch {
+            expected: "3x3".into(),
+            found: "2x3".into(),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3x3, found 2x3");
+        assert_eq!(LinalgError::Singular.to_string(), "matrix is singular");
+        assert_eq!(
+            LinalgError::NotPositiveDefinite.to_string(),
+            "matrix is not positive definite"
+        );
+        assert_eq!(LinalgError::Empty.to_string(), "input is empty");
+    }
+}

@@ -1,0 +1,198 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used by the pricing substrate to solve the §3.2 systems of instance-price
+//! equations (Eq. 1), and available as a general small-system solver.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factors of a square matrix, with the row-permutation applied.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_linalg::{Matrix, LuFactors};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+/// let lu = LuFactors::factorize(&a).unwrap();
+/// let x = lu.solve(&[10.0, 12.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factorization is row `perm[i]` of the
+    /// original matrix.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factorizes a square matrix with partial pivoting.
+    ///
+    /// Returns [`LinalgError::Singular`] for (numerically) singular inputs
+    /// and [`LinalgError::DimensionMismatch`] for non-square inputs.
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if n != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivoting: bring the largest-magnitude entry to the
+            // diagonal to keep the elimination numerically stable.
+            let pivot_row = (col..n)
+                .max_by(|&i, &j| {
+                    lu.get(i, col)
+                        .abs()
+                        .partial_cmp(&lu.get(j, col).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty range");
+            let pivot = lu.get(pivot_row, col);
+            if pivot.abs() < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let tmp = lu.get(col, c);
+                    lu.set(col, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(col, pivot_row);
+            }
+            for row in (col + 1)..n {
+                let factor = lu.get(row, col) / lu.get(col, col);
+                lu.set(row, col, factor);
+                for c in (col + 1)..n {
+                    let v = lu.get(row, c) - factor * lu.get(col, c);
+                    lu.set(row, c, v);
+                }
+            }
+        }
+        Ok(Self { lu, perm })
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        // Forward substitution with the permuted right-hand side (L has an
+        // implicit unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back substitution through U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = sum / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot convenience: factorize `a` and solve `a x = b`.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_linalg::{Matrix, lu_solve};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+/// assert_eq!(lu_solve(&a, &[2.0, 8.0]).unwrap(), vec![1.0, 2.0]);
+/// ```
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuFactors::factorize(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_3x3_system() {
+        // The paper's Intel pricing system shape: alpha*X + beta*Y = P.
+        let a =
+            Matrix::from_rows(&[&[2.0, 0.0, 4.0], &[0.0, 2.0, 8.0], &[0.0, 2.0, 16.0]]).unwrap();
+        let b = [0.085, 0.096, 0.126];
+        let x = lu_solve(&a, &b).unwrap();
+        // Hand-solved: Y = 0.00375, X2 = 0.033, X1 = 0.035.
+        assert!((x[0] - 0.035).abs() < 1e-12);
+        assert!((x[1] - 0.033).abs() < 1e-12);
+        assert!((x[2] - 0.00375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(
+            lu_solve(&a, &[1.0, 2.0]).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactors::factorize(&a).unwrap_err(),
+            LinalgError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let a = Matrix::identity(2);
+        let lu = LuFactors::factorize(&a).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_like_system() {
+        let a = Matrix::from_rows(&[
+            &[3.0, -1.0, 2.0, 0.5],
+            &[1.0, 4.0, -2.0, 1.0],
+            &[-2.0, 1.5, 5.0, -1.0],
+            &[0.5, -1.0, 1.0, 6.0],
+        ])
+        .unwrap();
+        let b = [1.0, -2.0, 3.0, 0.25];
+        let x = lu_solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (lhs, rhs) in ax.iter().zip(b.iter()) {
+            assert!((lhs - rhs).abs() < 1e-10);
+        }
+    }
+}

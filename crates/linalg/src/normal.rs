@@ -1,0 +1,92 @@
+//! Standard normal distribution helpers.
+//!
+//! The Expected Improvement acquisition function (§5.1) needs the standard
+//! normal PDF and CDF; the CDF is built on an Abramowitz–Stegun style `erf`
+//! approximation (max absolute error ≈ 1.5e-7, far below the noise floor of
+//! any measurement in this workspace).
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+///
+/// # Examples
+///
+/// ```
+/// use freedom_linalg::normal::erf;
+///
+/// assert!(erf(0.0).abs() < 1e-8);
+/// assert!((erf(1.0) - 0.8427007).abs() < 1e-6);
+/// assert!((erf(-1.0) + 0.8427007).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal probability density function.
+pub fn pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_linalg::normal::cdf;
+///
+/// assert!((cdf(0.0) - 0.5).abs() < 1e-8);
+/// assert!(cdf(5.0) > 0.999_999);
+/// assert!(cdf(-5.0) < 1e-6);
+/// ```
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_is_odd() {
+        for &x in &[0.1, 0.5, 1.0, 2.0, 3.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_saturates() {
+        assert!((erf(6.0) - 1.0).abs() < 1e-9);
+        assert!((erf(-6.0) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // Phi(1.96) ~ 0.975.
+        assert!((cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pdf_peaks_at_zero_and_is_symmetric() {
+        assert!(pdf(0.0) > pdf(0.5));
+        assert!((pdf(1.3) - pdf(-1.3)).abs() < 1e-15);
+        assert!((pdf(0.0) - 0.3989422804).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let c = cdf(x);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+            x += 0.05;
+        }
+    }
+}

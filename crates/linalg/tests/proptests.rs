@@ -1,0 +1,83 @@
+//! Property-based tests for the linear-algebra kernel.
+
+use freedom_linalg::{cholesky, lu_solve, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random well-conditioned SPD matrix built as `B Bᵀ + n·I`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f64..2.0, n * n).prop_map(move |vals| {
+        let b = Matrix::from_vec(n, n, vals).expect("shape is consistent");
+        let bt = b.transpose();
+        let mut a = b.matmul(&bt).expect("square product");
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + n as f64);
+        }
+        a
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs_spd(a in spd_matrix(4)) {
+        let ch = cholesky(&a, 0.0).expect("SPD by construction");
+        let l = ch.factor();
+        let back = l.matmul(&l.transpose()).unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert!((back.get(r, c) - a.get(r, c)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_has_small_residual(
+        a in spd_matrix(4),
+        b in prop::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let ch = cholesky(&a, 0.0).unwrap();
+        let x = ch.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (lhs, rhs) in ax.iter().zip(&b) {
+            prop_assert!((lhs - rhs).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(
+        vals in prop::collection::vec(-5.0f64..5.0, 9),
+        b in prop::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        // Make the matrix diagonally dominant so it is guaranteed invertible.
+        let mut a = Matrix::from_vec(3, 3, vals).unwrap();
+        for i in 0..3 {
+            let row_sum: f64 = (0..3).map(|j| a.get(i, j).abs()).sum();
+            a.set(i, i, row_sum + 1.0);
+        }
+        let x = lu_solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (lhs, rhs) in ax.iter().zip(&b) {
+            prop_assert!((lhs - rhs).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(vals in prop::collection::vec(-5.0f64..5.0, 12)) {
+        let a = Matrix::from_vec(3, 4, vals).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(mut xs in prop::collection::vec(-100.0f64..100.0, 1..40)) {
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let q25 = freedom_linalg::stats::quantile(&xs, 0.25).unwrap();
+        let q50 = freedom_linalg::stats::quantile(&xs, 0.50).unwrap();
+        let q75 = freedom_linalg::stats::quantile(&xs, 0.75).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+
+    #[test]
+    fn normal_cdf_in_unit_interval(x in -20.0f64..20.0) {
+        let c = freedom_linalg::normal::cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+}

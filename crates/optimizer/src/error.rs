@@ -1,0 +1,86 @@
+//! Error type for the optimizer.
+
+use std::fmt;
+
+use freedom_faas::FaasError;
+use freedom_surrogates::SurrogateError;
+
+/// Errors produced by optimization runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerError {
+    /// The search space has no configurations left (e.g. everything was
+    /// sliced away by OOM failures).
+    EmptySearchSpace,
+    /// The evaluation budget is smaller than the number of initial samples.
+    BudgetTooSmall {
+        /// Configured budget.
+        budget: usize,
+        /// Configured initial samples.
+        n_initial: usize,
+    },
+    /// A surrogate failed to fit or predict.
+    Surrogate(SurrogateError),
+    /// The platform failed to evaluate a configuration.
+    Evaluation(FaasError),
+    /// A configuration was not found where one was required (e.g. table
+    /// lookup miss).
+    UnknownConfig(String),
+    /// An invalid argument (weights outside `[0, 1]`, zero trials, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySearchSpace => write!(f, "search space is empty"),
+            Self::BudgetTooSmall { budget, n_initial } => write!(
+                f,
+                "budget {budget} is smaller than the {n_initial} initial samples"
+            ),
+            Self::Surrogate(e) => write!(f, "surrogate failure: {e}"),
+            Self::Evaluation(e) => write!(f, "evaluation failure: {e}"),
+            Self::UnknownConfig(c) => write!(f, "configuration not in table: {c}"),
+            Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Surrogate(e) => Some(e),
+            Self::Evaluation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SurrogateError> for OptimizerError {
+    fn from(e: SurrogateError) -> Self {
+        Self::Surrogate(e)
+    }
+}
+
+impl From<FaasError> for OptimizerError {
+    fn from(e: FaasError) -> Self {
+        Self::Evaluation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = OptimizerError::BudgetTooSmall {
+            budget: 2,
+            n_initial: 3,
+        };
+        assert!(e.to_string().contains("budget 2"));
+        assert!(e.source().is_none());
+        let s: OptimizerError = SurrogateError::NotFitted.into();
+        assert!(s.source().is_some());
+    }
+}

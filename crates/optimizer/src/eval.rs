@@ -1,0 +1,280 @@
+//! Prediction-error evaluation (§5.5, Figures 9 and 10).
+//!
+//! After an optimization run, the fitted surrogate can predict the
+//! objective for *untested* configurations. The paper evaluates this with
+//! MAPE in two scenarios: over the whole feasible search space (Figure 9),
+//! and over the best predicted configuration of each instance family
+//! (Figure 10) — the quantity the §6.2 provider planner relies on.
+
+use freedom_cluster::InstanceFamily;
+use freedom_faas::{PerfTable, ResourceConfig};
+use freedom_linalg::stats;
+use freedom_surrogates::Surrogate;
+
+use crate::{Objective, OptimizerError, Result, SearchSpace};
+
+/// The actual objective value of a table point under Eq. 2 normalizers.
+fn actual_value(
+    table: &PerfTable,
+    config: &ResourceConfig,
+    objective: Objective,
+    bt: f64,
+    bc: f64,
+) -> Option<f64> {
+    let p = table.lookup(config)?;
+    if p.failed {
+        return None;
+    }
+    Some(objective.value_of(p.exec_time_secs, p.exec_cost_usd, bt, bc))
+}
+
+/// Ground-truth Eq. 2 normalizers: the best feasible time and cost in the
+/// table.
+pub fn table_normalizers(table: &PerfTable) -> (f64, f64) {
+    let bt = table
+        .best_by_time()
+        .map(|p| p.exec_time_secs)
+        .unwrap_or(1.0);
+    let bc = table.best_by_cost().map(|p| p.exec_cost_usd).unwrap_or(1.0);
+    (bt, bc)
+}
+
+/// Scenario 1 (Figure 9): MAPE of the surrogate across every feasible
+/// configuration of the space.
+///
+/// Returns [`OptimizerError::InvalidArgument`] when no feasible
+/// configuration exists.
+pub fn mape_over_space(
+    model: &dyn Surrogate,
+    space: &SearchSpace,
+    table: &PerfTable,
+    objective: Objective,
+) -> Result<f64> {
+    let (bt, bc) = table_normalizers(table);
+    let mut actual = Vec::new();
+    let mut predicted = Vec::new();
+    for config in space.configs() {
+        if let Some(a) = actual_value(table, config, objective, bt, bc) {
+            let p = model.predict(&SearchSpace::encode(config))?;
+            actual.push(a);
+            predicted.push(p.mean);
+        }
+    }
+    stats::mape(&actual, &predicted).ok_or_else(|| {
+        OptimizerError::InvalidArgument("no feasible configurations to score".into())
+    })
+}
+
+/// One family's best *predicted* configuration, with its predicted and
+/// actual objective values (Figure 10's per-family comparison).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyBest {
+    /// Instance family.
+    pub family: InstanceFamily,
+    /// Configuration the model believes is this family's best.
+    pub config: ResourceConfig,
+    /// Model-predicted objective value there.
+    pub predicted: f64,
+    /// Ground-truth objective value there.
+    pub actual: f64,
+}
+
+/// Scenario 2 (Figure 10): for each family, the configuration with the
+/// best predicted objective among the family's feasible configurations.
+pub fn best_predicted_per_family(
+    model: &dyn Surrogate,
+    space: &SearchSpace,
+    table: &PerfTable,
+    objective: Objective,
+) -> Result<Vec<FamilyBest>> {
+    best_predicted_per_family_with(model, space, table, objective, 0.0)
+}
+
+/// Like [`best_predicted_per_family`] but scoring candidates by the
+/// conservative `mean + beta·std` upper bound.
+///
+/// A positive `beta` makes selections risk-aware: configurations far from
+/// the training trials carry large predictive uncertainty and are skipped
+/// in favour of ones whose predictions can be trusted — what a provider
+/// needs for the §6.2 performance guardrail. `beta = 0` reduces to plain
+/// mean selection. The reported `predicted` value is the same conservative
+/// bound used for selection.
+pub fn best_predicted_per_family_with(
+    model: &dyn Surrogate,
+    space: &SearchSpace,
+    table: &PerfTable,
+    objective: Objective,
+    beta: f64,
+) -> Result<Vec<FamilyBest>> {
+    let (bt, bc) = table_normalizers(table);
+    let mut out = Vec::new();
+    for family in InstanceFamily::SEARCH_SPACE {
+        let mut best: Option<FamilyBest> = None;
+        for config in space.configs().iter().filter(|c| c.family() == family) {
+            let Some(actual) = actual_value(table, config, objective, bt, bc) else {
+                continue;
+            };
+            let p = model.predict(&SearchSpace::encode(config))?;
+            let predicted = p.mean + beta * p.std;
+            let better = best.map(|b| predicted < b.predicted).unwrap_or(true);
+            if better {
+                best = Some(FamilyBest {
+                    family,
+                    config: *config,
+                    predicted,
+                    actual,
+                });
+            }
+        }
+        if let Some(b) = best {
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+/// MAPE between predicted and actual values over the per-family bests.
+pub fn mape_per_family_best(
+    model: &dyn Surrogate,
+    space: &SearchSpace,
+    table: &PerfTable,
+    objective: Objective,
+) -> Result<f64> {
+    let bests = best_predicted_per_family(model, space, table, objective)?;
+    let actual: Vec<f64> = bests.iter().map(|b| b.actual).collect();
+    let predicted: Vec<f64> = bests.iter().map(|b| b.predicted).collect();
+    stats::mape(&actual, &predicted).ok_or_else(|| {
+        OptimizerError::InvalidArgument("no feasible per-family configurations".into())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_faas::PerfPoint;
+    use freedom_surrogates::Prediction;
+    use freedom_workloads::{FunctionKind, InputId};
+
+    /// A fake surrogate that predicts `scale ×` the true time of the
+    /// matching table point (injected via closure-free lookup).
+    struct Oracle {
+        table: PerfTable,
+        scale: f64,
+    }
+
+    impl Surrogate for Oracle {
+        fn fit(&mut self, _x: &[Vec<f64>], _y: &[f64]) -> freedom_surrogates::Result<()> {
+            Ok(())
+        }
+        fn predict(&self, point: &[f64]) -> freedom_surrogates::Result<Prediction> {
+            // Decode enough of the features to find the config again.
+            let share = point[0];
+            let mem = (2f64).powf(point[1]).round() as u32;
+            let p = self
+                .table
+                .points()
+                .iter()
+                .find(|p| {
+                    (p.config.cpu_share() - share).abs() < 1e-9 && p.config.memory_mib() == mem
+                })
+                .expect("config exists");
+            Ok(Prediction {
+                mean: p.exec_time_secs * self.scale,
+                std: 0.0,
+            })
+        }
+        fn name(&self) -> &'static str {
+            "oracle"
+        }
+    }
+
+    fn tiny_table() -> (SearchSpace, PerfTable) {
+        let space = SearchSpace::custom(
+            &[0.5, 1.0],
+            &[256, 512],
+            &[freedom_cluster::InstanceFamily::M5],
+        );
+        let points: Vec<PerfPoint> = space
+            .configs()
+            .iter()
+            .map(|&config| PerfPoint {
+                config,
+                failed: false,
+                exec_time_secs: 10.0 / config.cpu_share(),
+                exec_cost_usd: 1e-5 * config.memory_mib() as f64,
+                peak_mem_mib: Some(config.memory_mib() / 2),
+                reps: 5,
+            })
+            .collect();
+        (
+            space,
+            PerfTable::from_points(FunctionKind::S3, InputId("x".into()), points),
+        )
+    }
+
+    #[test]
+    fn perfect_oracle_has_zero_mape() {
+        let (space, table) = tiny_table();
+        let model = Oracle {
+            table: table.clone(),
+            scale: 1.0,
+        };
+        let m = mape_over_space(&model, &space, &table, Objective::ExecutionTime).unwrap();
+        assert!(m.abs() < 1e-9);
+    }
+
+    #[test]
+    fn biased_oracle_has_exact_mape() {
+        let (space, table) = tiny_table();
+        let model = Oracle {
+            table: table.clone(),
+            scale: 1.2,
+        };
+        let m = mape_over_space(&model, &space, &table, Objective::ExecutionTime).unwrap();
+        assert!((m - 20.0).abs() < 1e-9, "mape {m}");
+    }
+
+    #[test]
+    fn per_family_best_picks_predicted_minimum() {
+        let (space, table) = tiny_table();
+        let model = Oracle {
+            table: table.clone(),
+            scale: 1.0,
+        };
+        let bests =
+            best_predicted_per_family(&model, &space, &table, Objective::ExecutionTime).unwrap();
+        // Only m5 exists in this space; its best is share 1.0.
+        assert_eq!(bests.len(), 1);
+        assert_eq!(bests[0].config.cpu_share(), 1.0);
+        let m = mape_per_family_best(&model, &space, &table, Objective::ExecutionTime).unwrap();
+        assert!(m.abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_failed_table_is_an_error() {
+        let (space, table) = tiny_table();
+        let failed_points: Vec<PerfPoint> = table
+            .points()
+            .iter()
+            .map(|p| PerfPoint {
+                failed: true,
+                ..p.clone()
+            })
+            .collect();
+        let failed_table =
+            PerfTable::from_points(FunctionKind::S3, InputId("x".into()), failed_points);
+        let model = Oracle { table, scale: 1.0 };
+        assert!(mape_over_space(&model, &space, &failed_table, Objective::ExecutionTime).is_err());
+        assert!(
+            mape_per_family_best(&model, &space, &failed_table, Objective::ExecutionTime).is_err()
+        );
+    }
+
+    #[test]
+    fn normalizers_come_from_table_bests() {
+        let (_space, table) = tiny_table();
+        let (bt, bc) = table_normalizers(&table);
+        assert_eq!(bt, 10.0); // share 1.0 → 10 s
+        assert!((bc - 1e-5 * 256.0).abs() < 1e-15);
+    }
+}

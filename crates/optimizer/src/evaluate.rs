@@ -1,0 +1,145 @@
+//! How optimizers obtain measurements for a configuration.
+
+use freedom_faas::{PerfTable, ResourceConfig};
+
+use crate::{OptimizerError, Result, Trial};
+
+/// A source of measurements for candidate configurations.
+///
+/// Offline optimization evaluates against a live gateway (profiling runs);
+/// experiment harnesses evaluate against a pre-collected ground-truth
+/// table. Both are [`Evaluator`]s.
+pub trait Evaluator {
+    /// Measures one configuration.
+    fn evaluate(&mut self, config: &ResourceConfig) -> Result<Trial>;
+}
+
+/// An evaluator backed by a ground-truth [`PerfTable`] (§2's dataset).
+///
+/// Lookups return the table's median measurements; unknown configurations
+/// are an error (the table is expected to cover the search space).
+#[derive(Debug, Clone)]
+pub struct TableEvaluator<'a> {
+    table: &'a PerfTable,
+}
+
+impl<'a> TableEvaluator<'a> {
+    /// Wraps a ground-truth table.
+    pub fn new(table: &'a PerfTable) -> Self {
+        Self { table }
+    }
+
+    /// The backing table.
+    pub fn table(&self) -> &PerfTable {
+        self.table
+    }
+}
+
+impl Evaluator for TableEvaluator<'_> {
+    fn evaluate(&mut self, config: &ResourceConfig) -> Result<Trial> {
+        let point = self
+            .table
+            .lookup(config)
+            .ok_or_else(|| OptimizerError::UnknownConfig(config.to_string()))?;
+        Ok(Trial {
+            config: *config,
+            exec_time_secs: point.exec_time_secs,
+            exec_cost_usd: point.exec_cost_usd,
+            failed: point.failed,
+        })
+    }
+}
+
+/// An evaluator from a closure (tests, synthetic objectives, live
+/// gateways).
+pub struct FnEvaluator<F>
+where
+    F: FnMut(&ResourceConfig) -> Result<Trial>,
+{
+    f: F,
+}
+
+impl<F> FnEvaluator<F>
+where
+    F: FnMut(&ResourceConfig) -> Result<Trial>,
+{
+    /// Wraps a closure.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F> Evaluator for FnEvaluator<F>
+where
+    F: FnMut(&ResourceConfig) -> Result<Trial>,
+{
+    fn evaluate(&mut self, config: &ResourceConfig) -> Result<Trial> {
+        (self.f)(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_cluster::InstanceFamily;
+    use freedom_faas::PerfPoint;
+    use freedom_workloads::{FunctionKind, InputId};
+
+    fn table() -> PerfTable {
+        let cfg = ResourceConfig::new(InstanceFamily::M5, 1.0, 512).unwrap();
+        PerfTable::from_points(
+            FunctionKind::S3,
+            InputId("obj".into()),
+            vec![PerfPoint {
+                config: cfg,
+                failed: false,
+                exec_time_secs: 2.0,
+                exec_cost_usd: 1e-5,
+                peak_mem_mib: Some(100),
+                reps: 5,
+            }],
+        )
+    }
+
+    #[test]
+    fn table_evaluator_returns_medians() {
+        let t = table();
+        let mut e = TableEvaluator::new(&t);
+        let cfg = ResourceConfig::new(InstanceFamily::M5, 1.0, 512).unwrap();
+        let trial = e.evaluate(&cfg).unwrap();
+        assert_eq!(trial.exec_time_secs, 2.0);
+        assert!(!trial.failed);
+        assert_eq!(e.table().points().len(), 1);
+    }
+
+    #[test]
+    fn table_evaluator_rejects_unknown_configs() {
+        let t = table();
+        let mut e = TableEvaluator::new(&t);
+        let missing = ResourceConfig::new(InstanceFamily::C5, 1.0, 512).unwrap();
+        assert!(matches!(
+            e.evaluate(&missing),
+            Err(OptimizerError::UnknownConfig(_))
+        ));
+    }
+
+    #[test]
+    fn fn_evaluator_delegates() {
+        let mut calls = 0;
+        {
+            let mut e = FnEvaluator::new(|cfg: &ResourceConfig| {
+                calls += 1;
+                Ok(Trial {
+                    config: *cfg,
+                    exec_time_secs: 1.0,
+                    exec_cost_usd: 1.0,
+                    failed: false,
+                })
+            });
+            let cfg = ResourceConfig::new(InstanceFamily::M5, 1.0, 512).unwrap();
+            assert!(e.evaluate(&cfg).is_ok());
+            assert!(e.evaluate(&cfg).is_ok());
+        }
+        assert_eq!(calls, 2);
+    }
+}

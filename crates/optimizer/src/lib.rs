@@ -1,0 +1,68 @@
+//! Black-box optimization of serverless resource configurations (§5).
+//!
+//! This crate implements the paper's automatic-configuration machinery:
+//!
+//! - [`SearchSpace`]: the Table 1 grid (8 CPU shares × 6 memory limits × 6
+//!   instance families = 288 configurations), with feature encoding for
+//!   surrogates and the §5.1 *slicing* rule that removes every
+//!   configuration whose memory is at or below an observed OOM;
+//! - [`Objective`]: execution time, execution cost, and Eq. 2's weighted
+//!   combination with best-observed normalization;
+//! - samplers ([`RandomSearch`], [`LatinHypercube`]) and the
+//!   [`BayesianOptimizer`] with Expected Improvement over any
+//!   [`freedom_surrogates::SurrogateKind`];
+//! - [`pareto`]: non-dominated front extraction and the Figure 11
+//!   predicted-vs-actual distance metric;
+//! - [`online`]: violation counting for online optimization (§5.4);
+//! - [`eval`]: MAPE prediction-error studies (§5.5, Figures 9 and 10).
+//!
+//! # Examples
+//!
+//! ```
+//! use freedom_faas::collect_ground_truth;
+//! use freedom_optimizer::{
+//!     BayesianOptimizer, BoConfig, Objective, SearchSpace, TableEvaluator,
+//! };
+//! use freedom_surrogates::SurrogateKind;
+//! use freedom_workloads::FunctionKind;
+//!
+//! let space = SearchSpace::table1();
+//! let table = collect_ground_truth(
+//!     FunctionKind::Faceblur,
+//!     &FunctionKind::Faceblur.default_input(),
+//!     space.configs(),
+//!     5,
+//!     1,
+//! )
+//! .unwrap();
+//! let mut evaluator = TableEvaluator::new(&table);
+//! let run = BayesianOptimizer::new(SurrogateKind::Gp, BoConfig::default())
+//!     .optimize(&space, &mut evaluator, Objective::ExecutionTime)
+//!     .unwrap();
+//! let best = run.best_feasible().unwrap();
+//! let truth = table.best_by_time().unwrap().exec_time_secs;
+//! assert!(best.exec_time_secs <= truth * 1.25);
+//! ```
+
+mod bo;
+mod error;
+pub mod eval;
+mod evaluate;
+mod objective;
+pub mod online;
+pub mod pareto;
+mod sampler;
+mod space;
+
+pub use bo::{
+    expected_improvement, run_sampling, Acquisition, BayesianOptimizer, BoConfig, FailureHandling,
+    OptimizationRun,
+};
+pub use error::OptimizerError;
+pub use evaluate::{Evaluator, FnEvaluator, TableEvaluator};
+pub use objective::{Objective, Trial};
+pub use sampler::{LatinHypercube, RandomSearch, Sampler};
+pub use space::{SearchSpace, CPU_SHARES, MEMORY_MIB};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, OptimizerError>;

@@ -1,0 +1,165 @@
+//! Optimization objectives: execution time, cost, and Eq. 2 weighting.
+
+use std::fmt;
+
+use freedom_faas::ResourceConfig;
+
+use crate::{OptimizerError, Result};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trial {
+    /// Configuration that was run.
+    pub config: ResourceConfig,
+    /// Measured execution time, seconds (time burned, even on failure).
+    pub exec_time_secs: f64,
+    /// Measured execution cost, USD.
+    pub exec_cost_usd: f64,
+    /// Whether the run failed (OOM / timeout).
+    pub failed: bool,
+}
+
+/// The performance objective being minimized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Minimize execution time.
+    ExecutionTime,
+    /// Minimize execution cost.
+    ExecutionCost,
+    /// Eq. 2: `F_w = W_t · F_t/B_t + W_c · F_c/B_c` with best-observed
+    /// normalizers `B_t`, `B_c`.
+    Weighted {
+        /// Weight of execution time, in `[0, 1]`.
+        wt: f64,
+        /// Weight of execution cost (`1 − wt` in the paper).
+        wc: f64,
+    },
+}
+
+impl Objective {
+    /// Creates a weighted objective, validating the weights.
+    pub fn weighted(wt: f64, wc: f64) -> Result<Self> {
+        let valid =
+            (0.0..=1.0).contains(&wt) && (0.0..=1.0).contains(&wc) && (wt + wc - 1.0).abs() < 1e-9;
+        if !valid {
+            return Err(OptimizerError::InvalidArgument(format!(
+                "weights must be in [0,1] and sum to 1, got wt={wt} wc={wc}"
+            )));
+        }
+        Ok(Self::Weighted { wt, wc })
+    }
+
+    /// The three weighted settings the paper pre-trains (§6.1).
+    pub fn paper_weight_grid() -> [Objective; 3] {
+        [
+            Objective::Weighted { wt: 0.25, wc: 0.75 },
+            Objective::Weighted { wt: 0.5, wc: 0.5 },
+            Objective::Weighted { wt: 0.75, wc: 0.25 },
+        ]
+    }
+
+    /// Objective value of a trial given the Eq. 2 normalizers (the best
+    /// execution time `bt` and cost `bc` observed so far).
+    ///
+    /// Failed trials have no objective value.
+    pub fn value(&self, trial: &Trial, bt: f64, bc: f64) -> Option<f64> {
+        if trial.failed {
+            return None;
+        }
+        Some(match self {
+            Self::ExecutionTime => trial.exec_time_secs,
+            Self::ExecutionCost => trial.exec_cost_usd,
+            Self::Weighted { wt, wc } => {
+                let bt = if bt > 0.0 { bt } else { 1.0 };
+                let bc = if bc > 0.0 { bc } else { 1.0 };
+                wt * trial.exec_time_secs / bt + wc * trial.exec_cost_usd / bc
+            }
+        })
+    }
+
+    /// Objective value from raw (time, cost) measurements.
+    pub fn value_of(&self, exec_time_secs: f64, exec_cost_usd: f64, bt: f64, bc: f64) -> f64 {
+        match self {
+            Self::ExecutionTime => exec_time_secs,
+            Self::ExecutionCost => exec_cost_usd,
+            Self::Weighted { wt, wc } => {
+                let bt = if bt > 0.0 { bt } else { 1.0 };
+                let bc = if bc > 0.0 { bc } else { 1.0 };
+                wt * exec_time_secs / bt + wc * exec_cost_usd / bc
+            }
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ExecutionTime => write!(f, "ET"),
+            Self::ExecutionCost => write!(f, "EC"),
+            Self::Weighted { wt, wc } => write!(f, "Wt={wt},Wc={wc}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_cluster::InstanceFamily;
+
+    fn trial(t: f64, c: f64, failed: bool) -> Trial {
+        Trial {
+            config: ResourceConfig::new(InstanceFamily::M5, 1.0, 512).unwrap(),
+            exec_time_secs: t,
+            exec_cost_usd: c,
+            failed,
+        }
+    }
+
+    #[test]
+    fn single_objectives_pick_their_metric() {
+        let tr = trial(10.0, 2.0, false);
+        assert_eq!(Objective::ExecutionTime.value(&tr, 1.0, 1.0), Some(10.0));
+        assert_eq!(Objective::ExecutionCost.value(&tr, 1.0, 1.0), Some(2.0));
+    }
+
+    #[test]
+    fn failed_trials_have_no_value() {
+        let tr = trial(10.0, 2.0, true);
+        assert_eq!(Objective::ExecutionTime.value(&tr, 1.0, 1.0), None);
+    }
+
+    #[test]
+    fn weighted_matches_equation_2() {
+        let obj = Objective::weighted(0.25, 0.75).unwrap();
+        let tr = trial(20.0, 4.0, false);
+        // 0.25 * 20/10 + 0.75 * 4/2 = 0.5 + 1.5 = 2.0
+        let v = obj.value(&tr, 10.0, 2.0).unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_validation() {
+        assert!(Objective::weighted(0.5, 0.5).is_ok());
+        assert!(Objective::weighted(0.7, 0.2).is_err());
+        assert!(Objective::weighted(-0.1, 1.1).is_err());
+        assert_eq!(Objective::paper_weight_grid().len(), 3);
+    }
+
+    #[test]
+    fn zero_normalizers_are_guarded() {
+        let obj = Objective::weighted(0.5, 0.5).unwrap();
+        let tr = trial(2.0, 2.0, false);
+        let v = obj.value(&tr, 0.0, 0.0).unwrap();
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Objective::ExecutionTime.to_string(), "ET");
+        assert_eq!(Objective::ExecutionCost.to_string(), "EC");
+        assert_eq!(
+            Objective::Weighted { wt: 0.5, wc: 0.5 }.to_string(),
+            "Wt=0.5,Wc=0.5"
+        );
+    }
+}

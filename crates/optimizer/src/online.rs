@@ -1,0 +1,138 @@
+//! Online-optimization violation accounting (§5.4).
+//!
+//! When optimization trials are production invocations, a trial with a bad
+//! configuration degrades real traffic. The paper counts a *violation*
+//! whenever a trial's objective value reaches 1.5× the objective value of
+//! the best configuration in the search space, and compares methods by
+//! their average violation count over repeated runs.
+
+use crate::OptimizationRun;
+
+/// The paper's violation threshold: 1.5× the best objective value.
+pub const VIOLATION_FACTOR: f64 = 1.5;
+
+/// Counts the violations in one run against the search-space optimum
+/// `best_in_space` (a ground-truth value, not the run's own best).
+///
+/// Failed trials count as violations: a production invocation that
+/// OOM-killed degraded service more than any slow configuration.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_optimizer::online::{count_violations, VIOLATION_FACTOR};
+/// use freedom_optimizer::{Objective, OptimizationRun, Trial};
+/// # use freedom_faas::ResourceConfig;
+/// # use freedom_cluster::InstanceFamily;
+///
+/// # let config = ResourceConfig::new(InstanceFamily::M5, 1.0, 512).unwrap();
+/// let trials = vec![
+///     Trial { config, exec_time_secs: 10.0, exec_cost_usd: 1.0, failed: false },
+///     Trial { config, exec_time_secs: 16.0, exec_cost_usd: 1.0, failed: false },
+/// ];
+/// let run = OptimizationRun {
+///     objective: Objective::ExecutionTime,
+///     trials,
+///     best_value_by_step: vec![10.0, 10.0],
+///     sliced_away: 0,
+/// };
+/// // Best in space is 10 s; 16 s ≥ 1.5 × 10 is a violation.
+/// assert_eq!(count_violations(&run, 10.0), 1);
+/// ```
+pub fn count_violations(run: &OptimizationRun, best_in_space: f64) -> usize {
+    count_violations_with_factor(run, best_in_space, VIOLATION_FACTOR)
+}
+
+/// Like [`count_violations`] with an explicit threshold factor.
+pub fn count_violations_with_factor(
+    run: &OptimizationRun,
+    best_in_space: f64,
+    factor: f64,
+) -> usize {
+    if !(best_in_space > 0.0) || !(factor > 0.0) {
+        return run.trials.len(); // degenerate baseline: everything violates
+    }
+    let threshold = factor * best_in_space;
+    let (bt, bc) = run.bt_bc();
+    run.trials
+        .iter()
+        .map(|t| match run.objective.value(t, bt, bc) {
+            Some(v) => usize::from(v >= threshold),
+            None => 1, // failures always violate
+        })
+        .sum()
+}
+
+/// Average violations across repeated runs (Figure 8's y-axis).
+pub fn average_violations(runs: &[OptimizationRun], best_in_space: f64) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter()
+        .map(|r| count_violations(r, best_in_space) as f64)
+        .sum::<f64>()
+        / runs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Objective, Trial};
+    use freedom_cluster::InstanceFamily;
+    use freedom_faas::ResourceConfig;
+
+    fn run_with(times: &[f64], failed_mask: &[bool]) -> OptimizationRun {
+        let config = ResourceConfig::new(InstanceFamily::M5, 1.0, 512).unwrap();
+        let trials: Vec<Trial> = times
+            .iter()
+            .zip(failed_mask)
+            .map(|(&t, &f)| Trial {
+                config,
+                exec_time_secs: t,
+                exec_cost_usd: t * 0.1,
+                failed: f,
+            })
+            .collect();
+        OptimizationRun {
+            objective: Objective::ExecutionTime,
+            trials,
+            best_value_by_step: Vec::new(),
+            sliced_away: 0,
+        }
+    }
+
+    #[test]
+    fn counts_only_threshold_crossings() {
+        let run = run_with(&[10.0, 14.9, 15.0, 40.0], &[false; 4]);
+        // threshold = 15.0: 15.0 and 40.0 violate (>=).
+        assert_eq!(count_violations(&run, 10.0), 2);
+    }
+
+    #[test]
+    fn failures_always_count() {
+        let run = run_with(&[10.0, 11.0], &[false, true]);
+        assert_eq!(count_violations(&run, 10.0), 1);
+    }
+
+    #[test]
+    fn custom_factor() {
+        let run = run_with(&[10.0, 12.0, 20.0], &[false; 3]);
+        assert_eq!(count_violations_with_factor(&run, 10.0, 1.1), 2);
+        assert_eq!(count_violations_with_factor(&run, 10.0, 3.0), 0);
+    }
+
+    #[test]
+    fn degenerate_best_counts_everything() {
+        let run = run_with(&[1.0, 2.0], &[false; 2]);
+        assert_eq!(count_violations(&run, 0.0), 2);
+        assert_eq!(count_violations(&run, f64::NAN), 2);
+    }
+
+    #[test]
+    fn average_over_runs() {
+        let a = run_with(&[10.0, 20.0], &[false; 2]); // 1 violation
+        let b = run_with(&[10.0, 10.0], &[false; 2]); // 0 violations
+        assert_eq!(average_violations(&[a, b], 10.0), 0.5);
+        assert_eq!(average_violations(&[], 10.0), 0.0);
+    }
+}

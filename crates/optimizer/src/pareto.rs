@@ -1,0 +1,181 @@
+//! Pareto-front extraction and the Figure 11 distance metric (§6.1).
+//!
+//! The paper's Pareto-front interface predicts a front from two trained
+//! models (one per objective) and evaluates it by measuring, for each
+//! predicted-front configuration, the distance to the *nearest* actual
+//! front configuration — split into an execution-time component `d_t` and
+//! an execution-cost component `d_c`, each normalized by the nearest
+//! actual configuration's objective value.
+
+/// A point in (execution time, execution cost) space.
+pub type BiPoint = (f64, f64);
+
+/// Indices of the non-dominated points (minimization in both objectives).
+///
+/// A point dominates another when it is no worse in both coordinates and
+/// strictly better in at least one. Duplicate coordinates stay in the
+/// front together.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_optimizer::pareto::pareto_front_indices;
+///
+/// let pts = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0)];
+/// assert_eq!(pareto_front_indices(&pts), vec![0, 1, 2]);
+/// ```
+pub fn pareto_front_indices(points: &[BiPoint]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &(ti, ci)) in points.iter().enumerate() {
+        for (j, &(tj, cj)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let no_worse = tj <= ti && cj <= ci;
+            let strictly_better = tj < ti || cj < ci;
+            if no_worse && strictly_better {
+                continue 'outer; // i is dominated by j
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+/// The non-dominated subset itself, sorted by the first coordinate.
+pub fn pareto_front(points: &[BiPoint]) -> Vec<BiPoint> {
+    let mut front: Vec<BiPoint> = pareto_front_indices(points)
+        .into_iter()
+        .map(|i| points[i])
+        .collect();
+    front.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    front.dedup();
+    front
+}
+
+/// Average normalized distances between a predicted front and the actual
+/// front, per Figure 11: for each predicted configuration, find the
+/// nearest actual-front configuration (in objective space normalized by
+/// the actual front's ranges) and accumulate
+/// `d_t = |t_pred − t_near| / t_near` and `d_c = |c_pred − c_near| / c_near`.
+///
+/// Returns `None` when either front is empty or an actual coordinate is
+/// non-positive (normalization would be meaningless).
+pub fn front_distance(predicted: &[BiPoint], actual: &[BiPoint]) -> Option<(f64, f64)> {
+    if predicted.is_empty() || actual.is_empty() {
+        return None;
+    }
+    if actual.iter().any(|&(t, c)| t <= 0.0 || c <= 0.0) {
+        return None;
+    }
+    // Normalize by the actual front's spans so "nearest" is scale-free.
+    let t_min = actual.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let t_max = actual.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let c_min = actual.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let c_max = actual.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let t_span = if t_max - t_min > 1e-12 {
+        t_max - t_min
+    } else {
+        1.0
+    };
+    let c_span = if c_max - c_min > 1e-12 {
+        c_max - c_min
+    } else {
+        1.0
+    };
+
+    let mut sum_dt = 0.0;
+    let mut sum_dc = 0.0;
+    for &(tp, cp) in predicted {
+        let nearest = actual
+            .iter()
+            .min_by(|a, b| {
+                let da = ((tp - a.0) / t_span).powi(2) + ((cp - a.1) / c_span).powi(2);
+                let db = ((tp - b.0) / t_span).powi(2) + ((cp - b.1) / c_span).powi(2);
+                da.total_cmp(&db)
+            })
+            .expect("actual front is non-empty");
+        sum_dt += (tp - nearest.0).abs() / nearest.0;
+        sum_dc += (cp - nearest.1).abs() / nearest.1;
+    }
+    let n = predicted.len() as f64;
+    Some((sum_dt / n, sum_dc / n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_of_a_chain_is_everything() {
+        // Strictly trading-off points: all non-dominated.
+        let pts = [(1.0, 5.0), (2.0, 4.0), (3.0, 3.0), (4.0, 2.0), (5.0, 1.0)];
+        assert_eq!(pareto_front_indices(&pts).len(), 5);
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0), (3.0, 0.5)];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![(0.5, 3.0), (1.0, 1.0), (3.0, 0.5)]);
+    }
+
+    #[test]
+    fn duplicates_survive_in_front_indices() {
+        let pts = [(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_front_indices(&pts), vec![0, 1]);
+        // But the sorted front deduplicates coordinates.
+        assert_eq!(pareto_front(&pts).len(), 1);
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_distance() {
+        let actual = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)];
+        let (dt, dc) = front_distance(&actual, &actual).unwrap();
+        assert_eq!(dt, 0.0);
+        assert_eq!(dc, 0.0);
+    }
+
+    #[test]
+    fn distance_matches_hand_computation() {
+        let actual = [(10.0, 1.0)];
+        let predicted = [(12.0, 1.5)];
+        let (dt, dc) = front_distance(&predicted, &actual).unwrap();
+        assert!((dt - 0.2).abs() < 1e-12);
+        assert!((dc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_point_selection_uses_normalized_space() {
+        // Actual front spans wildly different scales; the time axis must
+        // not drown out cost when picking "nearest".
+        let actual = [(100.0, 0.001), (200.0, 0.0001)];
+        let predicted = [(205.0, 0.0001)];
+        let (dt, _dc) = front_distance(&predicted, &actual).unwrap();
+        // Nearest must be the (200, 0.0001) point → dt = 5/200.
+        assert!((dt - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(front_distance(&[], &[(1.0, 1.0)]).is_none());
+        assert!(front_distance(&[(1.0, 1.0)], &[]).is_none());
+        assert!(front_distance(&[(1.0, 1.0)], &[(0.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn front_size_matches_paper_scale() {
+        // The paper reports fronts of 2-10 configurations; sanity check on
+        // a random-ish cloud.
+        let pts: Vec<BiPoint> = (0..50)
+            .map(|i| {
+                let t = 1.0 + (i as f64 * 7.3) % 10.0;
+                let c = 1.0 + (i as f64 * 3.7) % 8.0;
+                (t, c)
+            })
+            .collect();
+        let front = pareto_front(&pts);
+        assert!(!front.is_empty());
+        assert!(front.len() <= 12);
+    }
+}

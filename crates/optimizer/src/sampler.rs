@@ -1,0 +1,234 @@
+//! Sampling-based search (§5.1): random sampling and Latin hypercube.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use freedom_faas::ResourceConfig;
+
+use crate::{Result, SearchSpace};
+
+/// A strategy that draws a batch of candidate configurations.
+pub trait Sampler {
+    /// Draws up to `n` distinct configurations from `space`.
+    ///
+    /// Returns fewer when the space is smaller than `n`.
+    fn sample(&mut self, space: &SearchSpace, n: usize) -> Result<Vec<ResourceConfig>>;
+
+    /// Short stable name, e.g. `"Random"`.
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform sampling without replacement.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// Creates a seeded random sampler.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Sampler for RandomSearch {
+    fn sample(&mut self, space: &SearchSpace, n: usize) -> Result<Vec<ResourceConfig>> {
+        let mut indices: Vec<usize> = (0..space.len()).collect();
+        indices.shuffle(&mut self.rng);
+        indices.truncate(n);
+        indices.into_iter().map(|i| space.get(i)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+/// Latin-hypercube sampling adapted to the discrete Table 1 grid.
+///
+/// Each of the three axes (CPU share, memory, family) is stratified into
+/// `n` strata via independent random permutations — the classic LHS
+/// space-filling design of McKay et al., projected back onto grid values.
+/// Sampled grid cells that were sliced out of the space are snapped to the
+/// nearest surviving configuration.
+#[derive(Debug, Clone)]
+pub struct LatinHypercube {
+    rng: StdRng,
+}
+
+impl LatinHypercube {
+    /// Creates a seeded LHS sampler.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Maps a stratum midpoint in `[0, 1)` onto an axis of `k` grid values.
+    fn axis_index(u: f64, k: usize) -> usize {
+        ((u * k as f64) as usize).min(k - 1)
+    }
+}
+
+impl Sampler for LatinHypercube {
+    fn sample(&mut self, space: &SearchSpace, n: usize) -> Result<Vec<ResourceConfig>> {
+        if n == 0 || space.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Distinct axis values present in the (possibly sliced) space.
+        let mut shares: Vec<u32> = space.configs().iter().map(|c| c.cpu_milli()).collect();
+        shares.sort_unstable();
+        shares.dedup();
+        let mut mems: Vec<u32> = space.configs().iter().map(|c| c.memory_mib()).collect();
+        mems.sort_unstable();
+        mems.dedup();
+        let mut fams: Vec<_> = space.configs().iter().map(|c| c.family()).collect();
+        fams.sort();
+        fams.dedup();
+
+        // One random permutation of strata per axis.
+        let mut perm_a: Vec<usize> = (0..n).collect();
+        let mut perm_b: Vec<usize> = (0..n).collect();
+        let mut perm_c: Vec<usize> = (0..n).collect();
+        perm_a.shuffle(&mut self.rng);
+        perm_b.shuffle(&mut self.rng);
+        perm_c.shuffle(&mut self.rng);
+
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            // Jittered stratum midpoints in [0, 1).
+            let ua = (perm_a[i] as f64 + self.rng.gen::<f64>()) / n as f64;
+            let ub = (perm_b[i] as f64 + self.rng.gen::<f64>()) / n as f64;
+            let uc = (perm_c[i] as f64 + self.rng.gen::<f64>()) / n as f64;
+            let share = shares[Self::axis_index(ua, shares.len())];
+            let mem = mems[Self::axis_index(ub, mems.len())];
+            let fam = fams[Self::axis_index(uc, fams.len())];
+            let candidate = ResourceConfig::new(fam, share as f64 / 1000.0, mem)
+                .expect("axis values come from valid configs");
+            // Snap to the space (cells can be missing after slicing).
+            let snapped = if space.contains(&candidate) {
+                candidate
+            } else {
+                *space
+                    .configs()
+                    .iter()
+                    .min_by_key(|c| {
+                        let d_share = c.cpu_milli().abs_diff(candidate.cpu_milli());
+                        let d_mem = c.memory_mib().abs_diff(candidate.memory_mib());
+                        (d_mem, d_share, c.family() != candidate.family())
+                    })
+                    .expect("space is non-empty")
+            };
+            if !out.contains(&snapped) {
+                out.push(snapped);
+            }
+        }
+        // Deduplication can shrink the batch; top up randomly.
+        if out.len() < n.min(space.len()) {
+            let mut filler: Vec<ResourceConfig> = space
+                .configs()
+                .iter()
+                .copied()
+                .filter(|c| !out.contains(c))
+                .collect();
+            filler.shuffle(&mut self.rng);
+            out.extend(filler.into_iter().take(n.min(space.len()) - out.len()));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "LHS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_draws_distinct_configs() {
+        let space = SearchSpace::table1();
+        let mut s = RandomSearch::new(1);
+        let batch = s.sample(&space, 20).unwrap();
+        assert_eq!(batch.len(), 20);
+        let mut dedup = batch.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20);
+        assert!(batch.iter().all(|c| space.contains(c)));
+    }
+
+    #[test]
+    fn random_caps_at_space_size() {
+        let space = SearchSpace::decoupled_m5();
+        let mut s = RandomSearch::new(2);
+        let batch = s.sample(&space, 1000).unwrap();
+        assert_eq!(batch.len(), 48);
+    }
+
+    #[test]
+    fn lhs_draws_requested_count_of_valid_configs() {
+        let space = SearchSpace::table1();
+        let mut s = LatinHypercube::new(3);
+        let batch = s.sample(&space, 20).unwrap();
+        assert_eq!(batch.len(), 20);
+        assert!(batch.iter().all(|c| space.contains(c)));
+        let mut dedup = batch.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20);
+    }
+
+    #[test]
+    fn lhs_stratifies_the_share_axis() {
+        // With n = 8 samples and 8 share levels, LHS must touch ≥ 6
+        // distinct share values (allowing for jitter at stratum edges);
+        // uniform sampling would frequently repeat.
+        let space = SearchSpace::table1();
+        let mut s = LatinHypercube::new(7);
+        let batch = s.sample(&space, 8).unwrap();
+        let mut shares: Vec<u32> = batch.iter().map(|c| c.cpu_milli()).collect();
+        shares.sort_unstable();
+        shares.dedup();
+        assert!(shares.len() >= 6, "only {} distinct shares", shares.len());
+    }
+
+    #[test]
+    fn lhs_respects_sliced_spaces() {
+        let mut space = SearchSpace::table1();
+        space.slice_failed_memory(512);
+        let mut s = LatinHypercube::new(5);
+        let batch = s.sample(&space, 15).unwrap();
+        assert!(batch.iter().all(|c| c.memory_mib() > 512));
+    }
+
+    #[test]
+    fn samplers_are_reproducible_per_seed() {
+        let space = SearchSpace::table1();
+        let a = RandomSearch::new(9).sample(&space, 10).unwrap();
+        let b = RandomSearch::new(9).sample(&space, 10).unwrap();
+        assert_eq!(a, b);
+        let c = LatinHypercube::new(9).sample(&space, 10).unwrap();
+        let d = LatinHypercube::new(9).sample(&space, 10).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn zero_and_empty_edge_cases() {
+        let space = SearchSpace::table1();
+        assert!(LatinHypercube::new(1).sample(&space, 0).unwrap().is_empty());
+        let mut empty = SearchSpace::table1();
+        empty.slice_failed_memory(4096);
+        assert!(LatinHypercube::new(1).sample(&empty, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sampler_names() {
+        assert_eq!(RandomSearch::new(0).name(), "Random");
+        assert_eq!(LatinHypercube::new(0).name(), "LHS");
+    }
+}

@@ -1,0 +1,243 @@
+//! The resource-configuration search space (Table 1).
+
+use freedom_cluster::{Architecture, InstanceFamily};
+use freedom_faas::ResourceConfig;
+
+use crate::{OptimizerError, Result};
+
+/// The eight CPU-share options of Table 1.
+pub const CPU_SHARES: [f64; 8] = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0];
+
+/// The six memory-limit options of Table 1, in MiB.
+pub const MEMORY_MIB: [u32; 6] = [128, 256, 512, 768, 1024, 2048];
+
+/// A finite search space of resource configurations.
+///
+/// Supports the §5.1 *slicing* adaptation: every time the platform reports
+/// an OOM at memory `m`, all configurations with memory ≤ `m` are removed
+/// ("if a function fails for a certain memory limit, it is very likely to
+/// continue to fail with a lower memory limit").
+///
+/// # Examples
+///
+/// ```
+/// use freedom_optimizer::SearchSpace;
+///
+/// let mut space = SearchSpace::table1();
+/// assert_eq!(space.len(), 288);
+/// let removed = space.slice_failed_memory(256);
+/// // 2 of 6 memory levels are gone: a third of the space.
+/// assert_eq!(removed, 96);
+/// assert_eq!(space.len(), 192);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    configs: Vec<ResourceConfig>,
+    /// Highest memory level known to OOM (sticky across slices).
+    failed_memory_mib: Option<u32>,
+}
+
+impl SearchSpace {
+    /// The paper's full Decoupled space: 8 × 6 × 6 = 288 configurations.
+    pub fn table1() -> Self {
+        Self::custom(&CPU_SHARES, &MEMORY_MIB, &InstanceFamily::SEARCH_SPACE)
+    }
+
+    /// The Decoupled (m5) strategy: all shares and memories, m5 only.
+    pub fn decoupled_m5() -> Self {
+        Self::custom(&CPU_SHARES, &MEMORY_MIB, &[InstanceFamily::M5])
+    }
+
+    /// A space from explicit axis values (duplicates are removed).
+    pub fn custom(shares: &[f64], memories: &[u32], families: &[InstanceFamily]) -> Self {
+        let mut configs = Vec::with_capacity(shares.len() * memories.len() * families.len());
+        for &family in families {
+            for &share in shares {
+                for &mem in memories {
+                    if let Some(cfg) = ResourceConfig::new(family, share, mem) {
+                        configs.push(cfg);
+                    }
+                }
+            }
+        }
+        configs.sort();
+        configs.dedup();
+        Self {
+            configs,
+            failed_memory_mib: None,
+        }
+    }
+
+    /// A space from an explicit configuration list.
+    pub fn from_configs(configs: Vec<ResourceConfig>) -> Self {
+        let mut configs = configs;
+        configs.sort();
+        configs.dedup();
+        Self {
+            configs,
+            failed_memory_mib: None,
+        }
+    }
+
+    /// The configurations currently in the space.
+    pub fn configs(&self) -> &[ResourceConfig] {
+        &self.configs
+    }
+
+    /// Number of configurations left.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the space is empty (e.g. fully sliced away).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Whether a configuration is in the space.
+    pub fn contains(&self, config: &ResourceConfig) -> bool {
+        self.configs.binary_search(config).is_ok()
+    }
+
+    /// Restricts the space to one instance family (used by the §6.2
+    /// per-family prediction scenario).
+    pub fn restrict_to_family(&self, family: InstanceFamily) -> Self {
+        Self {
+            configs: self
+                .configs
+                .iter()
+                .copied()
+                .filter(|c| c.family() == family)
+                .collect(),
+            failed_memory_mib: self.failed_memory_mib,
+        }
+    }
+
+    /// §5.1 slicing: removes every configuration with memory ≤
+    /// `failed_mem_mib`; returns how many were removed.
+    pub fn slice_failed_memory(&mut self, failed_mem_mib: u32) -> usize {
+        let before = self.configs.len();
+        self.configs.retain(|c| c.memory_mib() > failed_mem_mib);
+        self.failed_memory_mib = Some(
+            self.failed_memory_mib
+                .map_or(failed_mem_mib, |m| m.max(failed_mem_mib)),
+        );
+        before - self.configs.len()
+    }
+
+    /// The highest memory level known to have failed, if any.
+    pub fn failed_memory_mib(&self) -> Option<u32> {
+        self.failed_memory_mib
+    }
+
+    /// Encodes a configuration as surrogate features:
+    /// `[cpu_share, log2(memory_mib), intel, amd, graviton, compute_flag]`.
+    ///
+    /// The one-hot architecture encoding plus a compute-optimized flag
+    /// captures the family axis without imposing a fake ordering on it.
+    pub fn encode(config: &ResourceConfig) -> Vec<f64> {
+        let arch = config.family().architecture();
+        vec![
+            config.cpu_share(),
+            (config.memory_mib() as f64).log2(),
+            f64::from(arch == Architecture::IntelX86),
+            f64::from(arch == Architecture::Amd),
+            f64::from(arch == Architecture::Graviton2),
+            f64::from(config.family().is_compute_optimized()),
+        ]
+    }
+
+    /// Feature dimensionality of [`Self::encode`].
+    pub const ENCODED_DIM: usize = 6;
+
+    /// Returns the configuration at `idx`.
+    ///
+    /// Returns [`OptimizerError::EmptySearchSpace`] when out of range (the
+    /// space shrank under the caller).
+    pub fn get(&self, idx: usize) -> Result<ResourceConfig> {
+        self.configs
+            .get(idx)
+            .copied()
+            .ok_or(OptimizerError::EmptySearchSpace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_288_configs() {
+        let s = SearchSpace::table1();
+        assert_eq!(s.len(), 288);
+        assert_eq!(s.len(), CPU_SHARES.len() * MEMORY_MIB.len() * 6);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn decoupled_m5_is_one_family_slice() {
+        let s = SearchSpace::decoupled_m5();
+        assert_eq!(s.len(), 48);
+        assert!(s.configs().iter().all(|c| c.family() == InstanceFamily::M5));
+    }
+
+    #[test]
+    fn slicing_removes_exactly_the_low_memory_levels() {
+        let mut s = SearchSpace::table1();
+        assert_eq!(s.slice_failed_memory(128), 48);
+        assert_eq!(s.len(), 240);
+        // Slicing at the same level again removes nothing.
+        assert_eq!(s.slice_failed_memory(128), 0);
+        // A higher failure slices more and the watermark is sticky.
+        assert_eq!(s.slice_failed_memory(512), 96);
+        assert_eq!(s.failed_memory_mib(), Some(512));
+        assert!(s.configs().iter().all(|c| c.memory_mib() > 512));
+        // A lower failure later cannot lower the watermark.
+        s.slice_failed_memory(128);
+        assert_eq!(s.failed_memory_mib(), Some(512));
+    }
+
+    #[test]
+    fn slicing_everything_empties_the_space() {
+        let mut s = SearchSpace::table1();
+        s.slice_failed_memory(2048);
+        assert!(s.is_empty());
+        assert!(matches!(s.get(0), Err(OptimizerError::EmptySearchSpace)));
+    }
+
+    #[test]
+    fn restrict_to_family_keeps_48() {
+        let s = SearchSpace::table1();
+        for family in InstanceFamily::SEARCH_SPACE {
+            let r = s.restrict_to_family(family);
+            assert_eq!(r.len(), 48);
+            assert!(r.configs().iter().all(|c| c.family() == family));
+        }
+    }
+
+    #[test]
+    fn encoding_is_six_dimensional_one_hot() {
+        let cfg = ResourceConfig::new(InstanceFamily::C6g, 1.5, 512).unwrap();
+        let f = SearchSpace::encode(&cfg);
+        assert_eq!(f.len(), SearchSpace::ENCODED_DIM);
+        assert_eq!(f[0], 1.5);
+        assert_eq!(f[1], 9.0); // log2(512)
+        assert_eq!(&f[2..5], &[0.0, 0.0, 1.0]);
+        assert_eq!(f[5], 1.0);
+        // Exactly one architecture bit is set for every config.
+        for c in SearchSpace::table1().configs() {
+            let e = SearchSpace::encode(c);
+            assert_eq!(e[2] + e[3] + e[4], 1.0);
+        }
+    }
+
+    #[test]
+    fn contains_and_dedup() {
+        let cfg = ResourceConfig::new(InstanceFamily::M5, 1.0, 512).unwrap();
+        let s = SearchSpace::from_configs(vec![cfg, cfg]);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&cfg));
+        let other = ResourceConfig::new(InstanceFamily::M5, 1.0, 256).unwrap();
+        assert!(!s.contains(&other));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the optimizer's invariants.
+
+use freedom_optimizer::pareto::{front_distance, pareto_front, pareto_front_indices};
+use freedom_optimizer::{expected_improvement, LatinHypercube, RandomSearch, Sampler, SearchSpace};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn slicing_never_leaves_low_memory_configs(levels in prop::collection::vec(0u32..3000, 1..6)) {
+        let mut space = SearchSpace::table1();
+        let mut watermark = 0;
+        for level in levels {
+            space.slice_failed_memory(level);
+            watermark = watermark.max(level);
+            prop_assert!(space.configs().iter().all(|c| c.memory_mib() > watermark));
+        }
+        // The watermark is the max of all observed failures.
+        if watermark > 0 {
+            prop_assert_eq!(space.failed_memory_mib(), Some(watermark));
+        }
+    }
+
+    #[test]
+    fn pareto_front_members_are_mutually_nondominated(
+        pts in prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..60),
+    ) {
+        let front = pareto_front(&pts);
+        prop_assert!(!front.is_empty());
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    let dominates = b.0 <= a.0 && b.1 <= a.1 && (b.0 < a.0 || b.1 < a.1);
+                    prop_assert!(!dominates, "{b:?} dominates {a:?} inside the front");
+                }
+            }
+        }
+        // Every excluded point is dominated by someone.
+        let idx = pareto_front_indices(&pts);
+        for (i, p) in pts.iter().enumerate() {
+            if !idx.contains(&i) {
+                let dominated = pts.iter().enumerate().any(|(j, q)| {
+                    j != i && q.0 <= p.0 && q.1 <= p.1 && (q.0 < p.0 || q.1 < p.1)
+                });
+                prop_assert!(dominated);
+            }
+        }
+    }
+
+    #[test]
+    fn front_distance_is_zero_iff_fronts_coincide(
+        pts in prop::collection::vec((0.5f64..50.0, 0.5f64..50.0), 1..20),
+    ) {
+        let front = pareto_front(&pts);
+        let (dt, dc) = front_distance(&front, &front).unwrap();
+        prop_assert_eq!(dt, 0.0);
+        prop_assert_eq!(dc, 0.0);
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_monotone_in_best(
+        mean in -50.0f64..50.0,
+        std in 0.0f64..10.0,
+        best_lo in -50.0f64..50.0,
+        delta in 0.0f64..20.0,
+    ) {
+        let lo = expected_improvement(mean, std, best_lo, 0.01);
+        let hi = expected_improvement(mean, std, best_lo + delta, 0.01);
+        prop_assert!(lo >= 0.0);
+        // A worse incumbent (higher best) can only increase improvement.
+        prop_assert!(hi >= lo - 1e-12);
+    }
+
+    #[test]
+    fn samplers_return_distinct_in_space_configs(
+        seed in 0u64..5000,
+        n in 1usize..40,
+    ) {
+        let space = SearchSpace::table1();
+        for batch in [
+            RandomSearch::new(seed).sample(&space, n).unwrap(),
+            LatinHypercube::new(seed).sample(&space, n).unwrap(),
+        ] {
+            prop_assert_eq!(batch.len(), n);
+            let mut dedup = batch.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), n, "duplicates in batch");
+            prop_assert!(batch.iter().all(|c| space.contains(c)));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Published on-demand instance prices.
+//!
+//! Hourly `.large` prices for the nine modelled families, as published for
+//! us-east-1 at the time of the paper's study (mid-2021). The `r` families
+//! are never scheduled on; §3.2 uses their prices only to close the linear
+//! systems.
+
+use freedom_cluster::InstanceFamily;
+
+/// Published hourly on-demand price (USD) of the family's `.large` size.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_pricing::catalog::hourly_price_large;
+/// use freedom_cluster::InstanceFamily;
+///
+/// assert_eq!(hourly_price_large(InstanceFamily::M5), 0.096);
+/// assert_eq!(hourly_price_large(InstanceFamily::C6g), 0.068);
+/// ```
+pub fn hourly_price_large(family: InstanceFamily) -> f64 {
+    match family {
+        InstanceFamily::C5 => 0.085,
+        InstanceFamily::M5 => 0.096,
+        InstanceFamily::R5 => 0.126,
+        InstanceFamily::C5a => 0.077,
+        InstanceFamily::M5a => 0.086,
+        InstanceFamily::R5a => 0.113,
+        InstanceFamily::C6g => 0.068,
+        InstanceFamily::M6g => 0.077,
+        InstanceFamily::R6g => 0.1008,
+    }
+}
+
+/// `(α, β)` of Eq. 1 for the family's `.large` size: vCPU count and memory
+/// in GB.
+pub fn eq1_coefficients(family: InstanceFamily) -> (f64, f64) {
+    use freedom_cluster::{InstanceSize, InstanceType};
+    let it = InstanceType::new(family, InstanceSize::Large);
+    (it.vcpus() as f64, it.memory_mib() as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freedom_cluster::InstanceClass;
+
+    #[test]
+    fn all_prices_positive() {
+        for fam in InstanceFamily::ALL {
+            assert!(hourly_price_large(fam) > 0.0, "{fam}");
+        }
+    }
+
+    #[test]
+    fn compute_optimized_is_cheapest_within_architecture() {
+        // Less memory per vCPU ⇒ lower absolute price, for every arch.
+        for (c, m, r) in [
+            (InstanceFamily::C5, InstanceFamily::M5, InstanceFamily::R5),
+            (
+                InstanceFamily::C5a,
+                InstanceFamily::M5a,
+                InstanceFamily::R5a,
+            ),
+            (
+                InstanceFamily::C6g,
+                InstanceFamily::M6g,
+                InstanceFamily::R6g,
+            ),
+        ] {
+            assert!(hourly_price_large(c) < hourly_price_large(m));
+            assert!(hourly_price_large(m) < hourly_price_large(r));
+        }
+    }
+
+    #[test]
+    fn graviton_is_cheapest_architecture() {
+        assert!(hourly_price_large(InstanceFamily::M6g) < hourly_price_large(InstanceFamily::M5a));
+        assert!(hourly_price_large(InstanceFamily::M5a) < hourly_price_large(InstanceFamily::M5));
+    }
+
+    #[test]
+    fn eq1_coefficients_follow_class() {
+        assert_eq!(eq1_coefficients(InstanceFamily::C5), (2.0, 4.0));
+        assert_eq!(eq1_coefficients(InstanceFamily::M5), (2.0, 8.0));
+        assert_eq!(eq1_coefficients(InstanceFamily::R5), (2.0, 16.0));
+        for fam in InstanceFamily::ALL {
+            let (alpha, beta) = eq1_coefficients(fam);
+            assert_eq!(alpha, 2.0);
+            assert_eq!(beta, 2.0 * fam.class().memory_per_vcpu_gib());
+            let _ = InstanceClass::GeneralPurpose; // class linkage exercised above
+        }
+    }
+}

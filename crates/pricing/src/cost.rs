@@ -1,0 +1,208 @@
+//! Execution cost of a resource configuration.
+
+use std::collections::BTreeMap;
+
+use freedom_cluster::{Architecture, InstanceFamily};
+
+use crate::{derive_unit_prices, PricingError, Result, UnitPrices};
+
+/// Spot-style discount applied to idle capacity (§6.2).
+///
+/// The paper assumes idle instance types are offered at a fraction of the
+/// normal per-vCPU and per-GB prices (20% in Figure 15, i.e. an 80%
+/// discount).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotPricing {
+    /// Remaining fraction of the on-demand price, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+impl SpotPricing {
+    /// The paper's Figure 15 setting: idle capacity at 20% of list price.
+    pub const PAPER_DEFAULT: SpotPricing = SpotPricing { fraction: 0.2 };
+
+    /// Creates a spot pricing policy; `fraction` must be in `(0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(PricingError::InvalidParameter(format!(
+                "spot fraction must be in (0, 1], got {fraction}"
+            )));
+        }
+        Ok(Self { fraction })
+    }
+}
+
+/// The paper's execution-cost model: derived unit prices per architecture,
+/// applied to (CPU share, memory, duration) tuples.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    per_arch: BTreeMap<Architecture, UnitPrices>,
+}
+
+impl CostModel {
+    /// Builds the model from the published AWS catalog.
+    pub fn aws() -> Result<Self> {
+        let mut per_arch = BTreeMap::new();
+        for arch in Architecture::ALL {
+            per_arch.insert(arch, derive_unit_prices(arch)?);
+        }
+        Ok(Self { per_arch })
+    }
+
+    /// Unit prices for an architecture.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: all three architectures are populated by [`Self::aws`].
+    pub fn unit_prices(&self, arch: Architecture) -> &UnitPrices {
+        self.per_arch
+            .get(&arch)
+            .expect("all architectures populated at construction")
+    }
+
+    /// USD cost of holding `cpu_share` vCPUs and `memory_mib` MiB for
+    /// `duration_secs` on `family`.
+    ///
+    /// Returns [`PricingError::InvalidParameter`] for non-positive share,
+    /// zero memory, or negative/non-finite duration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use freedom_pricing::CostModel;
+    /// use freedom_cluster::InstanceFamily;
+    ///
+    /// let m = CostModel::aws().unwrap();
+    /// let one_hour = m.execution_cost(InstanceFamily::C6g, 2.0, 4096, 3600.0).unwrap();
+    /// // Two Graviton compute vCPUs + 4 GiB for an hour.
+    /// assert!((one_hour - (2.0 * 0.02805 + 4.0 * 0.002975)).abs() < 1e-9);
+    /// ```
+    pub fn execution_cost(
+        &self,
+        family: InstanceFamily,
+        cpu_share: f64,
+        memory_mib: u32,
+        duration_secs: f64,
+    ) -> Result<f64> {
+        self.execution_cost_discounted(
+            family,
+            cpu_share,
+            memory_mib,
+            duration_secs,
+            SpotPricing { fraction: 1.0 },
+        )
+    }
+
+    /// Like [`Self::execution_cost`] but at a spot-discounted price.
+    pub fn execution_cost_discounted(
+        &self,
+        family: InstanceFamily,
+        cpu_share: f64,
+        memory_mib: u32,
+        duration_secs: f64,
+        spot: SpotPricing,
+    ) -> Result<f64> {
+        if !cpu_share.is_finite() || cpu_share <= 0.0 {
+            return Err(PricingError::InvalidParameter(format!(
+                "cpu share must be positive, got {cpu_share}"
+            )));
+        }
+        if memory_mib == 0 {
+            return Err(PricingError::InvalidParameter(
+                "memory must be non-zero".into(),
+            ));
+        }
+        if !duration_secs.is_finite() || duration_secs < 0.0 {
+            return Err(PricingError::InvalidParameter(format!(
+                "duration must be non-negative, got {duration_secs}"
+            )));
+        }
+        let prices = self.unit_prices(family.architecture());
+        let hourly = cpu_share * prices.per_vcpu_hour(family)
+            + (memory_mib as f64 / 1024.0) * prices.per_gb_hour;
+        Ok(hourly * spot.fraction * duration_secs / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_linearly_in_duration_and_share() {
+        let m = CostModel::aws().unwrap();
+        let base = m
+            .execution_cost(InstanceFamily::M5, 1.0, 1024, 10.0)
+            .unwrap();
+        let double_time = m
+            .execution_cost(InstanceFamily::M5, 1.0, 1024, 20.0)
+            .unwrap();
+        assert!((double_time - 2.0 * base).abs() < 1e-15);
+        let cpu_only_delta = m
+            .execution_cost(InstanceFamily::M5, 2.0, 1024, 10.0)
+            .unwrap()
+            - base;
+        // Doubling the share adds exactly one vCPU-10s of cost.
+        assert!((cpu_only_delta - 0.033 * 10.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graviton_is_cheaper_than_intel_for_same_allocation() {
+        let m = CostModel::aws().unwrap();
+        let intel = m
+            .execution_cost(InstanceFamily::M5, 1.0, 2048, 60.0)
+            .unwrap();
+        let arm = m
+            .execution_cost(InstanceFamily::M6g, 1.0, 2048, 60.0)
+            .unwrap();
+        assert!(arm < intel);
+    }
+
+    #[test]
+    fn spot_discount_scales_cost() {
+        let m = CostModel::aws().unwrap();
+        let full = m
+            .execution_cost(InstanceFamily::C5, 1.0, 512, 30.0)
+            .unwrap();
+        let spot = m
+            .execution_cost_discounted(
+                InstanceFamily::C5,
+                1.0,
+                512,
+                30.0,
+                SpotPricing::PAPER_DEFAULT,
+            )
+            .unwrap();
+        assert!((spot - 0.2 * full).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spot_fraction_validation() {
+        assert!(SpotPricing::new(0.0).is_err());
+        assert!(SpotPricing::new(1.5).is_err());
+        assert!(SpotPricing::new(-0.1).is_err());
+        assert!(SpotPricing::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let m = CostModel::aws().unwrap();
+        assert!(m.execution_cost(InstanceFamily::M5, 0.0, 128, 1.0).is_err());
+        assert!(m.execution_cost(InstanceFamily::M5, 1.0, 0, 1.0).is_err());
+        assert!(m
+            .execution_cost(InstanceFamily::M5, 1.0, 128, -1.0)
+            .is_err());
+        assert!(m
+            .execution_cost(InstanceFamily::M5, 1.0, 128, f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_duration_costs_nothing() {
+        let m = CostModel::aws().unwrap();
+        assert_eq!(
+            m.execution_cost(InstanceFamily::M5, 1.0, 128, 0.0).unwrap(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the pricing crate.
+
+use std::fmt;
+
+use freedom_linalg::LinalgError;
+
+/// Errors produced by price derivation and cost computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricingError {
+    /// The Eq.-1 linear system could not be solved (degenerate catalog).
+    UnsolvableSystem(LinalgError),
+    /// A derived unit price came out non-positive, which would make the
+    /// cost model meaningless.
+    NonPositiveUnitPrice {
+        /// Which price was non-positive, e.g. `"per-vCPU (compute)"`.
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A cost query carried an invalid parameter.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsolvableSystem(e) => write!(f, "cannot solve pricing system: {e}"),
+            Self::NonPositiveUnitPrice { which, value } => {
+                write!(f, "derived {which} price is non-positive: {value}")
+            }
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PricingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::UnsolvableSystem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for PricingError {
+    fn from(e: LinalgError) -> Self {
+        Self::UnsolvableSystem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PricingError::from(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        let p = PricingError::InvalidParameter("bad".into());
+        assert!(p.source().is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! Instance pricing and the paper's execution-cost model (§3.2).
+//!
+//! AWS never publishes per-vCPU or per-GB prices, so the paper derives them:
+//! for each CPU architecture it writes one equation per instance family
+//! (Eq. 1, `α·X_vCPU + β·Y_mem = P_instance`), assumes families of the same
+//! architecture share the per-GB price `Y` and that `m`/`r` families share a
+//! CPU type (hence a per-vCPU price), and solves the resulting 3×3 linear
+//! system. This crate reproduces that derivation from the same published
+//! on-demand prices and exposes:
+//!
+//! - [`catalog`]: the published hourly prices,
+//! - [`UnitPrices`] / [`derive_unit_prices`]: the Eq.-1 solution,
+//! - [`CostModel`]: execution cost of a (CPU share, memory, family, duration)
+//!   tuple, with optional spot discounting for idle capacity (§6.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use freedom_pricing::CostModel;
+//! use freedom_cluster::InstanceFamily;
+//!
+//! let model = CostModel::aws().unwrap();
+//! // 1 vCPU + 1 GiB for one hour on m5 costs X_m5 + Y_intel.
+//! let usd = model.execution_cost(InstanceFamily::M5, 1.0, 1024, 3600.0).unwrap();
+//! assert!((usd - (0.033 + 0.00375)).abs() < 1e-9);
+//! ```
+
+pub mod catalog;
+mod cost;
+mod error;
+mod unit_prices;
+
+pub use cost::{CostModel, SpotPricing};
+pub use error::PricingError;
+pub use unit_prices::{derive_unit_prices, UnitPrices};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PricingError>;

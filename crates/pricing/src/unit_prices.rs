@@ -1,0 +1,169 @@
+//! Per-vCPU and per-GB price derivation (Eq. 1).
+//!
+//! For each architecture the published prices of the `c`, `m`, and `r`
+//! families form the system
+//!
+//! ```text
+//! α_c·X_c + β_c·Y = P_c        (c family has its own CPU type)
+//! α_m·X_m + β_m·Y = P_m        (m and r share a CPU type ⇒ same X_m)
+//! α_r·X_m + β_r·Y = P_r
+//! ```
+//!
+//! with per-GB price `Y` shared across the architecture, exactly as §3.2
+//! assumes. The 3×3 system is solved with LU factorization.
+
+use freedom_cluster::{Architecture, InstanceClass, InstanceFamily};
+use freedom_linalg::{lu_solve, Matrix};
+
+use crate::catalog::{eq1_coefficients, hourly_price_large};
+use crate::{PricingError, Result};
+
+/// Derived hourly unit prices for one CPU architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitPrices {
+    /// Architecture these prices belong to.
+    pub architecture: Architecture,
+    /// Per-vCPU-hour price on compute-optimized (`c`) families, USD.
+    pub per_vcpu_hour_compute: f64,
+    /// Per-vCPU-hour price on general/memory (`m`/`r`) families, USD.
+    pub per_vcpu_hour_general: f64,
+    /// Per-GB-hour memory price, USD, shared across the architecture.
+    pub per_gb_hour: f64,
+}
+
+impl UnitPrices {
+    /// Per-vCPU-hour price for a given family of this architecture.
+    pub fn per_vcpu_hour(&self, family: InstanceFamily) -> f64 {
+        match family.class() {
+            InstanceClass::ComputeOptimized => self.per_vcpu_hour_compute,
+            InstanceClass::GeneralPurpose | InstanceClass::MemoryOptimized => {
+                self.per_vcpu_hour_general
+            }
+        }
+    }
+}
+
+/// Solves the Eq.-1 system for one architecture.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_pricing::derive_unit_prices;
+/// use freedom_cluster::Architecture;
+///
+/// let intel = derive_unit_prices(Architecture::IntelX86).unwrap();
+/// assert!((intel.per_gb_hour - 0.00375).abs() < 1e-12);
+/// assert!((intel.per_vcpu_hour_general - 0.033).abs() < 1e-12);
+/// assert!((intel.per_vcpu_hour_compute - 0.035).abs() < 1e-12);
+/// ```
+pub fn derive_unit_prices(architecture: Architecture) -> Result<UnitPrices> {
+    let (c, m, r) = families_of(architecture);
+    let (alpha_c, beta_c) = eq1_coefficients(c);
+    let (alpha_m, beta_m) = eq1_coefficients(m);
+    let (alpha_r, beta_r) = eq1_coefficients(r);
+    // Unknowns ordered [X_c, X_m, Y].
+    let a = Matrix::from_rows(&[
+        &[alpha_c, 0.0, beta_c],
+        &[0.0, alpha_m, beta_m],
+        &[0.0, alpha_r, beta_r],
+    ])?;
+    let b = [
+        hourly_price_large(c),
+        hourly_price_large(m),
+        hourly_price_large(r),
+    ];
+    let x = lu_solve(&a, &b)?;
+    let prices = UnitPrices {
+        architecture,
+        per_vcpu_hour_compute: x[0],
+        per_vcpu_hour_general: x[1],
+        per_gb_hour: x[2],
+    };
+    for (which, value) in [
+        ("per-vCPU (compute)", prices.per_vcpu_hour_compute),
+        ("per-vCPU (general)", prices.per_vcpu_hour_general),
+        ("per-GB", prices.per_gb_hour),
+    ] {
+        if value <= 0.0 {
+            return Err(PricingError::NonPositiveUnitPrice { which, value });
+        }
+    }
+    Ok(prices)
+}
+
+fn families_of(arch: Architecture) -> (InstanceFamily, InstanceFamily, InstanceFamily) {
+    match arch {
+        Architecture::IntelX86 => (InstanceFamily::C5, InstanceFamily::M5, InstanceFamily::R5),
+        Architecture::Amd => (
+            InstanceFamily::C5a,
+            InstanceFamily::M5a,
+            InstanceFamily::R5a,
+        ),
+        Architecture::Graviton2 => (
+            InstanceFamily::C6g,
+            InstanceFamily::M6g,
+            InstanceFamily::R6g,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel_matches_hand_solution() {
+        let p = derive_unit_prices(Architecture::IntelX86).unwrap();
+        assert!((p.per_gb_hour - 0.00375).abs() < 1e-12);
+        assert!((p.per_vcpu_hour_general - 0.033).abs() < 1e-12);
+        assert!((p.per_vcpu_hour_compute - 0.035).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amd_matches_hand_solution() {
+        let p = derive_unit_prices(Architecture::Amd).unwrap();
+        assert!((p.per_gb_hour - 0.003375).abs() < 1e-12);
+        assert!((p.per_vcpu_hour_general - 0.0295).abs() < 1e-12);
+        assert!((p.per_vcpu_hour_compute - 0.03175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graviton_matches_hand_solution() {
+        let p = derive_unit_prices(Architecture::Graviton2).unwrap();
+        assert!((p.per_gb_hour - 0.002975).abs() < 1e-12);
+        assert!((p.per_vcpu_hour_general - 0.0266).abs() < 1e-12);
+        assert!((p.per_vcpu_hour_compute - 0.02805).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solution_reconstructs_published_prices() {
+        for arch in Architecture::ALL {
+            let p = derive_unit_prices(arch).unwrap();
+            let (c, m, r) = families_of(arch);
+            for fam in [c, m, r] {
+                let (alpha, beta) = eq1_coefficients(fam);
+                let rebuilt = alpha * p.per_vcpu_hour(fam) + beta * p.per_gb_hour;
+                assert!(
+                    (rebuilt - hourly_price_large(fam)).abs() < 1e-12,
+                    "{fam}: {rebuilt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graviton_units_are_cheapest() {
+        let intel = derive_unit_prices(Architecture::IntelX86).unwrap();
+        let arm = derive_unit_prices(Architecture::Graviton2).unwrap();
+        assert!(arm.per_vcpu_hour_general < intel.per_vcpu_hour_general);
+        assert!(arm.per_gb_hour < intel.per_gb_hour);
+    }
+
+    #[test]
+    fn per_vcpu_hour_dispatches_on_class() {
+        let p = derive_unit_prices(Architecture::IntelX86).unwrap();
+        assert_eq!(p.per_vcpu_hour(InstanceFamily::C5), p.per_vcpu_hour_compute);
+        assert_eq!(p.per_vcpu_hour(InstanceFamily::M5), p.per_vcpu_hour_general);
+        assert_eq!(p.per_vcpu_hour(InstanceFamily::R5), p.per_vcpu_hour_general);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the cost model.
+
+use freedom_cluster::InstanceFamily;
+use freedom_pricing::{CostModel, SpotPricing};
+use proptest::prelude::*;
+
+fn any_family() -> impl Strategy<Value = InstanceFamily> {
+    prop::sample::select(InstanceFamily::SEARCH_SPACE.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn cost_is_positive_and_monotone_in_every_dimension(
+        family in any_family(),
+        share_milli in 250u32..2000,
+        mem in 128u32..2048,
+        secs in 1.0f64..600.0,
+    ) {
+        let model = CostModel::aws().unwrap();
+        let share = share_milli as f64 / 1000.0;
+        let cost = model.execution_cost(family, share, mem, secs).unwrap();
+        prop_assert!(cost > 0.0);
+        // More CPU, memory, or time each strictly increase cost.
+        let more_cpu = model.execution_cost(family, share + 0.25, mem, secs).unwrap();
+        let more_mem = model.execution_cost(family, share, mem + 512, secs).unwrap();
+        let more_time = model.execution_cost(family, share, mem, secs + 10.0).unwrap();
+        prop_assert!(more_cpu > cost);
+        prop_assert!(more_mem > cost);
+        prop_assert!(more_time > cost);
+    }
+
+    #[test]
+    fn spot_discount_is_exactly_linear(
+        family in any_family(),
+        frac_pct in 1u32..=100,
+    ) {
+        let model = CostModel::aws().unwrap();
+        let spot = SpotPricing::new(frac_pct as f64 / 100.0).unwrap();
+        let full = model.execution_cost(family, 1.0, 1024, 60.0).unwrap();
+        let discounted = model
+            .execution_cost_discounted(family, 1.0, 1024, 60.0, spot)
+            .unwrap();
+        prop_assert!((discounted - full * spot.fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_allocation_is_cheapest_on_graviton(
+        share_milli in 250u32..2000,
+        mem in 128u32..2048,
+    ) {
+        let model = CostModel::aws().unwrap();
+        let share = share_milli as f64 / 1000.0;
+        let arm = model.execution_cost(InstanceFamily::M6g, share, mem, 60.0).unwrap();
+        let amd = model.execution_cost(InstanceFamily::M5a, share, mem, 60.0).unwrap();
+        let intel = model.execution_cost(InstanceFamily::M5, share, mem, 60.0).unwrap();
+        prop_assert!(arm < amd);
+        prop_assert!(amd < intel);
+    }
+}

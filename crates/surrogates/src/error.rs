@@ -1,0 +1,72 @@
+//! Error type for surrogate models.
+
+use std::fmt;
+
+use freedom_linalg::LinalgError;
+
+/// Errors produced by surrogate fitting and prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurrogateError {
+    /// No training data (or zero-dimensional features).
+    EmptyTrainingSet,
+    /// Feature/target shapes disagree.
+    DimensionMismatch {
+        /// Expected shape description.
+        expected: String,
+        /// Found shape description.
+        found: String,
+    },
+    /// Training data contains NaN or infinity.
+    NonFiniteData,
+    /// `predict` was called before `fit`.
+    NotFitted,
+    /// An underlying linear-algebra routine failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for SurrogateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyTrainingSet => write!(f, "training set is empty"),
+            Self::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Self::NonFiniteData => write!(f, "training data contains non-finite values"),
+            Self::NotFitted => write!(f, "model has not been fitted"),
+            Self::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SurrogateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SurrogateError {
+    fn from(e: LinalgError) -> Self {
+        Self::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        use std::error::Error;
+        let e: SurrogateError = LinalgError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        assert!(SurrogateError::NotFitted.source().is_none());
+        assert_eq!(
+            SurrogateError::NotFitted.to_string(),
+            "model has not been fitted"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Random forests and extra trees.
+//!
+//! Both are ensembles of [`DecisionTree`]s; the predictive standard
+//! deviation combines between-tree disagreement and within-leaf spread via
+//! the law of total variance — the same decomposition scikit-optimize uses
+//! to make forests usable under Expected Improvement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::{DecisionTree, SplitMode, TreeConfig};
+use crate::{validate_training_set, Prediction, Surrogate, SurrogateError};
+
+/// Shared ensemble configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Whether each tree sees a bootstrap resample (random forest) or the
+    /// full training set (extra trees).
+    pub bootstrap: bool,
+    /// Per-tree growth limits.
+    pub tree: TreeConfig,
+}
+
+#[derive(Debug, Clone)]
+struct Ensemble {
+    trees: Vec<DecisionTree>,
+    dim: usize,
+}
+
+impl Ensemble {
+    fn fit(x: &[Vec<f64>], y: &[f64], config: &ForestConfig, seed: u64) -> crate::Result<Self> {
+        let dim = validate_training_set(x, y)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            if config.bootstrap {
+                let idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+                let by: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                trees.push(DecisionTree::fit(&bx, &by, &config.tree, &mut rng));
+            } else {
+                trees.push(DecisionTree::fit(x, y, &config.tree, &mut rng));
+            }
+        }
+        Ok(Self { trees, dim })
+    }
+
+    fn predict(&self, point: &[f64]) -> crate::Result<Prediction> {
+        if self.trees.is_empty() {
+            return Err(SurrogateError::NotFitted);
+        }
+        if point.len() != self.dim {
+            return Err(SurrogateError::DimensionMismatch {
+                expected: format!("point of dimension {}", self.dim),
+                found: format!("point of dimension {}", point.len()),
+            });
+        }
+        // Law of total variance across trees:
+        //   Var = E[leaf var] + Var[leaf mean].
+        let n = self.trees.len() as f64;
+        let stats: Vec<_> = self.trees.iter().map(|t| t.leaf_stats(point)).collect();
+        let mean = stats.iter().map(|s| s.mean).sum::<f64>() / n;
+        let e_var = stats.iter().map(|s| s.var).sum::<f64>() / n;
+        let var_mean = stats.iter().map(|s| (s.mean - mean).powi(2)).sum::<f64>() / n;
+        Ok(Prediction {
+            mean,
+            std: (e_var + var_mean).max(0.0).sqrt(),
+        })
+    }
+}
+
+/// Bagged CART ensemble (scikit-learn-style random forest regressor).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    config: ForestConfig,
+    seed: u64,
+    ensemble: Option<Ensemble>,
+}
+
+impl RandomForest {
+    /// Creates a forest with an explicit configuration.
+    pub fn new(config: ForestConfig, seed: u64) -> Self {
+        Self {
+            config,
+            seed,
+            ensemble: None,
+        }
+    }
+
+    /// The skopt-flavoured defaults: 100 bootstrapped best-split trees.
+    pub fn with_defaults(seed: u64) -> Self {
+        Self::new(
+            ForestConfig {
+                n_trees: 100,
+                bootstrap: true,
+                tree: TreeConfig::default(),
+            },
+            seed,
+        )
+    }
+}
+
+impl Surrogate for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> crate::Result<()> {
+        self.ensemble = Some(Ensemble::fit(x, y, &self.config, self.seed)?);
+        Ok(())
+    }
+
+    fn predict(&self, point: &[f64]) -> crate::Result<Prediction> {
+        self.ensemble
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted)?
+            .predict(point)
+    }
+
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+}
+
+/// Extremely randomized trees: full training set per tree, random
+/// thresholds.
+#[derive(Debug, Clone)]
+pub struct ExtraTrees {
+    config: ForestConfig,
+    seed: u64,
+    ensemble: Option<Ensemble>,
+}
+
+impl ExtraTrees {
+    /// Creates an ET ensemble with an explicit configuration.
+    pub fn new(config: ForestConfig, seed: u64) -> Self {
+        Self {
+            config,
+            seed,
+            ensemble: None,
+        }
+    }
+
+    /// The skopt-flavoured defaults: 100 random-threshold trees, no
+    /// bootstrap.
+    pub fn with_defaults(seed: u64) -> Self {
+        Self::new(
+            ForestConfig {
+                n_trees: 100,
+                bootstrap: false,
+                tree: TreeConfig {
+                    split_mode: SplitMode::Random,
+                    ..TreeConfig::default()
+                },
+            },
+            seed,
+        )
+    }
+}
+
+impl Surrogate for ExtraTrees {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> crate::Result<()> {
+        self.ensemble = Some(Ensemble::fit(x, y, &self.config, self.seed)?);
+        Ok(())
+    }
+
+    fn predict(&self, point: &[f64]) -> crate::Result<Prediction> {
+        self.ensemble
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted)?
+            .predict(point)
+    }
+
+    fn name(&self) -> &'static str {
+        "ET"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (6.0 * r[0]).sin() * 2.0 + 1.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn rf_beats_constant_predictor() {
+        let (x, y) = wavy_data();
+        let mut rf = RandomForest::with_defaults(1);
+        rf.fit(&x, &y).unwrap();
+        let global_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let mut rf_sse = 0.0;
+        let mut const_sse = 0.0;
+        for (xi, yi) in x.iter().zip(&y) {
+            let p = rf.predict(xi).unwrap();
+            rf_sse += (p.mean - yi).powi(2);
+            const_sse += (global_mean - yi).powi(2);
+        }
+        assert!(rf_sse < const_sse / 4.0, "rf {rf_sse} vs const {const_sse}");
+    }
+
+    #[test]
+    fn et_beats_constant_predictor() {
+        let (x, y) = wavy_data();
+        let mut et = ExtraTrees::with_defaults(1);
+        et.fit(&x, &y).unwrap();
+        let global_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let mut sse = 0.0;
+        let mut const_sse = 0.0;
+        for (xi, yi) in x.iter().zip(&y) {
+            sse += (et.predict(xi).unwrap().mean - yi).powi(2);
+            const_sse += (global_mean - yi).powi(2);
+        }
+        assert!(sse < const_sse / 4.0);
+    }
+
+    #[test]
+    fn predictions_stay_within_target_range() {
+        let (x, y) = wavy_data();
+        let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for model in [
+            &mut RandomForest::with_defaults(2) as &mut dyn Surrogate,
+            &mut ExtraTrees::with_defaults(2) as &mut dyn Surrogate,
+        ] {
+            model.fit(&x, &y).unwrap();
+            for q in [-0.5, 0.0, 0.3, 0.9, 1.5] {
+                let p = model.predict(&[q]).unwrap();
+                assert!(p.mean >= lo - 1e-9 && p.mean <= hi + 1e-9);
+                assert!(p.std >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn not_fitted_and_bad_dim_errors() {
+        let rf = RandomForest::with_defaults(0);
+        assert_eq!(rf.predict(&[0.0]).unwrap_err(), SurrogateError::NotFitted);
+        let (x, y) = wavy_data();
+        let mut rf = rf;
+        rf.fit(&x, &y).unwrap();
+        assert!(matches!(
+            rf.predict(&[0.0, 1.0]),
+            Err(SurrogateError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn seeded_fits_are_reproducible() {
+        let (x, y) = wavy_data();
+        let mut a = RandomForest::with_defaults(9);
+        let mut b = RandomForest::with_defaults(9);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        let pa = a.predict(&[0.37]).unwrap();
+        let pb = b.predict(&[0.37]).unwrap();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn uncertainty_is_positive_under_noise() {
+        // Two identical x values with different targets force leaf variance.
+        let x = vec![vec![0.0], vec![0.0], vec![1.0], vec![1.0]];
+        let y = vec![0.0, 2.0, 10.0, 12.0];
+        let mut rf = RandomForest::with_defaults(3);
+        rf.fit(&x, &y).unwrap();
+        let p = rf.predict(&[0.0]).unwrap();
+        assert!(p.std > 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Surrogate regressors for Bayesian optimization (§5.1).
+//!
+//! The paper compares four surrogate models under the Expected Improvement
+//! acquisition function, all via scikit-optimize: Gaussian Processes (GP),
+//! Gradient Boosted Regression Trees (GBRT), Random Forests (RF), and
+//! Extra Trees (ET). This crate re-implements all four from scratch:
+//!
+//! - [`GaussianProcess`]: Matérn-5/2 ARD kernel, hyperparameters selected
+//!   by log-marginal-likelihood over a seeded random search, exact Cholesky
+//!   inference;
+//! - [`DecisionTree`]: CART regression trees (exact or randomized splits);
+//! - [`RandomForest`] / [`ExtraTrees`]: bagged ensembles whose predictive
+//!   spread comes from the law of total variance across trees;
+//! - [`GradientBoosting`]: least-squares/quantile boosting; uncertainty
+//!   from a 0.16/0.50/0.84 quantile ensemble, mirroring skopt's GBRT
+//!   uncertainty estimate.
+//!
+//! Every model implements [`Surrogate`]: `fit` on feature rows and targets,
+//! `predict` a mean and standard deviation.
+//!
+//! # Examples
+//!
+//! ```
+//! use freedom_surrogates::{Surrogate, SurrogateKind};
+//!
+//! let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+//! let y: Vec<f64> = x.iter().map(|r| (3.0 * r[0]).sin()).collect();
+//! let mut gp = SurrogateKind::Gp.build(42);
+//! gp.fit(&x, &y).unwrap();
+//! let p = gp.predict(&[0.5]).unwrap();
+//! assert!((p.mean - (1.5f64).sin()).abs() < 0.2);
+//! assert!(p.std >= 0.0);
+//! ```
+
+mod error;
+mod forest;
+mod gbrt;
+mod gp;
+mod tree;
+
+pub use error::SurrogateError;
+pub use forest::{ExtraTrees, RandomForest};
+pub use gbrt::GradientBoosting;
+pub use gp::{GaussianProcess, GpConfig};
+pub use tree::{DecisionTree, SplitMode, TreeConfig};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, SurrogateError>;
+
+/// A predictive distribution summary at one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predictive mean.
+    pub mean: f64,
+    /// Predictive standard deviation (non-negative).
+    pub std: f64,
+}
+
+/// A regressor usable as a Bayesian-optimization surrogate.
+pub trait Surrogate {
+    /// Fits the model on feature rows `x` and targets `y`.
+    ///
+    /// Implementations reset any previous fit. Errors on empty data,
+    /// ragged rows, or length mismatches.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()>;
+
+    /// Predicts mean and standard deviation at `point`.
+    ///
+    /// Errors when called before [`Surrogate::fit`] or with the wrong
+    /// dimensionality.
+    fn predict(&self, point: &[f64]) -> Result<Prediction>;
+
+    /// Short stable name, e.g. `"GP"`.
+    fn name(&self) -> &'static str;
+}
+
+/// The four surrogate variants of the paper, as a factory enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SurrogateKind {
+    /// Bayesian optimization with Gaussian processes.
+    Gp,
+    /// Gradient boosted regression trees.
+    Gbrt,
+    /// Random forests.
+    Rf,
+    /// Extra (extremely randomized) trees.
+    Et,
+}
+
+impl SurrogateKind {
+    /// All four variants, in the paper's presentation order.
+    pub const ALL: [SurrogateKind; 4] = [
+        SurrogateKind::Gp,
+        SurrogateKind::Gbrt,
+        SurrogateKind::Et,
+        SurrogateKind::Rf,
+    ];
+
+    /// Stable display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Gp => "GP",
+            Self::Gbrt => "GBRT",
+            Self::Rf => "RF",
+            Self::Et => "ET",
+        }
+    }
+
+    /// Builds a fresh surrogate of this kind with the given seed.
+    pub fn build(self, seed: u64) -> Box<dyn Surrogate> {
+        match self {
+            Self::Gp => Box::new(GaussianProcess::new(GpConfig::default(), seed)),
+            Self::Gbrt => Box::new(GradientBoosting::with_defaults(seed)),
+            Self::Rf => Box::new(RandomForest::with_defaults(seed)),
+            Self::Et => Box::new(ExtraTrees::with_defaults(seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for SurrogateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Validates a training set; returns the feature dimensionality.
+pub(crate) fn validate_training_set(x: &[Vec<f64>], y: &[f64]) -> Result<usize> {
+    if x.is_empty() || y.is_empty() {
+        return Err(SurrogateError::EmptyTrainingSet);
+    }
+    if x.len() != y.len() {
+        return Err(SurrogateError::DimensionMismatch {
+            expected: format!("{} targets", x.len()),
+            found: format!("{} targets", y.len()),
+        });
+    }
+    let dim = x[0].len();
+    if dim == 0 {
+        return Err(SurrogateError::EmptyTrainingSet);
+    }
+    for row in x {
+        if row.len() != dim {
+            return Err(SurrogateError::DimensionMismatch {
+                expected: format!("rows of dimension {dim}"),
+                found: format!("row of dimension {}", row.len()),
+            });
+        }
+    }
+    if y.iter().any(|v| !v.is_finite()) || x.iter().flatten().any(|v| !v.is_finite()) {
+        return Err(SurrogateError::NonFiniteData);
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_and_factory() {
+        for kind in SurrogateKind::ALL {
+            let model = kind.build(1);
+            assert_eq!(model.name(), kind.name());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_sets() {
+        assert!(validate_training_set(&[], &[]).is_err());
+        assert!(validate_training_set(&[vec![1.0]], &[]).is_err());
+        assert!(validate_training_set(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0]).is_err());
+        assert!(validate_training_set(&[vec![f64::NAN]], &[0.0]).is_err());
+        assert!(validate_training_set(&[vec![1.0]], &[f64::INFINITY]).is_err());
+        assert_eq!(validate_training_set(&[vec![1.0, 2.0]], &[0.5]).unwrap(), 2);
+    }
+
+    #[test]
+    fn every_kind_fits_and_predicts_constant_data() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 10];
+        for kind in SurrogateKind::ALL {
+            let mut model = kind.build(7);
+            model.fit(&x, &y).unwrap();
+            let p = model.predict(&[4.5]).unwrap();
+            assert!((p.mean - 3.0).abs() < 0.3, "{kind}: mean {}", p.mean);
+            assert!(p.std >= 0.0 && p.std < 1.0, "{kind}: std {}", p.std);
+        }
+    }
+}

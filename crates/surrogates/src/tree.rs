@@ -1,0 +1,350 @@
+//! CART regression trees, with exact or randomized split selection.
+//!
+//! One implementation serves three ensemble members: `RandomForest` uses
+//! exact best splits on bootstrap samples, `ExtraTrees` uses randomized
+//! thresholds ([`SplitMode::Random`]), and `GradientBoosting` uses shallow
+//! exact trees. Leaves store mean, variance, and count, so ensembles can
+//! apply the law of total variance.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How split thresholds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitMode {
+    /// Scan every candidate threshold; pick the best SSE reduction (CART).
+    Best,
+    /// Draw one uniform threshold per feature; pick the best feature
+    /// (extremely-randomized trees).
+    Random,
+}
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum depth; `None` grows until purity or minimum size.
+    pub max_depth: Option<usize>,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Threshold selection mode.
+    pub split_mode: SplitMode,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            split_mode: SplitMode::Best,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        mean: f64,
+        var: f64,
+        count: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    dim: usize,
+}
+
+/// A leaf's summary statistics at a query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafStats {
+    /// Mean of the training targets in the leaf.
+    pub mean: f64,
+    /// Population variance of the training targets in the leaf.
+    pub var: f64,
+    /// Number of training samples in the leaf.
+    pub count: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `x`/`y` (pre-validated by the caller), using `rng`
+    /// for randomized split modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input — callers validate via
+    /// `validate_training_set` first.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: &TreeConfig, rng: &mut StdRng) -> Self {
+        assert!(!x.is_empty() && x.len() == y.len(), "validated by caller");
+        let indices: Vec<usize> = (0..x.len()).collect();
+        let root = Self::grow(x, y, &indices, config, rng, 0);
+        Self {
+            root,
+            dim: x[0].len(),
+        }
+    }
+
+    /// Feature dimensionality the tree was trained with.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the leaf statistics for a point.
+    pub fn leaf_stats(&self, point: &[f64]) -> LeafStats {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { mean, var, count } => {
+                    return LeafStats {
+                        mean: *mean,
+                        var: *var,
+                        count: *count,
+                    }
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = point.get(*feature).copied().unwrap_or(0.0);
+                    node = if v <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predicted mean at a point.
+    pub fn predict_mean(&self, point: &[f64]) -> f64 {
+        self.leaf_stats(point).mean
+    }
+
+    /// Number of leaves (diagnostic).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    fn grow(
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+        depth: usize,
+    ) -> Node {
+        let (mean, var) = mean_var(y, indices);
+        let at_depth_limit = config.max_depth.map(|d| depth >= d).unwrap_or(false);
+        if indices.len() < config.min_samples_split || var <= 1e-24 || at_depth_limit {
+            return Node::Leaf {
+                mean,
+                var,
+                count: indices.len(),
+            };
+        }
+        let Some((feature, threshold)) = Self::choose_split(x, y, indices, config, rng) else {
+            return Node::Leaf {
+                mean,
+                var,
+                count: indices.len(),
+            };
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.len() < config.min_samples_leaf || right_idx.len() < config.min_samples_leaf {
+            return Node::Leaf {
+                mean,
+                var,
+                count: indices.len(),
+            };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(Self::grow(x, y, &left_idx, config, rng, depth + 1)),
+            right: Box::new(Self::grow(x, y, &right_idx, config, rng, depth + 1)),
+        }
+    }
+
+    /// Picks (feature, threshold) minimizing the weighted child SSE.
+    fn choose_split(
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let dim = x[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for feature in 0..dim {
+            let mut vals: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let thresholds: Vec<f64> = match config.split_mode {
+                SplitMode::Best => vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect(),
+                SplitMode::Random => {
+                    let lo = vals[0];
+                    let hi = vals[vals.len() - 1];
+                    vec![rng.gen_range(lo..hi)]
+                }
+            };
+            for threshold in thresholds {
+                if let Some(sse) = split_sse(x, y, indices, feature, threshold) {
+                    let better = best.map(|b| sse < b.2).unwrap_or(true);
+                    if better {
+                        best = Some((feature, threshold, sse));
+                    }
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+fn mean_var(y: &[f64], indices: &[usize]) -> (f64, f64) {
+    let n = indices.len() as f64;
+    let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / n;
+    let var = indices.iter().map(|&i| (y[i] - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// Weighted sum of child SSEs for a candidate split, `None` when a side is
+/// empty.
+fn split_sse(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    feature: usize,
+    threshold: f64,
+) -> Option<f64> {
+    let (mut nl, mut sl, mut sl2) = (0usize, 0.0f64, 0.0f64);
+    let (mut nr, mut sr, mut sr2) = (0usize, 0.0f64, 0.0f64);
+    for &i in indices {
+        let v = y[i];
+        if x[i][feature] <= threshold {
+            nl += 1;
+            sl += v;
+            sl2 += v * v;
+        } else {
+            nr += 1;
+            sr += v;
+            sr2 += v * v;
+        }
+    }
+    if nl == 0 || nr == 0 {
+        return None;
+    }
+    let sse_l = sl2 - sl * sl / nl as f64;
+    let sse_r = sr2 - sr * sr / nr as f64;
+    Some(sse_l + sse_r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let (x, y) = step_data();
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.predict_mean(&[3.0]), 1.0);
+        assert_eq!(tree.predict_mean(&[15.0]), 5.0);
+        // The split lands between 9 and 10.
+        assert_eq!(tree.predict_mean(&[9.4]), 1.0);
+        assert_eq!(tree.predict_mean(&[9.6]), 5.0);
+    }
+
+    #[test]
+    fn depth_limit_caps_tree_size() {
+        let (x, y) = step_data();
+        let config = TreeConfig {
+            max_depth: Some(0),
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &config, &mut rng());
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.predict_mean(&[0.0]), 3.0); // global mean
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = step_data();
+        let config = TreeConfig {
+            min_samples_leaf: 10,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &config, &mut rng());
+        // The only admissible split is exactly down the middle.
+        assert_eq!(tree.leaf_count(), 2);
+        let stats = tree.leaf_stats(&[0.0]);
+        assert_eq!(stats.count, 10);
+        assert_eq!(stats.var, 0.0);
+    }
+
+    #[test]
+    fn random_mode_still_learns_structure() {
+        let (x, y) = step_data();
+        let config = TreeConfig {
+            split_mode: SplitMode::Random,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &config, &mut rng());
+        assert_eq!(tree.predict_mean(&[0.0]), 1.0);
+        assert_eq!(tree.predict_mean(&[19.0]), 5.0);
+    }
+
+    #[test]
+    fn pure_targets_yield_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 5];
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.leaf_count(), 1);
+        let stats = tree.leaf_stats(&[2.0]);
+        assert_eq!(stats.mean, 7.0);
+        assert_eq!(stats.count, 5);
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 1 is noise; feature 0 carries the signal.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..16 {
+            x.push(vec![(i / 8) as f64, (i % 4) as f64]);
+            y.push(if i < 8 { 0.0 } else { 10.0 });
+        }
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.predict_mean(&[0.0, 3.0]), 0.0);
+        assert_eq!(tree.predict_mean(&[1.0, 0.0]), 10.0);
+        assert_eq!(tree.dim(), 2);
+    }
+}

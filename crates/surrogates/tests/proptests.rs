@@ -1,0 +1,67 @@
+//! Property-based tests across all surrogate kinds.
+
+use freedom_surrogates::SurrogateKind;
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = SurrogateKind> {
+    prop::sample::select(SurrogateKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predictions_are_finite_with_nonnegative_std(
+        kind in any_kind(),
+        targets in prop::collection::vec(-100.0f64..100.0, 8..24),
+        query in -2.0f64..3.0,
+    ) {
+        let x: Vec<Vec<f64>> = (0..targets.len())
+            .map(|i| vec![i as f64 / (targets.len() - 1) as f64])
+            .collect();
+        let mut model = kind.build(11);
+        model.fit(&x, &targets).unwrap();
+        let p = model.predict(&[query]).unwrap();
+        prop_assert!(p.mean.is_finite(), "{kind}: mean {}", p.mean);
+        prop_assert!(p.std.is_finite() && p.std >= 0.0, "{kind}: std {}", p.std);
+    }
+
+    #[test]
+    fn mean_stays_within_reasonable_envelope(
+        kind in any_kind(),
+        targets in prop::collection::vec(0.0f64..10.0, 10..20),
+    ) {
+        // Inside the hull of the data, predictions should not explode far
+        // beyond the target range.
+        let x: Vec<Vec<f64>> = (0..targets.len())
+            .map(|i| vec![i as f64 / (targets.len() - 1) as f64])
+            .collect();
+        let mut model = kind.build(3);
+        model.fit(&x, &targets).unwrap();
+        for q in [0.1, 0.35, 0.62, 0.9] {
+            let p = model.predict(&[q]).unwrap();
+            prop_assert!(
+                p.mean > -10.0 && p.mean < 20.0,
+                "{kind} at {q}: mean {}",
+                p.mean
+            );
+        }
+    }
+
+    #[test]
+    fn refit_resets_previous_state(
+        kind in any_kind(),
+        first in prop::collection::vec(0.0f64..1.0, 8),
+        offset in 10.0f64..20.0,
+    ) {
+        let x: Vec<Vec<f64>> = (0..first.len()).map(|i| vec![i as f64]).collect();
+        let second: Vec<f64> = first.iter().map(|v| v + offset).collect();
+        let mut model = kind.build(4);
+        model.fit(&x, &first).unwrap();
+        model.fit(&x, &second).unwrap();
+        let p = model.predict(&[3.0]).unwrap();
+        // After refitting on shifted targets the prediction must live near
+        // the new range, not the old one.
+        prop_assert!(p.mean > offset - 2.0, "{kind}: {} vs offset {offset}", p.mean);
+    }
+}

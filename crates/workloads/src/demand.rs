@@ -1,0 +1,184 @@
+//! Resource demand of a function execution on a given input.
+//!
+//! A [`Demand`] expresses everything the simulator needs to predict an
+//! execution: CPU seconds split into serial and parallelizable parts
+//! (measured at the m5 reference speed), the memory footprint, and the
+//! wall-clock network phase. The split encodes Table 2's "important
+//! resources" column.
+
+use crate::{FunctionKind, InputData};
+
+/// Resource demand of one invocation, at reference speed (m5, one vCPU).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demand {
+    /// CPU seconds that cannot be parallelized.
+    pub serial_cpu_secs: f64,
+    /// CPU seconds that parallelize up to [`Self::max_parallelism`] ways.
+    pub parallel_cpu_secs: f64,
+    /// Maximum useful parallel width, in vCPUs.
+    pub max_parallelism: f64,
+    /// Memory footprint in MiB; limits below this OOM-kill the function.
+    pub required_mem_mib: u32,
+    /// Wall-clock seconds of network transfer, independent of CPU share.
+    pub network_secs: f64,
+}
+
+impl Demand {
+    /// Total CPU seconds at reference speed.
+    pub fn total_cpu_secs(&self) -> f64 {
+        self.serial_cpu_secs + self.parallel_cpu_secs
+    }
+}
+
+impl FunctionKind {
+    /// Computes the demand for an input.
+    ///
+    /// Mismatched input kinds (e.g. a matrix handed to `transcode`) fall
+    /// back to the function's default input demand — mirroring a gateway
+    /// that rejects bad payloads before they reach the function — so the
+    /// simulator itself never fails on input shape.
+    pub fn demand(self, input: &InputData) -> Demand {
+        match (self, input) {
+            (
+                FunctionKind::Transcode,
+                InputData::Video {
+                    duration_secs,
+                    megapixels,
+                    ..
+                },
+            ) => {
+                // Encoding cost scales with pixels pushed; ffmpeg's frame
+                // pipeline parallelizes well beyond the 2-vCPU cap of the
+                // search space, with a short serial mux/demux tail.
+                let work = duration_secs * megapixels * 1.6;
+                Demand {
+                    serial_cpu_secs: 1.0 + 0.02 * work,
+                    parallel_cpu_secs: work,
+                    max_parallelism: 4.0,
+                    required_mem_mib: (150.0 + 40.0 * megapixels).round() as u32,
+                    network_secs: 0.0,
+                }
+            }
+            (FunctionKind::Faceblur, InputData::Image { megapixels, .. }) => Demand {
+                // Single-threaded Go blur, linear in pixels. The Go runtime
+                // baseline dominates the footprint, so every image of the
+                // dataset lands in the same memory level except the
+                // smallest ones — configurations transfer across inputs.
+                serial_cpu_secs: 4.0 * megapixels,
+                parallel_cpu_secs: 0.0,
+                max_parallelism: 1.0,
+                required_mem_mib: (80.0 + 40.0 * megapixels).round() as u32,
+                network_secs: 0.0,
+            },
+            (FunctionKind::Facedetect, InputData::Image { megapixels, .. }) => Demand {
+                // Single-threaded pigo cascade, linear in pixels.
+                serial_cpu_secs: 3.8 * megapixels,
+                parallel_cpu_secs: 0.0,
+                max_parallelism: 1.0,
+                required_mem_mib: (80.0 + 40.0 * megapixels).round() as u32,
+                network_secs: 0.0,
+            },
+            (FunctionKind::Ocr, InputData::Image { megapixels, .. }) => Demand {
+                // Tesseract runs page segmentation serially, then
+                // recognizes blocks in parallel (up to ~2 useful threads).
+                serial_cpu_secs: 1.4 + 0.4 * megapixels,
+                parallel_cpu_secs: 11.0 * megapixels,
+                max_parallelism: 2.0,
+                required_mem_mib: (180.0 + 80.0 * megapixels).round() as u32,
+                network_secs: 0.0,
+            },
+            (FunctionKind::Linpack, InputData::Matrix { n }) => {
+                // O(n^3) FP solve on an n×n matrix of f64 (8 n^2 bytes),
+                // plus the Python/NumPy runtime baseline.
+                let n = *n as f64;
+                Demand {
+                    serial_cpu_secs: 0.0326 * (n / 1000.0).powi(3),
+                    parallel_cpu_secs: 0.0,
+                    max_parallelism: 1.0,
+                    required_mem_mib: (70.0 + 8.0 * n * n / 1.0e6).round() as u32,
+                    network_secs: 0.0,
+                }
+            }
+            (FunctionKind::S3, InputData::Object { size_mb, .. }) => Demand {
+                // Checksumming + SDK overhead on the CPU; download and
+                // upload at ~60 MB/s each on the VM NIC. The SDK streams
+                // the object through a bounded multipart buffer, so the
+                // footprint grows at only half the object size.
+                serial_cpu_secs: 0.15 + 0.003 * size_mb,
+                parallel_cpu_secs: 0.0,
+                max_parallelism: 1.0,
+                required_mem_mib: (40.0 + 0.5 * size_mb).round() as u32,
+                network_secs: 2.0 * size_mb / 60.0,
+            },
+            // Input shape mismatch: fall back to the default input.
+            (kind, _) => kind.demand(&kind.default_input()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcode_is_parallel_dominated() {
+        let d = FunctionKind::Transcode.demand(&FunctionKind::Transcode.default_input());
+        assert!(d.parallel_cpu_secs > 10.0 * d.serial_cpu_secs);
+        assert!(d.max_parallelism >= 2.0);
+    }
+
+    #[test]
+    fn image_functions_are_serial() {
+        for kind in [FunctionKind::Faceblur, FunctionKind::Facedetect] {
+            let d = kind.demand(&kind.default_input());
+            assert_eq!(d.parallel_cpu_secs, 0.0);
+            assert_eq!(d.max_parallelism, 1.0);
+        }
+    }
+
+    #[test]
+    fn linpack_memory_cliff_matches_matrix_size() {
+        let d1000 = FunctionKind::Linpack.demand(&InputData::Matrix { n: 1000 });
+        let d7500 = FunctionKind::Linpack.demand(&InputData::Matrix { n: 7500 });
+        // 8 MB matrix + runtime for N=1000 fits the smallest 128 MiB limit.
+        assert!(d1000.required_mem_mib <= 128);
+        // N=7500 needs a 450 MB matrix: only 768 MiB+ limits survive.
+        assert!(d7500.required_mem_mib > 512);
+        assert!(d7500.required_mem_mib <= 768);
+    }
+
+    #[test]
+    fn s3_is_network_dominated() {
+        let d = FunctionKind::S3.demand(&FunctionKind::S3.default_input());
+        assert!(d.network_secs > 3.0 * d.total_cpu_secs());
+    }
+
+    #[test]
+    fn bigger_inputs_demand_more() {
+        for kind in FunctionKind::ALL {
+            let inputs = kind.inputs();
+            let first = kind.demand(&inputs[0]);
+            let last = kind.demand(&inputs[inputs.len() - 1]);
+            assert!(
+                last.total_cpu_secs() + last.network_secs
+                    > first.total_cpu_secs() + first.network_secs,
+                "{kind}"
+            );
+            assert!(last.required_mem_mib >= first.required_mem_mib, "{kind}");
+        }
+    }
+
+    #[test]
+    fn mismatched_input_falls_back_to_default() {
+        let via_matrix = FunctionKind::Transcode.demand(&InputData::Matrix { n: 9 });
+        let via_default = FunctionKind::Transcode.demand(&FunctionKind::Transcode.default_input());
+        assert_eq!(via_matrix, via_default);
+    }
+
+    #[test]
+    fn ocr_parallelism_is_capped_at_two() {
+        let d = FunctionKind::Ocr.demand(&FunctionKind::Ocr.default_input());
+        assert_eq!(d.max_parallelism, 2.0);
+        assert!(d.parallel_cpu_secs > d.serial_cpu_secs);
+    }
+}

@@ -1,0 +1,243 @@
+//! Execution simulation: demand × resources → outcome.
+
+use freedom_cluster::{CpuCgroup, InstanceFamily, MemCgroup};
+
+use crate::noise::NoiseModel;
+use crate::{effective_speed, FunctionKind, InputData};
+
+/// Constant per-invocation overhead (runtime init on a warm container).
+pub const STARTUP_OVERHEAD_SECS: f64 = 0.15;
+
+/// The resource environment of one invocation: the paper's decoupled
+/// (CPU share, memory limit, instance family) triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceEnv {
+    /// Instance family the sandbox runs on.
+    pub family: InstanceFamily,
+    cpu: CpuCgroup,
+    mem_limit_mib: u32,
+}
+
+impl ResourceEnv {
+    /// Creates an environment; returns `None` for a non-positive share or
+    /// zero memory.
+    pub fn new(family: InstanceFamily, cpu_share: f64, mem_limit_mib: u32) -> Option<Self> {
+        Some(Self {
+            family,
+            cpu: CpuCgroup::new(cpu_share)?,
+            mem_limit_mib: MemCgroup::new(mem_limit_mib)?.limit_mib(),
+        })
+    }
+
+    /// The configured CPU share.
+    pub fn cpu_share(&self) -> f64 {
+        self.cpu.share()
+    }
+
+    /// The configured memory limit in MiB.
+    pub fn mem_limit_mib(&self) -> u32 {
+        self.mem_limit_mib
+    }
+}
+
+/// Result of one simulated invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecOutcome {
+    /// The function ran to completion.
+    Completed {
+        /// Wall-clock duration in seconds (including startup overhead).
+        duration_secs: f64,
+        /// Peak memory footprint in MiB.
+        peak_mem_mib: u32,
+    },
+    /// The function was OOM-killed by its memory cgroup.
+    OutOfMemory {
+        /// Wall-clock seconds burned before the kill.
+        elapsed_secs: f64,
+        /// Footprint the function tried to reach, in MiB.
+        attempted_mib: u32,
+    },
+}
+
+impl ExecOutcome {
+    /// Whether the invocation completed successfully.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Self::Completed { .. })
+    }
+
+    /// Wall-clock duration of the invocation (even failed ones burn time).
+    pub fn elapsed_secs(&self) -> f64 {
+        match self {
+            Self::Completed { duration_secs, .. } => *duration_secs,
+            Self::OutOfMemory { elapsed_secs, .. } => *elapsed_secs,
+        }
+    }
+}
+
+impl FunctionKind {
+    /// Simulates one invocation under `env`, with measurement noise drawn
+    /// from `seed`.
+    ///
+    /// The model composes the pieces the way the real system would:
+    /// 1. the memory cgroup OOM-kills footprints above the limit early in
+    ///    the run (allocations happen while inputs load);
+    /// 2. CPU work runs under the CFS-style share
+    ///    ([`CpuCgroup::wall_time_for`]) at the family's effective speed;
+    /// 3. the network phase is CPU-independent wall time;
+    /// 4. a mean-preserving log-normal factor models run-to-run jitter.
+    pub fn execute(self, input: &InputData, env: &ResourceEnv, seed: u64) -> ExecOutcome {
+        let mut noise = NoiseModel::with_seed(seed ^ 0x9e37_79b9_7f4a_7c15);
+        self.execute_with_noise(input, env, &mut noise)
+    }
+
+    /// Like [`Self::execute`] but drawing from a caller-managed noise
+    /// source (so repeated invocations see fresh jitter).
+    pub fn execute_with_noise(
+        self,
+        input: &InputData,
+        env: &ResourceEnv,
+        noise: &mut NoiseModel,
+    ) -> ExecOutcome {
+        let demand = self.demand(input);
+
+        // 1. Memory check: the cgroup kills the function while it is still
+        //    loading its input, after a fraction of the would-be runtime.
+        let mut mem = MemCgroup::new(env.mem_limit_mib).expect("validated at construction");
+        if let Err(oom) = mem.charge(demand.required_mem_mib) {
+            let elapsed = (STARTUP_OVERHEAD_SECS + 0.4) * noise.factor();
+            return ExecOutcome::OutOfMemory {
+                elapsed_secs: elapsed,
+                attempted_mib: oom.attempted_mib,
+            };
+        }
+
+        // 2. CPU phases at the family's effective speed for this function.
+        let speed = effective_speed(self, env.family);
+        let serial_wall = env.cpu.wall_time_for(demand.serial_cpu_secs / speed, 1.0);
+        let parallel_wall = env
+            .cpu
+            .wall_time_for(demand.parallel_cpu_secs / speed, demand.max_parallelism);
+
+        // 3. Network phase + fixed startup overhead.
+        let base = STARTUP_OVERHEAD_SECS + serial_wall + parallel_wall + demand.network_secs;
+
+        // 4. Run-to-run jitter.
+        let duration = base * noise.factor();
+        ExecOutcome::Completed {
+            duration_secs: duration,
+            peak_mem_mib: demand.required_mem_mib,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(family: InstanceFamily, share: f64, mem: u32) -> ResourceEnv {
+        ResourceEnv::new(family, share, mem).expect("valid env")
+    }
+
+    fn duration(kind: FunctionKind, env: &ResourceEnv) -> f64 {
+        // Noise-free duration for shape assertions.
+        let mut quiet = NoiseModel::new(0, 0.0);
+        match kind.execute_with_noise(&kind.default_input(), env, &mut quiet) {
+            ExecOutcome::Completed { duration_secs, .. } => duration_secs,
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transcode_speeds_up_with_share() {
+        let slow = duration(FunctionKind::Transcode, &env(InstanceFamily::M5, 1.0, 1024));
+        let fast = duration(FunctionKind::Transcode, &env(InstanceFamily::M5, 2.0, 1024));
+        let speedup = slow / fast;
+        assert!(speedup > 1.8, "parallel function should scale: {speedup}");
+    }
+
+    #[test]
+    fn faceblur_does_not_speed_up_past_one_vcpu() {
+        let one = duration(FunctionKind::Faceblur, &env(InstanceFamily::M5, 1.0, 512));
+        let two = duration(FunctionKind::Faceblur, &env(InstanceFamily::M5, 2.0, 512));
+        assert!(
+            (one - two).abs() / one < 0.01,
+            "serial function: {one} vs {two}"
+        );
+    }
+
+    #[test]
+    fn s3_plateaus_below_one_vcpu() {
+        // The paper: s3's execution time plateaus with CPU share < 1 (§4.1).
+        let half = duration(FunctionKind::S3, &env(InstanceFamily::M5, 0.5, 256));
+        let full = duration(FunctionKind::S3, &env(InstanceFamily::M5, 1.0, 256));
+        assert!((half - full) / full < 0.25, "{half} vs {full}");
+    }
+
+    #[test]
+    fn linpack_ooms_below_its_matrix_footprint() {
+        let big = InputData::Matrix { n: 7500 };
+        let small_mem = env(InstanceFamily::M5, 1.0, 512);
+        let outcome = FunctionKind::Linpack.execute(&big, &small_mem, 1);
+        assert!(!outcome.is_success());
+        assert!(outcome.elapsed_secs() > 0.0);
+        let big_mem = env(InstanceFamily::M5, 1.0, 1024);
+        assert!(FunctionKind::Linpack
+            .execute(&big, &big_mem, 1)
+            .is_success());
+    }
+
+    #[test]
+    fn transcode_ooms_at_smallest_memory() {
+        let outcome = FunctionKind::Transcode.execute(
+            &FunctionKind::Transcode.default_input(),
+            &env(InstanceFamily::M5, 1.0, 128),
+            1,
+        );
+        assert!(!outcome.is_success());
+    }
+
+    #[test]
+    fn best_family_for_faceblur_is_graviton_compute() {
+        let m5 = duration(FunctionKind::Faceblur, &env(InstanceFamily::M5, 1.0, 512));
+        let c6g = duration(FunctionKind::Faceblur, &env(InstanceFamily::C6g, 1.0, 512));
+        assert!(c6g < m5);
+        let gain = m5 / c6g;
+        assert!((1.05..=1.45).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn worst_to_best_spread_is_order_of_magnitude_for_transcode() {
+        // Figure 1: worst configuration up to ~15x slower than best.
+        let mut best = f64::INFINITY;
+        let mut worst: f64 = 0.0;
+        for family in InstanceFamily::SEARCH_SPACE {
+            for &share in &[0.25, 0.5, 1.0, 2.0] {
+                let d = duration(FunctionKind::Transcode, &env(family, share, 2048));
+                best = best.min(d);
+                worst = worst.max(d);
+            }
+        }
+        let spread = worst / best;
+        assert!(spread > 8.0, "expected ~order of magnitude, got {spread}");
+        assert!(spread < 25.0, "spread implausibly large: {spread}");
+    }
+
+    #[test]
+    fn noise_is_reproducible_per_seed() {
+        let e = env(InstanceFamily::M5, 1.0, 1024);
+        let a = FunctionKind::Ocr.execute(&FunctionKind::Ocr.default_input(), &e, 77);
+        let b = FunctionKind::Ocr.execute(&FunctionKind::Ocr.default_input(), &e, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_durations_match_calibration_targets() {
+        // Loose bands around the paper's figure axes (Figs. 5-6).
+        let transcode = duration(FunctionKind::Transcode, &env(InstanceFamily::C5, 2.0, 1024));
+        assert!((30.0..60.0).contains(&transcode), "transcode {transcode}");
+        let linpack = duration(FunctionKind::Linpack, &env(InstanceFamily::C6g, 1.0, 512));
+        assert!((2.0..6.0).contains(&linpack), "linpack {linpack}");
+        let s3 = duration(FunctionKind::S3, &env(InstanceFamily::M5, 1.0, 256));
+        assert!((1.0..3.5).contains(&s3), "s3 {s3}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Input datasets for the benchmark functions.
+//!
+//! The paper executes every function on multiple publicly-sourced input
+//! samples (§3, §5.3): five videos for `transcode`, five images for the
+//! image functions and `ocr`, matrix sizes N ∈ {1000, 5000, 7500} for
+//! `linpack`, and five objects for `s3`. One sample per function is the
+//! *default* used for the generic optimization model.
+
+use crate::FunctionKind;
+use std::fmt;
+
+/// Identifier of an input sample, e.g. `video-3`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputId(pub String);
+
+impl fmt::Display for InputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A concrete input sample with the characteristics that drive the
+/// function's resource demand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputData {
+    /// A video clip (for `transcode`).
+    Video {
+        /// Sample id, e.g. `video-2`.
+        id: InputId,
+        /// Clip length in seconds.
+        duration_secs: f64,
+        /// Frame size in megapixels.
+        megapixels: f64,
+    },
+    /// A still image (for `faceblur`, `facedetect`, `ocr`).
+    Image {
+        /// Sample id, e.g. `image-4`.
+        id: InputId,
+        /// Image size in megapixels.
+        megapixels: f64,
+    },
+    /// A dense matrix dimension (for `linpack`).
+    Matrix {
+        /// Problem size N (the matrix is N×N doubles).
+        n: u32,
+    },
+    /// An object to copy between buckets (for `s3`).
+    Object {
+        /// Sample id, e.g. `video-1` (the paper reuses the video files).
+        id: InputId,
+        /// Object size in MB.
+        size_mb: f64,
+    },
+}
+
+impl InputData {
+    /// The sample's display id (`linpack` uses the matrix size).
+    pub fn id(&self) -> InputId {
+        match self {
+            Self::Video { id, .. } | Self::Image { id, .. } | Self::Object { id, .. } => id.clone(),
+            Self::Matrix { n } => InputId(n.to_string()),
+        }
+    }
+}
+
+fn video(idx: usize, duration_secs: f64, megapixels: f64) -> InputData {
+    InputData::Video {
+        id: InputId(format!("video-{idx}")),
+        duration_secs,
+        megapixels,
+    }
+}
+
+fn image(idx: usize, megapixels: f64) -> InputData {
+    InputData::Image {
+        id: InputId(format!("image-{idx}")),
+        megapixels,
+    }
+}
+
+fn object(idx: usize, size_mb: f64) -> InputData {
+    InputData::Object {
+        id: InputId(format!("video-{idx}")),
+        size_mb,
+    }
+}
+
+impl FunctionKind {
+    /// The input samples used in the study for this function, in dataset
+    /// order. The spread across samples is calibrated so that per-input
+    /// best-configuration differences stay within the ~20% the paper
+    /// reports (§5.3), while absolute execution times vary several-fold.
+    pub fn inputs(self) -> Vec<InputData> {
+        match self {
+            Self::Transcode => vec![
+                video(1, 12.0, 0.9),
+                video(2, 22.0, 2.1),
+                video(3, 30.0, 2.1),
+                video(4, 45.0, 0.9),
+                video(5, 60.0, 2.1),
+            ],
+            Self::Faceblur | Self::Facedetect => vec![
+                image(1, 0.6),
+                image(2, 1.0),
+                image(3, 1.3),
+                image(4, 2.0),
+                image(5, 3.1),
+            ],
+            Self::Ocr => vec![
+                image(1, 0.7),
+                image(2, 1.0),
+                image(3, 1.4),
+                image(4, 1.9),
+                image(5, 2.6),
+            ],
+            Self::Linpack => vec![
+                InputData::Matrix { n: 1000 },
+                InputData::Matrix { n: 5000 },
+                InputData::Matrix { n: 7500 },
+            ],
+            Self::S3 => vec![
+                object(1, 18.0),
+                object(2, 32.0),
+                object(3, 50.0),
+                object(4, 68.0),
+                object(5, 95.0),
+            ],
+        }
+    }
+
+    /// The default input sample (the one the generic model is trained on).
+    pub fn default_input(self) -> InputData {
+        match self {
+            // Mid-sized samples, mirroring the paper's figure axes:
+            // transcode best ET ≈ 40 s, linpack best ET ≈ 3.5 s (N=5000).
+            Self::Transcode => self.inputs()[2].clone(),
+            Self::Faceblur | Self::Facedetect => self.inputs()[2].clone(),
+            Self::Ocr => self.inputs()[2].clone(),
+            Self::Linpack => self.inputs()[1].clone(),
+            Self::S3 => self.inputs()[2].clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_sizes_match_the_paper() {
+        assert_eq!(FunctionKind::Transcode.inputs().len(), 5);
+        assert_eq!(FunctionKind::Faceblur.inputs().len(), 5);
+        assert_eq!(FunctionKind::Facedetect.inputs().len(), 5);
+        assert_eq!(FunctionKind::Ocr.inputs().len(), 5);
+        assert_eq!(FunctionKind::Linpack.inputs().len(), 3);
+        assert_eq!(FunctionKind::S3.inputs().len(), 5);
+    }
+
+    #[test]
+    fn default_inputs_are_members_of_the_dataset() {
+        for kind in FunctionKind::ALL {
+            let def = kind.default_input();
+            assert!(kind.inputs().contains(&def), "{kind}");
+        }
+    }
+
+    #[test]
+    fn linpack_inputs_match_figure_7() {
+        let ns: Vec<u32> = FunctionKind::Linpack
+            .inputs()
+            .iter()
+            .map(|i| match i {
+                InputData::Matrix { n } => *n,
+                other => panic!("unexpected input {other:?}"),
+            })
+            .collect();
+        assert_eq!(ns, vec![1000, 5000, 7500]);
+    }
+
+    #[test]
+    fn input_ids_are_stable() {
+        let id = FunctionKind::Transcode.default_input().id();
+        assert_eq!(id.to_string(), "video-3");
+        let lin = InputData::Matrix { n: 7500 };
+        assert_eq!(lin.id().to_string(), "7500");
+    }
+}

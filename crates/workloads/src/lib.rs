@@ -1,0 +1,136 @@
+//! Performance models of the paper's six benchmark functions (Table 2).
+//!
+//! The study treats each function as a black box and only observes its
+//! execution time, memory footprint, and failures under different resource
+//! configurations. This crate provides calibrated parametric stand-ins for
+//! the real binaries (ffmpeg, pigo, stackblur, tesseract, linpack, S3 I/O):
+//! each [`FunctionKind`] maps an input to a [`Demand`] — serial and parallel
+//! CPU work, memory footprint, and a network phase — which the simulated
+//! cgroups of [`freedom_cluster`] then turn into a wall-clock outcome.
+//!
+//! Calibration targets the *shapes* the paper reports, not its absolute
+//! numbers (§2, §4): `transcode`/`ocr` exploit >1 vCPU, `s3`'s execution
+//! time plateaus below one vCPU, `linpack` has a memory cliff that OOMs
+//! small limits at N=7500, Go-based image functions favour Graviton2, and
+//! the worst configuration is an order of magnitude slower than the best.
+//!
+//! # Examples
+//!
+//! ```
+//! use freedom_cluster::{CpuCgroup, InstanceFamily};
+//! use freedom_workloads::{ExecOutcome, FunctionKind, ResourceEnv};
+//!
+//! let env = ResourceEnv::new(InstanceFamily::C5, 2.0, 1024).unwrap();
+//! let input = FunctionKind::Transcode.default_input();
+//! let outcome = FunctionKind::Transcode.execute(&input, &env, 42);
+//! match outcome {
+//!     ExecOutcome::Completed { duration_secs, .. } => assert!(duration_secs > 0.0),
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+
+mod affinity;
+mod demand;
+mod exec;
+mod input;
+pub mod noise;
+
+pub use affinity::{arch_speed, compute_bonus, effective_speed};
+pub use demand::Demand;
+pub use exec::{ExecOutcome, ResourceEnv, STARTUP_OVERHEAD_SECS};
+pub use input::{InputData, InputId};
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The six benchmark serverless functions of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FunctionKind {
+    /// Video transcoding (Python driver around a C encoder); parallel.
+    Transcode,
+    /// Image face blurring (Go, stackblur); single-threaded.
+    Faceblur,
+    /// Image face detection (Go, pigo); single-threaded.
+    Facedetect,
+    /// Optical character recognition (Python around C++); parallel ≤ 2.
+    Ocr,
+    /// Dense linear-equation solving (FunctionBench); FP-heavy, memory cliff.
+    Linpack,
+    /// S3 object copy (download + upload); network-bound.
+    S3,
+}
+
+impl FunctionKind {
+    /// All six functions, in the paper's presentation order.
+    pub const ALL: [FunctionKind; 6] = [
+        FunctionKind::Transcode,
+        FunctionKind::Faceblur,
+        FunctionKind::Facedetect,
+        FunctionKind::Ocr,
+        FunctionKind::Linpack,
+        FunctionKind::S3,
+    ];
+
+    /// Stable lowercase name, as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Transcode => "transcode",
+            Self::Faceblur => "faceblur",
+            Self::Facedetect => "facedetect",
+            Self::Ocr => "ocr",
+            Self::Linpack => "linpack",
+            Self::S3 => "s3",
+        }
+    }
+
+    /// Whether the function can effectively use more than one vCPU
+    /// (the paper: "Both transcode and ocr are able to effectively utilize
+    /// > 1 vCPU").
+    pub fn is_parallel(self) -> bool {
+        matches!(self, Self::Transcode | Self::Ocr)
+    }
+}
+
+impl fmt::Display for FunctionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl FromStr for FunctionKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "transcode" => Ok(Self::Transcode),
+            "faceblur" => Ok(Self::Faceblur),
+            "facedetect" => Ok(Self::Facedetect),
+            "ocr" => Ok(Self::Ocr),
+            "linpack" => Ok(Self::Linpack),
+            "s3" => Ok(Self::S3),
+            other => Err(format!("unknown function: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in FunctionKind::ALL {
+            assert_eq!(kind.name().parse::<FunctionKind>().unwrap(), kind);
+        }
+        assert!("nope".parse::<FunctionKind>().is_err());
+    }
+
+    #[test]
+    fn only_transcode_and_ocr_are_parallel() {
+        let parallel: Vec<_> = FunctionKind::ALL
+            .into_iter()
+            .filter(|k| k.is_parallel())
+            .collect();
+        assert_eq!(parallel, vec![FunctionKind::Transcode, FunctionKind::Ocr]);
+    }
+}

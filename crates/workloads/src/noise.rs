@@ -1,0 +1,115 @@
+//! Measurement-noise model.
+//!
+//! The paper runs every (function, configuration) pair at least five times
+//! and reports medians because real executions jitter. We reproduce that
+//! with a mean-preserving multiplicative log-normal factor: a few percent
+//! of run-to-run variation, deterministic for a fixed seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default run-to-run coefficient of variation (≈3%), typical for warm
+/// serverless invocations on shared VMs.
+pub const DEFAULT_SIGMA: f64 = 0.03;
+
+/// A seeded multiplicative noise source.
+///
+/// # Examples
+///
+/// ```
+/// use freedom_workloads::noise::NoiseModel;
+///
+/// let mut a = NoiseModel::new(7, 0.03);
+/// let mut b = NoiseModel::new(7, 0.03);
+/// assert_eq!(a.factor(), b.factor()); // deterministic per seed
+/// let f = a.factor();
+/// assert!(f > 0.8 && f < 1.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    rng: StdRng,
+    sigma: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model with standard deviation `sigma` (clamped to
+    /// `[0, 0.5]`: beyond that the model would no longer represent warm
+    /// invocations).
+    pub fn new(seed: u64, sigma: f64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            sigma: sigma.clamp(0.0, 0.5),
+        }
+    }
+
+    /// Creates the default 3%-jitter model.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(seed, DEFAULT_SIGMA)
+    }
+
+    /// The configured sigma.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws a mean-preserving log-normal factor (`E[factor] = 1`).
+    pub fn factor(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let z = self.standard_normal();
+        // ln X ~ N(-sigma^2/2, sigma^2) gives E[X] = 1.
+        (self.sigma * z - self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Box–Muller standard normal draw.
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let mut n = NoiseModel::new(1, 0.0);
+        for _ in 0..10 {
+            assert_eq!(n.factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn factors_are_positive_and_near_one() {
+        let mut n = NoiseModel::with_seed(99);
+        for _ in 0..1000 {
+            let f = n.factor();
+            assert!(f > 0.0);
+            assert!(f > 0.7 && f < 1.3, "3% sigma should stay near 1, got {f}");
+        }
+    }
+
+    #[test]
+    fn mean_is_approximately_one() {
+        let mut n = NoiseModel::with_seed(5);
+        let total: f64 = (0..20_000).map(|_| n.factor()).sum();
+        let mean = total / 20_000.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn sigma_is_clamped() {
+        assert_eq!(NoiseModel::new(1, 2.0).sigma(), 0.5);
+        assert_eq!(NoiseModel::new(1, -1.0).sigma(), 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::with_seed(1);
+        let mut b = NoiseModel::with_seed(2);
+        assert_ne!(a.factor(), b.factor());
+    }
+}

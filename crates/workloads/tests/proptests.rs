@@ -1,0 +1,86 @@
+//! Property-based tests for the workload models.
+
+use freedom_cluster::InstanceFamily;
+use freedom_workloads::{noise::NoiseModel, ExecOutcome, FunctionKind, ResourceEnv};
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = FunctionKind> {
+    prop::sample::select(FunctionKind::ALL.to_vec())
+}
+
+fn any_family() -> impl Strategy<Value = InstanceFamily> {
+    prop::sample::select(InstanceFamily::SEARCH_SPACE.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn outcomes_are_finite_and_positive(
+        kind in any_kind(),
+        family in any_family(),
+        share_milli in 250u32..2000,
+        mem in prop::sample::select(vec![128u32, 256, 512, 768, 1024, 2048]),
+        seed in 0u64..1000,
+    ) {
+        let env = ResourceEnv::new(family, share_milli as f64 / 1000.0, mem).unwrap();
+        let outcome = kind.execute(&kind.default_input(), &env, seed);
+        let t = outcome.elapsed_secs();
+        prop_assert!(t.is_finite() && t > 0.0);
+        if let ExecOutcome::Completed { peak_mem_mib, .. } = outcome {
+            prop_assert!(peak_mem_mib <= mem, "peak {peak_mem_mib} within limit {mem}");
+        }
+    }
+
+    #[test]
+    fn more_cpu_never_hurts(
+        kind in any_kind(),
+        family in any_family(),
+        lo_milli in 250u32..1000,
+    ) {
+        // Noise-free monotonicity: raising the share can only shrink the
+        // wall time (or leave it unchanged for network phases).
+        let lo = lo_milli as f64 / 1000.0;
+        let hi = lo * 2.0;
+        let mut quiet = NoiseModel::new(0, 0.0);
+        let env_lo = ResourceEnv::new(family, lo, 2048).unwrap();
+        let env_hi = ResourceEnv::new(family, hi, 2048).unwrap();
+        let t_lo = kind
+            .execute_with_noise(&kind.default_input(), &env_lo, &mut quiet)
+            .elapsed_secs();
+        let t_hi = kind
+            .execute_with_noise(&kind.default_input(), &env_hi, &mut quiet)
+            .elapsed_secs();
+        prop_assert!(t_hi <= t_lo + 1e-9, "{kind} on {family}: {t_hi} > {t_lo}");
+    }
+
+    #[test]
+    fn oom_depends_only_on_memory_not_cpu(
+        kind in any_kind(),
+        family in any_family(),
+        share_milli in 250u32..2000,
+        mem in prop::sample::select(vec![128u32, 256, 512, 768, 1024, 2048]),
+    ) {
+        let env = ResourceEnv::new(family, share_milli as f64 / 1000.0, mem).unwrap();
+        let required = kind.demand(&kind.default_input()).required_mem_mib;
+        let outcome = kind.execute(&kind.default_input(), &env, 3);
+        prop_assert_eq!(outcome.is_success(), required <= mem);
+    }
+
+    #[test]
+    fn failure_threshold_is_monotone_in_memory(
+        kind in any_kind(),
+        family in any_family(),
+    ) {
+        // §5.1 slicing assumption: if a function fails at limit m, it fails
+        // at every limit below m.
+        let env_of = |mem: u32| ResourceEnv::new(family, 1.0, mem).unwrap();
+        let levels = [128u32, 256, 512, 768, 1024, 2048];
+        let mut seen_success = false;
+        for mem in levels {
+            let ok = kind.execute(&kind.default_input(), &env_of(mem), 9).is_success();
+            if seen_success {
+                prop_assert!(ok, "{kind}: success at smaller limit but OOM at {mem}");
+            }
+            seen_success |= ok;
+        }
+    }
+}

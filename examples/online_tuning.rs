@@ -1,0 +1,76 @@
+//! Online optimization: tune in production, count the damage.
+//!
+//! ```text
+//! cargo run --release --example online_tuning
+//! ```
+//!
+//! §5.4's scenario: instead of profiling at deployment time, use live
+//! production invocations as optimization trials. Every trial with a bad
+//! configuration degrades a real request, so the method that converges
+//! with the fewest "violations" (runs ≥1.5× the best configuration's
+//! execution time) wins. This example runs BO-GP and random sampling side
+//! by side on the `linpack` workload and prints both trajectories.
+
+use faas_freedom::optimizer::online::count_violations;
+use faas_freedom::optimizer::{run_sampling, RandomSearch, SearchSpace};
+use faas_freedom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let function = FunctionKind::Linpack;
+    let input = function.default_input();
+    let space = SearchSpace::table1();
+
+    // Ground truth, only to score violations afterwards (the online tuner
+    // never sees it).
+    let table = collect_ground_truth(function, &input, space.configs(), 5, 3)?;
+    let best_et = table
+        .best_by_time()
+        .map(|p| p.exec_time_secs)
+        .expect("feasible config exists");
+
+    // Online BO-GP: every trial is one production invocation.
+    let tuner = Autotuner::new(SurrogateKind::Gp);
+    let bo = tuner.tune_online(function, &input, Objective::ExecutionTime, 3)?;
+    println!("BO-GP online trajectory (execution time per trial):");
+    for (i, t) in bo.run.trials.iter().enumerate() {
+        let flag = if t.failed {
+            "  <- OOM"
+        } else if t.exec_time_secs >= 1.5 * best_et {
+            "  <- violation"
+        } else {
+            ""
+        };
+        println!(
+            "  trial {:>2}: {:>7.3}s on {}{}",
+            i + 1,
+            t.exec_time_secs,
+            t.config,
+            flag
+        );
+    }
+
+    // Random sampling baseline over a fresh gateway.
+    let mut gateway = Gateway::new(3)?;
+    gateway.deploy(
+        FunctionSpec::new(function.name(), function),
+        space.configs()[0],
+    )?;
+    let mut evaluator = GatewayEvaluator::new(gateway, function.name(), input.clone(), 1);
+    let random = run_sampling(
+        &mut RandomSearch::new(3),
+        &space,
+        &mut evaluator,
+        Objective::ExecutionTime,
+        20,
+    )?;
+
+    let bo_violations = count_violations(&bo.run, best_et);
+    let random_violations = count_violations(&random, best_et);
+    println!("\nviolations (≥1.5x best ET {best_et:.2}s): BO-GP {bo_violations}, Random {random_violations}");
+    println!(
+        "best found: BO-GP {:.3}s, Random {:.3}s, space optimum {best_et:.3}s",
+        bo.run.best_value().unwrap_or(f64::NAN),
+        random.best_value().unwrap_or(f64::NAN),
+    );
+    Ok(())
+}

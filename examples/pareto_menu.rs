@@ -1,0 +1,62 @@
+//! The three §6.1 user interfaces, side by side, for the OCR workload.
+//!
+//! ```text
+//! cargo run --release --example pareto_menu
+//! ```
+//!
+//! Instead of asking a user for a (CPU, memory, family) triple, the
+//! provider can offer outcome-level choices:
+//! 1. the predicted Pareto front (pick a point on the time/cost curve),
+//! 2. five pre-trained weightings of time vs. cost,
+//! 3. a hierarchical trade: "best time, then cut cost within +20%".
+
+use faas_freedom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let function = FunctionKind::Ocr;
+    let input = function.default_input();
+
+    println!("1) predicted Pareto front (time vs cost menu):");
+    let menu = pareto_interface(function, &input, SurrogateKind::Gp, 11)?;
+    for (i, option) in menu.iter().enumerate() {
+        println!(
+            "   option {i}: predicted {:.2}s for ${:.2e}   [{}]",
+            option.predicted_time_secs, option.predicted_cost_usd, option.config
+        );
+    }
+
+    println!("\n2) weighted multi-objective menu (Wt = time weight):");
+    for entry in weighted_interface(function, &input, SurrogateKind::Gp, 11)? {
+        println!(
+            "   Wt={:<4} -> {:.2}s for ${:.2e}   [{}]",
+            entry.wt,
+            entry.option.predicted_time_secs,
+            entry.option.predicted_cost_usd,
+            entry.option.config
+        );
+    }
+
+    println!("\n3) hierarchical: minimize time, then trade ≤20% of it for cost:");
+    let outcome = hierarchical_interface(
+        function,
+        &input,
+        Objective::ExecutionTime,
+        0.20,
+        SurrogateKind::Gp,
+        11,
+    )?;
+    println!(
+        "   time-optimal : {:.2}s for ${:.2e}   [{}]",
+        outcome.primary_best.predicted_time_secs,
+        outcome.primary_best.predicted_cost_usd,
+        outcome.primary_best.config
+    );
+    println!(
+        "   traded       : {:.2}s for ${:.2e}   [{}]",
+        outcome.chosen.predicted_time_secs,
+        outcome.chosen.predicted_cost_usd,
+        outcome.chosen.config
+    );
+    assert!(menu.len() >= 2, "a menu needs at least two options");
+    Ok(())
+}

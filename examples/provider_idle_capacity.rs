@@ -1,0 +1,54 @@
+//! Provider-side planning: soak up idle instance types with spot pricing.
+//!
+//! ```text
+//! cargo run --release --example provider_idle_capacity
+//! ```
+//!
+//! §6.2's scenario: the provider has idle capacity of the "wrong" instance
+//! families and offers it at 20% of list price. For each benchmark, an
+//! execution-time model is trained (one 20-trial optimization), then the
+//! planner picks each family's best predicted configuration and accepts
+//! those within 10% of the best found execution time — printing the cost
+//! the provider can shave while staying inside the latency guardrail.
+
+use faas_freedom::optimizer::SearchSpace;
+use faas_freedom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let planner = IdleCapacityPlanner::default();
+    let space = SearchSpace::table1();
+
+    for function in FunctionKind::ALL {
+        let input = function.default_input();
+        let table = collect_ground_truth(function, &input, space.configs(), 5, 42)?;
+        let outcome = Autotuner::new(SurrogateKind::Gp).tune_offline(
+            function,
+            &input,
+            Objective::ExecutionTime,
+            42,
+        )?;
+        let placements = planner.plan(&outcome, &table, &space)?;
+
+        println!("\n{function}:");
+        for p in &placements {
+            let verdict = if p.accepted { "ACCEPT" } else { "reject" };
+            println!(
+                "  {:<4} {:<22} {verdict}  norm ET {:.2}  spot cost {:.2} of best",
+                p.family.to_string(),
+                p.config.to_string(),
+                p.norm_exec_time,
+                p.norm_spot_cost,
+            );
+        }
+        let accepted: Vec<_> = placements.iter().filter(|p| p.accepted).collect();
+        if !accepted.is_empty() {
+            let mean_cut = 1.0
+                - accepted.iter().map(|p| p.norm_spot_cost).sum::<f64>() / accepted.len() as f64;
+            println!(
+                "  -> mean cost reduction on accepted families: {:.0}%",
+                mean_cut * 100.0
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: deploy a function, measure it, autotune it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Deploys the `faceblur` benchmark with a deliberately mediocre resource
+//! configuration, measures it, then lets the autotuner (BO with GP, 20
+//! trials — the paper's §5 setup) find a better one, and reports the
+//! before/after execution time and cost.
+
+use faas_freedom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let function = FunctionKind::Faceblur;
+    let input = function.default_input();
+
+    // 1. Deploy with a mediocre hand-picked configuration: a quarter vCPU
+    //    and generous memory on the default Intel family.
+    let naive = ResourceConfig::new(InstanceFamily::M5, 0.25, 2048).expect("valid config");
+    let mut gateway = Gateway::new(7)?;
+    gateway.deploy(FunctionSpec::new("blur", function), naive)?;
+    let before = gateway.invoke("blur", &input)?;
+    println!("before tuning : {before}");
+
+    // 2. Autotune for execution time (offline profiling, 20 trials).
+    let tuner = Autotuner::new(SurrogateKind::Gp);
+    let outcome = tuner.tune_offline(function, &input, Objective::ExecutionTime, 7)?;
+    let recommended = outcome.recommended().expect("some trial succeeded");
+    println!(
+        "autotuner ran {} trials ({} failed, {} configs sliced away)",
+        outcome.run.trials.len(),
+        outcome.run.failures(),
+        outcome.run.sliced_away,
+    );
+
+    // 3. Redeploy with the recommendation and compare.
+    gateway.reconfigure("blur", recommended)?;
+    let after = gateway.invoke("blur", &input)?;
+    println!("after tuning  : {after}");
+
+    let speedup = before.duration_secs / after.duration_secs;
+    let cost_ratio = before.cost_usd / after.cost_usd;
+    println!("speedup {speedup:.2}x, cost ratio {cost_ratio:.2}x");
+    assert!(after.duration_secs < before.duration_secs);
+    Ok(())
+}

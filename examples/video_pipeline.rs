@@ -1,0 +1,57 @@
+//! A video-transcoding service choosing its allocation strategy.
+//!
+//! ```text
+//! cargo run --release --example video_pipeline
+//! ```
+//!
+//! The paper's intro motivates decoupling with exactly this workload:
+//! `transcode` parallelizes beyond one vCPU, so Azure-style Fixed CPU
+//! starves it, and AWS-style proportional CPU couples the share to memory
+//! it does not need. This example sweeps all four §4.1 strategies over the
+//! whole video dataset and prints the achievable latency/cost frontier of
+//! each.
+
+use faas_freedom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let function = FunctionKind::Transcode;
+    println!("strategy comparison for `transcode` (per-input best ET / best EC):\n");
+    println!(
+        "{:<14} {:>12} {:>14} {:>14} {:>12}",
+        "input", "Decoupled", "Decoupled(m5)", "Prop. CPU", "Fixed CPU"
+    );
+
+    for input in function.inputs() {
+        let mut cells = Vec::new();
+        for strategy in [
+            AllocationStrategy::Decoupled,
+            AllocationStrategy::DecoupledM5,
+            AllocationStrategy::PropCpu,
+            AllocationStrategy::FixedCpu,
+        ] {
+            let best = best_within_strategy(strategy, function, &input, 5, 42)?;
+            cells.push(format!("{:.1}s", best.best_exec_time_secs));
+        }
+        println!(
+            "{:<14} {:>12} {:>14} {:>14} {:>12}",
+            input.id().to_string(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+
+    // The headline check from Figure 3a: Fixed CPU pays a ~2x+ latency
+    // penalty on the default video because it cannot use >1 vCPU.
+    let input = function.default_input();
+    let fixed = best_within_strategy(AllocationStrategy::FixedCpu, function, &input, 5, 42)?;
+    let decoupled = best_within_strategy(AllocationStrategy::Decoupled, function, &input, 5, 42)?;
+    let penalty = fixed.best_exec_time_secs / decoupled.best_exec_time_secs;
+    println!(
+        "\nFixed CPU latency penalty on {}: {penalty:.2}x (paper: ~2.7x)",
+        input.id()
+    );
+    assert!(penalty > 1.5);
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Umbrella crate for the *faas-freedom* workspace.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! downstream users can depend on a single package:
+//!
+//! - [`core`] (`freedom`): autotuner, allocation strategies, user
+//!   interfaces, provider planner — the paper's contribution;
+//! - [`faas`]: the serverless platform (gateway, deployments, metering);
+//! - [`workloads`]: the six benchmark function models;
+//! - [`cluster`]: the simulated EC2-style cluster and cgroups;
+//! - [`pricing`]: the §3.2 cost model;
+//! - [`optimizer`]: search space, BO + EI, samplers, multi-objective tools;
+//! - [`surrogates`]: GP / RF / ET / GBRT regressors;
+//! - [`linalg`]: the small dense linear-algebra kernel.
+//!
+//! # Examples
+//!
+//! ```
+//! use faas_freedom::prelude::*;
+//!
+//! let tuner = Autotuner::new(SurrogateKind::Gp);
+//! let outcome = tuner
+//!     .tune_offline(
+//!         FunctionKind::S3,
+//!         &FunctionKind::S3.default_input(),
+//!         Objective::ExecutionCost,
+//!         7,
+//!     )
+//!     .unwrap();
+//! assert!(outcome.recommended().is_some());
+//! ```
+
+pub use freedom as core;
+pub use freedom_cluster as cluster;
+pub use freedom_faas as faas;
+pub use freedom_linalg as linalg;
+pub use freedom_optimizer as optimizer;
+pub use freedom_pricing as pricing;
+pub use freedom_surrogates as surrogates;
+pub use freedom_workloads as workloads;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use freedom::interfaces::{
+        hierarchical_interface, pareto_interface, weighted_interface, CostPerfOption,
+    };
+    pub use freedom::provider::{IdleCapacityPlanner, PlannerConfig};
+    pub use freedom::strategies::{best_within_strategy, AllocationStrategy};
+    pub use freedom::{Autotuner, FreedomError, GatewayEvaluator, TuneOutcome};
+    pub use freedom_cluster::{Architecture, InstanceFamily};
+    pub use freedom_faas::{
+        collect_ground_truth, FunctionSpec, Gateway, InvocationRecord, PerfTable, ResourceConfig,
+    };
+    pub use freedom_optimizer::{
+        BayesianOptimizer, BoConfig, Objective, SearchSpace, TableEvaluator,
+    };
+    pub use freedom_pricing::{CostModel, SpotPricing};
+    pub use freedom_surrogates::{Surrogate, SurrogateKind};
+    pub use freedom_workloads::{FunctionKind, InputData};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        let space = SearchSpace::table1();
+        assert_eq!(space.len(), 288);
+        let model = CostModel::aws().unwrap();
+        let cost = model
+            .execution_cost(InstanceFamily::M5, 1.0, 1024, 1.0)
+            .unwrap();
+        assert!(cost > 0.0);
+        assert_eq!(FunctionKind::ALL.len(), 6);
+        assert_eq!(SurrogateKind::ALL.len(), 4);
+        assert_eq!(AllocationStrategy::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! Determinism across the whole stack: identical seeds replay identically,
+//! different seeds diverge. Reproducibility is what makes the experiment
+//! harness trustworthy.
+
+use faas_freedom::optimizer::SearchSpace;
+use faas_freedom::prelude::*;
+
+#[test]
+fn ground_truth_replays_identically() {
+    let function = FunctionKind::Transcode;
+    let input = function.default_input();
+    let configs = SearchSpace::table1();
+    let a = collect_ground_truth(function, &input, configs.configs(), 3, 77).unwrap();
+    let b = collect_ground_truth(function, &input, configs.configs(), 3, 77).unwrap();
+    assert_eq!(a.points(), b.points());
+    let c = collect_ground_truth(function, &input, configs.configs(), 3, 78).unwrap();
+    assert_ne!(a.points(), c.points());
+}
+
+#[test]
+fn full_autotune_replays_identically() {
+    let run = |seed| {
+        Autotuner::new(SurrogateKind::Gp)
+            .tune_offline(
+                FunctionKind::Linpack,
+                &FunctionKind::Linpack.default_input(),
+                Objective::ExecutionCost,
+                seed,
+            )
+            .unwrap()
+    };
+    let a = run(123);
+    let b = run(123);
+    assert_eq!(a.run.trials, b.run.trials);
+    assert_eq!(a.recommended(), b.recommended());
+    let c = run(124);
+    assert_ne!(a.run.trials, c.run.trials);
+}
+
+#[test]
+fn every_surrogate_kind_replays_identically() {
+    let function = FunctionKind::S3;
+    let table = collect_ground_truth(
+        function,
+        &function.default_input(),
+        SearchSpace::table1().configs(),
+        3,
+        5,
+    )
+    .unwrap();
+    for kind in SurrogateKind::ALL {
+        let run_once = || {
+            let mut evaluator = TableEvaluator::new(&table);
+            BayesianOptimizer::new(
+                kind,
+                BoConfig {
+                    seed: 9,
+                    ..BoConfig::default()
+                },
+            )
+            .optimize(
+                &SearchSpace::table1(),
+                &mut evaluator,
+                Objective::ExecutionTime,
+            )
+            .unwrap()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.trials, b.trials, "{kind} diverged across replays");
+    }
+}
+
+#[test]
+fn interfaces_replay_identically() {
+    use faas_freedom::core::interfaces::pareto_interface;
+    let a = pareto_interface(
+        FunctionKind::Faceblur,
+        &FunctionKind::Faceblur.default_input(),
+        SurrogateKind::Gp,
+        55,
+    )
+    .unwrap();
+    let b = pareto_interface(
+        FunctionKind::Faceblur,
+        &FunctionKind::Faceblur.default_input(),
+        SurrogateKind::Gp,
+        55,
+    )
+    .unwrap();
+    assert_eq!(a, b);
+}

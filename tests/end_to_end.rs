@@ -1,0 +1,144 @@
+//! Cross-crate integration: the full pipeline from ground truth through
+//! optimization to user interfaces and provider planning.
+
+use faas_freedom::optimizer::SearchSpace;
+use faas_freedom::prelude::*;
+
+/// Ground truth → table-backed BO → near-optimal configuration.
+#[test]
+fn ground_truth_to_optimum_pipeline() {
+    let function = FunctionKind::Ocr;
+    let input = function.default_input();
+    let space = SearchSpace::table1();
+    let table = collect_ground_truth(function, &input, space.configs(), 5, 21).unwrap();
+    assert_eq!(table.points().len(), 288);
+
+    let mut evaluator = TableEvaluator::new(&table);
+    let run = BayesianOptimizer::new(SurrogateKind::Gp, BoConfig::default())
+        .optimize(&space, &mut evaluator, Objective::ExecutionTime)
+        .unwrap();
+    let found = run.best_value().unwrap();
+    let truth = table.best_by_time().unwrap().exec_time_secs;
+    assert!(
+        found <= truth * 1.15,
+        "BO found {found}, optimum {truth} (gap {:.1}%)",
+        (found / truth - 1.0) * 100.0
+    );
+}
+
+/// Live-gateway autotuning improves on a mediocre hand-picked config.
+#[test]
+fn autotuning_beats_a_naive_deployment() {
+    let function = FunctionKind::Facedetect;
+    let input = function.default_input();
+
+    let naive = ResourceConfig::new(InstanceFamily::M5a, 0.25, 2048).unwrap();
+    let mut gateway = Gateway::new(5).unwrap();
+    gateway
+        .deploy(FunctionSpec::new("f", function), naive)
+        .unwrap();
+    let before = gateway.invoke("f", &input).unwrap();
+
+    let outcome = Autotuner::new(SurrogateKind::Gp)
+        .tune_offline(function, &input, Objective::ExecutionTime, 5)
+        .unwrap();
+    let recommended = outcome.recommended().unwrap();
+    gateway.reconfigure("f", recommended).unwrap();
+    let after = gateway.invoke("f", &input).unwrap();
+
+    assert!(
+        after.duration_secs < before.duration_secs / 2.0,
+        "expected ≥2x speedup: {} -> {}",
+        before.duration_secs,
+        after.duration_secs
+    );
+}
+
+/// The three §6.1 interfaces produce consistent, feasible offers.
+#[test]
+fn user_interfaces_offer_feasible_tradeoffs() {
+    let function = FunctionKind::S3;
+    let input = function.default_input();
+    let space = SearchSpace::table1();
+    let table = collect_ground_truth(function, &input, space.configs(), 5, 9).unwrap();
+
+    // Pareto menu: a small list, every offer feasible on ground truth.
+    let menu =
+        faas_freedom::core::interfaces::pareto_interface(function, &input, SurrogateKind::Gp, 9)
+            .unwrap();
+    assert!((1..=10).contains(&menu.len()));
+    for option in &menu {
+        let point = table.lookup(&option.config).unwrap();
+        assert!(
+            !point.failed,
+            "interface offered an OOM config {}",
+            option.config
+        );
+    }
+
+    // Hierarchical: the traded choice cuts cost vs the time-optimal one.
+    let outcome = faas_freedom::core::interfaces::hierarchical_interface(
+        function,
+        &input,
+        Objective::ExecutionTime,
+        0.2,
+        SurrogateKind::Gp,
+        9,
+    )
+    .unwrap();
+    let base = table.lookup(&outcome.primary_best.config).unwrap();
+    let traded = table.lookup(&outcome.chosen.config).unwrap();
+    assert!(!traded.failed);
+    assert!(
+        traded.exec_cost_usd <= base.exec_cost_usd * 1.05,
+        "trade did not cut cost: {} -> {}",
+        base.exec_cost_usd,
+        traded.exec_cost_usd
+    );
+}
+
+/// The §6.2 planner's accepted placements honour the latency guardrail on
+/// average and actually save money under spot pricing.
+#[test]
+fn provider_planner_saves_money_within_guardrail() {
+    let function = FunctionKind::Linpack;
+    let input = function.default_input();
+    let space = SearchSpace::table1();
+    let table = collect_ground_truth(function, &input, space.configs(), 5, 13).unwrap();
+    let outcome = Autotuner::new(SurrogateKind::Gp)
+        .tune_offline(function, &input, Objective::ExecutionTime, 13)
+        .unwrap();
+    let placements = IdleCapacityPlanner::default()
+        .plan(&outcome, &table, &space)
+        .unwrap();
+    assert_eq!(placements.len(), 6);
+    let accepted: Vec<_> = placements.iter().filter(|p| p.accepted).collect();
+    assert!(!accepted.is_empty());
+    let mean_et = accepted.iter().map(|p| p.norm_exec_time).sum::<f64>() / accepted.len() as f64;
+    let mean_cost = accepted.iter().map(|p| p.norm_spot_cost).sum::<f64>() / accepted.len() as f64;
+    assert!(mean_et < 1.25, "mean accepted norm ET {mean_et}");
+    assert!(mean_cost < 0.5, "mean accepted spot cost {mean_cost}");
+}
+
+/// Metering math is consistent between the gateway and the cost model.
+#[test]
+fn gateway_metering_matches_cost_model() {
+    let function = FunctionKind::S3;
+    let config = ResourceConfig::new(InstanceFamily::C6g, 0.5, 256).unwrap();
+    let mut gateway = Gateway::new(31).unwrap();
+    gateway.set_noise_sigma(0.0);
+    gateway
+        .deploy(FunctionSpec::new("s3", function), config)
+        .unwrap();
+    let record = gateway.invoke("s3", &function.default_input()).unwrap();
+    let expected = CostModel::aws()
+        .unwrap()
+        .execution_cost(
+            config.family(),
+            config.cpu_share(),
+            config.memory_mib(),
+            record.duration_secs,
+        )
+        .unwrap();
+    assert!((record.cost_usd - expected).abs() < 1e-15);
+}

@@ -1,0 +1,187 @@
+//! Integration tests that pin the paper's headline claims, end to end.
+//!
+//! These are the repository's "reproduction contract": if a refactor
+//! breaks one of these, the corresponding figure no longer matches the
+//! paper's shape. Tests use reduced repetitions but the full 288-point
+//! space.
+
+use faas_freedom::core::strategies::{best_within_strategy, AllocationStrategy};
+use faas_freedom::optimizer::SearchSpace;
+use faas_freedom::prelude::*;
+
+fn table_for(function: FunctionKind, seed: u64) -> PerfTable {
+    collect_ground_truth(
+        function,
+        &function.default_input(),
+        SearchSpace::table1().configs(),
+        3,
+        seed,
+    )
+    .unwrap()
+}
+
+/// §2 / Figure 1: "selecting the wrong configuration can lead up to 14.9×
+/// worse execution time and 5.6× worse execution cost".
+#[test]
+fn wrong_configurations_cost_an_order_of_magnitude() {
+    let mut worst_time: f64 = 0.0;
+    let mut worst_cost: f64 = 0.0;
+    for function in FunctionKind::ALL {
+        let table = table_for(function, 1);
+        let times = table.normalized_times();
+        let costs = table.normalized_costs();
+        worst_time = worst_time.max(times.iter().copied().fold(0.0, f64::max));
+        worst_cost = worst_cost.max(costs.iter().copied().fold(0.0, f64::max));
+    }
+    assert!(worst_time > 8.0, "worst ET ratio only {worst_time}");
+    assert!(worst_cost > 4.0, "worst EC ratio only {worst_cost}");
+}
+
+/// §4.1 / Figure 3a: instance-type choice alone buys 5-40% execution time
+/// for the CPU-bound functions.
+#[test]
+fn instance_type_choice_buys_5_to_40_percent_latency() {
+    for function in [
+        FunctionKind::Transcode,
+        FunctionKind::Faceblur,
+        FunctionKind::Facedetect,
+        FunctionKind::Ocr,
+        FunctionKind::Linpack,
+    ] {
+        let input = function.default_input();
+        let decoupled =
+            best_within_strategy(AllocationStrategy::Decoupled, function, &input, 3, 2).unwrap();
+        let m5_only =
+            best_within_strategy(AllocationStrategy::DecoupledM5, function, &input, 3, 2).unwrap();
+        let gain = m5_only.best_exec_time_secs / decoupled.best_exec_time_secs;
+        assert!(
+            (1.04..=1.45).contains(&gain),
+            "{function}: family gain {gain} outside the paper band"
+        );
+    }
+}
+
+/// §4.1 / Figure 3b: decoupling CPU from memory buys 10-50% execution cost
+/// against proportional allocation.
+#[test]
+fn decoupling_buys_10_to_50_percent_cost() {
+    let mut in_band = 0;
+    for function in FunctionKind::ALL {
+        let input = function.default_input();
+        let prop =
+            best_within_strategy(AllocationStrategy::PropCpu, function, &input, 3, 3).unwrap();
+        let decoupled_m5 =
+            best_within_strategy(AllocationStrategy::DecoupledM5, function, &input, 3, 3).unwrap();
+        let gain = prop.best_exec_cost_usd / decoupled_m5.best_exec_cost_usd;
+        assert!(
+            gain >= 1.0 - 1e-9,
+            "{function}: decoupling should never lose"
+        );
+        if (1.08..=1.60).contains(&gain) {
+            in_band += 1;
+        }
+    }
+    assert!(
+        in_band >= 3,
+        "only {in_band}/6 functions in the 10-50% band"
+    );
+}
+
+/// §5.2 / Figures 4-5: BO with GP reaches within ~10% of the best
+/// execution time inside 20 trials (median over repetitions).
+#[test]
+fn bo_gp_converges_within_20_trials() {
+    for function in [FunctionKind::Faceblur, FunctionKind::S3] {
+        let table = table_for(function, 4);
+        let truth = table.best_by_time().unwrap().exec_time_secs;
+        let mut gaps = Vec::new();
+        for rep in 0..5 {
+            let mut evaluator = TableEvaluator::new(&table);
+            let run = BayesianOptimizer::new(
+                SurrogateKind::Gp,
+                BoConfig {
+                    seed: 100 + rep,
+                    ..BoConfig::default()
+                },
+            )
+            .optimize(
+                &SearchSpace::table1(),
+                &mut evaluator,
+                Objective::ExecutionTime,
+            )
+            .unwrap();
+            gaps.push(run.best_value().unwrap() / truth);
+        }
+        gaps.sort_by(f64::total_cmp);
+        let median = gaps[gaps.len() / 2];
+        assert!(median <= 1.10, "{function}: median gap {median}");
+    }
+}
+
+/// §5.1: OOM failures slice the search space instead of poisoning the
+/// model — and the sliced region is never revisited.
+#[test]
+fn oom_slicing_never_revisits_failed_memory() {
+    let function = FunctionKind::Transcode; // OOMs below ~256 MiB
+    let table = table_for(function, 5);
+    let mut evaluator = TableEvaluator::new(&table);
+    let run = BayesianOptimizer::new(SurrogateKind::Gp, BoConfig::default())
+        .optimize(
+            &SearchSpace::table1(),
+            &mut evaluator,
+            Objective::ExecutionTime,
+        )
+        .unwrap();
+    let mut watermark = 0u32;
+    for trial in &run.trials {
+        assert!(
+            watermark == 0 || trial.config.memory_mib() > watermark,
+            "revisited memory {} after watermark {watermark}",
+            trial.config.memory_mib()
+        );
+        if trial.failed {
+            watermark = watermark.max(trial.config.memory_mib());
+        }
+    }
+    assert!(run.sliced_away > 0, "transcode must trigger slicing");
+}
+
+/// §5.3 / Figure 7: a configuration tuned on the default input stays close
+/// to the per-input optimum on other inputs.
+#[test]
+fn good_configurations_transfer_across_inputs() {
+    let function = FunctionKind::Faceblur;
+    let default_table = table_for(function, 6);
+    let mut evaluator = TableEvaluator::new(&default_table);
+    let run = BayesianOptimizer::new(SurrogateKind::Gp, BoConfig::default())
+        .optimize(
+            &SearchSpace::table1(),
+            &mut evaluator,
+            Objective::ExecutionTime,
+        )
+        .unwrap();
+    let generic = run.best_feasible().unwrap().config;
+
+    for input in function.inputs() {
+        let table =
+            collect_ground_truth(function, &input, SearchSpace::table1().configs(), 3, 7).unwrap();
+        let ideal = table.best_by_time().unwrap().exec_time_secs;
+        let at_generic = table.lookup(&generic).unwrap();
+        assert!(!at_generic.failed, "{}: generic config OOMs", input.id());
+        let gap = at_generic.exec_time_secs / ideal;
+        assert!(gap <= 1.25, "{}: generic gap {gap}", input.id());
+    }
+}
+
+/// §6.2 / Table 3: the network-bound function can move to any family; the
+/// arch-bound codec cannot (within 5%).
+#[test]
+fn alternative_family_structure_matches_the_paper() {
+    use faas_freedom::core::provider::alternative_families_within;
+    let s3 = table_for(FunctionKind::S3, 8);
+    let transcode = table_for(FunctionKind::Transcode, 8);
+    let s3_alts = alternative_families_within(&s3, Objective::ExecutionTime, 0.10).unwrap();
+    let tc_alts = alternative_families_within(&transcode, Objective::ExecutionTime, 0.05).unwrap();
+    assert!(s3_alts >= 4, "s3 alternatives {s3_alts}");
+    assert!(tc_alts <= 2, "transcode alternatives {tc_alts}");
+}
