@@ -12,7 +12,7 @@ use freedom_linalg::{cholesky, lu_solve, Matrix};
 use freedom_optimizer::pareto::pareto_front;
 use freedom_optimizer::{expected_improvement, LatinHypercube, Sampler, SearchSpace};
 use freedom_pricing::CostModel;
-use freedom_surrogates::SurrogateKind;
+use freedom_surrogates::{GaussianProcess, GpConfig, Surrogate, SurrogateKind};
 use freedom_workloads::FunctionKind;
 
 /// A 20-point training set shaped like a BO run's trials.
@@ -49,6 +49,58 @@ fn bench_surrogates(c: &mut Criterion) {
     group.bench_function("predict_GP", |b| {
         b.iter(|| gp.predict(black_box(&x[3])).expect("predict"))
     });
+    group.finish();
+}
+
+/// A 1-D training set ordered so its endpoints come first: appending any
+/// later row leaves the feature normalization unchanged, which is what
+/// lets the GP's append-one tier engage (exactly the BO-loop situation,
+/// where the space's bounds are known from the start).
+fn incremental_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut order = vec![0, n - 1];
+    order.extend(1..n - 1);
+    let x: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&i| vec![i as f64 / (n - 1) as f64])
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| (4.0 * r[0]).sin() + 2.0).collect();
+    (x, y)
+}
+
+/// The acceptance target of the incremental engine: at n ≥ 10 training
+/// points, absorbing one more trial via the warm path must beat a
+/// from-scratch candidate search + factorization.
+fn bench_gp_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_refit");
+    for n in [10usize, 20, 40] {
+        let (x, y) = incremental_set(n);
+        group.bench_function(format!("fit_scratch_n{n}"), |b| {
+            b.iter(|| {
+                let mut gp = GaussianProcess::new(GpConfig::default(), 7);
+                gp.fit(black_box(&x), black_box(&y)).expect("fit");
+                gp
+            })
+        });
+        // Warm state fitted on the first n-1 rows; each sample replays the
+        // append of row n through the incremental tier.
+        let mut warm = GaussianProcess::new(
+            GpConfig {
+                refit_every: usize::MAX,
+                ..GpConfig::default()
+            },
+            7,
+        );
+        warm.fit(&x[..n - 1], &y[..n - 1]).expect("warm fit");
+        group.bench_function(format!("fit_incremental_n{n}"), |b| {
+            b.iter(|| {
+                let mut gp = warm.clone();
+                gp.fit_update(black_box(&x), black_box(&y), 99)
+                    .expect("update");
+                assert_eq!(gp.fits_since_full(), 1, "append tier not taken");
+                gp
+            })
+        });
+    }
     group.finish();
 }
 
@@ -154,6 +206,7 @@ fn bench_linalg(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_surrogates,
+    bench_gp_incremental,
     bench_optimizer_primitives,
     bench_platform,
     bench_linalg

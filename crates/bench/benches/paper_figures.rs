@@ -65,9 +65,39 @@ fn bench_experiments(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wall-clock comparison of the whole hot path on a representative slice
+/// of the figure suite at `ExperimentOpts::fast`:
+///
+/// - `fast_suite_naive` — the pre-optimization engine: one thread and a
+///   full from-scratch GP hyperparameter search at every BO step
+///   (`surrogate_refit_every = 1`);
+/// - `fast_suite_sequential` — incremental engine, one thread (the
+///   algorithmic win in isolation);
+/// - `fast_suite_parallel` — incremental engine fanned across all cores.
+///
+/// naive / parallel is the headline speedup of this optimization pass.
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup");
+    group.sample_size(3);
+    let suite = |opts: &exp::ExperimentOpts| {
+        exp::fig04_sampling_vs_bo::run(opts).expect("fig04");
+        exp::fig05_convergence::run(opts, Objective::ExecutionTime).expect("fig05");
+    };
+    let naive = exp::ExperimentOpts {
+        surrogate_refit_every: 1,
+        ..exp::ExperimentOpts::fast().with_threads(1)
+    };
+    group.bench_function("fast_suite_naive", |b| b.iter(|| suite(&naive)));
+    let sequential = exp::ExperimentOpts::fast().with_threads(1);
+    group.bench_function("fast_suite_sequential", |b| b.iter(|| suite(&sequential)));
+    let parallel = exp::ExperimentOpts::fast();
+    group.bench_function("fast_suite_parallel", |b| b.iter(|| suite(&parallel)));
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
-    targets = bench_experiments
+    targets = bench_experiments, bench_parallel_vs_sequential
 }
 criterion_main!(benches);

@@ -18,6 +18,7 @@ pub fn bench_opts() -> ExperimentOpts {
         opt_repeats: 1,
         budget: 10,
         seed: 42,
+        ..ExperimentOpts::fast()
     }
 }
 

@@ -53,7 +53,11 @@ impl Trace {
     /// Returns [`FreedomError::InvalidArgument`] for non-positive rates or
     /// durations.
     pub fn poisson(duration_secs: f64, rps_per_function: f64, seed: u64) -> Result<Self> {
-        if !(duration_secs > 0.0) || !(rps_per_function > 0.0) {
+        if duration_secs.is_nan()
+            || duration_secs <= 0.0
+            || rps_per_function.is_nan()
+            || rps_per_function <= 0.0
+        {
             return Err(FreedomError::InvalidArgument(format!(
                 "duration and rate must be positive, got {duration_secs}s at {rps_per_function}rps"
             )));
@@ -385,9 +389,9 @@ mod tests {
 
     #[test]
     fn idle_aware_strategy_cuts_cost_within_latency_budget() {
-        let plans = make_plans(3);
+        let plans = make_plans(5);
         let sim = FleetSimulator::new(plans, FleetConfig::default()).unwrap();
-        let trace = Trace::poisson(120.0, 0.3, 3).unwrap();
+        let trace = Trace::poisson(120.0, 0.3, 5).unwrap();
 
         let baseline = sim.run(&trace, PlacementStrategy::BestConfigOnly).unwrap();
         let idle_aware = sim.run(&trace, PlacementStrategy::IdleAware).unwrap();

@@ -155,10 +155,12 @@ pub fn weighted_interface(
     let tuner = Autotuner::new(kind);
     let mut out = Vec::with_capacity(5);
     for (i, &wt) in [1.0, 0.75, 0.5, 0.25, 0.0].iter().enumerate() {
-        let objective = match wt {
-            w if w == 1.0 => Objective::ExecutionTime,
-            w if w == 0.0 => Objective::ExecutionCost,
-            w => Objective::weighted(w, 1.0 - w)?,
+        let objective = if wt == 1.0 {
+            Objective::ExecutionTime
+        } else if wt == 0.0 {
+            Objective::ExecutionCost
+        } else {
+            Objective::weighted(wt, 1.0 - wt)?
         };
         let outcome = tuner.tune_offline(function, input, objective, seed + i as u64)?;
         let best = outcome.run.best_feasible().ok_or_else(|| {

@@ -133,7 +133,7 @@ impl IdleCapacityPlanner {
             .ok_or_else(|| FreedomError::InsufficientData("best config missing in table".into()))?;
         let base_time = best_point.exec_time_secs;
         let base_cost = best_point.exec_cost_usd;
-        if !(base_time > 0.0) || !(base_cost > 0.0) {
+        if base_time.is_nan() || base_time <= 0.0 || base_cost.is_nan() || base_cost <= 0.0 {
             return Err(FreedomError::InsufficientData(
                 "degenerate best configuration metrics".into(),
             ));

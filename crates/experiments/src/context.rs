@@ -1,4 +1,9 @@
-//! Shared experiment configuration and ground-truth collection.
+//! Shared experiment configuration, ground-truth collection, and the
+//! scoped-thread fan-out every experiment kernel uses for its
+//! `opt_repeats × functions × objectives` loops.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use freedom_faas::{collect_ground_truth, PerfTable};
 use freedom_optimizer::SearchSpace;
@@ -15,6 +20,15 @@ pub struct ExperimentOpts {
     pub budget: usize,
     /// Base seed; repetition `i` uses `seed + i`.
     pub seed: u64,
+    /// Worker threads for [`par_map`]/[`par_repeats`]: 0 = one per core,
+    /// 1 = fully sequential (results are bit-identical either way).
+    pub threads: usize,
+    /// Full hyperparameter-search cadence of the BO loops' GP surrogate
+    /// (`BoConfig::surrogate_refit_every`); 1 reproduces the naive
+    /// from-scratch refit at every step. Honored by every experiment that
+    /// constructs its own `BoConfig` or `Autotuner`; the interface-driven
+    /// kernels (fig14's hierarchical interface) use the default cadence.
+    pub surrogate_refit_every: usize,
 }
 
 impl Default for ExperimentOpts {
@@ -24,6 +38,8 @@ impl Default for ExperimentOpts {
             opt_repeats: 10,
             budget: 20,
             seed: 42,
+            threads: 0,
+            surrogate_refit_every: 4,
         }
     }
 }
@@ -37,7 +53,30 @@ impl ExperimentOpts {
             opt_repeats: 2,
             budget: 12,
             seed: 42,
+            threads: 0,
+            surrogate_refit_every: 4,
         }
+    }
+
+    /// This configuration with an explicit worker-thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
+    }
+
+    /// The effective worker count: the configured `threads`, or
+    /// `FREEDOM_THREADS` from the environment, or one per core.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("FREEDOM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     }
 
     /// Seed for optimization repetition `i`.
@@ -48,7 +87,9 @@ impl ExperimentOpts {
     /// Parses experiment options from CLI arguments.
     ///
     /// Supported flags: `--fast` (reduced settings), `--seed N`,
-    /// `--gt-reps N`, `--repeats N`, `--budget N`. Unknown flags are
+    /// `--gt-reps N`, `--repeats N`, `--budget N`, `--threads N`
+    /// (0 = one per core, 1 = sequential), `--refit-every N` (GP full
+    /// refit cadence; 1 = from-scratch every step). Unknown flags are
     /// ignored so binaries can add their own.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
@@ -75,8 +116,103 @@ impl ExperimentOpts {
         if let Some(v) = value_of("--budget") {
             opts.budget = (v as usize).max(4);
         }
+        if let Some(v) = value_of("--threads") {
+            opts.threads = v as usize;
+        }
+        if let Some(v) = value_of("--refit-every") {
+            opts.surrogate_refit_every = (v as usize).max(1);
+        }
         opts
     }
+}
+
+/// Runs `f(i)` for every `i in 0..n`, fanned out over `threads` workers,
+/// and returns the results in index order.
+///
+/// The contract that makes the parallel experiment paths trustworthy:
+/// each index is processed by exactly one worker with no shared mutable
+/// state, and results are stored by index, so the output is **bit
+/// identical** to the sequential `(0..n).map(f).collect()` regardless of
+/// thread count or scheduling. Experiments achieve determinism by giving
+/// each index its own seed ([`ExperimentOpts::repeat_seed`]).
+///
+/// Panics in `f` propagate (the scope joins all workers first).
+///
+/// Experiments nest these fan-outs (functions × inputs × repetitions);
+/// a process-wide live-worker budget of 2× the core count keeps nested
+/// levels from multiplying into hundreds of OS threads — once the budget
+/// is spent, inner levels simply run sequentially inside their worker,
+/// which changes scheduling but never results.
+pub fn par_run<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+    // Release reserved budget even if a worker panics out of the scope.
+    struct Release(usize);
+    impl Drop for Release {
+        fn drop(&mut self) {
+            LIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+    let budget = 2 * std::thread::available_parallelism().map_or(1, |c| c.get());
+    // Reserve atomically (fetch_add first, clamp on the prior value) so
+    // concurrent top-level calls cannot each claim the full budget.
+    let desired = threads.max(1).min(n.max(1));
+    let prior = LIVE_WORKERS.fetch_add(desired, Ordering::Relaxed);
+    let allowed = desired.min(budget.saturating_sub(prior).max(1));
+    if allowed < desired {
+        LIVE_WORKERS.fetch_sub(desired - allowed, Ordering::Relaxed);
+    }
+    let _release = Release(allowed);
+    let threads = allowed;
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+/// Fans the `opts.opt_repeats` optimization repetitions across cores;
+/// repetition `i` runs `f(i)` (seed it with [`ExperimentOpts::repeat_seed`]).
+pub fn par_repeats<T, F>(opts: &ExperimentOpts, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_run(opts.opt_repeats, opts.effective_threads(), f)
+}
+
+/// Maps `f` over `items` in parallel, preserving order (used to fan out
+/// over functions and objectives).
+pub fn par_map<I, T, F>(opts: &ExperimentOpts, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_run(items.len(), opts.effective_threads(), |i| f(&items[i]))
 }
 
 /// Collects the full Table 1 ground truth for one function and input.
@@ -135,5 +271,39 @@ mod tests {
         let opts = ExperimentOpts::fast();
         let t = ground_truth_default(FunctionKind::S3, &opts).unwrap();
         assert_eq!(t.points().len(), 288);
+    }
+
+    #[test]
+    fn par_run_matches_sequential_in_order() {
+        let f = |i: usize| (i * 31) % 17;
+        let seq: Vec<usize> = (0..100).map(f).collect();
+        for threads in [1, 2, 8, 64] {
+            assert_eq!(par_run(100, threads, f), seq, "threads = {threads}");
+        }
+        assert!(par_run(0, 4, f).is_empty());
+    }
+
+    #[test]
+    fn par_helpers_respect_thread_knobs() {
+        let opts = ExperimentOpts::fast().with_threads(3);
+        assert_eq!(opts.effective_threads(), 3);
+        let reps: Vec<u64> = par_repeats(&opts, |i| opts.repeat_seed(i));
+        assert_eq!(reps.len(), opts.opt_repeats);
+        assert_eq!(reps[0], opts.repeat_seed(0));
+        let doubled = par_map(&opts, &[1u32, 2, 3, 4], |v| v * 2);
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_run_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            par_run(8, 4, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
     }
 }

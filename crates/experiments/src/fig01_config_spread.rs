@@ -7,7 +7,7 @@
 use freedom_linalg::stats::{self, BoxplotSummary};
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, ExperimentOpts};
 use crate::report::{fmt_box, fmt_f, TextTable};
 
 /// One function's normalized spread.
@@ -114,22 +114,23 @@ impl Fig01Result {
 
 /// Runs the experiment.
 pub fn run(opts: &ExperimentOpts) -> freedom_faas::Result<Fig01Result> {
-    let mut spreads = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    let spreads = par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
         let times = table.normalized_times();
         let costs = table.normalized_costs();
         let time_box = stats::boxplot(&times).expect("feasible configs exist");
         let cost_box = stats::boxplot(&costs).expect("feasible configs exist");
-        spreads.push(FunctionSpread {
+        Ok(FunctionSpread {
             function: kind,
             worst_time: times.iter().copied().fold(0.0, f64::max),
             worst_cost: costs.iter().copied().fold(0.0, f64::max),
             failed_configs: table.points().len() - table.feasible().count(),
             time_box,
             cost_box,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom_faas::Result<Vec<_>>>()?;
     Ok(Fig01Result { spreads })
 }
 

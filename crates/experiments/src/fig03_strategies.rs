@@ -8,7 +8,7 @@
 use freedom::strategies::{best_within_strategy, AllocationStrategy, StrategyBest};
 use freedom_workloads::FunctionKind;
 
-use crate::context::ExperimentOpts;
+use crate::context::{par_map, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// One function's normalized per-strategy bests.
@@ -86,13 +86,14 @@ impl Fig03Result {
 
 /// Runs the experiment.
 pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig03Result> {
-    let mut functions = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    let functions = par_map(opts, &FunctionKind::ALL, |&kind| {
         let input = kind.default_input();
-        let bests: Vec<StrategyBest> = AllocationStrategy::ALL
-            .iter()
-            .map(|&s| best_within_strategy(s, kind, &input, opts.gt_reps, opts.seed))
-            .collect::<freedom::Result<_>>()?;
+        // The five strategy sweeps are independent; fan them out too.
+        let bests: Vec<StrategyBest> = par_map(opts, &AllocationStrategy::ALL, |&s| {
+            best_within_strategy(s, kind, &input, opts.gt_reps, opts.seed)
+        })
+        .into_iter()
+        .collect::<freedom::Result<_>>()?;
         let decoupled = bests[3];
         let norm_best_et = bests
             .iter()
@@ -102,13 +103,15 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig03Result> {
             .iter()
             .map(|b| b.best_exec_cost_usd / decoupled.best_exec_cost_usd)
             .collect();
-        functions.push(FunctionStrategies {
+        Ok(FunctionStrategies {
             function: kind,
             bests,
             norm_best_et,
             norm_best_ec,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<_>>>()?;
     Ok(Fig03Result { functions })
 }
 

@@ -10,7 +10,7 @@ use freedom_optimizer::{
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, par_repeats, ExperimentOpts};
 use crate::report::{fmt_box, TextTable};
 
 /// The three methods of Figure 4, in presentation order.
@@ -91,8 +91,10 @@ impl Fig04Result {
 
 fn run_panel(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Vec<FunctionCells>> {
     let space = SearchSpace::table1();
-    let mut panel = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    // Functions fan out across cores, and each function's repetitions fan
+    // out again; per-repetition seeds keep results identical to the
+    // sequential path.
+    let panel = par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
         let truth = match objective {
             Objective::ExecutionTime => table.best_by_time(),
@@ -106,15 +108,7 @@ fn run_panel(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Vec
             freedom::FreedomError::InsufficientData(format!("no feasible config for {kind}"))
         })?;
 
-        let mut cells: Vec<MethodCell> = METHODS
-            .iter()
-            .map(|&method| MethodCell {
-                method,
-                norm_best: Vec::with_capacity(opts.opt_repeats),
-                summary: stats::boxplot(&[1.0]).expect("non-empty"),
-            })
-            .collect();
-        for rep in 0..opts.opt_repeats {
+        let per_rep = par_repeats(opts, |rep| -> freedom::Result<[f64; 3]> {
             let seed = opts.repeat_seed(rep);
             let mut evaluator = TableEvaluator::new(&table);
             let runs = [
@@ -137,25 +131,37 @@ fn run_panel(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Vec
                     BoConfig {
                         seed,
                         budget: opts.budget,
+                        surrogate_refit_every: opts.surrogate_refit_every,
                         ..BoConfig::default()
                     },
                 )
                 .optimize(&space, &mut evaluator, objective)?,
             ];
-            for (cell, run) in cells.iter_mut().zip(runs) {
-                let best = run.best_value().unwrap_or(f64::NAN);
-                cell.norm_best.push(best / truth);
+            Ok(runs.map(|run| run.best_value().unwrap_or(f64::NAN) / truth))
+        });
+
+        let mut cells: Vec<MethodCell> = METHODS
+            .iter()
+            .map(|&method| MethodCell {
+                method,
+                norm_best: Vec::with_capacity(opts.opt_repeats),
+                summary: stats::boxplot(&[1.0]).expect("non-empty"),
+            })
+            .collect();
+        for rep_values in per_rep {
+            for (cell, v) in cells.iter_mut().zip(rep_values?) {
+                cell.norm_best.push(v);
             }
         }
         for cell in &mut cells {
             cell.summary = stats::boxplot(&cell.norm_best).expect("repetitions exist");
         }
-        panel.push(FunctionCells {
+        Ok(FunctionCells {
             function: kind,
             cells,
-        });
-    }
-    Ok(panel)
+        })
+    });
+    panel.into_iter().collect()
 }
 
 /// Runs the experiment.

@@ -10,7 +10,7 @@ use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, Tab
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, par_repeats, ExperimentOpts};
 use crate::report::{fmt_f, fmt_usd, TextTable};
 
 /// One (function, variant) convergence trace.
@@ -140,8 +140,7 @@ impl ConvergenceResult {
 /// Runs the experiment for one objective (Fig. 5 = ET, Fig. 6 = EC).
 pub fn run(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<ConvergenceResult> {
     let space = SearchSpace::table1();
-    let mut functions = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    let functions = par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
         let optimum = match objective {
             Objective::ExecutionTime => table.best_by_time().map(|p| p.exec_time_secs),
@@ -153,23 +152,25 @@ pub fn run(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Conve
 
         let mut traces = Vec::with_capacity(SurrogateKind::ALL.len());
         for variant in SurrogateKind::ALL {
-            // curves[rep][step]
-            let mut curves: Vec<Vec<f64>> = Vec::with_capacity(opts.opt_repeats);
-            for rep in 0..opts.opt_repeats {
+            // curves[rep][step]; repetitions fan out across cores.
+            let curves = par_repeats(opts, |rep| -> freedom::Result<Vec<f64>> {
                 let mut evaluator = TableEvaluator::new(&table);
                 let run = BayesianOptimizer::new(
                     variant,
                     BoConfig {
                         seed: opts.repeat_seed(rep),
                         budget: opts.budget,
+                        surrogate_refit_every: opts.surrogate_refit_every,
                         ..BoConfig::default()
                     },
                 )
                 .optimize(&space, &mut evaluator, objective)?;
                 let mut curve = run.best_value_by_step.clone();
                 curve.resize(opts.budget, *curve.last().unwrap_or(&f64::NAN));
-                curves.push(curve);
-            }
+                Ok(curve)
+            })
+            .into_iter()
+            .collect::<freedom::Result<Vec<Vec<f64>>>>()?;
             let mut mean_by_step = Vec::with_capacity(opts.budget);
             let mut ci_by_step = Vec::with_capacity(opts.budget);
             for step in 0..opts.budget {
@@ -187,12 +188,14 @@ pub fn run(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Conve
                 ci_by_step,
             });
         }
-        functions.push(FunctionTraces {
+        Ok(FunctionTraces {
             function: kind,
             optimum,
             traces,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<_>>>()?;
     Ok(ConvergenceResult {
         objective,
         functions,

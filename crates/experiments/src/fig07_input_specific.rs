@@ -14,7 +14,7 @@ use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, Tab
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::{FunctionKind, InputData, InputId};
 
-use crate::context::{ground_truth, ExperimentOpts};
+use crate::context::{ground_truth, par_map, par_repeats, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// One (function, input) comparison row, aggregated over repetitions.
@@ -116,6 +116,7 @@ fn optimize_on(
         BoConfig {
             seed,
             budget: opts.budget,
+            surrogate_refit_every: opts.surrogate_refit_every,
             ..BoConfig::default()
         },
     )
@@ -131,17 +132,20 @@ fn optimize_on(
 
 /// Runs the experiment.
 pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig07Result> {
-    let mut rows = Vec::new();
-    for kind in FunctionKind::ALL {
+    let per_function = par_map(opts, &FunctionKind::ALL, |&kind| {
         // Train generic configurations (one per repetition) on the default
         // input, mirroring the paper's 10 repeated optimization processes.
         let default_table = ground_truth(kind, &kind.default_input(), opts)?;
-        let generic_configs: Vec<freedom_faas::ResourceConfig> = (0..opts.opt_repeats)
-            .map(|rep| optimize_on(&default_table, opts, opts.repeat_seed(rep)))
-            .collect::<freedom::Result<_>>()?;
+        let generic_configs: Vec<freedom_faas::ResourceConfig> = par_repeats(opts, |rep| {
+            optimize_on(&default_table, opts, opts.repeat_seed(rep))
+        })
+        .into_iter()
+        .collect::<freedom::Result<_>>()?;
 
         let inputs: Vec<InputData> = kind.inputs();
-        for (i, input) in inputs.iter().enumerate() {
+        let indexed: Vec<(usize, InputData)> = inputs.into_iter().enumerate().collect();
+        let rows = par_map(opts, &indexed, |(i, input)| {
+            let i = *i;
             let table = ground_truth(kind, input, opts)?;
             let ideal_et = table
                 .best_by_time()
@@ -153,16 +157,15 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig07Result> {
                     ))
                 })?;
             // Data-specific configurations, re-optimized per repetition.
-            let specific_ets: Vec<f64> = (0..opts.opt_repeats)
-                .map(|rep| {
-                    let cfg =
-                        optimize_on(&table, opts, opts.repeat_seed(rep) ^ (i as u64 + 1) << 24)?;
-                    Ok(table
-                        .lookup(&cfg)
-                        .map(|p| p.exec_time_secs)
-                        .unwrap_or(f64::NAN))
-                })
-                .collect::<freedom::Result<_>>()?;
+            let specific_ets: Vec<f64> = par_repeats(opts, |rep| {
+                let cfg = optimize_on(&table, opts, opts.repeat_seed(rep) ^ (i as u64 + 1) << 24)?;
+                Ok(table
+                    .lookup(&cfg)
+                    .map(|p| p.exec_time_secs)
+                    .unwrap_or(f64::NAN))
+            })
+            .into_iter()
+            .collect::<freedom::Result<_>>()?;
             // Apply each repetition's generic configuration to this input.
             let mut generic_ets = Vec::new();
             let mut ooms = 0usize;
@@ -172,17 +175,24 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig07Result> {
                     _ => ooms += 1,
                 }
             }
-            rows.push(InputRow {
+            Ok(InputRow {
                 function: kind,
                 input: input.id(),
                 generic_et: stats::median(&generic_ets),
                 generic_oom_rate: ooms as f64 / generic_configs.len().max(1) as f64,
                 specific_et: stats::median(&specific_ets).unwrap_or(f64::NAN),
                 ideal_et,
-            });
-        }
-    }
-    Ok(Fig07Result { rows })
+            })
+        })
+        .into_iter()
+        .collect::<freedom::Result<Vec<InputRow>>>()?;
+        Ok(rows)
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<Vec<InputRow>>>>()?;
+    Ok(Fig07Result {
+        rows: per_function.into_iter().flatten().collect(),
+    })
 }
 
 #[cfg(test)]

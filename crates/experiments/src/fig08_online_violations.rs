@@ -14,7 +14,7 @@ use freedom_optimizer::{
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, par_repeats, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// Method labels in presentation order (BO variants then samplers).
@@ -103,8 +103,7 @@ fn online_evaluator(kind: FunctionKind, seed: u64) -> freedom::Result<GatewayEva
 
 fn run_panel(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Vec<ViolationRow>> {
     let space = SearchSpace::table1();
-    let mut panel = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    let panel = par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
         let best_in_space = match objective {
             Objective::ExecutionTime => table.best_by_time().map(|p| p.exec_time_secs),
@@ -116,8 +115,7 @@ fn run_panel(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Vec
 
         let mut avg_violations = Vec::with_capacity(METHODS.len());
         for &method in &METHODS {
-            let mut runs: Vec<OptimizationRun> = Vec::with_capacity(opts.opt_repeats);
-            for rep in 0..opts.opt_repeats {
+            let runs: Vec<OptimizationRun> = par_repeats(opts, |rep| {
                 let seed = opts.repeat_seed(rep) ^ (method.len() as u64) << 8;
                 let mut evaluator = online_evaluator(kind, seed)?;
                 let run = match method {
@@ -145,21 +143,26 @@ fn run_panel(opts: &ExperimentOpts, objective: Objective) -> freedom::Result<Vec
                             BoConfig {
                                 seed,
                                 budget: opts.budget,
+                                surrogate_refit_every: opts.surrogate_refit_every,
                                 ..BoConfig::default()
                             },
                         )
                         .optimize(&space, &mut evaluator, objective)?
                     }
                 };
-                runs.push(run);
-            }
+                Ok(run)
+            })
+            .into_iter()
+            .collect::<freedom::Result<_>>()?;
             avg_violations.push(average_violations(&runs, best_in_space));
         }
-        panel.push(ViolationRow {
+        Ok(ViolationRow {
             function: kind,
             avg_violations,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<_>>>()?;
     Ok(panel)
 }
 

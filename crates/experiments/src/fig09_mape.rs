@@ -11,7 +11,7 @@ use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, Tab
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, par_repeats, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// Which MAPE scenario to run.
@@ -131,26 +131,25 @@ fn run_panel(
     scenario: Scenario,
 ) -> freedom::Result<Vec<MapeRow>> {
     let space = SearchSpace::table1();
-    let mut panel = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    let panel = par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
         let mut cells = Vec::with_capacity(SurrogateKind::ALL.len());
         for variant in SurrogateKind::ALL {
-            let mut mapes = Vec::with_capacity(opts.opt_repeats);
-            for rep in 0..opts.opt_repeats {
+            let per_rep = par_repeats(opts, |rep| -> freedom::Result<Option<f64>> {
                 let seed = opts.repeat_seed(rep);
                 let optimizer = BayesianOptimizer::new(
                     variant,
                     BoConfig {
                         seed,
                         budget: opts.budget,
+                        surrogate_refit_every: opts.surrogate_refit_every,
                         ..BoConfig::default()
                     },
                 );
                 let mut evaluator = TableEvaluator::new(&table);
                 let run = optimizer.optimize(&space, &mut evaluator, objective)?;
                 let Some(model) = optimizer.fit_on_trials(&run.trials, objective, seed) else {
-                    continue;
+                    return Ok(None);
                 };
                 let mape = match scenario {
                     Scenario::WholeSpace => {
@@ -160,7 +159,13 @@ fn run_panel(
                         mape_per_family_best(model.as_ref(), &space, &table, objective)?
                     }
                 };
-                mapes.push(mape);
+                Ok(Some(mape))
+            });
+            let mut mapes = Vec::with_capacity(opts.opt_repeats);
+            for r in per_rep {
+                if let Some(m) = r? {
+                    mapes.push(m);
+                }
             }
             cells.push(MapeCell {
                 variant,
@@ -168,11 +173,13 @@ fn run_panel(
                 ci: stats::ci95_half_width(&mapes).unwrap_or(0.0),
             });
         }
-        panel.push(MapeRow {
+        Ok(MapeRow {
             function: kind,
             cells,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<_>>>()?;
     Ok(panel)
 }
 

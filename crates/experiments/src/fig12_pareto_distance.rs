@@ -13,7 +13,7 @@ use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, Tab
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, par_repeats, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// One function's front distances.
@@ -72,8 +72,7 @@ impl Fig12Result {
 /// Runs the experiment.
 pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig12Result> {
     let space = SearchSpace::table1();
-    let mut rows = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    let rows = par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
         let actual: Vec<BiPoint> = pareto_front(
             &table
@@ -84,7 +83,7 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig12Result> {
         let mut dts = Vec::with_capacity(opts.opt_repeats);
         let mut dcs = Vec::with_capacity(opts.opt_repeats);
         let mut front_size = 0;
-        for rep in 0..opts.opt_repeats {
+        let per_rep = par_repeats(opts, |rep| -> freedom::Result<_> {
             let seed = opts.repeat_seed(rep);
             // Two optimization processes, as §6.1 prescribes.
             let mut models = Vec::with_capacity(2);
@@ -98,6 +97,7 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig12Result> {
                     BoConfig {
                         seed: seed ^ (i as u64) << 16,
                         budget: opts.budget,
+                        surrogate_refit_every: opts.surrogate_refit_every,
                         ..BoConfig::default()
                     },
                 );
@@ -131,19 +131,25 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig12Result> {
                 .iter()
                 .map(|o| (o.predicted_time_secs, o.predicted_cost_usd))
                 .collect();
-            front_size = predicted.len();
-            if let Some((dt, dc)) = front_distance(&predicted, &actual) {
+            Ok((predicted.len(), front_distance(&predicted, &actual)))
+        });
+        for r in per_rep {
+            let (size, distance) = r?;
+            front_size = size;
+            if let Some((dt, dc)) = distance {
                 dts.push(dt);
                 dcs.push(dc);
             }
         }
-        rows.push(DistanceRow {
+        Ok(DistanceRow {
             function: kind,
             dt: stats::mean(&dts).unwrap_or(f64::NAN),
             dc: stats::mean(&dcs).unwrap_or(f64::NAN),
             front_size,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<_>>>()?;
     Ok(Fig12Result { rows })
 }
 

@@ -8,7 +8,7 @@ use freedom_optimizer::{BayesianOptimizer, BoConfig, Objective, SearchSpace, Tab
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, par_repeats, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// One (weighting, function) convergence trace, normalized so 1.0 is the
@@ -91,8 +91,7 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig13Result> {
     let space = SearchSpace::table1();
     let mut panels = Vec::with_capacity(3);
     for objective in Objective::paper_weight_grid() {
-        let mut traces = Vec::with_capacity(FunctionKind::ALL.len());
-        for kind in FunctionKind::ALL {
+        let traces = par_map(opts, &FunctionKind::ALL, |&kind| {
             let table = ground_truth_default(kind, opts)?;
             // Ground-truth best weighted value, normalized with the
             // table's own Bt/Bc (the oracle target).
@@ -101,15 +100,15 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig13Result> {
                 .feasible()
                 .map(|p| objective.value_of(p.exec_time_secs, p.exec_cost_usd, bt, bc))
                 .fold(f64::INFINITY, f64::min);
-            // curves[rep][step]
-            let mut curves: Vec<Vec<f64>> = Vec::with_capacity(opts.opt_repeats);
-            for rep in 0..opts.opt_repeats {
+            // curves[rep][step]; repetitions fan out across cores.
+            let curves = par_repeats(opts, |rep| -> freedom::Result<Vec<f64>> {
                 let mut evaluator = TableEvaluator::new(&table);
                 let run = BayesianOptimizer::new(
                     SurrogateKind::Gp,
                     BoConfig {
                         seed: opts.repeat_seed(rep),
                         budget: opts.budget,
+                        surrogate_refit_every: opts.surrogate_refit_every,
                         ..BoConfig::default()
                     },
                 )
@@ -130,8 +129,10 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig13Result> {
                     .collect();
                 let mut curve = curve;
                 curve.resize(opts.budget, *curve.last().unwrap_or(&f64::NAN));
-                curves.push(curve);
-            }
+                Ok(curve)
+            })
+            .into_iter()
+            .collect::<freedom::Result<Vec<Vec<f64>>>>()?;
             let norm_by_step: Vec<f64> = (0..opts.budget)
                 .map(|step| {
                     let vals: Vec<f64> = curves
@@ -142,11 +143,13 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig13Result> {
                     stats::mean(&vals).unwrap_or(f64::NAN)
                 })
                 .collect();
-            traces.push(WeightedTrace {
+            Ok(WeightedTrace {
                 function: kind,
                 norm_by_step,
-            });
-        }
+            })
+        })
+        .into_iter()
+        .collect::<freedom::Result<Vec<_>>>()?;
         panels.push(WeightPanel { objective, traces });
     }
     Ok(Fig13Result { panels })

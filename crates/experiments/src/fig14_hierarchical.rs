@@ -10,7 +10,7 @@ use freedom_optimizer::Objective;
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// The paper's degradation threshold.
@@ -100,8 +100,7 @@ fn run_ordering(
     opts: &ExperimentOpts,
     primary: Objective,
 ) -> freedom::Result<Vec<HierarchicalRow>> {
-    let mut rows = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
         let outcome = hierarchical_interface(
             kind,
@@ -121,15 +120,16 @@ fn run_ordering(
         let ideal = hierarchical_ideal(&table, primary, THETA).ok_or_else(|| {
             freedom::FreedomError::InsufficientData("no ideal hierarchical choice".into())
         })?;
-        rows.push(HierarchicalRow {
+        Ok(HierarchicalRow {
             function: kind,
             norm_et: chosen.exec_time_secs / base.exec_time_secs,
             norm_ec: chosen.exec_cost_usd / base.exec_cost_usd,
             ideal_norm_et: ideal.predicted_time_secs / base.exec_time_secs,
             ideal_norm_ec: ideal.predicted_cost_usd / base.exec_cost_usd,
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Runs the experiment.

@@ -11,11 +11,11 @@
 use freedom::provider::{IdleCapacityPlanner, PlannedPlacement};
 use freedom::Autotuner;
 use freedom_linalg::stats;
-use freedom_optimizer::{Objective, SearchSpace};
+use freedom_optimizer::{BoConfig, Objective, SearchSpace};
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, par_repeats, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// One function's accepted-placement statistics across repetitions.
@@ -100,22 +100,28 @@ impl Fig15Result {
 pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig15Result> {
     let planner = IdleCapacityPlanner::default();
     let space = SearchSpace::table1();
-    let mut rows = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    let rows = par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
+        let per_rep = par_repeats(opts, |rep| -> freedom::Result<Vec<PlannedPlacement>> {
+            let outcome = Autotuner::new(SurrogateKind::Gp)
+                .with_bo_config(BoConfig {
+                    surrogate_refit_every: opts.surrogate_refit_every,
+                    ..BoConfig::default()
+                })
+                .tune_offline(
+                    kind,
+                    &kind.default_input(),
+                    Objective::ExecutionTime,
+                    opts.repeat_seed(rep),
+                )?;
+            planner.plan(&outcome, &table, &space)
+        });
         let mut norm_times = Vec::new();
         let mut norm_costs = Vec::new();
         let mut accepted = 0usize;
         let mut considered = 0usize;
-        for rep in 0..opts.opt_repeats {
-            let outcome = Autotuner::new(SurrogateKind::Gp).tune_offline(
-                kind,
-                &kind.default_input(),
-                Objective::ExecutionTime,
-                opts.repeat_seed(rep),
-            )?;
-            let placements: Vec<PlannedPlacement> = planner.plan(&outcome, &table, &space)?;
-            for p in &placements {
+        for placements in per_rep {
+            for p in &placements? {
                 considered += 1;
                 if p.accepted {
                     accepted += 1;
@@ -124,13 +130,15 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig15Result> {
                 }
             }
         }
-        rows.push(SavingsRow {
+        Ok(SavingsRow {
             function: kind,
             norm_times,
             norm_costs,
             accept_rate: accepted as f64 / considered.max(1) as f64,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<_>>>()?;
     Ok(Fig15Result { rows })
 }
 

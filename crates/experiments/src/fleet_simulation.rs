@@ -12,11 +12,11 @@ use freedom::fleet::{
 };
 use freedom::provider::IdleCapacityPlanner;
 use freedom::Autotuner;
-use freedom_optimizer::{Objective, SearchSpace};
+use freedom_optimizer::{BoConfig, Objective, SearchSpace};
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
 /// One fleet-size data point.
@@ -105,33 +105,41 @@ impl FleetSimResult {
 /// Runs the sweep: fleet sizes {0 VMs ⇒ all on-demand, 1, 2, 4} per
 /// family over a 10-minute, ~0.5 rps/function trace.
 pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
-    // Build plans once (one tuning run + planner pass per function).
+    // Build plans once (one tuning run + planner pass per function); the
+    // six functions' tuning runs are independent and fan out across cores.
     let planner = IdleCapacityPlanner::default();
     let space = SearchSpace::table1();
-    let mut plans = Vec::with_capacity(FunctionKind::ALL.len());
-    for function in FunctionKind::ALL {
+    let plans = par_map(opts, &FunctionKind::ALL, |&function| {
         let table = ground_truth_default(function, opts)?;
-        let outcome = Autotuner::new(SurrogateKind::Gp).tune_offline(
-            function,
-            &function.default_input(),
-            Objective::ExecutionTime,
-            opts.seed,
-        )?;
+        let outcome = Autotuner::new(SurrogateKind::Gp)
+            .with_bo_config(BoConfig {
+                surrogate_refit_every: opts.surrogate_refit_every,
+                ..BoConfig::default()
+            })
+            .tune_offline(
+                function,
+                &function.default_input(),
+                Objective::ExecutionTime,
+                opts.seed,
+            )?;
         let alternates = planner.plan(&outcome, &table, &space)?;
-        plans.push(FunctionPlan {
+        Ok(FunctionPlan {
             function,
             best_config: outcome.recommended().ok_or_else(|| {
                 freedom::FreedomError::InsufficientData(format!("no config for {function}"))
             })?,
             alternates,
             table,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<FunctionPlan>>>()?;
 
     let duration = if opts.opt_repeats <= 2 { 120.0 } else { 600.0 };
     let trace = Trace::poisson(duration, 0.5, opts.seed)?;
-    let mut rows = Vec::new();
-    for idle_vms_per_family in [1usize, 2, 4] {
+    // Each fleet size replays the trace twice (baseline + idle-aware);
+    // the sweep points are independent, so they fan out too.
+    let rows = par_map(opts, &[1usize, 2, 4], |&idle_vms_per_family| {
         let sim = FleetSimulator::new(
             plans.clone(),
             FleetConfig {
@@ -139,12 +147,14 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
                 ..FleetConfig::default()
             },
         )?;
-        rows.push(FleetRow {
+        Ok(FleetRow {
             idle_vms_per_family,
             baseline: sim.run(&trace, PlacementStrategy::BestConfigOnly)?,
             idle_aware: sim.run(&trace, PlacementStrategy::IdleAware)?,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<_>>>()?;
     Ok(FleetSimResult {
         invocations: trace.len(),
         rows,

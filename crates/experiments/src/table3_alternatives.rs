@@ -5,7 +5,7 @@ use freedom::provider::alternative_families_within;
 use freedom_optimizer::Objective;
 use freedom_workloads::FunctionKind;
 
-use crate::context::{ground_truth_default, ExperimentOpts};
+use crate::context::{ground_truth_default, par_map, ExperimentOpts};
 use crate::report::TextTable;
 
 /// The θ thresholds of Table 3.
@@ -104,8 +104,7 @@ impl Table3Result {
 
 /// Runs the experiment.
 pub fn run(opts: &ExperimentOpts) -> freedom::Result<Table3Result> {
-    let mut rows = Vec::with_capacity(FunctionKind::ALL.len());
-    for kind in FunctionKind::ALL {
+    let rows = par_map(opts, &FunctionKind::ALL, |&kind| {
         let table = ground_truth_default(kind, opts)?;
         let mut counts = Vec::with_capacity(5);
         for obj in objectives() {
@@ -115,11 +114,13 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Table3Result> {
             }
             counts.push(per_theta);
         }
-        rows.push(AlternativeRow {
+        Ok(AlternativeRow {
             function: kind,
             counts,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<freedom::Result<Vec<_>>>()?;
     Ok(Table3Result { rows })
 }
 

@@ -132,7 +132,7 @@ mod tests {
         let a = ResourceConfig::new(InstanceFamily::C5, 0.25, 128).unwrap();
         let b = ResourceConfig::new(InstanceFamily::C5, 0.25, 256).unwrap();
         assert!(a < b);
-        let mut v = vec![b, a];
+        let mut v = [b, a];
         v.sort();
         assert_eq!(v[0], a);
     }

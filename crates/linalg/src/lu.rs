@@ -97,8 +97,8 @@ impl LuFactors {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[self.perm[i]];
-            for j in 0..i {
-                sum -= self.lu.get(i, j) * y[j];
+            for (j, &yj) in y[..i].iter().enumerate() {
+                sum -= self.lu.get(i, j) * yj;
             }
             y[i] = sum;
         }
@@ -106,8 +106,8 @@ impl LuFactors {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for j in (i + 1)..n {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum / self.lu.get(i, i);
         }

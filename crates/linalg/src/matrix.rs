@@ -128,6 +128,26 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Returns row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds (programming error).
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Self {
         let mut t = Self::zeros(self.cols, self.rows);
@@ -151,15 +171,19 @@ impl Matrix {
             });
         }
         let mut out = Self::zeros(self.rows, other.cols);
+        // i-k-j loop over the flat buffers: the inner operation is a
+        // contiguous AXPY on the output row, so the whole product streams
+        // through memory.
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..other.cols {
-                    let v = out.get(i, j) + a * other.get(k, j);
-                    out.set(i, j, v);
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
                 }
             }
         }

@@ -9,6 +9,9 @@
 //! the search space is *sliced*, removing every configuration whose memory
 //! is at or below the failing limit.
 
+use std::collections::HashSet;
+
+use freedom_faas::ResourceConfig;
 use freedom_linalg::normal;
 use freedom_surrogates::{Surrogate, SurrogateKind};
 
@@ -61,6 +64,11 @@ pub struct BoConfig {
     pub failure_handling: FailureHandling,
     /// Seed for initial samples and surrogate randomness.
     pub seed: u64,
+    /// Full hyperparameter-search cadence for surrogates with a warm
+    /// refit path (the GP): a full candidate search every `refit_every`-th
+    /// step, incremental updates in between. 1 = the naive from-scratch
+    /// behavior at every step.
+    pub surrogate_refit_every: usize,
 }
 
 impl Default for BoConfig {
@@ -72,6 +80,7 @@ impl Default for BoConfig {
             acquisition: Acquisition::ExpectedImprovement,
             failure_handling: FailureHandling::Slice,
             seed: 0,
+            surrogate_refit_every: 4,
         }
     }
 }
@@ -219,79 +228,130 @@ impl BayesianOptimizer {
         let mut space = space.clone();
         let mut trials: Vec<Trial> = Vec::with_capacity(cfg.budget);
         let mut sliced_away = 0;
+        // Configurations already evaluated: O(1) membership beats the old
+        // per-candidate scan over the trial list (O(budget²) per step).
+        let mut tried: HashSet<ResourceConfig> = HashSet::with_capacity(cfg.budget * 2);
 
-        // Phase 1: random bootstrap samples.
+        // Phase 1: random bootstrap samples. Samples are drawn up front;
+        // any that a §5.1 slice removes mid-phase are skipped rather than
+        // evaluated into a known failure.
         let mut bootstrap = RandomSearch::new(cfg.seed);
         for config in bootstrap.sample(&space, cfg.n_initial)? {
+            if !space.contains(&config) {
+                continue;
+            }
             let trial = evaluator.evaluate(&config)?;
+            tried.insert(config);
             sliced_away += self.absorb_failure(&mut space, &trial);
             trials.push(trial);
         }
 
-        // Phase 2: surrogate-guided acquisition.
+        // Phase 2: surrogate-guided acquisition. One surrogate instance is
+        // threaded through the whole loop so models with incremental refit
+        // paths (the GP) can reuse the previous step's state; `fit_update`
+        // reseeds per step, so stateless models behave exactly like the
+        // old rebuild-per-step pattern.
+        let mut surrogate = self.build_surrogate(cfg.seed);
+        // Feature encodings for the current space, computed once and
+        // invalidated only when slicing shrinks the space.
+        let mut encoded: Vec<Vec<f64>> = space.configs().iter().map(SearchSpace::encode).collect();
         let mut step = 0u64;
         while trials.len() < cfg.budget {
             step += 1;
-            let candidates: Vec<_> = space
-                .configs()
-                .iter()
-                .copied()
-                .filter(|c| !trials.iter().any(|t| &t.config == c))
-                .collect();
-            if candidates.is_empty() {
+            if space.configs().iter().all(|c| tried.contains(c)) {
                 break; // everything reachable has been measured
             }
 
-            let next = match self.fit_on_trials(&trials, objective, cfg.seed + step) {
-                Some(model) => {
-                    let best = current_best(&trials, objective).unwrap_or(f64::INFINITY);
-                    // Scale ξ to the incumbent so EI is unit-free (costs
-                    // are ~1e-5 USD, times ~1e1 s).
-                    let xi = if best.is_finite() {
-                        cfg.xi * best.abs().max(f64::MIN_POSITIVE)
-                    } else {
-                        cfg.xi
-                    };
-                    let mut best_candidate = candidates[0];
-                    let mut best_score = f64::NEG_INFINITY;
-                    for c in &candidates {
-                        let p = model.predict(&SearchSpace::encode(c))?;
-                        // Higher score = more attractive to evaluate next.
-                        let score = match cfg.acquisition {
-                            Acquisition::ExpectedImprovement => {
-                                expected_improvement(p.mean, p.std, best, xi)
-                            }
-                            Acquisition::LowerConfidenceBound { kappa } => {
-                                -(p.mean - kappa * p.std)
-                            }
-                        };
-                        if score > best_score {
-                            best_score = score;
-                            best_candidate = *c;
+            let fitted = self.refit(surrogate.as_mut(), &trials, objective, cfg.seed + step);
+            let next = if fitted {
+                let best = current_best(&trials, objective).unwrap_or(f64::INFINITY);
+                // Scale ξ to the incumbent so EI is unit-free (costs
+                // are ~1e-5 USD, times ~1e1 s).
+                let xi = if best.is_finite() {
+                    cfg.xi * best.abs().max(f64::MIN_POSITIVE)
+                } else {
+                    cfg.xi
+                };
+                // Predict the whole (stable) space rather than just the
+                // untested configs: the candidate set is then identical
+                // across steps, which lets the surrogate's batched
+                // predictor reuse its cross-kernel cache; already-tried
+                // configs are skipped during scoring.
+                let predictions = surrogate.predict_batch_mut(&encoded)?;
+                let mut best_candidate = None;
+                let mut best_score = f64::NEG_INFINITY;
+                for (c, p) in space.configs().iter().zip(&predictions) {
+                    if tried.contains(c) {
+                        continue;
+                    }
+                    // Higher score = more attractive to evaluate next.
+                    let score = match cfg.acquisition {
+                        Acquisition::ExpectedImprovement => {
+                            expected_improvement(p.mean, p.std, best, xi)
                         }
+                        Acquisition::LowerConfidenceBound { kappa } => -(p.mean - kappa * p.std),
+                    };
+                    if best_candidate.is_none() || score > best_score {
+                        best_score = score;
+                        best_candidate = Some(*c);
                     }
-                    best_candidate
                 }
+                best_candidate.expect("at least one untried config exists")
+            } else {
                 // Not enough feasible data to fit yet: keep sampling.
-                None => {
-                    let mut fallback = RandomSearch::new(cfg.seed ^ step.rotate_left(17));
-                    match fallback
-                        .sample(&space, space.len())?
-                        .into_iter()
-                        .find(|c| candidates.contains(c))
-                    {
-                        Some(c) => c,
-                        None => break,
-                    }
+                let mut fallback = RandomSearch::new(cfg.seed ^ step.rotate_left(17));
+                match fallback
+                    .sample(&space, space.len())?
+                    .into_iter()
+                    .find(|c| !tried.contains(c))
+                {
+                    Some(c) => c,
+                    None => break,
                 }
             };
 
             let trial = evaluator.evaluate(&next)?;
-            sliced_away += self.absorb_failure(&mut space, &trial);
+            tried.insert(next);
+            let removed = self.absorb_failure(&mut space, &trial);
+            if removed > 0 {
+                sliced_away += removed;
+                encoded = space.configs().iter().map(SearchSpace::encode).collect();
+            }
             trials.push(trial);
         }
 
         Ok(finish_run(objective, trials, sliced_away))
+    }
+
+    /// Builds the loop's persistent surrogate, threading the configured
+    /// full-refit cadence into surrogates that support warm updates.
+    fn build_surrogate(&self, seed: u64) -> Box<dyn Surrogate> {
+        match self.kind {
+            SurrogateKind::Gp => Box::new(freedom_surrogates::GaussianProcess::new(
+                freedom_surrogates::GpConfig {
+                    refit_every: self.config.surrogate_refit_every.max(1),
+                    ..freedom_surrogates::GpConfig::default()
+                },
+                seed,
+            )),
+            kind => kind.build(seed),
+        }
+    }
+
+    /// Refits the loop's persistent surrogate via its incremental path;
+    /// `false` when there is not enough data or the fit failed.
+    fn refit(
+        &self,
+        model: &mut dyn Surrogate,
+        trials: &[Trial],
+        objective: Objective,
+        step_seed: u64,
+    ) -> bool {
+        let (x, y) = self.training_set(trials, objective);
+        if x.len() < 2 {
+            return false;
+        }
+        model.fit_update(&x, &y, step_seed).is_ok()
     }
 
     /// Fits this optimizer's surrogate kind on the feasible trials (plus

@@ -52,14 +52,18 @@ pub fn mape_over_space(
 ) -> Result<f64> {
     let (bt, bc) = table_normalizers(table);
     let mut actual = Vec::new();
-    let mut predicted = Vec::new();
+    let mut features = Vec::new();
     for config in space.configs() {
         if let Some(a) = actual_value(table, config, objective, bt, bc) {
-            let p = model.predict(&SearchSpace::encode(config))?;
             actual.push(a);
-            predicted.push(p.mean);
+            features.push(SearchSpace::encode(config));
         }
     }
+    let predicted: Vec<f64> = model
+        .predict_batch(&features)?
+        .into_iter()
+        .map(|p| p.mean)
+        .collect();
     stats::mape(&actual, &predicted).ok_or_else(|| {
         OptimizerError::InvalidArgument("no feasible configurations to score".into())
     })
@@ -109,18 +113,25 @@ pub fn best_predicted_per_family_with(
     let (bt, bc) = table_normalizers(table);
     let mut out = Vec::new();
     for family in InstanceFamily::SEARCH_SPACE {
-        let mut best: Option<FamilyBest> = None;
+        // Batch the family's feasible configs through one predictor call.
+        let mut candidates = Vec::new();
+        let mut features = Vec::new();
         for config in space.configs().iter().filter(|c| c.family() == family) {
             let Some(actual) = actual_value(table, config, objective, bt, bc) else {
                 continue;
             };
-            let p = model.predict(&SearchSpace::encode(config))?;
+            candidates.push((*config, actual));
+            features.push(SearchSpace::encode(config));
+        }
+        let predictions = model.predict_batch(&features)?;
+        let mut best: Option<FamilyBest> = None;
+        for ((config, actual), p) in candidates.into_iter().zip(predictions) {
             let predicted = p.mean + beta * p.std;
             let better = best.map(|b| predicted < b.predicted).unwrap_or(true);
             if better {
                 best = Some(FamilyBest {
                     family,
-                    config: *config,
+                    config,
                     predicted,
                     actual,
                 });

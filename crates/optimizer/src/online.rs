@@ -49,7 +49,7 @@ pub fn count_violations_with_factor(
     best_in_space: f64,
     factor: f64,
 ) -> usize {
-    if !(best_in_space > 0.0) || !(factor > 0.0) {
+    if best_in_space.is_nan() || best_in_space <= 0.0 || factor.is_nan() || factor <= 0.0 {
         return run.trials.len(); // degenerate baseline: everything violates
     }
     let threshold = factor * best_in_space;

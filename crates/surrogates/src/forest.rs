@@ -37,9 +37,13 @@ impl Ensemble {
         for _ in 0..config.n_trees {
             if config.bootstrap {
                 let idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
-                let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
-                let by: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
-                trees.push(DecisionTree::fit(&bx, &by, &config.tree, &mut rng));
+                trees.push(DecisionTree::fit_indices(
+                    x,
+                    y,
+                    &idx,
+                    &config.tree,
+                    &mut rng,
+                ));
             } else {
                 trees.push(DecisionTree::fit(x, y, &config.tree, &mut rng));
             }
@@ -115,6 +119,10 @@ impl Surrogate for RandomForest {
             .predict(point)
     }
 
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
     fn name(&self) -> &'static str {
         "RF"
     }
@@ -167,6 +175,10 @@ impl Surrogate for ExtraTrees {
             .as_ref()
             .ok_or(SurrogateError::NotFitted)?
             .predict(point)
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
     }
 
     fn name(&self) -> &'static str {

@@ -208,6 +208,10 @@ impl Surrogate for GradientBoosting {
         })
     }
 
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
     fn name(&self) -> &'static str {
         "GBRT"
     }

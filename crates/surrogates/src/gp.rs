@@ -3,9 +3,32 @@
 //! The paper's best-performing surrogate (§5.2, §5.5). The implementation
 //! follows the standard exact-inference recipe (Rasmussen & Williams ch. 2):
 //! standardize the targets, factorize `K + σ_n² I` with Cholesky, and pick
-//! kernel hyperparameters by maximizing the log marginal likelihood over a
+//! kernel hyperparameters by maximizing a leave-one-out score over a
 //! seeded random search (a gradient-free stand-in for skopt's L-BFGS
 //! restarts that keeps the crate dependency-free).
+//!
+//! # The incremental hot path
+//!
+//! A BO loop refits the GP after every trial, and the training set almost
+//! always grows by exactly one row. [`GaussianProcess`] therefore keeps
+//! its previous fit around and [`Surrogate::fit_update`] takes three
+//! tiers, fastest first:
+//!
+//! 1. **alpha-only** — same features, new targets (a failed trial or a
+//!    re-normalized objective): reuse the kernel factor, re-solve for
+//!    `α` in O(n²);
+//! 2. **append-one** — the feature matrix extends the previous one by one
+//!    row under an unchanged normalization: extend the Cholesky factor
+//!    with [`freedom_linalg::Cholesky::append_row`] in O(n²),
+//!    bit-identically to refactorizing from scratch, and keep the
+//!    previous hyperparameters;
+//! 3. **full** — every [`GpConfig::refit_every`]-th update, or whenever
+//!    the cached state does not match (first fit, sliced search space,
+//!    normalization shift): run the full candidate search, warm-started
+//!    with the previous fit's hyperparameters as an extra candidate.
+//!
+//! [`Surrogate::fit`] always takes the full path and resets the schedule,
+//! so one-shot users see the original from-scratch behavior.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,7 +40,7 @@ use crate::{validate_training_set, Prediction, Surrogate, SurrogateError};
 /// Tuning knobs for the GP fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpConfig {
-    /// Number of random hyperparameter candidates scored by marginal
+    /// Number of random hyperparameter candidates scored by the LOO
     /// likelihood (the default candidate is always included).
     pub candidates: usize,
     /// Fixed observation-noise floor added to the kernel diagonal.
@@ -32,6 +55,11 @@ pub struct GpConfig {
     /// predictive distribution is mapped back through the log-normal
     /// moments.
     pub log_targets: bool,
+    /// How often [`Surrogate::fit_update`] runs the full hyperparameter
+    /// search: every `refit_every`-th update (1 = always). In between,
+    /// updates reuse the previous hyperparameters and extend the Cholesky
+    /// factor incrementally.
+    pub refit_every: usize,
 }
 
 impl Default for GpConfig {
@@ -41,11 +69,12 @@ impl Default for GpConfig {
             noise_floor: 1e-6,
             refine_passes: 2,
             log_targets: true,
+            refit_every: 4,
         }
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Hyperparams {
     /// One ARD lengthscale per (normalized) feature dimension.
     lengthscales: Vec<f64>,
@@ -57,9 +86,13 @@ struct Hyperparams {
 
 #[derive(Debug, Clone)]
 struct Fitted {
-    x: Vec<Vec<f64>>,
+    /// Normalized feature matrix (n × d), the kernel's input.
+    x: Matrix,
     chol: Cholesky,
     alpha: Vec<f64>,
+    /// Standardized targets, stored so the marginal likelihood never has
+    /// to reconstruct them through an O(n²·d) kernel rebuild.
+    y_std_targets: Vec<f64>,
     hp: Hyperparams,
     y_mean: f64,
     y_std: f64,
@@ -69,12 +102,51 @@ struct Fitted {
     log_space: bool,
 }
 
+/// Cached batched-prediction state for a fixed candidate set.
+///
+/// The BO loop predicts the same candidate encodings at every step while
+/// the training set grows by one row. `k_star[i][j] = k(pᵢ, xⱼ)` and
+/// `v = L⁻¹ k_star` per candidate depend only on the hyperparameters and
+/// the training rows — both frozen along the incremental tiers — and
+/// forward substitution is row-incremental, so appending a training row
+/// just appends one column to each. Re-deriving a column from scratch
+/// produces the same bits, which keeps cached and uncached predictions
+/// identical.
+#[derive(Debug, Clone)]
+struct BatchCache {
+    /// The raw candidate encodings this cache was built for.
+    points: Vec<Vec<f64>>,
+    /// Normalized candidates (m × d).
+    p_norm: Matrix,
+    /// Cross-kernel matrix (m × n).
+    k_star: Matrix,
+    /// Forward-substitution solves `L⁻¹ k_star` per candidate (m × n).
+    v: Matrix,
+    /// Training rows covered by the cached columns.
+    n: usize,
+    /// Hyperparameter generation the columns were computed under.
+    generation: u64,
+}
+
 /// Exact GP regressor; see the module docs.
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
     config: GpConfig,
     seed: u64,
     fitted: Option<Fitted>,
+    /// Incremental updates since the last full hyperparameter search.
+    fits_since_full: usize,
+    /// Bumped on every full fit; invalidates [`BatchCache`] columns.
+    generation: u64,
+    batch_cache: Option<BatchCache>,
+}
+
+/// Target preprocessing shared by every fit path.
+struct Targets {
+    y_standardized: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    log_space: bool,
 }
 
 impl GaussianProcess {
@@ -84,27 +156,22 @@ impl GaussianProcess {
             config,
             seed,
             fitted: None,
+            fits_since_full: 0,
+            generation: 0,
+            batch_cache: None,
         }
     }
 
     /// Log marginal likelihood of the current fit (diagnostic).
     pub fn log_marginal_likelihood(&self) -> Option<f64> {
         let f = self.fitted.as_ref()?;
-        Some(Self::mll(&f.chol, &f.alpha, &Self::standardized_targets(f)))
+        Some(Self::mll(&f.chol, &f.alpha, &f.y_std_targets))
     }
 
-    fn standardized_targets(f: &Fitted) -> Vec<f64> {
-        // Recover the standardized targets from alpha: K_noisy * alpha = y_std.
-        // Cheaper to recompute than to store; only used diagnostically.
-        let n = f.x.len();
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            for (j, a) in f.alpha.iter().enumerate() {
-                y[i] += Self::kernel_value(&f.hp, &f.x[i], &f.x[j]) * a;
-            }
-            y[i] += f.hp.noise_var * f.alpha[i];
-        }
-        y
+    /// Incremental updates absorbed since the last full candidate search
+    /// (diagnostic; 0 right after [`Surrogate::fit`]).
+    pub fn fits_since_full(&self) -> usize {
+        self.fits_since_full
     }
 
     fn matern52(r: f64) -> f64 {
@@ -125,18 +192,25 @@ impl GaussianProcess {
         hp.signal_var * Self::matern52(Self::scaled_distance(hp, a, b))
     }
 
-    fn kernel_matrix(hp: &Hyperparams, x: &[Vec<f64>], noise_floor: f64) -> Matrix {
-        let n = x.len();
+    fn kernel_matrix(hp: &Hyperparams, x: &Matrix, noise_floor: f64) -> Matrix {
+        let n = x.rows();
         let mut k = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
-                let v = Self::kernel_value(hp, &x[i], &x[j]);
+                let v = Self::kernel_value(hp, x.row(i), x.row(j));
                 k.set(i, j, v);
                 k.set(j, i, v);
             }
             k.set(i, i, k.get(i, i) + hp.noise_var + noise_floor);
         }
         k
+    }
+
+    /// The noisy kernel diagonal entry `k(x, x) + σ_n² + floor`, computed
+    /// through the same code path as [`Self::kernel_matrix`] so the
+    /// incremental append stays bit-identical to a full rebuild.
+    fn kernel_diag(hp: &Hyperparams, row: &[f64], noise_floor: f64) -> f64 {
+        Self::kernel_value(hp, row, row) + hp.noise_var + noise_floor
     }
 
     fn mll(chol: &Cholesky, alpha: &[f64], y: &[f64]) -> f64 {
@@ -164,28 +238,16 @@ impl GaussianProcess {
         lp
     }
 
-    /// Diagonal of `K⁻¹` from the Cholesky factor (basis-vector solves).
-    fn kinv_diag(chol: &Cholesky) -> Option<Vec<f64>> {
-        let n = chol.factor().rows();
-        let mut diag = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut e = vec![0.0; n];
-            e[i] = 1.0;
-            let col = chol.solve(&e).ok()?;
-            diag.push(col[i]);
-        }
-        Some(diag)
-    }
-
     /// Leave-one-out predictive log-likelihood (Rasmussen & Williams,
     /// Eq. 5.10–5.12): `μ₋ᵢ = yᵢ − αᵢ/K⁻¹ᵢᵢ`, `σ₋ᵢ² = 1/K⁻¹ᵢᵢ`.
     ///
     /// Selecting hyperparameters by LOO rather than marginal likelihood is
     /// markedly more robust when the kernel is misspecified — which these
     /// performance surfaces guarantee — because it scores *predictions*,
-    /// not data fit.
+    /// not data fit. The `K⁻¹` diagonal comes from one O(n³/6) triangular
+    /// inversion ([`Cholesky::inv_diag`]) instead of n basis solves.
     fn loo_log_likelihood(chol: &Cholesky, alpha: &[f64]) -> Option<f64> {
-        let kinv = Self::kinv_diag(chol)?;
+        let kinv = chol.inv_diag();
         let n = alpha.len() as f64;
         let mut score = -0.5 * n * (2.0 * std::f64::consts::PI).ln();
         for (a, kii) in alpha.iter().zip(&kinv) {
@@ -199,7 +261,7 @@ impl GaussianProcess {
 
     fn try_fit(
         hp: &Hyperparams,
-        x: &[Vec<f64>],
+        x: &Matrix,
         y: &[f64],
         noise_floor: f64,
     ) -> Option<(Cholesky, Vec<f64>, f64)> {
@@ -211,10 +273,10 @@ impl GaussianProcess {
     }
 
     /// One-at-a-time multiplicative moves on every hyperparameter, kept
-    /// when the marginal likelihood improves.
+    /// when the LOO score improves.
     fn refine(
         start: (Hyperparams, Cholesky, Vec<f64>, f64),
-        x: &[Vec<f64>],
+        x: &Matrix,
         y: &[f64],
         noise_floor: f64,
         passes: usize,
@@ -247,13 +309,13 @@ impl GaussianProcess {
     /// Per-dimension median of pairwise absolute distances — the standard
     /// lengthscale initialization for stationary kernels. Dimensions with
     /// no spread fall back to 1.0.
-    fn median_heuristic(x: &[Vec<f64>], dim: usize) -> Vec<f64> {
+    fn median_heuristic(x: &Matrix, dim: usize) -> Vec<f64> {
         (0..dim)
             .map(|d| {
                 let mut dists = Vec::new();
-                for i in 0..x.len() {
-                    for j in (i + 1)..x.len() {
-                        let delta = (x[i][d] - x[j][d]).abs();
+                for i in 0..x.rows() {
+                    for j in (i + 1)..x.rows() {
+                        let delta = (x.row(i)[d] - x.row(j)[d]).abs();
                         if delta > 1e-12 {
                             dists.push(delta);
                         }
@@ -268,7 +330,7 @@ impl GaussianProcess {
             .collect()
     }
 
-    fn normalize_features(x: &[Vec<f64>], dim: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    fn normalize_features(x: &[Vec<f64>], dim: usize) -> (Matrix, Vec<f64>, Vec<f64>) {
         let mut lo = vec![f64::INFINITY; dim];
         let mut hi = vec![f64::NEG_INFINITY; dim];
         for row in x {
@@ -282,25 +344,18 @@ impl GaussianProcess {
             .zip(&hi)
             .map(|(&l, &h)| if h - l > 1e-12 { h - l } else { 1.0 })
             .collect();
-        let normed = x
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .map(|(d, &v)| (v - lo[d]) / span[d])
-                    .collect()
-            })
-            .collect();
+        let mut normed = Matrix::zeros(x.len(), dim);
+        for (r, row) in x.iter().enumerate() {
+            let out = normed.row_mut(r);
+            for (d, &v) in row.iter().enumerate() {
+                out[d] = (v - lo[d]) / span[d];
+            }
+        }
         (normed, lo, span)
     }
-}
 
-impl Surrogate for GaussianProcess {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> crate::Result<()> {
-        let dim = validate_training_set(x, y)?;
-
-        // Optionally model log targets (positive-only), then standardize so
-        // signal-variance priors are scale-free.
+    /// Optionally log-transform, then standardize the targets.
+    fn prepare_targets(&self, y: &[f64]) -> Targets {
         let log_space = self.config.log_targets && y.iter().all(|&v| v > 0.0);
         let y_work: Vec<f64> = if log_space {
             y.iter().map(|v| v.ln()).collect()
@@ -314,29 +369,54 @@ impl Surrogate for GaussianProcess {
         } else {
             1.0
         };
-        let y_standardized: Vec<f64> = y_work.iter().map(|v| (v - y_mean) / y_std).collect();
+        let y_standardized = y_work.iter().map(|v| (v - y_mean) / y_std).collect();
+        Targets {
+            y_standardized,
+            y_mean,
+            y_std,
+            log_space,
+        }
+    }
 
-        let (x_norm, feat_lo, feat_span) = Self::normalize_features(x, dim);
+    /// The full candidate search + refinement, optionally warm-started
+    /// with the previous fit's hyperparameters as an extra candidate.
+    fn full_fit(
+        &mut self,
+        x_norm: Matrix,
+        feat_lo: Vec<f64>,
+        feat_span: Vec<f64>,
+        targets: Targets,
+        warm: Option<Hyperparams>,
+    ) -> crate::Result<()> {
+        let dim = x_norm.cols();
+        let y = &targets.y_standardized;
 
         // Candidate 0 is a sensible default, candidate 1 the classic
         // median-distance heuristic (robust when random draws all land
-        // badly); the rest are random draws in log space. The best
-        // marginal likelihood wins.
+        // badly), candidate 2 the previous fit's winner when warm; the
+        // rest are random draws in log space. The best LOO score wins.
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Hyperparams, Cholesky, Vec<f64>, f64)> = None;
-        for c in 0..=(self.config.candidates + 1) {
-            let hp = if c == 0 {
-                Hyperparams {
-                    lengthscales: vec![1.0; dim],
-                    signal_var: 1.0,
-                    noise_var: 1e-4,
-                }
-            } else if c == 1 {
-                Hyperparams {
-                    lengthscales: Self::median_heuristic(&x_norm, dim),
-                    signal_var: 1.0,
-                    noise_var: 1e-4,
-                }
+        let fixed: Vec<Hyperparams> = [
+            Some(Hyperparams {
+                lengthscales: vec![1.0; dim],
+                signal_var: 1.0,
+                noise_var: 1e-4,
+            }),
+            Some(Hyperparams {
+                lengthscales: Self::median_heuristic(&x_norm, dim),
+                signal_var: 1.0,
+                noise_var: 1e-4,
+            }),
+            warm.filter(|hp| hp.lengthscales.len() == dim),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let n_random = self.config.candidates;
+        for c in 0..(fixed.len() + n_random) {
+            let hp = if c < fixed.len() {
+                fixed[c].clone()
             } else {
                 Hyperparams {
                     lengthscales: (0..dim)
@@ -347,7 +427,7 @@ impl Surrogate for GaussianProcess {
                 }
             };
             if let Some((chol, alpha, score)) =
-                Self::try_fit(&hp, &x_norm, &y_standardized, self.config.noise_floor)
+                Self::try_fit(&hp, &x_norm, y, self.config.noise_floor)
             {
                 let better = best.as_ref().map(|b| score > b.3).unwrap_or(true);
                 if better {
@@ -359,12 +439,12 @@ impl Surrogate for GaussianProcess {
             freedom_linalg::LinalgError::NotPositiveDefinite,
         ))?;
 
-        // Coordinate ascent on the marginal likelihood around the winner:
-        // a cheap, deterministic stand-in for skopt's L-BFGS restarts.
+        // Coordinate ascent on the LOO score around the winner: a cheap,
+        // deterministic stand-in for skopt's L-BFGS restarts.
         let (hp, chol, alpha, _) = Self::refine(
             best,
             &x_norm,
-            &y_standardized,
+            y,
             self.config.noise_floor,
             self.config.refine_passes,
         );
@@ -372,38 +452,25 @@ impl Surrogate for GaussianProcess {
             x: x_norm,
             chol,
             alpha,
+            y_std_targets: targets.y_standardized,
             hp,
-            y_mean,
-            y_std,
+            y_mean: targets.y_mean,
+            y_std: targets.y_std,
             feat_lo,
             feat_span,
-            log_space,
+            log_space: targets.log_space,
         });
+        self.fits_since_full = 0;
+        self.generation = self.generation.wrapping_add(1);
+        self.batch_cache = None;
         Ok(())
     }
 
-    fn predict(&self, point: &[f64]) -> crate::Result<Prediction> {
-        let f = self.fitted.as_ref().ok_or(SurrogateError::NotFitted)?;
-        let dim = f.feat_lo.len();
-        if point.len() != dim {
-            return Err(SurrogateError::DimensionMismatch {
-                expected: format!("point of dimension {dim}"),
-                found: format!("point of dimension {}", point.len()),
-            });
-        }
-        let p: Vec<f64> = point
-            .iter()
-            .enumerate()
-            .map(|(d, &v)| (v - f.feat_lo[d]) / f.feat_span[d])
-            .collect();
-        let k_star: Vec<f64> =
-            f.x.iter()
-                .map(|xi| Self::kernel_value(&f.hp, &p, xi))
-                .collect();
-        let mean_std_space: f64 = k_star.iter().zip(&f.alpha).map(|(k, a)| k * a).sum();
-        let v = f.chol.solve_lower(&k_star)?;
+    /// Maps one candidate's summary statistics to a [`Prediction`]; the
+    /// single shared tail of every prediction path, cached or not.
+    fn finish_prediction(f: &Fitted, mean_std_space: f64, v_sq_sum: f64) -> Prediction {
         let k_ss = f.hp.signal_var; // k(p, p) for a stationary kernel
-        let var = (k_ss - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+        let var = (k_ss - v_sq_sum).max(0.0);
         let mu = mean_std_space * f.y_std + f.y_mean;
         let sigma2 = var * f.y_std * f.y_std;
         if f.log_space {
@@ -412,13 +479,224 @@ impl Surrogate for GaussianProcess {
             let s2 = sigma2.min(10.0);
             let mean = (mu + s2 / 2.0).min(700.0).exp();
             let std = mean * (s2.exp_m1()).max(0.0).sqrt();
-            Ok(Prediction { mean, std })
+            Prediction { mean, std }
         } else {
-            Ok(Prediction {
+            Prediction {
                 mean: mu,
                 std: sigma2.sqrt(),
-            })
+            }
         }
+    }
+
+    /// Whether `x_norm`'s leading rows are bit-identical to the previous
+    /// fit's feature matrix under the same normalization.
+    fn extends_previous(prev: &Fitted, x_norm: &Matrix, lo: &[f64], span: &[f64]) -> bool {
+        let (n_prev, dim) = (prev.x.rows(), prev.x.cols());
+        x_norm.cols() == dim
+            && x_norm.rows() >= n_prev
+            && prev.feat_lo == lo
+            && prev.feat_span == span
+            && x_norm.as_slice()[..n_prev * dim] == *prev.x.as_slice()
+    }
+}
+
+impl Surrogate for GaussianProcess {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> crate::Result<()> {
+        let dim = validate_training_set(x, y)?;
+        let targets = self.prepare_targets(y);
+        let (x_norm, feat_lo, feat_span) = Self::normalize_features(x, dim);
+        self.full_fit(x_norm, feat_lo, feat_span, targets, None)
+    }
+
+    fn fit_update(&mut self, x: &[Vec<f64>], y: &[f64], step_seed: u64) -> crate::Result<()> {
+        self.seed = step_seed;
+        let dim = validate_training_set(x, y)?;
+        let targets = self.prepare_targets(y);
+        let (x_norm, feat_lo, feat_span) = Self::normalize_features(x, dim);
+
+        let due_full = self
+            .fitted
+            .as_ref()
+            .map(|_| self.fits_since_full + 1 >= self.config.refit_every.max(1))
+            .unwrap_or(true);
+        if !due_full {
+            let prev = self.fitted.as_ref().expect("checked above");
+            if Self::extends_previous(prev, &x_norm, &feat_lo, &feat_span) {
+                let n_prev = prev.x.rows();
+                let n_new = x_norm.rows();
+                if n_new == n_prev {
+                    // Tier 1: same features, new targets — re-solve alpha.
+                    let alpha = prev.chol.solve(&targets.y_standardized)?;
+                    let f = self.fitted.as_mut().expect("checked above");
+                    f.alpha = alpha;
+                    f.y_std_targets = targets.y_standardized;
+                    f.y_mean = targets.y_mean;
+                    f.y_std = targets.y_std;
+                    f.log_space = targets.log_space;
+                    self.fits_since_full += 1;
+                    return Ok(());
+                }
+                if n_new == n_prev + 1 {
+                    // Tier 2: one appended trial — extend the factor.
+                    let new_row = x_norm.row(n_prev);
+                    let mut a_row: Vec<f64> = (0..n_prev)
+                        .map(|i| Self::kernel_value(&prev.hp, new_row, prev.x.row(i)))
+                        .collect();
+                    a_row.push(Self::kernel_diag(
+                        &prev.hp,
+                        new_row,
+                        self.config.noise_floor,
+                    ));
+                    let mut chol = prev.chol.clone();
+                    if chol.append_row(&a_row).is_ok() {
+                        let alpha = chol.solve(&targets.y_standardized)?;
+                        let f = self.fitted.as_mut().expect("checked above");
+                        f.x = x_norm;
+                        f.chol = chol;
+                        f.alpha = alpha;
+                        f.y_std_targets = targets.y_standardized;
+                        f.y_mean = targets.y_mean;
+                        f.y_std = targets.y_std;
+                        f.log_space = targets.log_space;
+                        self.fits_since_full += 1;
+                        return Ok(());
+                    }
+                    // Not positive definite at the cached jitter: fall
+                    // through to the full search.
+                }
+            }
+        }
+
+        // Tier 3: scheduled or unavoidable full search, warm-started.
+        let warm = self.fitted.as_ref().map(|f| f.hp.clone());
+        self.full_fit(x_norm, feat_lo, feat_span, targets, warm)
+    }
+
+    fn predict(&self, point: &[f64]) -> crate::Result<Prediction> {
+        let mut out = self.predict_batch(std::slice::from_ref(&point.to_vec()))?;
+        Ok(out.pop().expect("one point in, one prediction out"))
+    }
+
+    fn predict_batch(&self, points: &[Vec<f64>]) -> crate::Result<Vec<Prediction>> {
+        let f = self.fitted.as_ref().ok_or(SurrogateError::NotFitted)?;
+        let dim = f.feat_lo.len();
+        if let Some(p) = points.iter().find(|p| p.len() != dim) {
+            return Err(SurrogateError::DimensionMismatch {
+                expected: format!("points of dimension {dim}"),
+                found: format!("point of dimension {}", p.len()),
+            });
+        }
+        let n = f.x.rows();
+        let m = points.len();
+        // One K* cross-kernel matrix for the whole batch, then one batched
+        // forward-substitution pass. Per-point arithmetic matches the
+        // incremental path in `predict_batch_mut` bit for bit.
+        let mut p = vec![0.0; dim];
+        let mut k_star = Matrix::zeros(m, n);
+        for (r, point) in points.iter().enumerate() {
+            for (d, &raw) in point.iter().enumerate() {
+                p[d] = (raw - f.feat_lo[d]) / f.feat_span[d];
+            }
+            let row = k_star.row_mut(r);
+            for (i, k) in row.iter_mut().enumerate() {
+                *k = Self::kernel_value(&f.hp, &p, f.x.row(i));
+            }
+        }
+        let v = f.chol.solve_lower_multi(&k_star)?;
+        Ok((0..m)
+            .map(|r| {
+                let mean_std_space: f64 =
+                    k_star.row(r).iter().zip(&f.alpha).map(|(k, a)| k * a).sum();
+                let v_sq_sum = v.row(r).iter().map(|vi| vi * vi).sum::<f64>();
+                Self::finish_prediction(f, mean_std_space, v_sq_sum)
+            })
+            .collect())
+    }
+
+    fn predict_batch_mut(&mut self, points: &[Vec<f64>]) -> crate::Result<Vec<Prediction>> {
+        let Some(f) = self.fitted.as_ref() else {
+            return Err(SurrogateError::NotFitted);
+        };
+        let dim = f.feat_lo.len();
+        if let Some(p) = points.iter().find(|p| p.len() != dim) {
+            return Err(SurrogateError::DimensionMismatch {
+                expected: format!("points of dimension {dim}"),
+                found: format!("point of dimension {}", p.len()),
+            });
+        }
+        let n = f.x.rows();
+        let m = points.len();
+
+        // Reuse cached columns when they were computed under the current
+        // hyperparameters for a training prefix of the current rows and
+        // the exact same candidate set.
+        let reusable = self
+            .batch_cache
+            .as_ref()
+            .is_some_and(|c| c.generation == self.generation && c.n <= n && c.points == points);
+        let mut cache = if reusable {
+            self.batch_cache.take().expect("checked reusable")
+        } else {
+            let mut p_norm = Matrix::zeros(m, dim);
+            for (r, point) in points.iter().enumerate() {
+                let row = p_norm.row_mut(r);
+                for (d, &raw) in point.iter().enumerate() {
+                    row[d] = (raw - f.feat_lo[d]) / f.feat_span[d];
+                }
+            }
+            BatchCache {
+                points: points.to_vec(),
+                p_norm,
+                k_star: Matrix::zeros(m, n),
+                v: Matrix::zeros(m, n),
+                n: 0,
+                generation: self.generation,
+            }
+        };
+
+        // Grow K* and V out to n columns. Continuing forward substitution
+        // from column `cache.n` performs exactly the arithmetic a full
+        // solve would, so cached and fresh predictions agree bit for bit.
+        if cache.n < n {
+            let mut k_star = Matrix::zeros(m, n);
+            let mut v = Matrix::zeros(m, n);
+            let l = f.chol.factor().as_slice();
+            for i in 0..m {
+                k_star.row_mut(i)[..cache.n].copy_from_slice(&cache.k_star.row(i)[..cache.n]);
+                v.row_mut(i)[..cache.n].copy_from_slice(&cache.v.row(i)[..cache.n]);
+                for j in cache.n..n {
+                    let k = Self::kernel_value(&f.hp, cache.p_norm.row(i), f.x.row(j));
+                    k_star.row_mut(i)[j] = k;
+                    // Same accumulation order as `solve_lower_into`
+                    // (one dot product, subtracted once) so the result
+                    // rounds identically.
+                    let vi = v.row_mut(i);
+                    let mut s = 0.0;
+                    for (ljk, vk) in l[j * n..j * n + j].iter().zip(&vi[..j]) {
+                        s += ljk * vk;
+                    }
+                    vi[j] = (k - s) / l[j * n + j];
+                }
+            }
+            cache.k_star = k_star;
+            cache.v = v;
+            cache.n = n;
+        }
+
+        let predictions = (0..m)
+            .map(|i| {
+                let k_star = cache.k_star.row(i);
+                let mean_std_space: f64 = k_star.iter().zip(&f.alpha).map(|(k, a)| k * a).sum();
+                let v_sq_sum = cache.v.row(i).iter().map(|vi| vi * vi).sum::<f64>();
+                Self::finish_prediction(f, mean_std_space, v_sq_sum)
+            })
+            .collect();
+        self.batch_cache = Some(cache);
+        Ok(predictions)
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
     }
 
     fn name(&self) -> &'static str {
@@ -514,5 +792,168 @@ mod tests {
         assert!(gp.log_marginal_likelihood().is_none());
         gp.fit(&x, &y).unwrap();
         assert!(gp.log_marginal_likelihood().unwrap().is_finite());
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_predict() {
+        let x = grid_1d(14);
+        let y: Vec<f64> = x.iter().map(|r| (5.0 * r[0]).sin() + 3.0).collect();
+        let mut gp = GaussianProcess::new(GpConfig::default(), 4);
+        gp.fit(&x, &y).unwrap();
+        let queries: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 13.0 - 0.5]).collect();
+        let batch = gp.predict_batch(&queries).unwrap();
+        for (q, b) in queries.iter().zip(&batch) {
+            let single = gp.predict(q).unwrap();
+            assert_eq!(single.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(single.std.to_bits(), b.std.to_bits());
+        }
+    }
+
+    /// The append-one tier must reproduce exactly what a from-scratch
+    /// factorization at the same hyperparameters would compute.
+    #[test]
+    fn incremental_update_matches_scratch_factorization() {
+        let full_x = grid_1d(16);
+        let full_y: Vec<f64> = full_x.iter().map(|r| (2.0 * r[0]).exp()).collect();
+        // Normalization is stable for a prefix of an evenly spread grid
+        // only if min/max are already covered; use a prefix that includes
+        // both ends so lo/span stay fixed as rows are appended.
+        let mut order: Vec<usize> = vec![0, 15];
+        order.extend(1..15);
+        let x_of =
+            |k: usize| -> Vec<Vec<f64>> { order[..k].iter().map(|&i| full_x[i].clone()).collect() };
+        let y_of = |k: usize| -> Vec<f64> { order[..k].iter().map(|&i| full_y[i]).collect() };
+
+        let mut warm = GaussianProcess::new(
+            GpConfig {
+                refit_every: 100, // never re-search within this test
+                ..GpConfig::default()
+            },
+            7,
+        );
+        warm.fit(&x_of(10), &y_of(10)).unwrap();
+        for k in 11..=16 {
+            warm.fit_update(&x_of(k), &y_of(k), 1000 + k as u64)
+                .unwrap();
+            assert_eq!(warm.fits_since_full(), k - 10, "append tier not taken");
+
+            // From scratch at the same hyperparameters: rebuild the kernel
+            // and factor it; both the factor and alpha must match bit for
+            // bit (append_row is row-by-row Cholesky's own recurrence).
+            let f = warm.fitted.as_ref().unwrap();
+            let k_mat = GaussianProcess::kernel_matrix(&f.hp, &f.x, warm.config.noise_floor);
+            let scratch = cholesky(&k_mat, 0.0).unwrap();
+            assert_eq!(
+                scratch.factor().as_slice(),
+                f.chol.factor().as_slice(),
+                "factor diverged at n = {k}"
+            );
+            let scratch_alpha = scratch.solve(&f.y_std_targets).unwrap();
+            assert_eq!(scratch_alpha, f.alpha, "alpha diverged at n = {k}");
+        }
+    }
+
+    /// The cross-kernel cache must never change a prediction: cached
+    /// batched calls agree bit-for-bit with uncached ones at every
+    /// incremental step, including right after cache-extending appends.
+    #[test]
+    fn cached_batch_predictions_match_uncached_across_updates() {
+        let full_x = grid_1d(16);
+        let full_y: Vec<f64> = full_x.iter().map(|r| (2.5 * r[0]).sin() + 2.0).collect();
+        let mut order: Vec<usize> = vec![0, 15];
+        order.extend(1..15);
+        let x_of =
+            |k: usize| -> Vec<Vec<f64>> { order[..k].iter().map(|&i| full_x[i].clone()).collect() };
+        let y_of = |k: usize| -> Vec<f64> { order[..k].iter().map(|&i| full_y[i]).collect() };
+        let queries: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+
+        let mut gp = GaussianProcess::new(
+            GpConfig {
+                refit_every: 3, // exercise both warm and full paths
+                ..GpConfig::default()
+            },
+            5,
+        );
+        gp.fit(&x_of(10), &y_of(10)).unwrap();
+        for k in 10..=16 {
+            if k > 10 {
+                gp.fit_update(&x_of(k), &y_of(k), k as u64).unwrap();
+            }
+            let cached = gp.predict_batch_mut(&queries).unwrap();
+            let cached_again = gp.predict_batch_mut(&queries).unwrap();
+            let uncached = gp.predict_batch(&queries).unwrap();
+            for ((a, b), c) in cached.iter().zip(&cached_again).zip(&uncached) {
+                assert_eq!(a.mean.to_bits(), c.mean.to_bits(), "n = {k}");
+                assert_eq!(a.std.to_bits(), c.std.to_bits(), "n = {k}");
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "n = {k} (re-read)");
+            }
+        }
+        // A different candidate set invalidates and rebuilds cleanly.
+        let other: Vec<Vec<f64>> = (0..5).map(|i| vec![0.1 * i as f64]).collect();
+        let fresh = gp.predict_batch_mut(&other).unwrap();
+        let expect = gp.predict_batch(&other).unwrap();
+        for (a, b) in fresh.iter().zip(&expect) {
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        }
+    }
+
+    #[test]
+    fn alpha_only_tier_handles_changed_targets() {
+        let x = grid_1d(9);
+        let y: Vec<f64> = x.iter().map(|r| r[0] + 1.0).collect();
+        let mut gp = GaussianProcess::new(
+            GpConfig {
+                refit_every: 100,
+                ..GpConfig::default()
+            },
+            3,
+        );
+        gp.fit(&x, &y).unwrap();
+        let y2: Vec<f64> = y.iter().map(|v| v * 2.0).collect();
+        gp.fit_update(&x, &y2, 77).unwrap();
+        assert_eq!(gp.fits_since_full(), 1);
+        let p = gp.predict(&[0.5]).unwrap();
+        assert!((p.mean - 3.0).abs() < 0.3, "mean {}", p.mean);
+    }
+
+    #[test]
+    fn refit_schedule_triggers_full_search() {
+        let x = grid_1d(12);
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0 + 1.0).collect();
+        let mut gp = GaussianProcess::new(
+            GpConfig {
+                refit_every: 2,
+                ..GpConfig::default()
+            },
+            3,
+        );
+        gp.fit(&x[..8], &y[..8]).unwrap();
+        // Use prefixes whose normalization cannot drift: rows 0..8 span
+        // [0, 7/11] and appended rows extend the max, so every update
+        // breaks the cache *or* hits the schedule; either way fit_update
+        // must stay usable and correct.
+        for k in 9..=12 {
+            gp.fit_update(&x[..k], &y[..k], k as u64).unwrap();
+            let p = gp.predict(&[0.5]).unwrap();
+            assert!((p.mean - 2.5).abs() < 0.5, "n = {k}: mean {}", p.mean);
+        }
+    }
+
+    #[test]
+    fn fit_resets_the_incremental_schedule() {
+        let x = grid_1d(10);
+        let y: Vec<f64> = x.iter().map(|r| r[0]).collect();
+        let mut gp = GaussianProcess::new(
+            GpConfig {
+                refit_every: 100,
+                ..GpConfig::default()
+            },
+            1,
+        );
+        gp.fit(&x, &y).unwrap();
+        gp.fit_update(&x, &y, 5).unwrap();
+        assert_eq!(gp.fits_since_full(), 1);
+        gp.fit(&x, &y).unwrap();
+        assert_eq!(gp.fits_since_full(), 0);
     }
 }

@@ -64,11 +64,50 @@ pub trait Surrogate {
     /// ragged rows, or length mismatches.
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()>;
 
+    /// Refits as one step of an iterative loop where the training set
+    /// usually grows by one row between calls.
+    ///
+    /// `step_seed` reseeds the model's internal randomness, so a loop
+    /// driving `fit_update` with per-step seeds behaves exactly like the
+    /// old rebuild-per-step pattern for stateless models. Implementations
+    /// that can reuse state from the previous fit (the GP's incremental
+    /// Cholesky path) override this; the default is a plain refit.
+    fn fit_update(&mut self, x: &[Vec<f64>], y: &[f64], step_seed: u64) -> Result<()> {
+        self.reseed(step_seed);
+        self.fit(x, y)
+    }
+
     /// Predicts mean and standard deviation at `point`.
     ///
     /// Errors when called before [`Surrogate::fit`] or with the wrong
     /// dimensionality.
     fn predict(&self, point: &[f64]) -> Result<Prediction>;
+
+    /// Predicts many points in one call.
+    ///
+    /// The default loops over [`Surrogate::predict`]; implementations
+    /// with a shared-work fast path (the GP's batched cross-kernel
+    /// solves) override it. Results are identical to per-point calls.
+    fn predict_batch(&self, points: &[Vec<f64>]) -> Result<Vec<Prediction>> {
+        points.iter().map(|p| self.predict(p)).collect()
+    }
+
+    /// Like [`Surrogate::predict_batch`], with mutable access so
+    /// implementations can maintain a cross-call cache.
+    ///
+    /// The BO loop scores the same candidate set every step while the
+    /// training set grows by one row; the GP overrides this to cache its
+    /// cross-kernel matrix and forward-solves between steps, extending
+    /// them by one column per new trial. Results are bit-identical to
+    /// [`Surrogate::predict_batch`].
+    fn predict_batch_mut(&mut self, points: &[Vec<f64>]) -> Result<Vec<Prediction>> {
+        self.predict_batch(points)
+    }
+
+    /// Reseeds the randomness used by subsequent fits (no-op by default).
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
+    }
 
     /// Short stable name, e.g. `"GP"`.
     fn name(&self) -> &'static str;

@@ -87,7 +87,26 @@ impl DecisionTree {
     pub fn fit(x: &[Vec<f64>], y: &[f64], config: &TreeConfig, rng: &mut StdRng) -> Self {
         assert!(!x.is_empty() && x.len() == y.len(), "validated by caller");
         let indices: Vec<usize> = (0..x.len()).collect();
-        let root = Self::grow(x, y, &indices, config, rng, 0);
+        Self::fit_indices(x, y, &indices, config, rng)
+    }
+
+    /// Fits a tree on the multiset of rows selected by `indices` (possibly
+    /// with repeats), without materializing the resampled data — the
+    /// bootstrap path of [`crate::RandomForest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input (callers validate first).
+    pub fn fit_indices(
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(!x.is_empty() && x.len() == y.len(), "validated by caller");
+        assert!(!indices.is_empty(), "validated by caller");
+        let root = Self::grow(x, y, indices, config, rng, 0);
         Self {
             root,
             dim: x[0].len(),
@@ -182,6 +201,13 @@ impl DecisionTree {
     }
 
     /// Picks (feature, threshold) minimizing the weighted child SSE.
+    ///
+    /// `Best` mode uses the classic CART sweep: sort the node's
+    /// (value, target) pairs once per feature, then walk the candidate
+    /// thresholds left to right maintaining running sums, so scoring all
+    /// thresholds costs O(m log m) instead of the O(m²) of re-partitioning
+    /// per threshold. This is the inner loop of every forest and boosting
+    /// fit in the BO hot path.
     fn choose_split(
         x: &[Vec<f64>],
         y: &[f64],
@@ -191,26 +217,52 @@ impl DecisionTree {
     ) -> Option<(usize, f64)> {
         let dim = x[0].len();
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
         for feature in 0..dim {
-            let mut vals: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
-            vals.sort_by(|a, b| a.total_cmp(b));
-            vals.dedup();
-            if vals.len() < 2 {
+            pairs.clear();
+            pairs.extend(indices.iter().map(|&i| (x[i][feature], y[i])));
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let lo = pairs[0].0;
+            let hi = pairs[pairs.len() - 1].0;
+            if lo == hi {
                 continue;
             }
-            let thresholds: Vec<f64> = match config.split_mode {
-                SplitMode::Best => vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect(),
-                SplitMode::Random => {
-                    let lo = vals[0];
-                    let hi = vals[vals.len() - 1];
-                    vec![rng.gen_range(lo..hi)]
+            match config.split_mode {
+                SplitMode::Best => {
+                    // Totals for the right side start as the node totals.
+                    let n = pairs.len() as f64;
+                    let (mut sr, mut sr2) = (0.0f64, 0.0f64);
+                    for &(_, v) in &pairs {
+                        sr += v;
+                        sr2 += v * v;
+                    }
+                    let (mut nl, mut sl, mut sl2) = (0.0f64, 0.0f64, 0.0f64);
+                    for w in 0..pairs.len() - 1 {
+                        let (value, target) = pairs[w];
+                        nl += 1.0;
+                        sl += target;
+                        sl2 += target * target;
+                        sr -= target;
+                        sr2 -= target * target;
+                        let next = pairs[w + 1].0;
+                        if value == next {
+                            continue; // not a boundary between distinct values
+                        }
+                        let threshold = (value + next) / 2.0;
+                        let sse = (sl2 - sl * sl / nl) + (sr2 - sr * sr / (n - nl));
+                        let better = best.map(|b| sse < b.2).unwrap_or(true);
+                        if better {
+                            best = Some((feature, threshold, sse));
+                        }
+                    }
                 }
-            };
-            for threshold in thresholds {
-                if let Some(sse) = split_sse(x, y, indices, feature, threshold) {
-                    let better = best.map(|b| sse < b.2).unwrap_or(true);
-                    if better {
-                        best = Some((feature, threshold, sse));
+                SplitMode::Random => {
+                    let threshold = rng.gen_range(lo..hi);
+                    if let Some(sse) = split_sse(x, y, indices, feature, threshold) {
+                        let better = best.map(|b| sse < b.2).unwrap_or(true);
+                        if better {
+                            best = Some((feature, threshold, sse));
+                        }
                     }
                 }
             }

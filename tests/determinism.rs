@@ -71,6 +71,113 @@ fn every_surrogate_kind_replays_identically() {
     }
 }
 
+/// Every fig* experiment must produce bit-identical output whether its
+/// repetitions run sequentially (threads = 1) or fanned out across cores.
+/// `{:?}` formatting round-trips `f64`s exactly, so string equality is bit
+/// equality of every number in the result.
+#[test]
+fn every_experiment_is_bit_identical_parallel_vs_sequential() {
+    use freedom_experiments as exp;
+    use freedom_experiments::ExperimentOpts;
+
+    let sequential = ExperimentOpts::fast().with_threads(1);
+    let parallel = ExperimentOpts::fast().with_threads(8);
+    let objectives = [Objective::ExecutionTime, Objective::ExecutionCost];
+
+    macro_rules! check {
+        ($name:literal, $run:expr) => {{
+            let run = $run;
+            let a = format!("{:?}", run(&sequential));
+            let b = format!("{:?}", run(&parallel));
+            assert_eq!(a, b, "{} diverged between sequential and parallel", $name);
+        }};
+    }
+
+    check!("fig01", |o: &ExperimentOpts| exp::fig01_config_spread::run(
+        o
+    )
+    .unwrap());
+    check!("fig03", |o: &ExperimentOpts| exp::fig03_strategies::run(o)
+        .unwrap());
+    check!("table3", |o: &ExperimentOpts| {
+        exp::table3_alternatives::run(o).unwrap()
+    });
+    check!("fig04", |o: &ExperimentOpts| {
+        exp::fig04_sampling_vs_bo::run(o).unwrap()
+    });
+    for objective in objectives {
+        check!("fig05/06", |o: &ExperimentOpts| {
+            exp::fig05_convergence::run(o, objective).unwrap()
+        });
+    }
+    check!("fig07", |o: &ExperimentOpts| {
+        exp::fig07_input_specific::run(o).unwrap()
+    });
+    check!("fig08", |o: &ExperimentOpts| {
+        exp::fig08_online_violations::run(o).unwrap()
+    });
+    for scenario in [
+        exp::fig09_mape::Scenario::WholeSpace,
+        exp::fig09_mape::Scenario::PerFamilyBest,
+    ] {
+        check!("fig09/10", |o: &ExperimentOpts| exp::fig09_mape::run(
+            o, scenario
+        )
+        .unwrap());
+    }
+    check!("fig12", |o: &ExperimentOpts| {
+        exp::fig12_pareto_distance::run(o).unwrap()
+    });
+    check!("fig13", |o: &ExperimentOpts| exp::fig13_weighted_mo::run(o)
+        .unwrap());
+    check!("fig14", |o: &ExperimentOpts| exp::fig14_hierarchical::run(
+        o
+    )
+    .unwrap());
+    check!("fig15", |o: &ExperimentOpts| {
+        exp::fig15_provider_savings::run(o).unwrap()
+    });
+    check!("ablation", |o: &ExperimentOpts| exp::ablation_study::run(o)
+        .unwrap());
+    check!("fleet", |o: &ExperimentOpts| exp::fleet_simulation::run(o)
+        .unwrap());
+}
+
+/// The GP's batched predictor must agree with per-point prediction bit for
+/// bit, and the warm-start update loop must replay identically.
+#[test]
+fn gp_batched_and_incremental_paths_are_deterministic() {
+    use faas_freedom::surrogates::{GaussianProcess, GpConfig, Surrogate};
+
+    let x: Vec<Vec<f64>> = (0..18).map(|i| vec![i as f64 / 17.0]).collect();
+    let y: Vec<f64> = x.iter().map(|r| (3.0 * r[0]).sin() + 2.0).collect();
+
+    let mut gp = GaussianProcess::new(GpConfig::default(), 11);
+    gp.fit(&x, &y).unwrap();
+    let queries: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0]).collect();
+    let batch = gp.predict_batch(&queries).unwrap();
+    for (q, b) in queries.iter().zip(&batch) {
+        let single = gp.predict(q).unwrap();
+        assert_eq!(single.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(single.std.to_bits(), b.std.to_bits());
+    }
+
+    // Replaying the same sequence of incremental updates is deterministic.
+    let run_updates = || {
+        let mut gp = GaussianProcess::new(GpConfig::default(), 11);
+        gp.fit(&x[..10], &y[..10]).unwrap();
+        for k in 11..=18 {
+            gp.fit_update(&x[..k], &y[..k], 100 + k as u64).unwrap();
+        }
+        let preds = gp.predict_batch(&queries).unwrap();
+        preds
+            .iter()
+            .flat_map(|p| [p.mean.to_bits(), p.std.to_bits()])
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(run_updates(), run_updates());
+}
+
 #[test]
 fn interfaces_replay_identically() {
     use faas_freedom::core::interfaces::pareto_interface;

@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the subset of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion`], benchmark groups, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each bench closure is warmed up once, then timed
+//! sample by sample until either the group's sample count or the
+//! measurement-time budget is exhausted. Results are printed as a table
+//! and, when the `BENCH_JSON` environment variable names a file, appended
+//! to it as JSON lines (`{"bench": ..., "mean_ns": ..., "min_ns": ...,
+//! "samples": ...}`), which CI turns into the `BENCH_pr.json` artifact.
+//! Setting `BENCH_QUICK=1` caps every bench at two samples for smoke runs.
+
+pub use std::hint::black_box;
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Number of measured samples.
+    pub samples: u64,
+}
+
+/// The top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: u64,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_secs(5),
+            sample_size: 50,
+            results: Vec::new(),
+        }
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+impl Criterion {
+    /// Sets the per-bench time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Upstream parses CLI filters here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            parent: self,
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.run_one(id.into(), sample_size, measurement_time, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        sample_size: u64,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        let sample_size = if quick_mode() { 2 } else { sample_size.max(1) };
+        let mut bencher = Bencher {
+            sample_size,
+            measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let samples = bencher.samples;
+        if samples.is_empty() {
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let result = BenchResult {
+            id,
+            mean: total / samples.len() as u32,
+            min: samples.iter().min().copied().unwrap_or_default(),
+            samples: samples.len() as u64,
+        };
+        println!(
+            "bench {:<44} mean {:>12?}  min {:>12?}  ({} samples)",
+            result.id, result.mean, result.min, result.samples
+        );
+        self.results.push(result);
+    }
+
+    /// Writes collected results to `$BENCH_JSON` (JSON lines), if set.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("criterion shim: cannot open {path}");
+            return;
+        };
+        for r in &self.results {
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}",
+                r.id.replace('"', "'"),
+                r.mean.as_nanos(),
+                r.min.as_nanos(),
+                r.samples
+            );
+        }
+    }
+}
+
+/// A named group of benches sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the time budget for subsequent benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benches one function under `group/name`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.parent.run_one(id, sample_size, measurement_time, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each bench closure; runs and times the workload.
+pub struct Bencher {
+    sample_size: u64,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, one call per sample, until the sample count or the time
+    /// budget runs out.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.samples.clear();
+        black_box(f()); // warm-up, untimed
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group runner function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .bench_function("work", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        let r = &c.results[0];
+        assert_eq!(r.id, "g/work");
+        assert!(r.samples >= 1 && r.samples <= 3);
+        assert!(r.min <= r.mean);
+    }
+
+    #[test]
+    fn top_level_bench_function_works() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results[0].id, "solo");
+    }
+}
