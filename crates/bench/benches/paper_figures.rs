@@ -95,9 +95,53 @@ fn bench_parallel_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fleet replay at Azure-trace scale: an hour-long heavy-tail trace
+/// over 120 functions, replayed with the sequential reference engine
+/// and sharded at 1/4/8 workers (per-function shards, index-ordered
+/// metering reduction — bit-identical outputs, see
+/// `crates/core/README.md`). `sequential` vs `sharded_8` is the
+/// headline fleet-scale speedup; it needs a ≥4-core machine to show up
+/// in wall clock. Included in the quick-bench `BENCH_pr.json` artifact
+/// like every other bench here, so the perf trajectory records
+/// fleet-scale numbers per PR.
+fn bench_fleet_sim(c: &mut Criterion) {
+    use exp::fleet_simulation::synthetic_plans;
+    use freedom::fleet::{FleetConfig, FleetSimulator, PlacementStrategy, TraceSource};
+
+    let mut group = c.benchmark_group("fleet_sim");
+    group.sample_size(10);
+    let plans = synthetic_plans(120, 42).expect("fleet fixture");
+    let sim = FleetSimulator::new(plans).expect("non-empty fleet");
+    let config = FleetConfig::default();
+    let trace = TraceSource::HeavyTail {
+        mean_rps: 0.5,
+        alpha: 1.5,
+    }
+    .generate_sharded(120, 3600.0, 42, 8)
+    .expect("hour-long heavy-tail trace");
+    // `run_sharded` with one worker dispatches to the sequential
+    // reference engine, so the `sequential` entry below *is* the
+    // 1-worker number — no separate sharded_1 bench.
+    group.bench_function("hour_120fn_sequential", |b| {
+        b.iter(|| {
+            sim.run(&trace, PlacementStrategy::IdleAware, &config)
+                .expect("replay")
+        })
+    });
+    for threads in [4usize, 8] {
+        group.bench_function(format!("hour_120fn_sharded_{threads}"), |b| {
+            b.iter(|| {
+                sim.run_sharded(&trace, PlacementStrategy::IdleAware, &config, threads)
+                    .expect("replay")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
-    targets = bench_experiments, bench_parallel_vs_sequential
+    targets = bench_experiments, bench_parallel_vs_sequential, bench_fleet_sim
 }
 criterion_main!(benches);

@@ -1,112 +1,72 @@
-//! Trace-driven fleet simulation (extension of §6.2).
+//! Trace-driven fleet simulation (extension of §6.2), sharded per
+//! function for Azure-trace-scale replay.
 //!
 //! Figure 15 scores the planner's per-family decisions one function at a
-//! time. A provider, though, operates a *fleet*: idle capacity of each
-//! family is finite, invocations arrive concurrently, and a placement
-//! decision that looks free in isolation competes with every other
-//! function for the same idle VMs. This module closes that loop with a
-//! discrete-event simulation:
+//! time. A provider, though, operates a *fleet*: invocations arrive
+//! concurrently, warm capacity is finite, and the bill is the sum over
+//! every placement. This module closes that loop with a discrete-event
+//! simulation:
 //!
-//! - a Poisson arrival [`Trace`] over the six benchmark functions;
-//! - a fixed idle fleet (spot-priced) per family plus an elastic
-//!   on-demand pool that always has room for the tuned best
-//!   configuration at list price;
+//! - an arrival [`Trace`] over `N` functions (see [`TraceSource`] for the
+//!   Poisson / bursty / diurnal / heavy-tail generators);
+//! - per function, a fixed **warm pool** of spot-priced VMs on the
+//!   instance families its planner accepted, plus an elastic on-demand
+//!   pool that always has room for the tuned best configuration at list
+//!   price;
 //! - two [`PlacementStrategy`]s: always-best-config (baseline) and
-//!   idle-aware (prefer θ-guardrailed alternate families on spot
+//!   idle-aware (prefer θ-guardrailed alternate families on warm spot
 //!   capacity, fall back to on-demand);
 //! - a [`FleetReport`] with cost, latency inflation, spot utilization.
+//!
+//! # Sharding and determinism
+//!
+//! Each function owns its arrival stream and its warm pool, so the fleet
+//! decomposes into independent per-function event streams. [`run`]
+//! (`FleetSimulator::run`) is the sequential reference engine: it replays
+//! the shards one by one, in function order. [`run_sharded`] fans the
+//! same shards across worker threads and reduces the per-shard
+//! [`ShardMetering`] in **function-index order**, so every float
+//! accumulation happens in the same sequence and the two engines produce
+//! bit-identical [`FleetReport`]s for every thread count (guarded by
+//! `tests/determinism.rs`). See `crates/core/README.md` for the full
+//! contract.
+//!
+//! The inner event loop is allocation-free: per-alternate placement
+//! requests and metering are resolved to plain numbers before the loop,
+//! the warm pool is a flat slot vector (no maps, no ids), and the only
+//! per-shard allocations are the reusable completion heap and the
+//! pre-sized inflation buffer.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
-use freedom_cluster::{Cluster, InstanceFamily, InstanceSize, PlacementPolicy, SandboxId};
+use freedom_cluster::{InstanceFamily, InstanceSize, InstanceType};
 use freedom_faas::{PerfTable, ResourceConfig};
 use freedom_linalg::stats;
 use freedom_pricing::SpotPricing;
 use freedom_workloads::FunctionKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::provider::PlannedPlacement;
 use crate::{FreedomError, Result};
 
-/// One invocation arrival.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TraceEvent {
-    /// Arrival time in seconds since trace start.
-    pub at_secs: f64,
-    /// Which function is invoked.
-    pub function: FunctionKind,
-}
-
-/// A generated arrival trace.
-#[derive(Debug, Clone)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-}
-
-impl Trace {
-    /// Generates a Poisson arrival trace: each function gets independent
-    /// exponential inter-arrival times with rate `rps_per_function`, over
-    /// `duration_secs`, merged and sorted.
-    ///
-    /// Returns [`FreedomError::InvalidArgument`] for non-positive rates or
-    /// durations.
-    pub fn poisson(duration_secs: f64, rps_per_function: f64, seed: u64) -> Result<Self> {
-        if duration_secs.is_nan()
-            || duration_secs <= 0.0
-            || rps_per_function.is_nan()
-            || rps_per_function <= 0.0
-        {
-            return Err(FreedomError::InvalidArgument(format!(
-                "duration and rate must be positive, got {duration_secs}s at {rps_per_function}rps"
-            )));
-        }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut events = Vec::new();
-        for function in FunctionKind::ALL {
-            let mut t = 0.0;
-            loop {
-                // Exponential inter-arrival via inverse transform.
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                t += -u.ln() / rps_per_function;
-                if t >= duration_secs {
-                    break;
-                }
-                events.push(TraceEvent {
-                    at_secs: t,
-                    function,
-                });
-            }
-        }
-        events.sort_by(|a, b| a.at_secs.total_cmp(&b.at_secs));
-        Ok(Self { events })
-    }
-
-    /// The events, in arrival order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// Number of arrivals.
-    pub fn len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// Whether the trace is empty.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
-    }
-}
+pub use crate::trace::{Trace, TraceEvent, TraceSource};
 
 /// How the provider places each invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementStrategy {
     /// Always run the tuned best configuration on the on-demand pool.
     BestConfigOnly,
-    /// Prefer θ-accepted alternate families while their idle (spot)
+    /// Prefer θ-accepted alternate families while their warm (spot)
     /// capacity lasts; fall back to the on-demand best configuration.
     IdleAware,
+}
+
+impl PlacementStrategy {
+    /// Both strategies, baseline first.
+    pub const ALL: [PlacementStrategy; 2] = [
+        PlacementStrategy::BestConfigOnly,
+        PlacementStrategy::IdleAware,
+    ];
 }
 
 /// Everything the simulator needs to place one function.
@@ -126,9 +86,10 @@ pub struct FunctionPlan {
 /// Fleet-simulation knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetConfig {
-    /// Idle `.4xlarge` VMs provisioned per family (the spot pool).
+    /// Warm `.4xlarge` VMs per accepted family in each function's private
+    /// spot pool.
     pub idle_vms_per_family: usize,
-    /// Spot pricing on the idle pool.
+    /// Spot pricing on the warm pools.
     pub spot: SpotPricing,
 }
 
@@ -155,15 +116,15 @@ pub struct FleetReport {
     pub mean_latency_inflation: f64,
     /// 95th-percentile latency inflation.
     pub p95_latency_inflation: f64,
-    /// Invocations served from the spot (idle) pool.
+    /// Invocations served from the warm (spot) pools.
     pub spot_placements: usize,
-    /// Spot placements that failed for lack of idle capacity and fell
+    /// Spot placements that failed for lack of warm capacity and fell
     /// back to on-demand.
     pub spot_capacity_misses: usize,
 }
 
 impl FleetReport {
-    /// Fraction of invocations served from idle capacity.
+    /// Fraction of invocations served from warm capacity.
     pub fn spot_share(&self) -> f64 {
         if self.invocations == 0 {
             0.0
@@ -173,167 +134,294 @@ impl FleetReport {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    Arrival(usize),
-    Completion(SandboxId),
+/// Per-shard metering, reduced in function-index order into a
+/// [`FleetReport`]. All fields are order-independent counters except the
+/// float accumulations, which the reduction performs in index order to
+/// stay bit-identical to the sequential engine.
+#[derive(Debug, Clone)]
+struct ShardMetering {
+    invocations: usize,
+    total_cost_usd: f64,
+    spot_placements: usize,
+    spot_capacity_misses: usize,
+    /// Latency inflation per invocation, in this shard's arrival order.
+    inflations: Vec<f64>,
 }
 
-/// Min-heap entry ordered by time in nanoseconds (then sequence).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct QueuedEvent {
-    at_nanos: u128,
-    seq: u64,
-    kind_order: u8, // completions before arrivals at the same instant
+/// An accepted alternate placement with everything the event loop needs,
+/// resolved to plain numbers up front so the hot loop does no table
+/// lookups or config math.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedAlternate {
+    /// Index range of this alternate's family in the shard's warm pool.
+    pool_start: u32,
+    pool_end: u32,
+    milli_vcpus: u32,
+    memory_mib: u32,
+    duration_nanos: u64,
+    spot_cost_usd: f64,
+    inflation: f64,
 }
 
-/// The fleet simulator: a fixed spot pool plus elastic on-demand.
+/// One warm VM: a flat capacity slot (family is implied by the
+/// `ResolvedAlternate` index ranges pointing at it).
+#[derive(Debug, Clone, Copy)]
+struct VmSlot {
+    free_milli: u32,
+    free_mib: u32,
+}
+
+/// Reusable per-worker scratch: the completion heap. Entries are
+/// `(completion_nanos, pool slot, milli vCPUs, MiB)`; releasing an entry
+/// returns its capacity to the slot. Draining every due completion before
+/// each arrival makes release order within a timestamp immaterial, so no
+/// sequence numbers are needed.
+type CompletionHeap = BinaryHeap<Reverse<(u64, u32, u32, u32)>>;
+
+/// The fleet simulator: per-function warm pools plus elastic on-demand.
 pub struct FleetSimulator {
-    plans: BTreeMap<FunctionKind, FunctionPlan>,
-    config: FleetConfig,
+    plans: Vec<FunctionPlan>,
 }
 
 impl FleetSimulator {
-    /// Creates a simulator from per-function plans.
+    /// Creates a simulator serving `plans[i]` for trace function index
+    /// `i`.
     ///
-    /// Returns [`FreedomError::InvalidArgument`] when a plan is missing
-    /// for any benchmark function.
-    pub fn new(plans: Vec<FunctionPlan>, config: FleetConfig) -> Result<Self> {
-        let plans: BTreeMap<FunctionKind, FunctionPlan> =
-            plans.into_iter().map(|p| (p.function, p)).collect();
-        for function in FunctionKind::ALL {
-            if !plans.contains_key(&function) {
-                return Err(FreedomError::InvalidArgument(format!(
-                    "missing plan for {function}"
-                )));
-            }
+    /// The pairing is **positional**: the simulator never inspects
+    /// `FunctionPlan::function`, it drives `plans[i]` with the trace's
+    /// stream `i`. Each invocation is metered against the plan that
+    /// served it, so any ordering is self-consistent — but callers
+    /// pairing a fleet with [`Trace::poisson`] (whose six streams are
+    /// documented as `FunctionKind::ALL` order) should push plans in
+    /// that same order, as the tests and experiments do.
+    ///
+    /// Returns [`FreedomError::InvalidArgument`] when `plans` is empty.
+    pub fn new(plans: Vec<FunctionPlan>) -> Result<Self> {
+        if plans.is_empty() {
+            return Err(FreedomError::InvalidArgument(
+                "fleet needs at least one function plan".into(),
+            ));
         }
-        Ok(Self { plans, config })
+        Ok(Self { plans })
     }
 
-    /// Runs the trace under a strategy and reports aggregates.
-    pub fn run(&self, trace: &Trace, strategy: PlacementStrategy) -> Result<FleetReport> {
-        // The spot pool: a fixed fleet, `idle_vms_per_family` 4xlarge VMs
-        // per search-space family.
-        let mut spot_pool = Cluster::new(PlacementPolicy::BestFit);
-        for family in InstanceFamily::SEARCH_SPACE {
-            for _ in 0..self.config.idle_vms_per_family {
-                spot_pool.provision(family, InstanceSize::X4Large);
-            }
+    /// Replays the trace under a strategy with the **sequential reference
+    /// engine**: shards run one by one in function order.
+    pub fn run(
+        &self,
+        trace: &Trace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+    ) -> Result<FleetReport> {
+        self.check_trace(trace)?;
+        let mut scratch = CompletionHeap::new();
+        let mut shards = Vec::with_capacity(self.plans.len());
+        for (plan, arrivals) in self
+            .plans
+            .iter()
+            .zip((0..trace.n_functions()).map(|f| trace.stream(f)))
+        {
+            shards.push(simulate_shard(
+                plan,
+                arrivals,
+                strategy,
+                config,
+                &mut scratch,
+            )?);
         }
+        Ok(reduce(strategy, shards))
+    }
 
-        let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
-        let mut payloads: BTreeMap<(u128, u64), EventKind> = BTreeMap::new();
-        let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<Reverse<QueuedEvent>>,
-                    payloads: &mut BTreeMap<(u128, u64), EventKind>,
-                    seq: &mut u64,
-                    at_secs: f64,
-                    kind: EventKind| {
-            let at_nanos = (at_secs * 1e9) as u128;
-            let kind_order = match kind {
-                EventKind::Completion(_) => 0,
-                EventKind::Arrival(_) => 1,
-            };
-            heap.push(Reverse(QueuedEvent {
-                at_nanos,
-                seq: *seq,
-                kind_order,
-            }));
-            payloads.insert((at_nanos, *seq), kind);
-            *seq += 1;
-        };
-
-        for (i, event) in trace.events().iter().enumerate() {
-            push(
-                &mut heap,
-                &mut payloads,
-                &mut seq,
-                event.at_secs,
-                EventKind::Arrival(i),
-            );
+    /// Replays the trace with per-function shards fanned out over
+    /// `threads` workers, then reduces the shard metering in
+    /// function-index order. Bit-identical to [`FleetSimulator::run`] for
+    /// every thread count; `threads <= 1` dispatches to the sequential
+    /// engine itself (the flag the determinism guard compares against).
+    pub fn run_sharded(
+        &self,
+        trace: &Trace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        threads: usize,
+    ) -> Result<FleetReport> {
+        if threads <= 1 {
+            return self.run(trace, strategy, config);
         }
-
-        let mut total_cost = 0.0;
-        let mut inflations = Vec::with_capacity(trace.len());
-        let mut spot_placements = 0usize;
-        let mut spot_capacity_misses = 0usize;
-
-        while let Some(Reverse(entry)) = heap.pop() {
-            let kind = payloads
-                .remove(&(entry.at_nanos, entry.seq))
-                .expect("payload for queued event");
-            match kind {
-                EventKind::Completion(sandbox) => {
-                    spot_pool
-                        .release(sandbox)
-                        .map_err(|e| FreedomError::Faas(e.into()))?;
-                }
-                EventKind::Arrival(idx) => {
-                    let event = trace.events()[idx];
-                    let plan = self
-                        .plans
-                        .get(&event.function)
-                        .expect("validated at construction");
-                    let best_point = plan.table.lookup(&plan.best_config).ok_or_else(|| {
-                        FreedomError::InsufficientData("best config missing in table".into())
-                    })?;
-
-                    // Try spot placement first under the idle-aware policy.
-                    let mut placed_spot = false;
-                    if strategy == PlacementStrategy::IdleAware {
-                        let mut wanted_spot = false;
-                        for alt in plan.alternates.iter().filter(|a| a.accepted) {
-                            wanted_spot = true;
-                            let cfg = alt.config;
-                            match spot_pool.place(cfg.family(), cfg.cpu_share(), cfg.memory_mib()) {
-                                Ok(sandbox) => {
-                                    let point = plan.table.lookup(&cfg).ok_or_else(|| {
-                                        FreedomError::InsufficientData(
-                                            "alternate config missing in table".into(),
-                                        )
-                                    })?;
-                                    let duration = point.exec_time_secs;
-                                    total_cost += point.exec_cost_usd * self.config.spot.fraction;
-                                    inflations.push(duration / best_point.exec_time_secs);
-                                    push(
-                                        &mut heap,
-                                        &mut payloads,
-                                        &mut seq,
-                                        event.at_secs + duration,
-                                        EventKind::Completion(sandbox),
-                                    );
-                                    spot_placements += 1;
-                                    placed_spot = true;
-                                    break;
-                                }
-                                Err(_) => continue, // that family is full
-                            }
-                        }
-                        if wanted_spot && !placed_spot {
-                            spot_capacity_misses += 1;
-                        }
-                    }
-
-                    if !placed_spot {
-                        // On-demand pool: elastic, always fits, list price.
-                        total_cost += best_point.exec_cost_usd;
-                        inflations.push(1.0);
-                        // No completion event needed: elastic capacity.
-                    }
-                }
-            }
+        self.check_trace(trace)?;
+        // One completion heap per worker thread, reused across every
+        // shard that worker picks up within this replay (par_run's
+        // scoped workers end with the call, so reuse does not extend
+        // across replays) — the parallel counterpart of the sequential
+        // engine's single scratch heap.
+        std::thread_local! {
+            static SCRATCH: std::cell::RefCell<CompletionHeap> =
+                const { std::cell::RefCell::new(BinaryHeap::new()) };
         }
-
-        Ok(FleetReport {
-            strategy,
-            invocations: trace.len(),
-            total_cost_usd: total_cost,
-            mean_latency_inflation: stats::mean(&inflations).unwrap_or(1.0),
-            p95_latency_inflation: stats::quantile(&inflations, 0.95).unwrap_or(1.0),
-            spot_placements,
-            spot_capacity_misses,
+        let shards = freedom_parallel::par_run(self.plans.len(), threads, |f| {
+            SCRATCH.with_borrow_mut(|scratch| {
+                simulate_shard(&self.plans[f], trace.stream(f), strategy, config, scratch)
+            })
         })
+        .into_iter()
+        .collect::<Result<Vec<ShardMetering>>>()?;
+        Ok(reduce(strategy, shards))
+    }
+
+    fn check_trace(&self, trace: &Trace) -> Result<()> {
+        if trace.n_functions() != self.plans.len() {
+            return Err(FreedomError::InvalidArgument(format!(
+                "trace has {} function streams but the fleet has {} plans",
+                trace.n_functions(),
+                self.plans.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Replays one function's arrival stream against its private warm pool.
+fn simulate_shard(
+    plan: &FunctionPlan,
+    arrivals: &[f64],
+    strategy: PlacementStrategy,
+    config: &FleetConfig,
+    completions: &mut CompletionHeap,
+) -> Result<ShardMetering> {
+    let best_point = plan
+        .table
+        .lookup(&plan.best_config)
+        .ok_or_else(|| FreedomError::InsufficientData("best config missing in table".into()))?;
+    let best_cost = best_point.exec_cost_usd;
+
+    // Resolve the accepted alternates once: pool layout, capacity
+    // requests, metering. The event loop then touches only these numbers.
+    let mut pool: Vec<VmSlot> = Vec::new();
+    let mut alternates: Vec<ResolvedAlternate> = Vec::new();
+    if strategy == PlacementStrategy::IdleAware {
+        let mut families: Vec<(InstanceFamily, u32, u32)> = Vec::new(); // (family, start, end)
+        for alt in plan.alternates.iter().filter(|a| a.accepted) {
+            let cfg = alt.config;
+            let point = plan.table.lookup(&cfg).ok_or_else(|| {
+                FreedomError::InsufficientData("alternate config missing in table".into())
+            })?;
+            let (pool_start, pool_end) = match families.iter().find(|f| f.0 == cfg.family()) {
+                Some(&(_, start, end)) => (start, end),
+                None => {
+                    let vm = InstanceType::new(cfg.family(), InstanceSize::X4Large);
+                    let start = pool.len() as u32;
+                    for _ in 0..config.idle_vms_per_family {
+                        pool.push(VmSlot {
+                            free_milli: vm.vcpus() * 1000,
+                            free_mib: vm.memory_mib(),
+                        });
+                    }
+                    let end = pool.len() as u32;
+                    families.push((cfg.family(), start, end));
+                    (start, end)
+                }
+            };
+            alternates.push(ResolvedAlternate {
+                pool_start,
+                pool_end,
+                milli_vcpus: (cfg.cpu_share() * 1000.0).round() as u32,
+                memory_mib: cfg.memory_mib(),
+                duration_nanos: (point.exec_time_secs * 1e9) as u64,
+                spot_cost_usd: point.exec_cost_usd * config.spot.fraction,
+                inflation: point.exec_time_secs / best_point.exec_time_secs,
+            });
+        }
+    }
+
+    completions.clear();
+    let mut metering = ShardMetering {
+        invocations: arrivals.len(),
+        total_cost_usd: 0.0,
+        spot_placements: 0,
+        spot_capacity_misses: 0,
+        inflations: Vec::with_capacity(arrivals.len()),
+    };
+
+    for &at_secs in arrivals {
+        let at_nanos = (at_secs * 1e9) as u64;
+        // Release every completion due at or before this arrival
+        // (completions at the same instant free capacity first).
+        while let Some(&Reverse((t, slot, milli, mib))) = completions.peek() {
+            if t > at_nanos {
+                break;
+            }
+            completions.pop();
+            let vm = &mut pool[slot as usize];
+            vm.free_milli += milli;
+            vm.free_mib += mib;
+        }
+
+        // Try the θ-accepted alternates in planner order, best-fit within
+        // each family's slots (least free vCPU that still fits, lowest
+        // index on ties — mirroring the cluster crate's BestFit policy).
+        let mut placed = false;
+        for alt in &alternates {
+            let mut best: Option<(u32, u32)> = None; // (free_milli, slot)
+            for slot in alt.pool_start..alt.pool_end {
+                let vm = pool[slot as usize];
+                if vm.free_milli >= alt.milli_vcpus
+                    && vm.free_mib >= alt.memory_mib
+                    && best.is_none_or(|(free, _)| vm.free_milli < free)
+                {
+                    best = Some((vm.free_milli, slot));
+                }
+            }
+            if let Some((_, slot)) = best {
+                let vm = &mut pool[slot as usize];
+                vm.free_milli -= alt.milli_vcpus;
+                vm.free_mib -= alt.memory_mib;
+                completions.push(Reverse((
+                    at_nanos + alt.duration_nanos,
+                    slot,
+                    alt.milli_vcpus,
+                    alt.memory_mib,
+                )));
+                metering.total_cost_usd += alt.spot_cost_usd;
+                metering.inflations.push(alt.inflation);
+                metering.spot_placements += 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            if !alternates.is_empty() {
+                metering.spot_capacity_misses += 1;
+            }
+            // On-demand pool: elastic, always fits, list price.
+            metering.total_cost_usd += best_cost;
+            metering.inflations.push(1.0);
+        }
+    }
+    Ok(metering)
+}
+
+/// Reduces per-shard metering into the fleet report, accumulating floats
+/// in shard (function-index) order so the result does not depend on which
+/// thread finished first.
+fn reduce(strategy: PlacementStrategy, shards: Vec<ShardMetering>) -> FleetReport {
+    let total: usize = shards.iter().map(|s| s.invocations).sum();
+    let mut total_cost = 0.0;
+    let mut spot_placements = 0;
+    let mut spot_capacity_misses = 0;
+    let mut inflations = Vec::with_capacity(total);
+    for shard in shards {
+        total_cost += shard.total_cost_usd;
+        spot_placements += shard.spot_placements;
+        spot_capacity_misses += shard.spot_capacity_misses;
+        inflations.extend_from_slice(&shard.inflations);
+    }
+    FleetReport {
+        strategy,
+        invocations: total,
+        total_cost_usd: total_cost,
+        mean_latency_inflation: stats::mean(&inflations).unwrap_or(1.0),
+        p95_latency_inflation: stats::quantile(&inflations, 0.95).unwrap_or(1.0),
+        spot_placements,
+        spot_capacity_misses,
     }
 }
 
@@ -375,6 +463,7 @@ mod tests {
         // ~0.5 rps × 6 functions × 100 s = ~300 arrivals.
         assert!((150..=450).contains(&trace.len()), "{}", trace.len());
         assert!(!trace.is_empty());
+        assert_eq!(trace.n_functions(), FunctionKind::ALL.len());
         // Sorted by time, all within the window.
         for w in trace.events().windows(2) {
             assert!(w[0].at_secs <= w[1].at_secs);
@@ -390,11 +479,16 @@ mod tests {
     #[test]
     fn idle_aware_strategy_cuts_cost_within_latency_budget() {
         let plans = make_plans(5);
-        let sim = FleetSimulator::new(plans, FleetConfig::default()).unwrap();
+        let sim = FleetSimulator::new(plans).unwrap();
+        let config = FleetConfig::default();
         let trace = Trace::poisson(120.0, 0.3, 5).unwrap();
 
-        let baseline = sim.run(&trace, PlacementStrategy::BestConfigOnly).unwrap();
-        let idle_aware = sim.run(&trace, PlacementStrategy::IdleAware).unwrap();
+        let baseline = sim
+            .run(&trace, PlacementStrategy::BestConfigOnly, &config)
+            .unwrap();
+        let idle_aware = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
 
         assert_eq!(baseline.invocations, idle_aware.invocations);
         assert_eq!(baseline.spot_placements, 0);
@@ -420,36 +514,74 @@ mod tests {
     #[test]
     fn capacity_pressure_forces_on_demand_fallbacks() {
         let plans = make_plans(5);
-        // A starved spot pool under a hot trace must miss sometimes.
-        let sim = FleetSimulator::new(
-            plans,
-            FleetConfig {
-                idle_vms_per_family: 1,
-                ..FleetConfig::default()
-            },
-        )
+        // A starved warm pool under a hot trace must miss sometimes.
+        let sim = FleetSimulator::new(plans).unwrap();
+        let config = FleetConfig {
+            idle_vms_per_family: 1,
+            ..FleetConfig::default()
+        };
+        let trace = TraceSource::Poisson {
+            rps_per_function: 8.0,
+        }
+        .generate(FunctionKind::ALL.len(), 60.0, 5)
         .unwrap();
-        let trace = Trace::poisson(60.0, 2.0, 5).unwrap();
-        let report = sim.run(&trace, PlacementStrategy::IdleAware).unwrap();
+        let report = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
         assert!(report.spot_placements > 0);
         assert!(
             report.spot_capacity_misses > 0,
             "expected misses under pressure"
         );
-        assert_eq!(
-            report.spot_placements
-                + report.spot_capacity_misses
-                + (report.invocations - report.spot_placements - report.spot_capacity_misses),
-            report.invocations
-        );
+        assert!(report.spot_placements + report.spot_capacity_misses <= report.invocations);
     }
 
     #[test]
-    fn missing_plan_is_rejected() {
-        let mut plans = make_plans(1);
-        plans.pop();
+    fn sharded_replay_is_bit_identical_to_sequential() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let config = FleetConfig::default();
+        let trace = TraceSource::Bursty {
+            calm_rps: 0.2,
+            burst_rps: 3.0,
+            mean_calm_secs: 30.0,
+            mean_burst_secs: 6.0,
+        }
+        .generate(FunctionKind::ALL.len(), 120.0, 5)
+        .unwrap();
+        for strategy in PlacementStrategy::ALL {
+            let seq = sim.run(&trace, strategy, &config).unwrap();
+            for threads in [2, 4, 8] {
+                let sharded = sim.run_sharded(&trace, strategy, &config, threads).unwrap();
+                assert_eq!(
+                    format!("{seq:?}"),
+                    format!("{sharded:?}"),
+                    "{strategy:?} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fleet_and_mismatched_trace_are_rejected() {
         assert!(matches!(
-            FleetSimulator::new(plans, FleetConfig::default()),
+            FleetSimulator::new(Vec::new()),
+            Err(FreedomError::InvalidArgument(_))
+        ));
+        let plans = make_plans(1);
+        let sim = FleetSimulator::new(plans).unwrap();
+        // A 4-function trace cannot drive a 6-function fleet.
+        let trace = TraceSource::Poisson {
+            rps_per_function: 0.5,
+        }
+        .generate(4, 30.0, 1)
+        .unwrap();
+        assert!(matches!(
+            sim.run(
+                &trace,
+                PlacementStrategy::IdleAware,
+                &FleetConfig::default()
+            ),
             Err(FreedomError::InvalidArgument(_))
         ));
     }

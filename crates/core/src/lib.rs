@@ -44,6 +44,7 @@ pub mod fleet;
 pub mod interfaces;
 pub mod provider;
 pub mod strategies;
+pub mod trace;
 
 pub use autotuner::{Autotuner, GatewayEvaluator, TuneOutcome};
 pub use error::FreedomError;

@@ -1,0 +1,543 @@
+//! Arrival-trace generation for the fleet simulator.
+//!
+//! "Serverless in the Wild" (Shahrad et al., ATC'20) shows that real
+//! provider traces are nothing like a fixed-rate Poisson process: function
+//! popularity spans orders of magnitude, arrivals are bursty, and load
+//! follows diurnal cycles. [`TraceSource`] models those regimes:
+//!
+//! - [`TraceSource::Poisson`]: independent exponential inter-arrivals per
+//!   function (the original toy workload);
+//! - [`TraceSource::Bursty`]: a two-state Markov-modulated Poisson
+//!   process (calm/burst) per function;
+//! - [`TraceSource::Diurnal`]: a sinusoidally-modulated rate (thinning);
+//! - [`TraceSource::HeavyTail`]: Pareto-distributed per-function
+//!   popularity and Lomax (heavy-tailed) inter-arrival times.
+//!
+//! Every generator produces one **independent stream per function**,
+//! seeded as a pure function of `(seed, function index)`. That is the
+//! property the sharded fleet replay relies on: a function's stream never
+//! depends on how many other functions exist or which thread generated
+//! it, so `generate` and [`TraceSource::generate_sharded`] are
+//! bit-identical. The merged event view is built with a k-way streaming
+//! merge over the per-function streams (no global sort).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use freedom_workloads::FunctionKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{FreedomError, Result};
+
+/// One invocation arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival time in seconds since trace start.
+    pub at_secs: f64,
+    /// Index of the invoked function in the fleet's plan list.
+    pub function: usize,
+}
+
+/// A generated arrival trace: per-function streams plus their merged view.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Sorted arrival times per function (the shard replay input).
+    streams: Vec<Vec<f64>>,
+    /// All arrivals merged by time (ties: lower function index first).
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Builds a trace from per-function sorted arrival streams, merging
+    /// them with a k-way streaming merge (heap of one cursor per stream)
+    /// into the time-ordered event view. `O(N log F)`, no global sort,
+    /// and the output vector is pre-sized exactly.
+    fn from_streams(streams: Vec<Vec<f64>>) -> Self {
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let mut events = Vec::with_capacity(total);
+        // Arrival times are non-negative finite, so their IEEE-754 bit
+        // patterns order exactly like the floats and give the heap a
+        // cheap `Ord` key. Ties break on function index, matching what a
+        // stable sort over function-ordered streams would produce.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(streams.len());
+        let mut cursors = vec![0usize; streams.len()];
+        for (f, stream) in streams.iter().enumerate() {
+            if let Some(&t) = stream.first() {
+                heap.push(Reverse((t.to_bits(), f)));
+            }
+        }
+        while let Some(Reverse((bits, f))) = heap.pop() {
+            events.push(TraceEvent {
+                at_secs: f64::from_bits(bits),
+                function: f,
+            });
+            cursors[f] += 1;
+            if let Some(&t) = streams[f].get(cursors[f]) {
+                heap.push(Reverse((t.to_bits(), f)));
+            }
+        }
+        Self { streams, events }
+    }
+
+    /// Generates the classic fixed-rate Poisson trace over the six
+    /// benchmark functions (function index `i` is `FunctionKind::ALL[i]`;
+    /// a fleet replaying this trace should list its plans in the same
+    /// order — see `FleetSimulator::new`).
+    ///
+    /// Returns [`FreedomError::InvalidArgument`] for non-positive rates or
+    /// durations.
+    pub fn poisson(duration_secs: f64, rps_per_function: f64, seed: u64) -> Result<Self> {
+        TraceSource::Poisson { rps_per_function }.generate(
+            FunctionKind::ALL.len(),
+            duration_secs,
+            seed,
+        )
+    }
+
+    /// The events, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of functions with a (possibly empty) stream in this trace.
+    pub fn n_functions(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The sorted arrival times of one function's stream.
+    pub fn stream(&self, function: usize) -> &[f64] {
+        &self.streams[function]
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Truncation of the Pareto popularity weight in
+/// [`TraceSource::HeavyTail`]: real providers cap per-function request
+/// rates, and an untruncated Pareto sample can be astronomically large.
+const MAX_POPULARITY: f64 = 256.0;
+
+/// A family of synthetic arrival-trace generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceSource {
+    /// Fixed-rate Poisson arrivals, independently per function.
+    Poisson {
+        /// Mean arrival rate of every function, in requests per second.
+        rps_per_function: f64,
+    },
+    /// Two-state Markov-modulated Poisson process per function: calm
+    /// periods at `calm_rps` alternating with bursts at `burst_rps`,
+    /// with exponentially distributed sojourn times.
+    Bursty {
+        /// Arrival rate outside bursts (may be 0 for on/off traffic).
+        calm_rps: f64,
+        /// Arrival rate inside bursts.
+        burst_rps: f64,
+        /// Mean length of a calm period, seconds.
+        mean_calm_secs: f64,
+        /// Mean length of a burst, seconds.
+        mean_burst_secs: f64,
+    },
+    /// Sinusoidally-modulated Poisson process (thinning):
+    /// `rate(t) = mean · (1 + a·sin(2πt/period))` with the amplitude `a`
+    /// chosen so the peak-to-trough rate ratio is `peak_to_trough`.
+    Diurnal {
+        /// Time-averaged arrival rate per function.
+        mean_rps: f64,
+        /// Ratio of the peak rate to the trough rate (≥ 1).
+        peak_to_trough: f64,
+        /// Cycle length in seconds (a day, or the trace length).
+        period_secs: f64,
+    },
+    /// "Serverless in the Wild"-shaped traffic: each function's rate is
+    /// `mean_rps` scaled by a Pareto(1, α) popularity weight (normalized
+    /// to keep the fleet-wide mean near `mean_rps`, truncated at
+    /// [`MAX_POPULARITY`]), and its inter-arrival times are Lomax(α)
+    /// distributed — heavy-tailed gaps punctuated by clustered arrivals.
+    HeavyTail {
+        /// Target mean arrival rate per function.
+        mean_rps: f64,
+        /// Tail index α (must be > 1 so means exist; smaller = heavier).
+        alpha: f64,
+    },
+}
+
+impl TraceSource {
+    /// Generates `n_functions` independent streams over `duration_secs`
+    /// seconds and merges them into a [`Trace`].
+    ///
+    /// Returns [`FreedomError::InvalidArgument`] for non-positive
+    /// durations, zero functions, or parameters outside each variant's
+    /// domain (see the variant docs).
+    pub fn generate(&self, n_functions: usize, duration_secs: f64, seed: u64) -> Result<Trace> {
+        self.generate_sharded(n_functions, duration_secs, seed, 1)
+    }
+
+    /// Like [`TraceSource::generate`], with stream generation fanned out
+    /// over `threads` workers. Streams are pure functions of
+    /// `(seed, function index)`, so the result is bit-identical to the
+    /// sequential path for every thread count.
+    pub fn generate_sharded(
+        &self,
+        n_functions: usize,
+        duration_secs: f64,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Trace> {
+        self.validate(n_functions, duration_secs)?;
+        let streams = freedom_parallel::par_run(n_functions, threads, |f| {
+            self.stream(duration_secs, stream_seed(seed, f))
+        });
+        Ok(Trace::from_streams(streams))
+    }
+
+    fn validate(&self, n_functions: usize, duration_secs: f64) -> Result<()> {
+        let invalid = |what: String| Err(FreedomError::InvalidArgument(what));
+        if n_functions == 0 {
+            return invalid("trace needs at least one function".into());
+        }
+        if !duration_secs.is_finite() || duration_secs <= 0.0 {
+            return invalid(format!("duration must be positive, got {duration_secs}s"));
+        }
+        let positive = |name: &str, v: f64| -> Result<()> {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "{name} must be positive, got {v}"
+                )));
+            }
+            Ok(())
+        };
+        match *self {
+            Self::Poisson { rps_per_function } => positive("rate", rps_per_function),
+            Self::Bursty {
+                calm_rps,
+                burst_rps,
+                mean_calm_secs,
+                mean_burst_secs,
+            } => {
+                if !calm_rps.is_finite() || calm_rps < 0.0 {
+                    return invalid(format!("calm rate must be ≥ 0, got {calm_rps}"));
+                }
+                positive("burst rate", burst_rps)?;
+                positive("mean calm period", mean_calm_secs)?;
+                positive("mean burst period", mean_burst_secs)
+            }
+            Self::Diurnal {
+                mean_rps,
+                peak_to_trough,
+                period_secs,
+            } => {
+                positive("mean rate", mean_rps)?;
+                positive("period", period_secs)?;
+                if !peak_to_trough.is_finite() || peak_to_trough < 1.0 {
+                    return invalid(format!(
+                        "peak-to-trough ratio must be ≥ 1, got {peak_to_trough}"
+                    ));
+                }
+                Ok(())
+            }
+            Self::HeavyTail { mean_rps, alpha } => {
+                positive("mean rate", mean_rps)?;
+                if !alpha.is_finite() || alpha <= 1.0 {
+                    return invalid(format!("alpha must be > 1, got {alpha}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// One function's sorted arrival stream over `(0, duration)`.
+    fn stream(&self, duration: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            Self::Poisson { rps_per_function } => {
+                let mut out = presized(duration, rps_per_function);
+                let mut t = 0.0;
+                loop {
+                    t += exp_sample(&mut rng, rps_per_function);
+                    if t >= duration {
+                        break;
+                    }
+                    out.push(t);
+                }
+                out
+            }
+            Self::Bursty {
+                calm_rps,
+                burst_rps,
+                mean_calm_secs,
+                mean_burst_secs,
+            } => {
+                // Expected rate = time-weighted mix of the two states.
+                let mix = (calm_rps * mean_calm_secs + burst_rps * mean_burst_secs)
+                    / (mean_calm_secs + mean_burst_secs);
+                let mut out = presized(duration, mix);
+                let mut t = 0.0;
+                let mut bursting = false;
+                let mut switch_at = exp_sample(&mut rng, 1.0 / mean_calm_secs);
+                loop {
+                    let rate = if bursting { burst_rps } else { calm_rps };
+                    // `calm_rps == 0` gives an infinite gap, which simply
+                    // rides the state machine to the next burst.
+                    let next = t + exp_sample(&mut rng, rate);
+                    if next < switch_at {
+                        t = next;
+                        if t >= duration {
+                            break;
+                        }
+                        out.push(t);
+                    } else {
+                        // The exponential is memoryless, so jumping to the
+                        // switch point and redrawing is exact.
+                        t = switch_at;
+                        if t >= duration {
+                            break;
+                        }
+                        bursting = !bursting;
+                        let mean = if bursting {
+                            mean_burst_secs
+                        } else {
+                            mean_calm_secs
+                        };
+                        switch_at = t + exp_sample(&mut rng, 1.0 / mean);
+                    }
+                }
+                out
+            }
+            Self::Diurnal {
+                mean_rps,
+                peak_to_trough,
+                period_secs,
+            } => {
+                let amp = (peak_to_trough - 1.0) / (peak_to_trough + 1.0);
+                let rate_max = mean_rps * (1.0 + amp);
+                let mut out = presized(duration, mean_rps);
+                let mut t = 0.0;
+                // Lewis–Shedler thinning: candidates at the peak rate,
+                // accepted with probability rate(t)/rate_max.
+                loop {
+                    t += exp_sample(&mut rng, rate_max);
+                    if t >= duration {
+                        break;
+                    }
+                    let rate = mean_rps
+                        * (1.0 + amp * (2.0 * std::f64::consts::PI * t / period_secs).sin());
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    if u * rate_max < rate {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            Self::HeavyTail { mean_rps, alpha } => {
+                // Popularity weight: Pareto(1, α), normalized by its mean
+                // α/(α−1) so the fleet-wide average stays ≈ mean_rps,
+                // truncated so a single function cannot dwarf the fleet.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let weight = u.powf(-1.0 / alpha).min(MAX_POPULARITY);
+                let rate = mean_rps * weight * (alpha - 1.0) / alpha;
+                // Lomax(α) inter-arrivals with mean 1/rate.
+                let scale = (alpha - 1.0) / rate;
+                let mut out = presized(duration, rate);
+                let mut t = 0.0;
+                loop {
+                    let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += scale * (v.powf(-1.0 / alpha) - 1.0);
+                    if t >= duration {
+                        break;
+                    }
+                    out.push(t);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A vector pre-sized for a `duration × rate` stream plus 10% headroom,
+/// capped so a pathological rate cannot trigger a giant up-front
+/// allocation.
+fn presized(duration: f64, rate: f64) -> Vec<f64> {
+    let expected = (duration * rate * 1.1) as usize + 8;
+    Vec::with_capacity(expected.min(1 << 22))
+}
+
+/// Exponential inter-arrival sample via inverse transform.
+#[inline]
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Seed of one function's stream: a SplitMix64-style mix of the trace
+/// seed and the function index, so every stream is an independent pure
+/// function of `(seed, index)` regardless of fleet size or threading.
+fn stream_seed(seed: u64, function: usize) -> u64 {
+    let mut z = seed ^ (function as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCES: [TraceSource; 4] = [
+        TraceSource::Poisson {
+            rps_per_function: 0.8,
+        },
+        TraceSource::Bursty {
+            calm_rps: 0.2,
+            burst_rps: 4.0,
+            mean_calm_secs: 40.0,
+            mean_burst_secs: 5.0,
+        },
+        TraceSource::Diurnal {
+            mean_rps: 0.8,
+            peak_to_trough: 4.0,
+            period_secs: 120.0,
+        },
+        TraceSource::HeavyTail {
+            mean_rps: 0.8,
+            alpha: 1.5,
+        },
+    ];
+
+    #[test]
+    fn every_source_is_sorted_deterministic_and_shard_stable() {
+        for source in SOURCES {
+            let a = source.generate(10, 200.0, 7).unwrap();
+            assert!(!a.is_empty(), "{source:?} generated nothing");
+            assert_eq!(a.n_functions(), 10);
+            for w in a.events().windows(2) {
+                assert!(
+                    w[0].at_secs < w[1].at_secs
+                        || (w[0].at_secs == w[1].at_secs && w[0].function <= w[1].function),
+                    "{source:?} unsorted"
+                );
+            }
+            assert!(a
+                .events()
+                .iter()
+                .all(|e| e.at_secs > 0.0 && e.at_secs < 200.0));
+            assert_eq!(a.len(), (0..10).map(|f| a.stream(f).len()).sum::<usize>());
+            // Same seed replays identically; generation threads are
+            // immaterial; different seeds diverge.
+            let b = source.generate_sharded(10, 200.0, 7, 8).unwrap();
+            assert_eq!(a.events(), b.events(), "{source:?} diverged across threads");
+            let c = source.generate(10, 200.0, 8).unwrap();
+            assert_ne!(a.events(), c.events(), "{source:?} ignored the seed");
+        }
+    }
+
+    #[test]
+    fn streams_do_not_depend_on_fleet_size() {
+        // Function 3's stream must be identical whether the fleet has 4
+        // or 40 functions — the property sharded replay rests on.
+        for source in SOURCES {
+            let small = source.generate(4, 100.0, 21).unwrap();
+            let large = source.generate(40, 100.0, 21).unwrap();
+            assert_eq!(small.stream(3), large.stream(3), "{source:?}");
+        }
+    }
+
+    #[test]
+    fn rates_land_near_their_targets() {
+        // 200 functions × 200 s at 0.8 rps ⇒ 32 000 expected arrivals.
+        for source in SOURCES {
+            let trace = source.generate(200, 200.0, 3).unwrap();
+            let expected = 32_000.0;
+            let got = trace.len() as f64;
+            assert!(
+                (0.5..2.0).contains(&(got / expected)),
+                "{source:?}: {got} arrivals vs ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tail_popularity_is_skewed() {
+        let trace = TraceSource::HeavyTail {
+            mean_rps: 1.0,
+            alpha: 1.2,
+        }
+        .generate(100, 200.0, 11)
+        .unwrap();
+        let mut lens: Vec<usize> = (0..100).map(|f| trace.stream(f).len()).collect();
+        lens.sort_unstable();
+        let total: usize = lens.iter().sum();
+        let top10: usize = lens[90..].iter().sum();
+        // The hottest 10% of functions carry well over a proportional
+        // share of traffic.
+        assert!(
+            top10 * 2 > total,
+            "top-10% share {top10}/{total} is not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let gen = |s: TraceSource| s.generate(4, 100.0, 1);
+        assert!(gen(TraceSource::Poisson {
+            rps_per_function: 0.0
+        })
+        .is_err());
+        assert!(gen(TraceSource::Bursty {
+            calm_rps: -0.1,
+            burst_rps: 1.0,
+            mean_calm_secs: 10.0,
+            mean_burst_secs: 5.0
+        })
+        .is_err());
+        assert!(gen(TraceSource::Bursty {
+            calm_rps: 0.1,
+            burst_rps: 1.0,
+            mean_calm_secs: 0.0,
+            mean_burst_secs: 5.0
+        })
+        .is_err());
+        assert!(gen(TraceSource::Diurnal {
+            mean_rps: 1.0,
+            peak_to_trough: 0.5,
+            period_secs: 60.0
+        })
+        .is_err());
+        assert!(gen(TraceSource::HeavyTail {
+            mean_rps: 1.0,
+            alpha: 1.0
+        })
+        .is_err());
+        let p = TraceSource::Poisson {
+            rps_per_function: 1.0,
+        };
+        assert!(p.generate(0, 100.0, 1).is_err());
+        assert!(p.generate(4, -5.0, 1).is_err());
+        assert!(p.generate(4, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn zero_calm_rate_gives_pure_bursts() {
+        let trace = TraceSource::Bursty {
+            calm_rps: 0.0,
+            burst_rps: 5.0,
+            mean_calm_secs: 30.0,
+            mean_burst_secs: 5.0,
+        }
+        .generate(6, 300.0, 9)
+        .unwrap();
+        assert!(!trace.is_empty());
+        for w in trace.events().windows(2) {
+            assert!(w[0].at_secs <= w[1].at_secs);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Property-based tests for the framework-level invariants.
 
+use freedom::fleet::{Trace, TraceSource};
 use freedom::interfaces::hierarchical_ideal;
 use freedom::provider::alternative_families_within;
 use freedom::strategies::AllocationStrategy;
@@ -107,5 +108,121 @@ proptest! {
         let a = hierarchical_ideal(&table, Objective::ExecutionTime, lo).unwrap();
         let b = hierarchical_ideal(&table, Objective::ExecutionTime, hi).unwrap();
         prop_assert!(b.predicted_cost_usd <= a.predicted_cost_usd + 1e-15);
+    }
+}
+
+/// Checks one generated trace: sorted events, all inside the window,
+/// thread-count-independent, and the merged view exactly equal to a
+/// stable sort of the flattened per-function streams.
+fn check_trace_source(
+    source: TraceSource,
+    n: usize,
+    duration: f64,
+    seed: u64,
+) -> Result<(), proptest::TestCaseError> {
+    let a = source
+        .generate(n, duration, seed)
+        .expect("valid parameters");
+    let b = source
+        .generate_sharded(n, duration, seed, 8)
+        .expect("valid parameters");
+    prop_assert_eq!(a.events(), b.events(), "threads=1 vs threads=8 diverged");
+    prop_assert_eq!(a.n_functions(), n);
+    for w in a.events().windows(2) {
+        prop_assert!(
+            w[0].at_secs < w[1].at_secs
+                || (w[0].at_secs == w[1].at_secs && w[0].function <= w[1].function),
+            "merge is unsorted or unstable"
+        );
+    }
+    prop_assert!(a
+        .events()
+        .iter()
+        .all(|e| e.at_secs > 0.0 && e.at_secs < duration));
+    // The merged view must be exactly the stable sort of the streams.
+    let mut naive: Vec<(f64, usize)> = (0..n)
+        .flat_map(|f| a.stream(f).iter().map(move |&t| (t, f)))
+        .collect();
+    naive.sort_by(|p, q| p.0.total_cmp(&q.0).then(p.1.cmp(&q.1)));
+    prop_assert_eq!(naive.len(), a.len());
+    for (e, (t, f)) in a.events().iter().zip(&naive) {
+        prop_assert_eq!(e.at_secs.to_bits(), t.to_bits());
+        prop_assert_eq!(e.function, *f);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn poisson_merge_is_sorted_stable_and_thread_independent(
+        rate in 0.1f64..3.0,
+        duration in 10.0f64..120.0,
+        seed in 0u64..1_000_000,
+    ) {
+        check_trace_source(
+            TraceSource::Poisson { rps_per_function: rate },
+            6,
+            duration,
+            seed,
+        )?;
+        // The compat constructor goes through the same streaming merge.
+        let compat = Trace::poisson(duration, rate, seed).expect("valid parameters");
+        let direct = TraceSource::Poisson { rps_per_function: rate }
+            .generate(6, duration, seed)
+            .expect("valid parameters");
+        prop_assert_eq!(compat.events(), direct.events());
+    }
+
+    #[test]
+    fn bursty_merge_is_sorted_stable_and_thread_independent(
+        calm in 0.0f64..0.5,
+        burst in 1.0f64..6.0,
+        seed in 0u64..1_000_000,
+    ) {
+        check_trace_source(
+            TraceSource::Bursty {
+                calm_rps: calm,
+                burst_rps: burst,
+                mean_calm_secs: 30.0,
+                mean_burst_secs: 6.0,
+            },
+            5,
+            90.0,
+            seed,
+        )?;
+    }
+
+    #[test]
+    fn diurnal_merge_is_sorted_stable_and_thread_independent(
+        mean in 0.2f64..2.0,
+        ratio in 1.0f64..8.0,
+        seed in 0u64..1_000_000,
+    ) {
+        check_trace_source(
+            TraceSource::Diurnal {
+                mean_rps: mean,
+                peak_to_trough: ratio,
+                period_secs: 120.0,
+            },
+            5,
+            120.0,
+            seed,
+        )?;
+    }
+
+    #[test]
+    fn heavy_tail_merge_is_sorted_stable_and_thread_independent(
+        mean in 0.2f64..2.0,
+        alpha in 1.1f64..3.0,
+        seed in 0u64..1_000_000,
+    ) {
+        check_trace_source(
+            TraceSource::HeavyTail { mean_rps: mean, alpha },
+            8,
+            90.0,
+            seed,
+        )?;
     }
 }

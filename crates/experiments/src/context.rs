@@ -2,9 +2,6 @@
 //! scoped-thread fan-out every experiment kernel uses for its
 //! `opt_repeats × functions × objectives` loops.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use freedom_faas::{collect_ground_truth, PerfTable};
 use freedom_optimizer::SearchSpace;
 use freedom_workloads::{FunctionKind, InputData};
@@ -126,73 +123,13 @@ impl ExperimentOpts {
     }
 }
 
-/// Runs `f(i)` for every `i in 0..n`, fanned out over `threads` workers,
-/// and returns the results in index order.
+/// Deterministic index-ordered fan-out; see [`freedom_parallel::par_run`].
 ///
-/// The contract that makes the parallel experiment paths trustworthy:
-/// each index is processed by exactly one worker with no shared mutable
-/// state, and results are stored by index, so the output is **bit
-/// identical** to the sequential `(0..n).map(f).collect()` regardless of
-/// thread count or scheduling. Experiments achieve determinism by giving
-/// each index its own seed ([`ExperimentOpts::repeat_seed`]).
-///
-/// Panics in `f` propagate (the scope joins all workers first).
-///
-/// Experiments nest these fan-outs (functions × inputs × repetitions);
-/// a process-wide live-worker budget of 2× the core count keeps nested
-/// levels from multiplying into hundreds of OS threads — once the budget
-/// is spent, inner levels simply run sequentially inside their worker,
-/// which changes scheduling but never results.
-pub fn par_run<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
-    // Release reserved budget even if a worker panics out of the scope.
-    struct Release(usize);
-    impl Drop for Release {
-        fn drop(&mut self) {
-            LIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
-        }
-    }
-    let budget = 2 * std::thread::available_parallelism().map_or(1, |c| c.get());
-    // Reserve atomically (fetch_add first, clamp on the prior value) so
-    // concurrent top-level calls cannot each claim the full budget.
-    let desired = threads.max(1).min(n.max(1));
-    let prior = LIVE_WORKERS.fetch_add(desired, Ordering::Relaxed);
-    let allowed = desired.min(budget.saturating_sub(prior).max(1));
-    if allowed < desired {
-        LIVE_WORKERS.fetch_sub(desired - allowed, Ordering::Relaxed);
-    }
-    let _release = Release(allowed);
-    let threads = allowed;
-    if threads == 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index was processed")
-        })
-        .collect()
-}
+/// Re-exported here so every experiment kernel keeps importing it from
+/// `context`; the implementation (and the process-wide worker budget it
+/// shares with the fleet simulator's trace shards) lives in the
+/// `freedom-parallel` crate.
+pub use freedom_parallel::par_run;
 
 /// Fans the `opts.opt_repeats` optimization repetitions across cores;
 /// repetition `i` runs `f(i)` (seed it with [`ExperimentOpts::repeat_seed`]).

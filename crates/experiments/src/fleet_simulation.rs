@@ -1,17 +1,25 @@
 //! Fleet-level provider simulation (extension of §6.2 / Figure 15).
 //!
 //! Figure 15 evaluates placement decisions one function at a time; this
-//! experiment replays a Poisson invocation trace over *all six* functions
-//! against a finite idle (spot) fleet, so placements compete for
-//! capacity. It reports the aggregate cost reduction, latency inflation,
-//! spot share, and capacity misses of the idle-aware policy against the
-//! always-best-config baseline, across a sweep of fleet sizes.
+//! experiment replays invocation traces over a whole fleet of functions,
+//! each owning a finite warm (spot) pool, and reports the aggregate cost
+//! reduction, latency inflation, spot share, and capacity misses of the
+//! idle-aware policy against the always-best-config baseline.
+//!
+//! The sweep covers every [`TraceSource`] workload shape (Poisson,
+//! bursty, diurnal, heavy-tail) × warm-pool sizes {1, 2, 4} VMs per
+//! family. Replay is sharded per function across cores
+//! ([`FleetSimulator::run_sharded`]); at default settings the fleet is
+//! 120 functions under an hour of traffic, at `--fast` a 12-function,
+//! two-minute smoke of the same code paths.
 
 use freedom::fleet::{
-    FleetConfig, FleetReport, FleetSimulator, FunctionPlan, PlacementStrategy, Trace,
+    FleetConfig, FleetReport, FleetSimulator, FunctionPlan, PlacementStrategy, TraceSource,
 };
-use freedom::provider::IdleCapacityPlanner;
+use freedom::provider::{IdleCapacityPlanner, PlannedPlacement};
 use freedom::Autotuner;
+use freedom_cluster::InstanceFamily;
+use freedom_faas::collect_ground_truth;
 use freedom_optimizer::{BoConfig, Objective, SearchSpace};
 use freedom_surrogates::SurrogateKind;
 use freedom_workloads::FunctionKind;
@@ -19,10 +27,12 @@ use freedom_workloads::FunctionKind;
 use crate::context::{ground_truth_default, par_map, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
-/// One fleet-size data point.
+/// One sweep data point.
 #[derive(Debug, Clone)]
 pub struct FleetRow {
-    /// Idle VMs provisioned per family.
+    /// Workload shape label (`poisson`, `bursty`, `diurnal`, `heavy_tail`).
+    pub source: &'static str,
+    /// Warm VMs provisioned per accepted family per function.
     pub idle_vms_per_family: usize,
     /// Baseline (best-config-only) report.
     pub baseline: FleetReport,
@@ -40,9 +50,11 @@ impl FleetRow {
 /// The full sweep.
 #[derive(Debug, Clone)]
 pub struct FleetSimResult {
-    /// Arrivals in the simulated trace.
-    pub invocations: usize,
-    /// Rows, one per fleet size.
+    /// Functions in the simulated fleet.
+    pub n_functions: usize,
+    /// Trace length in seconds.
+    pub duration_secs: f64,
+    /// Rows, grouped by trace source, warm-pool sizes ascending.
     pub rows: Vec<FleetRow>,
 }
 
@@ -50,7 +62,9 @@ impl FleetSimResult {
     /// Renders the sweep table.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(vec![
-            "idle VMs/family",
+            "trace",
+            "warm VMs/family",
+            "invocations",
             "cost reduction",
             "spot share",
             "capacity misses",
@@ -59,7 +73,9 @@ impl FleetSimResult {
         ]);
         for r in &self.rows {
             t.row(vec![
+                r.source.to_string(),
                 r.idle_vms_per_family.to_string(),
+                r.baseline.invocations.to_string(),
                 format!("{}%", fmt_f(r.cost_reduction() * 100.0, 1)),
                 format!("{}%", fmt_f(r.idle_aware.spot_share() * 100.0, 1)),
                 r.idle_aware.spot_capacity_misses.to_string(),
@@ -68,8 +84,9 @@ impl FleetSimResult {
             ]);
         }
         format!(
-            "Fleet simulation (extension of Fig. 15): {} invocations over all six functions\n{}",
-            self.invocations,
+            "Fleet simulation (extension of Fig. 15): {} functions, {}s per trace\n{}",
+            self.n_functions,
+            fmt_f(self.duration_secs, 0),
             t.render()
         )
     }
@@ -77,7 +94,10 @@ impl FleetSimResult {
     /// Writes the CSV artifact.
     pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
         let mut t = TextTable::new(vec![
+            "trace_source",
+            "n_functions",
             "idle_vms_per_family",
+            "invocations",
             "baseline_cost_usd",
             "idle_aware_cost_usd",
             "cost_reduction",
@@ -88,7 +108,10 @@ impl FleetSimResult {
         ]);
         for r in &self.rows {
             t.row(vec![
+                r.source.to_string(),
+                self.n_functions.to_string(),
                 r.idle_vms_per_family.to_string(),
+                r.baseline.invocations.to_string(),
                 r.baseline.total_cost_usd.to_string(),
                 r.idle_aware.total_cost_usd.to_string(),
                 r.cost_reduction().to_string(),
@@ -102,14 +125,111 @@ impl FleetSimResult {
     }
 }
 
-/// Runs the sweep: fleet sizes {0 VMs ⇒ all on-demand, 1, 2, 4} per
-/// family over a 10-minute, ~0.5 rps/function trace.
+/// The four workload shapes the sweep replays, targeting ~0.5 rps per
+/// function on average (the diurnal period spans the whole trace, one
+/// full cycle).
+pub fn trace_sources(duration_secs: f64) -> [(&'static str, TraceSource); 4] {
+    [
+        (
+            "poisson",
+            TraceSource::Poisson {
+                rps_per_function: 0.5,
+            },
+        ),
+        (
+            "bursty",
+            TraceSource::Bursty {
+                calm_rps: 0.1,
+                burst_rps: 2.5,
+                mean_calm_secs: 45.0,
+                mean_burst_secs: 9.0,
+            },
+        ),
+        (
+            "diurnal",
+            TraceSource::Diurnal {
+                mean_rps: 0.5,
+                peak_to_trough: 4.0,
+                period_secs: duration_secs,
+            },
+        ),
+        (
+            "heavy_tail",
+            TraceSource::HeavyTail {
+                mean_rps: 0.5,
+                alpha: 1.5,
+            },
+        ),
+    ]
+}
+
+/// A fleet of `n_functions` plans built straight from ground-truth
+/// tables (no tuning run): the best configuration is the table's fastest
+/// feasible point, and each other family's fastest point becomes an
+/// alternate, accepted when its actual slowdown stays within 15%.
+///
+/// This is the cheap fixture the determinism tests and the `fleet_sim`
+/// bench replay; the experiment itself uses tuned plans.
+pub fn synthetic_plans(n_functions: usize, seed: u64) -> freedom::Result<Vec<FunctionPlan>> {
+    let space = SearchSpace::table1();
+    let spot = freedom_pricing::SpotPricing::PAPER_DEFAULT;
+    let base = FunctionKind::ALL
+        .into_iter()
+        .map(|function| {
+            let table = collect_ground_truth(
+                function,
+                &function.default_input(),
+                space.configs(),
+                1,
+                seed,
+            )?;
+            let best = table
+                .best_by_time()
+                .ok_or_else(|| freedom::FreedomError::InsufficientData(format!("{function}")))?
+                .clone();
+            let alternates = InstanceFamily::SEARCH_SPACE
+                .iter()
+                .filter(|&&family| family != best.config.family())
+                .filter_map(|&family| {
+                    table
+                        .feasible()
+                        .filter(|p| p.config.family() == family)
+                        .min_by(|a, b| a.exec_time_secs.total_cmp(&b.exec_time_secs))
+                        .map(|p| {
+                            let norm_exec_time = p.exec_time_secs / best.exec_time_secs;
+                            PlannedPlacement {
+                                family,
+                                config: p.config,
+                                accepted: norm_exec_time <= 1.15,
+                                norm_exec_time,
+                                norm_spot_cost: p.exec_cost_usd * spot.fraction
+                                    / best.exec_cost_usd,
+                            }
+                        })
+                })
+                .collect();
+            Ok(FunctionPlan {
+                function,
+                best_config: best.config,
+                alternates,
+                table,
+            })
+        })
+        .collect::<freedom::Result<Vec<FunctionPlan>>>()?;
+    Ok((0..n_functions)
+        .map(|i| base[i % base.len()].clone())
+        .collect())
+}
+
+/// Runs the sweep: every trace source × warm-pool sizes {1, 2, 4} VMs
+/// per family, replayed sharded across `opts.effective_threads()`
+/// workers.
 pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
-    // Build plans once (one tuning run + planner pass per function); the
-    // six functions' tuning runs are independent and fan out across cores.
+    // Build plans once per benchmark function (one tuning run + planner
+    // pass each); the six tuning runs are independent and fan out.
     let planner = IdleCapacityPlanner::default();
     let space = SearchSpace::table1();
-    let plans = par_map(opts, &FunctionKind::ALL, |&function| {
+    let base_plans = par_map(opts, &FunctionKind::ALL, |&function| {
         let table = ground_truth_default(function, opts)?;
         let outcome = Autotuner::new(SurrogateKind::Gp)
             .with_bo_config(BoConfig {
@@ -135,28 +255,54 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
     .into_iter()
     .collect::<freedom::Result<Vec<FunctionPlan>>>()?;
 
-    let duration = if opts.opt_repeats <= 2 { 120.0 } else { 600.0 };
-    let trace = Trace::poisson(duration, 0.5, opts.seed)?;
-    // Each fleet size replays the trace twice (baseline + idle-aware);
-    // the sweep points are independent, so they fan out too.
-    let rows = par_map(opts, &[1usize, 2, 4], |&idle_vms_per_family| {
-        let sim = FleetSimulator::new(
-            plans.clone(),
-            FleetConfig {
-                idle_vms_per_family,
-                ..FleetConfig::default()
-            },
-        )?;
-        Ok(FleetRow {
+    // Hour-long, hundreds-of-functions traces at full settings; the same
+    // code paths at a fraction of the scale under `--fast`.
+    let (duration_secs, n_functions) = if opts.opt_repeats <= 2 {
+        (120.0, 12)
+    } else {
+        (3600.0, 120)
+    };
+    let threads = opts.effective_threads();
+    let plans: Vec<FunctionPlan> = (0..n_functions)
+        .map(|i| base_plans[i % base_plans.len()].clone())
+        .collect();
+    let sim = FleetSimulator::new(plans)?;
+
+    let sources = trace_sources(duration_secs);
+    let traces = sources
+        .iter()
+        .map(|(_, source)| source.generate_sharded(n_functions, duration_secs, opts.seed, threads))
+        .collect::<freedom::Result<Vec<_>>>()?;
+
+    // Each sweep point replays its trace twice (baseline + idle-aware);
+    // the points are independent, so they fan out on top of the
+    // per-function sharding inside each replay.
+    let points: Vec<(usize, usize)> = (0..sources.len())
+        .flat_map(|s| [1usize, 2, 4].into_iter().map(move |v| (s, v)))
+        .collect();
+    let rows = par_map(opts, &points, |&(source_idx, idle_vms_per_family)| {
+        let config = FleetConfig {
             idle_vms_per_family,
-            baseline: sim.run(&trace, PlacementStrategy::BestConfigOnly)?,
-            idle_aware: sim.run(&trace, PlacementStrategy::IdleAware)?,
+            ..FleetConfig::default()
+        };
+        let trace = &traces[source_idx];
+        Ok(FleetRow {
+            source: sources[source_idx].0,
+            idle_vms_per_family,
+            baseline: sim.run_sharded(
+                trace,
+                PlacementStrategy::BestConfigOnly,
+                &config,
+                threads,
+            )?,
+            idle_aware: sim.run_sharded(trace, PlacementStrategy::IdleAware, &config, threads)?,
         })
     })
     .into_iter()
     .collect::<freedom::Result<Vec<_>>>()?;
     Ok(FleetSimResult {
-        invocations: trace.len(),
+        n_functions,
+        duration_secs,
         rows,
     })
 }
@@ -168,29 +314,42 @@ mod tests {
     #[test]
     fn bigger_fleets_save_more_and_miss_less() {
         let result = run(&ExperimentOpts::fast()).unwrap();
-        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.rows.len(), 4 * 3);
         for r in &result.rows {
-            assert_eq!(r.baseline.invocations, result.invocations);
+            assert_eq!(r.baseline.invocations, r.idle_aware.invocations);
+            assert!(r.baseline.invocations > 0, "{} trace is empty", r.source);
             // Savings are positive whenever anything ran on spot.
             if r.idle_aware.spot_placements > 0 {
-                assert!(r.cost_reduction() > 0.0, "{:?}", r.idle_vms_per_family);
+                assert!(r.cost_reduction() > 0.0, "{:?}", r.source);
             }
             // Latency guardrail holds in aggregate.
             assert!(
                 r.idle_aware.mean_latency_inflation < 1.3,
-                "{}",
+                "{}: {}",
+                r.source,
                 r.idle_aware.mean_latency_inflation
             );
         }
-        // More idle capacity ⇒ no fewer spot placements.
-        assert!(
-            result.rows[2].idle_aware.spot_placements >= result.rows[0].idle_aware.spot_placements
-        );
-        // And no more capacity misses.
-        assert!(
-            result.rows[2].idle_aware.spot_capacity_misses
-                <= result.rows[0].idle_aware.spot_capacity_misses
-        );
+        // Within each trace source: more warm capacity ⇒ no fewer spot
+        // placements and no more capacity misses.
+        for group in result.rows.chunks(3) {
+            assert_eq!(group[0].source, group[2].source);
+            assert!(group[2].idle_aware.spot_placements >= group[0].idle_aware.spot_placements);
+            assert!(
+                group[2].idle_aware.spot_capacity_misses
+                    <= group[0].idle_aware.spot_capacity_misses
+            );
+        }
         assert!(result.render().contains("Fleet simulation"));
+    }
+
+    #[test]
+    fn synthetic_plans_cycle_the_benchmark_functions() {
+        let plans = synthetic_plans(10, 3).unwrap();
+        assert_eq!(plans.len(), 10);
+        assert_eq!(plans[0].function, plans[6].function);
+        assert!(plans
+            .iter()
+            .any(|p| p.alternates.iter().any(|a| a.accepted)));
     }
 }

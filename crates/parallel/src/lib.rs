@@ -1,0 +1,117 @@
+//! Deterministic scoped-thread fan-out.
+//!
+//! [`par_run`] is the one parallel primitive the workspace uses: it fans
+//! `f(0..n)` across a bounded set of OS threads and returns the results
+//! in index order, bit-identical to the sequential `(0..n).map(f)`.
+//! Both the experiment kernels (repeat/function/objective loops) and the
+//! fleet simulator's per-function trace shards build on it, so the
+//! worker budget lives here, below both crates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(i)` for every `i in 0..n`, fanned out over `threads` workers,
+/// and returns the results in index order.
+///
+/// The contract that makes the parallel paths trustworthy: each index is
+/// processed by exactly one worker with no shared mutable state, and
+/// results are stored by index, so the output is **bit identical** to the
+/// sequential `(0..n).map(f).collect()` regardless of thread count or
+/// scheduling. Callers achieve determinism by giving each index its own
+/// seed.
+///
+/// Panics in `f` propagate (the scope joins all workers first).
+///
+/// Callers nest these fan-outs (functions × inputs × repetitions, sweep
+/// points × trace shards); a process-wide live-worker budget of 2× the
+/// core count keeps nested levels from multiplying into hundreds of OS
+/// threads — once the budget is spent, inner levels simply run
+/// sequentially inside their worker, which changes scheduling but never
+/// results.
+pub fn par_run<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+    // Release reserved budget even if a worker panics out of the scope.
+    struct Release(usize);
+    impl Drop for Release {
+        fn drop(&mut self) {
+            LIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+    let budget = 2 * std::thread::available_parallelism().map_or(1, |c| c.get());
+    // Reserve atomically (fetch_add first, clamp on the prior value) so
+    // concurrent top-level calls cannot each claim the full budget.
+    let desired = threads.max(1).min(n.max(1));
+    let prior = LIVE_WORKERS.fetch_add(desired, Ordering::Relaxed);
+    let allowed = desired.min(budget.saturating_sub(prior).max(1));
+    if allowed < desired {
+        LIVE_WORKERS.fetch_sub(desired - allowed, Ordering::Relaxed);
+    }
+    let _release = Release(allowed);
+    let threads = allowed;
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_in_order() {
+        let f = |i: usize| (i * 31) % 17;
+        let seq: Vec<usize> = (0..100).map(f).collect();
+        for threads in [1, 2, 8, 64] {
+            assert_eq!(par_run(100, threads, f), seq, "threads = {threads}");
+        }
+        assert!(par_run(0, 4, f).is_empty());
+    }
+
+    #[test]
+    fn propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            par_run(8, 4, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_fanouts_stay_deterministic() {
+        let outer = par_run(6, 8, |i| par_run(6, 8, move |j| i * 10 + j));
+        let expected: Vec<Vec<usize>> = (0..6)
+            .map(|i| (0..6).map(|j| i * 10 + j).collect())
+            .collect();
+        assert_eq!(outer, expected);
+    }
+}

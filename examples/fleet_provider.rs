@@ -7,9 +7,9 @@
 //!
 //! Extends §6.2 beyond single placements: all six benchmark functions
 //! receive Poisson traffic for five minutes; the idle-aware policy
-//! steers invocations onto θ-guardrailed alternate families while the
-//! per-family spot capacity lasts, falling back to on-demand when the
-//! pool is full. Compare the provider's bill and the users' latency
+//! steers invocations onto θ-guardrailed alternate families while each
+//! function's warm spot capacity lasts, falling back to on-demand when
+//! the pool is full. Compare the provider's bill and the users' latency
 //! against the always-best-config baseline.
 
 use faas_freedom::core::fleet::{
@@ -50,10 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = Trace::poisson(300.0, 0.5, 42)?;
     println!("\nreplaying {} invocations...", trace.len());
 
-    // 3. Both policies on the same trace and fleet.
-    let sim = FleetSimulator::new(plans, FleetConfig::default())?;
-    let baseline = sim.run(&trace, PlacementStrategy::BestConfigOnly)?;
-    let idle_aware = sim.run(&trace, PlacementStrategy::IdleAware)?;
+    // 3. Both policies on the same trace and fleet, replayed with the
+    //    per-function shards fanned across cores.
+    let sim = FleetSimulator::new(plans)?;
+    let config = FleetConfig::default();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let baseline = sim.run_sharded(&trace, PlacementStrategy::BestConfigOnly, &config, threads)?;
+    let idle_aware = sim.run_sharded(&trace, PlacementStrategy::IdleAware, &config, threads)?;
 
     println!(
         "\nbaseline  : ${:.4} total, latency inflation 1.000 (by definition)",

@@ -143,6 +143,43 @@ fn every_experiment_is_bit_identical_parallel_vs_sequential() {
         .unwrap());
 }
 
+/// The sharded fleet replay must be bit-identical to the sequential
+/// reference engine for every placement strategy and every `TraceSource`
+/// variant, and trace generation itself must not depend on how many
+/// threads generated the streams. `{:?}` formatting round-trips `f64`s
+/// exactly, so string equality is bit equality.
+#[test]
+fn fleet_replay_sharded_matches_sequential() {
+    use faas_freedom::core::fleet::{FleetConfig, FleetSimulator, PlacementStrategy};
+    use freedom_experiments::fleet_simulation::{synthetic_plans, trace_sources};
+
+    let plans = synthetic_plans(10, 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+    let config = FleetConfig::default();
+    for (name, source) in trace_sources(240.0) {
+        let trace = source.generate(10, 240.0, 11).unwrap();
+        let sharded_trace = source.generate_sharded(10, 240.0, 11, 8).unwrap();
+        assert_eq!(
+            trace.events(),
+            sharded_trace.events(),
+            "{name} trace generation diverged across threads"
+        );
+        for strategy in PlacementStrategy::ALL {
+            let sequential = sim.run(&trace, strategy, &config).unwrap();
+            for threads in [2, 8] {
+                let sharded = sim
+                    .run_sharded(&sharded_trace, strategy, &config, threads)
+                    .unwrap();
+                assert_eq!(
+                    format!("{sequential:?}"),
+                    format!("{sharded:?}"),
+                    "{name}/{strategy:?} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
 /// The GP's batched predictor must agree with per-point prediction bit for
 /// bit, and the warm-start update loop must replay identically.
 #[test]
