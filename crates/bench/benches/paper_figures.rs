@@ -95,43 +95,48 @@ fn bench_parallel_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
-/// Fleet replay at Azure-trace scale: an hour-long heavy-tail trace
-/// over 120 functions, replayed with the sequential reference engine
-/// and sharded at 1/4/8 workers (per-function shards, index-ordered
-/// metering reduction — bit-identical outputs, see
-/// `crates/core/README.md`). `sequential` vs `sharded_8` is the
-/// headline fleet-scale speedup; it needs a ≥4-core machine to show up
-/// in wall clock. Included in the quick-bench `BENCH_pr.json` artifact
-/// like every other bench here, so the perf trajectory records
-/// fleet-scale numbers per PR.
-fn bench_fleet_sim(c: &mut Criterion) {
-    use exp::fleet_simulation::synthetic_plans;
-    use freedom::fleet::{FleetConfig, FleetSimulator, PlacementStrategy, TraceSource};
+/// Shared-spot-market replay at Azure-trace scale: an hour-long
+/// heavy-tail trace over 120 functions contending for one fluctuating
+/// market, replayed with the sequential reference engine and the
+/// windowed engine (60 s windows, boundary reconciliation) at 1/4/8
+/// workers — bit-identical outputs, see `crates/core/README.md`.
+/// `sequential` vs `windowed_8` is the headline fleet-scale speedup; it
+/// needs a ≥4-core machine to show up in wall clock, and `windowed_1`
+/// tracks the reconciliation overhead the speculation pays on one core.
+/// Included in the quick-bench `BENCH_pr.json` artifact like every other
+/// bench here, so the perf trajectory records fleet-scale numbers per
+/// PR.
+fn bench_spot_market(c: &mut Criterion) {
+    use exp::fleet_simulation::{market_config, market_tightness, synthetic_plans};
+    use freedom::fleet::{
+        AdmissionPolicy, FleetConfig, FleetSimulator, PlacementStrategy, TraceSource,
+    };
 
-    let mut group = c.benchmark_group("fleet_sim");
+    let mut group = c.benchmark_group("spot_market");
     group.sample_size(10);
     let plans = synthetic_plans(120, 42).expect("fleet fixture");
     let sim = FleetSimulator::new(plans).expect("non-empty fleet");
-    let config = FleetConfig::default();
+    let tightness = market_tightness();
+    let config = FleetConfig {
+        market: market_config(&tightness[1], AdmissionPolicy::Greedy),
+        ..FleetConfig::default()
+    };
     let trace = TraceSource::HeavyTail {
         mean_rps: 0.5,
         alpha: 1.5,
     }
     .generate_sharded(120, 3600.0, 42, 8)
     .expect("hour-long heavy-tail trace");
-    // `run_sharded` with one worker dispatches to the sequential
-    // reference engine, so the `sequential` entry below *is* the
-    // 1-worker number — no separate sharded_1 bench.
     group.bench_function("hour_120fn_sequential", |b| {
         b.iter(|| {
             sim.run(&trace, PlacementStrategy::IdleAware, &config)
                 .expect("replay")
         })
     });
-    for threads in [4usize, 8] {
-        group.bench_function(format!("hour_120fn_sharded_{threads}"), |b| {
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("hour_120fn_windowed_{threads}"), |b| {
             b.iter(|| {
-                sim.run_sharded(&trace, PlacementStrategy::IdleAware, &config, threads)
+                sim.run_windowed(&trace, PlacementStrategy::IdleAware, &config, threads, 60.0)
                     .expect("replay")
             })
         });
@@ -142,6 +147,6 @@ fn bench_fleet_sim(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
-    targets = bench_experiments, bench_parallel_vs_sequential, bench_fleet_sim
+    targets = bench_experiments, bench_parallel_vs_sequential, bench_spot_market
 }
 criterion_main!(benches);

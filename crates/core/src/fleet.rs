@@ -1,54 +1,57 @@
-//! Trace-driven fleet simulation (extension of §6.2), sharded per
-//! function for Azure-trace-scale replay.
+//! Trace-driven fleet simulation over a shared spot market (extension of
+//! §6.2).
 //!
 //! Figure 15 scores the planner's per-family decisions one function at a
 //! time. A provider, though, operates a *fleet*: invocations arrive
-//! concurrently, warm capacity is finite, and the bill is the sum over
-//! every placement. This module closes that loop with a discrete-event
-//! simulation:
+//! concurrently, warm capacity is finite, **shared across every
+//! function**, and fluctuates as the provider's own load moves. This
+//! module closes that loop with a discrete-event simulation:
 //!
 //! - an arrival [`Trace`] over `N` functions (see [`TraceSource`] for the
-//!   Poisson / bursty / diurnal / heavy-tail generators);
-//! - per function, a fixed **warm pool** of spot-priced VMs on the
-//!   instance families its planner accepted, plus an elastic on-demand
-//!   pool that always has room for the tuned best configuration at list
-//!   price;
-//! - two [`PlacementStrategy`]s: always-best-config (baseline) and
-//!   idle-aware (prefer θ-guardrailed alternate families on warm spot
-//!   capacity, fall back to on-demand);
-//! - a [`FleetReport`] with cost, latency inflation, spot utilization.
+//!   Poisson / bursty / diurnal / heavy-tail generators and the Azure CSV
+//!   ingestion);
+//! - a provider-wide [spot market](crate::market): per-family warm VM
+//!   slots whose supply follows a seeded
+//!   [`SupplyProcess`](crate::market::SupplyProcess), an
+//!   [`AdmissionPolicy`] gating spot requests on market utilization, and
+//!   demand-dependent pricing
+//!   ([`SpotPricing::demand_fraction`](freedom_pricing::SpotPricing::demand_fraction));
+//! - two [`PlacementStrategy`]s: always-best-config (baseline, pure
+//!   on-demand) and idle-aware (try θ-guardrailed alternate families on
+//!   the shared market, fall back to on-demand);
+//! - a [`FleetReport`] with provider cost, latency inflation, SLO
+//!   violations, and the admission ledger (admitted / demoted /
+//!   rejected).
 //!
-//! # Sharding and determinism
+//! # Windowed replay and determinism
 //!
-//! Each function owns its arrival stream and its warm pool, so the fleet
-//! decomposes into independent per-function event streams. [`run`]
-//! (`FleetSimulator::run`) is the sequential reference engine: it replays
-//! the shards one by one, in function order. [`run_sharded`] fans the
-//! same shards across worker threads and reduces the per-shard
-//! [`ShardMetering`] in **function-index order**, so every float
-//! accumulation happens in the same sequence and the two engines produce
-//! bit-identical [`FleetReport`]s for every thread count (guarded by
-//! `tests/determinism.rs`). See `crates/core/README.md` for the full
+//! The shared ledger couples every function, so the old per-function
+//! sharding no longer decomposes the fleet. Instead the replay is
+//! **time-windowed with boundary reconciliation**: the merged event
+//! stream splits into fixed epochs ([`Trace::window_bounds`]), windows
+//! simulate speculatively in parallel, and the in-flight ledger state
+//! crossing each boundary is reconciled — a window whose speculative
+//! starting state turns out wrong is re-run with the true carry-over
+//! until the chain reaches a fixed point. [`run`](FleetSimulator::run)
+//! is the sequential reference engine (one window spanning the whole
+//! trace); [`run_windowed`](FleetSimulator::run_windowed) is
+//! bit-identical to it for every thread count and window size (guarded
+//! by `tests/determinism.rs`). See `crates/core/README.md` for the full
 //! contract.
-//!
-//! The inner event loop is allocation-free: per-alternate placement
-//! requests and metering are resolved to plain numbers before the loop,
-//! the warm pool is a flat slot vector (no maps, no ids), and the only
-//! per-shard allocations are the reusable completion heap and the
-//! pre-sized inflation buffer.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use freedom_cluster::{InstanceFamily, InstanceSize, InstanceType};
-use freedom_faas::{PerfTable, ResourceConfig};
+use freedom_faas::PerfTable;
 use freedom_linalg::stats;
-use freedom_pricing::SpotPricing;
 use freedom_workloads::FunctionKind;
 
+use crate::market::{carry_eq, family_index, InFlight, MarketConfig, SpotLedger, SupplySchedule};
 use crate::provider::PlannedPlacement;
+use crate::trace::{event_nanos, MAX_WINDOWS};
 use crate::{FreedomError, Result};
 
+pub use crate::market::{AdmissionPolicy, SupplyProcess};
 pub use crate::trace::{Trace, TraceEvent, TraceSource};
 
 /// How the provider places each invocation.
@@ -56,8 +59,9 @@ pub use crate::trace::{Trace, TraceEvent, TraceSource};
 pub enum PlacementStrategy {
     /// Always run the tuned best configuration on the on-demand pool.
     BestConfigOnly,
-    /// Prefer θ-accepted alternate families while their warm (spot)
-    /// capacity lasts; fall back to the on-demand best configuration.
+    /// Request a spot placement on a θ-accepted alternate family from the
+    /// shared market; fall back to the on-demand best configuration when
+    /// admission is denied or nothing fits.
     IdleAware,
 }
 
@@ -75,7 +79,7 @@ pub struct FunctionPlan {
     /// The function this plan serves.
     pub function: FunctionKind,
     /// The tuned best configuration (on-demand fallback).
-    pub best_config: ResourceConfig,
+    pub best_config: freedom_faas::ResourceConfig,
     /// Planner output: per-family predicted-best placements; only
     /// `accepted` ones are used, in the given order.
     pub alternates: Vec<PlannedPlacement>,
@@ -86,18 +90,18 @@ pub struct FunctionPlan {
 /// Fleet-simulation knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetConfig {
-    /// Warm `.4xlarge` VMs per accepted family in each function's private
-    /// spot pool.
-    pub idle_vms_per_family: usize,
-    /// Spot pricing on the warm pools.
-    pub spot: SpotPricing,
+    /// The shared spot market every function contends for.
+    pub market: MarketConfig,
+    /// SLO guardrail: an invocation whose latency inflation exceeds
+    /// `1 + slo_theta` counts as a violation (paper: θ = 0.10).
+    pub slo_theta: f64,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
         Self {
-            idle_vms_per_family: 2,
-            spot: SpotPricing::PAPER_DEFAULT,
+            market: MarketConfig::default(),
+            slo_theta: 0.10,
         }
     }
 }
@@ -109,76 +113,115 @@ pub struct FleetReport {
     pub strategy: PlacementStrategy,
     /// Invocations served.
     pub invocations: usize,
-    /// Total provider cost in USD.
+    /// Total provider cost in USD (spot admissions at the
+    /// demand-dependent discount, demotions re-billed at list price,
+    /// everything else on-demand).
     pub total_cost_usd: f64,
     /// Mean latency inflation vs. each function's best configuration
     /// (1.0 = every invocation ran at best-config speed).
     pub mean_latency_inflation: f64,
     /// 95th-percentile latency inflation.
     pub p95_latency_inflation: f64,
-    /// Invocations served from the warm (spot) pools.
-    pub spot_placements: usize,
-    /// Spot placements that failed for lack of warm capacity and fell
-    /// back to on-demand.
-    pub spot_capacity_misses: usize,
+    /// Invocations admitted to the spot market that ran there to
+    /// completion.
+    pub spot_admitted: usize,
+    /// Spot placements demoted mid-flight when a supply drop withdrew
+    /// their VM (live-migrated to on-demand, re-billed at list price).
+    pub spot_demoted: usize,
+    /// Invocations served on-demand: the baseline strategy, plans with
+    /// no accepted alternates, admission-policy denials, and capacity
+    /// misses. Every invocation is exactly one of admitted / demoted /
+    /// rejected.
+    pub rejected: usize,
+    /// Rejections where the admission controller denied the request
+    /// outright (utilization above the policy ceiling).
+    pub policy_rejections: usize,
+    /// Rejections where the policy admitted but no warm slot fit the
+    /// request.
+    pub capacity_misses: usize,
+    /// Invocations whose latency inflation exceeded `1 + slo_theta`.
+    pub slo_violations: usize,
 }
 
 impl FleetReport {
-    /// Fraction of invocations served from warm capacity.
+    /// Fraction of invocations that started on the spot market
+    /// (admitted + demoted).
     pub fn spot_share(&self) -> f64 {
         if self.invocations == 0 {
             0.0
         } else {
-            self.spot_placements as f64 / self.invocations as f64
+            (self.spot_admitted + self.spot_demoted) as f64 / self.invocations as f64
         }
     }
 }
 
-/// Per-shard metering, reduced in function-index order into a
-/// [`FleetReport`]. All fields are order-independent counters except the
-/// float accumulations, which the reduction performs in index order to
-/// stay bit-identical to the sequential engine.
-#[derive(Debug, Clone)]
-struct ShardMetering {
-    invocations: usize,
-    total_cost_usd: f64,
-    spot_placements: usize,
-    spot_capacity_misses: usize,
-    /// Latency inflation per invocation, in this shard's arrival order.
-    inflations: Vec<f64>,
-}
+/// Outcome class of one invocation, recorded per arrival and finalized at
+/// reduction (demotions overwrite the admission record).
+const CLASS_ON_DEMAND: u8 = 0;
+const CLASS_CAPACITY_MISS: u8 = 1;
+const CLASS_ADMITTED: u8 = 2;
+const CLASS_DEMOTED: u8 = 3;
+const CLASS_POLICY_REJECT: u8 = 4;
 
-/// An accepted alternate placement with everything the event loop needs,
-/// resolved to plain numbers up front so the hot loop does no table
-/// lookups or config math.
+/// After this many speculative rounds the reconciliation loop falls back
+/// to chaining the remaining stale windows sequentially, bounding total
+/// work at `O(rounds + windows)` window simulations even when the market
+/// is so contended that speculation never converges.
+const MAX_SPECULATIVE_ROUNDS: usize = 8;
+
+/// An accepted alternate placement resolved to plain numbers, so the hot
+/// loop does no table lookups or config math.
 #[derive(Debug, Clone, Copy)]
 struct ResolvedAlternate {
-    /// Index range of this alternate's family in the shard's warm pool.
-    pool_start: u32,
-    pool_end: u32,
+    /// Index of the alternate's family in the market.
+    family: usize,
     milli_vcpus: u32,
     memory_mib: u32,
     duration_nanos: u64,
-    spot_cost_usd: f64,
+    /// Undiscounted list-price execution cost (demand pricing and
+    /// demotion re-billing both start from this).
+    list_cost_usd: f64,
     inflation: f64,
 }
 
-/// One warm VM: a flat capacity slot (family is implied by the
-/// `ResolvedAlternate` index ranges pointing at it).
-#[derive(Debug, Clone, Copy)]
-struct VmSlot {
-    free_milli: u32,
-    free_mib: u32,
+/// One function's plan resolved against its ground-truth table.
+#[derive(Debug, Clone)]
+struct ResolvedPlan {
+    best_cost_usd: f64,
+    alternates: Vec<ResolvedAlternate>,
 }
 
-/// Reusable per-worker scratch: the completion heap. Entries are
-/// `(completion_nanos, pool slot, milli vCPUs, MiB)`; releasing an entry
-/// returns its capacity to the slot. Draining every due completion before
-/// each arrival makes release order within a timestamp immaterial, so no
-/// sequence numbers are needed.
-type CompletionHeap = BinaryHeap<Reverse<(u64, u32, u32, u32)>>;
+/// Everything a window simulation reads: immutable and shared across
+/// worker threads.
+struct ReplayCtx {
+    plans: Vec<ResolvedPlan>,
+    schedule: SupplySchedule,
+    market: MarketConfig,
+}
 
-/// The fleet simulator: per-function warm pools plus elastic on-demand.
+/// Per-arrival metering of one window, in arrival order, plus demotion
+/// adjustments keyed by global arrival index (a demotion may re-bill an
+/// invocation admitted in an earlier window). Per-invocation records —
+/// rather than window-local accumulators — are what make the final
+/// reduction's float-accumulation order independent of the window
+/// partition, and therefore bit-identical between the reference and
+/// windowed engines.
+#[derive(Debug, Clone, Default)]
+struct WindowMetering {
+    costs: Vec<f64>,
+    inflations: Vec<f64>,
+    classes: Vec<u8>,
+    adjustments: Vec<(u32, f64)>,
+}
+
+/// A window's result: metering plus the canonical (heap-drain-ordered)
+/// in-flight state crossing into the next window.
+struct WindowOutcome {
+    metering: WindowMetering,
+    carry_out: Vec<InFlight>,
+}
+
+/// The fleet simulator: a shared spot market plus elastic on-demand.
 pub struct FleetSimulator {
     plans: Vec<FunctionPlan>,
 }
@@ -206,68 +249,152 @@ impl FleetSimulator {
     }
 
     /// Replays the trace under a strategy with the **sequential reference
-    /// engine**: shards run one by one in function order.
+    /// engine**: one simulation window spanning the whole trace, no
+    /// speculation, no carry-over.
     pub fn run(
         &self,
         trace: &Trace,
         strategy: PlacementStrategy,
         config: &FleetConfig,
     ) -> Result<FleetReport> {
-        self.check_trace(trace)?;
-        let mut scratch = CompletionHeap::new();
-        let mut shards = Vec::with_capacity(self.plans.len());
-        for (plan, arrivals) in self
-            .plans
-            .iter()
-            .zip((0..trace.n_functions()).map(|f| trace.stream(f)))
-        {
-            shards.push(simulate_shard(
-                plan,
-                arrivals,
-                strategy,
-                config,
-                &mut scratch,
-            )?);
-        }
-        Ok(reduce(strategy, shards))
+        let ctx = self.prepare(trace, strategy, config)?;
+        let events = trace.events();
+        let outcome = simulate_window(&ctx, events, 0, &[], 0, u64::MAX);
+        Ok(reduce(
+            strategy,
+            config.slo_theta,
+            events.len(),
+            vec![outcome.metering],
+        ))
     }
 
-    /// Replays the trace with per-function shards fanned out over
-    /// `threads` workers, then reduces the shard metering in
-    /// function-index order. Bit-identical to [`FleetSimulator::run`] for
-    /// every thread count; `threads <= 1` dispatches to the sequential
-    /// engine itself (the flag the determinism guard compares against).
-    pub fn run_sharded(
+    /// Replays the trace as time windows of `window_secs`, simulated
+    /// speculatively in parallel over `threads` workers and reconciled at
+    /// the boundaries until the carried ledger state reaches a fixed
+    /// point. Bit-identical to [`FleetSimulator::run`] for every thread
+    /// count and window size; the windowed machinery runs even at
+    /// `threads = 1`, so the determinism guard exercises reconciliation
+    /// itself, not a sequential dispatch.
+    ///
+    /// Speculation starts every window from an empty market; each round
+    /// re-runs exactly the windows whose carry-in guess changed, and each
+    /// round extends the verified prefix by at least one window, so the
+    /// loop terminates. After [`MAX_SPECULATIVE_ROUNDS`] the remaining
+    /// stale suffix is chained sequentially instead.
+    pub fn run_windowed(
         &self,
         trace: &Trace,
         strategy: PlacementStrategy,
         config: &FleetConfig,
         threads: usize,
+        window_secs: f64,
     ) -> Result<FleetReport> {
-        if threads <= 1 {
-            return self.run(trace, strategy, config);
+        if !window_secs.is_finite() || window_secs <= 0.0 {
+            return Err(FreedomError::InvalidArgument(format!(
+                "window must be positive, got {window_secs}s"
+            )));
         }
-        self.check_trace(trace)?;
-        // One completion heap per worker thread, reused across every
-        // shard that worker picks up within this replay (par_run's
-        // scoped workers end with the call, so reuse does not extend
-        // across replays) — the parallel counterpart of the sequential
-        // engine's single scratch heap.
-        std::thread_local! {
-            static SCRATCH: std::cell::RefCell<CompletionHeap> =
-                const { std::cell::RefCell::new(BinaryHeap::new()) };
+        let ctx = self.prepare(trace, strategy, config)?;
+        let events = trace.events();
+        if events.is_empty() {
+            return Ok(reduce(strategy, config.slo_theta, 0, Vec::new()));
         }
-        let shards = freedom_parallel::par_run(self.plans.len(), threads, |f| {
-            SCRATCH.with_borrow_mut(|scratch| {
-                simulate_shard(&self.plans[f], trace.stream(f), strategy, config, scratch)
-            })
-        })
-        .into_iter()
-        .collect::<Result<Vec<ShardMetering>>>()?;
-        Ok(reduce(strategy, shards))
+        let window_nanos = ((window_secs * 1e9) as u64).max(1);
+        let horizon = event_nanos(events.last().expect("non-empty").at_secs);
+        if horizon / window_nanos >= MAX_WINDOWS {
+            return Err(FreedomError::InvalidArgument(format!(
+                "{window_secs}s windows split this trace into {} windows (max {MAX_WINDOWS})",
+                horizon / window_nanos + 1
+            )));
+        }
+        let bounds = trace.window_bounds(window_nanos);
+        let n = bounds.len();
+        let span = |k: usize| {
+            (
+                k as u64 * window_nanos,
+                (k as u64 + 1).saturating_mul(window_nanos),
+            )
+        };
+        let run_one = |k: usize, carry: &[InFlight]| {
+            let (start, end) = span(k);
+            simulate_window(
+                &ctx,
+                &events[bounds[k].clone()],
+                bounds[k].start as u32,
+                carry,
+                start,
+                end,
+            )
+        };
+
+        let mut outs: Vec<Option<WindowOutcome>> = (0..n).map(|_| None).collect();
+        let mut used: Vec<Vec<InFlight>> = vec![Vec::new(); n];
+        // Round 0 speculates every window from an empty market.
+        let mut pending: Vec<(usize, Vec<InFlight>)> = (0..n).map(|k| (k, Vec::new())).collect();
+        let mut rounds = 0usize;
+        let mut prev_stale = usize::MAX;
+        loop {
+            let results = freedom_parallel::par_run(pending.len(), threads, |i| {
+                run_one(pending[i].0, &pending[i].1)
+            });
+            for ((k, carry), out) in pending.drain(..).zip(results) {
+                used[k] = carry;
+                outs[k] = Some(out);
+            }
+            // Verification walk: chain the carried states in window
+            // order; any window that ran with a different carry-in than
+            // the chain now implies is stale and re-runs next round with
+            // the chain's current guess.
+            let mut next: Vec<(usize, Vec<InFlight>)> = Vec::new();
+            let mut chain: Vec<InFlight> = Vec::new();
+            for (k, out) in outs.iter().enumerate() {
+                if !carry_eq(&used[k], &chain) {
+                    next.push((k, chain.clone()));
+                }
+                chain.clone_from(&out.as_ref().expect("window simulated").carry_out);
+            }
+            if next.is_empty() {
+                break;
+            }
+            rounds += 1;
+            // Speculation pays only while rounds resolve windows in bulk
+            // (markets that drain — idle gaps, tight supply — reach the
+            // same carried state from many guesses). When a round barely
+            // shrinks the stale set, every remaining guess is churning
+            // and re-running it is waste: chain the stale suffix
+            // sequentially with exact carry-ins instead. The round cap
+            // backstops pathological oscillation.
+            let stalled = next.len() + 2 >= prev_stale;
+            prev_stale = next.len();
+            if stalled || rounds > MAX_SPECULATIVE_ROUNDS {
+                let first = next[0].0;
+                let mut chain = next[0].1.clone();
+                for k in first..n {
+                    if !carry_eq(&used[k], &chain) {
+                        outs[k] = Some(run_one(k, &chain));
+                        used[k].clone_from(&chain);
+                    }
+                    chain.clone_from(&outs[k].as_ref().expect("window simulated").carry_out);
+                }
+                break;
+            }
+            pending = next;
+        }
+        let meterings = outs
+            .into_iter()
+            .map(|o| o.expect("every window simulated").metering)
+            .collect();
+        Ok(reduce(strategy, config.slo_theta, events.len(), meterings))
     }
 
-    fn check_trace(&self, trace: &Trace) -> Result<()> {
+    /// Validates inputs and resolves plans, supply schedule, and market
+    /// settings into the immutable replay context.
+    fn prepare(
+        &self,
+        trace: &Trace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+    ) -> Result<ReplayCtx> {
         if trace.n_functions() != self.plans.len() {
             return Err(FreedomError::InvalidArgument(format!(
                 "trace has {} function streams but the fleet has {} plans",
@@ -275,153 +402,249 @@ impl FleetSimulator {
                 self.plans.len()
             )));
         }
-        Ok(())
-    }
-}
-
-/// Replays one function's arrival stream against its private warm pool.
-fn simulate_shard(
-    plan: &FunctionPlan,
-    arrivals: &[f64],
-    strategy: PlacementStrategy,
-    config: &FleetConfig,
-    completions: &mut CompletionHeap,
-) -> Result<ShardMetering> {
-    let best_point = plan
-        .table
-        .lookup(&plan.best_config)
-        .ok_or_else(|| FreedomError::InsufficientData("best config missing in table".into()))?;
-    let best_cost = best_point.exec_cost_usd;
-
-    // Resolve the accepted alternates once: pool layout, capacity
-    // requests, metering. The event loop then touches only these numbers.
-    let mut pool: Vec<VmSlot> = Vec::new();
-    let mut alternates: Vec<ResolvedAlternate> = Vec::new();
-    if strategy == PlacementStrategy::IdleAware {
-        let mut families: Vec<(InstanceFamily, u32, u32)> = Vec::new(); // (family, start, end)
-        for alt in plan.alternates.iter().filter(|a| a.accepted) {
-            let cfg = alt.config;
-            let point = plan.table.lookup(&cfg).ok_or_else(|| {
-                FreedomError::InsufficientData("alternate config missing in table".into())
+        if !config.slo_theta.is_finite() || config.slo_theta < 0.0 {
+            return Err(FreedomError::InvalidArgument(format!(
+                "SLO theta must be non-negative, got {}",
+                config.slo_theta
+            )));
+        }
+        let horizon = trace
+            .events()
+            .last()
+            .map(|e| event_nanos(e.at_secs))
+            .unwrap_or(0);
+        let schedule = SupplySchedule::generate(&config.market, horizon)?;
+        let mut plans = Vec::with_capacity(self.plans.len());
+        for plan in &self.plans {
+            let best = plan.table.lookup(&plan.best_config).ok_or_else(|| {
+                FreedomError::InsufficientData("best config missing in table".into())
             })?;
-            let (pool_start, pool_end) = match families.iter().find(|f| f.0 == cfg.family()) {
-                Some(&(_, start, end)) => (start, end),
-                None => {
-                    let vm = InstanceType::new(cfg.family(), InstanceSize::X4Large);
-                    let start = pool.len() as u32;
-                    for _ in 0..config.idle_vms_per_family {
-                        pool.push(VmSlot {
-                            free_milli: vm.vcpus() * 1000,
-                            free_mib: vm.memory_mib(),
-                        });
-                    }
-                    let end = pool.len() as u32;
-                    families.push((cfg.family(), start, end));
-                    (start, end)
+            let mut alternates = Vec::new();
+            if strategy == PlacementStrategy::IdleAware {
+                for alt in plan.alternates.iter().filter(|a| a.accepted) {
+                    let cfg = alt.config;
+                    let point = plan.table.lookup(&cfg).ok_or_else(|| {
+                        FreedomError::InsufficientData("alternate config missing in table".into())
+                    })?;
+                    let family = family_index(cfg.family()).ok_or_else(|| {
+                        FreedomError::InvalidArgument(format!(
+                            "family {} is not backed by market capacity",
+                            cfg.family()
+                        ))
+                    })?;
+                    alternates.push(ResolvedAlternate {
+                        family,
+                        milli_vcpus: (cfg.cpu_share() * 1000.0).round() as u32,
+                        memory_mib: cfg.memory_mib(),
+                        duration_nanos: (point.exec_time_secs * 1e9) as u64,
+                        list_cost_usd: point.exec_cost_usd,
+                        inflation: point.exec_time_secs / best.exec_time_secs,
+                    });
                 }
-            };
-            alternates.push(ResolvedAlternate {
-                pool_start,
-                pool_end,
-                milli_vcpus: (cfg.cpu_share() * 1000.0).round() as u32,
-                memory_mib: cfg.memory_mib(),
-                duration_nanos: (point.exec_time_secs * 1e9) as u64,
-                spot_cost_usd: point.exec_cost_usd * config.spot.fraction,
-                inflation: point.exec_time_secs / best_point.exec_time_secs,
+            }
+            plans.push(ResolvedPlan {
+                best_cost_usd: best.exec_cost_usd,
+                alternates,
             });
         }
+        Ok(ReplayCtx {
+            plans,
+            schedule,
+            market: config.market,
+        })
     }
-
-    completions.clear();
-    let mut metering = ShardMetering {
-        invocations: arrivals.len(),
-        total_cost_usd: 0.0,
-        spot_placements: 0,
-        spot_capacity_misses: 0,
-        inflations: Vec::with_capacity(arrivals.len()),
-    };
-
-    for &at_secs in arrivals {
-        let at_nanos = (at_secs * 1e9) as u64;
-        // Release every completion due at or before this arrival
-        // (completions at the same instant free capacity first).
-        while let Some(&Reverse((t, slot, milli, mib))) = completions.peek() {
-            if t > at_nanos {
-                break;
-            }
-            completions.pop();
-            let vm = &mut pool[slot as usize];
-            vm.free_milli += milli;
-            vm.free_mib += mib;
-        }
-
-        // Try the θ-accepted alternates in planner order, best-fit within
-        // each family's slots (least free vCPU that still fits, lowest
-        // index on ties — mirroring the cluster crate's BestFit policy).
-        let mut placed = false;
-        for alt in &alternates {
-            let mut best: Option<(u32, u32)> = None; // (free_milli, slot)
-            for slot in alt.pool_start..alt.pool_end {
-                let vm = pool[slot as usize];
-                if vm.free_milli >= alt.milli_vcpus
-                    && vm.free_mib >= alt.memory_mib
-                    && best.is_none_or(|(free, _)| vm.free_milli < free)
-                {
-                    best = Some((vm.free_milli, slot));
-                }
-            }
-            if let Some((_, slot)) = best {
-                let vm = &mut pool[slot as usize];
-                vm.free_milli -= alt.milli_vcpus;
-                vm.free_mib -= alt.memory_mib;
-                completions.push(Reverse((
-                    at_nanos + alt.duration_nanos,
-                    slot,
-                    alt.milli_vcpus,
-                    alt.memory_mib,
-                )));
-                metering.total_cost_usd += alt.spot_cost_usd;
-                metering.inflations.push(alt.inflation);
-                metering.spot_placements += 1;
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            if !alternates.is_empty() {
-                metering.spot_capacity_misses += 1;
-            }
-            // On-demand pool: elastic, always fits, list price.
-            metering.total_cost_usd += best_cost;
-            metering.inflations.push(1.0);
-        }
-    }
-    Ok(metering)
 }
 
-/// Reduces per-shard metering into the fleet report, accumulating floats
-/// in shard (function-index) order so the result does not depend on which
-/// thread finished first.
-fn reduce(strategy: PlacementStrategy, shards: Vec<ShardMetering>) -> FleetReport {
-    let total: usize = shards.iter().map(|s| s.invocations).sum();
-    let mut total_cost = 0.0;
-    let mut spot_placements = 0;
-    let mut spot_capacity_misses = 0;
-    let mut inflations = Vec::with_capacity(total);
-    for shard in shards {
-        total_cost += shard.total_cost_usd;
-        spot_placements += shard.spot_placements;
-        spot_capacity_misses += shard.spot_capacity_misses;
-        inflations.extend_from_slice(&shard.inflations);
+/// Simulates one time window `[start_nanos, end_nanos)` of the merged
+/// event stream against the shared market, starting from the carried
+/// in-flight state. The sequential reference engine is the degenerate
+/// call: all events, empty carry, an unbounded window.
+fn simulate_window(
+    ctx: &ReplayCtx,
+    events: &[TraceEvent],
+    base_idx: u32,
+    carry_in: &[InFlight],
+    start_nanos: u64,
+    end_nanos: u64,
+) -> WindowOutcome {
+    let (mut cursor, caps) = ctx.schedule.start_state(start_nanos);
+    let mut ledger = SpotLedger::new(&ctx.market, caps);
+    let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::with_capacity(carry_in.len() + 64);
+    for entry in carry_in {
+        let mut e = *entry;
+        e.epoch = ledger.epoch(e.slot);
+        ledger.restore(&e);
+        heap.push(Reverse(e));
     }
+    let mut m = WindowMetering {
+        costs: Vec::with_capacity(events.len()),
+        inflations: Vec::with_capacity(events.len()),
+        classes: Vec::with_capacity(events.len()),
+        adjustments: Vec::new(),
+    };
+
+    for (i, event) in events.iter().enumerate() {
+        let at = event_nanos(event.at_secs);
+        advance(
+            &mut ledger,
+            &mut heap,
+            &ctx.schedule,
+            &mut cursor,
+            &mut m,
+            at,
+        );
+
+        let plan = &ctx.plans[event.function];
+        let (class, cost, inflation) = if plan.alternates.is_empty() {
+            (CLASS_ON_DEMAND, plan.best_cost_usd, 1.0)
+        } else {
+            let utilization = ledger.utilization();
+            if !ctx.market.admission.admits(utilization) {
+                (CLASS_POLICY_REJECT, plan.best_cost_usd, 1.0)
+            } else {
+                // Try the θ-accepted alternates in planner order,
+                // best-fit within each family's available slots.
+                let placed = plan.alternates.iter().find_map(|alt| {
+                    ledger
+                        .best_fit(alt.family, alt.milli_vcpus, alt.memory_mib)
+                        .map(|slot| (alt, slot))
+                });
+                match placed {
+                    Some((alt, slot)) => {
+                        ledger.place(slot, alt.milli_vcpus, alt.memory_mib);
+                        heap.push(Reverse(InFlight {
+                            completion_nanos: at + alt.duration_nanos,
+                            slot,
+                            idx: base_idx + i as u32,
+                            epoch: ledger.epoch(slot),
+                            milli: alt.milli_vcpus,
+                            mib: alt.memory_mib,
+                            list_cost_usd: alt.list_cost_usd,
+                        }));
+                        let price = ctx.market.spot.demand_fraction(utilization);
+                        (CLASS_ADMITTED, alt.list_cost_usd * price, alt.inflation)
+                    }
+                    None => (CLASS_CAPACITY_MISS, plan.best_cost_usd, 1.0),
+                }
+            }
+        };
+        m.costs.push(cost);
+        m.inflations.push(inflation);
+        m.classes.push(class);
+    }
+
+    // Close the window: completions and supply steps strictly before the
+    // boundary still belong to it (the reference engine's unbounded
+    // window skips this — no steps outlive the last arrival).
+    if end_nanos != u64::MAX {
+        advance(
+            &mut ledger,
+            &mut heap,
+            &ctx.schedule,
+            &mut cursor,
+            &mut m,
+            end_nanos - 1,
+        );
+    }
+
+    // Drain: live entries become the canonical carry-over (heap order is
+    // the carry ordering), stale entries are demotions discovered late.
+    let mut carry_out = Vec::with_capacity(heap.len());
+    while let Some(Reverse(e)) = heap.pop() {
+        if ledger.is_live(&e) {
+            let mut carried = e;
+            carried.epoch = 0;
+            carry_out.push(carried);
+        } else {
+            m.adjustments.push((e.idx, e.list_cost_usd));
+        }
+    }
+    WindowOutcome {
+        metering: m,
+        carry_out,
+    }
+}
+
+/// Advances the market through every completion and supply step due at or
+/// before `to_nanos`, in time order; a completion and a step at the same
+/// instant release capacity first (so a finishing invocation is never
+/// spuriously demoted by a simultaneous supply drop). Stale completions —
+/// entries whose slot was withdrawn since placement — record their
+/// demotion instead of releasing capacity.
+fn advance(
+    ledger: &mut SpotLedger,
+    heap: &mut BinaryHeap<Reverse<InFlight>>,
+    schedule: &SupplySchedule,
+    cursor: &mut usize,
+    m: &mut WindowMetering,
+    to_nanos: u64,
+) {
+    loop {
+        let next_completion = heap.peek().map(|Reverse(e)| e.completion_nanos);
+        let next_step = schedule.steps.get(*cursor).map(|s| s.at_nanos);
+        match (next_completion, next_step) {
+            (Some(c), s) if c <= to_nanos && s.is_none_or(|s| c <= s) => {
+                let Reverse(e) = heap.pop().expect("peeked");
+                if ledger.is_live(&e) {
+                    ledger.release(&e);
+                } else {
+                    m.adjustments.push((e.idx, e.list_cost_usd));
+                }
+            }
+            (_, Some(s)) if s <= to_nanos => {
+                ledger.apply_step(&schedule.steps[*cursor].caps);
+                *cursor += 1;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Reduces per-window metering into the fleet report. Per-invocation
+/// records are concatenated in window (= global arrival) order, demotion
+/// adjustments are applied by global index, and every float accumulation
+/// then runs in arrival order — the same sequence regardless of how many
+/// windows (or threads) produced the records, which is what makes the
+/// windowed engine bit-identical to the reference.
+fn reduce(
+    strategy: PlacementStrategy,
+    slo_theta: f64,
+    invocations: usize,
+    meterings: Vec<WindowMetering>,
+) -> FleetReport {
+    let mut costs = Vec::with_capacity(invocations);
+    let mut inflations = Vec::with_capacity(invocations);
+    let mut classes = Vec::with_capacity(invocations);
+    for m in &meterings {
+        costs.extend_from_slice(&m.costs);
+        inflations.extend_from_slice(&m.inflations);
+        classes.extend_from_slice(&m.classes);
+    }
+    debug_assert_eq!(costs.len(), invocations);
+    for m in &meterings {
+        for &(idx, list_cost) in &m.adjustments {
+            costs[idx as usize] = list_cost;
+            classes[idx as usize] = CLASS_DEMOTED;
+        }
+    }
+    let mut total_cost = 0.0;
+    for &c in &costs {
+        total_cost += c;
+    }
+    let count = |class: u8| classes.iter().filter(|&&c| c == class).count();
+    let threshold = 1.0 + slo_theta;
     FleetReport {
         strategy,
-        invocations: total,
+        invocations,
         total_cost_usd: total_cost,
         mean_latency_inflation: stats::mean(&inflations).unwrap_or(1.0),
         p95_latency_inflation: stats::quantile(&inflations, 0.95).unwrap_or(1.0),
-        spot_placements,
-        spot_capacity_misses,
+        spot_admitted: count(CLASS_ADMITTED),
+        spot_demoted: count(CLASS_DEMOTED),
+        rejected: count(CLASS_ON_DEMAND) + count(CLASS_CAPACITY_MISS) + count(CLASS_POLICY_REJECT),
+        policy_rejections: count(CLASS_POLICY_REJECT),
+        capacity_misses: count(CLASS_CAPACITY_MISS),
+        slo_violations: inflations.iter().filter(|&&x| x > threshold).count(),
     }
 }
 
@@ -446,15 +669,23 @@ mod tests {
                 let outcome = Autotuner::new(SurrogateKind::Gp)
                     .tune_offline(function, &input, Objective::ExecutionTime, seed)
                     .unwrap();
-                let alternates = planner.plan(&outcome, &table, &space).unwrap();
+                let plan = planner.plan(&outcome, &table, &space).unwrap();
                 FunctionPlan {
                     function,
                     best_config: outcome.recommended().unwrap(),
-                    alternates,
+                    alternates: plan.placements,
                     table,
                 }
             })
             .collect()
+    }
+
+    fn accounting_is_total(report: &FleetReport) {
+        assert_eq!(
+            report.spot_admitted + report.spot_demoted + report.rejected,
+            report.invocations
+        );
+        assert!(report.policy_rejections + report.capacity_misses <= report.rejected);
     }
 
     #[test]
@@ -491,11 +722,15 @@ mod tests {
             .unwrap();
 
         assert_eq!(baseline.invocations, idle_aware.invocations);
-        assert_eq!(baseline.spot_placements, 0);
+        assert_eq!(baseline.spot_admitted, 0);
+        assert_eq!(baseline.rejected, baseline.invocations);
         assert!((baseline.mean_latency_inflation - 1.0).abs() < 1e-12);
+        accounting_is_total(&baseline);
+        accounting_is_total(&idle_aware);
 
         // The idle-aware fleet serves a meaningful share from spot and
-        // pays less overall.
+        // pays less overall: the default market is loose, so demand
+        // pricing stays near the full discount.
         assert!(idle_aware.spot_share() > 0.2, "{}", idle_aware.spot_share());
         assert!(
             idle_aware.total_cost_usd < baseline.total_cost_usd,
@@ -512,12 +747,16 @@ mod tests {
     }
 
     #[test]
-    fn capacity_pressure_forces_on_demand_fallbacks() {
+    fn contended_market_forces_on_demand_fallbacks() {
         let plans = make_plans(5);
-        // A starved warm pool under a hot trace must miss sometimes.
+        // A starved shared market under a hot trace must miss sometimes:
+        // one VM per family for the whole fleet.
         let sim = FleetSimulator::new(plans).unwrap();
         let config = FleetConfig {
-            idle_vms_per_family: 1,
+            market: MarketConfig {
+                vms_per_family: 1,
+                ..MarketConfig::default()
+            },
             ..FleetConfig::default()
         };
         let trace = TraceSource::Poisson {
@@ -528,19 +767,105 @@ mod tests {
         let report = sim
             .run(&trace, PlacementStrategy::IdleAware, &config)
             .unwrap();
-        assert!(report.spot_placements > 0);
-        assert!(
-            report.spot_capacity_misses > 0,
-            "expected misses under pressure"
-        );
-        assert!(report.spot_placements + report.spot_capacity_misses <= report.invocations);
+        accounting_is_total(&report);
+        assert!(report.spot_admitted > 0);
+        assert!(report.capacity_misses > 0, "expected misses under pressure");
     }
 
     #[test]
-    fn sharded_replay_is_bit_identical_to_sequential() {
+    fn supply_drops_demote_and_rebill() {
         let plans = make_plans(5);
         let sim = FleetSimulator::new(plans).unwrap();
-        let config = FleetConfig::default();
+        let volatile = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 2,
+                supply: SupplyProcess {
+                    step_secs: 2.0,
+                    min_fraction: 0.0,
+                    seed: 3,
+                },
+                ..MarketConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let steady = FleetConfig::default();
+        let trace = TraceSource::Poisson {
+            rps_per_function: 4.0,
+        }
+        .generate(FunctionKind::ALL.len(), 60.0, 5)
+        .unwrap();
+        let volatile_report = sim
+            .run(&trace, PlacementStrategy::IdleAware, &volatile)
+            .unwrap();
+        let steady_report = sim
+            .run(&trace, PlacementStrategy::IdleAware, &steady)
+            .unwrap();
+        accounting_is_total(&volatile_report);
+        assert!(
+            volatile_report.spot_demoted > 0,
+            "an all-or-nothing supply must reclaim in-flight work"
+        );
+        assert_eq!(steady_report.spot_demoted, 0, "steady supply never demotes");
+        // Demotions re-bill at list price, so the volatile market saves
+        // less per spot placement than the steady one.
+        assert!(volatile_report.total_cost_usd > 0.0);
+    }
+
+    #[test]
+    fn admission_policy_gates_the_market() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = Trace::poisson(60.0, 1.0, 9).unwrap();
+        // A zero-headroom policy rejects every request before it touches
+        // the ledger.
+        let closed = FleetConfig {
+            market: MarketConfig {
+                admission: AdmissionPolicy::Headroom {
+                    max_utilization: 0.0,
+                },
+                ..MarketConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let report = sim
+            .run(&trace, PlacementStrategy::IdleAware, &closed)
+            .unwrap();
+        accounting_is_total(&report);
+        assert_eq!(report.spot_admitted + report.spot_demoted, 0);
+        assert_eq!(report.policy_rejections, report.invocations);
+        // Greedy on the same trace admits plenty.
+        let open = sim
+            .run(
+                &trace,
+                PlacementStrategy::IdleAware,
+                &FleetConfig::default(),
+            )
+            .unwrap();
+        assert!(open.spot_admitted > 0);
+        assert_eq!(open.policy_rejections, 0);
+    }
+
+    #[test]
+    fn windowed_replay_is_bit_identical_to_sequential() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        // A fluctuating, tightish market exercises demotion and
+        // reconciliation, not just happy-path speculation.
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 2,
+                supply: SupplyProcess {
+                    step_secs: 7.0,
+                    min_fraction: 0.3,
+                    seed: 11,
+                },
+                admission: AdmissionPolicy::Headroom {
+                    max_utilization: 0.9,
+                },
+                ..MarketConfig::default()
+            },
+            ..FleetConfig::default()
+        };
         let trace = TraceSource::Bursty {
             calm_rps: 0.2,
             burst_rps: 3.0,
@@ -551,19 +876,23 @@ mod tests {
         .unwrap();
         for strategy in PlacementStrategy::ALL {
             let seq = sim.run(&trace, strategy, &config).unwrap();
-            for threads in [2, 4, 8] {
-                let sharded = sim.run_sharded(&trace, strategy, &config, threads).unwrap();
-                assert_eq!(
-                    format!("{seq:?}"),
-                    format!("{sharded:?}"),
-                    "{strategy:?} diverged at {threads} threads"
-                );
+            for threads in [1, 2, 8] {
+                for window_secs in [3.0, 17.0, 120.0] {
+                    let windowed = sim
+                        .run_windowed(&trace, strategy, &config, threads, window_secs)
+                        .unwrap();
+                    assert_eq!(
+                        format!("{seq:?}"),
+                        format!("{windowed:?}"),
+                        "{strategy:?} diverged at {threads} threads, {window_secs}s windows"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn empty_fleet_and_mismatched_trace_are_rejected() {
+    fn empty_fleet_and_invalid_inputs_are_rejected() {
         assert!(matches!(
             FleetSimulator::new(Vec::new()),
             Err(FreedomError::InvalidArgument(_))
@@ -584,5 +913,50 @@ mod tests {
             ),
             Err(FreedomError::InvalidArgument(_))
         ));
+        let ok = Trace::poisson(10.0, 0.5, 1).unwrap();
+        // Bad window, SLO theta, and market parameters.
+        assert!(sim
+            .run_windowed(
+                &ok,
+                PlacementStrategy::IdleAware,
+                &FleetConfig::default(),
+                2,
+                0.0
+            )
+            .is_err());
+        // A window absurdly small for the trace span is rejected before
+        // any per-window bookkeeping is allocated.
+        assert!(sim
+            .run_windowed(
+                &ok,
+                PlacementStrategy::IdleAware,
+                &FleetConfig::default(),
+                2,
+                1e-9
+            )
+            .is_err());
+        assert!(sim
+            .run(
+                &ok,
+                PlacementStrategy::IdleAware,
+                &FleetConfig {
+                    slo_theta: f64::NAN,
+                    ..FleetConfig::default()
+                }
+            )
+            .is_err());
+        assert!(sim
+            .run(
+                &ok,
+                PlacementStrategy::IdleAware,
+                &FleetConfig {
+                    market: MarketConfig {
+                        vms_per_family: 0,
+                        ..MarketConfig::default()
+                    },
+                    ..FleetConfig::default()
+                }
+            )
+            .is_err());
     }
 }

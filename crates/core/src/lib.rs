@@ -14,7 +14,11 @@
 //!   front, weighted multi-objective, hierarchical multi-objective;
 //! - [`provider`]: the §4.2/§6.2 provider-side machinery — alternative
 //!   instance-type counting (Table 3) and the idle-capacity planner that
-//!   trades ≤θ execution time for spot-priced instance types (Figure 15).
+//!   trades ≤θ execution time for spot-priced instance types (Figure 15),
+//!   emitting both placements and a market admission policy;
+//! - [`market`] and [`fleet`]: the shared cross-function spot market
+//!   (supply process, capacity ledger, admission control) and the
+//!   windowed trace replay that simulates a whole fleet against it.
 //!
 //! # Examples
 //!
@@ -42,6 +46,7 @@ mod autotuner;
 mod error;
 pub mod fleet;
 pub mod interfaces;
+pub mod market;
 pub mod provider;
 pub mod strategies;
 pub mod trace;

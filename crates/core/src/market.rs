@@ -1,0 +1,641 @@
+//! The shared cross-function spot market: supply process, capacity
+//! ledger, and admission controller.
+//!
+//! The per-function warm pools of the earlier fleet model made sharding
+//! exact but assumed every function owns private idle capacity. Real
+//! providers harvest a *shared, fluctuating* pool ("Accelerating
+//! Serverless Computing by Harvesting Idle Resources", "Serverless in
+//! the Wild"): functions contend for the same idle VMs, supply grows and
+//! shrinks as the provider's first-party load moves, and placements can
+//! be reclaimed mid-flight. This module models that market:
+//!
+//! - [`SupplyProcess`]: a seeded, piecewise-constant capacity process.
+//!   Every `step_secs` the per-family warm-VM count is redrawn uniformly
+//!   between `min_fraction · vms_per_family` and `vms_per_family`. The
+//!   whole process is precomputed into a [`SupplySchedule`] — a pure
+//!   function of `(config, horizon)` — so any replay window can
+//!   reconstruct the supply in effect at any instant without sequential
+//!   state.
+//! - [`SpotLedger`]: the live market state during a replay — per-family
+//!   VM slots with free capacity, the available prefix dictated by the
+//!   current supply step, and market-wide occupancy counters. Supply
+//!   drops *withdraw* the highest-indexed slots of a family; in-flight
+//!   placements on withdrawn slots are **demoted** (live-migrated to
+//!   on-demand and re-billed at list price). Withdrawn slots are
+//!   invalidated by bumping a per-slot epoch, so stale completion-heap
+//!   entries are discovered lazily in `O(1)` per event.
+//! - [`AdmissionPolicy`]: the provider-level controller deciding whether
+//!   a spot placement request may even try the ledger. [`AdmissionPolicy::Greedy`]
+//!   admits whenever capacity fits; [`AdmissionPolicy::Headroom`]
+//!   rejects once market utilization crosses a threshold, keeping slack
+//!   so supply drops demote fewer in-flight placements.
+//!
+//! Admitted placements are priced through
+//! [`SpotPricing::demand_fraction`]: the discount shrinks as the market
+//! fills, so a tight market both rejects more and saves less per
+//! admission.
+
+use freedom_cluster::{InstanceFamily, InstanceSize, InstanceType};
+use freedom_pricing::SpotPricing;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{FreedomError, Result};
+
+/// The instance families backed by warm market capacity, in the paper's
+/// search-space order. Family indices throughout the market refer to
+/// positions in this array.
+pub const MARKET_FAMILIES: [InstanceFamily; 6] = InstanceFamily::SEARCH_SPACE;
+
+/// Number of families in the market.
+pub const N_MARKET_FAMILIES: usize = MARKET_FAMILIES.len();
+
+/// Index of `family` in [`MARKET_FAMILIES`], if it is marketable.
+pub fn family_index(family: InstanceFamily) -> Option<usize> {
+    MARKET_FAMILIES.iter().position(|&f| f == family)
+}
+
+/// A seeded piecewise-constant supply process for the shared market.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupplyProcess {
+    /// Interval between capacity redraws, in seconds.
+    pub step_secs: f64,
+    /// Lower bound of the available fraction of each family's maximum
+    /// pool, in `[0, 1]`. `1.0` means steady full supply (no redraws).
+    pub min_fraction: f64,
+    /// Seed of the redraw stream (independent of the trace seed).
+    pub seed: u64,
+}
+
+impl SupplyProcess {
+    /// Steady full supply: the market never fluctuates.
+    pub const STEADY: SupplyProcess = SupplyProcess {
+        step_secs: 60.0,
+        min_fraction: 1.0,
+        seed: 0,
+    };
+
+    fn validate(&self) -> Result<()> {
+        if !self.step_secs.is_finite() || self.step_secs <= 0.0 {
+            return Err(FreedomError::InvalidArgument(format!(
+                "supply step must be positive, got {}s",
+                self.step_secs
+            )));
+        }
+        if !self.min_fraction.is_finite() || !(0.0..=1.0).contains(&self.min_fraction) {
+            return Err(FreedomError::InvalidArgument(format!(
+                "supply min fraction must be in [0, 1], got {}",
+                self.min_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Provider-level admission control for spot placement requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Admit any request for which warm capacity fits.
+    Greedy,
+    /// Admit only while market vCPU utilization stays strictly below
+    /// `max_utilization`; beyond it, requests run on-demand even if a
+    /// slot would fit. Keeping headroom trades spot share for fewer
+    /// demotions when supply contracts.
+    Headroom {
+        /// Utilization ceiling in `[0, 1]`.
+        max_utilization: f64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Whether a request may try the ledger at the given market
+    /// utilization.
+    pub fn admits(&self, utilization: f64) -> bool {
+        match *self {
+            Self::Greedy => true,
+            Self::Headroom { max_utilization } => utilization < max_utilization,
+        }
+    }
+
+    /// Short stable label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Greedy => "greedy",
+            Self::Headroom { .. } => "headroom",
+        }
+    }
+}
+
+/// Configuration of the shared spot market.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketConfig {
+    /// Maximum warm `.4xlarge` VMs per family, market-wide (shared by
+    /// every function in the fleet).
+    pub vms_per_family: usize,
+    /// How warm capacity fluctuates over the trace.
+    pub supply: SupplyProcess,
+    /// Provider-level admission control.
+    pub admission: AdmissionPolicy,
+    /// Base spot pricing; admissions are billed at
+    /// [`SpotPricing::demand_fraction`] of list price.
+    pub spot: SpotPricing,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        Self {
+            vms_per_family: 8,
+            supply: SupplyProcess::STEADY,
+            admission: AdmissionPolicy::Greedy,
+            spot: SpotPricing::PAPER_DEFAULT,
+        }
+    }
+}
+
+impl MarketConfig {
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.vms_per_family == 0 {
+            return Err(FreedomError::InvalidArgument(
+                "market needs at least one VM per family".into(),
+            ));
+        }
+        if let AdmissionPolicy::Headroom { max_utilization } = self.admission {
+            if !max_utilization.is_finite() || !(0.0..=1.0).contains(&max_utilization) {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "admission utilization ceiling must be in [0, 1], got {max_utilization}"
+                )));
+            }
+        }
+        self.supply.validate()
+    }
+}
+
+/// One precomputed supply redraw: the per-family available VM counts in
+/// effect from `at_nanos` onward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SupplyStep {
+    pub at_nanos: u64,
+    pub caps: [u32; N_MARKET_FAMILIES],
+}
+
+/// The whole supply process materialized over a replay horizon. A pure
+/// function of `(MarketConfig, horizon)`, so the sequential engine and
+/// every replay window see the same capacity at the same instant.
+#[derive(Debug, Clone)]
+pub(crate) struct SupplySchedule {
+    /// Capacity before the first redraw (the full pool).
+    pub base: [u32; N_MARKET_FAMILIES],
+    /// Redraws at `step_secs`, `2·step_secs`, …, sorted by time, covering
+    /// every step instant `≤ horizon`.
+    pub steps: Vec<SupplyStep>,
+}
+
+impl SupplySchedule {
+    /// Materializes the supply process up to `horizon_nanos` (the last
+    /// arrival of the trace being replayed).
+    pub fn generate(config: &MarketConfig, horizon_nanos: u64) -> Result<Self> {
+        config.validate()?;
+        let max = config.vms_per_family as u32;
+        let base = [max; N_MARKET_FAMILIES];
+        let mut steps = Vec::new();
+        if config.supply.min_fraction < 1.0 {
+            let mut rng = StdRng::seed_from_u64(config.supply.seed);
+            let lo = (config.supply.min_fraction * max as f64).floor() as u32;
+            let step_nanos = ((config.supply.step_secs * 1e9) as u64).max(1);
+            let mut t = step_nanos;
+            while t <= horizon_nanos {
+                let mut caps = [0u32; N_MARKET_FAMILIES];
+                for cap in &mut caps {
+                    *cap = rng.gen_range(lo..max + 1);
+                }
+                steps.push(SupplyStep { at_nanos: t, caps });
+                t += step_nanos;
+            }
+        }
+        Ok(Self { base, steps })
+    }
+
+    /// The capacity in effect just before any step at `start_nanos` fires
+    /// (i.e. after every step strictly earlier than `start_nanos`), plus
+    /// the cursor of the first step a window starting there must process.
+    pub fn start_state(&self, start_nanos: u64) -> (usize, [u32; N_MARKET_FAMILIES]) {
+        let cursor = self.steps.partition_point(|s| s.at_nanos < start_nanos);
+        let caps = if cursor == 0 {
+            self.base
+        } else {
+            self.steps[cursor - 1].caps
+        };
+        (cursor, caps)
+    }
+}
+
+/// One in-flight spot placement, as stored in the completion heap and in
+/// the carry-over state crossing replay-window boundaries.
+///
+/// Ordering (and equality) is by `(completion_nanos, slot, idx)`: `slot`
+/// is a flat market-wide index so it encodes the family, and `idx` — the
+/// invocation's global arrival index — is unique, so ties never cascade
+/// to the remaining fields. `epoch` deliberately stays out of the key:
+/// the sequential engine and a window reconstructing carried state assign
+/// different epochs to the same placement.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InFlight {
+    /// Completion time in integer nanoseconds.
+    pub completion_nanos: u64,
+    /// Flat slot index: `family_index · vms_per_family + slot_in_family`.
+    pub slot: u32,
+    /// Global arrival index of the invocation (into the merged trace).
+    pub idx: u32,
+    /// Slot epoch at placement time; a mismatch against the ledger's
+    /// current epoch marks the entry stale (its slot was withdrawn and
+    /// the placement demoted).
+    pub epoch: u32,
+    /// Reserved milli-vCPUs.
+    pub milli: u32,
+    /// Reserved MiB.
+    pub mib: u32,
+    /// Undiscounted list-price cost of the placement's configuration —
+    /// what the invocation is re-billed if demoted.
+    pub list_cost_usd: f64,
+}
+
+impl InFlight {
+    fn key(&self) -> (u64, u32, u32) {
+        (self.completion_nanos, self.slot, self.idx)
+    }
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Whether two carry-over states are identical — the speculation check of
+/// the windowed replay. Entries are canonically sorted (heap-drain
+/// order), so element-wise comparison suffices; every field participates,
+/// costs bit-for-bit.
+pub(crate) fn carry_eq(a: &[InFlight], b: &[InFlight]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.key() == y.key()
+                && x.milli == y.milli
+                && x.mib == y.mib
+                && x.list_cost_usd.to_bits() == y.list_cost_usd.to_bits()
+        })
+}
+
+/// One warm VM slot's free capacity.
+#[derive(Debug, Clone, Copy)]
+struct VmSlot {
+    free_milli: u32,
+    free_mib: u32,
+}
+
+/// The live market state during a replay: slots, the available prefix per
+/// family, epochs for lazy invalidation, and market-wide occupancy.
+///
+/// Capacity and occupancy are integer milli-vCPU counters, so the
+/// utilization driving admission and demand pricing is an exact ratio of
+/// integers — deterministic across engines.
+#[derive(Debug)]
+pub(crate) struct SpotLedger {
+    vms_per_family: u32,
+    slots: Vec<VmSlot>,
+    epochs: Vec<u32>,
+    avail: [u32; N_MARKET_FAMILIES],
+    full_milli: u32,
+    full_mib: [u32; N_MARKET_FAMILIES],
+    capacity_milli: u64,
+    occupied_milli: u64,
+}
+
+impl SpotLedger {
+    /// A fresh (fully idle) ledger under the capacity `caps`.
+    pub fn new(config: &MarketConfig, caps: [u32; N_MARKET_FAMILIES]) -> Self {
+        let vms = config.vms_per_family as u32;
+        let full_milli = InstanceSize::X4Large.vcpus() * 1000;
+        let mut full_mib = [0u32; N_MARKET_FAMILIES];
+        for (i, &family) in MARKET_FAMILIES.iter().enumerate() {
+            full_mib[i] = InstanceType::new(family, InstanceSize::X4Large).memory_mib();
+        }
+        let mut slots = Vec::with_capacity(N_MARKET_FAMILIES * vms as usize);
+        for &mib in &full_mib {
+            for _ in 0..vms {
+                slots.push(VmSlot {
+                    free_milli: full_milli,
+                    free_mib: mib,
+                });
+            }
+        }
+        let capacity_milli = caps.iter().map(|&c| c as u64 * full_milli as u64).sum();
+        Self {
+            vms_per_family: vms,
+            epochs: vec![0; slots.len()],
+            slots,
+            avail: caps,
+            full_milli,
+            full_mib,
+            capacity_milli,
+            occupied_milli: 0,
+        }
+    }
+
+    /// Re-places a carried in-flight entry onto its slot (window-start
+    /// reconstruction). The entry's slot is available by construction: it
+    /// survived every earlier supply drop.
+    pub fn restore(&mut self, entry: &InFlight) {
+        let slot = &mut self.slots[entry.slot as usize];
+        slot.free_milli -= entry.milli;
+        slot.free_mib -= entry.mib;
+        self.occupied_milli += entry.milli as u64;
+    }
+
+    /// Market vCPU utilization in `[0, 1]`; a zero-capacity market reads
+    /// as saturated.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_milli == 0 {
+            1.0
+        } else {
+            self.occupied_milli as f64 / self.capacity_milli as f64
+        }
+    }
+
+    /// Current epoch of a flat slot.
+    pub fn epoch(&self, slot: u32) -> u32 {
+        self.epochs[slot as usize]
+    }
+
+    /// Whether a heap entry is still live (its slot was not withdrawn
+    /// since placement).
+    pub fn is_live(&self, entry: &InFlight) -> bool {
+        self.epochs[entry.slot as usize] == entry.epoch
+    }
+
+    /// Applies a supply redraw. Withdrawing a slot demotes whatever runs
+    /// on it: the slot's occupancy leaves the market immediately and its
+    /// epoch advances so heap entries pointing at it are discovered stale
+    /// when popped. Restored slots come back empty.
+    pub fn apply_step(&mut self, caps: &[u32; N_MARKET_FAMILIES]) {
+        for (f, &new) in caps.iter().enumerate() {
+            let old = self.avail[f];
+            let base = f as u32 * self.vms_per_family;
+            if new < old {
+                for k in new..old {
+                    let flat = (base + k) as usize;
+                    let occupied = (self.full_milli - self.slots[flat].free_milli) as u64;
+                    if occupied > 0 {
+                        self.occupied_milli -= occupied;
+                        self.epochs[flat] += 1;
+                        self.slots[flat] = VmSlot {
+                            free_milli: self.full_milli,
+                            free_mib: self.full_mib[f],
+                        };
+                    }
+                    self.capacity_milli -= self.full_milli as u64;
+                }
+            } else {
+                for _ in old..new {
+                    self.capacity_milli += self.full_milli as u64;
+                }
+            }
+            self.avail[f] = new;
+        }
+    }
+
+    /// Best-fit scan over a family's available slots: the least free
+    /// vCPUs that still fit, lowest flat index on ties. Returns the flat
+    /// slot index.
+    pub fn best_fit(&self, family: usize, milli: u32, mib: u32) -> Option<u32> {
+        let base = family as u32 * self.vms_per_family;
+        let mut best: Option<(u32, u32)> = None; // (free_milli, flat slot)
+        for k in 0..self.avail[family] {
+            let flat = base + k;
+            let slot = self.slots[flat as usize];
+            if slot.free_milli >= milli
+                && slot.free_mib >= mib
+                && best.is_none_or(|(free, _)| slot.free_milli < free)
+            {
+                best = Some((slot.free_milli, flat));
+            }
+        }
+        best.map(|(_, flat)| flat)
+    }
+
+    /// Reserves capacity on a slot returned by [`SpotLedger::best_fit`].
+    pub fn place(&mut self, flat: u32, milli: u32, mib: u32) {
+        let slot = &mut self.slots[flat as usize];
+        slot.free_milli -= milli;
+        slot.free_mib -= mib;
+        self.occupied_milli += milli as u64;
+    }
+
+    /// Releases a live completion's capacity back to its slot.
+    pub fn release(&mut self, entry: &InFlight) {
+        let slot = &mut self.slots[entry.slot as usize];
+        slot.free_milli += entry.milli;
+        slot.free_mib += entry.mib;
+        self.occupied_milli -= entry.milli as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fluctuating() -> MarketConfig {
+        MarketConfig {
+            vms_per_family: 4,
+            supply: SupplyProcess {
+                step_secs: 10.0,
+                min_fraction: 0.25,
+                seed: 7,
+            },
+            ..MarketConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_bounded() {
+        let config = fluctuating();
+        let horizon = 120_000_000_000; // 120 s
+        let a = SupplySchedule::generate(&config, horizon).unwrap();
+        let b = SupplySchedule::generate(&config, horizon).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.steps.len(), 12, "one redraw per 10 s step");
+        for step in &a.steps {
+            assert!(step.at_nanos <= horizon);
+            for &cap in &step.caps {
+                assert!((1..=4).contains(&cap), "cap {cap} outside [1, 4]");
+            }
+        }
+        // A different supply seed redraws differently.
+        let other = SupplySchedule::generate(
+            &MarketConfig {
+                supply: SupplyProcess {
+                    seed: 8,
+                    ..config.supply
+                },
+                ..config
+            },
+            horizon,
+        )
+        .unwrap();
+        assert_ne!(a.steps, other.steps);
+        // Steady supply never steps.
+        let steady = SupplySchedule::generate(&MarketConfig::default(), horizon).unwrap();
+        assert!(steady.steps.is_empty());
+        assert_eq!(steady.base, [8; N_MARKET_FAMILIES]);
+    }
+
+    #[test]
+    fn start_state_is_a_prefix_function() {
+        let config = fluctuating();
+        let schedule = SupplySchedule::generate(&config, 100_000_000_000).unwrap();
+        let (c0, caps0) = schedule.start_state(0);
+        assert_eq!((c0, caps0), (0, schedule.base));
+        // A start exactly on a step instant leaves that step unprocessed.
+        let t1 = schedule.steps[0].at_nanos;
+        let (c1, caps1) = schedule.start_state(t1);
+        assert_eq!((c1, caps1), (0, schedule.base));
+        let (c2, caps2) = schedule.start_state(t1 + 1);
+        assert_eq!((c2, caps2), (1, schedule.steps[0].caps));
+    }
+
+    #[test]
+    fn withdrawal_demotes_occupancy_and_restores_empty_slots() {
+        let config = fluctuating();
+        let mut ledger = SpotLedger::new(&config, [4; N_MARKET_FAMILIES]);
+        let full = ledger.capacity_milli;
+        assert_eq!(ledger.utilization(), 0.0);
+
+        // Occupy the last slot of family 0 (flat index 3).
+        let slot = 3u32;
+        ledger.place(slot, 2000, 1024);
+        assert!(ledger.utilization() > 0.0);
+        let epoch_before = ledger.epoch(slot);
+
+        // Drop family 0 to 2 VMs: slots 2..4 withdrawn, occupancy leaves.
+        let mut caps = [4; N_MARKET_FAMILIES];
+        caps[0] = 2;
+        ledger.apply_step(&caps);
+        assert_eq!(ledger.occupied_milli, 0);
+        assert_eq!(ledger.capacity_milli, full - 2 * ledger.full_milli as u64);
+        assert_eq!(ledger.epoch(slot), epoch_before + 1, "withdrawn+occupied");
+        assert_eq!(ledger.epoch(2), 0, "idle withdrawn slot keeps its epoch");
+
+        // Bring it back: the slot returns empty.
+        ledger.apply_step(&[4; N_MARKET_FAMILIES]);
+        assert_eq!(ledger.capacity_milli, full);
+        assert_eq!(ledger.slots[slot as usize].free_milli, ledger.full_milli);
+    }
+
+    #[test]
+    fn best_fit_prefers_fullest_fitting_slot() {
+        let config = MarketConfig {
+            vms_per_family: 3,
+            ..MarketConfig::default()
+        };
+        let mut ledger = SpotLedger::new(&config, [3; N_MARKET_FAMILIES]);
+        // Slot 0 nearly full, slot 1 half full, slot 2 empty.
+        ledger.place(0, 15_000, 1024);
+        ledger.place(1, 8_000, 1024);
+        // A 2-vCPU request fits slots 1 and 2; best-fit picks 1.
+        assert_eq!(ledger.best_fit(0, 2000, 512), Some(1));
+        // A 10-vCPU request only fits slot 2.
+        assert_eq!(ledger.best_fit(0, 10_000, 512), Some(2));
+        // Nothing fits 17 vCPUs.
+        assert_eq!(ledger.best_fit(0, 17_000, 512), None);
+        // Availability gates the scan: with only slot 0 available the
+        // 2-vCPU request has nowhere to go.
+        let mut caps = [3; N_MARKET_FAMILIES];
+        caps[0] = 1;
+        ledger.apply_step(&caps);
+        assert_eq!(ledger.best_fit(0, 2000, 512), None);
+    }
+
+    #[test]
+    fn admission_policies_gate_on_utilization() {
+        assert!(AdmissionPolicy::Greedy.admits(1.0));
+        let headroom = AdmissionPolicy::Headroom {
+            max_utilization: 0.8,
+        };
+        assert!(headroom.admits(0.0));
+        assert!(headroom.admits(0.79));
+        assert!(!headroom.admits(0.8));
+        assert!(!headroom.admits(1.0));
+        assert!(!AdmissionPolicy::Headroom {
+            max_utilization: 0.0
+        }
+        .admits(0.0));
+        assert_eq!(AdmissionPolicy::Greedy.label(), "greedy");
+        assert_eq!(headroom.label(), "headroom");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(MarketConfig {
+            vms_per_family: 0,
+            ..MarketConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            supply: SupplyProcess {
+                step_secs: 0.0,
+                ..SupplyProcess::STEADY
+            },
+            ..MarketConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            supply: SupplyProcess {
+                min_fraction: 1.5,
+                ..SupplyProcess::STEADY
+            },
+            ..MarketConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig {
+            admission: AdmissionPolicy::Headroom {
+                max_utilization: f64::NAN
+            },
+            ..MarketConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MarketConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn carry_equality_is_exact() {
+        let entry = InFlight {
+            completion_nanos: 10,
+            slot: 1,
+            idx: 0,
+            epoch: 3,
+            milli: 500,
+            mib: 256,
+            list_cost_usd: 0.25,
+        };
+        let mut other = entry;
+        other.epoch = 0; // epoch is not part of the carried identity
+        assert!(carry_eq(&[entry], &[other]));
+        other.list_cost_usd = 0.26;
+        assert!(!carry_eq(&[entry], &[other]));
+        assert!(!carry_eq(&[entry], &[]));
+    }
+}

@@ -13,6 +13,7 @@ use freedom_optimizer::eval::{best_predicted_per_family_with, table_normalizers}
 use freedom_optimizer::{Objective, SearchSpace};
 use freedom_pricing::SpotPricing;
 
+use crate::market::AdmissionPolicy;
 use crate::{FreedomError, Result, TuneOutcome};
 
 /// Table 3: the number of *alternative* instance families (excluding the
@@ -64,6 +65,11 @@ pub struct PlannerConfig {
     /// high-uncertainty extrapolations fail the guardrail instead of
     /// surprising production traffic.
     pub beta: f64,
+    /// Market headroom the emitted admission policy reserves: spot
+    /// requests are denied once utilization of the shared idle pool
+    /// crosses `1 − target_headroom`, so supply drops find slack instead
+    /// of in-flight work to demote. `0` emits a greedy policy.
+    pub target_headroom: f64,
 }
 
 impl Default for PlannerConfig {
@@ -72,6 +78,7 @@ impl Default for PlannerConfig {
             theta: 0.10,
             spot: SpotPricing::PAPER_DEFAULT,
             beta: 1.0,
+            target_headroom: 0.15,
         }
     }
 }
@@ -92,6 +99,20 @@ pub struct PlannedPlacement {
     pub norm_spot_cost: f64,
 }
 
+/// The planner's full provider-side output: where each family's load may
+/// go, plus how the shared market should gate spot requests. The fleet
+/// simulator consumes both halves — placements become
+/// `FunctionPlan::alternates`, the admission policy configures the
+/// market.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderPlan {
+    /// Per-family predicted-best placements, θ-guardrailed.
+    pub placements: Vec<PlannedPlacement>,
+    /// Provider-level admission control derived from the planner's risk
+    /// posture ([`PlannerConfig::target_headroom`]).
+    pub admission: AdmissionPolicy,
+}
+
 /// The §6.2 idle-capacity planner.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct IdleCapacityPlanner {
@@ -109,8 +130,22 @@ impl IdleCapacityPlanner {
         self.config
     }
 
+    /// The admission policy this planner emits for the shared market:
+    /// greedy at zero target headroom, otherwise a utilization ceiling
+    /// of `1 − target_headroom`.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        if self.config.target_headroom <= 0.0 {
+            AdmissionPolicy::Greedy
+        } else {
+            AdmissionPolicy::Headroom {
+                max_utilization: (1.0 - self.config.target_headroom).max(0.0),
+            }
+        }
+    }
+
     /// Plans placements for every instance family using an execution-time
-    /// tuning outcome and the ground-truth table (to score the decisions).
+    /// tuning outcome and the ground-truth table (to score the decisions),
+    /// and emits the admission policy the shared market should run with.
     ///
     /// The planner only sees the model and the best-found trial; the table
     /// supplies the *actual* outcomes the experiment reports.
@@ -119,7 +154,7 @@ impl IdleCapacityPlanner {
         outcome: &TuneOutcome,
         table: &PerfTable,
         space: &SearchSpace,
-    ) -> Result<Vec<PlannedPlacement>> {
+    ) -> Result<ProviderPlan> {
         let model = outcome
             .model
             .as_ref()
@@ -160,7 +195,10 @@ impl IdleCapacityPlanner {
                 norm_spot_cost: point.exec_cost_usd * self.config.spot.fraction / base_cost,
             });
         }
-        Ok(out)
+        Ok(ProviderPlan {
+            placements: out,
+            admission: self.admission_policy(),
+        })
     }
 }
 
@@ -228,9 +266,15 @@ mod tests {
             .tune_offline(kind, &kind.default_input(), Objective::ExecutionTime, 5)
             .unwrap();
         let planner = IdleCapacityPlanner::default();
-        let placements = planner
+        let plan = planner
             .plan(&outcome, &table, &SearchSpace::table1())
             .unwrap();
+        // The default planner reserves 15% market headroom.
+        let AdmissionPolicy::Headroom { max_utilization } = plan.admission else {
+            panic!("default planner must emit a headroom policy");
+        };
+        assert!((max_utilization - 0.85).abs() < 1e-12);
+        let placements = plan.placements;
         assert_eq!(placements.len(), 6, "one placement per family");
         let accepted: Vec<_> = placements.iter().filter(|p| p.accepted).collect();
         assert!(!accepted.is_empty(), "some family must pass the guardrail");
@@ -250,8 +294,19 @@ mod tests {
             theta: 0.25,
             spot: SpotPricing { fraction: 0.5 },
             beta: 0.5,
+            target_headroom: 0.3,
         });
         assert_eq!(planner.config().theta, 0.25);
         assert_eq!(planner.config().spot.fraction, 0.5);
+        let AdmissionPolicy::Headroom { max_utilization } = planner.admission_policy() else {
+            panic!("positive headroom must emit a headroom policy");
+        };
+        assert!((max_utilization - 0.7).abs() < 1e-12);
+        // Zero headroom degenerates to a greedy market.
+        let greedy = IdleCapacityPlanner::new(PlannerConfig {
+            target_headroom: 0.0,
+            ..PlannerConfig::default()
+        });
+        assert_eq!(greedy.admission_policy(), AdmissionPolicy::Greedy);
     }
 }

@@ -119,6 +119,59 @@ impl Trace {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Epoch cursors over the merged view: splits the event stream into
+    /// consecutive time windows of `window_nanos` each, returning one
+    /// index range per window (possibly empty for idle windows). The
+    /// ranges partition `0..len()`, cover `[0, last_arrival]`, and are
+    /// found by successive `partition_point` binary searches — the input
+    /// the windowed fleet replay fans out over.
+    ///
+    /// Returns an empty vector for an empty trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window_nanos` is zero, or when the window is so far
+    /// below the trace's span that it would cut more than
+    /// [`MAX_WINDOWS`] windows (the per-window bookkeeping would dwarf
+    /// the trace itself). `FleetSimulator::run_windowed` pre-checks both
+    /// and returns an error instead.
+    pub fn window_bounds(&self, window_nanos: u64) -> Vec<std::ops::Range<usize>> {
+        assert!(window_nanos > 0, "window must be non-empty");
+        let Some(last) = self.events.last() else {
+            return Vec::new();
+        };
+        assert!(
+            event_nanos(last.at_secs) / window_nanos < MAX_WINDOWS,
+            "window of {window_nanos}ns cuts this trace into more than {MAX_WINDOWS} windows"
+        );
+        let n_windows = (event_nanos(last.at_secs) / window_nanos) as usize + 1;
+        let mut bounds = Vec::with_capacity(n_windows);
+        let mut start = 0usize;
+        for k in 1..=n_windows as u64 {
+            let boundary = k.saturating_mul(window_nanos);
+            let end =
+                start + self.events[start..].partition_point(|e| event_nanos(e.at_secs) < boundary);
+            bounds.push(start..end);
+            start = end;
+        }
+        debug_assert_eq!(start, self.events.len());
+        bounds
+    }
+}
+
+/// Upper bound on the number of replay windows [`Trace::window_bounds`]
+/// will cut: a window size far below the trace's span would otherwise
+/// allocate per-window bookkeeping for billions of (almost all empty)
+/// windows before simulating anything.
+pub const MAX_WINDOWS: u64 = 1 << 22;
+
+/// An arrival time in the integer nanoseconds the fleet simulator orders
+/// events by. The conversion is monotone over non-negative finite floats,
+/// so it preserves the merged view's sort order.
+#[inline]
+pub(crate) fn event_nanos(at_secs: f64) -> u64 {
+    (at_secs * 1e9) as u64
 }
 
 /// Truncation of the Pareto popularity weight in
@@ -172,6 +225,109 @@ pub enum TraceSource {
 }
 
 impl TraceSource {
+    /// Parses an Azure-Functions-style invocation-count CSV into a
+    /// [`Trace`], completing the "Serverless in the Wild" loop with real
+    /// trace files instead of synthetic generators.
+    ///
+    /// Expected rows are `app,func,minute,count`: `count` invocations of
+    /// function `func` of application `app` during minute `minute`
+    /// (0-based). A leading header row is skipped when its `minute`
+    /// column is not numeric; blank lines are ignored. Functions are
+    /// keyed by `(app, func)` and assigned fleet indices in order of
+    /// first appearance, matching how `FleetSimulator` pairs plans with
+    /// streams positionally.
+    ///
+    /// The trace format carries per-minute counts, not timestamps; the
+    /// `count` arrivals of a minute are spread evenly across it
+    /// (deterministically, no RNG), and each per-function stream is
+    /// sorted before the streams run through the same k-way merge as the
+    /// synthetic generators.
+    ///
+    /// Returns [`FreedomError::InvalidArgument`] on malformed rows (with
+    /// the 1-based line number) or when no data rows are present.
+    pub fn from_csv(csv: &str) -> Result<Trace> {
+        // Sanity cap per function-minute (~16 k rps): a fat-fingered
+        // count must become a clean per-line error, not a giant
+        // allocation.
+        const MAX_COUNT_PER_MINUTE: u64 = 1_000_000;
+        let mut keys: std::collections::HashMap<(String, String), usize> =
+            std::collections::HashMap::new();
+        let mut streams: Vec<Vec<f64>> = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |what: &str| {
+                FreedomError::InvalidArgument(format!(
+                    "trace CSV line {}: {what}: {line:?}",
+                    lineno + 1
+                ))
+            };
+            let mut cols = line.split(',').map(str::trim);
+            let (app, func, minute, count) = match (
+                cols.next(),
+                cols.next(),
+                cols.next(),
+                cols.next(),
+                cols.next(),
+            ) {
+                (Some(app), Some(func), Some(minute), Some(count), None) => {
+                    (app, func, minute, count)
+                }
+                _ => return Err(bad("expected 4 columns app,func,minute,count")),
+            };
+            let Ok(minute) = minute.parse::<u64>() else {
+                if lineno == 0 {
+                    continue; // header row, per the documented contract
+                }
+                return Err(bad("minute must be a non-negative integer"));
+            };
+            // A numeric minute marks a data row even on the first line,
+            // so a corrupt count never silently drops invocations as a
+            // misdetected header.
+            let Ok(count) = count.parse::<u64>() else {
+                return Err(bad("count must be a non-negative integer"));
+            };
+            if count > MAX_COUNT_PER_MINUTE {
+                return Err(bad("count exceeds 1e6 invocations per minute"));
+            }
+            let next_index = keys.len();
+            let function = *keys
+                .entry((app.to_string(), func.to_string()))
+                .or_insert(next_index);
+            if function == next_index {
+                streams.push(Vec::new());
+            }
+            // Spread the minute's invocations evenly across its 60
+            // seconds: arrival j lands at the midpoint of its 1/count
+            // sub-slot.
+            let start = minute as f64 * 60.0;
+            streams[function]
+                .extend((0..count).map(|j| start + (j as f64 + 0.5) * 60.0 / count as f64));
+        }
+        if streams.is_empty() {
+            return Err(FreedomError::InvalidArgument(
+                "trace CSV has no data rows".into(),
+            ));
+        }
+        // Rows may arrive in any order; each stream must be sorted for
+        // the k-way merge.
+        for stream in &mut streams {
+            stream.sort_by(|a, b| a.total_cmp(b));
+        }
+        Ok(Trace::from_streams(streams))
+    }
+
+    /// Reads [`TraceSource::from_csv`] input from a file.
+    pub fn from_csv_path(path: impl AsRef<std::path::Path>) -> Result<Trace> {
+        let path = path.as_ref();
+        let csv = std::fs::read_to_string(path).map_err(|e| {
+            FreedomError::InvalidArgument(format!("cannot read trace CSV {}: {e}", path.display()))
+        })?;
+        Self::from_csv(&csv)
+    }
+
     /// Generates `n_functions` independent streams over `duration_secs`
     /// seconds and merges them into a [`Trace`].
     ///
@@ -523,6 +679,93 @@ mod tests {
         assert!(p.generate(0, 100.0, 1).is_err());
         assert!(p.generate(4, -5.0, 1).is_err());
         assert!(p.generate(4, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn window_bounds_partition_the_merged_view() {
+        let trace = TraceSource::Bursty {
+            calm_rps: 0.3,
+            burst_rps: 3.0,
+            mean_calm_secs: 20.0,
+            mean_burst_secs: 5.0,
+        }
+        .generate(8, 120.0, 3)
+        .unwrap();
+        for window_secs in [1u64, 7, 10, 60, 1000] {
+            let window_nanos = window_secs * 1_000_000_000;
+            let bounds = trace.window_bounds(window_nanos);
+            // Consecutive, disjoint, and covering.
+            let mut expected_start = 0;
+            for (k, range) in bounds.iter().enumerate() {
+                assert_eq!(range.start, expected_start);
+                expected_start = range.end;
+                for e in &trace.events()[range.clone()] {
+                    let nanos = event_nanos(e.at_secs);
+                    assert!(nanos / window_nanos == k as u64, "event outside window {k}");
+                }
+            }
+            assert_eq!(expected_start, trace.len());
+            // The last window holds the last event.
+            assert!(!bounds.last().unwrap().is_empty());
+        }
+        // Empty traces have no windows.
+        let empty = Trace::from_streams(vec![Vec::new(), Vec::new()]);
+        assert!(empty.window_bounds(1_000_000_000).is_empty());
+    }
+
+    const AZURE_FIXTURE: &str = include_str!("../testdata/azure_sample.csv");
+
+    #[test]
+    fn csv_ingestion_builds_sorted_merged_streams() {
+        let trace = TraceSource::from_csv(AZURE_FIXTURE).unwrap();
+        assert_eq!(trace.n_functions(), 6, "six distinct (app, func) keys");
+        assert_eq!(trace.len(), 113, "sum of the fixture's counts");
+        // First-appearance order: imgproc/faceblur is function 0.
+        assert_eq!(trace.stream(0).len(), 12 + 9);
+        // web/render rows arrive minute-1-before-minute-0; the stream
+        // must still be sorted.
+        let render = trace.stream(3);
+        assert_eq!(render.len(), 55);
+        for w in render.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Merged view sorted with function-index tie-breaks, like every
+        // generated trace.
+        for w in trace.events().windows(2) {
+            assert!(
+                w[0].at_secs < w[1].at_secs
+                    || (w[0].at_secs == w[1].at_secs && w[0].function <= w[1].function)
+            );
+        }
+        // Counts spread inside their minute: all of transcode's minute-2
+        // arrivals live in [120, 180).
+        let transcode = trace.stream(2);
+        assert!(transcode[2..].iter().all(|&t| (120.0..180.0).contains(&t)));
+        // Parsing is deterministic.
+        let again = TraceSource::from_csv(AZURE_FIXTURE).unwrap();
+        assert_eq!(trace.events(), again.events());
+    }
+
+    #[test]
+    fn csv_ingestion_rejects_malformed_input() {
+        assert!(TraceSource::from_csv("").is_err());
+        assert!(TraceSource::from_csv("app,func,minute,count\n").is_err());
+        // Wrong column count.
+        assert!(TraceSource::from_csv("a,f,0\n").is_err());
+        // Non-numeric minute outside the header line.
+        assert!(TraceSource::from_csv("a,f,0,3\na,f,x,2\n").is_err());
+        // Negative count.
+        assert!(TraceSource::from_csv("a,f,0,-1\n").is_err());
+        // A numeric minute with a corrupt count on the first line is a
+        // malformed data row, not a header — it must not vanish.
+        assert!(TraceSource::from_csv("a,f,0,12x\na,f,1,5\n").is_err());
+        // Headerless files parse too, and zero counts are allowed.
+        let trace = TraceSource::from_csv("a,f,0,3\nb,g,1,0\n").unwrap();
+        assert_eq!(trace.n_functions(), 2);
+        assert_eq!(trace.len(), 3);
+        assert!(trace.stream(1).is_empty());
+        // Missing file.
+        assert!(TraceSource::from_csv_path("/nonexistent/trace.csv").is_err());
     }
 
     #[test]

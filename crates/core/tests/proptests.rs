@@ -1,8 +1,12 @@
 //! Property-based tests for the framework-level invariants.
 
-use freedom::fleet::{Trace, TraceSource};
+use freedom::fleet::{
+    AdmissionPolicy, FleetConfig, FleetSimulator, FunctionPlan, PlacementStrategy, SupplyProcess,
+    Trace, TraceSource,
+};
 use freedom::interfaces::hierarchical_ideal;
-use freedom::provider::alternative_families_within;
+use freedom::market::MarketConfig;
+use freedom::provider::{alternative_families_within, PlannedPlacement};
 use freedom::strategies::AllocationStrategy;
 use freedom_faas::{collect_ground_truth, PerfTable};
 use freedom_optimizer::{Objective, SearchSpace};
@@ -224,5 +228,108 @@ proptest! {
             90.0,
             seed,
         )?;
+    }
+}
+
+/// A cheap ten-function fleet for market proptests (the six benchmark
+/// functions, cycled): best configuration and alternates read straight
+/// off ground-truth tables, built once and shared across cases.
+fn market_fixture() -> &'static Vec<FunctionPlan> {
+    use freedom_cluster::InstanceFamily;
+    use freedom_pricing::SpotPricing;
+    static PLANS: std::sync::OnceLock<Vec<FunctionPlan>> = std::sync::OnceLock::new();
+    PLANS.get_or_init(|| {
+        let spot = SpotPricing::PAPER_DEFAULT;
+        let plans: Vec<FunctionPlan> = FunctionKind::ALL
+            .into_iter()
+            .map(|function| {
+                let table = table_for(function, 3);
+                let best = table.best_by_time().expect("feasible points").clone();
+                let alternates = InstanceFamily::SEARCH_SPACE
+                    .iter()
+                    .filter(|&&family| family != best.config.family())
+                    .filter_map(|&family| {
+                        table
+                            .feasible()
+                            .filter(|p| p.config.family() == family)
+                            .min_by(|a, b| a.exec_time_secs.total_cmp(&b.exec_time_secs))
+                            .map(|p| PlannedPlacement {
+                                family,
+                                config: p.config,
+                                accepted: p.exec_time_secs <= best.exec_time_secs * 1.15,
+                                norm_exec_time: p.exec_time_secs / best.exec_time_secs,
+                                norm_spot_cost: p.exec_cost_usd * spot.fraction
+                                    / best.exec_cost_usd,
+                            })
+                    })
+                    .collect();
+                FunctionPlan {
+                    function,
+                    best_config: best.config,
+                    alternates,
+                    table,
+                }
+            })
+            .collect();
+        (0..10).map(|i| plans[i % plans.len()].clone()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The admission ledger is total for any supply process, market
+    /// size, admission policy, and window partition: every request ends
+    /// as exactly one of admitted / demoted / rejected, and the windowed
+    /// engine agrees with the sequential reference bit for bit.
+    #[test]
+    fn market_accounting_is_total_for_random_supplies(
+        trace_seed in 0u64..10_000,
+        supply_seed in 0u64..10_000,
+        step_secs in 2.0f64..40.0,
+        min_fraction in 0.0f64..1.0,
+        vms_per_family in 1usize..5,
+        max_utilization in 0.0f64..1.0,
+        greedy in 0u32..2,
+        window_secs in 1.0f64..90.0,
+    ) {
+        let plans = market_fixture();
+        let sim = FleetSimulator::new(plans.clone()).expect("non-empty fleet");
+        let trace = TraceSource::HeavyTail { mean_rps: 1.0, alpha: 1.4 }
+            .generate(10, 60.0, trace_seed)
+            .expect("valid parameters");
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family,
+                supply: SupplyProcess { step_secs, min_fraction, seed: supply_seed },
+                admission: if greedy == 1 {
+                    AdmissionPolicy::Greedy
+                } else {
+                    AdmissionPolicy::Headroom { max_utilization }
+                },
+                ..MarketConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        for strategy in PlacementStrategy::ALL {
+            let report = sim.run(&trace, strategy, &config).expect("replay");
+            prop_assert_eq!(
+                report.spot_admitted + report.spot_demoted + report.rejected,
+                trace.len(),
+                "accounting leaked under {:?}",
+                strategy
+            );
+            prop_assert!(report.policy_rejections + report.capacity_misses <= report.rejected);
+            prop_assert!(report.total_cost_usd > 0.0 || trace.is_empty());
+            prop_assert!(report.spot_share() <= 1.0);
+            let windowed = sim
+                .run_windowed(&trace, strategy, &config, 4, window_secs)
+                .expect("replay");
+            prop_assert_eq!(
+                format!("{:?}", report),
+                format!("{:?}", windowed),
+                "windowed engine diverged"
+            );
+        }
     }
 }

@@ -114,7 +114,7 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<Fig15Result> {
                     Objective::ExecutionTime,
                     opts.repeat_seed(rep),
                 )?;
-            planner.plan(&outcome, &table, &space)
+            Ok(planner.plan(&outcome, &table, &space)?.placements)
         });
         let mut norm_times = Vec::new();
         let mut norm_costs = Vec::new();

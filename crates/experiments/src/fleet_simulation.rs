@@ -1,21 +1,26 @@
-//! Fleet-level provider simulation (extension of §6.2 / Figure 15).
+//! Fleet-level provider simulation over the shared spot market
+//! (extension of §6.2 / Figure 15).
 //!
 //! Figure 15 evaluates placement decisions one function at a time; this
-//! experiment replays invocation traces over a whole fleet of functions,
-//! each owning a finite warm (spot) pool, and reports the aggregate cost
-//! reduction, latency inflation, spot share, and capacity misses of the
-//! idle-aware policy against the always-best-config baseline.
+//! experiment replays invocation traces over a whole fleet contending
+//! for one provider-wide spot market, and reports the provider savings,
+//! SLO violations, and admission ledger (admitted / demoted / rejected)
+//! of the idle-aware policy against the always-best-config baseline.
 //!
 //! The sweep covers every [`TraceSource`] workload shape (Poisson,
-//! bursty, diurnal, heavy-tail) × warm-pool sizes {1, 2, 4} VMs per
-//! family. Replay is sharded per function across cores
-//! ([`FleetSimulator::run_sharded`]); at default settings the fleet is
+//! bursty, diurnal, heavy-tail) × market tightness (how much warm
+//! capacity exists and how hard its supply fluctuates) × admission
+//! policy (greedy vs. the planner-emitted headroom controller). Replay
+//! is time-windowed across cores
+//! ([`FleetSimulator::run_windowed`]); at default settings the fleet is
 //! 120 functions under an hour of traffic, at `--fast` a 12-function,
 //! two-minute smoke of the same code paths.
 
 use freedom::fleet::{
-    FleetConfig, FleetReport, FleetSimulator, FunctionPlan, PlacementStrategy, TraceSource,
+    AdmissionPolicy, FleetConfig, FleetReport, FleetSimulator, FunctionPlan, PlacementStrategy,
+    SupplyProcess, TraceSource,
 };
+use freedom::market::MarketConfig;
 use freedom::provider::{IdleCapacityPlanner, PlannedPlacement};
 use freedom::Autotuner;
 use freedom_cluster::InstanceFamily;
@@ -27,13 +32,53 @@ use freedom_workloads::FunctionKind;
 use crate::context::{ground_truth_default, par_map, ExperimentOpts};
 use crate::report::{fmt_f, TextTable};
 
+/// Replay window used by the windowed engine throughout the sweep.
+const WINDOW_SECS: f64 = 60.0;
+
+/// One market-tightness preset: how much warm capacity the provider
+/// keeps and how far supply may sag between redraws.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketTightness {
+    /// Preset label (`loose`, `medium`, `tight`).
+    pub label: &'static str,
+    /// Market-wide warm VMs per family.
+    pub vms_per_family: usize,
+    /// Lower bound of the fluctuating supply fraction (1.0 = steady).
+    pub min_supply_fraction: f64,
+}
+
+/// The three tightness presets, loosest first: a roomy steady market, a
+/// moderately fluctuating one, and a scarce volatile one where demotions
+/// and admission control actually bite.
+pub fn market_tightness() -> [MarketTightness; 3] {
+    [
+        MarketTightness {
+            label: "loose",
+            vms_per_family: 8,
+            min_supply_fraction: 1.0,
+        },
+        MarketTightness {
+            label: "medium",
+            vms_per_family: 4,
+            min_supply_fraction: 0.5,
+        },
+        MarketTightness {
+            label: "tight",
+            vms_per_family: 2,
+            min_supply_fraction: 0.0,
+        },
+    ]
+}
+
 /// One sweep data point.
 #[derive(Debug, Clone)]
 pub struct FleetRow {
     /// Workload shape label (`poisson`, `bursty`, `diurnal`, `heavy_tail`).
     pub source: &'static str,
-    /// Warm VMs provisioned per accepted family per function.
-    pub idle_vms_per_family: usize,
+    /// Market tightness preset label.
+    pub tightness: &'static str,
+    /// Admission policy label (`greedy`, `headroom`).
+    pub policy: &'static str,
     /// Baseline (best-config-only) report.
     pub baseline: FleetReport,
     /// Idle-aware report.
@@ -41,7 +86,7 @@ pub struct FleetRow {
 }
 
 impl FleetRow {
-    /// Cost reduction of idle-aware vs. baseline.
+    /// Provider savings of idle-aware vs. baseline.
     pub fn cost_reduction(&self) -> f64 {
         1.0 - self.idle_aware.total_cost_usd / self.baseline.total_cost_usd
     }
@@ -54,7 +99,8 @@ pub struct FleetSimResult {
     pub n_functions: usize,
     /// Trace length in seconds.
     pub duration_secs: f64,
-    /// Rows, grouped by trace source, warm-pool sizes ascending.
+    /// Rows, grouped by trace source, then tightness (loosest first),
+    /// then admission policy.
     pub rows: Vec<FleetRow>,
 }
 
@@ -63,28 +109,32 @@ impl FleetSimResult {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(vec![
             "trace",
-            "warm VMs/family",
+            "market",
+            "admission",
             "invocations",
-            "cost reduction",
+            "savings",
             "spot share",
-            "capacity misses",
-            "mean lat. inflation",
+            "demoted",
+            "rejected",
+            "violations",
             "p95 lat. inflation",
         ]);
         for r in &self.rows {
             t.row(vec![
                 r.source.to_string(),
-                r.idle_vms_per_family.to_string(),
+                r.tightness.to_string(),
+                r.policy.to_string(),
                 r.baseline.invocations.to_string(),
                 format!("{}%", fmt_f(r.cost_reduction() * 100.0, 1)),
                 format!("{}%", fmt_f(r.idle_aware.spot_share() * 100.0, 1)),
-                r.idle_aware.spot_capacity_misses.to_string(),
-                fmt_f(r.idle_aware.mean_latency_inflation, 3),
+                r.idle_aware.spot_demoted.to_string(),
+                r.idle_aware.rejected.to_string(),
+                r.idle_aware.slo_violations.to_string(),
                 fmt_f(r.idle_aware.p95_latency_inflation, 3),
             ]);
         }
         format!(
-            "Fleet simulation (extension of Fig. 15): {} functions, {}s per trace\n{}",
+            "Fleet simulation (shared spot market, extension of Fig. 15): {} functions, {}s per trace\n{}",
             self.n_functions,
             fmt_f(self.duration_secs, 0),
             t.render()
@@ -96,13 +146,18 @@ impl FleetSimResult {
         let mut t = TextTable::new(vec![
             "trace_source",
             "n_functions",
-            "idle_vms_per_family",
+            "market_tightness",
+            "admission_policy",
             "invocations",
             "baseline_cost_usd",
             "idle_aware_cost_usd",
             "cost_reduction",
             "spot_share",
+            "spot_admitted",
+            "spot_demoted",
+            "policy_rejections",
             "capacity_misses",
+            "slo_violations",
             "mean_latency_inflation",
             "p95_latency_inflation",
         ]);
@@ -110,13 +165,18 @@ impl FleetSimResult {
             t.row(vec![
                 r.source.to_string(),
                 self.n_functions.to_string(),
-                r.idle_vms_per_family.to_string(),
+                r.tightness.to_string(),
+                r.policy.to_string(),
                 r.baseline.invocations.to_string(),
                 r.baseline.total_cost_usd.to_string(),
                 r.idle_aware.total_cost_usd.to_string(),
                 r.cost_reduction().to_string(),
                 r.idle_aware.spot_share().to_string(),
-                r.idle_aware.spot_capacity_misses.to_string(),
+                r.idle_aware.spot_admitted.to_string(),
+                r.idle_aware.spot_demoted.to_string(),
+                r.idle_aware.policy_rejections.to_string(),
+                r.idle_aware.capacity_misses.to_string(),
+                r.idle_aware.slo_violations.to_string(),
                 r.idle_aware.mean_latency_inflation.to_string(),
                 r.idle_aware.p95_latency_inflation.to_string(),
             ]);
@@ -163,12 +223,27 @@ pub fn trace_sources(duration_secs: f64) -> [(&'static str, TraceSource); 4] {
     ]
 }
 
+/// The market configuration of a tightness preset under a policy: supply
+/// redraws every minute, seeded independently of the trace.
+pub fn market_config(tightness: &MarketTightness, admission: AdmissionPolicy) -> MarketConfig {
+    MarketConfig {
+        vms_per_family: tightness.vms_per_family,
+        supply: SupplyProcess {
+            step_secs: 60.0,
+            min_fraction: tightness.min_supply_fraction,
+            seed: 17,
+        },
+        admission,
+        ..MarketConfig::default()
+    }
+}
+
 /// A fleet of `n_functions` plans built straight from ground-truth
 /// tables (no tuning run): the best configuration is the table's fastest
 /// feasible point, and each other family's fastest point becomes an
 /// alternate, accepted when its actual slowdown stays within 15%.
 ///
-/// This is the cheap fixture the determinism tests and the `fleet_sim`
+/// This is the cheap fixture the determinism tests and the `spot_market`
 /// bench replay; the experiment itself uses tuned plans.
 pub fn synthetic_plans(n_functions: usize, seed: u64) -> freedom::Result<Vec<FunctionPlan>> {
     let space = SearchSpace::table1();
@@ -221,12 +296,13 @@ pub fn synthetic_plans(n_functions: usize, seed: u64) -> freedom::Result<Vec<Fun
         .collect())
 }
 
-/// Runs the sweep: every trace source × warm-pool sizes {1, 2, 4} VMs
-/// per family, replayed sharded across `opts.effective_threads()`
-/// workers.
+/// Runs the sweep: every trace source × market tightness × admission
+/// policy, replayed windowed across `opts.effective_threads()` workers.
 pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
     // Build plans once per benchmark function (one tuning run + planner
-    // pass each); the six tuning runs are independent and fan out.
+    // pass each); the six tuning runs are independent and fan out. The
+    // planner also emits the headroom admission policy the sweep pits
+    // against the greedy market.
     let planner = IdleCapacityPlanner::default();
     let space = SearchSpace::table1();
     let base_plans = par_map(opts, &FunctionKind::ALL, |&function| {
@@ -242,18 +318,22 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
                 Objective::ExecutionTime,
                 opts.seed,
             )?;
-        let alternates = planner.plan(&outcome, &table, &space)?;
+        let plan = planner.plan(&outcome, &table, &space)?;
         Ok(FunctionPlan {
             function,
             best_config: outcome.recommended().ok_or_else(|| {
                 freedom::FreedomError::InsufficientData(format!("no config for {function}"))
             })?,
-            alternates,
+            alternates: plan.placements,
             table,
         })
     })
     .into_iter()
     .collect::<freedom::Result<Vec<FunctionPlan>>>()?;
+    let policies = [
+        ("greedy", AdmissionPolicy::Greedy),
+        ("headroom", planner.admission_policy()),
+    ];
 
     // Hour-long, hundreds-of-functions traces at full settings; the same
     // code paths at a fraction of the scale under `--fast`.
@@ -274,28 +354,38 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
         .map(|(_, source)| source.generate_sharded(n_functions, duration_secs, opts.seed, threads))
         .collect::<freedom::Result<Vec<_>>>()?;
 
-    // Each sweep point replays its trace twice (baseline + idle-aware);
-    // the points are independent, so they fan out on top of the
-    // per-function sharding inside each replay.
-    let points: Vec<(usize, usize)> = (0..sources.len())
-        .flat_map(|s| [1usize, 2, 4].into_iter().map(move |v| (s, v)))
+    // Each sweep cell replays its trace twice (baseline + idle-aware);
+    // the cells are independent, so they fan out on top of the windowed
+    // parallelism inside each replay.
+    let tightness = market_tightness();
+    let points: Vec<(usize, usize, usize)> = (0..sources.len())
+        .flat_map(|s| {
+            (0..tightness.len()).flat_map(move |t| (0..policies.len()).map(move |p| (s, t, p)))
+        })
         .collect();
-    let rows = par_map(opts, &points, |&(source_idx, idle_vms_per_family)| {
+    let rows = par_map(opts, &points, |&(source_idx, tight_idx, policy_idx)| {
+        let (policy_label, admission) = policies[policy_idx];
         let config = FleetConfig {
-            idle_vms_per_family,
+            market: market_config(&tightness[tight_idx], admission),
             ..FleetConfig::default()
         };
         let trace = &traces[source_idx];
+        // The two engines are bit-identical, so skip the windowed
+        // machinery's speculation overhead when no workers would share
+        // the replay anyway.
+        let replay = |strategy| {
+            if threads <= 1 {
+                sim.run(trace, strategy, &config)
+            } else {
+                sim.run_windowed(trace, strategy, &config, threads, WINDOW_SECS)
+            }
+        };
         Ok(FleetRow {
             source: sources[source_idx].0,
-            idle_vms_per_family,
-            baseline: sim.run_sharded(
-                trace,
-                PlacementStrategy::BestConfigOnly,
-                &config,
-                threads,
-            )?,
-            idle_aware: sim.run_sharded(trace, PlacementStrategy::IdleAware, &config, threads)?,
+            tightness: tightness[tight_idx].label,
+            policy: policy_label,
+            baseline: replay(PlacementStrategy::BestConfigOnly)?,
+            idle_aware: replay(PlacementStrategy::IdleAware)?,
         })
     })
     .into_iter()
@@ -312,16 +402,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bigger_fleets_save_more_and_miss_less() {
+    fn sweep_covers_every_cell_with_consistent_accounting() {
         let result = run(&ExperimentOpts::fast()).unwrap();
-        assert_eq!(result.rows.len(), 4 * 3);
+        assert_eq!(result.rows.len(), 4 * 3 * 2);
         for r in &result.rows {
             assert_eq!(r.baseline.invocations, r.idle_aware.invocations);
             assert!(r.baseline.invocations > 0, "{} trace is empty", r.source);
-            // Savings are positive whenever anything ran on spot.
-            if r.idle_aware.spot_placements > 0 {
-                assert!(r.cost_reduction() > 0.0, "{:?}", r.source);
+            // The admission ledger is total: every invocation is exactly
+            // one of admitted / demoted / rejected.
+            for report in [&r.baseline, &r.idle_aware] {
+                assert_eq!(
+                    report.spot_admitted + report.spot_demoted + report.rejected,
+                    report.invocations,
+                    "{}/{}/{}",
+                    r.source,
+                    r.tightness,
+                    r.policy
+                );
             }
+            // The baseline never touches the market.
+            assert_eq!(r.baseline.spot_admitted + r.baseline.spot_demoted, 0);
             // Latency guardrail holds in aggregate.
             assert!(
                 r.idle_aware.mean_latency_inflation < 1.3,
@@ -330,17 +430,31 @@ mod tests {
                 r.idle_aware.mean_latency_inflation
             );
         }
-        // Within each trace source: more warm capacity ⇒ no fewer spot
-        // placements and no more capacity misses.
-        for group in result.rows.chunks(3) {
-            assert_eq!(group[0].source, group[2].source);
-            assert!(group[2].idle_aware.spot_placements >= group[0].idle_aware.spot_placements);
-            assert!(
-                group[2].idle_aware.spot_capacity_misses
-                    <= group[0].idle_aware.spot_capacity_misses
-            );
+        // In the loose steady market, spot placements save money: demand
+        // pricing stays near the full discount and nothing is demoted.
+        for r in result.rows.iter().filter(|r| r.tightness == "loose") {
+            assert_eq!(r.idle_aware.spot_demoted, 0, "steady supply demotes");
+            if r.idle_aware.spot_admitted > 0 {
+                assert!(
+                    r.cost_reduction() > 0.0,
+                    "{}/{}: {}",
+                    r.source,
+                    r.policy,
+                    r.cost_reduction()
+                );
+            }
         }
-        assert!(result.render().contains("Fleet simulation"));
+        // Tightness bites: the tight market admits no more than the
+        // loose one under the same source and policy.
+        for rows in result.rows.chunks(6) {
+            let loose_greedy = &rows[0];
+            let tight_greedy = &rows[4];
+            assert_eq!(loose_greedy.tightness, "loose");
+            assert_eq!(tight_greedy.tightness, "tight");
+            assert_eq!(loose_greedy.source, tight_greedy.source);
+            assert!(tight_greedy.idle_aware.spot_admitted <= loose_greedy.idle_aware.spot_admitted);
+        }
+        assert!(result.render().contains("shared spot market"));
     }
 
     #[test]

@@ -30,6 +30,33 @@ impl SpotPricing {
         }
         Ok(Self { fraction })
     }
+
+    /// Demand-dependent price fraction of a shared spot market.
+    ///
+    /// The flat `fraction` models an empty market; as utilization of the
+    /// shared idle pool rises the discount shrinks linearly, reaching full
+    /// list price when the market is saturated:
+    /// `fraction + (1 − fraction) · utilization`. Utilization outside
+    /// `[0, 1]` is clamped, so the result always lies in `[fraction, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use freedom_pricing::SpotPricing;
+    ///
+    /// let spot = SpotPricing::PAPER_DEFAULT;
+    /// assert_eq!(spot.demand_fraction(0.0), 0.2);
+    /// assert_eq!(spot.demand_fraction(1.0), 1.0);
+    /// assert!((spot.demand_fraction(0.5) - 0.6).abs() < 1e-12);
+    /// ```
+    pub fn demand_fraction(&self, utilization: f64) -> f64 {
+        let u = if utilization.is_finite() {
+            utilization.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        self.fraction + (1.0 - self.fraction) * u
+    }
 }
 
 /// The paper's execution-cost model: derived unit prices per architecture,
@@ -144,6 +171,24 @@ mod tests {
             - base;
         // Doubling the share adds exactly one vCPU-10s of cost.
         assert!((cpu_only_delta - 0.033 * 10.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_fraction_interpolates_to_list_price() {
+        let spot = SpotPricing { fraction: 0.2 };
+        assert_eq!(spot.demand_fraction(0.0), 0.2);
+        assert_eq!(spot.demand_fraction(1.0), 1.0);
+        assert!((spot.demand_fraction(0.25) - 0.4).abs() < 1e-15);
+        // Monotone in utilization, clamped outside [0, 1].
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let f = spot.demand_fraction(i as f64 / 10.0);
+            assert!(f >= prev && (0.2..=1.0).contains(&f));
+            prev = f;
+        }
+        assert_eq!(spot.demand_fraction(-3.0), 0.2);
+        assert_eq!(spot.demand_fraction(7.0), 1.0);
+        assert_eq!(spot.demand_fraction(f64::NAN), 1.0);
     }
 
     #[test]

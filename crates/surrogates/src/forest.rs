@@ -21,11 +21,31 @@ pub struct ForestConfig {
     pub bootstrap: bool,
     /// Per-tree growth limits.
     pub tree: TreeConfig,
+    /// Warm-start [`Surrogate::fit_update`] (mirroring
+    /// `GbrtConfig::warm_start`): when the training set grew by exactly
+    /// one row since the previous fit, refit only a rotating quarter of
+    /// the trees on the extended data instead of rebuilding the whole
+    /// ensemble. Bootstrapped trees keep a per-tree index multiset that
+    /// is updated reservoir-style — each stored index is replaced by the
+    /// new row with probability `1/n`, then one fresh draw is appended —
+    /// so refreshed resamples stay bootstrap-distributed over the grown
+    /// set without redrawing from scratch. Any other update (first fit,
+    /// resized or edited training set) falls back to a full refit
+    /// automatically.
+    pub warm_start: bool,
+    /// With `warm_start`, rebuild the full ensemble from scratch on every
+    /// `warm_refit_every`-th update anyway: unrefreshed trees never see
+    /// the newest rows, and a periodic full fit re-syncs the ensemble so
+    /// staleness cannot compound across a whole BO run.
+    pub warm_refit_every: usize,
 }
 
 #[derive(Debug, Clone)]
 struct Ensemble {
     trees: Vec<DecisionTree>,
+    /// Bootstrap index multiset per tree (empty vectors when the
+    /// ensemble does not bootstrap).
+    indices: Vec<Vec<usize>>,
     dim: usize,
 }
 
@@ -34,6 +54,7 @@ impl Ensemble {
         let dim = validate_training_set(x, y)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut trees = Vec::with_capacity(config.n_trees);
+        let mut indices = Vec::with_capacity(config.n_trees);
         for _ in 0..config.n_trees {
             if config.bootstrap {
                 let idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
@@ -44,11 +65,58 @@ impl Ensemble {
                     &config.tree,
                     &mut rng,
                 ));
+                indices.push(idx);
             } else {
                 trees.push(DecisionTree::fit(x, y, &config.tree, &mut rng));
+                indices.push(Vec::new());
             }
         }
-        Ok(Self { trees, dim })
+        Ok(Self {
+            trees,
+            indices,
+            dim,
+        })
+    }
+
+    /// Warm refit after one appended row: refresh the quarter of the
+    /// ensemble starting at `cursor` (wrapping), leaving the other trees
+    /// — whose indices reference only the untouched prefix — as they
+    /// are. Returns the next cursor.
+    fn warm_refit(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        config: &ForestConfig,
+        cursor: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let n_trees = self.trees.len();
+        let refresh = n_trees.div_ceil(4).max(1);
+        let n = x.len();
+        for offset in 0..refresh.min(n_trees) {
+            let t = (cursor + offset) % n_trees;
+            if config.bootstrap {
+                // Reservoir-style growth of the bootstrap multiset, one
+                // pass per row this tree has not yet seen (a tree missed
+                // by earlier rotations catches up on all of them): when
+                // the population grows to `m`, every stored draw is
+                // replaced by the new row with probability 1/m, then one
+                // fresh uniform draw keeps |idx| == population size.
+                for m in (self.indices[t].len() + 1)..=n {
+                    for slot in &mut self.indices[t] {
+                        if rng.gen_range(0..m) == 0 {
+                            *slot = m - 1;
+                        }
+                    }
+                    self.indices[t].push(rng.gen_range(0..m));
+                }
+                self.trees[t] =
+                    DecisionTree::fit_indices(x, y, &self.indices[t], &config.tree, rng);
+            } else {
+                self.trees[t] = DecisionTree::fit(x, y, &config.tree, rng);
+            }
+        }
+        (cursor + refresh) % n_trees
     }
 
     fn predict(&self, point: &[f64]) -> crate::Result<Prediction> {
@@ -75,12 +143,70 @@ impl Ensemble {
     }
 }
 
+/// Warm-start bookkeeping shared by both forest flavours: the previous
+/// training set (to detect the one-row-appended case), the number of
+/// consecutive warm updates, and the rotation cursor of the next quarter
+/// to refresh.
+#[derive(Debug, Clone, Default)]
+struct WarmState {
+    train: Option<(Vec<Vec<f64>>, Vec<f64>)>,
+    streak: usize,
+    cursor: usize,
+}
+
+impl WarmState {
+    /// Whether `(x, y)` is the previous training set with exactly one row
+    /// appended — the shape the warm path accelerates.
+    fn appended_one_row(&self, ensemble: &Option<Ensemble>, x: &[Vec<f64>], y: &[f64]) -> bool {
+        let (Some((px, py)), Some(ens)) = (self.train.as_ref(), ensemble.as_ref()) else {
+            return false;
+        };
+        x.len() == px.len() + 1
+            && y.len() == py.len() + 1
+            && x.last().is_some_and(|row| row.len() == ens.dim)
+            && x[..px.len()] == px[..]
+            && y[..py.len()] == py[..]
+    }
+}
+
+/// One step of the iterative-fit loop for a forest: the warm path when
+/// exactly one row was appended and the refit cadence allows it, a plain
+/// reseed-and-refit (bit-identical to `reseed` + `fit`) otherwise.
+fn forest_fit_update(
+    config: &ForestConfig,
+    seed: &mut u64,
+    ensemble: &mut Option<Ensemble>,
+    warm: &mut WarmState,
+    x: &[Vec<f64>],
+    y: &[f64],
+    step_seed: u64,
+) -> crate::Result<()> {
+    let take_warm = config.warm_start
+        && warm.streak + 1 < config.warm_refit_every.max(1)
+        && warm.appended_one_row(ensemble, x, y);
+    *seed = step_seed;
+    if !take_warm {
+        warm.streak = 0;
+        warm.cursor = 0;
+        *ensemble = Some(Ensemble::fit(x, y, config, step_seed)?);
+    } else {
+        validate_training_set(x, y)?;
+        let mut rng = StdRng::seed_from_u64(step_seed);
+        let ens = ensemble.as_mut().expect("checked by appended_one_row");
+        warm.cursor = ens.warm_refit(x, y, config, warm.cursor, &mut rng);
+        warm.streak += 1;
+    }
+    warm.train = Some((x.to_vec(), y.to_vec()));
+    Ok(())
+}
+
 /// Bagged CART ensemble (scikit-learn-style random forest regressor).
 #[derive(Debug, Clone)]
 pub struct RandomForest {
     config: ForestConfig,
     seed: u64,
     ensemble: Option<Ensemble>,
+    warm: WarmState,
 }
 
 impl RandomForest {
@@ -90,16 +216,20 @@ impl RandomForest {
             config,
             seed,
             ensemble: None,
+            warm: WarmState::default(),
         }
     }
 
-    /// The skopt-flavoured defaults: 100 bootstrapped best-split trees.
+    /// The skopt-flavoured defaults: 100 bootstrapped best-split trees,
+    /// warm-started between BO steps.
     pub fn with_defaults(seed: u64) -> Self {
         Self::new(
             ForestConfig {
                 n_trees: 100,
                 bootstrap: true,
                 tree: TreeConfig::default(),
+                warm_start: true,
+                warm_refit_every: 4,
             },
             seed,
         )
@@ -109,7 +239,30 @@ impl RandomForest {
 impl Surrogate for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> crate::Result<()> {
         self.ensemble = Some(Ensemble::fit(x, y, &self.config, self.seed)?);
+        self.warm = WarmState {
+            train: Some((x.to_vec(), y.to_vec())),
+            ..WarmState::default()
+        };
         Ok(())
+    }
+
+    /// Warm-start refit (see [`ForestConfig::warm_start`]): when exactly
+    /// one trial was appended since the last fit, a rotating quarter of
+    /// the trees refits on the extended data — with reservoir-updated
+    /// bootstrap indices — instead of rebuilding all 100 trees. Every
+    /// other shape of update falls back to the plain reseed-and-refit,
+    /// so the result is always a deterministic function of the call
+    /// sequence.
+    fn fit_update(&mut self, x: &[Vec<f64>], y: &[f64], step_seed: u64) -> crate::Result<()> {
+        forest_fit_update(
+            &self.config,
+            &mut self.seed,
+            &mut self.ensemble,
+            &mut self.warm,
+            x,
+            y,
+            step_seed,
+        )
     }
 
     fn predict(&self, point: &[f64]) -> crate::Result<Prediction> {
@@ -135,6 +288,7 @@ pub struct ExtraTrees {
     config: ForestConfig,
     seed: u64,
     ensemble: Option<Ensemble>,
+    warm: WarmState,
 }
 
 impl ExtraTrees {
@@ -144,11 +298,12 @@ impl ExtraTrees {
             config,
             seed,
             ensemble: None,
+            warm: WarmState::default(),
         }
     }
 
     /// The skopt-flavoured defaults: 100 random-threshold trees, no
-    /// bootstrap.
+    /// bootstrap, warm-started between BO steps.
     pub fn with_defaults(seed: u64) -> Self {
         Self::new(
             ForestConfig {
@@ -158,6 +313,8 @@ impl ExtraTrees {
                     split_mode: SplitMode::Random,
                     ..TreeConfig::default()
                 },
+                warm_start: true,
+                warm_refit_every: 4,
             },
             seed,
         )
@@ -167,7 +324,26 @@ impl ExtraTrees {
 impl Surrogate for ExtraTrees {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> crate::Result<()> {
         self.ensemble = Some(Ensemble::fit(x, y, &self.config, self.seed)?);
+        self.warm = WarmState {
+            train: Some((x.to_vec(), y.to_vec())),
+            ..WarmState::default()
+        };
         Ok(())
+    }
+
+    /// Warm-start refit: like [`RandomForest::fit_update`] but without
+    /// bootstrap bookkeeping — the refreshed quarter simply refits on the
+    /// full extended training set.
+    fn fit_update(&mut self, x: &[Vec<f64>], y: &[f64], step_seed: u64) -> crate::Result<()> {
+        forest_fit_update(
+            &self.config,
+            &mut self.seed,
+            &mut self.ensemble,
+            &mut self.warm,
+            x,
+            y,
+            step_seed,
+        )
     }
 
     fn predict(&self, point: &[f64]) -> crate::Result<Prediction> {
@@ -268,6 +444,128 @@ mod tests {
         let pa = a.predict(&[0.37]).unwrap();
         let pb = b.predict(&[0.37]).unwrap();
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn warm_update_replays_identically() {
+        let (x, y) = wavy_data();
+        for bootstrap in [true, false] {
+            let make = || {
+                if bootstrap {
+                    Box::new(RandomForest::with_defaults(3)) as Box<dyn Surrogate>
+                } else {
+                    Box::new(ExtraTrees::with_defaults(3)) as Box<dyn Surrogate>
+                }
+            };
+            let run = || {
+                let mut m = make();
+                m.fit(&x[..25], &y[..25]).unwrap();
+                for k in 26..=40 {
+                    m.fit_update(&x[..k], &y[..k], 50 + k as u64).unwrap();
+                }
+                m.predict(&[0.37]).unwrap()
+            };
+            assert_eq!(run(), run(), "bootstrap = {bootstrap}");
+        }
+    }
+
+    #[test]
+    fn warm_update_tracks_full_refit_accuracy() {
+        let (x, y) = wavy_data();
+        let drive = |warm_start: bool| {
+            let config = ForestConfig {
+                n_trees: 100,
+                bootstrap: true,
+                tree: TreeConfig::default(),
+                warm_start,
+                warm_refit_every: 4,
+            };
+            let mut m = RandomForest::new(config, 3);
+            m.fit(&x[..25], &y[..25]).unwrap();
+            for k in 26..=40 {
+                m.fit_update(&x[..k], &y[..k], k as u64).unwrap();
+            }
+            m
+        };
+        let warm = drive(true);
+        let cold = drive(false);
+        for q in [0.1f64, 0.5, 0.9] {
+            let truth = (6.0 * q).sin() * 2.0 + 1.0;
+            let pw = warm.predict(&[q]).unwrap();
+            let pc = cold.predict(&[q]).unwrap();
+            assert!((pw.mean - truth).abs() < 0.8, "warm {} at {q}", pw.mean);
+            assert!(
+                (pw.mean - pc.mean).abs() < 0.8,
+                "warm {} vs cold {} at {q}",
+                pw.mean,
+                pc.mean
+            );
+        }
+    }
+
+    #[test]
+    fn non_append_updates_fall_back_to_a_full_refit() {
+        let (x, y) = wavy_data();
+        // Warm-start off: fit_update is exactly reseed + fit.
+        let mut off = RandomForest::new(
+            ForestConfig {
+                warm_start: false,
+                ..RandomForest::with_defaults(1).config
+            },
+            1,
+        );
+        off.fit(&x[..10], &y[..10]).unwrap();
+        off.fit_update(&x, &y, 99).unwrap();
+        let mut fresh = RandomForest::with_defaults(99);
+        fresh.fit(&x, &y).unwrap();
+        assert_eq!(off.predict(&[0.3]).unwrap(), fresh.predict(&[0.3]).unwrap());
+        // Warm-start on, but the update appends 30 rows: not the
+        // one-row-appended shape, so it falls back to the same full
+        // refit bit for bit.
+        let mut on = RandomForest::with_defaults(1);
+        on.fit(&x[..10], &y[..10]).unwrap();
+        on.fit_update(&x, &y, 99).unwrap();
+        assert_eq!(on.predict(&[0.3]).unwrap(), fresh.predict(&[0.3]).unwrap());
+        // An edited prefix (shifted target) also falls back.
+        let mut edited = RandomForest::with_defaults(1);
+        edited.fit(&x[..39], &y[..39]).unwrap();
+        let mut y2 = y.clone();
+        y2[0] += 0.5;
+        edited.fit_update(&x, &y2, 99).unwrap();
+        let mut fresh2 = RandomForest::with_defaults(99);
+        fresh2.fit(&x, &y2).unwrap();
+        assert_eq!(
+            edited.predict(&[0.3]).unwrap(),
+            fresh2.predict(&[0.3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn warm_bootstrap_indices_track_training_size() {
+        let (x, y) = wavy_data();
+        let mut rf = RandomForest::with_defaults(7);
+        rf.fit(&x[..30], &y[..30]).unwrap();
+        // Three warm updates (the fourth would hit the full-refit
+        // cadence): rotating quarters refresh, the last quarter lags.
+        for k in 31..=33 {
+            rf.fit_update(&x[..k], &y[..k], k as u64).unwrap();
+        }
+        let ens = rf.ensemble.as_ref().unwrap();
+        assert_eq!(ens.trees.len(), 100);
+        for idx in &ens.indices {
+            // Every tree's multiset stays within bounds; refreshed trees
+            // grew with the training set, unrefreshed ones kept their
+            // (still valid) prefix resample.
+            assert!(!idx.is_empty());
+            assert!(idx.len() >= 30 && idx.len() <= 33);
+            assert!(idx.iter().all(|&i| i < 33));
+        }
+        assert!(ens.indices.iter().any(|idx| idx.len() == 30));
+        assert!(ens.indices.iter().any(|idx| idx.len() == 33));
+        // The cadence's fourth update rebuilds everything in sync.
+        rf.fit_update(&x[..34], &y[..34], 34).unwrap();
+        let ens = rf.ensemble.as_ref().unwrap();
+        assert!(ens.indices.iter().all(|idx| idx.len() == 34));
     }
 
     #[test]

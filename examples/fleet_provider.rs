@@ -1,25 +1,29 @@
-//! Fleet-level provider economics: replay a traffic trace against a
-//! finite idle pool.
+//! Fleet-level provider economics: replay a traffic trace against the
+//! shared spot market.
 //!
 //! ```text
 //! cargo run --release --example fleet_provider
 //! ```
 //!
 //! Extends §6.2 beyond single placements: all six benchmark functions
-//! receive Poisson traffic for five minutes; the idle-aware policy
-//! steers invocations onto θ-guardrailed alternate families while each
-//! function's warm spot capacity lasts, falling back to on-demand when
-//! the pool is full. Compare the provider's bill and the users' latency
-//! against the always-best-config baseline.
+//! receive Poisson traffic for five minutes and contend for one
+//! provider-wide pool of warm VMs whose supply fluctuates. The
+//! idle-aware policy steers invocations onto θ-guardrailed alternate
+//! families while the planner-emitted admission controller lets them in,
+//! falling back to on-demand otherwise; supply drops demote in-flight
+//! spot work back to list price. Compare the provider's bill and the
+//! users' latency against the always-best-config baseline.
 
 use faas_freedom::core::fleet::{
-    FleetConfig, FleetSimulator, FunctionPlan, PlacementStrategy, Trace,
+    FleetConfig, FleetSimulator, FunctionPlan, PlacementStrategy, SupplyProcess, Trace,
 };
+use faas_freedom::core::market::MarketConfig;
 use faas_freedom::optimizer::SearchSpace;
 use faas_freedom::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Tune every function once and plan its alternate families.
+    // 1. Tune every function once and plan its alternate families; the
+    //    planner also emits the market's admission policy.
     let planner = IdleCapacityPlanner::default();
     let space = SearchSpace::table1();
     let mut plans = Vec::new();
@@ -32,16 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Objective::ExecutionTime,
             42,
         )?;
-        let alternates = planner.plan(&outcome, &table, &space)?;
+        let plan = planner.plan(&outcome, &table, &space)?;
         println!(
             "{function:<11} best {} | {} alternate families accepted",
             outcome.recommended().expect("tuned"),
-            alternates.iter().filter(|a| a.accepted).count(),
+            plan.placements.iter().filter(|a| a.accepted).count(),
         );
         plans.push(FunctionPlan {
             function,
             best_config: outcome.recommended().expect("tuned"),
-            alternates,
+            alternates: plan.placements,
             table,
         });
     }
@@ -50,13 +54,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = Trace::poisson(300.0, 0.5, 42)?;
     println!("\nreplaying {} invocations...", trace.len());
 
-    // 3. Both policies on the same trace and fleet, replayed with the
-    //    per-function shards fanned across cores.
+    // 3. Both policies on the same trace, fleet, and fluctuating
+    //    market, replayed as one-minute windows fanned across cores.
     let sim = FleetSimulator::new(plans)?;
-    let config = FleetConfig::default();
+    let config = FleetConfig {
+        market: MarketConfig {
+            vms_per_family: 2,
+            supply: SupplyProcess {
+                step_secs: 30.0,
+                min_fraction: 0.5,
+                seed: 42,
+            },
+            admission: planner.admission_policy(),
+            ..MarketConfig::default()
+        },
+        ..FleetConfig::default()
+    };
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let baseline = sim.run_sharded(&trace, PlacementStrategy::BestConfigOnly, &config, threads)?;
-    let idle_aware = sim.run_sharded(&trace, PlacementStrategy::IdleAware, &config, threads)?;
+    let baseline = sim.run_windowed(
+        &trace,
+        PlacementStrategy::BestConfigOnly,
+        &config,
+        threads,
+        60.0,
+    )?;
+    let idle_aware =
+        sim.run_windowed(&trace, PlacementStrategy::IdleAware, &config, threads, 60.0)?;
 
     println!(
         "\nbaseline  : ${:.4} total, latency inflation 1.000 (by definition)",
@@ -64,13 +87,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "idle-aware: ${:.4} total ({:.0}% cheaper), {:.0}% from spot, \
-         mean latency inflation {:.3}, p95 {:.3}, {} capacity misses",
+         mean latency inflation {:.3}, p95 {:.3}",
         idle_aware.total_cost_usd,
         (1.0 - idle_aware.total_cost_usd / baseline.total_cost_usd) * 100.0,
         idle_aware.spot_share() * 100.0,
         idle_aware.mean_latency_inflation,
         idle_aware.p95_latency_inflation,
-        idle_aware.spot_capacity_misses,
+    );
+    println!(
+        "admissions: {} admitted, {} demoted by supply drops, \
+         {} rejected ({} policy, {} capacity), {} SLO violations",
+        idle_aware.spot_admitted,
+        idle_aware.spot_demoted,
+        idle_aware.rejected,
+        idle_aware.policy_rejections,
+        idle_aware.capacity_misses,
+        idle_aware.slo_violations,
     );
     assert!(idle_aware.total_cost_usd < baseline.total_cost_usd);
     Ok(())

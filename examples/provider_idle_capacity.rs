@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Objective::ExecutionTime,
             42,
         )?;
-        let placements = planner.plan(&outcome, &table, &space)?;
+        let placements = planner.plan(&outcome, &table, &space)?.placements;
 
         println!("\n{function}:");
         for p in &placements {

@@ -110,7 +110,8 @@ fn provider_planner_saves_money_within_guardrail() {
         .unwrap();
     let placements = IdleCapacityPlanner::default()
         .plan(&outcome, &table, &space)
-        .unwrap();
+        .unwrap()
+        .placements;
     assert_eq!(placements.len(), 6);
     let accepted: Vec<_> = placements.iter().filter(|p| p.accepted).collect();
     assert!(!accepted.is_empty());
