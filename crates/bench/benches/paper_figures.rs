@@ -144,9 +144,74 @@ fn bench_spot_market(c: &mut Criterion) {
     group.finish();
 }
 
+/// The closed control loop at Azure-trace scale: the same hour-long
+/// 120-function heavy-tail replay as `spot_market`, but with each
+/// controller revising admission and placements at a 20 s cadence —
+/// `static` prices the tick machinery itself (observation accumulation
+/// and no-op ticks over the open-loop engine), `pid` adds the feedback
+/// arithmetic, and `right_sizer` adds the per-function surrogate refits
+/// and batched re-planning. `windowed_pid_4` tracks the controller
+/// state crossing window boundaries under reconciliation. Feeds the
+/// quick-bench `BENCH_pr.json` artifact like every other group here.
+fn bench_control_loop(c: &mut Criterion) {
+    use exp::fleet_simulation::{market_config, market_tightness, synthetic_plans};
+    use freedom::fleet::{
+        AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetSimulator, PidConfig,
+        PlacementStrategy, RightSizerConfig, TraceSource,
+    };
+
+    let mut group = c.benchmark_group("control_loop");
+    group.sample_size(10);
+    let plans = synthetic_plans(120, 42).expect("fleet fixture");
+    let sim = FleetSimulator::new(plans).expect("non-empty fleet");
+    let tightness = market_tightness();
+    let config = |controller| FleetConfig {
+        market: market_config(&tightness[1], AdmissionPolicy::Greedy),
+        control: ControlConfig {
+            cadence_secs: 20.0,
+            controller,
+        },
+        ..FleetConfig::default()
+    };
+    let trace = TraceSource::HeavyTail {
+        mean_rps: 0.5,
+        alpha: 1.5,
+    }
+    .generate_sharded(120, 3600.0, 42, 8)
+    .expect("hour-long heavy-tail trace");
+    let controllers = [
+        ("hour_120fn_static", ControllerConfig::Static),
+        (
+            "hour_120fn_pid",
+            ControllerConfig::HeadroomPid(PidConfig::default()),
+        ),
+        (
+            "hour_120fn_right_sizer",
+            ControllerConfig::SurrogateRightSizer(RightSizerConfig::default()),
+        ),
+    ];
+    for (name, controller) in controllers {
+        let config = config(controller);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                sim.run(&trace, PlacementStrategy::IdleAware, &config)
+                    .expect("replay")
+            })
+        });
+    }
+    let pid = config(ControllerConfig::HeadroomPid(PidConfig::default()));
+    group.bench_function("hour_120fn_windowed_pid_4", |b| {
+        b.iter(|| {
+            sim.run_windowed(&trace, PlacementStrategy::IdleAware, &pid, 4, 60.0)
+                .expect("replay")
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
-    targets = bench_experiments, bench_parallel_vs_sequential, bench_spot_market
+    targets = bench_experiments, bench_parallel_vs_sequential, bench_spot_market, bench_control_loop
 }
 criterion_main!(benches);

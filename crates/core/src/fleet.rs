@@ -44,13 +44,19 @@ use std::collections::BinaryHeap;
 
 use freedom_faas::PerfTable;
 use freedom_linalg::stats;
+use freedom_optimizer::SearchSpace;
 use freedom_workloads::FunctionKind;
 
+use crate::controller::{
+    admission_ceiling, control_state_eq, ControlSample, ControlScratch, ControlState, Controller,
+    FunctionView, ObsAccum, Observation, MAX_TICKS,
+};
 use crate::market::{carry_eq, family_index, InFlight, MarketConfig, SpotLedger, SupplySchedule};
 use crate::provider::PlannedPlacement;
 use crate::trace::{event_nanos, MAX_WINDOWS};
 use crate::{FreedomError, Result};
 
+pub use crate::controller::{ControlConfig, ControllerConfig, PidConfig, RightSizerConfig};
 pub use crate::market::{AdmissionPolicy, SupplyProcess};
 pub use crate::trace::{Trace, TraceEvent, TraceSource};
 
@@ -95,6 +101,10 @@ pub struct FleetConfig {
     /// SLO guardrail: an invocation whose latency inflation exceeds
     /// `1 + slo_theta` counts as a violation (paper: θ = 0.10).
     pub slo_theta: f64,
+    /// The closed-loop control plane: tick cadence plus the feedback
+    /// controller revising admission and placements during the replay.
+    /// Defaults to [`ControllerConfig::Static`] — the open-loop engine.
+    pub control: ControlConfig,
 }
 
 impl Default for FleetConfig {
@@ -102,6 +112,7 @@ impl Default for FleetConfig {
         Self {
             market: MarketConfig::default(),
             slo_theta: 0.10,
+            control: ControlConfig::default(),
         }
     }
 }
@@ -141,6 +152,13 @@ pub struct FleetReport {
     pub capacity_misses: usize,
     /// Invocations whose latency inflation exceeded `1 + slo_theta`.
     pub slo_violations: usize,
+    /// Label of the controller that ran the control loop.
+    pub controller: &'static str,
+    /// Per-tick control-plane telemetry, in tick order: what the
+    /// controller observed and how it moved the admission ceiling and
+    /// placement orders. Empty when the trace is shorter than one
+    /// control cadence.
+    pub control: Vec<ControlSample>,
 }
 
 impl FleetReport {
@@ -195,13 +213,32 @@ struct ResolvedPlan {
 /// worker threads.
 struct ReplayCtx {
     plans: Vec<ResolvedPlan>,
+    /// Per-function encoded configurations and actual inflations — what
+    /// the control plane's right-sizer learns from.
+    views: Vec<FunctionView>,
     schedule: SupplySchedule,
     market: MarketConfig,
+    /// The control loop: immutable controller configuration (state lives
+    /// in the carry), tick cadence in integer nanoseconds, and the trace
+    /// horizon ticks are capped at — like supply steps, no tick fires
+    /// after the last arrival, so the reference engine (which never
+    /// advances past it) and the windowed engine (whose last window
+    /// does) agree on the tick sequence.
+    controller: Box<dyn Controller>,
+    controller_label: &'static str,
+    cadence_nanos: u64,
+    horizon_nanos: u64,
+    /// Flattened-counter offsets of the per-(function, placement)
+    /// observation accumulator: function `f` owns
+    /// `obs_offsets[f]..obs_offsets[f + 1]`, one slot per accepted
+    /// alternate plus a trailing on-demand slot.
+    obs_offsets: Vec<u32>,
 }
 
 /// Per-arrival metering of one window, in arrival order, plus demotion
 /// adjustments keyed by global arrival index (a demotion may re-bill an
-/// invocation admitted in an earlier window). Per-invocation records —
+/// invocation admitted in an earlier window) and the control-plane
+/// samples of the ticks the window processed. Per-invocation records —
 /// rather than window-local accumulators — are what make the final
 /// reduction's float-accumulation order independent of the window
 /// partition, and therefore bit-identical between the reference and
@@ -212,13 +249,46 @@ struct WindowMetering {
     inflations: Vec<f64>,
     classes: Vec<u8>,
     adjustments: Vec<(u32, f64)>,
+    samples: Vec<ControlSample>,
 }
 
-/// A window's result: metering plus the canonical (heap-drain-ordered)
-/// in-flight state crossing into the next window.
+/// Everything that crosses a window boundary: the canonical
+/// (heap-drain-ordered) in-flight ledger state, the controller state,
+/// and the partial observation epoch. The reconciliation chain compares
+/// all three bit-exactly — see `crates/core/README.md`.
+#[derive(Debug, Clone)]
+struct Carry {
+    inflight: Vec<InFlight>,
+    control: ControlState,
+    accum: ObsAccum,
+}
+
+impl Carry {
+    /// The exact state entering window 0: empty market, the controller's
+    /// initial state, a zeroed epoch.
+    fn initial(ctx: &ReplayCtx) -> Self {
+        Self {
+            inflight: Vec::new(),
+            control: ctx.controller.init(ctx.market.admission, ctx.plans.len()),
+            accum: ObsAccum::zero(*ctx.obs_offsets.last().expect("offsets") as usize),
+        }
+    }
+}
+
+/// Whether two carried states are identical — the speculation check of
+/// the windowed replay. Every component exact: in-flight entries down to
+/// cost bits, controller floats by bit pattern, epoch counters by value.
+fn carry_state_eq(a: &Carry, b: &Carry) -> bool {
+    carry_eq(&a.inflight, &b.inflight)
+        && control_state_eq(&a.control, &b.control)
+        && a.accum == b.accum
+}
+
+/// A window's result: metering plus the carried state crossing into the
+/// next window.
 struct WindowOutcome {
     metering: WindowMetering,
-    carry_out: Vec<InFlight>,
+    carry_out: Carry,
 }
 
 /// The fleet simulator: a shared spot market plus elastic on-demand.
@@ -259,12 +329,13 @@ impl FleetSimulator {
     ) -> Result<FleetReport> {
         let ctx = self.prepare(trace, strategy, config)?;
         let events = trace.events();
-        let outcome = simulate_window(&ctx, events, 0, &[], 0, u64::MAX);
+        let outcome = simulate_window(&ctx, events, 0, &Carry::initial(&ctx), 0, u64::MAX);
         Ok(reduce(
             strategy,
             config.slo_theta,
             events.len(),
             vec![outcome.metering],
+            ctx.controller_label,
         ))
     }
 
@@ -297,7 +368,13 @@ impl FleetSimulator {
         let ctx = self.prepare(trace, strategy, config)?;
         let events = trace.events();
         if events.is_empty() {
-            return Ok(reduce(strategy, config.slo_theta, 0, Vec::new()));
+            return Ok(reduce(
+                strategy,
+                config.slo_theta,
+                0,
+                Vec::new(),
+                ctx.controller_label,
+            ));
         }
         let window_nanos = ((window_secs * 1e9) as u64).max(1);
         let horizon = event_nanos(events.last().expect("non-empty").at_secs);
@@ -315,7 +392,7 @@ impl FleetSimulator {
                 (k as u64 + 1).saturating_mul(window_nanos),
             )
         };
-        let run_one = |k: usize, carry: &[InFlight]| {
+        let run_one = |k: usize, carry: &Carry| {
             let (start, end) = span(k);
             simulate_window(
                 &ctx,
@@ -328,9 +405,10 @@ impl FleetSimulator {
         };
 
         let mut outs: Vec<Option<WindowOutcome>> = (0..n).map(|_| None).collect();
-        let mut used: Vec<Vec<InFlight>> = vec![Vec::new(); n];
-        // Round 0 speculates every window from an empty market.
-        let mut pending: Vec<(usize, Vec<InFlight>)> = (0..n).map(|k| (k, Vec::new())).collect();
+        let mut used: Vec<Carry> = (0..n).map(|_| Carry::initial(&ctx)).collect();
+        // Round 0 speculates every window from an empty market and the
+        // controller's initial state.
+        let mut pending: Vec<(usize, Carry)> = (0..n).map(|k| (k, Carry::initial(&ctx))).collect();
         let mut rounds = 0usize;
         let mut prev_stale = usize::MAX;
         loop {
@@ -345,10 +423,10 @@ impl FleetSimulator {
             // order; any window that ran with a different carry-in than
             // the chain now implies is stale and re-runs next round with
             // the chain's current guess.
-            let mut next: Vec<(usize, Vec<InFlight>)> = Vec::new();
-            let mut chain: Vec<InFlight> = Vec::new();
+            let mut next: Vec<(usize, Carry)> = Vec::new();
+            let mut chain: Carry = Carry::initial(&ctx);
             for (k, out) in outs.iter().enumerate() {
-                if !carry_eq(&used[k], &chain) {
+                if !carry_state_eq(&used[k], &chain) {
                     next.push((k, chain.clone()));
                 }
                 chain.clone_from(&out.as_ref().expect("window simulated").carry_out);
@@ -370,7 +448,7 @@ impl FleetSimulator {
                 let first = next[0].0;
                 let mut chain = next[0].1.clone();
                 for k in first..n {
-                    if !carry_eq(&used[k], &chain) {
+                    if !carry_state_eq(&used[k], &chain) {
                         outs[k] = Some(run_one(k, &chain));
                         used[k].clone_from(&chain);
                     }
@@ -384,7 +462,13 @@ impl FleetSimulator {
             .into_iter()
             .map(|o| o.expect("every window simulated").metering)
             .collect();
-        Ok(reduce(strategy, config.slo_theta, events.len(), meterings))
+        Ok(reduce(
+            strategy,
+            config.slo_theta,
+            events.len(),
+            meterings,
+            ctx.controller_label,
+        ))
     }
 
     /// Validates inputs and resolves plans, supply schedule, and market
@@ -408,18 +492,31 @@ impl FleetSimulator {
                 config.slo_theta
             )));
         }
+        config.control.validate()?;
         let horizon = trace
             .events()
             .last()
             .map(|e| event_nanos(e.at_secs))
             .unwrap_or(0);
+        let cadence_nanos = ((config.control.cadence_secs * 1e9) as u64).max(1);
+        if horizon / cadence_nanos >= MAX_TICKS {
+            return Err(FreedomError::InvalidArgument(format!(
+                "a {}s control cadence fires more than {MAX_TICKS} ticks over this trace",
+                config.control.cadence_secs
+            )));
+        }
         let schedule = SupplySchedule::generate(&config.market, horizon)?;
         let mut plans = Vec::with_capacity(self.plans.len());
+        let mut views = Vec::with_capacity(self.plans.len());
+        let mut obs_offsets = Vec::with_capacity(self.plans.len() + 1);
+        obs_offsets.push(0u32);
         for plan in &self.plans {
             let best = plan.table.lookup(&plan.best_config).ok_or_else(|| {
                 FreedomError::InsufficientData("best config missing in table".into())
             })?;
             let mut alternates = Vec::new();
+            let mut alt_encodings = Vec::new();
+            let mut alt_inflations = Vec::new();
             if strategy == PlacementStrategy::IdleAware {
                 for alt in plan.alternates.iter().filter(|a| a.accepted) {
                     let cfg = alt.config;
@@ -432,171 +529,291 @@ impl FleetSimulator {
                             cfg.family()
                         ))
                     })?;
+                    let inflation = point.exec_time_secs / best.exec_time_secs;
                     alternates.push(ResolvedAlternate {
                         family,
                         milli_vcpus: (cfg.cpu_share() * 1000.0).round() as u32,
                         memory_mib: cfg.memory_mib(),
                         duration_nanos: (point.exec_time_secs * 1e9) as u64,
                         list_cost_usd: point.exec_cost_usd,
-                        inflation: point.exec_time_secs / best.exec_time_secs,
+                        inflation,
                     });
+                    alt_encodings.push(SearchSpace::encode(&cfg));
+                    alt_inflations.push(inflation);
                 }
             }
+            // One observation slot per accepted alternate plus the
+            // trailing on-demand slot.
+            let next = obs_offsets.last().expect("non-empty") + alternates.len() as u32 + 1;
+            obs_offsets.push(next);
             plans.push(ResolvedPlan {
                 best_cost_usd: best.exec_cost_usd,
                 alternates,
             });
+            views.push(FunctionView {
+                best_encoding: SearchSpace::encode(&plan.best_config),
+                alt_encodings,
+                alt_inflations,
+            });
         }
+        let controller = config.control.controller.build();
         Ok(ReplayCtx {
             plans,
+            views,
             schedule,
             market: config.market,
+            controller_label: controller.name(),
+            controller,
+            cadence_nanos,
+            horizon_nanos: horizon,
+            obs_offsets,
         })
+    }
+}
+
+/// One window's live simulation state: the market ledger and completion
+/// heap, the supply and tick cursors, the controller state it carries
+/// forward, and the epoch accumulator feeding the next tick.
+struct WindowSim<'a> {
+    ctx: &'a ReplayCtx,
+    ledger: SpotLedger,
+    heap: BinaryHeap<Reverse<InFlight>>,
+    supply_cursor: usize,
+    /// Index of the next controller tick to fire (tick `k` fires at
+    /// `k · cadence`, `k ≥ 1`, capped at the trace horizon).
+    next_tick: u64,
+    control: ControlState,
+    accum: ObsAccum,
+    scratch: ControlScratch,
+    m: WindowMetering,
+}
+
+impl WindowSim<'_> {
+    /// The next pending tick instant, if any remains before the horizon.
+    fn next_tick_at(&self) -> Option<u64> {
+        let at = self.next_tick.checked_mul(self.ctx.cadence_nanos)?;
+        (at <= self.ctx.horizon_nanos).then_some(at)
+    }
+
+    /// Advances the market through every completion, supply step, and
+    /// controller tick due at or before `to_nanos`, in time order. At
+    /// one instant completions release capacity first (so a finishing
+    /// invocation is never spuriously demoted by a simultaneous supply
+    /// drop), then supply steps fire, then the controller ticks — the
+    /// controller observes the epoch *including* any demotions a
+    /// same-instant step just caused. Stale completions — entries whose
+    /// slot was withdrawn since placement — record their demotion
+    /// re-billing instead of releasing capacity (the demotion itself was
+    /// already counted at the step).
+    fn advance(&mut self, to_nanos: u64) {
+        loop {
+            let completion = self
+                .heap
+                .peek()
+                .map(|Reverse(e)| e.completion_nanos)
+                .filter(|&v| v <= to_nanos);
+            let step = self
+                .ctx
+                .schedule
+                .steps
+                .get(self.supply_cursor)
+                .map(|s| s.at_nanos)
+                .filter(|&v| v <= to_nanos);
+            let tick = self.next_tick_at().filter(|&v| v <= to_nanos);
+            let Some(now) = [completion, step, tick].into_iter().flatten().min() else {
+                break;
+            };
+            if completion == Some(now) {
+                let Reverse(e) = self.heap.pop().expect("peeked");
+                if self.ledger.is_live(&e) {
+                    self.ledger.release(&e);
+                } else {
+                    self.m.adjustments.push((e.idx, e.list_cost_usd));
+                }
+            } else if step == Some(now) {
+                let caps = &self.ctx.schedule.steps[self.supply_cursor].caps;
+                self.accum.spot_demoted += self.ledger.apply_step(caps);
+                self.supply_cursor += 1;
+            } else {
+                self.fire_tick(now);
+            }
+        }
+    }
+
+    /// Fires controller tick `self.next_tick`: hands the controller the
+    /// closed epoch's observation, records the telemetry sample, and
+    /// opens the next epoch.
+    fn fire_tick(&mut self, at: u64) {
+        let utilization = self.ledger.utilization();
+        let obs = Observation {
+            tick: self.next_tick as u32,
+            at_nanos: at,
+            utilization,
+            accum: &self.accum,
+            offsets: &self.ctx.obs_offsets,
+        };
+        let replanned =
+            self.ctx
+                .controller
+                .tick(&mut self.control, &mut self.scratch, &obs, &self.ctx.views);
+        self.m.samples.push(ControlSample {
+            at_secs: at as f64 / 1e9,
+            utilization,
+            ceiling: admission_ceiling(&self.control.admission),
+            arrivals: self.accum.arrivals,
+            spot_admitted: self.accum.spot_admitted,
+            spot_demoted: self.accum.spot_demoted,
+            rejected: self.accum.policy_rejected + self.accum.capacity_missed,
+            replanned,
+        });
+        self.accum.reset();
+        self.next_tick += 1;
+    }
+
+    /// Places one arrival: the admission policy currently in force gates
+    /// the market, and the placement order is the controller's revision
+    /// when one exists, the planner's order otherwise.
+    fn arrival(&mut self, function: usize, idx: u32, at: u64) {
+        self.accum.arrivals += 1;
+        let plan = &self.ctx.plans[function];
+        let off = self.ctx.obs_offsets[function] as usize;
+        let n_alts = plan.alternates.len();
+        let order = self.control.order_for(function);
+        // A revised-empty order means the controller retired every
+        // alternate: the function runs on-demand, like a plan that never
+        // had accepted alternates.
+        let no_candidates = n_alts == 0 || order.is_some_and(|o| o.is_empty());
+        let (class, cost, inflation) = if no_candidates {
+            self.accum.per_function[off + n_alts] += 1;
+            (CLASS_ON_DEMAND, plan.best_cost_usd, 1.0)
+        } else {
+            let utilization = self.ledger.utilization();
+            if !self.control.admission.admits(utilization) {
+                self.accum.policy_rejected += 1;
+                self.accum.per_function[off + n_alts] += 1;
+                (CLASS_POLICY_REJECT, plan.best_cost_usd, 1.0)
+            } else {
+                // Try the active alternates in order, best-fit within
+                // each family's available slots.
+                let fit = |ai: usize| {
+                    let alt = &plan.alternates[ai];
+                    self.ledger
+                        .best_fit(alt.family, alt.milli_vcpus, alt.memory_mib)
+                        .map(|slot| (ai, slot))
+                };
+                let placed = match order {
+                    Some(order) => order.iter().find_map(|&ai| fit(ai as usize)),
+                    None => (0..n_alts).find_map(fit),
+                };
+                match placed {
+                    Some((ai, slot)) => {
+                        let alt = &plan.alternates[ai];
+                        self.ledger.place(slot, alt.milli_vcpus, alt.memory_mib);
+                        self.heap.push(Reverse(InFlight {
+                            completion_nanos: at + alt.duration_nanos,
+                            slot,
+                            idx,
+                            epoch: self.ledger.epoch(slot),
+                            milli: alt.milli_vcpus,
+                            mib: alt.memory_mib,
+                            list_cost_usd: alt.list_cost_usd,
+                        }));
+                        self.accum.spot_admitted += 1;
+                        self.accum.per_function[off + ai] += 1;
+                        let price = self.ctx.market.spot.demand_fraction(utilization);
+                        (CLASS_ADMITTED, alt.list_cost_usd * price, alt.inflation)
+                    }
+                    None => {
+                        self.accum.capacity_missed += 1;
+                        self.accum.per_function[off + n_alts] += 1;
+                        (CLASS_CAPACITY_MISS, plan.best_cost_usd, 1.0)
+                    }
+                }
+            }
+        };
+        self.m.costs.push(cost);
+        self.m.inflations.push(inflation);
+        self.m.classes.push(class);
     }
 }
 
 /// Simulates one time window `[start_nanos, end_nanos)` of the merged
 /// event stream against the shared market, starting from the carried
-/// in-flight state. The sequential reference engine is the degenerate
-/// call: all events, empty carry, an unbounded window.
+/// state (in-flight ledger, controller, partial epoch). The sequential
+/// reference engine is the degenerate call: all events, the initial
+/// carry, an unbounded window.
 fn simulate_window(
     ctx: &ReplayCtx,
     events: &[TraceEvent],
     base_idx: u32,
-    carry_in: &[InFlight],
+    carry_in: &Carry,
     start_nanos: u64,
     end_nanos: u64,
 ) -> WindowOutcome {
-    let (mut cursor, caps) = ctx.schedule.start_state(start_nanos);
+    let (cursor, caps) = ctx.schedule.start_state(start_nanos);
     let mut ledger = SpotLedger::new(&ctx.market, caps);
-    let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::with_capacity(carry_in.len() + 64);
-    for entry in carry_in {
+    let mut heap: BinaryHeap<Reverse<InFlight>> =
+        BinaryHeap::with_capacity(carry_in.inflight.len() + 64);
+    for entry in &carry_in.inflight {
         let mut e = *entry;
         e.epoch = ledger.epoch(e.slot);
         ledger.restore(&e);
         heap.push(Reverse(e));
     }
-    let mut m = WindowMetering {
-        costs: Vec::with_capacity(events.len()),
-        inflations: Vec::with_capacity(events.len()),
-        classes: Vec::with_capacity(events.len()),
-        adjustments: Vec::new(),
+    let mut sim = WindowSim {
+        ctx,
+        ledger,
+        heap,
+        supply_cursor: cursor,
+        // Ticks strictly before the window start already fired in a
+        // predecessor; a tick exactly at the start belongs to this
+        // window (its predecessor only advanced to `start − 1`).
+        next_tick: start_nanos.div_ceil(ctx.cadence_nanos).max(1),
+        control: carry_in.control.clone(),
+        accum: carry_in.accum.clone(),
+        scratch: ControlScratch::default(),
+        m: WindowMetering {
+            costs: Vec::with_capacity(events.len()),
+            inflations: Vec::with_capacity(events.len()),
+            classes: Vec::with_capacity(events.len()),
+            adjustments: Vec::new(),
+            samples: Vec::new(),
+        },
     };
 
     for (i, event) in events.iter().enumerate() {
         let at = event_nanos(event.at_secs);
-        advance(
-            &mut ledger,
-            &mut heap,
-            &ctx.schedule,
-            &mut cursor,
-            &mut m,
-            at,
-        );
-
-        let plan = &ctx.plans[event.function];
-        let (class, cost, inflation) = if plan.alternates.is_empty() {
-            (CLASS_ON_DEMAND, plan.best_cost_usd, 1.0)
-        } else {
-            let utilization = ledger.utilization();
-            if !ctx.market.admission.admits(utilization) {
-                (CLASS_POLICY_REJECT, plan.best_cost_usd, 1.0)
-            } else {
-                // Try the θ-accepted alternates in planner order,
-                // best-fit within each family's available slots.
-                let placed = plan.alternates.iter().find_map(|alt| {
-                    ledger
-                        .best_fit(alt.family, alt.milli_vcpus, alt.memory_mib)
-                        .map(|slot| (alt, slot))
-                });
-                match placed {
-                    Some((alt, slot)) => {
-                        ledger.place(slot, alt.milli_vcpus, alt.memory_mib);
-                        heap.push(Reverse(InFlight {
-                            completion_nanos: at + alt.duration_nanos,
-                            slot,
-                            idx: base_idx + i as u32,
-                            epoch: ledger.epoch(slot),
-                            milli: alt.milli_vcpus,
-                            mib: alt.memory_mib,
-                            list_cost_usd: alt.list_cost_usd,
-                        }));
-                        let price = ctx.market.spot.demand_fraction(utilization);
-                        (CLASS_ADMITTED, alt.list_cost_usd * price, alt.inflation)
-                    }
-                    None => (CLASS_CAPACITY_MISS, plan.best_cost_usd, 1.0),
-                }
-            }
-        };
-        m.costs.push(cost);
-        m.inflations.push(inflation);
-        m.classes.push(class);
+        sim.advance(at);
+        sim.arrival(event.function, base_idx + i as u32, at);
     }
 
-    // Close the window: completions and supply steps strictly before the
-    // boundary still belong to it (the reference engine's unbounded
-    // window skips this — no steps outlive the last arrival).
+    // Close the window: completions, supply steps, and ticks strictly
+    // before the boundary still belong to it (the reference engine's
+    // unbounded window skips this — no steps or ticks outlive the last
+    // arrival).
     if end_nanos != u64::MAX {
-        advance(
-            &mut ledger,
-            &mut heap,
-            &ctx.schedule,
-            &mut cursor,
-            &mut m,
-            end_nanos - 1,
-        );
+        sim.advance(end_nanos - 1);
     }
 
     // Drain: live entries become the canonical carry-over (heap order is
     // the carry ordering), stale entries are demotions discovered late.
-    let mut carry_out = Vec::with_capacity(heap.len());
-    while let Some(Reverse(e)) = heap.pop() {
-        if ledger.is_live(&e) {
+    let mut inflight = Vec::with_capacity(sim.heap.len());
+    while let Some(Reverse(e)) = sim.heap.pop() {
+        if sim.ledger.is_live(&e) {
             let mut carried = e;
             carried.epoch = 0;
-            carry_out.push(carried);
+            inflight.push(carried);
         } else {
-            m.adjustments.push((e.idx, e.list_cost_usd));
+            sim.m.adjustments.push((e.idx, e.list_cost_usd));
         }
     }
     WindowOutcome {
-        metering: m,
-        carry_out,
-    }
-}
-
-/// Advances the market through every completion and supply step due at or
-/// before `to_nanos`, in time order; a completion and a step at the same
-/// instant release capacity first (so a finishing invocation is never
-/// spuriously demoted by a simultaneous supply drop). Stale completions —
-/// entries whose slot was withdrawn since placement — record their
-/// demotion instead of releasing capacity.
-fn advance(
-    ledger: &mut SpotLedger,
-    heap: &mut BinaryHeap<Reverse<InFlight>>,
-    schedule: &SupplySchedule,
-    cursor: &mut usize,
-    m: &mut WindowMetering,
-    to_nanos: u64,
-) {
-    loop {
-        let next_completion = heap.peek().map(|Reverse(e)| e.completion_nanos);
-        let next_step = schedule.steps.get(*cursor).map(|s| s.at_nanos);
-        match (next_completion, next_step) {
-            (Some(c), s) if c <= to_nanos && s.is_none_or(|s| c <= s) => {
-                let Reverse(e) = heap.pop().expect("peeked");
-                if ledger.is_live(&e) {
-                    ledger.release(&e);
-                } else {
-                    m.adjustments.push((e.idx, e.list_cost_usd));
-                }
-            }
-            (_, Some(s)) if s <= to_nanos => {
-                ledger.apply_step(&schedule.steps[*cursor].caps);
-                *cursor += 1;
-            }
-            _ => break,
-        }
+        metering: sim.m,
+        carry_out: Carry {
+            inflight,
+            control: sim.control,
+            accum: sim.accum,
+        },
     }
 }
 
@@ -611,14 +828,18 @@ fn reduce(
     slo_theta: f64,
     invocations: usize,
     meterings: Vec<WindowMetering>,
+    controller: &'static str,
 ) -> FleetReport {
     let mut costs = Vec::with_capacity(invocations);
     let mut inflations = Vec::with_capacity(invocations);
     let mut classes = Vec::with_capacity(invocations);
+    let mut control = Vec::new();
     for m in &meterings {
         costs.extend_from_slice(&m.costs);
         inflations.extend_from_slice(&m.inflations);
         classes.extend_from_slice(&m.classes);
+        // Samples concatenate in window order = tick (time) order.
+        control.extend_from_slice(&m.samples);
     }
     debug_assert_eq!(costs.len(), invocations);
     for m in &meterings {
@@ -645,6 +866,8 @@ fn reduce(
         policy_rejections: count(CLASS_POLICY_REJECT),
         capacity_misses: count(CLASS_CAPACITY_MISS),
         slo_violations: inflations.iter().filter(|&&x| x > threshold).count(),
+        controller,
+        control,
     }
 }
 
@@ -891,6 +1114,212 @@ mod tests {
         }
     }
 
+    /// A scarce, volatile market under sustained traffic: the regime
+    /// where demotions happen and feedback has something to do.
+    fn volatile_config(controller: ControllerConfig) -> FleetConfig {
+        FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 2,
+                supply: SupplyProcess {
+                    step_secs: 20.0,
+                    min_fraction: 0.0,
+                    seed: 3,
+                },
+                ..MarketConfig::default()
+            },
+            control: ControlConfig {
+                cadence_secs: 10.0,
+                controller,
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn static_controller_reproduces_the_open_loop_engine() {
+        // The Static controller ticking at any cadence must not perturb
+        // the metering: same costs, classes, and violations as the
+        // pre-controller engine (cadence so long it never ticks).
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = Trace::poisson(120.0, 0.8, 7).unwrap();
+        let never = FleetConfig {
+            control: ControlConfig {
+                cadence_secs: 1e6,
+                controller: ControllerConfig::Static,
+            },
+            ..volatile_config(ControllerConfig::Static)
+        };
+        let ticking = volatile_config(ControllerConfig::Static);
+        let a = sim
+            .run(&trace, PlacementStrategy::IdleAware, &never)
+            .unwrap();
+        let b = sim
+            .run(&trace, PlacementStrategy::IdleAware, &ticking)
+            .unwrap();
+        assert!(a.control.is_empty(), "1e6s cadence must never tick");
+        assert!(!b.control.is_empty(), "10s cadence must tick");
+        assert_eq!(a.total_cost_usd.to_bits(), b.total_cost_usd.to_bits());
+        assert_eq!(a.spot_admitted, b.spot_admitted);
+        assert_eq!(a.spot_demoted, b.spot_demoted);
+        assert_eq!(a.slo_violations, b.slo_violations);
+        assert_eq!(b.controller, "static");
+        // Static telemetry still observes the market.
+        assert!(b.control.iter().map(|s| s.arrivals as usize).sum::<usize>() <= b.invocations);
+        assert!(b.control.iter().all(|s| s.ceiling == f64::INFINITY));
+    }
+
+    #[test]
+    fn pid_controller_trades_spot_share_for_fewer_demotions() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = TraceSource::HeavyTail {
+            mean_rps: 2.0,
+            alpha: 1.5,
+        }
+        .generate(FunctionKind::ALL.len(), 300.0, 5)
+        .unwrap();
+        let open = sim
+            .run(
+                &trace,
+                PlacementStrategy::IdleAware,
+                &volatile_config(ControllerConfig::Static),
+            )
+            .unwrap();
+        let closed = sim
+            .run(
+                &trace,
+                PlacementStrategy::IdleAware,
+                &volatile_config(ControllerConfig::HeadroomPid(PidConfig::default())),
+            )
+            .unwrap();
+        assert_eq!(open.invocations, closed.invocations);
+        accounting_is_total(&closed);
+        assert!(open.spot_demoted > 0, "volatile market must demote");
+        assert!(
+            closed.spot_demoted < open.spot_demoted,
+            "feedback must reduce demotions: {} vs {}",
+            closed.spot_demoted,
+            open.spot_demoted
+        );
+        assert!(
+            closed.slo_violations <= open.slo_violations,
+            "tightening must not add violations: {} vs {}",
+            closed.slo_violations,
+            open.slo_violations
+        );
+        // The loop actually moved the ceiling below the greedy cap.
+        assert_eq!(closed.controller, "pid");
+        assert!(closed.control.iter().any(|s| s.ceiling < 1.0));
+        assert!(closed
+            .control
+            .iter()
+            .all(|s| (PidConfig::default().min_ceiling..=1.0).contains(&s.ceiling)));
+    }
+
+    #[test]
+    fn right_sizer_retires_guardrail_breaking_alternates() {
+        // Force plans whose *first-tried* alternates actually break the
+        // θ = 10% guardrail: every family stays accepted and the order
+        // puts the slowest first — the worst case of an offline model
+        // that mispredicted. The right-sizer must learn the actual
+        // latencies and stop using the breakers, cutting violations.
+        let mut plans = make_plans(5);
+        for plan in &mut plans {
+            for a in &mut plan.alternates {
+                a.accepted = true;
+            }
+            plan.alternates
+                .sort_by(|a, b| b.norm_exec_time.total_cmp(&a.norm_exec_time));
+        }
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = Trace::poisson(240.0, 0.8, 11).unwrap();
+        let steady = |controller| FleetConfig {
+            control: ControlConfig {
+                cadence_secs: 15.0,
+                controller,
+            },
+            ..FleetConfig::default()
+        };
+        let open = sim
+            .run(
+                &trace,
+                PlacementStrategy::IdleAware,
+                &steady(ControllerConfig::Static),
+            )
+            .unwrap();
+        let sized = sim
+            .run(
+                &trace,
+                PlacementStrategy::IdleAware,
+                &steady(ControllerConfig::SurrogateRightSizer(
+                    RightSizerConfig::default(),
+                )),
+            )
+            .unwrap();
+        accounting_is_total(&sized);
+        assert_eq!(sized.controller, "right_sizer");
+        assert!(
+            sized.control.iter().map(|s| s.replanned).sum::<u32>() > 0,
+            "observations must trigger at least one replan"
+        );
+        assert!(
+            open.slo_violations > 0,
+            "forced-in breakers must violate under the open loop"
+        );
+        assert!(
+            sized.slo_violations < open.slo_violations,
+            "retiring observed breakers must cut violations: {} vs {}",
+            sized.slo_violations,
+            open.slo_violations
+        );
+    }
+
+    #[test]
+    fn every_controller_is_windowed_bit_identical() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = TraceSource::Bursty {
+            calm_rps: 0.3,
+            burst_rps: 3.0,
+            mean_calm_secs: 25.0,
+            mean_burst_secs: 6.0,
+        }
+        .generate(FunctionKind::ALL.len(), 180.0, 9)
+        .unwrap();
+        for controller in [
+            ControllerConfig::Static,
+            ControllerConfig::HeadroomPid(PidConfig::default()),
+            ControllerConfig::SurrogateRightSizer(RightSizerConfig::default()),
+        ] {
+            let config = volatile_config(controller);
+            let seq = sim
+                .run(&trace, PlacementStrategy::IdleAware, &config)
+                .unwrap();
+            for threads in [1, 4] {
+                // 7 s windows split every 10 s control epoch across
+                // boundaries, so carried accumulators and controller
+                // state really get exercised.
+                for window_secs in [7.0, 45.0] {
+                    let windowed = sim
+                        .run_windowed(
+                            &trace,
+                            PlacementStrategy::IdleAware,
+                            &config,
+                            threads,
+                            window_secs,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        format!("{seq:?}"),
+                        format!("{windowed:?}"),
+                        "{controller:?} diverged at {threads} threads, {window_secs}s windows"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn empty_fleet_and_invalid_inputs_are_rejected() {
         assert!(matches!(
@@ -958,5 +1387,22 @@ mod tests {
                 }
             )
             .is_err());
+        // Degenerate control cadences are rejected up front: zero/NaN,
+        // and one so short the trace would tick millions of times.
+        for cadence_secs in [0.0, f64::NAN, 1e-9] {
+            assert!(sim
+                .run(
+                    &ok,
+                    PlacementStrategy::IdleAware,
+                    &FleetConfig {
+                        control: ControlConfig {
+                            cadence_secs,
+                            ..ControlConfig::default()
+                        },
+                        ..FleetConfig::default()
+                    }
+                )
+                .is_err());
+        }
     }
 }

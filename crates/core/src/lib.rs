@@ -18,7 +18,12 @@
 //!   emitting both placements and a market admission policy;
 //! - [`market`] and [`fleet`]: the shared cross-function spot market
 //!   (supply process, capacity ledger, admission control) and the
-//!   windowed trace replay that simulates a whole fleet against it.
+//!   windowed trace replay that simulates a whole fleet against it;
+//! - [`controller`]: the closed-loop control plane — per-epoch
+//!   [`Observation`](controller::Observation)s feed a
+//!   [`Controller`](controller::Controller) that revises admission
+//!   control (PID on the demotion rate) or re-plans placements online
+//!   from observed latencies through the surrogate stack.
 //!
 //! # Examples
 //!
@@ -43,6 +48,7 @@
 //! ```
 
 mod autotuner;
+pub mod controller;
 mod error;
 pub mod fleet;
 pub mod interfaces;

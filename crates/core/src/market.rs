@@ -314,6 +314,11 @@ pub(crate) struct SpotLedger {
     vms_per_family: u32,
     slots: Vec<VmSlot>,
     epochs: Vec<u32>,
+    /// Live placements per slot — what a withdrawal demotes. Kept exact
+    /// so [`SpotLedger::apply_step`] can report the demotion count at
+    /// the supply step itself (the feedback signal the control plane
+    /// consumes), instead of waiting for stale heap entries to surface.
+    placements: Vec<u32>,
     avail: [u32; N_MARKET_FAMILIES],
     full_milli: u32,
     full_mib: [u32; N_MARKET_FAMILIES],
@@ -343,6 +348,7 @@ impl SpotLedger {
         Self {
             vms_per_family: vms,
             epochs: vec![0; slots.len()],
+            placements: vec![0; slots.len()],
             slots,
             avail: caps,
             full_milli,
@@ -359,6 +365,7 @@ impl SpotLedger {
         let slot = &mut self.slots[entry.slot as usize];
         slot.free_milli -= entry.milli;
         slot.free_mib -= entry.mib;
+        self.placements[entry.slot as usize] += 1;
         self.occupied_milli += entry.milli as u64;
     }
 
@@ -383,11 +390,19 @@ impl SpotLedger {
         self.epochs[entry.slot as usize] == entry.epoch
     }
 
-    /// Applies a supply redraw. Withdrawing a slot demotes whatever runs
+    /// Applies a supply redraw and returns the number of in-flight
+    /// placements it demoted. Withdrawing a slot demotes whatever runs
     /// on it: the slot's occupancy leaves the market immediately and its
     /// epoch advances so heap entries pointing at it are discovered stale
     /// when popped. Restored slots come back empty.
-    pub fn apply_step(&mut self, caps: &[u32; N_MARKET_FAMILIES]) {
+    ///
+    /// Counting demotions *at the step* (rather than when stale heap
+    /// entries surface) is what makes the per-epoch demotion signal a
+    /// pure function of simulated time — a window that replays this
+    /// instant observes the same count as the sequential engine, so the
+    /// control plane's feedback is partition-independent.
+    pub fn apply_step(&mut self, caps: &[u32; N_MARKET_FAMILIES]) -> u32 {
+        let mut demoted = 0;
         for (f, &new) in caps.iter().enumerate() {
             let old = self.avail[f];
             let base = f as u32 * self.vms_per_family;
@@ -398,6 +413,8 @@ impl SpotLedger {
                     if occupied > 0 {
                         self.occupied_milli -= occupied;
                         self.epochs[flat] += 1;
+                        demoted += self.placements[flat];
+                        self.placements[flat] = 0;
                         self.slots[flat] = VmSlot {
                             free_milli: self.full_milli,
                             free_mib: self.full_mib[f],
@@ -412,6 +429,7 @@ impl SpotLedger {
             }
             self.avail[f] = new;
         }
+        demoted
     }
 
     /// Best-fit scan over a family's available slots: the least free
@@ -438,6 +456,7 @@ impl SpotLedger {
         let slot = &mut self.slots[flat as usize];
         slot.free_milli -= milli;
         slot.free_mib -= mib;
+        self.placements[flat as usize] += 1;
         self.occupied_milli += milli as u64;
     }
 
@@ -446,6 +465,7 @@ impl SpotLedger {
         let slot = &mut self.slots[entry.slot as usize];
         slot.free_milli += entry.milli;
         slot.free_mib += entry.mib;
+        self.placements[entry.slot as usize] -= 1;
         self.occupied_milli -= entry.milli as u64;
     }
 }
@@ -526,17 +546,18 @@ mod tests {
         assert!(ledger.utilization() > 0.0);
         let epoch_before = ledger.epoch(slot);
 
-        // Drop family 0 to 2 VMs: slots 2..4 withdrawn, occupancy leaves.
+        // Drop family 0 to 2 VMs: slots 2..4 withdrawn, occupancy leaves,
+        // and the step reports exactly one demoted placement.
         let mut caps = [4; N_MARKET_FAMILIES];
         caps[0] = 2;
-        ledger.apply_step(&caps);
+        assert_eq!(ledger.apply_step(&caps), 1);
         assert_eq!(ledger.occupied_milli, 0);
         assert_eq!(ledger.capacity_milli, full - 2 * ledger.full_milli as u64);
         assert_eq!(ledger.epoch(slot), epoch_before + 1, "withdrawn+occupied");
         assert_eq!(ledger.epoch(2), 0, "idle withdrawn slot keeps its epoch");
 
-        // Bring it back: the slot returns empty.
-        ledger.apply_step(&[4; N_MARKET_FAMILIES]);
+        // Bring it back: the slot returns empty, nothing left to demote.
+        assert_eq!(ledger.apply_step(&[4; N_MARKET_FAMILIES]), 0);
         assert_eq!(ledger.capacity_milli, full);
         assert_eq!(ledger.slots[slot as usize].free_milli, ledger.full_milli);
     }
@@ -558,11 +579,41 @@ mod tests {
         // Nothing fits 17 vCPUs.
         assert_eq!(ledger.best_fit(0, 17_000, 512), None);
         // Availability gates the scan: with only slot 0 available the
-        // 2-vCPU request has nowhere to go.
+        // 2-vCPU request has nowhere to go. The withdrawal demotes the
+        // one placement living on slot 1.
         let mut caps = [3; N_MARKET_FAMILIES];
         caps[0] = 1;
-        ledger.apply_step(&caps);
+        assert_eq!(ledger.apply_step(&caps), 1);
         assert_eq!(ledger.best_fit(0, 2000, 512), None);
+    }
+
+    #[test]
+    fn step_demotion_count_is_per_placement_not_per_slot() {
+        // Two placements packed onto one slot are two demotions.
+        let config = MarketConfig {
+            vms_per_family: 2,
+            ..MarketConfig::default()
+        };
+        let mut ledger = SpotLedger::new(&config, [2; N_MARKET_FAMILIES]);
+        ledger.place(1, 2000, 1024);
+        ledger.place(1, 3000, 2048);
+        ledger.place(0, 1000, 512);
+        let mut caps = [2; N_MARKET_FAMILIES];
+        caps[0] = 1; // withdraws slot 1 only
+        assert_eq!(ledger.apply_step(&caps), 2);
+        // A released completion no longer counts as a demotable placement.
+        let entry = InFlight {
+            completion_nanos: 5,
+            slot: 0,
+            idx: 9,
+            epoch: 0,
+            milli: 1000,
+            mib: 512,
+            list_cost_usd: 0.1,
+        };
+        ledger.release(&entry);
+        caps[0] = 0;
+        assert_eq!(ledger.apply_step(&caps), 0, "slot 0 drained before drop");
     }
 
     #[test]
@@ -581,6 +632,55 @@ mod tests {
         .admits(0.0));
         assert_eq!(AdmissionPolicy::Greedy.label(), "greedy");
         assert_eq!(headroom.label(), "headroom");
+    }
+
+    #[test]
+    fn admission_boundaries_are_exact_and_nan_free() {
+        // Utilization exactly at the ceiling is a rejection: the policy
+        // admits strictly below it, so a full-to-the-ceiling market never
+        // over-admits by an epsilon.
+        for ceiling in [0.25, 0.5, 0.85, 1.0] {
+            let p = AdmissionPolicy::Headroom {
+                max_utilization: ceiling,
+            };
+            assert!(!p.admits(ceiling), "exactly-at-ceiling must reject");
+            assert!(p.admits(ceiling - 1e-12));
+        }
+        // A ceiling of 1.0 still admits any real sub-saturation load;
+        // greedy admits everything, even a saturated market.
+        assert!(AdmissionPolicy::Headroom {
+            max_utilization: 1.0
+        }
+        .admits(0.999_999));
+        assert!(AdmissionPolicy::Greedy.admits(1.0));
+        // NaN utilization can never sneak a request past a headroom
+        // policy (`NaN < x` is false), and the decision itself is a
+        // plain bool — no NaN propagates out of admission control.
+        assert!(!AdmissionPolicy::Headroom {
+            max_utilization: 0.9
+        }
+        .admits(f64::NAN));
+        assert!(AdmissionPolicy::Greedy.admits(f64::NAN));
+    }
+
+    #[test]
+    fn demand_pricing_endpoints_bound_the_admission_bill() {
+        // The discount the ledger bills admissions at: an empty market
+        // charges the full spot discount, a saturated one list price,
+        // for any base fraction.
+        for fraction in [0.0, 0.2, 0.5, 1.0] {
+            let spot = SpotPricing { fraction };
+            assert_eq!(spot.demand_fraction(0.0), fraction, "empty market");
+            assert_eq!(spot.demand_fraction(1.0), 1.0, "saturated market");
+        }
+        // The zero-capacity ledger reads as saturated, so its admissions
+        // (there are none — nothing fits) would bill at list price.
+        let ledger = SpotLedger::new(&MarketConfig::default(), [0; N_MARKET_FAMILIES]);
+        assert_eq!(ledger.utilization(), 1.0);
+        assert_eq!(
+            SpotPricing::PAPER_DEFAULT.demand_fraction(ledger.utilization()),
+            1.0
+        );
     }
 
     #[test]

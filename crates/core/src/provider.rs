@@ -12,6 +12,7 @@ use freedom_faas::PerfTable;
 use freedom_optimizer::eval::{best_predicted_per_family_with, table_normalizers};
 use freedom_optimizer::{Objective, SearchSpace};
 use freedom_pricing::SpotPricing;
+use freedom_surrogates::Prediction;
 
 use crate::market::AdmissionPolicy;
 use crate::{FreedomError, Result, TuneOutcome};
@@ -200,6 +201,33 @@ impl IdleCapacityPlanner {
             admission: self.admission_policy(),
         })
     }
+
+    /// Online plan revision: given predicted latency inflations for a
+    /// function's alternate placements (index `i` scoring alternate
+    /// `i`), returns the indices that pass the θ guardrail under the
+    /// planner's risk posture, ordered best-predicted-first (ties by
+    /// index).
+    ///
+    /// Candidates are scored by the conservative `mean + beta·std`
+    /// bound, exactly like [`IdleCapacityPlanner::plan`]'s offline
+    /// selection — this is the same guardrail applied to *observed*
+    /// rather than tuning-time predictions. Non-finite scores never
+    /// pass. The control plane's
+    /// [`SurrogateRightSizer`](crate::controller::SurrogateRightSizer)
+    /// calls this at every controller tick.
+    pub fn revise_order(&self, predictions: &[Prediction]) -> Vec<u8> {
+        let budget = 1.0 + self.config.theta;
+        let mut scored: Vec<(f64, usize)> = predictions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let score = p.mean + self.config.beta * p.std;
+                (score.is_finite() && score <= budget).then_some((score, i))
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().map(|(_, i)| i as u8).collect()
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +314,36 @@ mod tests {
             // but not absurdly.
             assert!(p.norm_exec_time < 2.5, "{:?}", p);
         }
+    }
+
+    #[test]
+    fn revise_order_applies_the_guardrail_to_online_predictions() {
+        let planner = IdleCapacityPlanner::new(PlannerConfig {
+            theta: 0.10,
+            beta: 1.0,
+            ..PlannerConfig::default()
+        });
+        let p = |mean: f64, std: f64| freedom_surrogates::Prediction { mean, std };
+        // Scores: 1.05, 1.02+0.10=1.12 (out), 1.08, NaN (out), 1.05 (tie
+        // with index 0 → index order), inf (out).
+        let order = planner.revise_order(&[
+            p(1.05, 0.0),
+            p(1.02, 0.10),
+            p(1.08, 0.0),
+            p(f64::NAN, 0.0),
+            p(1.00, 0.05),
+            p(f64::INFINITY, 0.0),
+        ]);
+        assert_eq!(order, vec![0, 4, 2]);
+        // beta = 0 ignores uncertainty: the 1.02-mean candidate is back.
+        let mean_only = IdleCapacityPlanner::new(PlannerConfig {
+            theta: 0.10,
+            beta: 0.0,
+            ..PlannerConfig::default()
+        });
+        let order = mean_only.revise_order(&[p(1.05, 0.0), p(1.02, 0.10)]);
+        assert_eq!(order, vec![1, 0]);
+        assert!(planner.revise_order(&[]).is_empty());
     }
 
     #[test]

@@ -750,15 +750,30 @@ mod tests {
     fn csv_ingestion_rejects_malformed_input() {
         assert!(TraceSource::from_csv("").is_err());
         assert!(TraceSource::from_csv("app,func,minute,count\n").is_err());
-        // Wrong column count.
+        // Wrong column count, both short and long.
         assert!(TraceSource::from_csv("a,f,0\n").is_err());
+        assert!(TraceSource::from_csv("a,f,0,3,extra\n").is_err());
         // Non-numeric minute outside the header line.
         assert!(TraceSource::from_csv("a,f,0,3\na,f,x,2\n").is_err());
-        // Negative count.
+        // Negative count and negative minute.
         assert!(TraceSource::from_csv("a,f,0,-1\n").is_err());
+        assert!(TraceSource::from_csv("a,f,0,1\na,f,-2,1\n").is_err());
         // A numeric minute with a corrupt count on the first line is a
         // malformed data row, not a header — it must not vanish.
         assert!(TraceSource::from_csv("a,f,0,12x\na,f,1,5\n").is_err());
+        // A fat-fingered count hits the per-minute sanity cap instead of
+        // attempting a giant allocation.
+        assert!(TraceSource::from_csv("a,f,0,1000001\n").is_err());
+        // Whitespace-only files have no data rows.
+        assert!(TraceSource::from_csv("\n   \n\t\n").is_err());
+        // Errors are clean `InvalidArgument`s naming the offending
+        // 1-based line, never panics.
+        match TraceSource::from_csv("a,f,0,3\na,f,1,oops\n") {
+            Err(crate::FreedomError::InvalidArgument(msg)) => {
+                assert!(msg.contains("line 2"), "{msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
         // Headerless files parse too, and zero counts are allowed.
         let trace = TraceSource::from_csv("a,f,0,3\nb,g,1,0\n").unwrap();
         assert_eq!(trace.n_functions(), 2);
@@ -766,6 +781,30 @@ mod tests {
         assert!(trace.stream(1).is_empty());
         // Missing file.
         assert!(TraceSource::from_csv_path("/nonexistent/trace.csv").is_err());
+    }
+
+    #[test]
+    fn csv_ingestion_sorts_out_of_order_minutes() {
+        // Rows arriving newest-first (and interleaved across functions)
+        // still produce sorted streams and a sorted merged view.
+        let csv = "a,f,5,2\nb,g,1,3\na,f,0,4\nb,g,3,1\na,f,2,1\n";
+        let trace = TraceSource::from_csv(csv).unwrap();
+        assert_eq!(trace.n_functions(), 2);
+        assert_eq!(trace.len(), 2 + 3 + 4 + 1 + 1);
+        for f in 0..trace.n_functions() {
+            for w in trace.stream(f).windows(2) {
+                assert!(w[0] <= w[1], "stream {f} unsorted: {w:?}");
+            }
+        }
+        for w in trace.events().windows(2) {
+            assert!(
+                w[0].at_secs < w[1].at_secs
+                    || (w[0].at_secs == w[1].at_secs && w[0].function <= w[1].function)
+            );
+        }
+        // Minute 5's arrivals land inside [300, 360).
+        let f0 = trace.stream(0);
+        assert!(f0.last().is_some_and(|&t| (300.0..360.0).contains(&t)));
     }
 
     #[test]

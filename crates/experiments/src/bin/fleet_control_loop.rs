@@ -1,0 +1,14 @@
+//! Runs the closed-loop control-plane sweep (feedback admission +
+//! online right-sizing) and writes its CSV artifact.
+
+use freedom_experiments as exp;
+
+fn main() {
+    let opts = exp::ExperimentOpts::from_args();
+    let result = exp::fleet_control_loop::run(&opts).expect("fleet control loop");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -8,10 +8,11 @@
 //! of the idle-aware policy against the always-best-config baseline.
 //!
 //! The sweep covers every [`TraceSource`] workload shape (Poisson,
-//! bursty, diurnal, heavy-tail) × market tightness (how much warm
-//! capacity exists and how hard its supply fluctuates) × admission
-//! policy (greedy vs. the planner-emitted headroom controller). Replay
-//! is time-windowed across cores
+//! bursty, diurnal, heavy-tail, plus the checked-in Azure CSV fixture
+//! replayed through [`TraceSource::from_csv`]) × market tightness (how
+//! much warm capacity exists and how hard its supply fluctuates) ×
+//! admission policy (greedy vs. the planner-emitted headroom
+//! controller). Replay is time-windowed across cores
 //! ([`FleetSimulator::run_windowed`]); at default settings the fleet is
 //! 120 functions under an hour of traffic, at `--fast` a 12-function,
 //! two-minute smoke of the same code paths.
@@ -34,6 +35,13 @@ use crate::report::{fmt_f, TextTable};
 
 /// Replay window used by the windowed engine throughout the sweep.
 const WINDOW_SECS: f64 = 60.0;
+
+/// The checked-in Azure-Functions-style trace fixture
+/// (`crates/core/testdata/azure_sample.csv`), replayed as the sweep's
+/// fifth source: real `app,func,minute,count` rows grouped per
+/// `(app, func)` key through the same k-way merge as the synthetic
+/// generators.
+pub const AZURE_FIXTURE: &str = include_str!("../../core/testdata/azure_sample.csv");
 
 /// One market-tightness preset: how much warm capacity the provider
 /// keeps and how far supply may sag between redraws.
@@ -73,8 +81,12 @@ pub fn market_tightness() -> [MarketTightness; 3] {
 /// One sweep data point.
 #[derive(Debug, Clone)]
 pub struct FleetRow {
-    /// Workload shape label (`poisson`, `bursty`, `diurnal`, `heavy_tail`).
+    /// Workload shape label (`poisson`, `bursty`, `diurnal`,
+    /// `heavy_tail`, `azure`).
     pub source: &'static str,
+    /// Functions in this row's fleet (the Azure fixture brings its own
+    /// per-app function count).
+    pub functions: usize,
     /// Market tightness preset label.
     pub tightness: &'static str,
     /// Admission policy label (`greedy`, `headroom`).
@@ -164,7 +176,7 @@ impl FleetSimResult {
         for r in &self.rows {
             t.row(vec![
                 r.source.to_string(),
-                self.n_functions.to_string(),
+                r.functions.to_string(),
                 r.tightness.to_string(),
                 r.policy.to_string(),
                 r.baseline.invocations.to_string(),
@@ -296,13 +308,14 @@ pub fn synthetic_plans(n_functions: usize, seed: u64) -> freedom::Result<Vec<Fun
         .collect())
 }
 
-/// Runs the sweep: every trace source × market tightness × admission
-/// policy, replayed windowed across `opts.effective_threads()` workers.
-pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
-    // Build plans once per benchmark function (one tuning run + planner
-    // pass each); the six tuning runs are independent and fan out. The
-    // planner also emits the headroom admission policy the sweep pits
-    // against the greedy market.
+/// Builds the tuned per-function base plans the fleet sweeps replay —
+/// one tuning run + planner pass per benchmark function, fanned out —
+/// plus the planner that emitted them (whose risk posture supplies the
+/// headroom admission policy). Shared by this sweep and the
+/// control-loop experiment.
+pub fn tuned_base_plans(
+    opts: &ExperimentOpts,
+) -> freedom::Result<(Vec<FunctionPlan>, IdleCapacityPlanner)> {
     let planner = IdleCapacityPlanner::default();
     let space = SearchSpace::table1();
     let base_plans = par_map(opts, &FunctionKind::ALL, |&function| {
@@ -330,35 +343,64 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
     })
     .into_iter()
     .collect::<freedom::Result<Vec<FunctionPlan>>>()?;
+    Ok((base_plans, planner))
+}
+
+/// The sweep's fleet scale: hour-long, hundreds-of-functions traces at
+/// full settings; the same code paths at a fraction of the scale under
+/// `--fast`.
+pub fn fleet_scale(opts: &ExperimentOpts) -> (f64, usize) {
+    if opts.opt_repeats <= 2 {
+        (120.0, 12)
+    } else {
+        (3600.0, 120)
+    }
+}
+
+/// Runs the sweep: every trace source (four synthetic shapes plus the
+/// Azure CSV fixture) × market tightness × admission policy, replayed
+/// windowed across `opts.effective_threads()` workers.
+pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
+    // Build plans once per benchmark function; the six tuning runs are
+    // independent and fan out. The planner also emits the headroom
+    // admission policy the sweep pits against the greedy market.
+    let (base_plans, planner) = tuned_base_plans(opts)?;
     let policies = [
         ("greedy", AdmissionPolicy::Greedy),
         ("headroom", planner.admission_policy()),
     ];
 
-    // Hour-long, hundreds-of-functions traces at full settings; the same
-    // code paths at a fraction of the scale under `--fast`.
-    let (duration_secs, n_functions) = if opts.opt_repeats <= 2 {
-        (120.0, 12)
-    } else {
-        (3600.0, 120)
-    };
+    let (duration_secs, n_functions) = fleet_scale(opts);
     let threads = opts.effective_threads();
-    let plans: Vec<FunctionPlan> = (0..n_functions)
-        .map(|i| base_plans[i % base_plans.len()].clone())
-        .collect();
-    let sim = FleetSimulator::new(plans)?;
+    let cycle = |n: usize| -> Vec<FunctionPlan> {
+        (0..n)
+            .map(|i| base_plans[i % base_plans.len()].clone())
+            .collect()
+    };
+    let sim = FleetSimulator::new(cycle(n_functions))?;
 
     let sources = trace_sources(duration_secs);
-    let traces = sources
+    let mut traces = sources
         .iter()
-        .map(|(_, source)| source.generate_sharded(n_functions, duration_secs, opts.seed, threads))
+        .map(|(label, source)| {
+            Ok((
+                *label,
+                source.generate_sharded(n_functions, duration_secs, opts.seed, threads)?,
+            ))
+        })
         .collect::<freedom::Result<Vec<_>>>()?;
+    // The fifth source replays the checked-in Azure fixture: its
+    // per-(app, func) streams dictate their own fleet size, so it gets
+    // its own simulator over the same cycled base plans.
+    let azure_trace = TraceSource::from_csv(AZURE_FIXTURE)?;
+    let azure_sim = FleetSimulator::new(cycle(azure_trace.n_functions()))?;
+    traces.push(("azure", azure_trace));
 
     // Each sweep cell replays its trace twice (baseline + idle-aware);
     // the cells are independent, so they fan out on top of the windowed
     // parallelism inside each replay.
     let tightness = market_tightness();
-    let points: Vec<(usize, usize, usize)> = (0..sources.len())
+    let points: Vec<(usize, usize, usize)> = (0..traces.len())
         .flat_map(|s| {
             (0..tightness.len()).flat_map(move |t| (0..policies.len()).map(move |p| (s, t, p)))
         })
@@ -369,7 +411,12 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
             market: market_config(&tightness[tight_idx], admission),
             ..FleetConfig::default()
         };
-        let trace = &traces[source_idx];
+        let (source_label, trace) = &traces[source_idx];
+        let sim = if *source_label == "azure" {
+            &azure_sim
+        } else {
+            &sim
+        };
         // The two engines are bit-identical, so skip the windowed
         // machinery's speculation overhead when no workers would share
         // the replay anyway.
@@ -381,7 +428,8 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
             }
         };
         Ok(FleetRow {
-            source: sources[source_idx].0,
+            source: source_label,
+            functions: trace.n_functions(),
             tightness: tightness[tight_idx].label,
             policy: policy_label,
             baseline: replay(PlacementStrategy::BestConfigOnly)?,
@@ -404,7 +452,15 @@ mod tests {
     #[test]
     fn sweep_covers_every_cell_with_consistent_accounting() {
         let result = run(&ExperimentOpts::fast()).unwrap();
-        assert_eq!(result.rows.len(), 4 * 3 * 2);
+        // Four synthetic shapes plus the Azure CSV fixture.
+        assert_eq!(result.rows.len(), 5 * 3 * 2);
+        let azure_rows: Vec<_> = result.rows.iter().filter(|r| r.source == "azure").collect();
+        assert_eq!(azure_rows.len(), 6, "azure sweeps every cell");
+        for r in &azure_rows {
+            // The fixture's six (app, func) streams and 113 invocations.
+            assert_eq!(r.functions, 6);
+            assert_eq!(r.baseline.invocations, 113);
+        }
         for r in &result.rows {
             assert_eq!(r.baseline.invocations, r.idle_aware.invocations);
             assert!(r.baseline.invocations > 0, "{} trace is empty", r.source);

@@ -21,6 +21,7 @@ pub mod fig12_pareto_distance;
 pub mod fig13_weighted_mo;
 pub mod fig14_hierarchical;
 pub mod fig15_provider_savings;
+pub mod fleet_control_loop;
 pub mod fleet_simulation;
 pub mod table3_alternatives;
 

@@ -15,7 +15,8 @@
 //! users' latency against the always-best-config baseline.
 
 use faas_freedom::core::fleet::{
-    FleetConfig, FleetSimulator, FunctionPlan, PlacementStrategy, SupplyProcess, Trace,
+    ControlConfig, ControllerConfig, FleetConfig, FleetSimulator, FunctionPlan, PidConfig,
+    PlacementStrategy, SupplyProcess, Trace,
 };
 use faas_freedom::core::market::MarketConfig;
 use faas_freedom::optimizer::SearchSpace;
@@ -62,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vms_per_family: 2,
             supply: SupplyProcess {
                 step_secs: 30.0,
-                min_fraction: 0.5,
+                min_fraction: 0.0,
                 seed: 42,
             },
             admission: planner.admission_policy(),
@@ -105,5 +106,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         idle_aware.slo_violations,
     );
     assert!(idle_aware.total_cost_usd < baseline.total_cost_usd);
+
+    // 4. Close the loop: a PID controller watches the demotion rate
+    //    every 15 s and moves the admission ceiling itself.
+    let closed_config = FleetConfig {
+        control: ControlConfig {
+            cadence_secs: 15.0,
+            controller: ControllerConfig::HeadroomPid(PidConfig::default()),
+        },
+        ..config
+    };
+    let closed = sim.run_windowed(
+        &trace,
+        PlacementStrategy::IdleAware,
+        &closed_config,
+        threads,
+        60.0,
+    )?;
+    let final_ceiling = closed
+        .control
+        .last()
+        .map_or(f64::INFINITY, |sample| sample.ceiling);
+    println!(
+        "\nclosed loop ({} ticks of pid): ${:.4} total, {} demoted (open loop: {}), \
+         {} SLO violations (open loop: {}), final admission ceiling {:.2}",
+        closed.control.len(),
+        closed.total_cost_usd,
+        closed.spot_demoted,
+        idle_aware.spot_demoted,
+        closed.slo_violations,
+        idle_aware.slo_violations,
+        final_ceiling,
+    );
     Ok(())
 }

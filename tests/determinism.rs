@@ -141,6 +141,9 @@ fn every_experiment_is_bit_identical_parallel_vs_sequential() {
         .unwrap());
     check!("fleet", |o: &ExperimentOpts| exp::fleet_simulation::run(o)
         .unwrap());
+    check!("control_loop", |o: &ExperimentOpts| {
+        exp::fleet_control_loop::run(o).unwrap()
+    });
 }
 
 /// The windowed fleet replay must be bit-identical to the sequential
@@ -230,6 +233,85 @@ fn fleet_windowed_replay_matches_sequential() {
                     format!("{sequential:?}"),
                     format!("{windowed:?}"),
                     "{name}/{strategy:?} diverged at {window_secs}s windows"
+                );
+            }
+        }
+    }
+}
+
+/// The closed control loop must not break windowed determinism: with any
+/// controller evolving admission and placements mid-replay, the windowed
+/// engine stays bit-identical to the sequential reference for every
+/// thread count and window size — including 1 s windows that slice every
+/// 15 s control epoch across many boundaries, so carried controller
+/// state, partial observation epochs, and mid-window ticks all get
+/// exercised, and the right-sizer's surrogates are reconstructed from
+/// the carried observation log over and over.
+#[test]
+fn fleet_control_loop_is_windowed_bit_identical() {
+    use faas_freedom::core::fleet::{
+        AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetSimulator, PidConfig,
+        PlacementStrategy, RightSizerConfig, SupplyProcess, TraceSource,
+    };
+    use faas_freedom::core::market::MarketConfig;
+    use freedom_experiments::fleet_simulation::synthetic_plans;
+
+    let n_functions = 120;
+    let duration = 300.0;
+    let trace = TraceSource::HeavyTail {
+        mean_rps: 0.5,
+        alpha: 1.5,
+    }
+    .generate(n_functions, duration, 11)
+    .unwrap();
+    let plans = synthetic_plans(n_functions, 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+    for controller in [
+        ControllerConfig::Static,
+        ControllerConfig::HeadroomPid(PidConfig::default()),
+        ControllerConfig::SurrogateRightSizer(RightSizerConfig::default()),
+    ] {
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 3,
+                supply: SupplyProcess {
+                    step_secs: 15.0,
+                    min_fraction: 0.3,
+                    seed: 21,
+                },
+                admission: AdmissionPolicy::Headroom {
+                    max_utilization: 0.85,
+                },
+                ..MarketConfig::default()
+            },
+            control: ControlConfig {
+                cadence_secs: 15.0,
+                controller,
+            },
+            ..FleetConfig::default()
+        };
+        let sequential = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        assert!(
+            !sequential.control.is_empty(),
+            "{controller:?} must tick over a 300 s trace"
+        );
+        for threads in [1, 8] {
+            for window_secs in [1.0, 10.0, 60.0] {
+                let windowed = sim
+                    .run_windowed(
+                        &trace,
+                        PlacementStrategy::IdleAware,
+                        &config,
+                        threads,
+                        window_secs,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    format!("{sequential:?}"),
+                    format!("{windowed:?}"),
+                    "{controller:?} diverged at {threads} threads, {window_secs}s windows"
                 );
             }
         }
