@@ -153,6 +153,12 @@ fn bench_spot_market(c: &mut Criterion) {
 /// and batched re-planning. `windowed_pid_4` tracks the controller
 /// state crossing window boundaries under reconciliation. Feeds the
 /// quick-bench `BENCH_pr.json` artifact like every other group here.
+///
+/// Right-sizer tick amortization (batch the epoch's fresh observations
+/// into one warm-start `fit_update` per function instead of one per
+/// observation), measured on the 1-core build container: before
+/// 22.3 ms static vs 32.7 ms right_sizer (+47%); after 21.5 ms vs
+/// 28.3 ms (+32%) — roughly a third of the tick overhead gone.
 fn bench_control_loop(c: &mut Criterion) {
     use exp::fleet_simulation::{market_config, market_tightness, synthetic_plans};
     use freedom::fleet::{
@@ -209,9 +215,133 @@ fn bench_control_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// The streaming event pipeline at full Azure scale: events produced
+/// lazily by per-function cursors and consumed exactly once, so peak
+/// memory is O(functions + in-flight) instead of O(total arrivals).
+///
+/// - `hour_120fn_materialized` is trace → report on the old pipeline:
+///   `TraceSource::generate` (streams + merged view, O(events) memory)
+///   followed by the reference replay. `hour_120fn_streaming` is the
+///   same work fused into one constant-memory pass — the ≤ 1.2×
+///   per-event acceptance comparison (`spot_market/hour_120fn_sequential`
+///   isolates the replay of *pre-built* events, which is unchanged).
+/// - `day_1200fn_streaming` is the headline: a 24-hour, 1200-function
+///   heavy-tail trace (~1M arrivals, "Serverless in the Wild"-shaped)
+///   whose merged view the materialized path would have to hold
+///   resident in full.
+///
+/// Alongside the timings, the group reports two counters into the
+/// quick-bench `BENCH_pr.json` artifact (`freedom_bench::report_counter`):
+/// the day replay's events/sec and its peak-events-resident —
+/// in-flight placements + cursor lookahead, the whole memory story.
+fn bench_streaming_replay(c: &mut Criterion) {
+    use exp::fleet_simulation::{market_config, market_tightness, synthetic_plans};
+    use freedom::fleet::{
+        AdmissionPolicy, FleetConfig, FleetSimulator, PlacementStrategy, StreamTrace, TraceSource,
+    };
+
+    let mut group = c.benchmark_group("streaming_replay");
+    group.sample_size(10);
+    let tightness = market_tightness();
+    let config = FleetConfig {
+        market: market_config(&tightness[1], AdmissionPolicy::Greedy),
+        ..FleetConfig::default()
+    };
+    let hour_sim =
+        FleetSimulator::new(synthetic_plans(120, 42).expect("fleet fixture")).expect("fleet");
+    let hour = StreamTrace::generate_sharded(
+        TraceSource::HeavyTail {
+            mean_rps: 0.5,
+            alpha: 1.5,
+        },
+        120,
+        3600.0,
+        42,
+        8,
+    )
+    .expect("hour-long heavy-tail trace");
+    let hour_source = TraceSource::HeavyTail {
+        mean_rps: 0.5,
+        alpha: 1.5,
+    };
+    group.bench_function("hour_120fn_materialized", |b| {
+        b.iter(|| {
+            let trace = hour_source
+                .generate(120, 3600.0, 42)
+                .expect("hour-long heavy-tail trace");
+            hour_sim
+                .run(&trace, PlacementStrategy::IdleAware, &config)
+                .expect("replay")
+        })
+    });
+    group.bench_function("hour_120fn_streaming", |b| {
+        b.iter(|| {
+            hour_sim
+                .run_stream(&hour, PlacementStrategy::IdleAware, &config)
+                .expect("replay")
+        })
+    });
+
+    let day_sim =
+        FleetSimulator::new(synthetic_plans(1200, 42).expect("fleet fixture")).expect("fleet");
+    let day = StreamTrace::generate_sharded(
+        TraceSource::HeavyTail {
+            mean_rps: 0.01,
+            alpha: 1.5,
+        },
+        1200,
+        86_400.0,
+        42,
+        8,
+    )
+    .expect("day-long heavy-tail trace");
+    group.bench_function("day_1200fn_streaming", |b| {
+        b.iter(|| {
+            day_sim
+                .run_stream(&day, PlacementStrategy::IdleAware, &config)
+                .expect("replay")
+        })
+    });
+    group.finish();
+
+    // One instrumented replay for the counters: peak resident events
+    // must be in-flight + cursor lookahead, never total arrivals.
+    let started = std::time::Instant::now();
+    let (_, stats) = day_sim
+        .run_stream_with_stats(&day, PlacementStrategy::IdleAware, &config)
+        .expect("replay");
+    let events_per_sec = stats.events as f64 / started.elapsed().as_secs_f64();
+    assert!(
+        stats.peak_resident_events() < stats.events / 100,
+        "peak resident {} is not bounded well below {} arrivals",
+        stats.peak_resident_events(),
+        stats.events
+    );
+    println!(
+        "bench streaming_replay/day_1200fn: {} events, {:.0} events/sec, \
+         peak resident {} ({} in-flight + {} cursor lookahead)",
+        stats.events,
+        events_per_sec,
+        stats.peak_resident_events(),
+        stats.peak_inflight,
+        stats.peak_cursor_resident,
+    );
+    freedom_bench::report_counter(
+        "streaming_replay/day_1200fn_events_per_sec",
+        events_per_sec,
+        "events/sec",
+    );
+    freedom_bench::report_counter(
+        "streaming_replay/day_1200fn_peak_resident_events",
+        stats.peak_resident_events() as f64,
+        "events",
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
-    targets = bench_experiments, bench_parallel_vs_sequential, bench_spot_market, bench_control_loop
+    targets = bench_experiments, bench_parallel_vs_sequential, bench_spot_market,
+        bench_control_loop, bench_streaming_replay
 }
 criterion_main!(benches);

@@ -22,9 +22,65 @@ pub fn bench_opts() -> ExperimentOpts {
     }
 }
 
+/// Reports a non-timing metric (a counter, a rate) into the same
+/// `$BENCH_JSON` lines file the criterion shim appends to, so CI's
+/// `BENCH_pr.json` artifact carries it next to the wall-clock rows —
+/// e.g. the `streaming_replay` group's peak-events-resident counter.
+/// No-op when `BENCH_JSON` is unset.
+pub fn report_counter(bench: &str, value: f64, unit: &str) {
+    use std::io::Write as _;
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if !value.is_finite() {
+        eprintln!("freedom-bench: dropping non-finite counter {bench} = {value}");
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        eprintln!("freedom-bench: cannot open {path}");
+        return;
+    };
+    // Minimal JSON string hygiene, matching the criterion shim's rows:
+    // strip the two characters that could break a line-parsing consumer.
+    let clean = |s: &str| s.replace(['"', '\\'], "'");
+    let _ = writeln!(
+        file,
+        "{{\"bench\":\"{}\",\"counter\":{value},\"unit\":\"{}\"}}",
+        clean(bench),
+        clean(unit),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_lines_append_to_bench_json() {
+        let path = std::env::temp_dir().join(format!("bench_json_{}", std::process::id()));
+        std::fs::remove_file(&path).ok(); // append mode: start clean
+        let prior = std::env::var("BENCH_JSON").ok();
+        std::env::set_var("BENCH_JSON", &path);
+        report_counter("group/metric", 42.5, "events");
+        report_counter("group/broken", f64::NAN, "events"); // dropped, not written
+        match prior {
+            Some(v) => std::env::set_var("BENCH_JSON", v),
+            None => std::env::remove_var("BENCH_JSON"),
+        }
+        let line = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            line.trim(),
+            "{\"bench\":\"group/metric\",\"counter\":42.5,\"unit\":\"events\"}"
+        );
+    }
 
     #[test]
     fn bench_opts_are_cheap() {

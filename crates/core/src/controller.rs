@@ -360,9 +360,17 @@ pub struct ControlState {
     pub prev_error: f64,
     /// Right-sizer observation log: per function, the accepted-alternate
     /// indices in first-observed order. The per-function surrogate is a
-    /// pure function of this log (see [`SurrogateRightSizer`]), which is
-    /// what lets a window reconstruct it mid-trace.
+    /// pure function of this log and its batch partition (see
+    /// [`SurrogateRightSizer`]), which is what lets a window reconstruct
+    /// it mid-trace.
     pub observed: Vec<Vec<u8>>,
+    /// The log's batch partition: per function, how many entries each
+    /// observing tick appended (entries sum to the log's length). Part
+    /// of the carried state because the canonical model-fitting sequence
+    /// is **one warm-start `fit_update` per batch**, not per entry — a
+    /// reconstructing window must replay the same batching the
+    /// sequential engine performed.
+    pub observed_batches: Vec<Vec<u8>>,
     /// Right-sizer output: per function, the revised placement order
     /// (`None` = the planner's original order).
     pub orders: Vec<Option<Vec<u8>>>,
@@ -376,6 +384,7 @@ impl ControlState {
             integral: 0.0,
             prev_error: 0.0,
             observed: Vec::new(),
+            observed_batches: Vec::new(),
             orders: Vec::new(),
         }
     }
@@ -401,6 +410,7 @@ pub fn control_state_eq(a: &ControlState, b: &ControlState) -> bool {
         && a.integral.to_bits() == b.integral.to_bits()
         && a.prev_error.to_bits() == b.prev_error.to_bits()
         && a.observed == b.observed
+        && a.observed_batches == b.observed_batches
         && a.orders == b.orders
 }
 
@@ -569,13 +579,17 @@ impl Controller for HeadroomPid {
 ///
 /// # Model reconstruction
 ///
-/// The surrogate for a function with observation log `[a₀, a₁, …]` is
-/// *defined* as the result of the canonical call sequence
-/// `fit([anchor, a₀])`, then `fit_update([anchor, a₀, …, aⱼ], seed(j))`
-/// for each subsequent row. The sequential engine grows the model
-/// incrementally with exactly those calls; a replay window holding only
-/// the carried log replays them from scratch. Same sequence, same
-/// seeds, same model — bit for bit.
+/// The surrogate for a function is *defined* by its observation log and
+/// the log's **batch partition** (one batch per tick that observed
+/// something new, both carried in [`ControlState`]): the canonical call
+/// sequence is `fit(anchor + first batch)`, then one warm-start
+/// `fit_update(log[..=eₖ], seed(eₖ))` per subsequent batch, where `eₖ`
+/// is the batch's cumulative end. The sequential engine grows the model
+/// with exactly those calls — a tick that surfaces several alternates
+/// at once absorbs them in **one** `fit_update`, which is what keeps
+/// the tick cost amortized — and a replay window holding only the
+/// carried log replays the same batches from scratch. Same sequence,
+/// same seeds, same model — bit for bit.
 #[derive(Debug, Clone, Copy)]
 pub struct SurrogateRightSizer {
     config: RightSizerConfig,
@@ -607,33 +621,49 @@ impl SurrogateRightSizer {
         (x, y)
     }
 
-    /// Brings the function's surrogate up to date with its log,
-    /// replaying the canonical call sequence from scratch when the
-    /// window holds no model yet, or appending the `fresh` newest rows
-    /// otherwise. Returns `None` when fitting fails (degenerate data) —
-    /// deterministically, since the inputs are.
+    /// Brings the function's surrogate up to date with its log, whose
+    /// batch partition `batches` records how many entries each observing
+    /// tick appended. A window holding no model yet replays the
+    /// canonical batched call sequence from scratch; otherwise only the
+    /// newest batch is absorbed — **one** warm-start `fit_update` per
+    /// tick no matter how many alternates the epoch surfaced, which is
+    /// what amortizes the tick cost. Returns `None` when fitting fails
+    /// (degenerate data) — deterministically, since the inputs are.
     fn advance_model<'m>(
         &self,
         slot: &'m mut Option<Box<dyn Surrogate>>,
         view: &FunctionView,
         log: &[u8],
-        fresh: usize,
+        batches: &[u8],
         function: usize,
     ) -> Option<&'m mut Box<dyn Surrogate>> {
         let (x, y) = Self::rows(view, log);
-        let total = x.len();
-        let start = if slot.is_some() { total - fresh } else { 2 };
         if slot.is_none() {
+            // Cumulative batch ends in x-row coordinates (the anchor is
+            // row 0, so batch k ending at log position e covers x[..=e]).
+            let mut ends = batches.iter().scan(0usize, |acc, &b| {
+                *acc += b as usize;
+                Some(*acc)
+            });
+            let first = ends.next()?;
             let mut model = self.config.surrogate.build(self.row_seed(function, 0));
-            if model.fit(&x[..2], &y[..2]).is_err() {
+            if model.fit(&x[..=first], &y[..=first]).is_err() {
                 return None;
             }
+            for e in ends {
+                if model
+                    .fit_update(&x[..=e], &y[..=e], self.row_seed(function, e))
+                    .is_err()
+                {
+                    return None;
+                }
+            }
             *slot = Some(model);
-        }
-        let model = slot.as_mut().expect("just ensured");
-        for j in start..total {
+        } else {
+            let e = log.len();
+            let model = slot.as_mut().expect("checked above");
             if model
-                .fit_update(&x[..=j], &y[..=j], self.row_seed(function, j))
+                .fit_update(&x[..=e], &y[..=e], self.row_seed(function, e))
                 .is_err()
             {
                 *slot = None;
@@ -655,6 +685,7 @@ impl Controller for SurrogateRightSizer {
             integral: 0.0,
             prev_error: 0.0,
             observed: vec![Vec::new(); n_functions],
+            observed_batches: vec![Vec::new(); n_functions],
             orders: vec![None; n_functions],
         }
     }
@@ -689,9 +720,11 @@ impl Controller for SurrogateRightSizer {
             if fresh == 0 {
                 continue; // nothing new observed → the order stands
             }
+            state.observed_batches[f].push(fresh as u8);
             let log = state.observed[f].clone();
+            let batches = state.observed_batches[f].clone();
             let Some(model) =
-                self.advance_model(scratch.model_slot(plans.len(), f), view, &log, fresh, f)
+                self.advance_model(scratch.model_slot(plans.len(), f), view, &log, &batches, f)
             else {
                 continue;
             };
@@ -905,9 +938,11 @@ mod tests {
         );
 
         // Reconstruction: a fresh scratch (as a new replay window would
-        // hold) sees the same second tick after carrying only the state.
+        // hold) sees the same second tick after carrying only the state —
+        // the observation log plus its batch partition.
         let mut carried = ctl.init(AdmissionPolicy::Greedy, 1);
         carried.observed = vec![vec![1]];
+        carried.observed_batches = vec![vec![1]];
         carried.orders = {
             let mut s = ctl.init(AdmissionPolicy::Greedy, 1);
             let mut sc = ControlScratch::default();
@@ -1004,6 +1039,12 @@ mod tests {
         b = a.clone();
         b.orders = vec![Some(vec![1])];
         assert!(!control_state_eq(&a, &b));
+        b = a.clone();
+        b.observed_batches = vec![vec![2]];
+        assert!(
+            !control_state_eq(&a, &b),
+            "the batch partition is carried state"
+        );
         assert_eq!(admission_ceiling(&AdmissionPolicy::Greedy), f64::INFINITY);
     }
 }

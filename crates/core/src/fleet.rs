@@ -38,6 +38,16 @@
 //! bit-identical to it for every thread count and window size (guarded
 //! by `tests/determinism.rs`). See `crates/core/README.md` for the full
 //! contract.
+//!
+//! Every engine pulls events through the same iterator interface, so
+//! the trace may be a materialized [`Trace`] or a lazy [`StreamTrace`]:
+//! [`run_stream`](FleetSimulator::run_stream) and
+//! [`run_stream_windowed`](FleetSimulator::run_stream_windowed) replay
+//! with peak memory O(functions + in-flight placements) instead of
+//! O(total arrivals) — windows re-seek their events by epoch through
+//! cursor checkpoints ([`crate::stream`], "streaming cursor contract"
+//! in the README) — and stay bit-identical to the materialized
+//! reference.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -58,6 +68,7 @@ use crate::{FreedomError, Result};
 
 pub use crate::controller::{ControlConfig, ControllerConfig, PidConfig, RightSizerConfig};
 pub use crate::market::{AdmissionPolicy, SupplyProcess};
+pub use crate::stream::{EventStream, StreamCheckpoint, StreamTrace};
 pub use crate::trace::{Trace, TraceEvent, TraceSource};
 
 /// How the provider places each invocation.
@@ -289,6 +300,31 @@ fn carry_state_eq(a: &Carry, b: &Carry) -> bool {
 struct WindowOutcome {
     metering: WindowMetering,
     carry_out: Carry,
+    /// Most in-flight placements the completion heap ever held.
+    peak_inflight: usize,
+}
+
+/// Peak-memory telemetry of one streaming replay
+/// ([`FleetSimulator::run_stream_with_stats`]): evidence that resident
+/// state is bounded by in-flight placements plus cursor lookahead, never
+/// by total arrivals.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayStats {
+    /// Arrivals replayed (streamed through, never resident).
+    pub events: usize,
+    /// Peak size of the in-flight completion heap.
+    pub peak_inflight: usize,
+    /// Peak events the trace cursors held: one pending arrival per
+    /// function (synthetic) or the open rows of the CSV lookahead
+    /// window.
+    pub peak_cursor_resident: usize,
+}
+
+impl ReplayStats {
+    /// Peak resident events: in-flight placements + cursor lookahead.
+    pub fn peak_resident_events(&self) -> usize {
+        self.peak_inflight + self.peak_cursor_resident
+    }
 }
 
 /// The fleet simulator: a shared spot market plus elastic on-demand.
@@ -320,16 +356,31 @@ impl FleetSimulator {
 
     /// Replays the trace under a strategy with the **sequential reference
     /// engine**: one simulation window spanning the whole trace, no
-    /// speculation, no carry-over.
+    /// speculation, no carry-over. The engine pulls events through the
+    /// same iterator interface as the streaming replay; here the
+    /// iterator happens to walk a materialized slice.
     pub fn run(
         &self,
         trace: &Trace,
         strategy: PlacementStrategy,
         config: &FleetConfig,
     ) -> Result<FleetReport> {
-        let ctx = self.prepare(trace, strategy, config)?;
+        let horizon = trace
+            .events()
+            .last()
+            .map(|e| event_nanos(e.at_secs))
+            .unwrap_or(0);
+        let ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
         let events = trace.events();
-        let outcome = simulate_window(&ctx, events, 0, &Carry::initial(&ctx), 0, u64::MAX);
+        let outcome = simulate_window(
+            &ctx,
+            events.iter().copied(),
+            events.len(),
+            0,
+            &Carry::initial(&ctx),
+            0,
+            u64::MAX,
+        );
         Ok(reduce(
             strategy,
             config.slo_theta,
@@ -337,6 +388,57 @@ impl FleetSimulator {
             vec![outcome.metering],
             ctx.controller_label,
         ))
+    }
+
+    /// Replays a [`StreamTrace`] with the sequential reference engine,
+    /// producing events lazily and consuming each exactly once: peak
+    /// memory is O(functions + in-flight placements) instead of O(total
+    /// arrivals). Bit-identical to [`FleetSimulator::run`] on the
+    /// materialized equivalent ([`StreamTrace::materialize`]).
+    pub fn run_stream(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+    ) -> Result<FleetReport> {
+        Ok(self.run_stream_with_stats(trace, strategy, config)?.0)
+    }
+
+    /// [`FleetSimulator::run_stream`] plus the replay's peak-memory
+    /// telemetry. The stats are measurement, not output: they stay out
+    /// of the [`FleetReport`] because peak heap depth depends on the
+    /// engine (windowed replays speculate), while the report is
+    /// bit-identical across engines.
+    pub fn run_stream_with_stats(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+    ) -> Result<(FleetReport, ReplayStats)> {
+        let ctx = self.prepare(trace.n_functions(), trace.horizon_nanos(), strategy, config)?;
+        let mut stream = trace.open()?;
+        let outcome = simulate_window(
+            &ctx,
+            stream.events(),
+            trace.len(),
+            0,
+            &Carry::initial(&ctx),
+            0,
+            u64::MAX,
+        );
+        let stats = ReplayStats {
+            events: trace.len(),
+            peak_inflight: outcome.peak_inflight,
+            peak_cursor_resident: stream.peak_resident(),
+        };
+        let report = reduce(
+            strategy,
+            config.slo_theta,
+            trace.len(),
+            vec![outcome.metering],
+            ctx.controller_label,
+        );
+        Ok((report, stats))
     }
 
     /// Replays the trace as time windows of `window_secs`, simulated
@@ -360,12 +462,13 @@ impl FleetSimulator {
         threads: usize,
         window_secs: f64,
     ) -> Result<FleetReport> {
-        if !window_secs.is_finite() || window_secs <= 0.0 {
-            return Err(FreedomError::InvalidArgument(format!(
-                "window must be positive, got {window_secs}s"
-            )));
-        }
-        let ctx = self.prepare(trace, strategy, config)?;
+        let horizon = trace
+            .events()
+            .last()
+            .map(|e| event_nanos(e.at_secs))
+            .unwrap_or(0);
+        let window_nanos = validate_window(horizon, window_secs)?;
+        let ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
         let events = trace.events();
         if events.is_empty() {
             return Ok(reduce(
@@ -376,92 +479,20 @@ impl FleetSimulator {
                 ctx.controller_label,
             ));
         }
-        let window_nanos = ((window_secs * 1e9) as u64).max(1);
-        let horizon = event_nanos(events.last().expect("non-empty").at_secs);
-        if horizon / window_nanos >= MAX_WINDOWS {
-            return Err(FreedomError::InvalidArgument(format!(
-                "{window_secs}s windows split this trace into {} windows (max {MAX_WINDOWS})",
-                horizon / window_nanos + 1
-            )));
-        }
         let bounds = trace.window_bounds(window_nanos);
-        let n = bounds.len();
-        let span = |k: usize| {
-            (
-                k as u64 * window_nanos,
-                (k as u64 + 1).saturating_mul(window_nanos),
-            )
-        };
         let run_one = |k: usize, carry: &Carry| {
-            let (start, end) = span(k);
+            let (start, end) = window_span(k, window_nanos);
             simulate_window(
                 &ctx,
-                &events[bounds[k].clone()],
+                events[bounds[k].clone()].iter().copied(),
+                bounds[k].len(),
                 bounds[k].start as u32,
                 carry,
                 start,
                 end,
             )
         };
-
-        let mut outs: Vec<Option<WindowOutcome>> = (0..n).map(|_| None).collect();
-        let mut used: Vec<Carry> = (0..n).map(|_| Carry::initial(&ctx)).collect();
-        // Round 0 speculates every window from an empty market and the
-        // controller's initial state.
-        let mut pending: Vec<(usize, Carry)> = (0..n).map(|k| (k, Carry::initial(&ctx))).collect();
-        let mut rounds = 0usize;
-        let mut prev_stale = usize::MAX;
-        loop {
-            let results = freedom_parallel::par_run(pending.len(), threads, |i| {
-                run_one(pending[i].0, &pending[i].1)
-            });
-            for ((k, carry), out) in pending.drain(..).zip(results) {
-                used[k] = carry;
-                outs[k] = Some(out);
-            }
-            // Verification walk: chain the carried states in window
-            // order; any window that ran with a different carry-in than
-            // the chain now implies is stale and re-runs next round with
-            // the chain's current guess.
-            let mut next: Vec<(usize, Carry)> = Vec::new();
-            let mut chain: Carry = Carry::initial(&ctx);
-            for (k, out) in outs.iter().enumerate() {
-                if !carry_state_eq(&used[k], &chain) {
-                    next.push((k, chain.clone()));
-                }
-                chain.clone_from(&out.as_ref().expect("window simulated").carry_out);
-            }
-            if next.is_empty() {
-                break;
-            }
-            rounds += 1;
-            // Speculation pays only while rounds resolve windows in bulk
-            // (markets that drain — idle gaps, tight supply — reach the
-            // same carried state from many guesses). When a round barely
-            // shrinks the stale set, every remaining guess is churning
-            // and re-running it is waste: chain the stale suffix
-            // sequentially with exact carry-ins instead. The round cap
-            // backstops pathological oscillation.
-            let stalled = next.len() + 2 >= prev_stale;
-            prev_stale = next.len();
-            if stalled || rounds > MAX_SPECULATIVE_ROUNDS {
-                let first = next[0].0;
-                let mut chain = next[0].1.clone();
-                for k in first..n {
-                    if !carry_state_eq(&used[k], &chain) {
-                        outs[k] = Some(run_one(k, &chain));
-                        used[k].clone_from(&chain);
-                    }
-                    chain.clone_from(&outs[k].as_ref().expect("window simulated").carry_out);
-                }
-                break;
-            }
-            pending = next;
-        }
-        let meterings = outs
-            .into_iter()
-            .map(|o| o.expect("every window simulated").metering)
-            .collect();
+        let meterings = reconcile_windows(&ctx, bounds.len(), threads, run_one);
         Ok(reduce(
             strategy,
             config.slo_theta,
@@ -471,18 +502,88 @@ impl FleetSimulator {
         ))
     }
 
+    /// Windowed replay of a [`StreamTrace`]: the same speculative
+    /// engine as [`FleetSimulator::run_windowed`], but windows re-seek
+    /// their events **by epoch** — a pre-pass over the stream records
+    /// one [`StreamCheckpoint`] per window boundary (O(windows ×
+    /// functions) seek state, never the merged view), and
+    /// reconciliation re-runs a stale window by rewinding its cursors
+    /// to the same checkpoint. Bit-identical to
+    /// [`FleetSimulator::run_stream`] — and to the materialized engines
+    /// — for every thread count and window size.
+    pub fn run_stream_windowed(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        threads: usize,
+        window_secs: f64,
+    ) -> Result<FleetReport> {
+        let horizon = trace.horizon_nanos();
+        let window_nanos = validate_window(horizon, window_secs)?;
+        let ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
+        if trace.is_empty() {
+            return Ok(reduce(
+                strategy,
+                config.slo_theta,
+                0,
+                Vec::new(),
+                ctx.controller_label,
+            ));
+        }
+        // Epoch-seek pre-pass: stream the trace once, recording each
+        // window's starting checkpoint and event count.
+        let n = (horizon / window_nanos) as usize + 1;
+        let mut stream = trace.open()?;
+        let mut seeks = Vec::with_capacity(n);
+        let mut base = Vec::with_capacity(n + 1);
+        base.push(0u32);
+        let mut consumed = 0u32;
+        for k in 0..n {
+            seeks.push(stream.checkpoint());
+            let end = (k as u64 + 1).saturating_mul(window_nanos);
+            while stream.peek().is_some_and(|e| event_nanos(e.at_secs) < end) {
+                stream.next();
+                consumed += 1;
+            }
+            base.push(consumed);
+        }
+        debug_assert_eq!(consumed as usize, trace.len());
+        let run_one = |k: usize, carry: &Carry| {
+            let (start, end) = window_span(k, window_nanos);
+            let n_events = (base[k + 1] - base[k]) as usize;
+            let mut s = trace
+                .open_at(&seeks[k])
+                .expect("re-seeking a checkpoint the pre-pass took");
+            let events = std::iter::from_fn(move || s.next()).take(n_events);
+            simulate_window(&ctx, events, n_events, base[k], carry, start, end)
+        };
+        let meterings = reconcile_windows(&ctx, n, threads, run_one);
+        Ok(reduce(
+            strategy,
+            config.slo_theta,
+            trace.len(),
+            meterings,
+            ctx.controller_label,
+        ))
+    }
+
     /// Validates inputs and resolves plans, supply schedule, and market
-    /// settings into the immutable replay context.
+    /// settings into the immutable replay context. Takes the trace's
+    /// shape — stream count and horizon (last arrival in nanoseconds) —
+    /// rather than the trace itself, so materialized and streaming
+    /// replays prepare identically.
     fn prepare(
         &self,
-        trace: &Trace,
+        n_functions: usize,
+        horizon: u64,
         strategy: PlacementStrategy,
         config: &FleetConfig,
     ) -> Result<ReplayCtx> {
-        if trace.n_functions() != self.plans.len() {
+        if n_functions != self.plans.len() {
             return Err(FreedomError::InvalidArgument(format!(
                 "trace has {} function streams but the fleet has {} plans",
-                trace.n_functions(),
+                n_functions,
                 self.plans.len()
             )));
         }
@@ -493,11 +594,6 @@ impl FleetSimulator {
             )));
         }
         config.control.validate()?;
-        let horizon = trace
-            .events()
-            .last()
-            .map(|e| event_nanos(e.at_secs))
-            .unwrap_or(0);
         let cadence_nanos = ((config.control.cadence_secs * 1e9) as u64).max(1);
         if horizon / cadence_nanos >= MAX_TICKS {
             return Err(FreedomError::InvalidArgument(format!(
@@ -578,6 +674,9 @@ struct WindowSim<'a> {
     ctx: &'a ReplayCtx,
     ledger: SpotLedger,
     heap: BinaryHeap<Reverse<InFlight>>,
+    /// Most entries the completion heap ever held — the in-flight term
+    /// of the replay's peak-memory bound ([`ReplayStats`]).
+    peak_inflight: usize,
     supply_cursor: usize,
     /// Index of the next controller tick to fire (tick `k` fires at
     /// `k · cadence`, `k ≥ 1`, capped at the trace horizon).
@@ -718,6 +817,7 @@ impl WindowSim<'_> {
                             mib: alt.memory_mib,
                             list_cost_usd: alt.list_cost_usd,
                         }));
+                        self.peak_inflight = self.peak_inflight.max(self.heap.len());
                         self.accum.spot_admitted += 1;
                         self.accum.per_function[off + ai] += 1;
                         let price = self.ctx.market.spot.demand_fraction(utilization);
@@ -737,14 +837,117 @@ impl WindowSim<'_> {
     }
 }
 
+/// Shared windowed-replay argument validation; returns the window size
+/// in integer nanoseconds.
+fn validate_window(horizon_nanos: u64, window_secs: f64) -> Result<u64> {
+    if !window_secs.is_finite() || window_secs <= 0.0 {
+        return Err(FreedomError::InvalidArgument(format!(
+            "window must be positive, got {window_secs}s"
+        )));
+    }
+    let window_nanos = ((window_secs * 1e9) as u64).max(1);
+    if horizon_nanos / window_nanos >= MAX_WINDOWS {
+        return Err(FreedomError::InvalidArgument(format!(
+            "{window_secs}s windows split this trace into {} windows (max {MAX_WINDOWS})",
+            horizon_nanos / window_nanos + 1
+        )));
+    }
+    Ok(window_nanos)
+}
+
+/// The simulated-time span `[k·w, (k+1)·w)` of window `k`.
+fn window_span(k: usize, window_nanos: u64) -> (u64, u64) {
+    (
+        k as u64 * window_nanos,
+        (k as u64 + 1).saturating_mul(window_nanos),
+    )
+}
+
+/// The speculate/verify/re-run loop shared by both windowed engines:
+/// `run_one(k, carry)` simulates window `k` from a carried state —
+/// against a materialized slice or a re-seeked cursor stream, the loop
+/// does not care — and the reconciliation chain re-runs exactly the
+/// windows whose speculative carry-in proved wrong, falling back to a
+/// sequential exact-carry chain when speculation stops paying.
+fn reconcile_windows<F>(
+    ctx: &ReplayCtx,
+    n: usize,
+    threads: usize,
+    run_one: F,
+) -> Vec<WindowMetering>
+where
+    F: Fn(usize, &Carry) -> WindowOutcome + Sync,
+{
+    let mut outs: Vec<Option<WindowOutcome>> = (0..n).map(|_| None).collect();
+    let mut used: Vec<Carry> = (0..n).map(|_| Carry::initial(ctx)).collect();
+    // Round 0 speculates every window from an empty market and the
+    // controller's initial state.
+    let mut pending: Vec<(usize, Carry)> = (0..n).map(|k| (k, Carry::initial(ctx))).collect();
+    let mut rounds = 0usize;
+    let mut prev_stale = usize::MAX;
+    loop {
+        let results = freedom_parallel::par_run(pending.len(), threads, |i| {
+            run_one(pending[i].0, &pending[i].1)
+        });
+        for ((k, carry), out) in pending.drain(..).zip(results) {
+            used[k] = carry;
+            outs[k] = Some(out);
+        }
+        // Verification walk: chain the carried states in window
+        // order; any window that ran with a different carry-in than
+        // the chain now implies is stale and re-runs next round with
+        // the chain's current guess.
+        let mut next: Vec<(usize, Carry)> = Vec::new();
+        let mut chain: Carry = Carry::initial(ctx);
+        for (k, out) in outs.iter().enumerate() {
+            if !carry_state_eq(&used[k], &chain) {
+                next.push((k, chain.clone()));
+            }
+            chain.clone_from(&out.as_ref().expect("window simulated").carry_out);
+        }
+        if next.is_empty() {
+            break;
+        }
+        rounds += 1;
+        // Speculation pays only while rounds resolve windows in bulk
+        // (markets that drain — idle gaps, tight supply — reach the
+        // same carried state from many guesses). When a round barely
+        // shrinks the stale set, every remaining guess is churning
+        // and re-running it is waste: chain the stale suffix
+        // sequentially with exact carry-ins instead. The round cap
+        // backstops pathological oscillation.
+        let stalled = next.len() + 2 >= prev_stale;
+        prev_stale = next.len();
+        if stalled || rounds > MAX_SPECULATIVE_ROUNDS {
+            let first = next[0].0;
+            let mut chain = next[0].1.clone();
+            for k in first..n {
+                if !carry_state_eq(&used[k], &chain) {
+                    outs[k] = Some(run_one(k, &chain));
+                    used[k].clone_from(&chain);
+                }
+                chain.clone_from(&outs[k].as_ref().expect("window simulated").carry_out);
+            }
+            break;
+        }
+        pending = next;
+    }
+    outs.into_iter()
+        .map(|o| o.expect("every window simulated").metering)
+        .collect()
+}
+
 /// Simulates one time window `[start_nanos, end_nanos)` of the merged
 /// event stream against the shared market, starting from the carried
-/// state (in-flight ledger, controller, partial epoch). The sequential
-/// reference engine is the degenerate call: all events, the initial
-/// carry, an unbounded window.
+/// state (in-flight ledger, controller, partial epoch). Events arrive
+/// through an iterator and are consumed exactly once — a materialized
+/// slice and a lazy cursor merge replay identically. `n_events` is the
+/// metering pre-size hint. The sequential reference engine is the
+/// degenerate call: all events, the initial carry, an unbounded window.
 fn simulate_window(
     ctx: &ReplayCtx,
-    events: &[TraceEvent],
+    events: impl Iterator<Item = TraceEvent>,
+    n_events: usize,
     base_idx: u32,
     carry_in: &Carry,
     start_nanos: u64,
@@ -762,6 +965,7 @@ fn simulate_window(
     }
     let mut sim = WindowSim {
         ctx,
+        peak_inflight: heap.len(),
         ledger,
         heap,
         supply_cursor: cursor,
@@ -773,15 +977,15 @@ fn simulate_window(
         accum: carry_in.accum.clone(),
         scratch: ControlScratch::default(),
         m: WindowMetering {
-            costs: Vec::with_capacity(events.len()),
-            inflations: Vec::with_capacity(events.len()),
-            classes: Vec::with_capacity(events.len()),
+            costs: Vec::with_capacity(n_events),
+            inflations: Vec::with_capacity(n_events),
+            classes: Vec::with_capacity(n_events),
             adjustments: Vec::new(),
             samples: Vec::new(),
         },
     };
 
-    for (i, event) in events.iter().enumerate() {
+    for (i, event) in events.enumerate() {
         let at = event_nanos(event.at_secs);
         sim.advance(at);
         sim.arrival(event.function, base_idx + i as u32, at);
@@ -814,6 +1018,7 @@ fn simulate_window(
             control: sim.control,
             accum: sim.accum,
         },
+        peak_inflight: sim.peak_inflight,
     }
 }
 
@@ -1318,6 +1523,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn streaming_replay_matches_materialized_with_bounded_residency() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 2,
+                supply: SupplyProcess {
+                    step_secs: 7.0,
+                    min_fraction: 0.3,
+                    seed: 11,
+                },
+                ..MarketConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let source = TraceSource::HeavyTail {
+            mean_rps: 1.2,
+            alpha: 1.5,
+        };
+        let lazy = StreamTrace::generate(source, FunctionKind::ALL.len(), 180.0, 5).unwrap();
+        let full = lazy.materialize().unwrap();
+        for strategy in PlacementStrategy::ALL {
+            let reference = sim.run(&full, strategy, &config).unwrap();
+            let (streamed, stats) = sim.run_stream_with_stats(&lazy, strategy, &config).unwrap();
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{streamed:?}"),
+                "{strategy:?} diverged between materialized and streaming"
+            );
+            // Peak resident state is in-flight + cursor lookahead, far
+            // below total arrivals.
+            assert_eq!(stats.events, full.len());
+            assert_eq!(stats.peak_cursor_resident, FunctionKind::ALL.len());
+            assert!(
+                stats.peak_resident_events() < full.len() / 2,
+                "peak {} should be far below {} arrivals",
+                stats.peak_resident_events(),
+                full.len()
+            );
+            for threads in [1, 4] {
+                for window_secs in [3.0, 45.0] {
+                    let windowed = sim
+                        .run_stream_windowed(&lazy, strategy, &config, threads, window_secs)
+                        .unwrap();
+                    assert_eq!(
+                        format!("{reference:?}"),
+                        format!("{windowed:?}"),
+                        "{strategy:?} diverged at {threads} threads, {window_secs}s windows"
+                    );
+                }
+            }
+        }
+        // The streaming engines reject the same degenerate windows.
+        assert!(sim
+            .run_stream_windowed(&lazy, PlacementStrategy::IdleAware, &config, 2, 0.0)
+            .is_err());
+        assert!(sim
+            .run_stream_windowed(&lazy, PlacementStrategy::IdleAware, &config, 2, 1e-9)
+            .is_err());
+        // A mis-sized fleet is rejected identically.
+        let small = StreamTrace::generate(source, 3, 30.0, 1).unwrap();
+        assert!(sim
+            .run_stream(&small, PlacementStrategy::IdleAware, &config)
+            .is_err());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! - [`market`] and [`fleet`]: the shared cross-function spot market
 //!   (supply process, capacity ledger, admission control) and the
 //!   windowed trace replay that simulates a whole fleet against it;
+//! - [`stream`]: the constant-memory trace pipeline — resumable
+//!   per-function event cursors ([`stream::StreamTrace`]) replayed by
+//!   `FleetSimulator::run_stream` with peak memory O(functions +
+//!   in-flight) instead of O(total arrivals);
 //! - [`controller`]: the closed-loop control plane — per-epoch
 //!   [`Observation`](controller::Observation)s feed a
 //!   [`Controller`](controller::Controller) that revises admission
@@ -55,6 +59,7 @@ pub mod interfaces;
 pub mod market;
 pub mod provider;
 pub mod strategies;
+pub mod stream;
 pub mod trace;
 
 pub use autotuner::{Autotuner, GatewayEvaluator, TuneOutcome};

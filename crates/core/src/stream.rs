@@ -1,0 +1,907 @@
+//! The streaming trace pipeline: constant-memory event production.
+//!
+//! [`Trace`] materializes every arrival up front — per-function `Vec`s
+//! plus a merged event view — which caps replay horizons at what fits in
+//! memory. This module produces the same events *lazily*: a
+//! [`StreamTrace`] holds only the trace's **specification** (generator
+//! parameters, or a CSV key map) plus O(functions) scan metadata, and an
+//! [`EventStream`] pulls arrivals one at a time through the same k-way
+//! merge and tie-break contract (time, then function index) as the
+//! materialized view. Peak resident state is `O(functions)` cursors —
+//! one pending event each — instead of `O(total events)`.
+//!
+//! # The streaming cursor contract
+//!
+//! - **Bit-identity.** `StreamTrace::open().events()` yields exactly the
+//!   events of [`StreamTrace::materialize`], same `f64` bits, same
+//!   order. Synthetic sources guarantee it by construction (both paths
+//!   drain the same [`GenCursor`](crate::trace)); the CSV reader shares
+//!   the materialized parser's row grammar and spread formula, and its
+//!   bounded-lookahead merge is exact for every file it accepts.
+//! - **Checkpoint / rewind.** [`EventStream::checkpoint`] captures the
+//!   stream's position (per-function generator states and pending
+//!   events; for CSV, the byte offset plus open rows);
+//!   [`StreamTrace::open_at`] reopens the stream there, replaying the
+//!   identical suffix. This is how the windowed fleet replay re-seeks a
+//!   window by epoch — and re-runs it during reconciliation by rewinding
+//!   to the same checkpoint — without ever holding the merged view.
+//! - **CSV lookahead.** Rows may arrive out of minute order by at most
+//!   [`CSV_LOOKAHEAD_MINUTES`]; the reader buffers the open rows of that
+//!   sliding window (its only super-constant state) and rejects files
+//!   that exceed the bound with a line-numbered error at scan time. The
+//!   materialized [`TraceSource::from_csv`] accepts arbitrary disorder —
+//!   it is the escape hatch for pathological files.
+//!
+//! Construction performs one **scan pass** (cheap: generation only, no
+//! simulation) recording the event count and horizon per function —
+//! what the fleet engine needs before replay — so `open()` itself is
+//! allocation-light and replays never re-derive metadata.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::trace::{
+    event_nanos, minute_event, parse_csv_row, stream_seed, GenCursor, Trace, TraceEvent,
+    TraceSource,
+};
+use crate::{FreedomError, Result};
+
+/// How far out of minute order CSV rows may arrive before the streaming
+/// reader rejects the file: a row with `minute < max_seen − LOOKAHEAD`
+/// is an error. Bounds the reader's buffered state to the open rows of
+/// a sliding `LOOKAHEAD + 1`-minute window.
+pub const CSV_LOOKAHEAD_MINUTES: u64 = 8;
+
+/// Default chunk size of the CSV byte reader. Tests shrink it to force
+/// records across chunk boundaries.
+const CSV_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Where the CSV bytes live. `Mem` shares the buffer across reopened
+/// streams; `File` reopens and seeks, so parallel windows each hold one
+/// descriptor and a chunk — never the file.
+#[derive(Debug, Clone)]
+enum CsvBytes {
+    Mem(Arc<[u8]>),
+    File(PathBuf),
+}
+
+/// A lazily-evaluated arrival trace: the specification plus O(functions)
+/// scan metadata, never the events.
+#[derive(Debug, Clone)]
+pub struct StreamTrace {
+    spec: StreamSpec,
+    n_functions: usize,
+    len: usize,
+    horizon_nanos: u64,
+}
+
+#[derive(Debug, Clone)]
+enum StreamSpec {
+    Synthetic {
+        source: TraceSource,
+        duration_secs: f64,
+        seed: u64,
+    },
+    Csv {
+        bytes: CsvBytes,
+        /// `(app, func)` → fleet index, in order of first appearance —
+        /// the same assignment the materialized reader makes.
+        keys: HashMap<(String, String), u32>,
+        chunk: usize,
+    },
+}
+
+impl StreamTrace {
+    /// A lazy trace over `n_functions` independent generator streams —
+    /// the streaming counterpart of [`TraceSource::generate`]. Performs
+    /// the scan pass sequentially.
+    pub fn generate(
+        source: TraceSource,
+        n_functions: usize,
+        duration_secs: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::generate_sharded(source, n_functions, duration_secs, seed, 1)
+    }
+
+    /// Like [`StreamTrace::generate`] with the scan pass fanned out over
+    /// `threads` workers. Streams are pure functions of
+    /// `(seed, function index)`, so the metadata — and every event later
+    /// pulled — is bit-identical for every thread count.
+    pub fn generate_sharded(
+        source: TraceSource,
+        n_functions: usize,
+        duration_secs: f64,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self> {
+        source.validate(n_functions, duration_secs)?;
+        let per_fn = freedom_parallel::par_run(n_functions, threads, |f| {
+            let mut cursor = GenCursor::new(&source, duration_secs, stream_seed(seed, f));
+            let mut count = 0usize;
+            let mut last = f64::NEG_INFINITY;
+            while let Some(t) = cursor.next_arrival() {
+                count += 1;
+                last = t;
+            }
+            (count, last)
+        });
+        let len = per_fn.iter().map(|&(c, _)| c).sum();
+        // The merged view's last event is the max over per-function last
+        // arrivals — same float, same nanos as the materialized path.
+        let horizon_nanos = per_fn
+            .iter()
+            .filter(|&&(c, _)| c > 0)
+            .map(|&(_, last)| event_nanos(last))
+            .max()
+            .unwrap_or(0);
+        Ok(Self {
+            spec: StreamSpec::Synthetic {
+                source,
+                duration_secs,
+                seed,
+            },
+            n_functions,
+            len,
+            horizon_nanos,
+        })
+    }
+
+    /// Streaming counterpart of [`TraceSource::from_csv`]: scans the
+    /// rows once (validating the grammar and the
+    /// [`CSV_LOOKAHEAD_MINUTES`] ordering bound, building the
+    /// `(app, func)` key map) and holds the bytes for lazy replay.
+    pub fn from_csv(csv: &str) -> Result<Self> {
+        Self::from_csv_chunked(csv, CSV_CHUNK_BYTES)
+    }
+
+    /// Streaming counterpart of [`TraceSource::from_csv_path`]: the scan
+    /// reads the file once in [`CSV_CHUNK_BYTES`] chunks; replays re-read
+    /// it, so the file must not change while the trace is in use.
+    pub fn from_csv_path(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        Self::from_csv_bytes(CsvBytes::File(path.as_ref().to_path_buf()), CSV_CHUNK_BYTES)
+    }
+
+    /// [`StreamTrace::from_csv`] with an explicit reader chunk size
+    /// (clamped to ≥ 1 byte). Chunking is observable only in I/O
+    /// granularity — records straddling chunk boundaries parse
+    /// identically — which is exactly what tests pin down by shrinking
+    /// the chunk to a few bytes.
+    pub fn from_csv_chunked(csv: &str, chunk_bytes: usize) -> Result<Self> {
+        Self::from_csv_bytes(CsvBytes::Mem(Arc::from(csv.as_bytes())), chunk_bytes)
+    }
+
+    fn from_csv_bytes(bytes: CsvBytes, chunk: usize) -> Result<Self> {
+        let mut reader = ChunkedLines::open(&bytes, 0, 0, chunk)?;
+        let mut keys: HashMap<(String, String), u32> = HashMap::new();
+        let mut len = 0usize;
+        let mut last = f64::NEG_INFINITY;
+        let mut m_max = 0u64;
+        let mut data_rows = 0usize;
+        while let Some((lineno, line)) = reader.next_line()? {
+            let Some(row) = parse_csv_row(&line, lineno)? else {
+                continue;
+            };
+            if row.minute.saturating_add(CSV_LOOKAHEAD_MINUTES) < m_max {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "trace CSV line {}: minute {} arrives more than {CSV_LOOKAHEAD_MINUTES} \
+                     minutes behind minute {m_max}; the streaming reader's lookahead cannot \
+                     reorder it (use TraceSource::from_csv for arbitrarily-disordered files)",
+                    lineno + 1,
+                    row.minute,
+                )));
+            }
+            m_max = m_max.max(row.minute);
+            data_rows += 1;
+            let next_index = keys.len() as u32;
+            keys.entry((row.app.to_string(), row.func.to_string()))
+                .or_insert(next_index);
+            if row.count > 0 {
+                len += row.count as usize;
+                last = last.max(minute_event(row.minute, row.count - 1, row.count));
+            }
+        }
+        if data_rows == 0 {
+            return Err(FreedomError::InvalidArgument(
+                "trace CSV has no data rows".into(),
+            ));
+        }
+        let horizon_nanos = if len == 0 { 0 } else { event_nanos(last) };
+        Ok(Self {
+            n_functions: keys.len(),
+            len,
+            horizon_nanos,
+            spec: StreamSpec::Csv { bytes, keys, chunk },
+        })
+    }
+
+    /// Number of functions with a (possibly empty) stream.
+    pub fn n_functions(&self) -> usize {
+        self.n_functions
+    }
+
+    /// Total number of arrivals the stream will yield.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arrival time of the last event in integer nanoseconds (0 for an
+    /// empty trace) — the replay horizon supply steps and controller
+    /// ticks are capped at.
+    pub fn horizon_nanos(&self) -> u64 {
+        self.horizon_nanos
+    }
+
+    /// Opens the event stream at position 0.
+    pub fn open(&self) -> Result<EventStream<'_>> {
+        match &self.spec {
+            StreamSpec::Synthetic {
+                source,
+                duration_secs,
+                seed,
+            } => {
+                let mut cursors = Vec::with_capacity(self.n_functions);
+                let mut pending = Vec::with_capacity(self.n_functions);
+                for f in 0..self.n_functions {
+                    let mut c = GenCursor::new(source, *duration_secs, stream_seed(*seed, f));
+                    pending.push(c.next_arrival());
+                    cursors.push(c);
+                }
+                Ok(EventStream {
+                    imp: StreamImp::Merge(MergeStream::new(cursors, pending)),
+                })
+            }
+            StreamSpec::Csv { bytes, keys, chunk } => Ok(EventStream {
+                imp: StreamImp::Csv(CsvStream {
+                    reader: ChunkedLines::open(bytes, 0, 0, *chunk)?,
+                    keys,
+                    heap: BinaryHeap::new(),
+                    m_max: 0,
+                    exhausted: false,
+                    peak_open: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Reopens the stream at a checkpoint previously taken from one of
+    /// this trace's streams, replaying the identical suffix — the
+    /// windowed replay's epoch re-seek. Returns
+    /// [`FreedomError::InvalidArgument`] when the checkpoint belongs to
+    /// the other stream kind.
+    pub fn open_at(&self, cp: &StreamCheckpoint) -> Result<EventStream<'_>> {
+        match (&self.spec, &cp.imp) {
+            (StreamSpec::Synthetic { .. }, CpImp::Merge { cursors, pending }) => Ok(EventStream {
+                imp: StreamImp::Merge(MergeStream::new(cursors.clone(), pending.clone())),
+            }),
+            (StreamSpec::Csv { bytes, keys, chunk }, CpImp::Csv(state)) => Ok(EventStream {
+                imp: StreamImp::Csv(CsvStream {
+                    reader: ChunkedLines::open(bytes, state.offset, state.lineno, *chunk)?,
+                    keys,
+                    heap: state.rows.iter().cloned().map(Reverse).collect(),
+                    m_max: state.m_max,
+                    exhausted: state.exhausted,
+                    peak_open: state.rows.len(),
+                }),
+            }),
+            _ => Err(FreedomError::InvalidArgument(
+                "stream checkpoint does not belong to this trace kind".into(),
+            )),
+        }
+    }
+
+    /// The escape hatch: builds the fully materialized [`Trace`] of the
+    /// same specification. Tests diff the streaming pipeline against it;
+    /// callers that need random access pay the O(events) memory
+    /// knowingly.
+    pub fn materialize(&self) -> Result<Trace> {
+        match &self.spec {
+            StreamSpec::Synthetic {
+                source,
+                duration_secs,
+                seed,
+            } => source.generate(self.n_functions, *duration_secs, *seed),
+            StreamSpec::Csv { bytes, .. } => match bytes {
+                CsvBytes::Mem(data) => TraceSource::from_csv(
+                    std::str::from_utf8(data)
+                        .map_err(|e| FreedomError::InvalidArgument(format!("trace CSV: {e}")))?,
+                ),
+                CsvBytes::File(path) => TraceSource::from_csv_path(path),
+            },
+        }
+    }
+}
+
+/// A resumable position in an [`EventStream`] — cheap to clone, `Send`,
+/// and `O(functions)` (synthetic) or `O(open rows)` (CSV) in size.
+#[derive(Debug, Clone)]
+pub struct StreamCheckpoint {
+    imp: CpImp,
+}
+
+#[derive(Debug, Clone)]
+enum CpImp {
+    Merge {
+        cursors: Vec<GenCursor>,
+        pending: Vec<Option<f64>>,
+    },
+    Csv(CsvState),
+}
+
+/// The CSV reader's resumable state.
+#[derive(Debug, Clone)]
+struct CsvState {
+    /// Byte offset of the first unread line.
+    offset: u64,
+    /// 0-based index of that line.
+    lineno: usize,
+    m_max: u64,
+    rows: Vec<OpenRow>,
+    exhausted: bool,
+}
+
+/// A lazily-merged view of one trace's events, in the materialized
+/// order: time ascending, ties broken by lower function index.
+pub struct EventStream<'a> {
+    imp: StreamImp<'a>,
+}
+
+enum StreamImp<'a> {
+    Merge(MergeStream),
+    Csv(CsvStream<'a>),
+}
+
+impl<'a> EventStream<'a> {
+    /// The next event without consuming it. May read ahead (CSV rows,
+    /// generator draws) but never emits.
+    pub fn peek(&mut self) -> Option<TraceEvent> {
+        match &mut self.imp {
+            StreamImp::Merge(m) => m.peek(),
+            StreamImp::Csv(c) => c.ready(),
+        }
+    }
+
+    /// Consumes and returns the next event.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<TraceEvent> {
+        match &mut self.imp {
+            StreamImp::Merge(m) => m.next(),
+            StreamImp::Csv(c) => c.next(),
+        }
+    }
+
+    /// Captures the current position for [`StreamTrace::open_at`].
+    pub fn checkpoint(&self) -> StreamCheckpoint {
+        match &self.imp {
+            StreamImp::Merge(m) => StreamCheckpoint {
+                imp: CpImp::Merge {
+                    cursors: m.cursors.clone(),
+                    pending: m.pending.clone(),
+                },
+            },
+            StreamImp::Csv(c) => StreamCheckpoint {
+                imp: CpImp::Csv(CsvState {
+                    offset: c.reader.offset(),
+                    lineno: c.reader.lineno(),
+                    m_max: c.m_max,
+                    rows: c.heap.iter().map(|Reverse(r)| r.clone()).collect(),
+                    exhausted: c.exhausted,
+                }),
+            },
+        }
+    }
+
+    /// Draining iterator over the remaining events.
+    pub fn events<'s>(&'s mut self) -> impl Iterator<Item = TraceEvent> + use<'s, 'a> {
+        std::iter::from_fn(move || self.next())
+    }
+
+    /// Peak number of events this stream ever held resident: one pending
+    /// arrival per cursor (synthetic) or the open rows of the lookahead
+    /// window (CSV). The "cursor lookahead" term of the replay's
+    /// peak-memory bound.
+    pub fn peak_resident(&self) -> usize {
+        match &self.imp {
+            StreamImp::Merge(m) => m.cursors.len(),
+            StreamImp::Csv(c) => c.peak_open,
+        }
+    }
+}
+
+/// K-way heap merge over per-function generator cursors — the lazy
+/// equivalent of `Trace::from_streams`, with the identical
+/// `(time bits, function index)` heap key and tie-break.
+struct MergeStream {
+    cursors: Vec<GenCursor>,
+    /// Each cursor's generated-but-unconsumed arrival; mirrors the heap
+    /// so checkpoints can capture it without draining.
+    pending: Vec<Option<f64>>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl MergeStream {
+    fn new(cursors: Vec<GenCursor>, pending: Vec<Option<f64>>) -> Self {
+        let heap = pending
+            .iter()
+            .enumerate()
+            .filter_map(|(f, &t)| t.map(|t| Reverse((t.to_bits(), f))))
+            .collect();
+        Self {
+            cursors,
+            pending,
+            heap,
+        }
+    }
+
+    fn peek(&self) -> Option<TraceEvent> {
+        self.heap.peek().map(|&Reverse((bits, f))| TraceEvent {
+            at_secs: f64::from_bits(bits),
+            function: f,
+        })
+    }
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        let mut top = self.heap.peek_mut()?;
+        let Reverse((bits, f)) = *top;
+        let refill = self.cursors[f].next_arrival();
+        self.pending[f] = refill;
+        // Replace-top + one sift instead of pop + push: the refilled
+        // cursor usually stays near the front, so this halves the heap
+        // work on the hot path.
+        match refill {
+            Some(t) => *top = Reverse((t.to_bits(), f)),
+            None => {
+                std::collections::binary_heap::PeekMut::pop(top);
+            }
+        }
+        Some(TraceEvent {
+            at_secs: f64::from_bits(bits),
+            function: f,
+        })
+    }
+}
+
+/// One partially-emitted CSV row in the reader's lookahead window.
+///
+/// Ordering is by `(next event time bits, function, minute, count,
+/// progress)` — the first two fields reproduce the merge tie-break;
+/// the rest only make the order total (equal-keyed rows emit identical
+/// events, so their relative order is unobservable).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct OpenRow {
+    next_bits: u64,
+    function: u32,
+    minute: u64,
+    count: u32,
+    j: u32,
+}
+
+/// Line-by-line CSV event source with bounded minute lookahead.
+struct CsvStream<'a> {
+    reader: ChunkedLines,
+    keys: &'a HashMap<(String, String), u32>,
+    heap: BinaryHeap<Reverse<OpenRow>>,
+    /// Highest minute seen so far; events before
+    /// `60·(m_max − lookahead)` can no longer be preempted by unread
+    /// rows and are safe to emit.
+    m_max: u64,
+    exhausted: bool,
+    peak_open: usize,
+}
+
+impl CsvStream<'_> {
+    fn frontier_secs(&self) -> f64 {
+        self.m_max.saturating_sub(CSV_LOOKAHEAD_MINUTES) as f64 * 60.0
+    }
+
+    /// Reads rows until the heap top is safe to emit (or input ends);
+    /// returns it without consuming.
+    fn ready(&mut self) -> Option<TraceEvent> {
+        loop {
+            if let Some(Reverse(top)) = self.heap.peek() {
+                let t = f64::from_bits(top.next_bits);
+                if self.exhausted || t < self.frontier_secs() {
+                    return Some(TraceEvent {
+                        at_secs: t,
+                        function: top.function as usize,
+                    });
+                }
+            } else if self.exhausted {
+                return None;
+            }
+            self.read_row();
+        }
+    }
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        let event = self.ready()?;
+        let Reverse(mut row) = self.heap.pop().expect("ready implies a top");
+        row.j += 1;
+        if row.j < row.count {
+            row.next_bits = minute_event(row.minute, row.j as u64, row.count as u64).to_bits();
+            self.heap.push(Reverse(row));
+        }
+        Some(event)
+    }
+
+    /// Reads one more row into the lookahead window. The scan pass
+    /// already validated the whole input, so a failure here means the
+    /// bytes changed between scan and replay — an environment error the
+    /// replay cannot recover from mid-simulation.
+    fn read_row(&mut self) {
+        let line = self
+            .reader
+            .next_line()
+            .expect("trace CSV changed between scan and replay");
+        let Some((lineno, line)) = line else {
+            self.exhausted = true;
+            return;
+        };
+        let Some(row) = parse_csv_row(&line, lineno).expect("trace CSV validated at scan time")
+        else {
+            return;
+        };
+        assert!(
+            row.minute.saturating_add(CSV_LOOKAHEAD_MINUTES) >= self.m_max,
+            "trace CSV changed between scan and replay: line {} breaks the lookahead bound",
+            lineno + 1
+        );
+        self.m_max = self.m_max.max(row.minute);
+        if row.count == 0 {
+            return;
+        }
+        let function = *self
+            .keys
+            .get(&(row.app.to_string(), row.func.to_string()))
+            .expect("trace CSV validated at scan time");
+        self.heap.push(Reverse(OpenRow {
+            next_bits: minute_event(row.minute, 0, row.count).to_bits(),
+            function,
+            minute: row.minute,
+            count: row.count as u32,
+            j: 0,
+        }));
+        self.peak_open = self.peak_open.max(self.heap.len());
+    }
+}
+
+/// Chunked line reader over in-memory or file-backed bytes: reads
+/// fixed-size chunks, assembles lines across chunk boundaries, and
+/// tracks the byte offset and 0-based line number of the next unread
+/// line so checkpoints can re-seek exactly.
+struct ChunkedLines {
+    src: ChunkSrc,
+    /// Bytes read but not yet emitted as lines; `buf[..pos]` is
+    /// consumed.
+    buf: Vec<u8>,
+    pos: usize,
+    /// Absolute offset of `buf[pos]`.
+    offset: u64,
+    lineno: usize,
+    chunk: usize,
+    eof: bool,
+}
+
+enum ChunkSrc {
+    Mem { data: Arc<[u8]>, read: usize },
+    File(std::fs::File),
+}
+
+impl ChunkedLines {
+    fn open(bytes: &CsvBytes, offset: u64, lineno: usize, chunk: usize) -> Result<Self> {
+        let src = match bytes {
+            CsvBytes::Mem(data) => ChunkSrc::Mem {
+                data: Arc::clone(data),
+                read: (offset as usize).min(data.len()),
+            },
+            CsvBytes::File(path) => {
+                let mut file = std::fs::File::open(path).map_err(|e| {
+                    FreedomError::InvalidArgument(format!(
+                        "cannot read trace CSV {}: {e}",
+                        path.display()
+                    ))
+                })?;
+                file.seek(SeekFrom::Start(offset)).map_err(|e| {
+                    FreedomError::InvalidArgument(format!(
+                        "cannot seek trace CSV {}: {e}",
+                        path.display()
+                    ))
+                })?;
+                ChunkSrc::File(file)
+            }
+        };
+        Ok(Self {
+            src,
+            buf: Vec::new(),
+            pos: 0,
+            offset,
+            lineno,
+            chunk: chunk.max(1),
+            eof: false,
+        })
+    }
+
+    /// Byte offset of the next unread line.
+    fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// 0-based index of the next unread line.
+    fn lineno(&self) -> usize {
+        self.lineno
+    }
+
+    /// The next `(lineno, line)`, or `None` at end of input. The final
+    /// line may lack a trailing newline, exactly like `str::lines`.
+    fn next_line(&mut self) -> Result<Option<(usize, String)>> {
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let line = self.take_line(self.pos + nl, 1);
+                return Ok(Some(line?));
+            }
+            if self.eof {
+                if self.pos < self.buf.len() {
+                    let end = self.buf.len();
+                    return Ok(Some(self.take_line(end, 0)?));
+                }
+                return Ok(None);
+            }
+            self.refill()?;
+        }
+    }
+
+    /// Emits `buf[pos..end]` as a line, consuming `end + skip` bytes.
+    fn take_line(&mut self, end: usize, skip: usize) -> Result<(usize, String)> {
+        let mut bytes = &self.buf[self.pos..end];
+        // `str::lines` strips a carriage return before the newline.
+        if skip > 0 && bytes.last() == Some(&b'\r') {
+            bytes = &bytes[..bytes.len() - 1];
+        }
+        let line = std::str::from_utf8(bytes)
+            .map_err(|e| {
+                FreedomError::InvalidArgument(format!(
+                    "trace CSV line {}: invalid UTF-8: {e}",
+                    self.lineno + 1
+                ))
+            })?
+            .to_string();
+        let lineno = self.lineno;
+        self.offset += (end + skip - self.pos) as u64;
+        self.pos = end + skip;
+        self.lineno += 1;
+        Ok((lineno, line))
+    }
+
+    fn refill(&mut self) -> Result<()> {
+        // Drop the consumed prefix before growing the carry.
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        match &mut self.src {
+            ChunkSrc::Mem { data, read } => {
+                let take = self.chunk.min(data.len() - *read);
+                self.buf.extend_from_slice(&data[*read..*read + take]);
+                *read += take;
+                if take == 0 {
+                    self.eof = true;
+                }
+            }
+            ChunkSrc::File(file) => {
+                let start = self.buf.len();
+                self.buf.resize(start + self.chunk, 0);
+                let n = file
+                    .read(&mut self.buf[start..])
+                    .map_err(|e| FreedomError::InvalidArgument(format!("trace CSV read: {e}")))?;
+                self.buf.truncate(start + n);
+                if n == 0 {
+                    self.eof = true;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCES: [TraceSource; 4] = [
+        TraceSource::Poisson {
+            rps_per_function: 0.8,
+        },
+        TraceSource::Bursty {
+            calm_rps: 0.2,
+            burst_rps: 4.0,
+            mean_calm_secs: 40.0,
+            mean_burst_secs: 5.0,
+        },
+        TraceSource::Diurnal {
+            mean_rps: 0.8,
+            peak_to_trough: 4.0,
+            period_secs: 120.0,
+        },
+        TraceSource::HeavyTail {
+            mean_rps: 0.8,
+            alpha: 1.5,
+        },
+    ];
+
+    const AZURE_FIXTURE: &str = include_str!("../testdata/azure_sample.csv");
+
+    fn drain(stream: &mut EventStream<'_>) -> Vec<TraceEvent> {
+        stream.events().collect()
+    }
+
+    #[test]
+    fn every_source_streams_the_materialized_events_bit_for_bit() {
+        for source in SOURCES {
+            let lazy = StreamTrace::generate(source, 10, 200.0, 7).unwrap();
+            let full = lazy.materialize().unwrap();
+            assert_eq!(lazy.n_functions(), full.n_functions(), "{source:?}");
+            assert_eq!(lazy.len(), full.len(), "{source:?}");
+            assert_eq!(
+                lazy.horizon_nanos(),
+                event_nanos(full.events().last().unwrap().at_secs),
+                "{source:?}"
+            );
+            let events = drain(&mut lazy.open().unwrap());
+            assert_eq!(events.as_slice(), full.events(), "{source:?}");
+            // The scan pass fans out bit-identically.
+            let sharded = StreamTrace::generate_sharded(source, 10, 200.0, 7, 8).unwrap();
+            assert_eq!(sharded.len(), lazy.len());
+            assert_eq!(sharded.horizon_nanos(), lazy.horizon_nanos());
+        }
+    }
+
+    #[test]
+    fn checkpoints_replay_identical_suffixes() {
+        let lazy = StreamTrace::generate(SOURCES[3], 6, 120.0, 3).unwrap();
+        let mut stream = lazy.open().unwrap();
+        let all = drain(&mut lazy.open().unwrap());
+        for split in [0usize, 1, 7, all.len() - 1, all.len()] {
+            let mut stream2 = lazy.open().unwrap();
+            for _ in 0..split {
+                stream2.next();
+            }
+            let cp = stream2.checkpoint();
+            // Rewind twice: the checkpoint is reusable, not consumed.
+            for _ in 0..2 {
+                let suffix = drain(&mut lazy.open_at(&cp).unwrap());
+                assert_eq!(suffix.as_slice(), &all[split..], "split at {split}");
+            }
+        }
+        // A checkpoint taken after peeking is position-identical to one
+        // taken before.
+        stream.next();
+        let before = stream.checkpoint();
+        stream.peek();
+        let after = stream.checkpoint();
+        assert_eq!(
+            drain(&mut lazy.open_at(&before).unwrap()),
+            drain(&mut lazy.open_at(&after).unwrap()),
+        );
+    }
+
+    #[test]
+    fn csv_stream_matches_materialized_reader() {
+        for chunk in [3usize, 17, 64 * 1024] {
+            let lazy = StreamTrace::from_csv_chunked(AZURE_FIXTURE, chunk).unwrap();
+            let full = TraceSource::from_csv(AZURE_FIXTURE).unwrap();
+            assert_eq!(lazy.n_functions(), 6);
+            assert_eq!(lazy.len(), 113);
+            assert_eq!(
+                lazy.horizon_nanos(),
+                event_nanos(full.events().last().unwrap().at_secs)
+            );
+            let events = drain(&mut lazy.open().unwrap());
+            assert_eq!(events.as_slice(), full.events(), "chunk {chunk}");
+            // Mid-stream checkpoints re-seek exactly, and the lookahead
+            // stays bounded by the open rows.
+            let mut stream = lazy.open().unwrap();
+            for _ in 0..40 {
+                stream.next();
+            }
+            let cp = stream.checkpoint();
+            let suffix = drain(&mut lazy.open_at(&cp).unwrap());
+            assert_eq!(suffix.as_slice(), &events[40..]);
+            assert!(lazy.open().unwrap().peak_resident() <= AZURE_FIXTURE.lines().count());
+        }
+    }
+
+    #[test]
+    fn csv_negative_paths_report_accurate_line_numbers() {
+        let err = |csv: &str, chunk: usize| match StreamTrace::from_csv_chunked(csv, chunk) {
+            Err(FreedomError::InvalidArgument(msg)) => msg,
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        };
+        // A truncated final line — the file ends mid-record, no trailing
+        // newline — is a malformed row at its own line number, even when
+        // the chunk boundary lands inside it.
+        for chunk in [1usize, 4, 1 << 16] {
+            let msg = err("a,f,0,3\nb,g,1,2\na,f,2", chunk);
+            assert!(msg.contains("line 3"), "chunk {chunk}: {msg}");
+            assert!(msg.contains("4 columns"), "chunk {chunk}: {msg}");
+        }
+        // A record split mid-field across a chunk boundary still parses
+        // as one line; when malformed, the error names that line.
+        for chunk in 1..12 {
+            let msg = err("a,f,0,3\na,f,1,not-a-count\na,f,2,1\n", chunk);
+            assert!(msg.contains("line 2"), "chunk {chunk}: {msg}");
+        }
+        // Functions interleaved out of minute order across chunk
+        // boundaries stream fine within the lookahead bound...
+        let ok = "a,f,9,1\nb,g,2,1\na,f,10,1\n";
+        let lazy = StreamTrace::from_csv_chunked(ok, 5).unwrap();
+        let full = TraceSource::from_csv(ok).unwrap();
+        assert_eq!(drain(&mut lazy.open().unwrap()).as_slice(), full.events());
+        // ...but beyond it the scan rejects the file with the offending
+        // line, while the materialized reader still accepts it.
+        let disordered = "a,f,30,1\nb,g,2,1\n";
+        let msg = err(disordered, 4);
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("lookahead"), "{msg}");
+        assert!(TraceSource::from_csv(disordered).is_ok());
+        // Scan-time grammar errors match the materialized reader's.
+        assert!(StreamTrace::from_csv("").is_err());
+        assert!(StreamTrace::from_csv("app,func,minute,count\n").is_err());
+        assert!(StreamTrace::from_csv("a,f,0,1000001\n").is_err());
+        assert!(StreamTrace::from_csv_path("/nonexistent/trace.csv").is_err());
+    }
+
+    #[test]
+    fn csv_streaming_handles_headers_zero_counts_and_crlf() {
+        // Header skipped, zero-count rows register their function, CRLF
+        // endings tolerated — all matching the materialized reader.
+        let csv = "app,func,minute,count\r\na,f,0,3\r\nb,g,1,0\r\n";
+        let lazy = StreamTrace::from_csv(csv).unwrap();
+        assert_eq!(lazy.n_functions(), 2);
+        assert_eq!(lazy.len(), 3);
+        let full = TraceSource::from_csv(csv).unwrap();
+        assert_eq!(drain(&mut lazy.open().unwrap()).as_slice(), full.events());
+        // An empty trace of registered functions is well-formed.
+        let empty = StreamTrace::from_csv("a,f,0,0\n").unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.horizon_nanos(), 0);
+        assert!(drain(&mut empty.open().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn file_backed_streams_checkpoint_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("freedom_stream_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("azure.csv");
+        std::fs::write(&path, AZURE_FIXTURE).unwrap();
+        let lazy = StreamTrace::from_csv_path(&path).unwrap();
+        let full = TraceSource::from_csv_path(&path).unwrap();
+        let events = drain(&mut lazy.open().unwrap());
+        assert_eq!(events.as_slice(), full.events());
+        let mut stream = lazy.open().unwrap();
+        for _ in 0..25 {
+            stream.next();
+        }
+        let cp = stream.checkpoint();
+        assert_eq!(
+            drain(&mut lazy.open_at(&cp).unwrap()).as_slice(),
+            &events[25..]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_kind_mismatch_is_rejected() {
+        let synthetic = StreamTrace::generate(SOURCES[0], 3, 30.0, 1).unwrap();
+        let csv = StreamTrace::from_csv("a,f,0,2\n").unwrap();
+        let cp = synthetic.open().unwrap().checkpoint();
+        assert!(csv.open_at(&cp).is_err());
+        let cp = csv.open().unwrap().checkpoint();
+        assert!(synthetic.open_at(&cp).is_err());
+    }
+}

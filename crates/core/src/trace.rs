@@ -20,6 +20,12 @@
 //! it, so `generate` and [`TraceSource::generate_sharded`] are
 //! bit-identical. The merged event view is built with a k-way streaming
 //! merge over the per-function streams (no global sort).
+//!
+//! Each generator is implemented as a resumable [`GenCursor`] — the
+//! per-function event cursor the streaming pipeline
+//! ([`crate::stream::StreamTrace`]) pulls from lazily. The materialized
+//! [`Trace`] drains the very same cursor into a `Vec`, so the two
+//! representations are bit-identical by construction.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -246,65 +252,22 @@ impl TraceSource {
     /// Returns [`FreedomError::InvalidArgument`] on malformed rows (with
     /// the 1-based line number) or when no data rows are present.
     pub fn from_csv(csv: &str) -> Result<Trace> {
-        // Sanity cap per function-minute (~16 k rps): a fat-fingered
-        // count must become a clean per-line error, not a giant
-        // allocation.
-        const MAX_COUNT_PER_MINUTE: u64 = 1_000_000;
         let mut keys: std::collections::HashMap<(String, String), usize> =
             std::collections::HashMap::new();
         let mut streams: Vec<Vec<f64>> = Vec::new();
         for (lineno, line) in csv.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
+            let Some(row) = parse_csv_row(line, lineno)? else {
                 continue;
-            }
-            let bad = |what: &str| {
-                FreedomError::InvalidArgument(format!(
-                    "trace CSV line {}: {what}: {line:?}",
-                    lineno + 1
-                ))
             };
-            let mut cols = line.split(',').map(str::trim);
-            let (app, func, minute, count) = match (
-                cols.next(),
-                cols.next(),
-                cols.next(),
-                cols.next(),
-                cols.next(),
-            ) {
-                (Some(app), Some(func), Some(minute), Some(count), None) => {
-                    (app, func, minute, count)
-                }
-                _ => return Err(bad("expected 4 columns app,func,minute,count")),
-            };
-            let Ok(minute) = minute.parse::<u64>() else {
-                if lineno == 0 {
-                    continue; // header row, per the documented contract
-                }
-                return Err(bad("minute must be a non-negative integer"));
-            };
-            // A numeric minute marks a data row even on the first line,
-            // so a corrupt count never silently drops invocations as a
-            // misdetected header.
-            let Ok(count) = count.parse::<u64>() else {
-                return Err(bad("count must be a non-negative integer"));
-            };
-            if count > MAX_COUNT_PER_MINUTE {
-                return Err(bad("count exceeds 1e6 invocations per minute"));
-            }
             let next_index = keys.len();
             let function = *keys
-                .entry((app.to_string(), func.to_string()))
+                .entry((row.app.to_string(), row.func.to_string()))
                 .or_insert(next_index);
             if function == next_index {
                 streams.push(Vec::new());
             }
-            // Spread the minute's invocations evenly across its 60
-            // seconds: arrival j lands at the midpoint of its 1/count
-            // sub-slot.
-            let start = minute as f64 * 60.0;
             streams[function]
-                .extend((0..count).map(|j| start + (j as f64 + 0.5) * 60.0 / count as f64));
+                .extend((0..row.count).map(|j| minute_event(row.minute, j, row.count)));
         }
         if streams.is_empty() {
             return Err(FreedomError::InvalidArgument(
@@ -356,7 +319,7 @@ impl TraceSource {
         Ok(Trace::from_streams(streams))
     }
 
-    fn validate(&self, n_functions: usize, duration_secs: f64) -> Result<()> {
+    pub(crate) fn validate(&self, n_functions: usize, duration_secs: f64) -> Result<()> {
         let invalid = |what: String| Err(FreedomError::InvalidArgument(what));
         if n_functions == 0 {
             return invalid("trace needs at least one function".into());
@@ -411,23 +374,79 @@ impl TraceSource {
         }
     }
 
-    /// One function's sorted arrival stream over `(0, duration)`.
+    /// One function's sorted arrival stream over `(0, duration)`:
+    /// a full drain of the function's [`GenCursor`], so the materialized
+    /// stream and the lazy one are the same bits by construction.
     fn stream(&self, duration: f64, seed: u64) -> Vec<f64> {
+        let mut cursor = GenCursor::new(self, duration, seed);
+        let mut out = presized(duration, cursor.rate_hint());
+        while let Some(t) = cursor.next_arrival() {
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// The resumable state of one function's arrival generator: the event
+/// cursor the streaming pipeline pulls from lazily.
+///
+/// A cursor is a pure function of `(source, duration, seed)`: cloning it
+/// checkpoints the stream at its current position, and restoring the
+/// clone replays the identical suffix — the property the windowed
+/// replay's epoch re-seek ([`crate::stream::StreamCheckpoint`]) rests
+/// on. [`TraceSource::stream`] drains a fresh cursor into a `Vec`, so
+/// the materialized and streaming representations never diverge.
+#[derive(Debug, Clone)]
+pub(crate) struct GenCursor {
+    rng: StdRng,
+    t: f64,
+    duration: f64,
+    done: bool,
+    mode: GenMode,
+    rate_hint: f64,
+}
+
+/// Variant-specific generator state.
+#[derive(Debug, Clone)]
+enum GenMode {
+    Poisson {
+        rate: f64,
+    },
+    Bursty {
+        calm_rps: f64,
+        burst_rps: f64,
+        mean_calm_secs: f64,
+        mean_burst_secs: f64,
+        bursting: bool,
+        switch_at: f64,
+    },
+    Diurnal {
+        mean_rps: f64,
+        amp: f64,
+        rate_max: f64,
+        period_secs: f64,
+    },
+    HeavyTail {
+        alpha: f64,
+        scale: f64,
+    },
+}
+
+impl GenCursor {
+    /// Seeds a fresh cursor at `t = 0`. Any RNG draws that fix the
+    /// stream's shape (the heavy-tail popularity weight, the first
+    /// bursty state switch) happen here, in the same order the
+    /// materialized generator performed them.
+    pub(crate) fn new(source: &TraceSource, duration: f64, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        match *self {
-            Self::Poisson { rps_per_function } => {
-                let mut out = presized(duration, rps_per_function);
-                let mut t = 0.0;
-                loop {
-                    t += exp_sample(&mut rng, rps_per_function);
-                    if t >= duration {
-                        break;
-                    }
-                    out.push(t);
-                }
-                out
-            }
-            Self::Bursty {
+        let (mode, rate_hint) = match *source {
+            TraceSource::Poisson { rps_per_function } => (
+                GenMode::Poisson {
+                    rate: rps_per_function,
+                },
+                rps_per_function,
+            ),
+            TraceSource::Bursty {
                 calm_rps,
                 burst_rps,
                 mean_calm_secs,
@@ -436,65 +455,37 @@ impl TraceSource {
                 // Expected rate = time-weighted mix of the two states.
                 let mix = (calm_rps * mean_calm_secs + burst_rps * mean_burst_secs)
                     / (mean_calm_secs + mean_burst_secs);
-                let mut out = presized(duration, mix);
-                let mut t = 0.0;
-                let mut bursting = false;
-                let mut switch_at = exp_sample(&mut rng, 1.0 / mean_calm_secs);
-                loop {
-                    let rate = if bursting { burst_rps } else { calm_rps };
-                    // `calm_rps == 0` gives an infinite gap, which simply
-                    // rides the state machine to the next burst.
-                    let next = t + exp_sample(&mut rng, rate);
-                    if next < switch_at {
-                        t = next;
-                        if t >= duration {
-                            break;
-                        }
-                        out.push(t);
-                    } else {
-                        // The exponential is memoryless, so jumping to the
-                        // switch point and redrawing is exact.
-                        t = switch_at;
-                        if t >= duration {
-                            break;
-                        }
-                        bursting = !bursting;
-                        let mean = if bursting {
-                            mean_burst_secs
-                        } else {
-                            mean_calm_secs
-                        };
-                        switch_at = t + exp_sample(&mut rng, 1.0 / mean);
-                    }
-                }
-                out
+                let switch_at = exp_sample(&mut rng, 1.0 / mean_calm_secs);
+                (
+                    GenMode::Bursty {
+                        calm_rps,
+                        burst_rps,
+                        mean_calm_secs,
+                        mean_burst_secs,
+                        bursting: false,
+                        switch_at,
+                    },
+                    mix,
+                )
             }
-            Self::Diurnal {
+            TraceSource::Diurnal {
                 mean_rps,
                 peak_to_trough,
                 period_secs,
             } => {
                 let amp = (peak_to_trough - 1.0) / (peak_to_trough + 1.0);
                 let rate_max = mean_rps * (1.0 + amp);
-                let mut out = presized(duration, mean_rps);
-                let mut t = 0.0;
-                // Lewis–Shedler thinning: candidates at the peak rate,
-                // accepted with probability rate(t)/rate_max.
-                loop {
-                    t += exp_sample(&mut rng, rate_max);
-                    if t >= duration {
-                        break;
-                    }
-                    let rate = mean_rps
-                        * (1.0 + amp * (2.0 * std::f64::consts::PI * t / period_secs).sin());
-                    let u: f64 = rng.gen_range(0.0..1.0);
-                    if u * rate_max < rate {
-                        out.push(t);
-                    }
-                }
-                out
+                (
+                    GenMode::Diurnal {
+                        mean_rps,
+                        amp,
+                        rate_max,
+                        period_secs,
+                    },
+                    mean_rps,
+                )
             }
-            Self::HeavyTail { mean_rps, alpha } => {
+            TraceSource::HeavyTail { mean_rps, alpha } => {
                 // Popularity weight: Pareto(1, α), normalized by its mean
                 // α/(α−1) so the fleet-wide average stays ≈ mean_rps,
                 // truncated so a single function cannot dwarf the fleet.
@@ -503,20 +494,175 @@ impl TraceSource {
                 let rate = mean_rps * weight * (alpha - 1.0) / alpha;
                 // Lomax(α) inter-arrivals with mean 1/rate.
                 let scale = (alpha - 1.0) / rate;
-                let mut out = presized(duration, rate);
-                let mut t = 0.0;
-                loop {
-                    let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                    t += scale * (v.powf(-1.0 / alpha) - 1.0);
-                    if t >= duration {
-                        break;
-                    }
-                    out.push(t);
+                (GenMode::HeavyTail { alpha, scale }, rate)
+            }
+        };
+        Self {
+            rng,
+            t: 0.0,
+            duration,
+            done: false,
+            mode,
+            rate_hint,
+        }
+    }
+
+    /// This stream's expected arrival rate — the pre-sizing hint.
+    pub(crate) fn rate_hint(&self) -> f64 {
+        self.rate_hint
+    }
+
+    /// The next arrival strictly inside `(0, duration)`, or `None`
+    /// forever once the stream is exhausted.
+    pub(crate) fn next_arrival(&mut self) -> Option<f64> {
+        if self.done {
+            return None;
+        }
+        match &mut self.mode {
+            GenMode::Poisson { rate } => {
+                self.t += exp_sample(&mut self.rng, *rate);
+                if self.t >= self.duration {
+                    self.done = true;
+                    return None;
                 }
-                out
+                Some(self.t)
+            }
+            GenMode::Bursty {
+                calm_rps,
+                burst_rps,
+                mean_calm_secs,
+                mean_burst_secs,
+                bursting,
+                switch_at,
+            } => loop {
+                let rate = if *bursting { *burst_rps } else { *calm_rps };
+                // `calm_rps == 0` gives an infinite gap, which simply
+                // rides the state machine to the next burst.
+                let next = self.t + exp_sample(&mut self.rng, rate);
+                if next < *switch_at {
+                    self.t = next;
+                    if next >= self.duration {
+                        self.done = true;
+                        return None;
+                    }
+                    return Some(next);
+                }
+                // The exponential is memoryless, so jumping to the
+                // switch point and redrawing is exact.
+                self.t = *switch_at;
+                if self.t >= self.duration {
+                    self.done = true;
+                    return None;
+                }
+                *bursting = !*bursting;
+                let mean = if *bursting {
+                    *mean_burst_secs
+                } else {
+                    *mean_calm_secs
+                };
+                *switch_at = self.t + exp_sample(&mut self.rng, 1.0 / mean);
+            },
+            GenMode::Diurnal {
+                mean_rps,
+                amp,
+                rate_max,
+                period_secs,
+            } => loop {
+                // Lewis–Shedler thinning: candidates at the peak rate,
+                // accepted with probability rate(t)/rate_max.
+                self.t += exp_sample(&mut self.rng, *rate_max);
+                if self.t >= self.duration {
+                    self.done = true;
+                    return None;
+                }
+                let rate = *mean_rps
+                    * (1.0 + *amp * (2.0 * std::f64::consts::PI * self.t / *period_secs).sin());
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                if u * *rate_max < rate {
+                    return Some(self.t);
+                }
+            },
+            GenMode::HeavyTail { alpha, scale } => {
+                let v: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                self.t += *scale * (v.powf(-1.0 / *alpha) - 1.0);
+                if self.t >= self.duration {
+                    self.done = true;
+                    return None;
+                }
+                Some(self.t)
             }
         }
     }
+}
+
+/// One parsed `app,func,minute,count` trace-CSV row.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CsvRow<'a> {
+    pub app: &'a str,
+    pub func: &'a str,
+    pub minute: u64,
+    pub count: u64,
+}
+
+/// Sanity cap per function-minute (~16 k rps): a fat-fingered count must
+/// become a clean per-line error, not a giant allocation.
+pub(crate) const MAX_COUNT_PER_MINUTE: u64 = 1_000_000;
+
+/// Parses one trace-CSV line (`lineno` 0-based). Returns `Ok(None)` for
+/// blank lines and for a line-0 header (non-numeric `minute` column).
+/// Shared by the materialized reader ([`TraceSource::from_csv`]) and the
+/// streaming one ([`crate::stream::StreamTrace`]), so both accept and
+/// reject exactly the same rows with the same line-numbered errors.
+pub(crate) fn parse_csv_row(line: &str, lineno: usize) -> Result<Option<CsvRow<'_>>> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let bad = |what: &str| {
+        FreedomError::InvalidArgument(format!("trace CSV line {}: {what}: {line:?}", lineno + 1))
+    };
+    let mut cols = line.split(',').map(str::trim);
+    let (app, func, minute, count) = match (
+        cols.next(),
+        cols.next(),
+        cols.next(),
+        cols.next(),
+        cols.next(),
+    ) {
+        (Some(app), Some(func), Some(minute), Some(count), None) => (app, func, minute, count),
+        _ => return Err(bad("expected 4 columns app,func,minute,count")),
+    };
+    let Ok(minute) = minute.parse::<u64>() else {
+        if lineno == 0 {
+            return Ok(None); // header row, per the documented contract
+        }
+        return Err(bad("minute must be a non-negative integer"));
+    };
+    // A numeric minute marks a data row even on the first line, so a
+    // corrupt count never silently drops invocations as a misdetected
+    // header.
+    let Ok(count) = count.parse::<u64>() else {
+        return Err(bad("count must be a non-negative integer"));
+    };
+    if count > MAX_COUNT_PER_MINUTE {
+        return Err(bad("count exceeds 1e6 invocations per minute"));
+    }
+    Ok(Some(CsvRow {
+        app,
+        func,
+        minute,
+        count,
+    }))
+}
+
+/// Arrival `j` of a `count`-invocation minute: the minute's invocations
+/// spread evenly across its 60 seconds, each at the midpoint of its
+/// `1/count` sub-slot. One formula, shared by every CSV reader, so the
+/// materialized and streaming paths emit identical bits.
+#[inline]
+pub(crate) fn minute_event(minute: u64, j: u64, count: u64) -> f64 {
+    let start = minute as f64 * 60.0;
+    start + (j as f64 + 0.5) * 60.0 / count as f64
 }
 
 /// A vector pre-sized for a `duration × rate` stream plus 10% headroom,
@@ -537,7 +683,7 @@ fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
 /// Seed of one function's stream: a SplitMix64-style mix of the trace
 /// seed and the function index, so every stream is an independent pure
 /// function of `(seed, index)` regardless of fleet size or threading.
-fn stream_seed(seed: u64, function: usize) -> u64 {
+pub(crate) fn stream_seed(seed: u64, function: usize) -> u64 {
     let mut z = seed ^ (function as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

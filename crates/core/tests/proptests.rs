@@ -8,6 +8,7 @@ use freedom::interfaces::hierarchical_ideal;
 use freedom::market::MarketConfig;
 use freedom::provider::{alternative_families_within, PlannedPlacement};
 use freedom::strategies::AllocationStrategy;
+use freedom::stream::StreamTrace;
 use freedom_faas::{collect_ground_truth, PerfTable};
 use freedom_optimizer::{Objective, SearchSpace};
 use freedom_workloads::FunctionKind;
@@ -228,6 +229,137 @@ proptest! {
             90.0,
             seed,
         )?;
+    }
+}
+
+/// Integer nanoseconds of an arrival, mirroring the fleet engine's
+/// ordering key.
+fn nanos(at_secs: f64) -> u64 {
+    (at_secs * 1e9) as u64
+}
+
+/// The streaming pipeline's ground truth: a lazily-opened stream must
+/// yield exactly the materialized trace's events (same bits, same
+/// order), and the checkpoint-per-epoch re-seek the windowed replay
+/// performs must partition the stream exactly like
+/// `Trace::window_bounds` partitions the merged view.
+fn check_stream_matches_materialized(
+    lazy: &StreamTrace,
+    window_nanos: u64,
+) -> Result<(), proptest::TestCaseError> {
+    let full = lazy.materialize().expect("materialize");
+    prop_assert_eq!(lazy.n_functions(), full.n_functions());
+    prop_assert_eq!(lazy.len(), full.len());
+    let mut stream = lazy.open().expect("open");
+    for (i, expect) in full.events().iter().enumerate() {
+        let got = stream.next().expect("stream ended early");
+        prop_assert_eq!(
+            got.at_secs.to_bits(),
+            expect.at_secs.to_bits(),
+            "event {}",
+            i
+        );
+        prop_assert_eq!(got.function, expect.function, "event {}", i);
+    }
+    prop_assert!(stream.next().is_none(), "stream yielded extra events");
+    if full.is_empty() {
+        return Ok(());
+    }
+    prop_assert_eq!(
+        lazy.horizon_nanos(),
+        nanos(full.events().last().unwrap().at_secs)
+    );
+    // Epoch partition: walk the stream once, checkpointing at each
+    // window boundary (the engine's pre-pass); re-opening checkpoint k
+    // must replay exactly the `window_bounds` slice of window k.
+    let bounds = full.window_bounds(window_nanos);
+    let mut walk = lazy.open().expect("open");
+    for (k, range) in bounds.iter().enumerate() {
+        let cp = walk.checkpoint();
+        let end = (k as u64 + 1).saturating_mul(window_nanos);
+        let mut count = 0usize;
+        while walk.peek().is_some_and(|e| nanos(e.at_secs) < end) {
+            walk.next();
+            count += 1;
+        }
+        prop_assert_eq!(count, range.len(), "window {} miscounted", k);
+        let mut window = lazy.open_at(&cp).expect("re-seek");
+        for expect in &full.events()[range.clone()] {
+            let got = window.next().expect("window ended early");
+            prop_assert_eq!(got.at_secs.to_bits(), expect.at_secs.to_bits());
+            prop_assert_eq!(got.function, expect.function);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming ≡ materialize-then-sort for every generator family
+    /// under random parameters, fleet sizes, seeds, and window sizes.
+    #[test]
+    fn streaming_generators_match_materialized(
+        rate in 0.1f64..2.0,
+        calm in 0.0f64..0.4,
+        burst in 1.0f64..5.0,
+        ratio in 1.0f64..6.0,
+        alpha in 1.1f64..3.0,
+        n in 1usize..12,
+        seed in 0u64..1_000_000,
+        window_secs in 1u64..40,
+    ) {
+        let duration = 90.0;
+        let sources = [
+            TraceSource::Poisson { rps_per_function: rate },
+            TraceSource::Bursty {
+                calm_rps: calm,
+                burst_rps: burst,
+                mean_calm_secs: 30.0,
+                mean_burst_secs: 6.0,
+            },
+            TraceSource::Diurnal {
+                mean_rps: rate,
+                peak_to_trough: ratio,
+                period_secs: 120.0,
+            },
+            TraceSource::HeavyTail { mean_rps: rate, alpha },
+        ];
+        for source in sources {
+            let lazy = StreamTrace::generate(source, n, duration, seed).expect("valid parameters");
+            check_stream_matches_materialized(&lazy, window_secs * 1_000_000_000)?;
+            // The scan fans out bit-identically.
+            let sharded = StreamTrace::generate_sharded(source, n, duration, seed, 8)
+                .expect("valid parameters");
+            prop_assert_eq!(sharded.len(), lazy.len());
+            prop_assert_eq!(sharded.horizon_nanos(), lazy.horizon_nanos());
+        }
+    }
+
+    /// Streaming CSV ingestion ≡ the materialized reader for random row
+    /// soups — duplicate `(app, func, minute)` keys, zero counts,
+    /// bounded minute disorder — at any reader chunk size, including
+    /// chunks small enough that every record straddles a boundary.
+    #[test]
+    fn streaming_csv_matches_materialized(
+        rows in prop::collection::vec(
+            (0u8..3, 0u8..3, 0u64..3, 0u64..5, 0u64..40),
+            1..25,
+        ),
+        chunk in 1usize..64,
+        window_secs in 1u64..10,
+    ) {
+        // Minutes follow a non-decreasing base walk with backward jitter
+        // capped below the streaming reader's lookahead bound.
+        let mut csv = String::new();
+        let mut base = 0u64;
+        for &(app, func, advance, back, count) in &rows {
+            base += advance;
+            let minute = base.saturating_sub(back);
+            csv.push_str(&format!("app{app},f{func},{minute},{count}\n"));
+        }
+        let lazy = StreamTrace::from_csv_chunked(&csv, chunk).expect("within lookahead bound");
+        check_stream_matches_materialized(&lazy, window_secs * 1_000_000_000)?;
     }
 }
 

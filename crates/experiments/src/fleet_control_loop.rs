@@ -24,7 +24,7 @@
 
 use freedom::fleet::{
     AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetReport, FleetSimulator,
-    PidConfig, PlacementStrategy, RightSizerConfig,
+    PidConfig, PlacementStrategy, RightSizerConfig, StreamTrace,
 };
 
 use crate::context::{par_map, ExperimentOpts};
@@ -278,19 +278,24 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<ControlLoopResult> {
         .collect();
     let sim = FleetSimulator::new(plans)?;
 
+    // Traces stay lazy: each cell's replay pulls events straight from
+    // the generator cursors (constant memory), re-producing the stream
+    // per replay instead of holding the merged view for the whole sweep.
     let sources = trace_sources(duration_secs);
     let traces = sources
         .iter()
-        .map(|(_, source)| source.generate_sharded(n_functions, duration_secs, opts.seed, threads))
+        .map(|(_, source)| {
+            StreamTrace::generate_sharded(*source, n_functions, duration_secs, opts.seed, threads)
+        })
         .collect::<freedom::Result<Vec<_>>>()?;
     let tightness = market_tightness();
     let presets = controller_presets(planner.admission_policy());
 
-    let replay = |trace: &freedom::fleet::Trace, strategy, config: &FleetConfig| {
+    let replay = |trace: &StreamTrace, strategy, config: &FleetConfig| {
         if threads <= 1 {
-            sim.run(trace, strategy, config)
+            sim.run_stream(trace, strategy, config)
         } else {
-            sim.run_windowed(trace, strategy, config, threads, WINDOW_SECS)
+            sim.run_stream_windowed(trace, strategy, config, threads, WINDOW_SECS)
         }
     };
 

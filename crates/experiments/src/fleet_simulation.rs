@@ -19,7 +19,7 @@
 
 use freedom::fleet::{
     AdmissionPolicy, FleetConfig, FleetReport, FleetSimulator, FunctionPlan, PlacementStrategy,
-    SupplyProcess, TraceSource,
+    StreamTrace, SupplyProcess, TraceSource,
 };
 use freedom::market::MarketConfig;
 use freedom::provider::{IdleCapacityPlanner, PlannedPlacement};
@@ -380,7 +380,7 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
     let sim = FleetSimulator::new(cycle(n_functions))?;
 
     let sources = trace_sources(duration_secs);
-    let mut traces = sources
+    let traces = sources
         .iter()
         .map(|(label, source)| {
             Ok((
@@ -389,18 +389,20 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
             ))
         })
         .collect::<freedom::Result<Vec<_>>>()?;
-    // The fifth source replays the checked-in Azure fixture: its
+    // The fifth source replays the checked-in Azure fixture through the
+    // **streaming** CSV reader — rows in, events out, never the merged
+    // view — the path full-size Azure trace files take. Its
     // per-(app, func) streams dictate their own fleet size, so it gets
     // its own simulator over the same cycled base plans.
-    let azure_trace = TraceSource::from_csv(AZURE_FIXTURE)?;
+    let azure_trace = StreamTrace::from_csv(AZURE_FIXTURE)?;
     let azure_sim = FleetSimulator::new(cycle(azure_trace.n_functions()))?;
-    traces.push(("azure", azure_trace));
+    let n_sources = traces.len() + 1;
 
     // Each sweep cell replays its trace twice (baseline + idle-aware);
     // the cells are independent, so they fan out on top of the windowed
     // parallelism inside each replay.
     let tightness = market_tightness();
-    let points: Vec<(usize, usize, usize)> = (0..traces.len())
+    let points: Vec<(usize, usize, usize)> = (0..n_sources)
         .flat_map(|s| {
             (0..tightness.len()).flat_map(move |t| (0..policies.len()).map(move |p| (s, t, p)))
         })
@@ -411,29 +413,52 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<FleetSimResult> {
             market: market_config(&tightness[tight_idx], admission),
             ..FleetConfig::default()
         };
-        let (source_label, trace) = &traces[source_idx];
-        let sim = if *source_label == "azure" {
-            &azure_sim
-        } else {
-            &sim
-        };
-        // The two engines are bit-identical, so skip the windowed
-        // machinery's speculation overhead when no workers would share
-        // the replay anyway.
-        let replay = |strategy| {
-            if threads <= 1 {
-                sim.run(trace, strategy, &config)
+        // The engines are bit-identical, so each cell picks whichever
+        // fits: the windowed machinery only when workers would share the
+        // replay, the streaming engine for the CSV source.
+        let (source_label, functions, baseline, idle_aware) =
+            if let Some((source_label, trace)) = traces.get(source_idx) {
+                let replay = |strategy| {
+                    if threads <= 1 {
+                        sim.run(trace, strategy, &config)
+                    } else {
+                        sim.run_windowed(trace, strategy, &config, threads, WINDOW_SECS)
+                    }
+                };
+                (
+                    *source_label,
+                    trace.n_functions(),
+                    replay(PlacementStrategy::BestConfigOnly)?,
+                    replay(PlacementStrategy::IdleAware)?,
+                )
             } else {
-                sim.run_windowed(trace, strategy, &config, threads, WINDOW_SECS)
-            }
-        };
+                let replay = |strategy| {
+                    if threads <= 1 {
+                        azure_sim.run_stream(&azure_trace, strategy, &config)
+                    } else {
+                        azure_sim.run_stream_windowed(
+                            &azure_trace,
+                            strategy,
+                            &config,
+                            threads,
+                            WINDOW_SECS,
+                        )
+                    }
+                };
+                (
+                    "azure",
+                    azure_trace.n_functions(),
+                    replay(PlacementStrategy::BestConfigOnly)?,
+                    replay(PlacementStrategy::IdleAware)?,
+                )
+            };
         Ok(FleetRow {
             source: source_label,
-            functions: trace.n_functions(),
+            functions,
             tightness: tightness[tight_idx].label,
             policy: policy_label,
-            baseline: replay(PlacementStrategy::BestConfigOnly)?,
-            idle_aware: replay(PlacementStrategy::IdleAware)?,
+            baseline,
+            idle_aware,
         })
     })
     .into_iter()
