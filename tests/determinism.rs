@@ -318,6 +318,101 @@ fn fleet_control_loop_is_windowed_bit_identical() {
     }
 }
 
+/// The streaming pipeline's acceptance guard: for every trace source —
+/// the four synthetic generators plus the Azure CSV fixture streamed
+/// through the chunked reader — and every controller, the streaming
+/// engines (`run_stream`, `run_stream_windowed`) replay bit-identically
+/// to the materialized reference at threads {1, 8} × windows
+/// {1, 10, 60} s. The 1 s windows make the epoch re-seek table dense
+/// (hundreds of cursor checkpoints) and slice every control epoch
+/// across many boundaries, so checkpoint rewind, carried controller
+/// state, and the CSV reader's lookahead window all get exercised
+/// together.
+#[test]
+fn streaming_replay_is_bit_identical_for_every_source_and_controller() {
+    use faas_freedom::core::fleet::{
+        AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetSimulator, PidConfig,
+        PlacementStrategy, RightSizerConfig, StreamTrace, SupplyProcess,
+    };
+    use faas_freedom::core::market::MarketConfig;
+    use freedom_experiments::fleet_simulation::{synthetic_plans, trace_sources, AZURE_FIXTURE};
+
+    let n_functions = 120;
+    let duration = 300.0;
+    let mut traces: Vec<(&str, StreamTrace)> = trace_sources(duration)
+        .iter()
+        .map(|&(name, source)| {
+            (
+                name,
+                StreamTrace::generate_sharded(source, n_functions, duration, 11, 8).unwrap(),
+            )
+        })
+        .collect();
+    traces.push(("azure", StreamTrace::from_csv(AZURE_FIXTURE).unwrap()));
+
+    for (name, lazy) in &traces {
+        let plans = synthetic_plans(lazy.n_functions(), 4).unwrap();
+        let sim = FleetSimulator::new(plans).unwrap();
+        let full = lazy.materialize().unwrap();
+        assert_eq!(lazy.len(), full.len(), "{name} scan miscounted");
+        for controller in [
+            ControllerConfig::Static,
+            ControllerConfig::HeadroomPid(PidConfig::default()),
+            ControllerConfig::SurrogateRightSizer(RightSizerConfig::default()),
+        ] {
+            let config = FleetConfig {
+                market: MarketConfig {
+                    vms_per_family: 3,
+                    supply: SupplyProcess {
+                        step_secs: 15.0,
+                        min_fraction: 0.3,
+                        seed: 21,
+                    },
+                    admission: AdmissionPolicy::Headroom {
+                        max_utilization: 0.85,
+                    },
+                    ..MarketConfig::default()
+                },
+                control: ControlConfig {
+                    cadence_secs: 15.0,
+                    controller,
+                },
+                ..FleetConfig::default()
+            };
+            let reference = sim
+                .run(&full, PlacementStrategy::IdleAware, &config)
+                .unwrap();
+            let streamed = sim
+                .run_stream(lazy, PlacementStrategy::IdleAware, &config)
+                .unwrap();
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{streamed:?}"),
+                "{name}/{controller:?}: streaming diverged from materialized"
+            );
+            for threads in [1, 8] {
+                for window_secs in [1.0, 10.0, 60.0] {
+                    let windowed = sim
+                        .run_stream_windowed(
+                            lazy,
+                            PlacementStrategy::IdleAware,
+                            &config,
+                            threads,
+                            window_secs,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        format!("{reference:?}"),
+                        format!("{windowed:?}"),
+                        "{name}/{controller:?} diverged at {threads} threads, \
+                         {window_secs}s windows"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The GP's batched predictor must agree with per-point prediction bit for
 /// bit, and the warm-start update loop must replay identically.
 #[test]
