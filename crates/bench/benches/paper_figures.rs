@@ -336,6 +336,49 @@ fn bench_streaming_replay(c: &mut Criterion) {
         stats.peak_resident_events() as f64,
         "events",
     );
+
+    // The day-scale threads sweep: windowed streaming replay across
+    // threads × window sizes, each row reporting events/sec and the
+    // overhead ratio against the single-threaded `run_stream` pass
+    // timed above. On multi-core CI runners the 4- and 8-thread rows
+    // are the near-linear-scaling acceptance evidence; the ratio also
+    // pins the windowed engine's overhead (speculation + checkpoint
+    // ladder) at 1 thread. In quick/--fast mode the sweep shrinks to a
+    // single smoke cell so CI still validates the counter plumbing.
+    let t1 = started.elapsed().as_secs_f64();
+    let (threads_sweep, windows_sweep): (&[usize], &[f64]) = if criterion::is_quick() {
+        (&[2], &[60.0])
+    } else {
+        (&[1, 2, 4, 8], &[10.0, 60.0])
+    };
+    for &window_secs in windows_sweep {
+        for &threads in threads_sweep {
+            let t0 = std::time::Instant::now();
+            let report = day_sim
+                .run_stream_windowed(
+                    &day,
+                    PlacementStrategy::IdleAware,
+                    &config,
+                    threads,
+                    window_secs,
+                )
+                .expect("windowed replay");
+            let elapsed = t0.elapsed().as_secs_f64();
+            std::hint::black_box(report);
+            let id = format!("streaming_replay/day_1200fn_windowed_t{threads}_w{window_secs:.0}s");
+            println!(
+                "bench {id}: {:.0} events/sec, {:.2}x of single-thread streaming",
+                stats.events as f64 / elapsed,
+                elapsed / t1,
+            );
+            freedom_bench::report_counter(
+                &format!("{id}_events_per_sec"),
+                stats.events as f64 / elapsed,
+                "events/sec",
+            );
+            freedom_bench::report_counter(&format!("{id}_overhead"), elapsed / t1, "ratio");
+        }
+    }
 }
 
 criterion_group! {

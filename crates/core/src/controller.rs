@@ -414,6 +414,53 @@ pub fn control_state_eq(a: &ControlState, b: &ControlState) -> bool {
         && a.orders == b.orders
 }
 
+/// Hashes exactly the fields [`control_state_eq`] compares, in the same
+/// order, into the carry fingerprint. Nested byte logs are
+/// length-prefixed and `orders` entries tagged, so distinct structures
+/// cannot collide by concatenation.
+pub(crate) fn hash_control_state(h: &mut crate::market::Fnv64, s: &ControlState) {
+    let (tag, bits) = admission_bits(&s.admission);
+    h.write(u64::from(tag));
+    h.write(bits);
+    h.write(s.integral.to_bits());
+    h.write(s.prev_error.to_bits());
+    let hash_log = |h: &mut crate::market::Fnv64, log: &[Vec<u8>]| {
+        h.write(log.len() as u64);
+        for entries in log {
+            h.write(entries.len() as u64);
+            for &e in entries {
+                h.write(u64::from(e));
+            }
+        }
+    };
+    hash_log(h, &s.observed);
+    hash_log(h, &s.observed_batches);
+    h.write(s.orders.len() as u64);
+    for order in &s.orders {
+        match order {
+            None => h.write(u64::MAX),
+            Some(entries) => {
+                h.write(entries.len() as u64);
+                for &e in entries {
+                    h.write(u64::from(e));
+                }
+            }
+        }
+    }
+}
+
+/// Hashes an [`ObsAccum`] field-for-field into the carry fingerprint
+/// (its `==` is already structural, so every field participates).
+pub(crate) fn hash_obs_accum(h: &mut crate::market::Fnv64, a: &ObsAccum) {
+    h.write(u64::from(a.arrivals) | (u64::from(a.spot_admitted) << 32));
+    h.write(u64::from(a.spot_demoted) | (u64::from(a.policy_rejected) << 32));
+    h.write(u64::from(a.capacity_missed));
+    h.write(a.per_function.len() as u64);
+    for &c in &a.per_function {
+        h.write(u64::from(c));
+    }
+}
+
 /// The admission ceiling a state enforces; ∞ for a greedy policy.
 pub fn admission_ceiling(policy: &AdmissionPolicy) -> f64 {
     match *policy {

@@ -49,8 +49,7 @@
 //! in the README) — and stay bit-identical to the materialized
 //! reference.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use freedom_faas::PerfTable;
 use freedom_linalg::stats;
@@ -58,18 +57,23 @@ use freedom_optimizer::SearchSpace;
 use freedom_workloads::FunctionKind;
 
 use crate::controller::{
-    admission_ceiling, control_state_eq, ControlSample, ControlScratch, ControlState, Controller,
-    FunctionView, ObsAccum, Observation, MAX_TICKS,
+    admission_ceiling, control_state_eq, hash_control_state, hash_obs_accum, ControlSample,
+    ControlScratch, ControlState, Controller, FunctionView, ObsAccum, Observation, MAX_TICKS,
 };
-use crate::market::{carry_eq, family_index, InFlight, MarketConfig, SpotLedger, SupplySchedule};
+use crate::market::{
+    carry_eq, family_index, hash_inflight, Fnv64, InFlight, MarketConfig, SpotLedger,
+    SupplySchedule,
+};
 use crate::provider::PlannedPlacement;
 use crate::trace::{event_nanos, MAX_WINDOWS};
+use crate::wheel::CompletionQueue;
 use crate::{FreedomError, Result};
 
 pub use crate::controller::{ControlConfig, ControllerConfig, PidConfig, RightSizerConfig};
 pub use crate::market::{AdmissionPolicy, SupplyProcess};
 pub use crate::stream::{EventStream, StreamCheckpoint, StreamTrace};
 pub use crate::trace::{Trace, TraceEvent, TraceSource};
+pub use crate::wheel::CompletionQueueKind;
 
 /// How the provider places each invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,11 +196,40 @@ const CLASS_ADMITTED: u8 = 2;
 const CLASS_DEMOTED: u8 = 3;
 const CLASS_POLICY_REJECT: u8 = 4;
 
-/// After this many speculative rounds the reconciliation loop falls back
-/// to chaining the remaining stale windows sequentially, bounding total
-/// work at `O(rounds + windows)` window simulations even when the market
-/// is so contended that speculation never converges.
-const MAX_SPECULATIVE_ROUNDS: usize = 8;
+/// Engine knobs of the windowed replay — none of them observable in the
+/// [`FleetReport`], which stays bit-identical to the sequential
+/// reference for every setting. The plain `run_windowed` /
+/// `run_stream_windowed` entry points use [`ReplayConfig::default`];
+/// the `_with` variants take an explicit config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Speculative-round cap: after this many rounds the reconciliation
+    /// loop bails out to chaining the remaining stale windows
+    /// sequentially with exact carry-ins, bounding total work at
+    /// `O(rounds + windows)` window simulations even when the market is
+    /// so contended that speculation never converges. `0` forces the
+    /// sequential fallback after the first speculative round.
+    pub max_speculative_rounds: usize,
+    /// Stall margin of the adaptive bail-out: a round that shrinks the
+    /// stale set by fewer than this many windows is judged to be
+    /// churning, and the loop bails out early rather than burn another
+    /// round. `0` disables the stall check (only the round cap bails
+    /// out).
+    pub stall_margin: usize,
+    /// Which completion-queue implementation windows drive events with;
+    /// both orders are bit-identical (see [`CompletionQueueKind`]).
+    pub completion_queue: CompletionQueueKind,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            max_speculative_rounds: 8,
+            stall_margin: 2,
+            completion_queue: CompletionQueueKind::TimerWheel,
+        }
+    }
+}
 
 /// An accepted alternate placement resolved to plain numbers, so the hot
 /// loop does no table lookups or config math.
@@ -244,6 +277,9 @@ struct ReplayCtx {
     /// `obs_offsets[f]..obs_offsets[f + 1]`, one slot per accepted
     /// alternate plus a trailing on-demand slot.
     obs_offsets: Vec<u32>,
+    /// Completion-queue implementation windows simulate with
+    /// ([`ReplayConfig::completion_queue`]; both orders bit-identical).
+    queue: CompletionQueueKind,
 }
 
 /// Per-arrival metering of one window, in arrival order, plus demotion
@@ -312,12 +348,25 @@ struct WindowOutcome {
 pub struct ReplayStats {
     /// Arrivals replayed (streamed through, never resident).
     pub events: usize,
-    /// Peak size of the in-flight completion heap.
+    /// Peak size of the in-flight completion queue.
     pub peak_inflight: usize,
     /// Peak events the trace cursors held: one pending arrival per
     /// function (synthetic) or the open rows of the CSV lookahead
     /// window.
     pub peak_cursor_resident: usize,
+    /// Anchor checkpoints the windowed pre-pass held — the ladder's
+    /// O(√W) term, each O(functions) in size. 0 for non-windowed
+    /// replays (no pre-pass).
+    pub ladder_anchors: usize,
+    /// Events re-drained when windows derived their boundary positions
+    /// from the nearest ladder anchor (each bounded by one anchor
+    /// stride's worth of events). 0 for non-windowed replays.
+    pub ladder_redrain_events: usize,
+    /// Windows the reconciliation loop re-ran via the sequential
+    /// exact-carry fallback after bailing out of speculation
+    /// ([`ReplayConfig::max_speculative_rounds`] /
+    /// [`ReplayConfig::stall_margin`]). 0 for non-windowed replays.
+    pub fallback_windows: usize,
 }
 
 impl ReplayStats {
@@ -430,6 +479,9 @@ impl FleetSimulator {
             events: trace.len(),
             peak_inflight: outcome.peak_inflight,
             peak_cursor_resident: stream.peak_resident(),
+            ladder_anchors: 0,
+            ladder_redrain_events: 0,
+            fallback_windows: 0,
         };
         let report = reduce(
             strategy,
@@ -452,13 +504,35 @@ impl FleetSimulator {
     /// Speculation starts every window from an empty market; each round
     /// re-runs exactly the windows whose carry-in guess changed, and each
     /// round extends the verified prefix by at least one window, so the
-    /// loop terminates. After [`MAX_SPECULATIVE_ROUNDS`] the remaining
-    /// stale suffix is chained sequentially instead.
+    /// loop terminates. After [`ReplayConfig::max_speculative_rounds`]
+    /// rounds — or earlier, when a round stalls — the remaining stale
+    /// suffix is chained sequentially instead.
     pub fn run_windowed(
         &self,
         trace: &Trace,
         strategy: PlacementStrategy,
         config: &FleetConfig,
+        threads: usize,
+        window_secs: f64,
+    ) -> Result<FleetReport> {
+        self.run_windowed_with(
+            trace,
+            strategy,
+            config,
+            &ReplayConfig::default(),
+            threads,
+            window_secs,
+        )
+    }
+
+    /// [`FleetSimulator::run_windowed`] with explicit [`ReplayConfig`]
+    /// engine knobs. The report is bit-identical for every setting.
+    pub fn run_windowed_with(
+        &self,
+        trace: &Trace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        replay: &ReplayConfig,
         threads: usize,
         window_secs: f64,
     ) -> Result<FleetReport> {
@@ -468,7 +542,8 @@ impl FleetSimulator {
             .map(|e| event_nanos(e.at_secs))
             .unwrap_or(0);
         let window_nanos = validate_window(horizon, window_secs)?;
-        let ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
+        let mut ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
+        ctx.queue = replay.completion_queue;
         let events = trace.events();
         if events.is_empty() {
             return Ok(reduce(
@@ -492,7 +567,20 @@ impl FleetSimulator {
                 end,
             )
         };
-        let meterings = reconcile_windows(&ctx, bounds.len(), threads, run_one);
+        // Materialized windows position in O(1) (binary-searched
+        // slices), so a round is a plain fan-out and the fallback chain
+        // needs no walker state: clean windows are free to pass over.
+        let run_round = |pending: &[(usize, Carry, u64)]| {
+            freedom_parallel::par_run(pending.len(), threads, |i| {
+                let out = run_one(pending[i].0, &pending[i].1);
+                let fp = carry_fingerprint(&out.carry_out);
+                (out, fp)
+            })
+        };
+        let (meterings, _) =
+            reconcile_windows(&ctx, bounds.len(), replay, run_round, |k, carry| {
+                carry.map(|c| run_one(k, c))
+            });
         Ok(reduce(
             strategy,
             config.slo_theta,
@@ -504,11 +592,13 @@ impl FleetSimulator {
 
     /// Windowed replay of a [`StreamTrace`]: the same speculative
     /// engine as [`FleetSimulator::run_windowed`], but windows re-seek
-    /// their events **by epoch** — a pre-pass over the stream records
-    /// one [`StreamCheckpoint`] per window boundary (O(windows ×
-    /// functions) seek state, never the merged view), and
-    /// reconciliation re-runs a stale window by rewinding its cursors
-    /// to the same checkpoint. Bit-identical to
+    /// their events **by epoch** through the checkpoint ladder — a
+    /// sharded pre-pass takes O(√windows) anchor checkpoints
+    /// ([`StreamTrace::checkpoints_at`]), and each window re-derives
+    /// its boundary position from the nearest anchor by a bounded
+    /// forward drain, so pre-pass seek state is O(√W × functions)
+    /// instead of O(W × functions). Reconciliation re-runs a stale
+    /// window by rewinding to the same anchor. Bit-identical to
     /// [`FleetSimulator::run_stream`] — and to the materialized engines
     /// — for every thread count and window size.
     pub fn run_stream_windowed(
@@ -519,53 +609,216 @@ impl FleetSimulator {
         threads: usize,
         window_secs: f64,
     ) -> Result<FleetReport> {
+        self.run_stream_windowed_with(
+            trace,
+            strategy,
+            config,
+            &ReplayConfig::default(),
+            threads,
+            window_secs,
+        )
+    }
+
+    /// [`FleetSimulator::run_stream_windowed`] with explicit
+    /// [`ReplayConfig`] engine knobs. The report is bit-identical for
+    /// every setting.
+    pub fn run_stream_windowed_with(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        replay: &ReplayConfig,
+        threads: usize,
+        window_secs: f64,
+    ) -> Result<FleetReport> {
+        Ok(self
+            .run_stream_windowed_with_stats(trace, strategy, config, replay, threads, window_secs)?
+            .0)
+    }
+
+    /// [`FleetSimulator::run_stream_windowed_with`] plus the replay's
+    /// telemetry: peak in-flight and cursor residency, the ladder's
+    /// anchor count and re-drained events, and how many windows the
+    /// reconciliation loop re-ran via the sequential fallback.
+    pub fn run_stream_windowed_with_stats(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        replay: &ReplayConfig,
+        threads: usize,
+        window_secs: f64,
+    ) -> Result<(FleetReport, ReplayStats)> {
         let horizon = trace.horizon_nanos();
         let window_nanos = validate_window(horizon, window_secs)?;
-        let ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
+        let mut ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
+        ctx.queue = replay.completion_queue;
         if trace.is_empty() {
-            return Ok(reduce(
+            let report = reduce(
                 strategy,
                 config.slo_theta,
                 0,
                 Vec::new(),
                 ctx.controller_label,
-            ));
+            );
+            let stats = ReplayStats {
+                events: 0,
+                peak_inflight: 0,
+                peak_cursor_resident: 0,
+                ladder_anchors: 0,
+                ladder_redrain_events: 0,
+                fallback_windows: 0,
+            };
+            return Ok((report, stats));
         }
-        // Epoch-seek pre-pass: stream the trace once, recording each
-        // window's starting checkpoint and event count.
+        // Checkpoint-ladder pre-pass: anchor checkpoints every `stride`
+        // window boundaries (stride ≈ √windows), derived sharded, then
+        // one parallel counting drain over the anchor segments records
+        // each window's event count. Seek state: O(√W) anchors ×
+        // O(functions) each.
         let n = (horizon / window_nanos) as usize + 1;
-        let mut stream = trace.open()?;
-        let mut seeks = Vec::with_capacity(n);
+        let stride = isqrt_ceil(n);
+        let n_anchors = n.div_ceil(stride);
+        let anchor_bounds: Vec<u64> = (0..n_anchors)
+            .map(|a| (a * stride) as u64 * window_nanos)
+            .collect();
+        let anchors = trace.checkpoints_at(&anchor_bounds, threads)?;
+        let segments = freedom_parallel::par_run(n_anchors, threads, |a| {
+            let mut s = trace
+                .open_at(&anchors[a])
+                .expect("re-seeking a ladder anchor the pre-pass took");
+            let lo = a * stride;
+            let hi = ((a + 1) * stride).min(n);
+            let mut counts = Vec::with_capacity(hi - lo);
+            for k in lo..hi {
+                let end = (k as u64 + 1).saturating_mul(window_nanos);
+                let mut c = 0u32;
+                while s.peek().is_some_and(|e| event_nanos(e.at_secs) < end) {
+                    s.next();
+                    c += 1;
+                }
+                counts.push(c);
+            }
+            (counts, s.peak_resident())
+        });
         let mut base = Vec::with_capacity(n + 1);
         base.push(0u32);
         let mut consumed = 0u32;
-        for k in 0..n {
-            seeks.push(stream.checkpoint());
-            let end = (k as u64 + 1).saturating_mul(window_nanos);
-            while stream.peek().is_some_and(|e| event_nanos(e.at_secs) < end) {
-                stream.next();
-                consumed += 1;
+        let mut peak_prepass = 0usize;
+        for (counts, peak) in &segments {
+            peak_prepass = peak_prepass.max(*peak);
+            for &c in counts {
+                consumed += c;
+                base.push(consumed);
             }
-            base.push(consumed);
         }
         debug_assert_eq!(consumed as usize, trace.len());
-        let run_one = |k: usize, carry: &Carry| {
+        let redrained = AtomicUsize::new(0);
+        let peak_stream = AtomicUsize::new(peak_prepass);
+        // Simulates window `k` from an already-positioned stream (the
+        // cursor must sit on the window's first event).
+        let sim_at = |s: &mut crate::stream::EventStream, k: usize, carry: &Carry| {
             let (start, end) = window_span(k, window_nanos);
             let n_events = (base[k + 1] - base[k]) as usize;
-            let mut s = trace
-                .open_at(&seeks[k])
-                .expect("re-seeking a checkpoint the pre-pass took");
-            let events = std::iter::from_fn(move || s.next()).take(n_events);
+            let events = std::iter::from_fn(|| s.next()).take(n_events);
             simulate_window(&ctx, events, n_events, base[k], carry, start, end)
         };
-        let meterings = reconcile_windows(&ctx, n, threads, run_one);
-        Ok(reduce(
+        // A speculative round walks each ladder segment's stream at
+        // most once: pending windows (ascending) are grouped by their
+        // anchor segment, and a group re-seeks its anchor, then drains
+        // forward — skipping the events of windows the round does not
+        // touch — so the bounded re-drain is paid per *group*, not per
+        // window. Round 0 (every window pending) is therefore exactly
+        // one sharded pass over the trace with zero re-drained events.
+        let run_round = |pending: &[(usize, Carry, u64)]| {
+            let mut groups: Vec<std::ops::Range<usize>> = Vec::new();
+            for i in 0..pending.len() {
+                match groups.last_mut() {
+                    Some(g) if pending[g.start].0 / stride == pending[i].0 / stride => {
+                        g.end = i + 1;
+                    }
+                    _ => groups.push(i..i + 1),
+                }
+            }
+            let per_group = freedom_parallel::par_run(groups.len(), threads, |gi| {
+                let group = &pending[groups[gi].clone()];
+                let a = group[0].0 / stride;
+                let mut s = trace
+                    .open_at(&anchors[a])
+                    .expect("re-seeking a ladder anchor the pre-pass took");
+                let mut pos = base[a * stride];
+                let mut outs = Vec::with_capacity(group.len());
+                for (k, carry, _) in group {
+                    let skip = (base[*k] - pos) as usize;
+                    for _ in 0..skip {
+                        s.next();
+                    }
+                    redrained.fetch_add(skip, Ordering::Relaxed);
+                    let out = sim_at(&mut s, *k, carry);
+                    pos = base[*k + 1];
+                    let fp = carry_fingerprint(&out.carry_out);
+                    outs.push((out, fp));
+                }
+                peak_stream.fetch_max(s.peak_resident(), Ordering::Relaxed);
+                outs
+            });
+            per_group.into_iter().flatten().collect()
+        };
+        // The sequential fallback chain is one forward walk of the
+        // stream: clean windows drain their (counted) events without
+        // simulating, stale windows simulate in place, and the walker
+        // only re-seeks an anchor when it starts.
+        let mut walker = None;
+        let run_suffix = |k: usize, carry: Option<&Carry>| {
+            let stale = match &walker {
+                Some((_, pos)) => *pos > base[k],
+                None => true,
+            };
+            if stale {
+                let a = k / stride;
+                let s = trace
+                    .open_at(&anchors[a])
+                    .expect("re-seeking a ladder anchor the pre-pass took");
+                walker = Some((s, base[a * stride]));
+            }
+            let (s, pos) = walker.as_mut().expect("walker just seeded");
+            let skip = (base[k] - *pos) as usize;
+            for _ in 0..skip {
+                s.next();
+            }
+            let out = match carry {
+                Some(c) => Some(sim_at(s, k, c)),
+                None => {
+                    let n_events = (base[k + 1] - base[k]) as usize;
+                    for _ in 0..n_events {
+                        s.next();
+                    }
+                    redrained.fetch_add(n_events, Ordering::Relaxed);
+                    None
+                }
+            };
+            redrained.fetch_add(skip, Ordering::Relaxed);
+            *pos = base[k + 1];
+            peak_stream.fetch_max(s.peak_resident(), Ordering::Relaxed);
+            out
+        };
+        let (meterings, telemetry) = reconcile_windows(&ctx, n, replay, run_round, run_suffix);
+        let stats = ReplayStats {
+            events: trace.len(),
+            peak_inflight: telemetry.peak_inflight,
+            peak_cursor_resident: peak_stream.into_inner(),
+            ladder_anchors: anchors.len(),
+            ladder_redrain_events: redrained.into_inner(),
+            fallback_windows: telemetry.fallback_windows,
+        };
+        let report = reduce(
             strategy,
             config.slo_theta,
             trace.len(),
             meterings,
             ctx.controller_label,
-        ))
+        );
+        Ok((report, stats))
     }
 
     /// Validates inputs and resolves plans, supply schedule, and market
@@ -663,18 +916,33 @@ impl FleetSimulator {
             cadence_nanos,
             horizon_nanos: horizon,
             obs_offsets,
+            queue: CompletionQueueKind::default(),
         })
     }
 }
 
+/// Ceiling integer square root — the ladder stride: `isqrt_ceil(n)`
+/// anchors spaced `isqrt_ceil(n)` windows apart cover `n` windows with
+/// O(√n) checkpoints and O(√n)-bounded re-drains.
+fn isqrt_ceil(n: usize) -> usize {
+    let mut r = (n as f64).sqrt() as usize;
+    while r.saturating_mul(r) < n {
+        r += 1;
+    }
+    while r > 1 && (r - 1) * (r - 1) >= n {
+        r -= 1;
+    }
+    r.max(1)
+}
+
 /// One window's live simulation state: the market ledger and completion
-/// heap, the supply and tick cursors, the controller state it carries
+/// queue, the supply and tick cursors, the controller state it carries
 /// forward, and the epoch accumulator feeding the next tick.
 struct WindowSim<'a> {
     ctx: &'a ReplayCtx,
     ledger: SpotLedger,
-    heap: BinaryHeap<Reverse<InFlight>>,
-    /// Most entries the completion heap ever held — the in-flight term
+    queue: CompletionQueue,
+    /// Most entries the completion queue ever held — the in-flight term
     /// of the replay's peak-memory bound ([`ReplayStats`]).
     peak_inflight: usize,
     supply_cursor: usize,
@@ -706,11 +974,7 @@ impl WindowSim<'_> {
     /// already counted at the step).
     fn advance(&mut self, to_nanos: u64) {
         loop {
-            let completion = self
-                .heap
-                .peek()
-                .map(|Reverse(e)| e.completion_nanos)
-                .filter(|&v| v <= to_nanos);
+            let completion = self.queue.next_due(to_nanos);
             let step = self
                 .ctx
                 .schedule
@@ -723,7 +987,7 @@ impl WindowSim<'_> {
                 break;
             };
             if completion == Some(now) {
-                let Reverse(e) = self.heap.pop().expect("peeked");
+                let e = self.queue.pop_due();
                 if self.ledger.is_live(&e) {
                     self.ledger.release(&e);
                 } else {
@@ -808,7 +1072,7 @@ impl WindowSim<'_> {
                     Some((ai, slot)) => {
                         let alt = &plan.alternates[ai];
                         self.ledger.place(slot, alt.milli_vcpus, alt.memory_mib);
-                        self.heap.push(Reverse(InFlight {
+                        self.queue.push(InFlight {
                             completion_nanos: at + alt.duration_nanos,
                             slot,
                             idx,
@@ -816,8 +1080,8 @@ impl WindowSim<'_> {
                             milli: alt.milli_vcpus,
                             mib: alt.memory_mib,
                             list_cost_usd: alt.list_cost_usd,
-                        }));
-                        self.peak_inflight = self.peak_inflight.max(self.heap.len());
+                        });
+                        self.peak_inflight = self.peak_inflight.max(self.queue.len());
                         self.accum.spot_admitted += 1;
                         self.accum.per_function[off + ai] += 1;
                         let price = self.ctx.market.spot.demand_fraction(utilization);
@@ -863,47 +1127,118 @@ fn window_span(k: usize, window_nanos: u64) -> (u64, u64) {
     )
 }
 
-/// The speculate/verify/re-run loop shared by both windowed engines:
-/// `run_one(k, carry)` simulates window `k` from a carried state —
-/// against a materialized slice or a re-seeked cursor stream, the loop
-/// does not care — and the reconciliation chain re-runs exactly the
-/// windows whose speculative carry-in proved wrong, falling back to a
-/// sequential exact-carry chain when speculation stops paying.
-fn reconcile_windows<F>(
+/// Structural fingerprint of a carried state: hashes exactly the fields
+/// [`carry_state_eq`] compares. Equal states always produce equal
+/// fingerprints, so a fingerprint mismatch proves the states differ in
+/// O(1); on a match the reconciliation walk accepts the window as clean
+/// without the O(|carry|) field walk. Computed once per window run,
+/// inside the parallel section.
+fn carry_fingerprint(c: &Carry) -> u64 {
+    let mut h = Fnv64::new();
+    hash_inflight(&mut h, &c.inflight);
+    hash_control_state(&mut h, &c.control);
+    hash_obs_accum(&mut h, &c.accum);
+    h.finish()
+}
+
+/// What [`reconcile_windows`] measured while converging, surfaced
+/// through [`ReplayStats`].
+struct ReconcileTelemetry {
+    peak_inflight: usize,
+    fallback_windows: usize,
+}
+
+/// The speculate/verify/re-run loop shared by both windowed engines.
+/// The engine supplies how windows actually simulate:
+///
+/// - `run_round(pending)` simulates one speculative round — the stale
+///   `(window, carry guess, carry fingerprint)` set in ascending window
+///   order — and returns each window's outcome plus its carry-out
+///   fingerprint. The engine owns the fan-out, so it can schedule the
+///   round to fit its event source: the materialized engine fans the
+///   windows straight through [`freedom_parallel::par_run`] (whose
+///   shared atomic index counter is the work queue — an idle worker
+///   claims the next stale window the moment it finishes one,
+///   work-stealing style), while the streaming engine first groups the
+///   set by checkpoint-ladder segment so each group walks its cursor
+///   stream once.
+/// - `run_suffix(k, carry)` drives the sequential exact-carry fallback:
+///   it is called for every window from the first unverified one in
+///   ascending order, with `Some(carry)` to simulate a stale window or
+///   `None` to pass over a clean one — the streaming engine uses the
+///   `None` calls to drain the passed-over events and keep its walker
+///   positioned, so the whole fallback chain is one forward pass.
+///
+/// The reconciliation chain re-runs exactly the windows whose
+/// speculative carry-in proved wrong, falling back to the sequential
+/// chain when speculation stops paying. Verification is O(1) per clean
+/// window: carry fingerprints ([`carry_fingerprint`]) are compared
+/// first, and the bit-exact [`carry_state_eq`] walk runs only on
+/// fingerprint mismatch, while an already-verified prefix is never
+/// re-walked.
+fn reconcile_windows<B, S>(
     ctx: &ReplayCtx,
     n: usize,
-    threads: usize,
-    run_one: F,
-) -> Vec<WindowMetering>
+    replay: &ReplayConfig,
+    run_round: B,
+    mut run_suffix: S,
+) -> (Vec<WindowMetering>, ReconcileTelemetry)
 where
-    F: Fn(usize, &Carry) -> WindowOutcome + Sync,
+    B: Fn(&[(usize, Carry, u64)]) -> Vec<(WindowOutcome, u64)>,
+    S: FnMut(usize, Option<&Carry>) -> Option<WindowOutcome>,
 {
+    let init = Carry::initial(ctx);
+    let init_fp = carry_fingerprint(&init);
     let mut outs: Vec<Option<WindowOutcome>> = (0..n).map(|_| None).collect();
-    let mut used: Vec<Carry> = (0..n).map(|_| Carry::initial(ctx)).collect();
+    // Fingerprints of each window's carry-out (`out_fp`) and of the
+    // carry it actually ran with (`used_fp`); `used` keeps the full
+    // carry for the bit-exact fallback compare.
+    let mut out_fp = vec![0u64; n];
+    let mut used: Vec<Carry> = (0..n).map(|_| init.clone()).collect();
+    let mut used_fp = vec![init_fp; n];
     // Round 0 speculates every window from an empty market and the
     // controller's initial state.
-    let mut pending: Vec<(usize, Carry)> = (0..n).map(|k| (k, Carry::initial(ctx))).collect();
+    let mut pending: Vec<(usize, Carry, u64)> =
+        (0..n).map(|k| (k, init.clone(), init_fp)).collect();
+    let mut telemetry = ReconcileTelemetry {
+        peak_inflight: 0,
+        fallback_windows: 0,
+    };
     let mut rounds = 0usize;
     let mut prev_stale = usize::MAX;
+    let mut verified = 0usize;
     loop {
-        let results = freedom_parallel::par_run(pending.len(), threads, |i| {
-            run_one(pending[i].0, &pending[i].1)
-        });
-        for ((k, carry), out) in pending.drain(..).zip(results) {
+        let results = run_round(&pending);
+        for ((k, carry, carry_fp), (out, fp)) in pending.drain(..).zip(results) {
+            telemetry.peak_inflight = telemetry.peak_inflight.max(out.peak_inflight);
             used[k] = carry;
+            used_fp[k] = carry_fp;
             outs[k] = Some(out);
+            out_fp[k] = fp;
         }
-        // Verification walk: chain the carried states in window
-        // order; any window that ran with a different carry-in than
-        // the chain now implies is stale and re-runs next round with
-        // the chain's current guess.
-        let mut next: Vec<(usize, Carry)> = Vec::new();
-        let mut chain: Carry = Carry::initial(ctx);
-        for (k, out) in outs.iter().enumerate() {
-            if !carry_state_eq(&used[k], &chain) {
-                next.push((k, chain.clone()));
+        // Verification walk from the verified prefix: chain the carried
+        // states in window order; any window that ran with a different
+        // carry-in than the chain now implies is stale and re-runs next
+        // round with the chain's current guess.
+        let mut next: Vec<(usize, Carry, u64)> = Vec::new();
+        // `verified` grows for the *next* round's walk; this round's
+        // range is fixed at the prefix it started from.
+        let prefix = verified;
+        for k in prefix..n {
+            let (chain_ref, chain_fp) = if k == 0 {
+                (&init, init_fp)
+            } else {
+                let prev = outs[k - 1].as_ref().expect("window simulated");
+                (&prev.carry_out, out_fp[k - 1])
+            };
+            let clean = used_fp[k] == chain_fp || carry_state_eq(&used[k], chain_ref);
+            if clean {
+                if next.is_empty() {
+                    verified = k + 1;
+                }
+            } else {
+                next.push((k, chain_ref.clone(), chain_fp));
             }
-            chain.clone_from(&out.as_ref().expect("window simulated").carry_out);
         }
         if next.is_empty() {
             break;
@@ -916,25 +1251,38 @@ where
         // and re-running it is waste: chain the stale suffix
         // sequentially with exact carry-ins instead. The round cap
         // backstops pathological oscillation.
-        let stalled = next.len() + 2 >= prev_stale;
+        let stalled = replay.stall_margin > 0 && next.len() + replay.stall_margin >= prev_stale;
         prev_stale = next.len();
-        if stalled || rounds > MAX_SPECULATIVE_ROUNDS {
+        if stalled || rounds > replay.max_speculative_rounds {
             let first = next[0].0;
             let mut chain = next[0].1.clone();
+            let mut chain_fp = next[0].2;
             for k in first..n {
-                if !carry_state_eq(&used[k], &chain) {
-                    outs[k] = Some(run_one(k, &chain));
+                let clean = used_fp[k] == chain_fp || carry_state_eq(&used[k], &chain);
+                if clean {
+                    run_suffix(k, None);
+                } else {
+                    let out = run_suffix(k, Some(&chain))
+                        .expect("the suffix walker simulates stale windows");
+                    telemetry.peak_inflight = telemetry.peak_inflight.max(out.peak_inflight);
+                    telemetry.fallback_windows += 1;
+                    out_fp[k] = carry_fingerprint(&out.carry_out);
+                    outs[k] = Some(out);
                     used[k].clone_from(&chain);
+                    used_fp[k] = chain_fp;
                 }
                 chain.clone_from(&outs[k].as_ref().expect("window simulated").carry_out);
+                chain_fp = out_fp[k];
             }
             break;
         }
         pending = next;
     }
-    outs.into_iter()
+    let meterings = outs
+        .into_iter()
         .map(|o| o.expect("every window simulated").metering)
-        .collect()
+        .collect();
+    (meterings, telemetry)
 }
 
 /// Simulates one time window `[start_nanos, end_nanos)` of the merged
@@ -955,19 +1303,23 @@ fn simulate_window(
 ) -> WindowOutcome {
     let (cursor, caps) = ctx.schedule.start_state(start_nanos);
     let mut ledger = SpotLedger::new(&ctx.market, caps);
-    let mut heap: BinaryHeap<Reverse<InFlight>> =
-        BinaryHeap::with_capacity(carry_in.inflight.len() + 64);
+    let mut queue = CompletionQueue::new(
+        ctx.queue,
+        carry_in.inflight.len() + 64,
+        start_nanos,
+        end_nanos,
+    );
     for entry in &carry_in.inflight {
         let mut e = *entry;
         e.epoch = ledger.epoch(e.slot);
         ledger.restore(&e);
-        heap.push(Reverse(e));
+        queue.push(e);
     }
     let mut sim = WindowSim {
         ctx,
-        peak_inflight: heap.len(),
+        peak_inflight: queue.len(),
         ledger,
-        heap,
+        queue,
         supply_cursor: cursor,
         // Ticks strictly before the window start already fired in a
         // predecessor; a tick exactly at the start belongs to this
@@ -999,10 +1351,12 @@ fn simulate_window(
         sim.advance(end_nanos - 1);
     }
 
-    // Drain: live entries become the canonical carry-over (heap order is
-    // the carry ordering), stale entries are demotions discovered late.
-    let mut inflight = Vec::with_capacity(sim.heap.len());
-    while let Some(Reverse(e)) = sim.heap.pop() {
+    // Drain: live entries become the canonical carry-over (ascending
+    // key order — identical for both queue kinds), stale entries are
+    // demotions discovered late.
+    let remaining = std::mem::take(&mut sim.queue).into_sorted();
+    let mut inflight = Vec::with_capacity(remaining.len());
+    for e in remaining {
         if sim.ledger.is_live(&e) {
             let mut carried = e;
             carried.epoch = 0;
@@ -1590,6 +1944,124 @@ mod tests {
         assert!(sim
             .run_stream(&small, PlacementStrategy::IdleAware, &config)
             .is_err());
+    }
+
+    #[test]
+    fn replay_config_knobs_stay_bit_identical_and_force_the_fallback() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        // A volatile market under feedback control: carried state is
+        // never trivially empty, so speculation genuinely has to work.
+        let config = volatile_config(ControllerConfig::HeadroomPid(PidConfig::default()));
+        let lazy = StreamTrace::generate(
+            TraceSource::HeavyTail {
+                mean_rps: 2.0,
+                alpha: 1.5,
+            },
+            FunctionKind::ALL.len(),
+            300.0,
+            5,
+        )
+        .unwrap();
+        let reference = sim
+            .run(
+                &lazy.materialize().unwrap(),
+                PlacementStrategy::IdleAware,
+                &config,
+            )
+            .unwrap();
+        // The sorted-drain queue is the wheel's reference order: same
+        // report, bit for bit.
+        let sorted = sim
+            .run_stream_windowed_with(
+                &lazy,
+                PlacementStrategy::IdleAware,
+                &config,
+                &ReplayConfig {
+                    completion_queue: CompletionQueueKind::SortedDrain,
+                    ..ReplayConfig::default()
+                },
+                4,
+                7.0,
+            )
+            .unwrap();
+        assert_eq!(format!("{reference:?}"), format!("{sorted:?}"));
+        // A zero round budget bails out after the first speculative
+        // round, forcing the sequential exact-carry fallback — still
+        // bit-identical, and the stats prove the fallback actually ran.
+        let (report, stats) = sim
+            .run_stream_windowed_with_stats(
+                &lazy,
+                PlacementStrategy::IdleAware,
+                &config,
+                &ReplayConfig {
+                    max_speculative_rounds: 0,
+                    stall_margin: 0,
+                    ..ReplayConfig::default()
+                },
+                4,
+                7.0,
+            )
+            .unwrap();
+        assert_eq!(format!("{reference:?}"), format!("{report:?}"));
+        assert!(
+            stats.fallback_windows > 0,
+            "a zero round budget must re-run stale windows sequentially"
+        );
+    }
+
+    #[test]
+    fn ladder_memory_stays_sqrt_of_windows() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let config = FleetConfig::default();
+        // 1 s windows over a 10-minute trace: enough boundaries that
+        // O(W) and O(√W) pre-pass memory are an order of magnitude
+        // apart.
+        let lazy = StreamTrace::generate(
+            TraceSource::Poisson {
+                rps_per_function: 1.0,
+            },
+            FunctionKind::ALL.len(),
+            600.0,
+            7,
+        )
+        .unwrap();
+        let (report, stats) = sim
+            .run_stream_windowed_with_stats(
+                &lazy,
+                PlacementStrategy::IdleAware,
+                &config,
+                &ReplayConfig::default(),
+                4,
+                1.0,
+            )
+            .unwrap();
+        let reference = sim
+            .run_stream(&lazy, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        assert_eq!(format!("{reference:?}"), format!("{report:?}"));
+        let n = (lazy.horizon_nanos() / 1_000_000_000) as usize + 1;
+        assert!(n > 500, "the trace must split into many windows, got {n}");
+        let stride = isqrt_ceil(n);
+        // The pre-pass held O(√W) anchors — far below one checkpoint
+        // per boundary — each O(functions) in size.
+        assert_eq!(stats.ladder_anchors, n.div_ceil(stride));
+        assert!(
+            stats.ladder_anchors <= stride,
+            "{} anchors exceed √{n}",
+            stats.ladder_anchors
+        );
+        assert!(stats.ladder_anchors < n / 4);
+        assert_eq!(stats.peak_cursor_resident, FunctionKind::ALL.len());
+        // Re-derived boundaries cost bounded forward drains: each
+        // derivation skips fewer than one stride's worth of the trace,
+        // so a full pass over the windows re-drains at most
+        // (stride − 1) × events, and a window runs at most once per
+        // speculative round plus the fallback pass.
+        let max_passes = ReplayConfig::default().max_speculative_rounds + 2;
+        assert!(stats.ladder_redrain_events > 0);
+        assert!(stats.ladder_redrain_events <= max_passes * (stride - 1) * stats.events);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod provider;
 pub mod strategies;
 pub mod stream;
 pub mod trace;
+mod wheel;
 
 pub use autotuner::{Autotuner, GatewayEvaluator, TuneOutcome};
 pub use error::FreedomError;

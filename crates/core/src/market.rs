@@ -260,7 +260,7 @@ pub(crate) struct InFlight {
 }
 
 impl InFlight {
-    fn key(&self) -> (u64, u32, u32) {
+    pub(crate) fn key(&self) -> (u64, u32, u32) {
         (self.completion_nanos, self.slot, self.idx)
     }
 }
@@ -294,6 +294,51 @@ pub(crate) fn carry_eq(a: &[InFlight], b: &[InFlight]) -> bool {
                 && x.mib == y.mib
                 && x.list_cost_usd.to_bits() == y.list_cost_usd.to_bits()
         })
+}
+
+/// Word-wise FNV-1a with a splitmix64 finisher — the structural hash
+/// behind carry fingerprinting. Reconciliation compares fingerprints
+/// first and only falls back to the field-by-field `carry_eq` /
+/// `control_state_eq` walk on mismatch, so clean windows verify in
+/// O(1). The hash covers exactly the fields those comparators read
+/// (notably *excluding* `InFlight::epoch`), keeping `fp(a) == fp(b)`
+/// whenever the bit-exact compare would say equal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    pub fn write(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(Self::PRIME);
+    }
+
+    /// Avalanche finisher so low-entropy field patterns still spread
+    /// across all 64 bits.
+    pub fn finish(self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hashes a canonically sorted in-flight ledger, field-for-field what
+/// [`carry_eq`] compares: length, then per entry the key triple plus
+/// reservation and cost bits, epoch excluded.
+pub(crate) fn hash_inflight(h: &mut Fnv64, entries: &[InFlight]) {
+    h.write(entries.len() as u64);
+    for e in entries {
+        h.write(e.completion_nanos);
+        h.write((u64::from(e.slot) << 32) | u64::from(e.idx));
+        h.write((u64::from(e.milli) << 32) | u64::from(e.mib));
+        h.write(e.list_cost_usd.to_bits());
+    }
 }
 
 /// One warm VM slot's free capacity.

@@ -393,8 +393,11 @@ impl TraceSource {
 /// A cursor is a pure function of `(source, duration, seed)`: cloning it
 /// checkpoints the stream at its current position, and restoring the
 /// clone replays the identical suffix — the property the windowed
-/// replay's epoch re-seek ([`crate::stream::StreamCheckpoint`]) rests
-/// on. [`TraceSource::stream`] drains a fresh cursor into a `Vec`, so
+/// replay's checkpoint ladder ([`crate::stream::StreamCheckpoint`],
+/// one anchor every ⌈√W⌉ window boundaries) rests on: an anchor is a
+/// snapshot of every function's cursor, and any window between two
+/// anchors is reached by a bounded forward drain from the earlier one.
+/// [`TraceSource::stream`] drains a fresh cursor into a `Vec`, so
 /// the materialized and streaming representations never diverge.
 #[derive(Debug, Clone)]
 pub(crate) struct GenCursor {

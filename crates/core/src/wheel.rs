@@ -1,0 +1,548 @@
+//! The completion queue of the replay's event core: a hierarchical
+//! timer wheel keyed on integer completion nanoseconds, with a
+//! binary-heap sorted-drain fallback.
+//!
+//! Every arrival pushes one [`InFlight`] completion and every advance
+//! pops the due ones back out in `(completion_nanos, slot, idx)` order.
+//! A `BinaryHeap` pays `O(log n)` per event on that hot path; the wheel
+//! pays `O(1)` amortized by hashing completion times into hierarchical
+//! buckets of ~1 ms at the finest level ([`FINEST_SHIFT`]) and cascading
+//! coarser buckets only when simulated time reaches them.
+//!
+//! # Completion-order guarantee
+//!
+//! Both [`CompletionQueue`] variants surface entries in **exactly** the
+//! total order [`InFlight`] defines — time, then slot, then arrival
+//! index. Two entries due at the same nanosecond land in the same finest
+//! bucket, and buckets are drained sorted, so the wheel's pop sequence is
+//! bit-identical to the heap's. That makes the queue choice an engine
+//! knob ([`crate::fleet::ReplayConfig`]), never an observable: the
+//! determinism lattice pins `Wheel ≡ Sorted` alongside `windowed ≡
+//! sequential`.
+//!
+//! The one contract the wheel adds over a heap: time may not run
+//! backwards. [`TimerWheel::next_due`] advances the internal cursor at
+//! most to its `limit`, and the replay only pushes completions at or
+//! after the instant it is advancing toward, so a push never lands
+//! behind the cursor. [`TimerWheel::push`] debug-asserts it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::market::InFlight;
+
+/// log2 of the finest bucket width: 2^20 ns ≈ 1.05 ms. Completions
+/// within the same ~millisecond share a bucket and are order-resolved by
+/// an in-bucket sort at drain time.
+const FINEST_SHIFT: u32 = 20;
+
+/// log2 of the slots per level.
+const LVL_BITS: u32 = 6;
+
+/// Slots per level.
+const SLOTS: usize = 1 << LVL_BITS;
+
+/// Levels: 8 × 6 bits above the finest shift cover bits 20..64, i.e.
+/// every representable `u64` nanosecond.
+const LEVELS: usize = 8;
+
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+
+/// Which completion-queue implementation the replay engines drive
+/// events with. The two are bit-identical in completion order (see the
+/// module docs); the wheel is the fast default, the sorted drain the
+/// reference fallback the determinism lattice compares it against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompletionQueueKind {
+    /// Hierarchical timer wheel: `O(1)` amortized push/pop.
+    #[default]
+    TimerWheel,
+    /// Binary min-heap: `O(log n)` per event, the reference order.
+    SortedDrain,
+}
+
+/// The completion queue behind [`crate::fleet`]'s window simulation.
+pub(crate) enum CompletionQueue {
+    Wheel(TimerWheel),
+    Sorted(BinaryHeap<Reverse<InFlight>>),
+}
+
+impl Default for CompletionQueue {
+    fn default() -> Self {
+        CompletionQueue::Sorted(BinaryHeap::new())
+    }
+}
+
+impl CompletionQueue {
+    /// An empty queue expecting roughly `capacity` entries, none of them
+    /// completing before `start` (the window's start instant — the
+    /// wheel's cursor begins there) and none of them popped at or after
+    /// `horizon` (the window's end — completions beyond it bypass the
+    /// wheel's buckets entirely, see [`TimerWheel`]).
+    pub fn new(kind: CompletionQueueKind, capacity: usize, start: u64, horizon: u64) -> Self {
+        match kind {
+            CompletionQueueKind::TimerWheel => {
+                CompletionQueue::Wheel(TimerWheel::acquire(start, horizon))
+            }
+            CompletionQueueKind::SortedDrain => {
+                CompletionQueue::Sorted(BinaryHeap::with_capacity(capacity))
+            }
+        }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        match self {
+            CompletionQueue::Wheel(w) => w.len(),
+            CompletionQueue::Sorted(h) => h.len(),
+        }
+    }
+
+    pub fn push(&mut self, entry: InFlight) {
+        match self {
+            CompletionQueue::Wheel(w) => w.push(entry),
+            CompletionQueue::Sorted(h) => h.push(Reverse(entry)),
+        }
+    }
+
+    /// Completion instant of the earliest entry due at or before
+    /// `limit`, without consuming it.
+    pub fn next_due(&mut self, limit: u64) -> Option<u64> {
+        match self {
+            CompletionQueue::Wheel(w) => w.next_due(limit),
+            CompletionQueue::Sorted(h) => h
+                .peek()
+                .map(|Reverse(e)| e.completion_nanos)
+                .filter(|&v| v <= limit),
+        }
+    }
+
+    /// Pops the entry a preceding [`CompletionQueue::next_due`] surfaced.
+    pub fn pop_due(&mut self) -> InFlight {
+        match self {
+            CompletionQueue::Wheel(w) => w.pop_due(),
+            CompletionQueue::Sorted(h) => h.pop().expect("next_due surfaced an entry").0,
+        }
+    }
+
+    /// Consumes the queue, returning every remaining entry in ascending
+    /// `(completion_nanos, slot, idx)` order — the window-close drain.
+    pub fn into_sorted(self) -> Vec<InFlight> {
+        match self {
+            CompletionQueue::Wheel(w) => w.into_sorted(),
+            CompletionQueue::Sorted(mut h) => {
+                let mut out = Vec::with_capacity(h.len());
+                while let Some(Reverse(e)) = h.pop() {
+                    out.push(e);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Hierarchical timer wheel over integer completion nanoseconds.
+///
+/// `levels[l][s]` buckets entries whose completion time shares the
+/// cursor's bits above level `l`'s 6-bit field and has `s` in that
+/// field. The finest bucket the cursor currently points at is held
+/// drained and sorted in `ready` (descending, so the minimum pops from
+/// the back); coarser buckets cascade down as the cursor reaches them.
+pub(crate) struct TimerWheel {
+    levels: Box<[[Vec<InFlight>; SLOTS]; LEVELS]>,
+    /// Completions at or beyond `horizon` in arrival order. A window
+    /// never advances past its own end, so boundary-crossing
+    /// completions — roughly the whole in-flight carry, half of all
+    /// pushes at 10-second windows — can never pop during the window.
+    /// Bucketing them would pay placement plus a cascade per level the
+    /// cursor crosses, only to drain them at close anyway; a flat list
+    /// sorted once at [`TimerWheel::into_sorted`] pays one push.
+    overflow: Vec<InFlight>,
+    /// Exclusive upper bound on every `limit` passed to
+    /// [`TimerWheel::next_due`]: the window's end instant.
+    horizon: u64,
+    /// One bit per slot per level marking non-empty buckets, so the
+    /// cursor scan is a find-first-set per level instead of a walk over
+    /// 64 `Vec` headers — the scan cost is what makes the wheel beat
+    /// the heap on windows with few events.
+    occupied: [u64; LEVELS],
+    /// Current cursor instant. Invariants: `now` never exceeds any
+    /// `limit` passed to [`TimerWheel::next_due`]; every queued entry's
+    /// finest bucket is ≥ `now`'s; entries in `now`'s own finest bucket
+    /// live in `ready`, never in `levels`.
+    now: u64,
+    /// `now`'s finest bucket, sorted descending by key.
+    ready: Vec<InFlight>,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel with its cursor at `start`. Every subsequent push
+    /// must be at or after `start` — windows seed it with their start
+    /// instant so carried completions land near the cursor instead of
+    /// cascading down from epoch zero — and every `next_due` limit must
+    /// stay below `horizon`, the window's end.
+    pub fn new(start: u64, horizon: u64) -> Self {
+        Self {
+            levels: Box::new(std::array::from_fn(|_| std::array::from_fn(|_| Vec::new()))),
+            occupied: [0; LEVELS],
+            overflow: Vec::new(),
+            horizon,
+            now: start,
+            ready: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Entries queued, bucketed and overflowed alike — the replay's
+    /// in-flight count.
+    pub fn len(&self) -> usize {
+        self.len + self.overflow.len()
+    }
+
+    /// Level whose 6-bit field holds the highest bit where `t` differs
+    /// from the cursor; `t` in the cursor's own finest bucket is the
+    /// caller's "ready" case.
+    fn level_for(&self, t: u64) -> usize {
+        let masked = (t ^ self.now) >> FINEST_SHIFT;
+        debug_assert!(masked != 0, "same-bucket entries belong in ready");
+        ((63 - masked.leading_zeros()) / LVL_BITS) as usize
+    }
+
+    /// Start instant of `slot` at `level` within the cursor's current
+    /// span of that level.
+    fn span_start(&self, level: usize, slot: u64) -> u64 {
+        let shift = FINEST_SHIFT + LVL_BITS * level as u32;
+        let above = shift + LVL_BITS;
+        let prefix = if above >= 64 {
+            0
+        } else {
+            (self.now >> above) << above
+        };
+        prefix | (slot << shift)
+    }
+
+    pub fn push(&mut self, entry: InFlight) {
+        if entry.completion_nanos >= self.horizon {
+            self.overflow.push(entry);
+        } else {
+            self.len += 1;
+            self.place(entry);
+        }
+    }
+
+    /// Routes one entry to `ready` (cursor's bucket) or its level
+    /// bucket — shared by pushes and cascades so both obey the same
+    /// placement invariants.
+    fn place(&mut self, entry: InFlight) {
+        let t = entry.completion_nanos;
+        debug_assert!(t >= self.now, "completion {} behind cursor {}", t, self.now);
+        if t >> FINEST_SHIFT == self.now >> FINEST_SHIFT {
+            let key = (t, entry.slot, entry.idx);
+            let pos = self
+                .ready
+                .partition_point(|x| (x.completion_nanos, x.slot, x.idx) > key);
+            self.ready.insert(pos, entry);
+        } else {
+            let level = self.level_for(t);
+            let slot = ((t >> (FINEST_SHIFT + LVL_BITS * level as u32)) & SLOT_MASK) as usize;
+            self.levels[level][slot].push(entry);
+            self.occupied[level] |= 1 << slot;
+        }
+    }
+
+    /// Earliest completion due at or before `limit`, without consuming
+    /// it. Advances the cursor no further than `limit`, so later pushes
+    /// at or after `limit` can never land behind it.
+    pub fn next_due(&mut self, limit: u64) -> Option<u64> {
+        debug_assert!(
+            limit < self.horizon || self.horizon == u64::MAX,
+            "advance past the window end"
+        );
+        'refill: loop {
+            if let Some(e) = self.ready.last() {
+                // Every level bucket is in a strictly later finest
+                // bucket than `ready`'s, so its minimum is global.
+                return (e.completion_nanos <= limit).then_some(e.completion_nanos);
+            }
+            if self.len == 0 {
+                self.now = self.now.max(limit);
+                return None;
+            }
+            // Scan each level fully before the next: a level's
+            // remaining span ends where the next level's first
+            // candidate slot begins, so this order is time-correct. The
+            // occupancy bitmaps turn the per-level slot walk into one
+            // find-first-set; the cursor's own slot at a coarser level
+            // can never hold entries (they would differ from `now` at a
+            // finer level and be placed there), so the first occupied
+            // slot at or after the cursor is the global earliest.
+            for level in 0..LEVELS {
+                let shift = FINEST_SHIFT + LVL_BITS * level as u32;
+                let from = (self.now >> shift) & SLOT_MASK;
+                let candidates = self.occupied[level] & (!0u64 << from);
+                if candidates == 0 {
+                    continue;
+                }
+                let slot = candidates.trailing_zeros() as usize;
+                let start = self.span_start(level, slot as u64);
+                if start > limit {
+                    // Nothing anywhere is due ≤ limit: later slots
+                    // and coarser levels all start even later.
+                    self.now = self.now.max(limit);
+                    return None;
+                }
+                self.now = self.now.max(start);
+                let bucket = std::mem::take(&mut self.levels[level][slot]);
+                self.occupied[level] &= !(1 << slot);
+                if level == 0 {
+                    // The cursor's new finest bucket: drain it
+                    // sorted descending so the minimum pops O(1).
+                    self.ready = bucket;
+                    self.ready.sort_unstable_by(|a, b| {
+                        (b.completion_nanos, b.slot, b.idx).cmp(&(
+                            a.completion_nanos,
+                            a.slot,
+                            a.idx,
+                        ))
+                    });
+                } else {
+                    // Cascade a coarser bucket: every entry re-routes
+                    // at least one level down (or into ready).
+                    for e in bucket {
+                        self.place(e);
+                    }
+                }
+                continue 'refill;
+            }
+            // All occupied buckets sit below their level's cursor slot —
+            // impossible while the push invariant (no entry behind the
+            // cursor) holds.
+            unreachable!("len > 0 but no occupied bucket at or after the cursor");
+        }
+    }
+
+    /// Pops the entry a preceding [`TimerWheel::next_due`] surfaced.
+    pub fn pop_due(&mut self) -> InFlight {
+        let e = self.ready.pop().expect("next_due surfaced an entry");
+        self.len -= 1;
+        e
+    }
+
+    /// Drains the wheel, returning every entry in ascending key order
+    /// and leaving it empty. The occupancy bitmaps make this walk only
+    /// the non-empty buckets; emptied buckets keep their capacity, so a
+    /// recycled wheel ([`TimerWheel::acquire`]) simulates its next
+    /// window allocation-free.
+    pub fn into_sorted(mut self) -> Vec<InFlight> {
+        let mut out: Vec<InFlight> = Vec::with_capacity(self.len + self.overflow.len());
+        out.append(&mut self.overflow);
+        out.extend(self.ready.drain(..).rev());
+        for level in 0..LEVELS {
+            let mut bits = self.occupied[level];
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                out.append(&mut self.levels[level][slot]);
+                bits &= bits - 1;
+            }
+            self.occupied[level] = 0;
+        }
+        out.sort_unstable_by_key(|e| (e.completion_nanos, e.slot, e.idx));
+        self.len = 0;
+        self.release();
+        out
+    }
+
+    /// Hands a drained wheel back to the thread-local pool for the next
+    /// window on this thread.
+    fn release(self) {
+        debug_assert!(
+            self.len == 0 && self.overflow.is_empty(),
+            "released wheels must be drained"
+        );
+        POOL.with(|pool| *pool.borrow_mut() = Some(self));
+    }
+
+    /// A wheel with its cursor at `start`, recycled from this thread's
+    /// pool when a previous window returned one. A day-scale windowed
+    /// replay opens one wheel per window; constructing each from scratch
+    /// pays a 512-`Vec` zeroing plus fresh bucket allocations per
+    /// window, which at 10-second windows costs more than the event
+    /// loop itself. The pooled wheel is already empty (every drain path
+    /// clears it) and its buckets keep their capacities warm.
+    pub fn acquire(start: u64, horizon: u64) -> Self {
+        match POOL.with(|pool| pool.borrow_mut().take()) {
+            Some(mut wheel) => {
+                wheel.now = start;
+                wheel.horizon = horizon;
+                wheel
+            }
+            None => TimerWheel::new(start, horizon),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread wheel cache backing [`TimerWheel::acquire`]. One slot
+    /// suffices: each window simulation holds exactly one wheel at a
+    /// time, and replay worker threads simulate windows sequentially.
+    static POOL: std::cell::RefCell<Option<TimerWheel>> = const { std::cell::RefCell::new(None) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn entry(t: u64, slot: u32, idx: u32) -> InFlight {
+        InFlight {
+            completion_nanos: t,
+            slot,
+            idx,
+            epoch: 0,
+            milli: 100,
+            mib: 64,
+            list_cost_usd: 0.1,
+        }
+    }
+
+    /// Drives a wheel and a heap through the same push/advance schedule
+    /// and asserts identical pop sequences — the model-based pin of the
+    /// completion-order guarantee.
+    fn check_against_heap(seed: u64, spread: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut wheel = TimerWheel::new(0, u64::MAX);
+        let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
+        let mut clock = 0u64;
+        let mut idx = 0u32;
+        for _ in 0..400 {
+            // Simulated time moves forward; each instant pushes a few
+            // completions ahead of the clock, then drains the due ones.
+            clock += rng.gen_range(0..1u64 << 21);
+            for _ in 0..rng.gen_range(0..4) {
+                let t = clock + rng.gen_range(0..spread);
+                let e = entry(t, rng.gen_range(0..4), idx);
+                idx += 1;
+                wheel.push(e);
+                heap.push(Reverse(e));
+            }
+            loop {
+                let expect = heap
+                    .peek()
+                    .map(|Reverse(e)| e.completion_nanos)
+                    .filter(|&v| v <= clock);
+                assert_eq!(wheel.next_due(clock), expect, "seed {seed} at {clock}");
+                if expect.is_none() {
+                    break;
+                }
+                let Reverse(want) = heap.pop().unwrap();
+                let got = wheel.pop_due();
+                assert_eq!(got.key(), want.key(), "seed {seed} at {clock}");
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        // Final drain: everything left comes out in heap order.
+        let mut rest = Vec::new();
+        while let Some(Reverse(e)) = heap.pop() {
+            rest.push(e.key());
+        }
+        let drained: Vec<_> = wheel.into_sorted().iter().map(|e| e.key()).collect();
+        assert_eq!(drained, rest, "seed {seed}");
+    }
+
+    #[test]
+    fn wheel_matches_heap_order_across_spreads() {
+        // Spreads from sub-bucket (ties in one finest bucket) to
+        // multi-level (cascades across coarse buckets).
+        for (seed, spread) in [
+            (1, 1 << 10),
+            (2, 1 << 20),
+            (3, 1 << 26),
+            (4, 1 << 33),
+            (5, 1 << 44),
+        ] {
+            check_against_heap(seed, spread);
+        }
+    }
+
+    #[test]
+    fn ties_resolve_by_slot_then_idx() {
+        let mut wheel = TimerWheel::new(0, u64::MAX);
+        let t = 5 << FINEST_SHIFT;
+        wheel.push(entry(t, 2, 9));
+        wheel.push(entry(t, 0, 7));
+        wheel.push(entry(t, 0, 3));
+        wheel.push(entry(t, 1, 1));
+        assert_eq!(wheel.next_due(t), Some(t));
+        let order: Vec<_> = (0..4).map(|_| wheel.pop_due()).map(|e| e.key()).collect();
+        assert_eq!(
+            order,
+            vec![(t, 0, 3), (t, 0, 7), (t, 1, 1), (t, 2, 9)],
+            "equal instants must drain by (slot, idx)"
+        );
+    }
+
+    #[test]
+    fn pushes_into_the_ready_bucket_keep_order() {
+        // A push landing in the bucket the cursor is draining must
+        // merge into the sorted ready run, not trail it.
+        let mut wheel = TimerWheel::new(0, u64::MAX);
+        let base = 7 << FINEST_SHIFT;
+        wheel.push(entry(base + 10, 0, 0));
+        wheel.push(entry(base + 30, 0, 1));
+        assert_eq!(wheel.next_due(base + 5), None, "nothing due yet");
+        assert_eq!(wheel.next_due(base + 40), Some(base + 10));
+        assert_eq!(wheel.pop_due().idx, 0);
+        // Same finest bucket as the cursor now points at.
+        wheel.push(entry(base + 20, 0, 2));
+        assert_eq!(wheel.next_due(base + 40), Some(base + 20));
+        assert_eq!(wheel.pop_due().idx, 2);
+        assert_eq!(wheel.pop_due().idx, 1);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn far_future_entries_cascade_down_exactly_once_due() {
+        let mut wheel = TimerWheel::new(0, u64::MAX);
+        // One entry per level distance, including the top level.
+        let times = [1u64 << 21, 1 << 30, 1 << 40, 1 << 50, 1 << 63];
+        for (i, &t) in times.iter().enumerate() {
+            wheel.push(entry(t, 0, i as u32));
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(wheel.next_due(t - 1), None, "entry {i} not yet due");
+            assert_eq!(wheel.next_due(t), Some(t), "entry {i} due at {t}");
+            assert_eq!(wheel.pop_due().idx, i as u32);
+        }
+        assert_eq!(wheel.next_due(u64::MAX), None);
+    }
+
+    #[test]
+    fn queue_kinds_agree_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for kind in [
+            CompletionQueueKind::TimerWheel,
+            CompletionQueueKind::SortedDrain,
+        ] {
+            let mut q = CompletionQueue::new(kind, 8, 0, u64::MAX);
+            let mut clock = 0u64;
+            let mut popped = Vec::new();
+            for i in 0..200u32 {
+                clock += rng.gen_range(0..1u64 << 22);
+                q.push(entry(clock + rng.gen_range(0..1u64 << 24), 0, i));
+                while let Some(due) = q.next_due(clock) {
+                    let e = q.pop_due();
+                    assert_eq!(e.completion_nanos, due);
+                    popped.push(e.key());
+                }
+            }
+            popped.extend(q.into_sorted().iter().map(|e| e.key()));
+            assert_eq!(popped.len(), 200);
+            assert!(popped.windows(2).all(|w| w[0] <= w[1]), "{kind:?}");
+            // The schedule is deterministic, so both kinds pop the
+            // exact same sequence.
+            rng = StdRng::seed_from_u64(42);
+        }
+    }
+}

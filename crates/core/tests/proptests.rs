@@ -363,6 +363,151 @@ proptest! {
     }
 }
 
+/// Emulates the engine's sqrt-spaced checkpoint ladder over a stream
+/// and checks that every window replayed from a ladder anchor (anchor
+/// checkpoint + bounded forward drain to the boundary) is bit-identical
+/// to a direct `checkpoint()`-per-boundary walk and to the materialized
+/// `window_bounds` slice — including zero-length windows (no arrivals
+/// between boundaries) and the final partial window.
+fn check_ladder_matches_direct(
+    lazy: &StreamTrace,
+    window_nanos: u64,
+    threads: usize,
+) -> Result<(), proptest::TestCaseError> {
+    let full = lazy.materialize().expect("materialize");
+    if full.is_empty() {
+        return Ok(());
+    }
+    let bounds = full.window_bounds(window_nanos);
+    let n = bounds.len();
+    // Direct reference: one sequential walk, checkpointing at every
+    // boundary — the engine's pre-PR-6 pre-pass.
+    let mut walk = lazy.open().expect("open");
+    let mut direct = Vec::with_capacity(n);
+    for k in 0..n {
+        direct.push(walk.checkpoint());
+        let end = (k as u64 + 1).saturating_mul(window_nanos);
+        while walk.peek().is_some_and(|e| nanos(e.at_secs) < end) {
+            walk.next();
+        }
+    }
+    // The ladder: O(sqrt(windows)) anchors derived in one sharded pass,
+    // intermediate boundaries re-derived by bounded forward drains.
+    let stride = (1usize..).find(|s| s * s >= n).expect("sqrt exists");
+    let anchor_bounds: Vec<u64> = (0..n)
+        .step_by(stride)
+        .map(|k| (k as u64).saturating_mul(window_nanos))
+        .collect();
+    let anchors = lazy
+        .checkpoints_at(&anchor_bounds, threads)
+        .expect("ladder pre-pass");
+    prop_assert_eq!(anchors.len(), anchor_bounds.len());
+    for (k, range) in bounds.iter().enumerate() {
+        let start = (k as u64).saturating_mul(window_nanos);
+        let end = (k as u64 + 1).saturating_mul(window_nanos);
+        let mut derived = lazy.open_at(&anchors[k / stride]).expect("re-seek anchor");
+        while derived.peek().is_some_and(|e| nanos(e.at_secs) < start) {
+            derived.next();
+        }
+        let mut reference = lazy.open_at(&direct[k]).expect("re-seek direct");
+        for expect in &full.events()[range.clone()] {
+            let via_ladder = derived.next().expect("ladder window ended early");
+            let via_direct = reference.next().expect("direct window ended early");
+            prop_assert_eq!(
+                via_ladder.at_secs.to_bits(),
+                expect.at_secs.to_bits(),
+                "window {} diverged via the ladder",
+                k
+            );
+            prop_assert_eq!(via_ladder.function, expect.function, "window {}", k);
+            prop_assert_eq!(
+                via_direct.at_secs.to_bits(),
+                expect.at_secs.to_bits(),
+                "window {} diverged via direct checkpoints",
+                k
+            );
+            prop_assert_eq!(via_direct.function, expect.function, "window {}", k);
+        }
+        // Both cursors must now sit exactly on boundary k+1 (or the
+        // stream's end), so the partition has no leaks between windows.
+        match (derived.peek(), reference.peek()) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.at_secs.to_bits(), b.at_secs.to_bits());
+                prop_assert_eq!(a.function, b.function);
+                prop_assert!(nanos(a.at_secs) >= end, "window {} leaked an event", k);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "cursors disagree past window {}", k),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Ladder-derived boundary checkpoints replay every window suffix
+    /// bit-identically to direct checkpoint-per-boundary walks for all
+    /// four synthetic generators under random parameters, fleet sizes,
+    /// seeds, window sizes (including windows larger than the whole
+    /// trace), and shard counts.
+    #[test]
+    fn ladder_checkpoints_match_direct_for_every_generator(
+        rate in 0.1f64..2.0,
+        alpha in 1.1f64..3.0,
+        ratio in 1.0f64..6.0,
+        n in 1usize..12,
+        seed in 0u64..1_000_000,
+        window_secs in 1u64..120,
+        threads in 1usize..5,
+    ) {
+        let duration = 90.0;
+        let sources = [
+            TraceSource::Poisson { rps_per_function: rate },
+            TraceSource::Bursty {
+                calm_rps: 0.05,
+                burst_rps: 2.0,
+                mean_calm_secs: 30.0,
+                mean_burst_secs: 6.0,
+            },
+            TraceSource::Diurnal {
+                mean_rps: rate,
+                peak_to_trough: ratio,
+                period_secs: 120.0,
+            },
+            TraceSource::HeavyTail { mean_rps: rate, alpha },
+        ];
+        for source in sources {
+            let lazy = StreamTrace::generate(source, n, duration, seed).expect("valid parameters");
+            check_ladder_matches_direct(&lazy, window_secs * 1_000_000_000, threads)?;
+        }
+    }
+
+    /// The same ladder-vs-direct equivalence for streamed CSV ingestion,
+    /// where checkpoint derivation has to respect the chunked reader's
+    /// lookahead window instead of a per-function generator cursor.
+    #[test]
+    fn ladder_checkpoints_match_direct_for_csv_streams(
+        rows in prop::collection::vec(
+            (0u8..3, 0u8..3, 0u64..3, 0u64..5, 0u64..40),
+            1..25,
+        ),
+        chunk in 1usize..64,
+        window_secs in 1u64..10,
+        threads in 1usize..5,
+    ) {
+        let mut csv = String::new();
+        let mut base = 0u64;
+        for &(app, func, advance, back, count) in &rows {
+            base += advance;
+            let minute = base.saturating_sub(back);
+            csv.push_str(&format!("app{app},f{func},{minute},{count}\n"));
+        }
+        let lazy = StreamTrace::from_csv_chunked(&csv, chunk).expect("within lookahead bound");
+        check_ladder_matches_direct(&lazy, window_secs * 1_000_000_000, threads)?;
+    }
+}
+
 /// A cheap ten-function fleet for market proptests (the six benchmark
 /// functions, cycled): best configuration and alternates read straight
 /// off ground-truth tables, built once and shared across cases.

@@ -327,12 +327,17 @@ fn fleet_control_loop_is_windowed_bit_identical() {
 /// (hundreds of cursor checkpoints) and slice every control epoch
 /// across many boundaries, so checkpoint rewind, carried controller
 /// state, and the CSV reader's lookahead window all get exercised
-/// together.
+/// together. On top of the default engine (timer wheel + checkpoint
+/// ladder), every (source, controller) pair also replays through the
+/// sorted-drain completion queue and through a config that forces the
+/// sequential exact-carry fallback, pinning both alternate code paths
+/// to the same bit-identity contract.
 #[test]
 fn streaming_replay_is_bit_identical_for_every_source_and_controller() {
     use faas_freedom::core::fleet::{
-        AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetSimulator, PidConfig,
-        PlacementStrategy, RightSizerConfig, StreamTrace, SupplyProcess,
+        AdmissionPolicy, CompletionQueueKind, ControlConfig, ControllerConfig, FleetConfig,
+        FleetSimulator, PidConfig, PlacementStrategy, ReplayConfig, RightSizerConfig, StreamTrace,
+        SupplyProcess,
     };
     use faas_freedom::core::market::MarketConfig;
     use freedom_experiments::fleet_simulation::{synthetic_plans, trace_sources, AZURE_FIXTURE};
@@ -408,6 +413,43 @@ fn streaming_replay_is_bit_identical_for_every_source_and_controller() {
                          {window_secs}s windows"
                     );
                 }
+            }
+            // The alternate engine paths: the sorted-drain completion
+            // queue (the timer wheel's fallback twin) and a config that
+            // disables speculation entirely, forcing the sequential
+            // exact-carry fallback through the checkpoint ladder.
+            for (label, replay) in [
+                (
+                    "sorted-drain",
+                    ReplayConfig {
+                        completion_queue: CompletionQueueKind::SortedDrain,
+                        ..ReplayConfig::default()
+                    },
+                ),
+                (
+                    "forced-fallback",
+                    ReplayConfig {
+                        max_speculative_rounds: 0,
+                        stall_margin: 0,
+                        ..ReplayConfig::default()
+                    },
+                ),
+            ] {
+                let windowed = sim
+                    .run_stream_windowed_with(
+                        lazy,
+                        PlacementStrategy::IdleAware,
+                        &config,
+                        &replay,
+                        8,
+                        10.0,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    format!("{reference:?}"),
+                    format!("{windowed:?}"),
+                    "{name}/{controller:?} diverged on the {label} replay path"
+                );
             }
         }
     }

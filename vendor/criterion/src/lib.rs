@@ -11,7 +11,10 @@
 //! and, when the `BENCH_JSON` environment variable names a file, appended
 //! to it as JSON lines (`{"bench": ..., "mean_ns": ..., "min_ns": ...,
 //! "samples": ...}`), which CI turns into the `BENCH_pr.json` artifact.
-//! Setting `BENCH_QUICK=1` caps every bench at two samples for smoke runs.
+//! Setting `BENCH_QUICK=1` — or passing `--fast` on the bench command
+//! line (`cargo bench --benches -- --fast`) — caps every bench at two
+//! samples for smoke runs; benches can query the mode via [`is_quick`]
+//! to shrink their own fixture sweeps to match.
 
 pub use std::hint::black_box;
 
@@ -49,8 +52,13 @@ impl Default for Criterion {
     }
 }
 
-fn quick_mode() -> bool {
+/// True when the harness runs as a smoke test: `BENCH_QUICK=1` in the
+/// environment or `--fast` on the command line. Samples are capped at
+/// two per bench; benches with their own fixture sweeps should consult
+/// this to shrink them accordingly.
+pub fn is_quick() -> bool {
     std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        || std::env::args().any(|a| a == "--fast")
 }
 
 impl Criterion {
@@ -98,7 +106,7 @@ impl Criterion {
         measurement_time: Duration,
         mut f: F,
     ) {
-        let sample_size = if quick_mode() { 2 } else { sample_size.max(1) };
+        let sample_size = if is_quick() { 2 } else { sample_size.max(1) };
         let mut bencher = Bencher {
             sample_size,
             measurement_time,
