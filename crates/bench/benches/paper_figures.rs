@@ -381,10 +381,111 @@ fn bench_streaming_replay(c: &mut Criterion) {
     }
 }
 
+/// The failure-domain replay at Azure-trace scale: the hour-long
+/// 120-function heavy-tail fleet over a **three-zone** market with
+/// preemption notices, replayed fault-free (`calm`) and under the stormy
+/// fault plan (zone outages + correlated shock bursts + dropped
+/// notices). `calm` vs `spot_market/hour_120fn_sequential` prices the
+/// zone/notice bookkeeping itself; `calm` vs `stormy` prices the
+/// injected faults and the migrate-or-demote resolution they force.
+///
+/// Alongside the timings, the group reports three counters into the
+/// quick-bench `BENCH_pr.json` artifact: the stormy replay's
+/// events/sec, its migration overhead (stormy wall clock over calm wall
+/// clock — the price of resolving every displaced placement), and the
+/// cross-zone migrations the hour actually performed.
+fn bench_zone_outage(c: &mut Criterion) {
+    use exp::fleet_simulation::{market_config, market_tightness, synthetic_plans};
+    use exp::fleet_zone_outage::{fault_presets, zone_layout};
+    use freedom::fleet::{
+        AdmissionPolicy, FleetConfig, FleetSimulator, PlacementStrategy, StreamTrace, TraceSource,
+    };
+    use freedom::market::MarketConfig;
+
+    let mut group = c.benchmark_group("zone_outage");
+    group.sample_size(10);
+    let sim = FleetSimulator::new(synthetic_plans(120, 42).expect("fleet fixture")).expect("fleet");
+    let tightness = market_tightness();
+    let market = MarketConfig {
+        zones: zone_layout(),
+        ..market_config(&tightness[1], AdmissionPolicy::Greedy)
+    };
+    let calm = FleetConfig {
+        market,
+        ..FleetConfig::default()
+    };
+    let stormy = FleetConfig {
+        faults: fault_presets()[2].plan,
+        ..calm
+    };
+    let trace = StreamTrace::generate_sharded(
+        TraceSource::HeavyTail {
+            mean_rps: 0.5,
+            alpha: 1.5,
+        },
+        120,
+        3600.0,
+        42,
+        8,
+    )
+    .expect("hour-long heavy-tail trace");
+    for (name, config) in [("hour_120fn_calm", &calm), ("hour_120fn_stormy", &stormy)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                sim.run_stream(&trace, PlacementStrategy::IdleAware, config)
+                    .expect("replay")
+            })
+        });
+    }
+    group.finish();
+
+    // One timed pass per config for the counters: events/sec under
+    // faults, and the migration overhead the stormy hour pays.
+    let time_one = |config: &FleetConfig| {
+        let t0 = std::time::Instant::now();
+        let report = sim
+            .run_stream(&trace, PlacementStrategy::IdleAware, config)
+            .expect("replay");
+        (t0.elapsed().as_secs_f64(), report)
+    };
+    let (calm_secs, calm_report) = time_one(&calm);
+    let (stormy_secs, stormy_report) = time_one(&stormy);
+    assert_eq!(calm_report.invocations, stormy_report.invocations);
+    assert!(
+        stormy_report.migrated > 0,
+        "the stormy hour must migrate displaced work cross-zone"
+    );
+    let events_per_sec = stormy_report.invocations as f64 / stormy_secs;
+    println!(
+        "bench zone_outage/hour_120fn_stormy: {:.0} events/sec, {:.2}x of calm, \
+         {} migrated / {} drained / {} demoted",
+        events_per_sec,
+        stormy_secs / calm_secs,
+        stormy_report.migrated,
+        stormy_report.drained,
+        stormy_report.spot_demoted,
+    );
+    freedom_bench::report_counter(
+        "zone_outage/hour_120fn_stormy_events_per_sec",
+        events_per_sec,
+        "events/sec",
+    );
+    freedom_bench::report_counter(
+        "zone_outage/hour_120fn_migration_overhead",
+        stormy_secs / calm_secs,
+        "ratio",
+    );
+    freedom_bench::report_counter(
+        "zone_outage/hour_120fn_migrations",
+        stormy_report.migrated as f64,
+        "placements",
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
     targets = bench_experiments, bench_parallel_vs_sequential, bench_spot_market,
-        bench_control_loop, bench_streaming_replay
+        bench_control_loop, bench_streaming_replay, bench_zone_outage
 }
 criterion_main!(benches);

@@ -251,9 +251,15 @@ pub struct ObsAccum {
     pub arrivals: u32,
     /// Spot admissions this epoch.
     pub spot_admitted: u32,
-    /// In-flight placements demoted by supply drops this epoch (counted
-    /// at the step, not at lazy discovery).
+    /// In-flight placements force-demoted by supply drops this epoch
+    /// (counted at the step, not at lazy discovery).
     pub spot_demoted: u32,
+    /// In-flight placements migrated cross-zone by supply drops this
+    /// epoch (counted at the step).
+    pub migrated: u32,
+    /// In-flight placements that received a preemption notice this
+    /// epoch (counted at the notice).
+    pub notified: u32,
     /// Admission-policy denials this epoch.
     pub policy_rejected: u32,
     /// Admitted-but-nothing-fits misses this epoch.
@@ -271,6 +277,8 @@ impl ObsAccum {
             arrivals: 0,
             spot_admitted: 0,
             spot_demoted: 0,
+            migrated: 0,
+            notified: 0,
             policy_rejected: 0,
             capacity_missed: 0,
             per_function: vec![0; slots],
@@ -282,9 +290,52 @@ impl ObsAccum {
         self.arrivals = 0;
         self.spot_admitted = 0;
         self.spot_demoted = 0;
+        self.migrated = 0;
+        self.notified = 0;
         self.policy_rejected = 0;
         self.capacity_missed = 0;
         self.per_function.fill(0);
+    }
+
+    /// Serializes the partial epoch into a crash-resume snapshot.
+    pub(crate) fn save(&self, w: &mut crate::snapshot::Wire) {
+        w.u32(self.arrivals);
+        w.u32(self.spot_admitted);
+        w.u32(self.spot_demoted);
+        w.u32(self.migrated);
+        w.u32(self.notified);
+        w.u32(self.policy_rejected);
+        w.u32(self.capacity_missed);
+        w.len(self.per_function.len());
+        for &c in &self.per_function {
+            w.u32(c);
+        }
+    }
+
+    /// Restores an accumulator serialized with [`ObsAccum::save`].
+    pub(crate) fn load(r: &mut crate::snapshot::Unwire) -> crate::Result<Self> {
+        let arrivals = r.u32()?;
+        let spot_admitted = r.u32()?;
+        let spot_demoted = r.u32()?;
+        let migrated = r.u32()?;
+        let notified = r.u32()?;
+        let policy_rejected = r.u32()?;
+        let capacity_missed = r.u32()?;
+        let n = r.len()?;
+        let mut per_function = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_function.push(r.u32()?);
+        }
+        Ok(Self {
+            arrivals,
+            spot_admitted,
+            spot_demoted,
+            migrated,
+            notified,
+            policy_rejected,
+            capacity_missed,
+            per_function,
+        })
     }
 }
 
@@ -307,10 +358,12 @@ pub struct Observation<'a> {
 }
 
 impl Observation<'_> {
-    /// Demotions as a fraction of the epoch's spot placements (admitted
-    /// plus demoted); 0 when the epoch saw no spot activity.
+    /// Force-demotions as a fraction of the epoch's spot placements
+    /// (admitted plus demoted plus migrated — a migration saved its
+    /// placement, so it dilutes rather than drives the rate); 0 when
+    /// the epoch saw no spot activity.
     pub fn demotion_rate(&self) -> f64 {
-        let at_risk = self.accum.spot_admitted + self.accum.spot_demoted;
+        let at_risk = self.accum.spot_admitted + self.accum.spot_demoted + self.accum.migrated;
         if at_risk == 0 {
             0.0
         } else {
@@ -393,6 +446,102 @@ impl ControlState {
     pub fn order_for(&self, function: usize) -> Option<&[u8]> {
         self.orders.get(function).and_then(|o| o.as_deref())
     }
+
+    /// Serializes exactly the fields [`control_state_eq`] compares into
+    /// a crash-resume snapshot ([`crate::snapshot`]): floats as bit
+    /// patterns, logs length-prefixed, `orders` entries tagged.
+    pub(crate) fn save(&self, w: &mut crate::snapshot::Wire) {
+        let (tag, bits) = admission_bits(&self.admission);
+        w.u8(tag);
+        w.u64(bits);
+        w.f64(self.integral);
+        w.f64(self.prev_error);
+        let save_log = |w: &mut crate::snapshot::Wire, log: &[Vec<u8>]| {
+            w.len(log.len());
+            for entries in log {
+                w.len(entries.len());
+                for &e in entries {
+                    w.u8(e);
+                }
+            }
+        };
+        save_log(w, &self.observed);
+        save_log(w, &self.observed_batches);
+        w.len(self.orders.len());
+        for order in &self.orders {
+            match order {
+                None => w.u8(0),
+                Some(entries) => {
+                    w.u8(1);
+                    w.len(entries.len());
+                    for &e in entries {
+                        w.u8(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores a state serialized with [`ControlState::save`],
+    /// bit-identical under [`control_state_eq`].
+    pub(crate) fn load(r: &mut crate::snapshot::Unwire) -> crate::Result<Self> {
+        let admission = match (r.u8()?, r.u64()?) {
+            (0, _) => AdmissionPolicy::Greedy,
+            (1, bits) => AdmissionPolicy::Headroom {
+                max_utilization: f64::from_bits(bits),
+            },
+            (tag, _) => {
+                return Err(crate::FreedomError::InvalidArgument(format!(
+                    "snapshot: unknown admission-policy tag {tag}"
+                )))
+            }
+        };
+        let integral = r.f64()?;
+        let prev_error = r.f64()?;
+        let load_log = |r: &mut crate::snapshot::Unwire| -> crate::Result<Vec<Vec<u8>>> {
+            let n = r.len()?;
+            let mut log = Vec::with_capacity(n);
+            for _ in 0..n {
+                let m = r.len()?;
+                let mut entries = Vec::with_capacity(m);
+                for _ in 0..m {
+                    entries.push(r.u8()?);
+                }
+                log.push(entries);
+            }
+            Ok(log)
+        };
+        let observed = load_log(r)?;
+        let observed_batches = load_log(r)?;
+        let n = r.len()?;
+        let mut orders = Vec::with_capacity(n);
+        for _ in 0..n {
+            orders.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let m = r.len()?;
+                    let mut entries = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        entries.push(r.u8()?);
+                    }
+                    Some(entries)
+                }
+                tag => {
+                    return Err(crate::FreedomError::InvalidArgument(format!(
+                        "snapshot: invalid order tag {tag}"
+                    )))
+                }
+            });
+        }
+        Ok(Self {
+            admission,
+            integral,
+            prev_error,
+            observed,
+            observed_batches,
+            orders,
+        })
+    }
 }
 
 fn admission_bits(policy: &AdmissionPolicy) -> (u8, u64) {
@@ -454,7 +603,8 @@ pub(crate) fn hash_control_state(h: &mut crate::market::Fnv64, s: &ControlState)
 pub(crate) fn hash_obs_accum(h: &mut crate::market::Fnv64, a: &ObsAccum) {
     h.write(u64::from(a.arrivals) | (u64::from(a.spot_admitted) << 32));
     h.write(u64::from(a.spot_demoted) | (u64::from(a.policy_rejected) << 32));
-    h.write(u64::from(a.capacity_missed));
+    h.write(u64::from(a.capacity_missed) | (u64::from(a.migrated) << 32));
+    h.write(u64::from(a.notified));
     h.write(a.per_function.len() as u64);
     for &c in &a.per_function {
         h.write(u64::from(c));
@@ -501,12 +651,44 @@ pub struct ControlSample {
     pub arrivals: u32,
     /// Spot admissions in the epoch.
     pub spot_admitted: u32,
-    /// Demotions in the epoch.
+    /// Force-demotions in the epoch.
     pub spot_demoted: u32,
+    /// Cross-zone migrations in the epoch.
+    pub migrated: u32,
     /// Policy rejections plus capacity misses in the epoch.
     pub rejected: u32,
     /// Functions whose placement order this tick revised.
     pub replanned: u32,
+}
+
+impl ControlSample {
+    /// Serializes the sample into a crash-resume snapshot.
+    pub(crate) fn save(&self, w: &mut crate::snapshot::Wire) {
+        w.f64(self.at_secs);
+        w.f64(self.utilization);
+        w.f64(self.ceiling);
+        w.u32(self.arrivals);
+        w.u32(self.spot_admitted);
+        w.u32(self.spot_demoted);
+        w.u32(self.migrated);
+        w.u32(self.rejected);
+        w.u32(self.replanned);
+    }
+
+    /// Restores a sample serialized with [`ControlSample::save`].
+    pub(crate) fn load(r: &mut crate::snapshot::Unwire) -> crate::Result<Self> {
+        Ok(Self {
+            at_secs: r.f64()?,
+            utilization: r.f64()?,
+            ceiling: r.f64()?,
+            arrivals: r.u32()?,
+            spot_admitted: r.u32()?,
+            spot_demoted: r.u32()?,
+            migrated: r.u32()?,
+            rejected: r.u32()?,
+            replanned: r.u32()?,
+        })
+    }
 }
 
 /// A feedback policy closing the provider's control loop.

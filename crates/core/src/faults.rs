@@ -1,0 +1,297 @@
+//! Seeded fault-injection plans for the fleet replay.
+//!
+//! A [`FaultPlan`] describes failure-domain events — whole-zone outages,
+//! fleet-wide supply-shock bursts, and dropped preemption-notice
+//! deliveries — as a *pure function of its seed*. Faults are never wall
+//! clock callbacks or out-of-band mutations: the plan expands into a
+//! [`FaultTimeline`] of simulated-time intervals that
+//! [`crate::market::SupplySchedule::generate`] composes into the same
+//! precomputed supply timeline every replay engine walks. Because the
+//! composed schedule is immutable state shared by `run()` and every
+//! windowed/streaming engine, the determinism lattice (sequential ≡
+//! windowed ≡ streaming, bit-identical for every thread count × window
+//! size × controller) holds with faults enabled by construction.
+
+use crate::{FreedomError, Result};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Guard against pathological plans (e.g. a huge rate over a long
+/// horizon) expanding into an event count that would dwarf the trace.
+const MAX_FAULT_EVENTS: usize = 1 << 20;
+
+/// Seed salt for the notice-delivery drop stream, kept distinct from the
+/// interval streams so adding drops never perturbs outage placement.
+pub(crate) const NOTICE_DROP_SALT: u64 = 0xa076_1d64_78bd_642f;
+
+/// A seeded description of the failure events to inject into a replay.
+///
+/// All rates are Poisson (exponential gaps), all durations exponential
+/// with the given mean; the expansion is a pure function of `seed`, so a
+/// `FaultPlan` value fully names a fault scenario. [`FaultPlan::NONE`]
+/// (the [`Default`]) injects nothing and leaves every schedule
+/// bit-identical to the fault-free build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault stream derived from this plan.
+    pub seed: u64,
+    /// Whole-zone outages per zone-hour (capacity pinned to zero).
+    pub outage_rate_per_hour: f64,
+    /// Mean outage duration in seconds.
+    pub mean_outage_secs: f64,
+    /// Fraction of preemption notices whose delivery is dropped
+    /// (in `[0, 1]`): the affected step withdraws without warning.
+    pub notice_drop_fraction: f64,
+    /// Fleet-wide supply-shock bursts per hour (all zones lose a
+    /// `burst_severity` fraction of capacity for the burst's duration).
+    pub burst_rate_per_hour: f64,
+    /// Mean burst duration in seconds.
+    pub mean_burst_secs: f64,
+    /// Fractional capacity cut applied while a burst is active
+    /// (in `[0, 1]`; caps are floored, so small slots can hit zero).
+    pub burst_severity: f64,
+}
+
+impl FaultPlan {
+    /// The inert plan: no outages, no bursts, no dropped notices.
+    pub const NONE: FaultPlan = FaultPlan {
+        seed: 0,
+        outage_rate_per_hour: 0.0,
+        mean_outage_secs: 0.0,
+        notice_drop_fraction: 0.0,
+        burst_rate_per_hour: 0.0,
+        mean_burst_secs: 0.0,
+        burst_severity: 0.0,
+    };
+
+    /// Whether this plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.outage_rate_per_hour > 0.0
+            || self.burst_rate_per_hour > 0.0
+            || self.notice_drop_fraction > 0.0
+    }
+
+    /// Validates rates, durations, and fractions.
+    pub fn validate(&self) -> Result<()> {
+        let nonneg = [
+            ("outage_rate_per_hour", self.outage_rate_per_hour),
+            ("mean_outage_secs", self.mean_outage_secs),
+            ("burst_rate_per_hour", self.burst_rate_per_hour),
+            ("mean_burst_secs", self.mean_burst_secs),
+        ];
+        for (name, v) in nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "FaultPlan.{name} must be finite and >= 0, got {v}"
+                )));
+            }
+        }
+        for (name, v) in [
+            ("notice_drop_fraction", self.notice_drop_fraction),
+            ("burst_severity", self.burst_severity),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "FaultPlan.{name} must be in [0, 1], got {v}"
+                )));
+            }
+        }
+        if self.outage_rate_per_hour > 0.0 && self.mean_outage_secs <= 0.0 {
+            return Err(FreedomError::InvalidArgument(
+                "FaultPlan.mean_outage_secs must be > 0 when outages are enabled".into(),
+            ));
+        }
+        if self.burst_rate_per_hour > 0.0 && self.mean_burst_secs <= 0.0 {
+            return Err(FreedomError::InvalidArgument(
+                "FaultPlan.mean_burst_secs must be > 0 when bursts are enabled".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+/// One whole-zone capacity outage: `zone` holds zero capacity on
+/// `[start_nanos, end_nanos)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneOutage {
+    /// Index of the affected zone.
+    pub zone: usize,
+    /// Inclusive start of the outage, simulated nanoseconds.
+    pub start_nanos: u64,
+    /// Exclusive end of the outage.
+    pub end_nanos: u64,
+}
+
+/// One fleet-wide supply-shock burst: every zone's caps are cut by
+/// `severity` on `[start_nanos, end_nanos)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShockBurst {
+    /// Inclusive start of the burst, simulated nanoseconds.
+    pub start_nanos: u64,
+    /// Exclusive end of the burst.
+    pub end_nanos: u64,
+    /// Fractional capacity cut while active (in `[0, 1]`).
+    pub severity: f64,
+}
+
+/// A [`FaultPlan`] expanded over a concrete horizon: sorted outage and
+/// burst intervals, ready to compose into a supply schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultTimeline {
+    /// Zone outages, sorted by zone then start (non-overlapping per zone).
+    pub outages: Vec<ZoneOutage>,
+    /// Fleet-wide bursts, sorted by start (non-overlapping).
+    pub bursts: Vec<ShockBurst>,
+}
+
+/// Draws an exponential interval with the given mean (nanoseconds),
+/// at least 1 ns so consecutive events never collapse onto one instant.
+fn exp_nanos(rng: &mut StdRng, mean_nanos: f64) -> u64 {
+    let u: f64 = rng.gen();
+    let draw = -(1.0 - u).ln() * mean_nanos;
+    (draw as u64).max(1)
+}
+
+impl FaultTimeline {
+    /// Expands `plan` over `[0, horizon_nanos)` for `n_zones` zones.
+    ///
+    /// Pure in `(plan, n_zones, horizon_nanos)`: zone outage streams are
+    /// drawn per zone in zone order, then the burst stream, all from one
+    /// generator seeded with `plan.seed` — so the same plan yields the
+    /// same timeline on every engine and every run.
+    pub fn generate(plan: &FaultPlan, n_zones: usize, horizon_nanos: u64) -> Result<FaultTimeline> {
+        plan.validate()?;
+        let mut timeline = FaultTimeline::default();
+        if !plan.is_active() || horizon_nanos == 0 {
+            return Ok(timeline);
+        }
+        let mut rng = StdRng::seed_from_u64(plan.seed);
+        if plan.outage_rate_per_hour > 0.0 {
+            let mean_gap = 3_600e9 / plan.outage_rate_per_hour;
+            let mean_len = plan.mean_outage_secs * 1e9;
+            for zone in 0..n_zones {
+                let mut t = 0u64;
+                loop {
+                    t = t.saturating_add(exp_nanos(&mut rng, mean_gap));
+                    if t >= horizon_nanos {
+                        break;
+                    }
+                    let end = t.saturating_add(exp_nanos(&mut rng, mean_len));
+                    timeline.outages.push(ZoneOutage {
+                        zone,
+                        start_nanos: t,
+                        end_nanos: end,
+                    });
+                    if timeline.outages.len() > MAX_FAULT_EVENTS {
+                        return Err(FreedomError::InvalidArgument(
+                            "FaultPlan expands into too many outage events".into(),
+                        ));
+                    }
+                    // Resume the gap draw after the outage: intervals
+                    // within one zone never overlap.
+                    t = end;
+                }
+            }
+        }
+        if plan.burst_rate_per_hour > 0.0 {
+            let mean_gap = 3_600e9 / plan.burst_rate_per_hour;
+            let mean_len = plan.mean_burst_secs * 1e9;
+            let mut t = 0u64;
+            loop {
+                t = t.saturating_add(exp_nanos(&mut rng, mean_gap));
+                if t >= horizon_nanos {
+                    break;
+                }
+                let end = t.saturating_add(exp_nanos(&mut rng, mean_len));
+                timeline.bursts.push(ShockBurst {
+                    start_nanos: t,
+                    end_nanos: end,
+                    severity: plan.burst_severity,
+                });
+                if timeline.bursts.len() > MAX_FAULT_EVENTS {
+                    return Err(FreedomError::InvalidArgument(
+                        "FaultPlan expands into too many burst events".into(),
+                    ));
+                }
+                t = end;
+            }
+        }
+        Ok(timeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            outage_rate_per_hour: 6.0,
+            mean_outage_secs: 40.0,
+            notice_drop_fraction: 0.25,
+            burst_rate_per_hour: 4.0,
+            mean_burst_secs: 20.0,
+            burst_severity: 0.5,
+        }
+    }
+
+    #[test]
+    fn timeline_is_a_pure_function_of_the_seed() {
+        let horizon = 3_600_000_000_000; // one hour
+        let a = FaultTimeline::generate(&active_plan(7), 3, horizon).unwrap();
+        let b = FaultTimeline::generate(&active_plan(7), 3, horizon).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.outages.is_empty());
+        assert!(!a.bursts.is_empty());
+        let c = FaultTimeline::generate(&active_plan(8), 3, horizon).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn intervals_start_inside_the_horizon_and_never_overlap_per_zone() {
+        let horizon = 7_200_000_000_000;
+        let t = FaultTimeline::generate(&active_plan(11), 4, horizon).unwrap();
+        for o in &t.outages {
+            assert!(o.start_nanos < horizon);
+            assert!(o.end_nanos > o.start_nanos);
+        }
+        for pair in t.outages.windows(2) {
+            if pair[0].zone == pair[1].zone {
+                assert!(pair[0].end_nanos <= pair[1].start_nanos);
+            }
+        }
+        for pair in t.bursts.windows(2) {
+            assert!(pair[0].end_nanos <= pair[1].start_nanos);
+        }
+    }
+
+    #[test]
+    fn inert_plan_expands_to_nothing() {
+        let t = FaultTimeline::generate(&FaultPlan::NONE, 8, u64::MAX / 2).unwrap();
+        assert!(t.outages.is_empty() && t.bursts.is_empty());
+        assert!(!FaultPlan::NONE.is_active());
+        assert_eq!(FaultPlan::default(), FaultPlan::NONE);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let mut p = active_plan(1);
+        p.burst_severity = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = active_plan(1);
+        p.notice_drop_fraction = -0.1;
+        assert!(p.validate().is_err());
+        let mut p = active_plan(1);
+        p.mean_outage_secs = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = active_plan(1);
+        p.outage_rate_per_hour = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+}

@@ -60,17 +60,20 @@ use crate::controller::{
     admission_ceiling, control_state_eq, hash_control_state, hash_obs_accum, ControlSample,
     ControlScratch, ControlState, Controller, FunctionView, ObsAccum, Observation, MAX_TICKS,
 };
+pub use crate::faults::FaultPlan;
 use crate::market::{
     carry_eq, family_index, hash_inflight, Fnv64, InFlight, MarketConfig, SpotLedger,
     SupplySchedule,
 };
 use crate::provider::PlannedPlacement;
+use crate::snapshot::{ReplaySnapshot, Unwire, Wire, SNAPSHOT_VERSION};
 use crate::trace::{event_nanos, MAX_WINDOWS};
 use crate::wheel::CompletionQueue;
 use crate::{FreedomError, Result};
 
 pub use crate::controller::{ControlConfig, ControllerConfig, PidConfig, RightSizerConfig};
-pub use crate::market::{AdmissionPolicy, SupplyProcess};
+pub use crate::market::{AdmissionPolicy, SupplyProcess, ZoneConfig};
+pub use crate::snapshot::SNAPSHOT_VERSION as REPLAY_SNAPSHOT_VERSION;
 pub use crate::stream::{EventStream, StreamCheckpoint, StreamTrace};
 pub use crate::trace::{Trace, TraceEvent, TraceSource};
 pub use crate::wheel::CompletionQueueKind;
@@ -120,6 +123,11 @@ pub struct FleetConfig {
     /// controller revising admission and placements during the replay.
     /// Defaults to [`ControllerConfig::Static`] — the open-loop engine.
     pub control: ControlConfig,
+    /// Seeded fault injection: zone outages, supply-shock bursts, and
+    /// dropped preemption-notice deliveries, all expanded into
+    /// simulated-time events the supply schedule composes. Defaults to
+    /// [`FaultPlan::NONE`] — nothing injected.
+    pub faults: FaultPlan,
 }
 
 impl Default for FleetConfig {
@@ -128,6 +136,7 @@ impl Default for FleetConfig {
             market: MarketConfig::default(),
             slo_theta: 0.10,
             control: ControlConfig::default(),
+            faults: FaultPlan::NONE,
         }
     }
 }
@@ -149,15 +158,30 @@ pub struct FleetReport {
     /// 95th-percentile latency inflation.
     pub p95_latency_inflation: f64,
     /// Invocations admitted to the spot market that ran there to
-    /// completion.
+    /// completion undisturbed (never notified, migrated, or demoted).
     pub spot_admitted: usize,
-    /// Spot placements demoted mid-flight when a supply drop withdrew
-    /// their VM (live-migrated to on-demand, re-billed at list price).
+    /// Spot placements that completed on a slot *under a preemption
+    /// notice* — the notice's drain window saved them from the
+    /// withdrawal. Billed like an undisturbed admission.
+    pub drained: usize,
+    /// Spot placements migrated to another zone when their slot was
+    /// withdrawn (re-billed at
+    /// [`ZoneConfig::migration_rebill`](crate::market::ZoneConfig) ×
+    /// list price).
+    pub migrated: usize,
+    /// Spot placements force-demoted mid-flight when a supply drop
+    /// withdrew their VM and no other zone could absorb them
+    /// (live-migrated to on-demand, re-billed at list price).
     pub spot_demoted: usize,
+    /// In-flight placements that received a preemption notice.
+    /// Telemetry, not an outcome class: a notified placement still ends
+    /// up drained, migrated, or demoted (or admitted, if the engine
+    /// never reached its withdrawal).
+    pub notified: usize,
     /// Invocations served on-demand: the baseline strategy, plans with
     /// no accepted alternates, admission-policy denials, and capacity
-    /// misses. Every invocation is exactly one of admitted / demoted /
-    /// rejected.
+    /// misses. Every invocation is exactly one of admitted / drained /
+    /// migrated / demoted / rejected.
     pub rejected: usize,
     /// Rejections where the admission controller denied the request
     /// outright (utilization above the policy ceiling).
@@ -178,23 +202,29 @@ pub struct FleetReport {
 
 impl FleetReport {
     /// Fraction of invocations that started on the spot market
-    /// (admitted + demoted).
+    /// (admitted + drained + migrated + demoted).
     pub fn spot_share(&self) -> f64 {
         if self.invocations == 0 {
             0.0
         } else {
-            (self.spot_admitted + self.spot_demoted) as f64 / self.invocations as f64
+            (self.spot_admitted + self.drained + self.migrated + self.spot_demoted) as f64
+                / self.invocations as f64
         }
     }
 }
 
-/// Outcome class of one invocation, recorded per arrival and finalized at
-/// reduction (demotions overwrite the admission record).
+/// Outcome class of one invocation, recorded per arrival and finalized
+/// at reduction: demotions and migrations overwrite the admission
+/// record (class and cost), a drain annotates the class only — and only
+/// while the record still reads `ADMITTED`, so a migrated placement that
+/// later drains keeps its migration bill.
 const CLASS_ON_DEMAND: u8 = 0;
 const CLASS_CAPACITY_MISS: u8 = 1;
 const CLASS_ADMITTED: u8 = 2;
 const CLASS_DEMOTED: u8 = 3;
 const CLASS_POLICY_REJECT: u8 = 4;
+const CLASS_MIGRATED: u8 = 5;
+const CLASS_DRAINED: u8 = 6;
 
 /// Engine knobs of the windowed replay — none of them observable in the
 /// [`FleetReport`], which stays bit-identical to the sequential
@@ -282,21 +312,106 @@ struct ReplayCtx {
     queue: CompletionQueueKind,
 }
 
-/// Per-arrival metering of one window, in arrival order, plus demotion
-/// adjustments keyed by global arrival index (a demotion may re-bill an
-/// invocation admitted in an earlier window) and the control-plane
+/// Per-arrival metering of one window, in arrival order, plus outcome
+/// adjustments keyed by global arrival index (a supply step may re-bill
+/// an invocation admitted in an earlier window) and the control-plane
 /// samples of the ticks the window processed. Per-invocation records —
 /// rather than window-local accumulators — are what make the final
 /// reduction's float-accumulation order independent of the window
 /// partition, and therefore bit-identical between the reference and
 /// windowed engines.
 #[derive(Debug, Clone, Default)]
-struct WindowMetering {
+pub(crate) struct WindowMetering {
     costs: Vec<f64>,
     inflations: Vec<f64>,
     classes: Vec<u8>,
-    adjustments: Vec<(u32, f64)>,
+    /// `(global index, new class, re-billed cost)` — recorded at the
+    /// event that changed an invocation's outcome (a withdrawal step for
+    /// migrations/demotions, a completion under notice for drains; the
+    /// drain's cost field is ignored at reduction).
+    adjustments: Vec<(u32, u8, f64)>,
     samples: Vec<ControlSample>,
+    /// In-flight placements notified this window (telemetry sum).
+    notified: u32,
+}
+
+impl WindowMetering {
+    /// Serializes the metering into a crash-resume snapshot: the
+    /// per-invocation records, outcome adjustments, and control samples
+    /// of everything simulated so far, floats as bit patterns.
+    pub(crate) fn save(&self, w: &mut Wire) {
+        debug_assert_eq!(self.costs.len(), self.inflations.len());
+        debug_assert_eq!(self.costs.len(), self.classes.len());
+        w.len(self.costs.len());
+        for &c in &self.costs {
+            w.f64(c);
+        }
+        for &i in &self.inflations {
+            w.f64(i);
+        }
+        for &c in &self.classes {
+            w.u8(c);
+        }
+        w.len(self.adjustments.len());
+        for &(idx, class, cost) in &self.adjustments {
+            w.u32(idx);
+            w.u8(class);
+            w.f64(cost);
+        }
+        w.len(self.samples.len());
+        for s in &self.samples {
+            s.save(w);
+        }
+        w.u32(self.notified);
+    }
+
+    /// Restores metering serialized with [`WindowMetering::save`].
+    pub(crate) fn load(r: &mut Unwire) -> Result<Self> {
+        let n = r.len()?;
+        let mut costs = Vec::with_capacity(n);
+        for _ in 0..n {
+            costs.push(r.f64()?);
+        }
+        let mut inflations = Vec::with_capacity(n);
+        for _ in 0..n {
+            inflations.push(r.f64()?);
+        }
+        let mut classes = Vec::with_capacity(n);
+        for _ in 0..n {
+            classes.push(r.u8()?);
+        }
+        let n_adj = r.len()?;
+        let mut adjustments = Vec::with_capacity(n_adj);
+        for _ in 0..n_adj {
+            adjustments.push((r.u32()?, r.u8()?, r.f64()?));
+        }
+        let n_samples = r.len()?;
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            samples.push(ControlSample::load(r)?);
+        }
+        let notified = r.u32()?;
+        Ok(Self {
+            costs,
+            inflations,
+            classes,
+            adjustments,
+            samples,
+            notified,
+        })
+    }
+
+    /// Folds `other` onto the end of this metering. Concatenation is
+    /// exactly what [`reduce`] does across windows, so a folded prefix
+    /// reduces bit-identically to the window-by-window originals.
+    fn absorb(&mut self, other: &WindowMetering) {
+        self.costs.extend_from_slice(&other.costs);
+        self.inflations.extend_from_slice(&other.inflations);
+        self.classes.extend_from_slice(&other.classes);
+        self.adjustments.extend_from_slice(&other.adjustments);
+        self.samples.extend_from_slice(&other.samples);
+        self.notified += other.notified;
+    }
 }
 
 /// Everything that crosses a window boundary: the canonical
@@ -304,7 +419,7 @@ struct WindowMetering {
 /// and the partial observation epoch. The reconciliation chain compares
 /// all three bit-exactly — see `crates/core/README.md`.
 #[derive(Debug, Clone)]
-struct Carry {
+pub(crate) struct Carry {
     inflight: Vec<InFlight>,
     control: ControlState,
     accum: ObsAccum,
@@ -319,6 +434,47 @@ impl Carry {
             control: ctx.controller.init(ctx.market.admission, ctx.plans.len()),
             accum: ObsAccum::zero(*ctx.obs_offsets.last().expect("offsets") as usize),
         }
+    }
+
+    /// Serializes the carried state into a crash-resume snapshot:
+    /// in-flight entries field-for-field (costs as bit patterns), then
+    /// the controller state and partial observation epoch.
+    pub(crate) fn save(&self, w: &mut Wire) {
+        w.len(self.inflight.len());
+        for e in &self.inflight {
+            w.u64(e.completion_nanos);
+            w.u32(e.slot);
+            w.u32(e.idx);
+            w.u32(e.epoch);
+            w.u32(e.milli);
+            w.u32(e.mib);
+            w.f64(e.list_cost_usd);
+        }
+        self.control.save(w);
+        self.accum.save(w);
+    }
+
+    /// Restores a carry serialized with [`Carry::save`], bit-identical
+    /// under [`carry_state_eq`].
+    pub(crate) fn load(r: &mut Unwire) -> Result<Self> {
+        let n = r.len()?;
+        let mut inflight = Vec::with_capacity(n);
+        for _ in 0..n {
+            inflight.push(InFlight {
+                completion_nanos: r.u64()?,
+                slot: r.u32()?,
+                idx: r.u32()?,
+                epoch: r.u32()?,
+                milli: r.u32()?,
+                mib: r.u32()?,
+                list_cost_usd: r.f64()?,
+            });
+        }
+        Ok(Self {
+            inflight,
+            control: ControlState::load(r)?,
+            accum: ObsAccum::load(r)?,
+        })
     }
 }
 
@@ -821,6 +977,118 @@ impl FleetSimulator {
         Ok((report, stats))
     }
 
+    /// Crash-resumable streaming replay: chains exact-carry windows of
+    /// `snapshot_secs` sequentially and, at every window (epoch)
+    /// boundary, hands `on_snapshot` a versioned [`ReplaySnapshot`] —
+    /// the stream checkpoint, the carried state, and the folded metering
+    /// prefix. Feeding a persisted snapshot back as `resume` replays
+    /// only the remaining windows; the resulting report is
+    /// **bit-identical** to [`FleetSimulator::run_stream`] (and the
+    /// whole determinism lattice) no matter where the run was killed.
+    ///
+    /// `on_snapshot` returns `Ok(true)` to continue or `Ok(false)` to
+    /// stop (the simulated crash of the kill/resume tests); a stopped
+    /// run yields `Ok(None)`. Snapshots are rejected with
+    /// [`FreedomError::InvalidArgument`] when their fingerprint —
+    /// strategy, config, fleet and trace shape, snapshot cadence — does
+    /// not match this replay, so a stale file cannot silently resume a
+    /// different simulation.
+    pub fn run_stream_resumable(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        snapshot_secs: f64,
+        resume: Option<&ReplaySnapshot>,
+        mut on_snapshot: impl FnMut(&ReplaySnapshot) -> Result<bool>,
+    ) -> Result<Option<FleetReport>> {
+        let horizon = trace.horizon_nanos();
+        let window_nanos = validate_window(horizon, snapshot_secs)?;
+        let ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
+        if trace.is_empty() {
+            return Ok(Some(reduce(
+                strategy,
+                config.slo_theta,
+                0,
+                Vec::new(),
+                ctx.controller_label,
+            )));
+        }
+        let fingerprint = replay_fingerprint(&ctx, strategy, config, trace.len(), window_nanos);
+        let n = (horizon / window_nanos) as usize + 1;
+        let (mut k, mut carry, mut stream, mut meterings, mut consumed) = match resume {
+            Some(snap) => {
+                if snap.fingerprint != fingerprint {
+                    return Err(FreedomError::InvalidArgument(
+                        "snapshot fingerprint does not match this replay \
+                         (different strategy, config, trace, or snapshot cadence)"
+                            .into(),
+                    ));
+                }
+                if snap.epoch == 0 || snap.epoch as usize >= n {
+                    return Err(FreedomError::InvalidArgument(format!(
+                        "snapshot epoch {} is outside this replay's 1..{n} boundaries",
+                        snap.epoch
+                    )));
+                }
+                (
+                    snap.epoch as usize,
+                    snap.carry.clone(),
+                    trace.open_at(&snap.checkpoint)?,
+                    vec![snap.metering.clone()],
+                    snap.events_consumed,
+                )
+            }
+            None => (0, Carry::initial(&ctx), trace.open()?, Vec::new(), 0),
+        };
+        while k < n {
+            let (start, end) = window_span(k, window_nanos);
+            let mut count = 0u64;
+            let outcome = {
+                let events = std::iter::from_fn(|| {
+                    if stream.peek().is_some_and(|e| event_nanos(e.at_secs) < end) {
+                        count += 1;
+                        stream.next()
+                    } else {
+                        None
+                    }
+                });
+                simulate_window(&ctx, events, 0, consumed as u32, &carry, start, end)
+            };
+            consumed += count;
+            carry = outcome.carry_out;
+            meterings.push(outcome.metering);
+            k += 1;
+            if k < n {
+                let mut prefix = WindowMetering::default();
+                for m in &meterings {
+                    prefix.absorb(m);
+                }
+                let snap = ReplaySnapshot {
+                    version: SNAPSHOT_VERSION,
+                    fingerprint,
+                    epoch: k as u64,
+                    window_nanos,
+                    events_consumed: consumed,
+                    checkpoint: stream.checkpoint(),
+                    carry: carry.clone(),
+                    metering: prefix,
+                };
+                if !on_snapshot(&snap)? {
+                    return Ok(None);
+                }
+            }
+        }
+        debug_assert_eq!(consumed as usize, trace.len());
+        Ok(Some(reduce(
+            strategy,
+            config.slo_theta,
+            trace.len(),
+            meterings,
+            ctx.controller_label,
+        )))
+    }
+
     /// Validates inputs and resolves plans, supply schedule, and market
     /// settings into the immutable replay context. Takes the trace's
     /// shape — stream count and horizon (last arrival in nanoseconds) —
@@ -854,7 +1122,7 @@ impl FleetSimulator {
                 config.control.cadence_secs
             )));
         }
-        let schedule = SupplySchedule::generate(&config.market, horizon)?;
+        let schedule = SupplySchedule::generate(&config.market, &config.faults, horizon)?;
         let mut plans = Vec::with_capacity(self.plans.len());
         let mut views = Vec::with_capacity(self.plans.len());
         let mut obs_offsets = Vec::with_capacity(self.plans.len() + 1);
@@ -946,6 +1214,8 @@ struct WindowSim<'a> {
     /// of the replay's peak-memory bound ([`ReplayStats`]).
     peak_inflight: usize,
     supply_cursor: usize,
+    /// Index of the next preemption notice to fire.
+    notice_cursor: usize,
     /// Index of the next controller tick to fire (tick `k` fires at
     /// `k · cadence`, `k ≥ 1`, capped at the trace horizon).
     next_tick: u64,
@@ -962,45 +1232,114 @@ impl WindowSim<'_> {
         (at <= self.ctx.horizon_nanos).then_some(at)
     }
 
-    /// Advances the market through every completion, supply step, and
-    /// controller tick due at or before `to_nanos`, in time order. At
-    /// one instant completions release capacity first (so a finishing
-    /// invocation is never spuriously demoted by a simultaneous supply
-    /// drop), then supply steps fire, then the controller ticks — the
-    /// controller observes the epoch *including* any demotions a
-    /// same-instant step just caused. Stale completions — entries whose
-    /// slot was withdrawn since placement — record their demotion
-    /// re-billing instead of releasing capacity (the demotion itself was
-    /// already counted at the step).
+    /// Advances the market through every completion, supply step,
+    /// preemption notice, and controller tick due at or before
+    /// `to_nanos`, in time order. At one instant completions release
+    /// capacity first (so a finishing invocation is never spuriously
+    /// demoted by a simultaneous supply drop), then supply steps
+    /// withdraw and resolve their displaced residents, then notices
+    /// mark slots, then the controller ticks — observing the epoch
+    /// *including* anything a same-instant step just caused.
+    ///
+    /// Ghost completions — entries whose slot was withdrawn since
+    /// placement — pop silently: their fate (migrated or demoted) was
+    /// already decided and metered at the withdrawal step.
     fn advance(&mut self, to_nanos: u64) {
         loop {
-            let completion = self.queue.next_due(to_nanos);
-            let step = self
+            let step_at = self
                 .ctx
                 .schedule
                 .steps
                 .get(self.supply_cursor)
-                .map(|s| s.at_nanos)
+                .map(|s| s.at_nanos);
+            // Cap the completion scan at the next unprocessed step: a
+            // migration at that step pushes entries back into the
+            // queue, and the wheel's cursor must not have advanced past
+            // the push instant. Correctness is unaffected — any
+            // completion beyond the step fires after it anyway.
+            let completion = self
+                .queue
+                .next_due(to_nanos.min(step_at.unwrap_or(u64::MAX)));
+            let step = step_at.filter(|&v| v <= to_nanos);
+            let notice = self
+                .ctx
+                .schedule
+                .notices
+                .get(self.notice_cursor)
+                .map(|n| n.at_nanos)
                 .filter(|&v| v <= to_nanos);
             let tick = self.next_tick_at().filter(|&v| v <= to_nanos);
-            let Some(now) = [completion, step, tick].into_iter().flatten().min() else {
+            let Some(now) = [completion, step, notice, tick].into_iter().flatten().min() else {
                 break;
             };
             if completion == Some(now) {
                 let e = self.queue.pop_due();
                 if self.ledger.is_live(&e) {
+                    if self.ledger.is_notified(e.slot) {
+                        // Completed under notice: the drain window
+                        // saved it from the announced withdrawal.
+                        self.m.adjustments.push((e.idx, CLASS_DRAINED, 0.0));
+                    }
                     self.ledger.release(&e);
-                } else {
-                    self.m.adjustments.push((e.idx, e.list_cost_usd));
                 }
             } else if step == Some(now) {
-                let caps = &self.ctx.schedule.steps[self.supply_cursor].caps;
-                self.accum.spot_demoted += self.ledger.apply_step(caps);
-                self.supply_cursor += 1;
+                self.supply_step();
+            } else if notice == Some(now) {
+                self.fire_notice();
             } else {
                 self.fire_tick(now);
             }
         }
+    }
+
+    /// Fires the supply step at `supply_cursor`: withdraws the dropped
+    /// slots and resolves every displaced resident *at the step* —
+    /// migrate to another zone when one fits (same family, re-billed at
+    /// the migration fraction of list), force-demote otherwise.
+    fn supply_step(&mut self) {
+        let ctx = self.ctx;
+        let step = &ctx.schedule.steps[self.supply_cursor];
+        for e in self.ledger.withdraw(&step.caps) {
+            match self.ledger.migrate_target(e.slot, e.milli, e.mib) {
+                Some(slot) => {
+                    let moved = InFlight {
+                        slot,
+                        epoch: self.ledger.epoch(slot),
+                        ..e
+                    };
+                    self.ledger.place(&moved);
+                    self.queue.push(moved);
+                    self.peak_inflight = self.peak_inflight.max(self.queue.len());
+                    self.accum.migrated += 1;
+                    self.m.adjustments.push((
+                        e.idx,
+                        CLASS_MIGRATED,
+                        e.list_cost_usd * ctx.market.zones.migration_rebill,
+                    ));
+                }
+                None => {
+                    self.accum.spot_demoted += 1;
+                    self.m
+                        .adjustments
+                        .push((e.idx, CLASS_DEMOTED, e.list_cost_usd));
+                }
+            }
+        }
+        self.supply_cursor += 1;
+    }
+
+    /// Fires the preemption notice at `notice_cursor`: marks every slot
+    /// the announced step will withdraw, so they stop admitting and
+    /// their residents get a drain window.
+    fn fire_notice(&mut self) {
+        let ctx = self.ctx;
+        let announced = ctx.schedule.notices[self.notice_cursor];
+        let hit = self
+            .ledger
+            .mark_notified(&ctx.schedule.steps[announced.step as usize].caps);
+        self.accum.notified += hit;
+        self.m.notified += hit;
+        self.notice_cursor += 1;
     }
 
     /// Fires controller tick `self.next_tick`: hands the controller the
@@ -1026,6 +1365,7 @@ impl WindowSim<'_> {
             arrivals: self.accum.arrivals,
             spot_admitted: self.accum.spot_admitted,
             spot_demoted: self.accum.spot_demoted,
+            migrated: self.accum.migrated,
             rejected: self.accum.policy_rejected + self.accum.capacity_missed,
             replanned,
         });
@@ -1071,8 +1411,7 @@ impl WindowSim<'_> {
                 match placed {
                     Some((ai, slot)) => {
                         let alt = &plan.alternates[ai];
-                        self.ledger.place(slot, alt.milli_vcpus, alt.memory_mib);
-                        self.queue.push(InFlight {
+                        let entry = InFlight {
                             completion_nanos: at + alt.duration_nanos,
                             slot,
                             idx,
@@ -1080,7 +1419,9 @@ impl WindowSim<'_> {
                             milli: alt.milli_vcpus,
                             mib: alt.memory_mib,
                             list_cost_usd: alt.list_cost_usd,
-                        });
+                        };
+                        self.ledger.place(&entry);
+                        self.queue.push(entry);
                         self.peak_inflight = self.peak_inflight.max(self.queue.len());
                         self.accum.spot_admitted += 1;
                         self.accum.per_function[off + ai] += 1;
@@ -1138,6 +1479,33 @@ fn carry_fingerprint(c: &Carry) -> u64 {
     hash_inflight(&mut h, &c.inflight);
     hash_control_state(&mut h, &c.control);
     hash_obs_accum(&mut h, &c.accum);
+    h.finish()
+}
+
+/// Fingerprint of a resumable replay's identity: strategy and config
+/// (via their `Debug` forms — both are plain data), the resolved fleet
+/// shape, the trace shape, and the snapshot cadence. A
+/// [`ReplaySnapshot`] carries it so a resume under any different setup
+/// is rejected instead of silently producing a frankenstein report.
+fn replay_fingerprint(
+    ctx: &ReplayCtx,
+    strategy: PlacementStrategy,
+    config: &FleetConfig,
+    trace_len: usize,
+    window_nanos: u64,
+) -> u64 {
+    let mut h = Fnv64::new();
+    for b in format!("{strategy:?}|{config:?}").bytes() {
+        h.write(u64::from(b));
+    }
+    h.write(ctx.plans.len() as u64);
+    for p in &ctx.plans {
+        h.write(p.best_cost_usd.to_bits());
+        h.write(p.alternates.len() as u64);
+    }
+    h.write(trace_len as u64);
+    h.write(ctx.horizon_nanos);
+    h.write(window_nanos);
     h.finish()
 }
 
@@ -1301,8 +1669,15 @@ fn simulate_window(
     start_nanos: u64,
     end_nanos: u64,
 ) -> WindowOutcome {
-    let (cursor, caps) = ctx.schedule.start_state(start_nanos);
-    let mut ledger = SpotLedger::new(&ctx.market, caps);
+    let start = ctx.schedule.start_state(start_nanos);
+    let mut ledger = SpotLedger::new(&ctx.market, start.caps);
+    // A notice that fired before this window for a step still ahead:
+    // re-mark its slots so the window starts under the same pending
+    // notice the sequential engine would be carrying (the notified
+    // placements were already counted when the notice fired).
+    if let Some(next_caps) = start.notified_next {
+        ledger.mark_notified(next_caps);
+    }
     let mut queue = CompletionQueue::new(
         ctx.queue,
         carry_in.inflight.len() + 64,
@@ -1320,7 +1695,8 @@ fn simulate_window(
         peak_inflight: queue.len(),
         ledger,
         queue,
-        supply_cursor: cursor,
+        supply_cursor: start.cursor,
+        notice_cursor: start.notice_cursor,
         // Ticks strictly before the window start already fired in a
         // predecessor; a tick exactly at the start belongs to this
         // window (its predecessor only advanced to `start − 1`).
@@ -1334,6 +1710,7 @@ fn simulate_window(
             classes: Vec::with_capacity(n_events),
             adjustments: Vec::new(),
             samples: Vec::new(),
+            notified: 0,
         },
     };
 
@@ -1352,8 +1729,9 @@ fn simulate_window(
     }
 
     // Drain: live entries become the canonical carry-over (ascending
-    // key order — identical for both queue kinds), stale entries are
-    // demotions discovered late.
+    // key order — identical for both queue kinds). Ghost entries —
+    // their slot withdrawn since placement — drop silently: their fate
+    // was resolved and metered at the withdrawal step.
     let remaining = std::mem::take(&mut sim.queue).into_sorted();
     let mut inflight = Vec::with_capacity(remaining.len());
     for e in remaining {
@@ -1361,8 +1739,6 @@ fn simulate_window(
             let mut carried = e;
             carried.epoch = 0;
             inflight.push(carried);
-        } else {
-            sim.m.adjustments.push((e.idx, e.list_cost_usd));
         }
     }
     WindowOutcome {
@@ -1393,18 +1769,29 @@ fn reduce(
     let mut inflations = Vec::with_capacity(invocations);
     let mut classes = Vec::with_capacity(invocations);
     let mut control = Vec::new();
+    let mut notified = 0usize;
     for m in &meterings {
         costs.extend_from_slice(&m.costs);
         inflations.extend_from_slice(&m.inflations);
         classes.extend_from_slice(&m.classes);
         // Samples concatenate in window order = tick (time) order.
         control.extend_from_slice(&m.samples);
+        notified += m.notified as usize;
     }
     debug_assert_eq!(costs.len(), invocations);
     for m in &meterings {
-        for &(idx, list_cost) in &m.adjustments {
-            costs[idx as usize] = list_cost;
-            classes[idx as usize] = CLASS_DEMOTED;
+        for &(idx, class, cost) in &m.adjustments {
+            if class == CLASS_DRAINED {
+                // A drain annotates an undisturbed admission; a
+                // migrated placement that later drains keeps its
+                // migration record and bill.
+                if classes[idx as usize] == CLASS_ADMITTED {
+                    classes[idx as usize] = CLASS_DRAINED;
+                }
+            } else {
+                costs[idx as usize] = cost;
+                classes[idx as usize] = class;
+            }
         }
     }
     let mut total_cost = 0.0;
@@ -1420,7 +1807,10 @@ fn reduce(
         mean_latency_inflation: stats::mean(&inflations).unwrap_or(1.0),
         p95_latency_inflation: stats::quantile(&inflations, 0.95).unwrap_or(1.0),
         spot_admitted: count(CLASS_ADMITTED),
+        drained: count(CLASS_DRAINED),
+        migrated: count(CLASS_MIGRATED),
         spot_demoted: count(CLASS_DEMOTED),
+        notified,
         rejected: count(CLASS_ON_DEMAND) + count(CLASS_CAPACITY_MISS) + count(CLASS_POLICY_REJECT),
         policy_rejections: count(CLASS_POLICY_REJECT),
         capacity_misses: count(CLASS_CAPACITY_MISS),
@@ -1464,7 +1854,11 @@ mod tests {
 
     fn accounting_is_total(report: &FleetReport) {
         assert_eq!(
-            report.spot_admitted + report.spot_demoted + report.rejected,
+            report.spot_admitted
+                + report.drained
+                + report.migrated
+                + report.spot_demoted
+                + report.rejected,
             report.invocations
         );
         assert!(report.policy_rejections + report.capacity_misses <= report.rejected);
@@ -1591,6 +1985,335 @@ mod tests {
         // Demotions re-bill at list price, so the volatile market saves
         // less per spot placement than the steady one.
         assert!(volatile_report.total_cost_usd > 0.0);
+    }
+
+    fn zoned_config(n_zones: usize, notice_secs: f64) -> FleetConfig {
+        FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 2,
+                supply: SupplyProcess {
+                    step_secs: 5.0,
+                    min_fraction: 0.0,
+                    seed: 3,
+                },
+                zones: ZoneConfig {
+                    n_zones,
+                    notice_secs,
+                    shock: 0.5,
+                    migration_rebill: 0.5,
+                },
+                ..MarketConfig::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn preemption_notices_migrate_and_drain_across_zones() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = TraceSource::Poisson {
+            rps_per_function: 4.0,
+        }
+        .generate(FunctionKind::ALL.len(), 60.0, 5)
+        .unwrap();
+        let noticed = sim
+            .run(&trace, PlacementStrategy::IdleAware, &zoned_config(3, 3.0))
+            .unwrap();
+        let abrupt = sim
+            .run(&trace, PlacementStrategy::IdleAware, &zoned_config(3, 0.0))
+            .unwrap();
+        accounting_is_total(&noticed);
+        accounting_is_total(&abrupt);
+        // Volatile zones must announce their drops and save in-flight
+        // work: drains complete under notice, migrations re-place the
+        // rest in a surviving zone instead of force-demoting it.
+        assert!(noticed.notified > 0, "{noticed:?}");
+        assert!(noticed.drained > 0, "{noticed:?}");
+        assert!(noticed.migrated > 0, "{noticed:?}");
+        // Without a notice lead nothing ever drains, but cross-zone
+        // failover still absorbs displacements at the step itself.
+        assert_eq!(abrupt.notified, 0);
+        assert_eq!(abrupt.drained, 0);
+        assert!(abrupt.migrated > 0, "{abrupt:?}");
+        // Single-zone markets have nowhere to fail over: the legacy
+        // counters stay dark no matter how violent the supply is.
+        let single = sim
+            .run(&trace, PlacementStrategy::IdleAware, &zoned_config(1, 0.0))
+            .unwrap();
+        accounting_is_total(&single);
+        assert_eq!(single.notified + single.drained + single.migrated, 0);
+        // Migrations re-bill at a fraction of list while demotions pay
+        // full list, so failover is never more expensive than the
+        // single-zone market at equal scale — and the drain window can
+        // only shrink the demoted count further.
+        assert!(
+            noticed.spot_demoted <= abrupt.spot_demoted,
+            "{noticed:?} vs {abrupt:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plans_perturb_the_market_reproducibly() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = TraceSource::Poisson {
+            rps_per_function: 4.0,
+        }
+        .generate(FunctionKind::ALL.len(), 60.0, 5)
+        .unwrap();
+        let calm = zoned_config(3, 3.0);
+        let faulted = FleetConfig {
+            faults: FaultPlan {
+                seed: 17,
+                outage_rate_per_hour: 120.0,
+                mean_outage_secs: 15.0,
+                notice_drop_fraction: 0.25,
+                burst_rate_per_hour: 90.0,
+                mean_burst_secs: 10.0,
+                burst_severity: 0.6,
+            },
+            ..calm
+        };
+        let base = sim
+            .run(&trace, PlacementStrategy::IdleAware, &calm)
+            .unwrap();
+        let hit = sim
+            .run(&trace, PlacementStrategy::IdleAware, &faulted)
+            .unwrap();
+        accounting_is_total(&hit);
+        // Outages and shock bursts must actually bite: the faulted
+        // market reclaims or displaces more work than the calm one.
+        assert!(
+            hit.spot_demoted + hit.migrated + hit.drained
+                > base.spot_demoted + base.migrated + base.drained,
+            "{hit:?} vs {base:?}"
+        );
+        // The plan is a pure function of its seed: an identical rerun
+        // reproduces the report bit for bit, a different seed does not.
+        let again = sim
+            .run(&trace, PlacementStrategy::IdleAware, &faulted)
+            .unwrap();
+        assert_eq!(format!("{hit:?}"), format!("{again:?}"));
+        let reseeded = FleetConfig {
+            faults: FaultPlan {
+                seed: 18,
+                ..faulted.faults
+            },
+            ..faulted
+        };
+        let other = sim
+            .run(&trace, PlacementStrategy::IdleAware, &reseeded)
+            .unwrap();
+        assert_ne!(format!("{hit:?}"), format!("{other:?}"));
+        // The determinism lattice holds with faults enabled: windowed
+        // replay of the faulted market stays bit-identical.
+        for (threads, window_secs) in [(1, 3.0), (8, 17.0)] {
+            let windowed = sim
+                .run_windowed(
+                    &trace,
+                    PlacementStrategy::IdleAware,
+                    &faulted,
+                    threads,
+                    window_secs,
+                )
+                .unwrap();
+            assert_eq!(format!("{hit:?}"), format!("{windowed:?}"));
+        }
+    }
+
+    #[test]
+    fn window_boundary_tie_breaks_are_pinned() {
+        // Pin the event order at one instant — completion < step <
+        // notice < tick — by aligning every recurring instant on the
+        // same lattice: supply steps every 5 s, notices 5 s ahead (so
+        // each notice clamps onto the previous step), controller ticks
+        // every 5 s, and window boundaries at 5 s and 2.5 s. Every step,
+        // notice, and tick lands exactly ON a window boundary, so each
+        // must be owned by exactly one window; any double-count or
+        // ordering drift breaks bit-identity with the sequential
+        // reference.
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 2,
+                supply: SupplyProcess {
+                    step_secs: 5.0,
+                    min_fraction: 0.0,
+                    seed: 3,
+                },
+                zones: ZoneConfig {
+                    n_zones: 2,
+                    notice_secs: 5.0,
+                    shock: 0.5,
+                    migration_rebill: 0.5,
+                },
+                ..MarketConfig::default()
+            },
+            control: ControlConfig {
+                cadence_secs: 5.0,
+                controller: ControllerConfig::HeadroomPid(PidConfig::default()),
+            },
+            ..FleetConfig::default()
+        };
+        let trace = TraceSource::Poisson {
+            rps_per_function: 4.0,
+        }
+        .generate(FunctionKind::ALL.len(), 60.0, 5)
+        .unwrap();
+        let reference = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        accounting_is_total(&reference);
+        assert!(reference.notified > 0, "{reference:?}");
+        for threads in [1, 4] {
+            for window_secs in [2.5, 5.0] {
+                let windowed = sim
+                    .run_windowed(
+                        &trace,
+                        PlacementStrategy::IdleAware,
+                        &config,
+                        threads,
+                        window_secs,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    format!("{reference:?}"),
+                    format!("{windowed:?}"),
+                    "threads={threads} window={window_secs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_resume_restores_the_replay_bit_identically() {
+        use crate::snapshot::ReplaySnapshot;
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let config = FleetConfig {
+            faults: FaultPlan {
+                seed: 17,
+                outage_rate_per_hour: 60.0,
+                mean_outage_secs: 20.0,
+                notice_drop_fraction: 0.25,
+                burst_rate_per_hour: 45.0,
+                mean_burst_secs: 10.0,
+                burst_severity: 0.6,
+            },
+            control: ControlConfig {
+                cadence_secs: 10.0,
+                controller: ControllerConfig::HeadroomPid(PidConfig::default()),
+            },
+            ..zoned_config(3, 3.0)
+        };
+        let lazy = StreamTrace::generate(
+            TraceSource::Bursty {
+                calm_rps: 1.0,
+                burst_rps: 8.0,
+                mean_calm_secs: 20.0,
+                mean_burst_secs: 10.0,
+            },
+            FunctionKind::ALL.len(),
+            120.0,
+            11,
+        )
+        .unwrap();
+        let reference = sim
+            .run_stream(&lazy, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        // A full pass with snapshots enabled is the plain sequential
+        // chain: same report, and one snapshot per interior boundary.
+        let mut snaps: Vec<ReplaySnapshot> = Vec::new();
+        let full = sim
+            .run_stream_resumable(
+                &lazy,
+                PlacementStrategy::IdleAware,
+                &config,
+                15.0,
+                None,
+                |s| {
+                    snaps.push(s.clone());
+                    Ok(true)
+                },
+            )
+            .unwrap()
+            .expect("an uninterrupted run returns a report");
+        assert_eq!(format!("{reference:?}"), format!("{full:?}"));
+        assert!(
+            snaps.len() >= 4,
+            "expected several epochs, got {}",
+            snaps.len()
+        );
+        // Kill at every epoch: resuming from the serialized snapshot —
+        // round-tripped through the wire format like a real restart —
+        // reproduces the uninterrupted report bit for bit.
+        for snap in &snaps {
+            let kill_at = snap.epoch();
+            let resumed_from = ReplaySnapshot::from_bytes(&snap.to_bytes()).unwrap();
+            let crashed = sim
+                .run_stream_resumable(
+                    &lazy,
+                    PlacementStrategy::IdleAware,
+                    &config,
+                    15.0,
+                    None,
+                    |s| Ok(s.epoch() < kill_at),
+                )
+                .unwrap();
+            assert!(
+                crashed.is_none(),
+                "epoch {kill_at}: the kill must abort the run"
+            );
+            let resumed = sim
+                .run_stream_resumable(
+                    &lazy,
+                    PlacementStrategy::IdleAware,
+                    &config,
+                    15.0,
+                    Some(&resumed_from),
+                    |_| Ok(true),
+                )
+                .unwrap()
+                .expect("a resumed run finishes");
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{resumed:?}"),
+                "resume from epoch {kill_at} diverged"
+            );
+        }
+        // A snapshot from a different replay is rejected, not replayed:
+        // the fingerprint covers strategy, config, trace, and cadence.
+        let other = FleetConfig {
+            slo_theta: config.slo_theta + 0.01,
+            ..config
+        };
+        let err = sim.run_stream_resumable(
+            &lazy,
+            PlacementStrategy::IdleAware,
+            &other,
+            15.0,
+            Some(&snaps[0]),
+            |_| Ok(true),
+        );
+        assert!(
+            err.is_err(),
+            "a reconfigured replay must reject the snapshot"
+        );
+        // And so is a snapshot taken at a different cadence.
+        let err = sim.run_stream_resumable(
+            &lazy,
+            PlacementStrategy::IdleAware,
+            &config,
+            30.0,
+            Some(&snaps[0]),
+            |_| Ok(true),
+        );
+        assert!(
+            err.is_err(),
+            "a re-windowed replay must reject the snapshot"
+        );
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //!   per-function event cursors ([`stream::StreamTrace`]) replayed by
 //!   `FleetSimulator::run_stream` with peak memory O(functions +
 //!   in-flight) instead of O(total arrivals);
+//! - [`faults`]: seeded fault-injection plans (zone outages, supply
+//!   shocks, dropped preemption notices) expanded into simulated-time
+//!   events the market schedule composes, so every fault scenario is a
+//!   pure function of its seed;
+//! - [`snapshot`]: versioned crash-resume snapshots — the stream
+//!   checkpoint plus the windowed carry serialized at epoch boundaries
+//!   so a killed replay resumes bit-identically;
 //! - [`controller`]: the closed-loop control plane — per-epoch
 //!   [`Observation`](controller::Observation)s feed a
 //!   [`Controller`](controller::Controller) that revises admission
@@ -54,10 +61,12 @@
 mod autotuner;
 pub mod controller;
 mod error;
+pub mod faults;
 pub mod fleet;
 pub mod interfaces;
 pub mod market;
 pub mod provider;
+pub mod snapshot;
 pub mod strategies;
 pub mod stream;
 pub mod trace;

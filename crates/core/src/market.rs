@@ -9,21 +9,32 @@
 //! shrinks as the provider's first-party load moves, and placements can
 //! be reclaimed mid-flight. This module models that market:
 //!
-//! - [`SupplyProcess`]: a seeded, piecewise-constant capacity process.
-//!   Every `step_secs` the per-family warm-VM count is redrawn uniformly
-//!   between `min_fraction · vms_per_family` and `vms_per_family`. The
-//!   whole process is precomputed into a [`SupplySchedule`] — a pure
-//!   function of `(config, horizon)` — so any replay window can
-//!   reconstruct the supply in effect at any instant without sequential
-//!   state.
-//! - [`SpotLedger`]: the live market state during a replay — per-family
+//! - [`SupplyProcess`] × [`ZoneConfig`]: a seeded, piecewise-constant
+//!   capacity process per failure zone. Every `step_secs` each zone's
+//!   per-family warm-VM count is redrawn between
+//!   `min_fraction · vms_per_family` and `vms_per_family`; zones mix a
+//!   shared *shock* draw into their own stream (`ZoneConfig::shock`), so
+//!   drops correlate across zones the way a region-wide first-party
+//!   load spike would. The whole process — including injected
+//!   [`FaultPlan`](crate::faults::FaultPlan) outages and bursts — is
+//!   precomputed into a [`SupplySchedule`], a pure function of
+//!   `(config, faults, horizon)`, so any replay window can reconstruct
+//!   the supply in effect at any instant without sequential state.
+//! - **Preemption notices**: when `ZoneConfig::notice_secs > 0`, every
+//!   capacity drop is announced `notice_secs` ahead by a
+//!   [`NoticeStep`]. A notified slot stops admitting; its in-flight
+//!   work either drains (completes before the withdrawal), migrates to
+//!   another zone at withdrawal time (re-billed at
+//!   `migration_rebill · list`), or is force-demoted to on-demand.
+//! - [`SpotLedger`]: the live market state during a replay — zone-major
 //!   VM slots with free capacity, the available prefix dictated by the
-//!   current supply step, and market-wide occupancy counters. Supply
-//!   drops *withdraw* the highest-indexed slots of a family; in-flight
-//!   placements on withdrawn slots are **demoted** (live-migrated to
-//!   on-demand and re-billed at list price). Withdrawn slots are
-//!   invalidated by bumping a per-slot epoch, so stale completion-heap
-//!   entries are discovered lazily in `O(1)` per event.
+//!   current supply step, per-slot resident placements, and market-wide
+//!   occupancy counters. Supply drops *withdraw* the highest-indexed
+//!   slots of a zone-family; the withdrawal hands the displaced
+//!   residents back to the engine (canonically ordered) so their fate —
+//!   migrate or demote — is decided *at the step*, and bumps the slot
+//!   epoch so stale completion-queue entries are recognized as ghosts
+//!   in `O(1)` when popped.
 //! - [`AdmissionPolicy`]: the provider-level controller deciding whether
 //!   a spot placement request may even try the ledger. [`AdmissionPolicy::Greedy`]
 //!   admits whenever capacity fits; [`AdmissionPolicy::Headroom`]
@@ -40,6 +51,7 @@ use freedom_pricing::SpotPricing;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::faults::{FaultPlan, FaultTimeline, NOTICE_DROP_SALT};
 use crate::{FreedomError, Result};
 
 /// The instance families backed by warm market capacity, in the paper's
@@ -49,6 +61,11 @@ pub const MARKET_FAMILIES: [InstanceFamily; 6] = InstanceFamily::SEARCH_SPACE;
 
 /// Number of families in the market.
 pub const N_MARKET_FAMILIES: usize = MARKET_FAMILIES.len();
+
+/// Seed salt for the shared shock stream, kept distinct from the
+/// per-zone redraw stream so `shock = 0` and `shock > 0` runs share the
+/// same zone draws.
+const SHOCK_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Index of `family` in [`MARKET_FAMILIES`], if it is marketable.
 pub fn family_index(family: InstanceFamily) -> Option<usize> {
@@ -92,6 +109,69 @@ impl SupplyProcess {
     }
 }
 
+/// The market's failure-domain layout: how many zones it spans, how
+/// correlated their supply is, and what a withdrawal announces ahead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneConfig {
+    /// Number of failure zones; `vms_per_family` is per zone.
+    pub n_zones: usize,
+    /// How far ahead of a capacity drop its preemption notice fires, in
+    /// seconds. `0` disables notices: withdrawals strike unannounced
+    /// (the pre-zone legacy behavior).
+    pub notice_secs: f64,
+    /// Weight of the shared shock draw each zone mixes into its own
+    /// supply redraw, in `[0, 1]`. `0` keeps zones independent (and the
+    /// single-zone redraw stream bit-identical to the legacy market);
+    /// `1` makes every zone's fraction move in lockstep.
+    pub shock: f64,
+    /// Fraction of list price a migrated placement is re-billed at, in
+    /// `[0, 1]` — cross-zone failover is cheaper than a demotion (list
+    /// price) but dearer than an undisturbed spot run.
+    pub migration_rebill: f64,
+}
+
+impl ZoneConfig {
+    /// One zone, no notices, no shared shock: the legacy market.
+    pub const SINGLE: ZoneConfig = ZoneConfig {
+        n_zones: 1,
+        notice_secs: 0.0,
+        shock: 0.0,
+        migration_rebill: 0.9,
+    };
+
+    fn validate(&self) -> Result<()> {
+        if self.n_zones == 0 || self.n_zones > 64 {
+            return Err(FreedomError::InvalidArgument(format!(
+                "market zone count must be in [1, 64], got {}",
+                self.n_zones
+            )));
+        }
+        if !self.notice_secs.is_finite() || self.notice_secs < 0.0 {
+            return Err(FreedomError::InvalidArgument(format!(
+                "notice lead must be finite and >= 0, got {}s",
+                self.notice_secs
+            )));
+        }
+        for (name, v) in [
+            ("shock", self.shock),
+            ("migration_rebill", self.migration_rebill),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "zone {name} must be in [0, 1], got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ZoneConfig {
+    fn default() -> Self {
+        ZoneConfig::SINGLE
+    }
+}
+
 /// Provider-level admission control for spot placement requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdmissionPolicy {
@@ -129,11 +209,13 @@ impl AdmissionPolicy {
 /// Configuration of the shared spot market.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MarketConfig {
-    /// Maximum warm `.4xlarge` VMs per family, market-wide (shared by
+    /// Maximum warm `.4xlarge` VMs per family *per zone* (shared by
     /// every function in the fleet).
     pub vms_per_family: usize,
     /// How warm capacity fluctuates over the trace.
     pub supply: SupplyProcess,
+    /// The failure-domain layout (zones, notices, shock correlation).
+    pub zones: ZoneConfig,
     /// Provider-level admission control.
     pub admission: AdmissionPolicy,
     /// Base spot pricing; admissions are billed at
@@ -146,6 +228,7 @@ impl Default for MarketConfig {
         Self {
             vms_per_family: 8,
             supply: SupplyProcess::STEADY,
+            zones: ZoneConfig::SINGLE,
             admission: AdmissionPolicy::Greedy,
             spot: SpotPricing::PAPER_DEFAULT,
         }
@@ -166,96 +249,299 @@ impl MarketConfig {
                 )));
             }
         }
+        self.zones.validate()?;
         self.supply.validate()
+    }
+
+    /// Number of `(zone, family)` capacity lanes: the width of every
+    /// caps vector in this market's schedule and ledger.
+    pub(crate) fn width(&self) -> usize {
+        self.zones.n_zones * N_MARKET_FAMILIES
     }
 }
 
-/// One precomputed supply redraw: the per-family available VM counts in
-/// effect from `at_nanos` onward.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One precomputed supply event: the zone-major per-family available VM
+/// counts (`caps[zone · N_MARKET_FAMILIES + family]`) in effect from
+/// `at_nanos` onward.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct SupplyStep {
     pub at_nanos: u64,
-    pub caps: [u32; N_MARKET_FAMILIES],
+    pub caps: Vec<u32>,
 }
 
-/// The whole supply process materialized over a replay horizon. A pure
-/// function of `(MarketConfig, horizon)`, so the sequential engine and
-/// every replay window see the same capacity at the same instant.
+/// One precomputed preemption notice: at `at_nanos` the market learns
+/// the caps of `steps[step]` ahead of time and marks the slots that
+/// step will withdraw, so they stop admitting and start draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NoticeStep {
+    pub at_nanos: u64,
+    /// Index into [`SupplySchedule::steps`] of the announced step.
+    pub step: u32,
+}
+
+/// The whole supply process — zone redraws, injected faults, and the
+/// preemption notices announcing its drops — materialized over a replay
+/// horizon. A pure function of `(MarketConfig, FaultPlan, horizon)`, so
+/// the sequential engine and every replay window see the same capacity
+/// and the same notices at the same instant.
 #[derive(Debug, Clone)]
 pub(crate) struct SupplySchedule {
-    /// Capacity before the first redraw (the full pool).
-    pub base: [u32; N_MARKET_FAMILIES],
-    /// Redraws at `step_secs`, `2·step_secs`, …, sorted by time, covering
-    /// every step instant `≤ horizon`.
+    /// Capacity before the first event (the full pool), zone-major.
+    pub base: Vec<u32>,
+    /// Capacity events sorted by time: supply redraws at multiples of
+    /// `step_secs`, plus fault boundaries (outage/burst starts and
+    /// ends), covering every instant `≤ horizon`.
     pub steps: Vec<SupplyStep>,
+    /// Preemption notices, strictly increasing in time; each announces
+    /// a later step, and at most one notice is pending at any instant
+    /// (a notice's step always fires before the next notice).
+    pub notices: Vec<NoticeStep>,
+}
+
+/// The supply state a replay window starting at some instant must
+/// reconstruct: the caps in effect, both event cursors, and — when a
+/// notice fired earlier whose step is still ahead — the announced caps
+/// whose withdrawn slots the window must re-mark as notified.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SupplyStart<'a> {
+    pub cursor: usize,
+    pub notice_cursor: usize,
+    pub caps: &'a [u32],
+    pub notified_next: Option<&'a [u32]>,
 }
 
 impl SupplySchedule {
     /// Materializes the supply process up to `horizon_nanos` (the last
-    /// arrival of the trace being replayed).
-    pub fn generate(config: &MarketConfig, horizon_nanos: u64) -> Result<Self> {
+    /// arrival of the trace being replayed), composing `faults` into
+    /// the timeline as simulated-time capacity events.
+    pub fn generate(config: &MarketConfig, faults: &FaultPlan, horizon_nanos: u64) -> Result<Self> {
         config.validate()?;
+        let n_zones = config.zones.n_zones;
+        let width = config.width();
         let max = config.vms_per_family as u32;
-        let base = [max; N_MARKET_FAMILIES];
-        let mut steps = Vec::new();
+        let base = vec![max; width];
+
+        // 1. The seeded redraw stream, zone-major per step. With
+        //    `shock = 0` the draw call sequence is bit-identical to the
+        //    legacy single-zone market (one `gen_range` per lane).
+        let mut redraws: Vec<SupplyStep> = Vec::new();
         if config.supply.min_fraction < 1.0 {
             let mut rng = StdRng::seed_from_u64(config.supply.seed);
+            let mut shock_rng = StdRng::seed_from_u64(config.supply.seed ^ SHOCK_SALT);
+            let shock = config.zones.shock;
             let lo = (config.supply.min_fraction * max as f64).floor() as u32;
+            let span = max - lo;
             let step_nanos = ((config.supply.step_secs * 1e9) as u64).max(1);
             let mut t = step_nanos;
             while t <= horizon_nanos {
-                let mut caps = [0u32; N_MARKET_FAMILIES];
-                for cap in &mut caps {
-                    *cap = rng.gen_range(lo..max + 1);
+                let mut caps = vec![0u32; width];
+                if shock > 0.0 {
+                    // Mix the shared shock draw into each lane's own:
+                    // the same region-wide s pulls every zone the same
+                    // way, correlating drops without equalizing them.
+                    let s: f64 = shock_rng.gen();
+                    for cap in &mut caps {
+                        let u: f64 = rng.gen();
+                        let v = shock * s + (1.0 - shock) * u;
+                        *cap = lo + ((v * (span + 1) as f64) as u32).min(span);
+                    }
+                } else {
+                    for cap in &mut caps {
+                        *cap = rng.gen_range(lo..max + 1);
+                    }
                 }
-                steps.push(SupplyStep { at_nanos: t, caps });
+                redraws.push(SupplyStep { at_nanos: t, caps });
                 t += step_nanos;
             }
         }
-        Ok(Self { base, steps })
+
+        // 2. Compose the fault timeline. With no faults the redraws ARE
+        //    the schedule (the legacy fast path).
+        let timeline = FaultTimeline::generate(faults, n_zones, horizon_nanos)?;
+        let steps = if timeline == FaultTimeline::default() {
+            redraws
+        } else {
+            compose_faults(&base, &redraws, &timeline, n_zones, horizon_nanos)
+        };
+
+        // 3. Announce the drops. A notice fires `notice_secs` ahead of
+        //    any step that lowers at least one lane, clamped to the
+        //    previous step so at most one notice is ever pending; fault
+        //    plans may drop individual deliveries.
+        let mut notices = Vec::new();
+        if config.zones.notice_secs > 0.0 {
+            let notice_nanos = ((config.zones.notice_secs * 1e9) as u64).max(1);
+            let mut drop_rng = StdRng::seed_from_u64(faults.seed ^ NOTICE_DROP_SALT);
+            let mut prev_at = 0u64;
+            let mut prev_caps: &[u32] = &base;
+            for (k, step) in steps.iter().enumerate() {
+                let drops = step.caps.iter().zip(prev_caps).any(|(n, o)| n < o);
+                if drops {
+                    let at = step.at_nanos.saturating_sub(notice_nanos).max(prev_at);
+                    if at < step.at_nanos {
+                        let delivered = faults.notice_drop_fraction == 0.0
+                            || drop_rng.gen::<f64>() >= faults.notice_drop_fraction;
+                        if delivered {
+                            notices.push(NoticeStep {
+                                at_nanos: at,
+                                step: k as u32,
+                            });
+                        }
+                    }
+                }
+                prev_at = step.at_nanos;
+                prev_caps = &step.caps;
+            }
+        }
+
+        Ok(Self {
+            base,
+            steps,
+            notices,
+        })
     }
 
-    /// The capacity in effect just before any step at `start_nanos` fires
-    /// (i.e. after every step strictly earlier than `start_nanos`), plus
-    /// the cursor of the first step a window starting there must process.
-    pub fn start_state(&self, start_nanos: u64) -> (usize, [u32; N_MARKET_FAMILIES]) {
+    /// The supply state in effect just before any event at `start_nanos`
+    /// fires (i.e. after every event strictly earlier than it): the
+    /// caps, both cursors, and the pending notice if one fired earlier
+    /// for a step at or after `start_nanos`.
+    pub fn start_state(&self, start_nanos: u64) -> SupplyStart<'_> {
         let cursor = self.steps.partition_point(|s| s.at_nanos < start_nanos);
         let caps = if cursor == 0 {
-            self.base
+            &self.base[..]
         } else {
-            self.steps[cursor - 1].caps
+            &self.steps[cursor - 1].caps[..]
         };
-        (cursor, caps)
+        let notice_cursor = self.notices.partition_point(|n| n.at_nanos < start_nanos);
+        let notified_next = notice_cursor
+            .checked_sub(1)
+            .map(|i| self.notices[i])
+            .filter(|n| n.step as usize >= cursor)
+            .map(|n| &self.steps[n.step as usize].caps[..]);
+        SupplyStart {
+            cursor,
+            notice_cursor,
+            caps,
+            notified_next,
+        }
     }
 }
 
-/// One in-flight spot placement, as stored in the completion heap and in
-/// the carry-over state crossing replay-window boundaries.
+/// Overlays fault intervals onto the redraw stream: the union of redraw
+/// times and interval boundaries becomes the step timeline, and each
+/// step's caps are the redraw in effect with active bursts (floored
+/// multiplicative cut) and active zone outages (capacity pinned to 0)
+/// applied. Intervals never overlap within a lane (per zone for
+/// outages, globally for bursts), so one cursor per lane walks them.
+fn compose_faults(
+    base: &[u32],
+    redraws: &[SupplyStep],
+    timeline: &FaultTimeline,
+    n_zones: usize,
+    horizon_nanos: u64,
+) -> Vec<SupplyStep> {
+    let mut points: Vec<u64> = redraws.iter().map(|s| s.at_nanos).collect();
+    for o in &timeline.outages {
+        if o.start_nanos <= horizon_nanos {
+            points.push(o.start_nanos);
+            if o.end_nanos <= horizon_nanos {
+                points.push(o.end_nanos);
+            }
+        }
+    }
+    for b in &timeline.bursts {
+        if b.start_nanos <= horizon_nanos {
+            points.push(b.start_nanos);
+            if b.end_nanos <= horizon_nanos {
+                points.push(b.end_nanos);
+            }
+        }
+    }
+    points.sort_unstable();
+    points.dedup();
+
+    // Per-zone outage slices (outages are emitted zone-major).
+    let mut zone_ranges = vec![(0usize, 0usize); n_zones];
+    {
+        let mut i = 0;
+        for (zone, range) in zone_ranges.iter_mut().enumerate() {
+            let start = i;
+            while i < timeline.outages.len() && timeline.outages[i].zone == zone {
+                i += 1;
+            }
+            *range = (start, i);
+        }
+    }
+
+    let mut steps = Vec::with_capacity(points.len());
+    let mut rc = 0usize; // redraw cursor
+    let mut bc = 0usize; // burst cursor
+    let mut oc: Vec<usize> = zone_ranges.iter().map(|&(s, _)| s).collect();
+    for &t in &points {
+        while rc < redraws.len() && redraws[rc].at_nanos <= t {
+            rc += 1;
+        }
+        let mut caps = if rc == 0 {
+            base.to_vec()
+        } else {
+            redraws[rc - 1].caps.clone()
+        };
+        while bc < timeline.bursts.len() && timeline.bursts[bc].end_nanos <= t {
+            bc += 1;
+        }
+        if let Some(b) = timeline.bursts.get(bc) {
+            if b.start_nanos <= t {
+                for cap in &mut caps {
+                    *cap = (*cap as f64 * (1.0 - b.severity)).floor() as u32;
+                }
+            }
+        }
+        for (zone, range) in zone_ranges.iter().enumerate() {
+            let c = &mut oc[zone];
+            while *c < range.1 && timeline.outages[*c].end_nanos <= t {
+                *c += 1;
+            }
+            if let Some(o) = timeline.outages.get(*c) {
+                if *c < range.1 && o.start_nanos <= t {
+                    caps[zone * N_MARKET_FAMILIES..(zone + 1) * N_MARKET_FAMILIES].fill(0);
+                }
+            }
+        }
+        steps.push(SupplyStep { at_nanos: t, caps });
+    }
+    steps
+}
+
+/// One in-flight spot placement, as stored in the completion queue and
+/// in the carry-over state crossing replay-window boundaries.
 ///
 /// Ordering (and equality) is by `(completion_nanos, slot, idx)`: `slot`
-/// is a flat market-wide index so it encodes the family, and `idx` — the
-/// invocation's global arrival index — is unique, so ties never cascade
-/// to the remaining fields. `epoch` deliberately stays out of the key:
-/// the sequential engine and a window reconstructing carried state assign
-/// different epochs to the same placement.
+/// is a flat market-wide index so it encodes the zone and family, and
+/// `idx` — the invocation's global arrival index — is unique, so ties
+/// never cascade to the remaining fields. `epoch` deliberately stays out
+/// of the key: the sequential engine and a window reconstructing carried
+/// state assign different epochs to the same placement.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct InFlight {
     /// Completion time in integer nanoseconds.
     pub completion_nanos: u64,
-    /// Flat slot index: `family_index · vms_per_family + slot_in_family`.
+    /// Flat slot index:
+    /// `(zone · N_MARKET_FAMILIES + family) · vms_per_family + k`.
     pub slot: u32,
     /// Global arrival index of the invocation (into the merged trace).
     pub idx: u32,
     /// Slot epoch at placement time; a mismatch against the ledger's
-    /// current epoch marks the entry stale (its slot was withdrawn and
-    /// the placement demoted).
+    /// current epoch marks the entry a ghost (its slot was withdrawn and
+    /// the placement's fate — migrated or demoted — was already decided
+    /// at the step).
     pub epoch: u32,
     /// Reserved milli-vCPUs.
     pub milli: u32,
     /// Reserved MiB.
     pub mib: u32,
     /// Undiscounted list-price cost of the placement's configuration —
-    /// what the invocation is re-billed if demoted.
+    /// what the invocation is re-billed if demoted (or a
+    /// `migration_rebill` fraction of it if migrated).
     pub list_cost_usd: f64,
 }
 
@@ -283,7 +569,7 @@ impl Ord for InFlight {
 }
 
 /// Whether two carry-over states are identical — the speculation check of
-/// the windowed replay. Entries are canonically sorted (heap-drain
+/// the windowed replay. Entries are canonically sorted (queue-drain
 /// order), so element-wise comparison suffices; every field participates,
 /// costs bit-for-bit.
 pub(crate) fn carry_eq(a: &[InFlight], b: &[InFlight]) -> bool {
@@ -348,23 +634,33 @@ struct VmSlot {
     free_mib: u32,
 }
 
-/// The live market state during a replay: slots, the available prefix per
-/// family, epochs for lazy invalidation, and market-wide occupancy.
+/// The live market state during a replay: zone-major slots, the
+/// available prefix per `(zone, family)` lane, per-slot residents,
+/// notice flags, epochs for ghost detection, and market-wide occupancy.
 ///
 /// Capacity and occupancy are integer milli-vCPU counters, so the
 /// utilization driving admission and demand pricing is an exact ratio of
-/// integers — deterministic across engines.
+/// integers — deterministic across engines. Per-slot resident lists are
+/// kept order-insensitive (every consumer either counts them, searches
+/// by `idx`, or canonically sorts them), so the sequential engine and a
+/// window reconstructing carried state — which insert in different
+/// orders — stay bit-identical.
 #[derive(Debug)]
 pub(crate) struct SpotLedger {
     vms_per_family: u32,
     slots: Vec<VmSlot>,
     epochs: Vec<u32>,
-    /// Live placements per slot — what a withdrawal demotes. Kept exact
-    /// so [`SpotLedger::apply_step`] can report the demotion count at
-    /// the supply step itself (the feedback signal the control plane
-    /// consumes), instead of waiting for stale heap entries to surface.
-    placements: Vec<u32>,
-    avail: [u32; N_MARKET_FAMILIES],
+    /// Live placements per slot — what a withdrawal displaces. Kept
+    /// exact so [`SpotLedger::withdraw`] can hand every displaced
+    /// in-flight entry to the engine *at the supply step itself* (where
+    /// migrate-vs-demote is decided and the feedback signal counted),
+    /// instead of waiting for stale queue entries to surface.
+    residents: Vec<Vec<InFlight>>,
+    /// Slots under a preemption notice: they stop admitting and their
+    /// residents drain (or migrate at the announced withdrawal).
+    notified: Vec<bool>,
+    /// Available-slot prefix per `(zone, family)` lane, zone-major.
+    avail: Vec<u32>,
     full_milli: u32,
     full_mib: [u32; N_MARKET_FAMILIES],
     capacity_milli: u64,
@@ -372,35 +668,51 @@ pub(crate) struct SpotLedger {
 }
 
 impl SpotLedger {
-    /// A fresh (fully idle) ledger under the capacity `caps`.
-    pub fn new(config: &MarketConfig, caps: [u32; N_MARKET_FAMILIES]) -> Self {
+    /// A fresh (fully idle) ledger under the capacity `caps`
+    /// (zone-major, `config.width()` lanes).
+    pub fn new(config: &MarketConfig, caps: &[u32]) -> Self {
+        debug_assert_eq!(caps.len(), config.width());
         let vms = config.vms_per_family as u32;
         let full_milli = InstanceSize::X4Large.vcpus() * 1000;
         let mut full_mib = [0u32; N_MARKET_FAMILIES];
         for (i, &family) in MARKET_FAMILIES.iter().enumerate() {
             full_mib[i] = InstanceType::new(family, InstanceSize::X4Large).memory_mib();
         }
-        let mut slots = Vec::with_capacity(N_MARKET_FAMILIES * vms as usize);
-        for &mib in &full_mib {
-            for _ in 0..vms {
-                slots.push(VmSlot {
-                    free_milli: full_milli,
-                    free_mib: mib,
-                });
+        let n_slots = config.width() * vms as usize;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..config.zones.n_zones {
+            for &mib in &full_mib {
+                for _ in 0..vms {
+                    slots.push(VmSlot {
+                        free_milli: full_milli,
+                        free_mib: mib,
+                    });
+                }
             }
         }
         let capacity_milli = caps.iter().map(|&c| c as u64 * full_milli as u64).sum();
         Self {
             vms_per_family: vms,
-            epochs: vec![0; slots.len()],
-            placements: vec![0; slots.len()],
+            epochs: vec![0; n_slots],
+            residents: vec![Vec::new(); n_slots],
+            notified: vec![false; n_slots],
             slots,
-            avail: caps,
+            avail: caps.to_vec(),
             full_milli,
             full_mib,
             capacity_milli,
             occupied_milli: 0,
         }
+    }
+
+    /// The family (index into [`MARKET_FAMILIES`]) a flat slot belongs to.
+    fn family_of(&self, flat: u32) -> usize {
+        (flat / self.vms_per_family) as usize % N_MARKET_FAMILIES
+    }
+
+    /// The zone a flat slot belongs to.
+    pub fn zone_of(&self, flat: u32) -> usize {
+        (flat / self.vms_per_family) as usize / N_MARKET_FAMILIES
     }
 
     /// Re-places a carried in-flight entry onto its slot (window-start
@@ -410,7 +722,7 @@ impl SpotLedger {
         let slot = &mut self.slots[entry.slot as usize];
         slot.free_milli -= entry.milli;
         slot.free_mib -= entry.mib;
-        self.placements[entry.slot as usize] += 1;
+        self.residents[entry.slot as usize].push(*entry);
         self.occupied_milli += entry.milli as u64;
     }
 
@@ -429,42 +741,71 @@ impl SpotLedger {
         self.epochs[slot as usize]
     }
 
-    /// Whether a heap entry is still live (its slot was not withdrawn
+    /// Whether a queue entry is still live (its slot was not withdrawn
     /// since placement).
     pub fn is_live(&self, entry: &InFlight) -> bool {
         self.epochs[entry.slot as usize] == entry.epoch
     }
 
-    /// Applies a supply redraw and returns the number of in-flight
-    /// placements it demoted. Withdrawing a slot demotes whatever runs
-    /// on it: the slot's occupancy leaves the market immediately and its
-    /// epoch advances so heap entries pointing at it are discovered stale
-    /// when popped. Restored slots come back empty.
+    /// Whether a flat slot is under a preemption notice.
+    pub fn is_notified(&self, slot: u32) -> bool {
+        self.notified[slot as usize]
+    }
+
+    /// Marks every slot the announced step will withdraw as notified and
+    /// returns how many in-flight placements just received a notice.
+    /// Marked slots stop admitting ([`SpotLedger::best_fit`] skips them)
+    /// until the withdrawal clears the flag.
+    pub fn mark_notified(&mut self, next_caps: &[u32]) -> u32 {
+        let mut hit = 0;
+        for (lane, &next) in next_caps.iter().enumerate() {
+            let cur = self.avail[lane];
+            let base = lane as u32 * self.vms_per_family;
+            for k in next..cur {
+                let flat = (base + k) as usize;
+                if !self.notified[flat] {
+                    self.notified[flat] = true;
+                    hit += self.residents[flat].len() as u32;
+                }
+            }
+        }
+        hit
+    }
+
+    /// Applies a supply event and returns the in-flight placements it
+    /// displaced, canonically sorted by `(completion, slot, idx)` so
+    /// every engine resolves them (migrate or demote) in the same
+    /// order. Withdrawing a slot empties it immediately: its occupancy
+    /// leaves the market, its notice flag clears, and its epoch
+    /// advances so queue entries pointing at it read as ghosts when
+    /// popped. Restored slots come back empty.
     ///
-    /// Counting demotions *at the step* (rather than when stale heap
-    /// entries surface) is what makes the per-epoch demotion signal a
-    /// pure function of simulated time — a window that replays this
-    /// instant observes the same count as the sequential engine, so the
-    /// control plane's feedback is partition-independent.
-    pub fn apply_step(&mut self, caps: &[u32; N_MARKET_FAMILIES]) -> u32 {
-        let mut demoted = 0;
-        for (f, &new) in caps.iter().enumerate() {
-            let old = self.avail[f];
-            let base = f as u32 * self.vms_per_family;
+    /// Resolving displacement *at the step* (rather than when stale
+    /// queue entries surface) is what makes the per-epoch
+    /// demotion/migration signal a pure function of simulated time — a
+    /// window that replays this instant observes the same displaced set
+    /// as the sequential engine, so the control plane's feedback is
+    /// partition-independent.
+    pub fn withdraw(&mut self, caps: &[u32]) -> Vec<InFlight> {
+        let mut displaced = Vec::new();
+        for (lane, &new) in caps.iter().enumerate() {
+            let old = self.avail[lane];
+            let family = lane % N_MARKET_FAMILIES;
+            let base = lane as u32 * self.vms_per_family;
             if new < old {
                 for k in new..old {
                     let flat = (base + k) as usize;
-                    let occupied = (self.full_milli - self.slots[flat].free_milli) as u64;
-                    if occupied > 0 {
+                    if !self.residents[flat].is_empty() {
+                        let occupied = (self.full_milli - self.slots[flat].free_milli) as u64;
                         self.occupied_milli -= occupied;
                         self.epochs[flat] += 1;
-                        demoted += self.placements[flat];
-                        self.placements[flat] = 0;
+                        displaced.append(&mut self.residents[flat]);
                         self.slots[flat] = VmSlot {
                             free_milli: self.full_milli,
-                            free_mib: self.full_mib[f],
+                            free_mib: self.full_mib[family],
                         };
                     }
+                    self.notified[flat] = false;
                     self.capacity_milli -= self.full_milli as u64;
                 }
             } else {
@@ -472,37 +813,77 @@ impl SpotLedger {
                     self.capacity_milli += self.full_milli as u64;
                 }
             }
-            self.avail[f] = new;
+            self.avail[lane] = new;
         }
-        demoted
+        displaced.sort_unstable_by_key(|e| e.key());
+        displaced
     }
 
-    /// Best-fit scan over a family's available slots: the least free
-    /// vCPUs that still fit, lowest flat index on ties. Returns the flat
-    /// slot index.
+    /// Best-fit scan over a family's available, un-notified slots across
+    /// every zone: the least free vCPUs that still fit, lowest flat
+    /// index on ties. Returns the flat slot index.
     pub fn best_fit(&self, family: usize, milli: u32, mib: u32) -> Option<u32> {
-        let base = family as u32 * self.vms_per_family;
         let mut best: Option<(u32, u32)> = None; // (free_milli, flat slot)
-        for k in 0..self.avail[family] {
-            let flat = base + k;
-            let slot = self.slots[flat as usize];
-            if slot.free_milli >= milli
-                && slot.free_mib >= mib
-                && best.is_none_or(|(free, _)| slot.free_milli < free)
-            {
-                best = Some((slot.free_milli, flat));
+        let n_zones = self.avail.len() / N_MARKET_FAMILIES;
+        for zone in 0..n_zones {
+            let lane = zone * N_MARKET_FAMILIES + family;
+            let base = lane as u32 * self.vms_per_family;
+            for k in 0..self.avail[lane] {
+                let flat = base + k;
+                if self.notified[flat as usize] {
+                    continue;
+                }
+                let slot = self.slots[flat as usize];
+                if slot.free_milli >= milli
+                    && slot.free_mib >= mib
+                    && best.is_none_or(|(free, _)| slot.free_milli < free)
+                {
+                    best = Some((slot.free_milli, flat));
+                }
             }
         }
         best.map(|(_, flat)| flat)
     }
 
-    /// Reserves capacity on a slot returned by [`SpotLedger::best_fit`].
-    pub fn place(&mut self, flat: u32, milli: u32, mib: u32) {
-        let slot = &mut self.slots[flat as usize];
-        slot.free_milli -= milli;
-        slot.free_mib -= mib;
-        self.placements[flat as usize] += 1;
-        self.occupied_milli += milli as u64;
+    /// A migration target for a displaced placement: best-fit within the
+    /// same family across every *other* zone (the source zone is the one
+    /// failing), skipping notified slots. `None` forces a demotion.
+    pub fn migrate_target(&self, from: u32, milli: u32, mib: u32) -> Option<u32> {
+        let family = self.family_of(from);
+        let src_zone = self.zone_of(from);
+        let mut best: Option<(u32, u32)> = None;
+        let n_zones = self.avail.len() / N_MARKET_FAMILIES;
+        for zone in 0..n_zones {
+            if zone == src_zone {
+                continue;
+            }
+            let lane = zone * N_MARKET_FAMILIES + family;
+            let base = lane as u32 * self.vms_per_family;
+            for k in 0..self.avail[lane] {
+                let flat = base + k;
+                if self.notified[flat as usize] {
+                    continue;
+                }
+                let slot = self.slots[flat as usize];
+                if slot.free_milli >= milli
+                    && slot.free_mib >= mib
+                    && best.is_none_or(|(free, _)| slot.free_milli < free)
+                {
+                    best = Some((slot.free_milli, flat));
+                }
+            }
+        }
+        best.map(|(_, flat)| flat)
+    }
+
+    /// Reserves capacity on a slot returned by [`SpotLedger::best_fit`]
+    /// or [`SpotLedger::migrate_target`] and records the resident.
+    pub fn place(&mut self, entry: &InFlight) {
+        let slot = &mut self.slots[entry.slot as usize];
+        slot.free_milli -= entry.milli;
+        slot.free_mib -= entry.mib;
+        self.residents[entry.slot as usize].push(*entry);
+        self.occupied_milli += entry.milli as u64;
     }
 
     /// Releases a live completion's capacity back to its slot.
@@ -510,7 +891,12 @@ impl SpotLedger {
         let slot = &mut self.slots[entry.slot as usize];
         slot.free_milli += entry.milli;
         slot.free_mib += entry.mib;
-        self.placements[entry.slot as usize] -= 1;
+        let residents = &mut self.residents[entry.slot as usize];
+        let pos = residents
+            .iter()
+            .position(|p| p.idx == entry.idx)
+            .expect("released entry must be resident on its slot");
+        residents.swap_remove(pos);
         self.occupied_milli -= entry.milli as u64;
     }
 }
@@ -531,16 +917,30 @@ mod tests {
         }
     }
 
+    fn entry(completion: u64, slot: u32, idx: u32, milli: u32, mib: u32) -> InFlight {
+        InFlight {
+            completion_nanos: completion,
+            slot,
+            idx,
+            epoch: 0,
+            milli,
+            mib,
+            list_cost_usd: 0.1,
+        }
+    }
+
     #[test]
     fn schedule_is_deterministic_and_bounded() {
         let config = fluctuating();
         let horizon = 120_000_000_000; // 120 s
-        let a = SupplySchedule::generate(&config, horizon).unwrap();
-        let b = SupplySchedule::generate(&config, horizon).unwrap();
+        let a = SupplySchedule::generate(&config, &FaultPlan::NONE, horizon).unwrap();
+        let b = SupplySchedule::generate(&config, &FaultPlan::NONE, horizon).unwrap();
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.steps.len(), 12, "one redraw per 10 s step");
+        assert!(a.notices.is_empty(), "no notices without notice_secs");
         for step in &a.steps {
             assert!(step.at_nanos <= horizon);
+            assert_eq!(step.caps.len(), config.width());
             for &cap in &step.caps {
                 assert!((1..=4).contains(&cap), "cap {cap} outside [1, 4]");
             }
@@ -554,57 +954,224 @@ mod tests {
                 },
                 ..config
             },
+            &FaultPlan::NONE,
             horizon,
         )
         .unwrap();
         assert_ne!(a.steps, other.steps);
         // Steady supply never steps.
-        let steady = SupplySchedule::generate(&MarketConfig::default(), horizon).unwrap();
+        let steady =
+            SupplySchedule::generate(&MarketConfig::default(), &FaultPlan::NONE, horizon).unwrap();
         assert!(steady.steps.is_empty());
-        assert_eq!(steady.base, [8; N_MARKET_FAMILIES]);
+        assert_eq!(steady.base, vec![8; N_MARKET_FAMILIES]);
+    }
+
+    #[test]
+    fn shock_couples_zone_supplies() {
+        let zoned = |shock| MarketConfig {
+            zones: ZoneConfig {
+                n_zones: 4,
+                shock,
+                ..ZoneConfig::SINGLE
+            },
+            ..fluctuating()
+        };
+        let horizon = 600_000_000_000;
+        // Full shock: every lane sees the same draw at every step.
+        let locked = SupplySchedule::generate(&zoned(1.0), &FaultPlan::NONE, horizon).unwrap();
+        for step in &locked.steps {
+            assert!(step.caps.iter().all(|&c| c == step.caps[0]));
+        }
+        // No shock: zones move independently (some step differs by lane).
+        let free = SupplySchedule::generate(&zoned(0.0), &FaultPlan::NONE, horizon).unwrap();
+        assert!(free
+            .steps
+            .iter()
+            .any(|s| s.caps.iter().any(|&c| c != s.caps[0])));
+        // The single-zone prefix of the shock-free stream is exactly the
+        // legacy schedule: adding zones extends each step's draw list
+        // without perturbing the first zone's draws at step 1.
+        let legacy = SupplySchedule::generate(&fluctuating(), &FaultPlan::NONE, horizon).unwrap();
+        assert_eq!(
+            free.steps[0].caps[..N_MARKET_FAMILIES],
+            legacy.steps[0].caps[..]
+        );
+    }
+
+    #[test]
+    fn notices_precede_every_drop_and_clamp_to_the_previous_step() {
+        let config = MarketConfig {
+            zones: ZoneConfig {
+                notice_secs: 3.0,
+                ..ZoneConfig::SINGLE
+            },
+            ..fluctuating()
+        };
+        let horizon = 120_000_000_000;
+        let s = SupplySchedule::generate(&config, &FaultPlan::NONE, horizon).unwrap();
+        assert!(!s.notices.is_empty());
+        let mut prev_at = 0;
+        for n in &s.notices {
+            let step = &s.steps[n.step as usize];
+            assert!(n.at_nanos < step.at_nanos, "notice strictly precedes step");
+            assert!(
+                step.at_nanos - n.at_nanos <= 3_000_000_000,
+                "lead never exceeds notice_secs"
+            );
+            assert!(n.at_nanos > prev_at, "notices strictly increase");
+            // The announced step really drops at least one lane.
+            let before = if n.step == 0 {
+                &s.base
+            } else {
+                &s.steps[n.step as usize - 1].caps
+            };
+            assert!(step.caps.iter().zip(before).any(|(c, b)| c < b));
+            prev_at = n.at_nanos;
+        }
+        // A long lead clamps at the previous step: with step_secs = 10
+        // and notice_secs = 30 the notice fires right at the prior step.
+        let long = MarketConfig {
+            zones: ZoneConfig {
+                notice_secs: 30.0,
+                ..ZoneConfig::SINGLE
+            },
+            ..fluctuating()
+        };
+        let s = SupplySchedule::generate(&long, &FaultPlan::NONE, horizon).unwrap();
+        for n in &s.notices {
+            let step_at = s.steps[n.step as usize].at_nanos;
+            let prev = if n.step == 0 {
+                0
+            } else {
+                s.steps[n.step as usize - 1].at_nanos
+            };
+            assert_eq!(n.at_nanos, prev.max(step_at.saturating_sub(30_000_000_000)));
+        }
+    }
+
+    #[test]
+    fn faults_compose_into_the_schedule_as_capacity_events() {
+        let config = MarketConfig {
+            zones: ZoneConfig {
+                n_zones: 3,
+                notice_secs: 2.0,
+                ..ZoneConfig::SINGLE
+            },
+            ..fluctuating()
+        };
+        let faults = FaultPlan {
+            seed: 21,
+            outage_rate_per_hour: 60.0,
+            mean_outage_secs: 15.0,
+            burst_rate_per_hour: 30.0,
+            mean_burst_secs: 10.0,
+            burst_severity: 0.5,
+            notice_drop_fraction: 0.0,
+        };
+        let horizon = 600_000_000_000;
+        let a = SupplySchedule::generate(&config, &faults, horizon).unwrap();
+        let b = SupplySchedule::generate(&config, &faults, horizon).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.notices, b.notices);
+        let plain = SupplySchedule::generate(&config, &FaultPlan::NONE, horizon).unwrap();
+        assert!(
+            a.steps.len() > plain.steps.len(),
+            "fault boundaries add steps"
+        );
+        // During an outage the zone's caps read zero in the schedule.
+        let timeline = FaultTimeline::generate(&faults, 3, horizon).unwrap();
+        let o = timeline.outages[0];
+        let at_outage = a
+            .steps
+            .iter()
+            .rfind(|s| s.at_nanos >= o.start_nanos && s.at_nanos < o.end_nanos);
+        if let Some(step) = at_outage {
+            let lane0 = o.zone * N_MARKET_FAMILIES;
+            assert!(step.caps[lane0..lane0 + N_MARKET_FAMILIES]
+                .iter()
+                .all(|&c| c == 0));
+        }
+        // Dropping every notice delivery silences the schedule without
+        // moving a single capacity event.
+        let muted = SupplySchedule::generate(
+            &config,
+            &FaultPlan {
+                notice_drop_fraction: 1.0,
+                ..faults
+            },
+            horizon,
+        )
+        .unwrap();
+        assert_eq!(muted.steps, a.steps);
+        assert!(muted.notices.is_empty());
     }
 
     #[test]
     fn start_state_is_a_prefix_function() {
-        let config = fluctuating();
-        let schedule = SupplySchedule::generate(&config, 100_000_000_000).unwrap();
-        let (c0, caps0) = schedule.start_state(0);
-        assert_eq!((c0, caps0), (0, schedule.base));
+        let config = MarketConfig {
+            zones: ZoneConfig {
+                notice_secs: 3.0,
+                ..ZoneConfig::SINGLE
+            },
+            ..fluctuating()
+        };
+        let schedule =
+            SupplySchedule::generate(&config, &FaultPlan::NONE, 100_000_000_000).unwrap();
+        let s0 = schedule.start_state(0);
+        assert_eq!((s0.cursor, s0.notice_cursor), (0, 0));
+        assert_eq!(s0.caps, &schedule.base[..]);
+        assert!(s0.notified_next.is_none());
         // A start exactly on a step instant leaves that step unprocessed.
         let t1 = schedule.steps[0].at_nanos;
-        let (c1, caps1) = schedule.start_state(t1);
-        assert_eq!((c1, caps1), (0, schedule.base));
-        let (c2, caps2) = schedule.start_state(t1 + 1);
-        assert_eq!((c2, caps2), (1, schedule.steps[0].caps));
+        let s1 = schedule.start_state(t1);
+        assert_eq!(s1.cursor, 0);
+        assert_eq!(s1.caps, &schedule.base[..]);
+        let s2 = schedule.start_state(t1 + 1);
+        assert_eq!(s2.cursor, 1);
+        assert_eq!(s2.caps, &schedule.steps[0].caps[..]);
+        // A start between a notice and its step re-marks the pending
+        // notice; a start after the step does not.
+        let n = schedule.notices[0];
+        let mid = schedule.start_state(n.at_nanos + 1);
+        assert_eq!(mid.notice_cursor, 1);
+        assert_eq!(
+            mid.notified_next,
+            Some(&schedule.steps[n.step as usize].caps[..]),
+        );
+        let after = schedule.start_state(schedule.steps[n.step as usize].at_nanos + 1);
+        assert!(after.notified_next.is_none());
     }
 
     #[test]
-    fn withdrawal_demotes_occupancy_and_restores_empty_slots() {
+    fn withdrawal_displaces_residents_and_restores_empty_slots() {
         let config = fluctuating();
-        let mut ledger = SpotLedger::new(&config, [4; N_MARKET_FAMILIES]);
+        let mut ledger = SpotLedger::new(&config, &[4; N_MARKET_FAMILIES]);
         let full = ledger.capacity_milli;
         assert_eq!(ledger.utilization(), 0.0);
 
         // Occupy the last slot of family 0 (flat index 3).
-        let slot = 3u32;
-        ledger.place(slot, 2000, 1024);
+        let placed = entry(50, 3, 9, 2000, 1024);
+        ledger.place(&placed);
         assert!(ledger.utilization() > 0.0);
-        let epoch_before = ledger.epoch(slot);
+        let epoch_before = ledger.epoch(3);
 
         // Drop family 0 to 2 VMs: slots 2..4 withdrawn, occupancy leaves,
-        // and the step reports exactly one demoted placement.
+        // and the step hands back exactly the one displaced resident.
         let mut caps = [4; N_MARKET_FAMILIES];
         caps[0] = 2;
-        assert_eq!(ledger.apply_step(&caps), 1);
+        let displaced = ledger.withdraw(&caps);
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(displaced[0], placed);
         assert_eq!(ledger.occupied_milli, 0);
         assert_eq!(ledger.capacity_milli, full - 2 * ledger.full_milli as u64);
-        assert_eq!(ledger.epoch(slot), epoch_before + 1, "withdrawn+occupied");
+        assert_eq!(ledger.epoch(3), epoch_before + 1, "withdrawn+occupied");
         assert_eq!(ledger.epoch(2), 0, "idle withdrawn slot keeps its epoch");
+        assert!(!ledger.is_live(&placed), "displaced entry reads as a ghost");
 
-        // Bring it back: the slot returns empty, nothing left to demote.
-        assert_eq!(ledger.apply_step(&[4; N_MARKET_FAMILIES]), 0);
+        // Bring it back: the slot returns empty, nothing left to displace.
+        assert!(ledger.withdraw(&[4; N_MARKET_FAMILIES]).is_empty());
         assert_eq!(ledger.capacity_milli, full);
-        assert_eq!(ledger.slots[slot as usize].free_milli, ledger.full_milli);
+        assert_eq!(ledger.slots[3].free_milli, ledger.full_milli);
     }
 
     #[test]
@@ -613,10 +1180,10 @@ mod tests {
             vms_per_family: 3,
             ..MarketConfig::default()
         };
-        let mut ledger = SpotLedger::new(&config, [3; N_MARKET_FAMILIES]);
+        let mut ledger = SpotLedger::new(&config, &[3; N_MARKET_FAMILIES]);
         // Slot 0 nearly full, slot 1 half full, slot 2 empty.
-        ledger.place(0, 15_000, 1024);
-        ledger.place(1, 8_000, 1024);
+        ledger.place(&entry(10, 0, 0, 15_000, 1024));
+        ledger.place(&entry(11, 1, 1, 8_000, 1024));
         // A 2-vCPU request fits slots 1 and 2; best-fit picks 1.
         assert_eq!(ledger.best_fit(0, 2000, 512), Some(1));
         // A 10-vCPU request only fits slot 2.
@@ -624,41 +1191,98 @@ mod tests {
         // Nothing fits 17 vCPUs.
         assert_eq!(ledger.best_fit(0, 17_000, 512), None);
         // Availability gates the scan: with only slot 0 available the
-        // 2-vCPU request has nowhere to go. The withdrawal demotes the
+        // 2-vCPU request has nowhere to go. The withdrawal displaces the
         // one placement living on slot 1.
         let mut caps = [3; N_MARKET_FAMILIES];
         caps[0] = 1;
-        assert_eq!(ledger.apply_step(&caps), 1);
+        assert_eq!(ledger.withdraw(&caps).len(), 1);
         assert_eq!(ledger.best_fit(0, 2000, 512), None);
     }
 
     #[test]
-    fn step_demotion_count_is_per_placement_not_per_slot() {
-        // Two placements packed onto one slot are two demotions.
+    fn displacement_is_per_placement_and_canonically_ordered() {
+        // Two placements packed onto one slot are two displacements,
+        // returned in (completion, slot, idx) order regardless of
+        // insertion order.
         let config = MarketConfig {
             vms_per_family: 2,
             ..MarketConfig::default()
         };
-        let mut ledger = SpotLedger::new(&config, [2; N_MARKET_FAMILIES]);
-        ledger.place(1, 2000, 1024);
-        ledger.place(1, 3000, 2048);
-        ledger.place(0, 1000, 512);
+        let mut ledger = SpotLedger::new(&config, &[2; N_MARKET_FAMILIES]);
+        ledger.place(&entry(90, 1, 7, 2000, 1024));
+        ledger.place(&entry(30, 1, 3, 3000, 2048));
+        ledger.place(&entry(10, 0, 1, 1000, 512));
         let mut caps = [2; N_MARKET_FAMILIES];
         caps[0] = 1; // withdraws slot 1 only
-        assert_eq!(ledger.apply_step(&caps), 2);
-        // A released completion no longer counts as a demotable placement.
-        let entry = InFlight {
-            completion_nanos: 5,
-            slot: 0,
-            idx: 9,
-            epoch: 0,
-            milli: 1000,
-            mib: 512,
-            list_cost_usd: 0.1,
-        };
-        ledger.release(&entry);
+        let displaced = ledger.withdraw(&caps);
+        assert_eq!(displaced.len(), 2);
+        assert!(displaced[0].completion_nanos < displaced[1].completion_nanos);
+        // A released completion no longer counts as a displaceable
+        // resident.
+        ledger.release(&entry(10, 0, 1, 1000, 512));
         caps[0] = 0;
-        assert_eq!(ledger.apply_step(&caps), 0, "slot 0 drained before drop");
+        assert!(
+            ledger.withdraw(&caps).is_empty(),
+            "slot 0 drained before drop"
+        );
+    }
+
+    #[test]
+    fn notified_slots_stop_admitting_and_clear_at_withdrawal() {
+        let config = MarketConfig {
+            vms_per_family: 2,
+            zones: ZoneConfig {
+                n_zones: 2,
+                notice_secs: 5.0,
+                ..ZoneConfig::SINGLE
+            },
+            ..MarketConfig::default()
+        };
+        let width = config.width();
+        let mut ledger = SpotLedger::new(&config, &vec![2u32; width]);
+        // Resident on zone 0, family 0, slot 1 (flat 1).
+        ledger.place(&entry(40, 1, 4, 2000, 1024));
+        // Announce: zone 0 family 0 drops to 1 VM → flat slot 1 notified.
+        let mut next = vec![2u32; width];
+        next[0] = 1;
+        assert_eq!(ledger.mark_notified(&next), 1, "one resident notified");
+        assert!(ledger.is_notified(1));
+        // Re-marking the same pending drop is idempotent.
+        assert_eq!(ledger.mark_notified(&next), 0);
+        // Admission skips the notified slot: family 0 requests land on
+        // flat 0 or zone 1's lane instead.
+        let fit = ledger.best_fit(0, 1000, 256).unwrap();
+        assert_ne!(fit, 1);
+        // Migration from the notified slot targets the other zone only.
+        let target = ledger.migrate_target(1, 2000, 1024).unwrap();
+        assert_eq!(ledger.zone_of(target), 1);
+        // The announced withdrawal clears the flag.
+        let displaced = ledger.withdraw(&next);
+        assert_eq!(displaced.len(), 1);
+        assert!(!ledger.is_notified(1));
+    }
+
+    #[test]
+    fn migration_targets_exclude_the_failing_zone() {
+        let config = MarketConfig {
+            vms_per_family: 2,
+            zones: ZoneConfig {
+                n_zones: 2,
+                ..ZoneConfig::SINGLE
+            },
+            ..MarketConfig::default()
+        };
+        let width = config.width();
+        let ledger = SpotLedger::new(&config, &vec![2u32; width]);
+        // From zone 0 the best fit lands in zone 1 (lowest flat index of
+        // the empty lane), never back into zone 0.
+        let from = 0u32;
+        let target = ledger.migrate_target(from, 2000, 1024).unwrap();
+        assert_eq!(ledger.zone_of(target), 1);
+        assert_eq!(target % (config.vms_per_family as u32), 0);
+        // Single-zone markets have nowhere to fail over to.
+        let single = SpotLedger::new(&MarketConfig::default(), &[8u32; N_MARKET_FAMILIES]);
+        assert_eq!(single.migrate_target(0, 1000, 256), None);
     }
 
     #[test]
@@ -720,7 +1344,7 @@ mod tests {
         }
         // The zero-capacity ledger reads as saturated, so its admissions
         // (there are none — nothing fits) would bill at list price.
-        let ledger = SpotLedger::new(&MarketConfig::default(), [0; N_MARKET_FAMILIES]);
+        let ledger = SpotLedger::new(&MarketConfig::default(), &[0; N_MARKET_FAMILIES]);
         assert_eq!(ledger.utilization(), 1.0);
         assert_eq!(
             SpotPricing::PAPER_DEFAULT.demand_fraction(ledger.utilization()),
@@ -762,6 +1386,31 @@ mod tests {
         }
         .validate()
         .is_err());
+        for bad in [
+            ZoneConfig {
+                n_zones: 0,
+                ..ZoneConfig::SINGLE
+            },
+            ZoneConfig {
+                notice_secs: -1.0,
+                ..ZoneConfig::SINGLE
+            },
+            ZoneConfig {
+                shock: 1.5,
+                ..ZoneConfig::SINGLE
+            },
+            ZoneConfig {
+                migration_rebill: f64::INFINITY,
+                ..ZoneConfig::SINGLE
+            },
+        ] {
+            assert!(MarketConfig {
+                zones: bad,
+                ..MarketConfig::default()
+            }
+            .validate()
+            .is_err());
+        }
         assert!(MarketConfig::default().validate().is_ok());
     }
 

@@ -395,6 +395,106 @@ pub struct StreamCheckpoint {
     imp: CpImp,
 }
 
+impl StreamCheckpoint {
+    /// Serializes the checkpoint into a crash-resume snapshot
+    /// ([`crate::snapshot`]): per-function generator states and pending
+    /// events for synthetic traces, the byte offset plus open rows for
+    /// CSV ones. [`StreamCheckpoint::load`] restores a checkpoint that
+    /// [`StreamTrace::open_at`] resumes to the identical suffix.
+    pub(crate) fn save(&self, w: &mut crate::snapshot::Wire) {
+        match &self.imp {
+            CpImp::Merge { cursors, pending } => {
+                w.u8(0);
+                w.len(cursors.len());
+                for c in cursors {
+                    c.save(w);
+                }
+                debug_assert_eq!(pending.len(), cursors.len());
+                for p in pending {
+                    match p {
+                        None => w.u8(0),
+                        Some(t) => {
+                            w.u8(1);
+                            w.f64(*t);
+                        }
+                    }
+                }
+            }
+            CpImp::Csv(s) => {
+                w.u8(1);
+                w.u64(s.offset);
+                w.u64(s.lineno as u64);
+                w.u64(s.m_max);
+                w.bool(s.exhausted);
+                w.len(s.rows.len());
+                for row in &s.rows {
+                    w.u64(row.next_bits);
+                    w.u32(row.function);
+                    w.u64(row.minute);
+                    w.u32(row.count);
+                    w.u32(row.j);
+                }
+            }
+        }
+    }
+
+    /// Restores a checkpoint serialized with [`StreamCheckpoint::save`].
+    pub(crate) fn load(r: &mut crate::snapshot::Unwire) -> Result<Self> {
+        let imp = match r.u8()? {
+            0 => {
+                let n = r.len()?;
+                let mut cursors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cursors.push(GenCursor::load(r)?);
+                }
+                let mut pending = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pending.push(match r.u8()? {
+                        0 => None,
+                        1 => Some(r.f64()?),
+                        tag => {
+                            return Err(FreedomError::InvalidArgument(format!(
+                                "snapshot: invalid pending-event tag {tag}"
+                            )))
+                        }
+                    });
+                }
+                CpImp::Merge { cursors, pending }
+            }
+            1 => {
+                let offset = r.u64()?;
+                let lineno = r.u64()? as usize;
+                let m_max = r.u64()?;
+                let exhausted = r.bool()?;
+                let n = r.len()?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(OpenRow {
+                        next_bits: r.u64()?,
+                        function: r.u32()?,
+                        minute: r.u64()?,
+                        count: r.u32()?,
+                        j: r.u32()?,
+                    });
+                }
+                CpImp::Csv(CsvState {
+                    offset,
+                    lineno,
+                    m_max,
+                    rows,
+                    exhausted,
+                })
+            }
+            tag => {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "snapshot: unknown stream-checkpoint tag {tag}"
+                )))
+            }
+        };
+        Ok(Self { imp })
+    }
+}
+
 #[derive(Debug, Clone)]
 enum CpImp {
     Merge {

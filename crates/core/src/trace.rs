@@ -515,6 +515,108 @@ impl GenCursor {
         self.rate_hint
     }
 
+    /// Serializes the cursor's full resumable state — RNG words, clock,
+    /// and variant-specific fields — into a crash-resume snapshot
+    /// ([`crate::snapshot`]). The round-trip through
+    /// [`GenCursor::load`] restores a cursor that yields the identical
+    /// suffix, bit for bit: the property crash-resumable replay rests
+    /// on.
+    pub(crate) fn save(&self, w: &mut crate::snapshot::Wire) {
+        for word in self.rng.to_state() {
+            w.u64(word);
+        }
+        w.f64(self.t);
+        w.f64(self.duration);
+        w.bool(self.done);
+        w.f64(self.rate_hint);
+        match &self.mode {
+            GenMode::Poisson { rate } => {
+                w.u8(0);
+                w.f64(*rate);
+            }
+            GenMode::Bursty {
+                calm_rps,
+                burst_rps,
+                mean_calm_secs,
+                mean_burst_secs,
+                bursting,
+                switch_at,
+            } => {
+                w.u8(1);
+                w.f64(*calm_rps);
+                w.f64(*burst_rps);
+                w.f64(*mean_calm_secs);
+                w.f64(*mean_burst_secs);
+                w.bool(*bursting);
+                w.f64(*switch_at);
+            }
+            GenMode::Diurnal {
+                mean_rps,
+                amp,
+                rate_max,
+                period_secs,
+            } => {
+                w.u8(2);
+                w.f64(*mean_rps);
+                w.f64(*amp);
+                w.f64(*rate_max);
+                w.f64(*period_secs);
+            }
+            GenMode::HeavyTail { alpha, scale } => {
+                w.u8(3);
+                w.f64(*alpha);
+                w.f64(*scale);
+            }
+        }
+    }
+
+    /// Restores a cursor previously serialized with [`GenCursor::save`].
+    pub(crate) fn load(r: &mut crate::snapshot::Unwire) -> Result<Self> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        let rng = StdRng::from_state(state);
+        let t = r.f64()?;
+        let duration = r.f64()?;
+        let done = r.bool()?;
+        let rate_hint = r.f64()?;
+        let mode = match r.u8()? {
+            0 => GenMode::Poisson { rate: r.f64()? },
+            1 => GenMode::Bursty {
+                calm_rps: r.f64()?,
+                burst_rps: r.f64()?,
+                mean_calm_secs: r.f64()?,
+                mean_burst_secs: r.f64()?,
+                bursting: r.bool()?,
+                switch_at: r.f64()?,
+            },
+            2 => GenMode::Diurnal {
+                mean_rps: r.f64()?,
+                amp: r.f64()?,
+                rate_max: r.f64()?,
+                period_secs: r.f64()?,
+            },
+            3 => GenMode::HeavyTail {
+                alpha: r.f64()?,
+                scale: r.f64()?,
+            },
+            tag => {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "snapshot: unknown generator mode tag {tag}"
+                )))
+            }
+        };
+        Ok(Self {
+            rng,
+            t,
+            duration,
+            done,
+            mode,
+            rate_hint,
+        })
+    }
+
     /// The next arrival strictly inside `(0, duration)`, or `None`
     /// forever once the stream is exhausted.
     pub(crate) fn next_arrival(&mut self) -> Option<f64> {

@@ -25,6 +25,18 @@
 //! most to its `limit`, and the replay only pushes completions at or
 //! after the instant it is advancing toward, so a push never lands
 //! behind the cursor. [`TimerWheel::push`] debug-asserts it.
+//!
+//! Multi-zone markets lean on that contract at supply steps: a
+//! cross-zone migration re-pushes a displaced entry — same completion
+//! instant, a fresh slot in the surviving zone — at the step instant
+//! itself, possibly while the cursor is parked mid-drain on that very
+//! instant. The replay caps each completion scan at the next unprocessed
+//! step (see `fleet.rs`), so the cursor never advances past a future
+//! push; an entry landing exactly *at* the cursor is legal and merges
+//! into the ready run. The stale pre-migration twin stays queued under
+//! its old slot and is filtered by the ledger's epoch check when it
+//! pops, and same-instant entries across zones drain in the usual
+//! `(time, slot, idx)` order.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -499,6 +511,34 @@ mod tests {
         assert_eq!(wheel.next_due(base + 40), Some(base + 20));
         assert_eq!(wheel.pop_due().idx, 2);
         assert_eq!(wheel.pop_due().idx, 1);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn migration_pushes_at_the_cursor_instant_stay_ordered() {
+        // The cross-zone migration pattern: the replay drains completions
+        // up to a supply step, then re-pushes displaced entries at that
+        // very step instant under new slots while the stale twins stay
+        // queued under their old slots. Entries landing exactly AT the
+        // cursor are legal and same-instant entries across zones must
+        // still drain by (time, slot, idx).
+        let mut wheel = TimerWheel::new(0, u64::MAX);
+        let step = 9 << FINEST_SHIFT;
+        wheel.push(entry(step, 1, 0)); // completes exactly at the step
+        wheel.push(entry(step + 50, 0, 1)); // will be "migrated" at the step
+        assert_eq!(wheel.next_due(step), Some(step));
+        assert_eq!(wheel.pop_due().idx, 0); // cursor now parked at `step`
+
+        // The migration: same completion instants, fresh slots in the
+        // surviving zone, pushed while the cursor sits at `step`.
+        wheel.push(entry(step, 3, 2));
+        wheel.push(entry(step + 50, 2, 3));
+        assert_eq!(wheel.next_due(step), Some(step), "push at the cursor");
+        assert_eq!(wheel.pop_due().key(), (step, 3, 2));
+        assert_eq!(wheel.next_due(step + 50), Some(step + 50));
+        // Stale twin (slot 0) pops before the migrated clone (slot 2).
+        assert_eq!(wheel.pop_due().key(), (step + 50, 0, 1));
+        assert_eq!(wheel.pop_due().key(), (step + 50, 2, 3));
         assert_eq!(wheel.len(), 0);
     }
 

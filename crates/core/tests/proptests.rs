@@ -1,8 +1,8 @@
 //! Property-based tests for the framework-level invariants.
 
 use freedom::fleet::{
-    AdmissionPolicy, FleetConfig, FleetSimulator, FunctionPlan, PlacementStrategy, SupplyProcess,
-    Trace, TraceSource,
+    AdmissionPolicy, FaultPlan, FleetConfig, FleetSimulator, FunctionPlan, PlacementStrategy,
+    SupplyProcess, Trace, TraceSource, ZoneConfig,
 };
 use freedom::interfaces::hierarchical_ideal;
 use freedom::market::MarketConfig;
@@ -606,6 +606,105 @@ proptest! {
                 format!("{:?}", report),
                 format!("{:?}", windowed),
                 "windowed engine diverged"
+            );
+        }
+    }
+
+    /// The failure-domain ledger is total for any fault plan: under
+    /// random zone layouts, notice leads, outages, shock bursts, and
+    /// dropped notice deliveries, every request still ends in exactly
+    /// one of the five terminal classes — admitted, drained, migrated,
+    /// demoted, rejected — notices only ever hit outstanding spot
+    /// placements, and the windowed engine stays bit-identical.
+    #[test]
+    fn fault_injected_markets_keep_total_accounting(
+        trace_seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        n_zones in 1usize..4,
+        notice_secs in 0.0f64..10.0,
+        shock in 0.0f64..1.0,
+        migration_rebill in 0.0f64..1.0,
+        outage_rate in 0.0f64..120.0,
+        mean_outage_secs in 1.0f64..60.0,
+        notice_drop_fraction in 0.0f64..1.0,
+        burst_rate in 0.0f64..120.0,
+        burst_severity in 0.0f64..1.0,
+        window_secs in 1.0f64..90.0,
+    ) {
+        let plans = market_fixture();
+        let sim = FleetSimulator::new(plans.clone()).expect("non-empty fleet");
+        let trace = TraceSource::HeavyTail { mean_rps: 1.0, alpha: 1.4 }
+            .generate(10, 60.0, trace_seed)
+            .expect("valid parameters");
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 2,
+                supply: SupplyProcess { step_secs: 5.0, min_fraction: 0.1, seed: 7 },
+                zones: ZoneConfig { n_zones, notice_secs, shock, migration_rebill },
+                ..MarketConfig::default()
+            },
+            faults: FaultPlan {
+                seed: fault_seed,
+                outage_rate_per_hour: outage_rate,
+                mean_outage_secs,
+                notice_drop_fraction,
+                burst_rate_per_hour: burst_rate,
+                mean_burst_secs: 10.0,
+                burst_severity,
+            },
+            ..FleetConfig::default()
+        };
+        for strategy in PlacementStrategy::ALL {
+            let report = sim.run(&trace, strategy, &config).expect("replay");
+            prop_assert_eq!(
+                report.spot_admitted
+                    + report.drained
+                    + report.migrated
+                    + report.spot_demoted
+                    + report.rejected,
+                trace.len(),
+                "accounting leaked under {:?}: {:?}",
+                strategy,
+                report
+            );
+            // Notices only ever land on outstanding spot placements —
+            // entries created by an admission or a migration. (One
+            // placement may be re-notified after surviving a step whose
+            // drop shrank under it, so the count is not bounded by the
+            // entries themselves; a market with no entries at all must
+            // stay silent.)
+            if report.spot_admitted + report.migrated == 0 {
+                prop_assert_eq!(
+                    report.notified,
+                    0,
+                    "notices without outstanding placements: {:?}",
+                    report
+                );
+            }
+            // Every drain was announced: a completion only counts as
+            // drained when its slot sat under a delivered notice.
+            prop_assert!(
+                report.drained <= report.notified,
+                "{} drains exceed {} notices",
+                report.drained,
+                report.notified
+            );
+            // Drains and migrations need the machinery that produces
+            // them: a notice lead for drains, a second zone for
+            // migrations.
+            if notice_secs == 0.0 {
+                prop_assert_eq!(report.drained, 0);
+            }
+            if n_zones == 1 {
+                prop_assert_eq!(report.migrated, 0);
+            }
+            let windowed = sim
+                .run_windowed(&trace, strategy, &config, 4, window_secs)
+                .expect("replay");
+            prop_assert_eq!(
+                format!("{:?}", report),
+                format!("{:?}", windowed),
+                "windowed engine diverged under faults"
             );
         }
     }

@@ -1,0 +1,14 @@
+//! Runs the failure-domain sweep (zone outages × controllers over the
+//! three-zone noticed market) and writes its CSV artifact.
+
+use freedom_experiments as exp;
+
+fn main() {
+    let opts = exp::ExperimentOpts::from_args();
+    let result = exp::fleet_zone_outage::run(&opts).expect("fleet zone outage");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

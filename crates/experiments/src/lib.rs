@@ -23,6 +23,7 @@ pub mod fig14_hierarchical;
 pub mod fig15_provider_savings;
 pub mod fleet_control_loop;
 pub mod fleet_simulation;
+pub mod fleet_zone_outage;
 pub mod table3_alternatives;
 
 pub use context::ExperimentOpts;

@@ -1,0 +1,231 @@
+//! Crash-resumable replay: a streaming fleet replay killed at an
+//! arbitrary epoch boundary and restarted from its persisted snapshot
+//! must reproduce the uninterrupted report bit for bit — through a real
+//! trip to disk, under fault injection, over a multi-zone market with
+//! preemption notices.
+
+use faas_freedom::core::fleet::{
+    AdmissionPolicy, ControlConfig, ControllerConfig, FaultPlan, FleetConfig, FleetSimulator,
+    PidConfig, PlacementStrategy, StreamTrace, SupplyProcess, TraceSource, ZoneConfig,
+};
+use faas_freedom::core::market::MarketConfig;
+use faas_freedom::core::snapshot::ReplaySnapshot;
+use faas_freedom::prelude::FunctionKind;
+
+fn faulted_config() -> FleetConfig {
+    FleetConfig {
+        market: MarketConfig {
+            vms_per_family: 2,
+            supply: SupplyProcess {
+                step_secs: 10.0,
+                min_fraction: 0.2,
+                seed: 21,
+            },
+            zones: ZoneConfig {
+                n_zones: 3,
+                notice_secs: 4.0,
+                shock: 0.5,
+                migration_rebill: 0.5,
+            },
+            admission: AdmissionPolicy::Headroom {
+                max_utilization: 0.9,
+            },
+            ..MarketConfig::default()
+        },
+        control: ControlConfig {
+            cadence_secs: 15.0,
+            controller: ControllerConfig::HeadroomPid(PidConfig::default()),
+        },
+        faults: FaultPlan {
+            seed: 29,
+            outage_rate_per_hour: 36.0,
+            mean_outage_secs: 25.0,
+            notice_drop_fraction: 0.25,
+            burst_rate_per_hour: 24.0,
+            mean_burst_secs: 12.0,
+            burst_severity: 0.5,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn hot_stream() -> StreamTrace {
+    StreamTrace::generate(
+        TraceSource::Bursty {
+            calm_rps: 1.0,
+            burst_rps: 6.0,
+            mean_calm_secs: 25.0,
+            mean_burst_secs: 12.0,
+        },
+        FunctionKind::ALL.len(),
+        240.0,
+        11,
+    )
+    .unwrap()
+}
+
+/// Kill the replay at a pseudo-randomly chosen epoch (seeded, so the
+/// test replays identically), persist the snapshot the way a real
+/// supervisor would — bytes to a file, re-read on restart — and resume.
+/// The resumed report must match the uninterrupted run bit for bit.
+#[test]
+fn kill_at_random_epoch_resumes_bit_identically() {
+    let plans =
+        freedom_experiments::fleet_simulation::synthetic_plans(FunctionKind::ALL.len(), 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+    let config = faulted_config();
+    let lazy = hot_stream();
+    let snapshot_secs = 20.0;
+
+    let reference = sim
+        .run_stream(&lazy, PlacementStrategy::IdleAware, &config)
+        .unwrap();
+    assert!(
+        reference.notified > 0 && reference.migrated + reference.drained > 0,
+        "the scenario must exercise the failure domain: {reference:?}"
+    );
+
+    // Count the epochs once so the kill points can span the whole run.
+    let mut epochs: Vec<u64> = Vec::new();
+    let full = sim
+        .run_stream_resumable(
+            &lazy,
+            PlacementStrategy::IdleAware,
+            &config,
+            snapshot_secs,
+            None,
+            |s| {
+                epochs.push(s.epoch());
+                Ok(true)
+            },
+        )
+        .unwrap()
+        .expect("uninterrupted run completes");
+    assert_eq!(format!("{reference:?}"), format!("{full:?}"));
+    assert!(epochs.len() >= 5, "want several boundaries, got {epochs:?}");
+
+    // Three seeded pseudo-random kill epochs plus both edges.
+    let mut lcg: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut kill_epochs = vec![epochs[0], *epochs.last().unwrap()];
+    for _ in 0..3 {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        kill_epochs.push(epochs[(lcg >> 33) as usize % epochs.len()]);
+    }
+
+    let dir = std::env::temp_dir().join(format!("freedom-crash-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, &kill_at) in kill_epochs.iter().enumerate() {
+        // The "crashing" process: persists every snapshot, then dies at
+        // the chosen boundary (the callback's Ok(false) is the kill).
+        let path = dir.join(format!("kill-{i}.snap"));
+        let crashed = sim
+            .run_stream_resumable(
+                &lazy,
+                PlacementStrategy::IdleAware,
+                &config,
+                snapshot_secs,
+                None,
+                |s| {
+                    s.write_to(&path)?;
+                    Ok(s.epoch() < kill_at)
+                },
+            )
+            .unwrap();
+        assert!(
+            crashed.is_none(),
+            "epoch {kill_at}: kill must abort the run"
+        );
+
+        // The restarted process: reads the snapshot back from disk and
+        // picks up where the dead one stopped.
+        let snap = ReplaySnapshot::read_from(&path).unwrap();
+        assert_eq!(snap.epoch(), kill_at);
+        assert_eq!(snap.window_nanos(), 20_000_000_000);
+        let resumed = sim
+            .run_stream_resumable(
+                &lazy,
+                PlacementStrategy::IdleAware,
+                &config,
+                snapshot_secs,
+                Some(&snap),
+                |_| Ok(true),
+            )
+            .unwrap()
+            .expect("resumed run completes");
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{resumed:?}"),
+            "resume from epoch {kill_at} diverged from the uninterrupted replay"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A snapshot is only valid for the replay that produced it: a different
+/// controller, fault seed, or snapshot cadence must be rejected up
+/// front, and a truncated snapshot file must fail to decode instead of
+/// resuming a corrupt position.
+#[test]
+fn foreign_and_corrupt_snapshots_are_rejected() {
+    let plans =
+        freedom_experiments::fleet_simulation::synthetic_plans(FunctionKind::ALL.len(), 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+    let config = faulted_config();
+    let lazy = hot_stream();
+
+    let mut first: Option<ReplaySnapshot> = None;
+    sim.run_stream_resumable(
+        &lazy,
+        PlacementStrategy::IdleAware,
+        &config,
+        20.0,
+        None,
+        |s| {
+            first = Some(s.clone());
+            Ok(false)
+        },
+    )
+    .unwrap();
+    let snap = first.expect("at least one boundary");
+
+    let reseeded = FleetConfig {
+        faults: FaultPlan {
+            seed: config.faults.seed + 1,
+            ..config.faults
+        },
+        ..config
+    };
+    assert!(
+        sim.run_stream_resumable(
+            &lazy,
+            PlacementStrategy::IdleAware,
+            &reseeded,
+            20.0,
+            Some(&snap),
+            |_| Ok(true),
+        )
+        .is_err(),
+        "a different fault seed must invalidate the snapshot"
+    );
+    assert!(
+        sim.run_stream_resumable(
+            &lazy,
+            PlacementStrategy::IdleAware,
+            &config,
+            40.0,
+            Some(&snap),
+            |_| Ok(true),
+        )
+        .is_err(),
+        "a different snapshot cadence must invalidate the snapshot"
+    );
+
+    let bytes = snap.to_bytes();
+    assert!(ReplaySnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    assert!(ReplaySnapshot::from_bytes(&bytes[1..]).is_err());
+    let roundtrip = ReplaySnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(roundtrip.epoch(), snap.epoch());
+    assert_eq!(roundtrip.fingerprint(), snap.fingerprint());
+}

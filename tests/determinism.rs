@@ -455,6 +455,122 @@ fn streaming_replay_is_bit_identical_for_every_source_and_controller() {
     }
 }
 
+/// The failure-domain acceptance row: with fault injection enabled —
+/// zone outages, supply-shock bursts, and dropped notice deliveries over
+/// a three-zone market with preemption notices — the determinism lattice
+/// must keep holding. For two fault seeds and every controller, the
+/// streaming engines replay bit-identically to the materialized
+/// sequential reference at threads {1, 8} × windows {1, 60} s. Faults
+/// are precomputed simulated-time events, so nothing about injection may
+/// depend on which engine, thread, or window boundary observes it.
+#[test]
+fn fault_injection_preserves_the_determinism_lattice() {
+    use faas_freedom::core::fleet::{
+        AdmissionPolicy, ControlConfig, ControllerConfig, FaultPlan, FleetConfig, FleetSimulator,
+        PidConfig, PlacementStrategy, RightSizerConfig, StreamTrace, SupplyProcess, TraceSource,
+        ZoneConfig,
+    };
+    use faas_freedom::core::market::MarketConfig;
+    use freedom_experiments::fleet_simulation::synthetic_plans;
+
+    let n_functions = 120;
+    let duration = 300.0;
+    let lazy = StreamTrace::generate_sharded(
+        TraceSource::HeavyTail {
+            mean_rps: 0.5,
+            alpha: 1.5,
+        },
+        n_functions,
+        duration,
+        11,
+        8,
+    )
+    .unwrap();
+    let full = lazy.materialize().unwrap();
+    let plans = synthetic_plans(n_functions, 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+
+    for fault_seed in [29, 31] {
+        for controller in [
+            ControllerConfig::Static,
+            ControllerConfig::HeadroomPid(PidConfig::default()),
+            ControllerConfig::SurrogateRightSizer(RightSizerConfig::default()),
+        ] {
+            let config = FleetConfig {
+                market: MarketConfig {
+                    vms_per_family: 3,
+                    supply: SupplyProcess {
+                        step_secs: 15.0,
+                        min_fraction: 0.3,
+                        seed: 21,
+                    },
+                    zones: ZoneConfig {
+                        n_zones: 3,
+                        notice_secs: 5.0,
+                        shock: 0.5,
+                        migration_rebill: 0.5,
+                    },
+                    admission: AdmissionPolicy::Headroom {
+                        max_utilization: 0.85,
+                    },
+                    ..MarketConfig::default()
+                },
+                control: ControlConfig {
+                    cadence_secs: 15.0,
+                    controller,
+                },
+                faults: FaultPlan {
+                    seed: fault_seed,
+                    outage_rate_per_hour: 24.0,
+                    mean_outage_secs: 30.0,
+                    notice_drop_fraction: 0.25,
+                    burst_rate_per_hour: 18.0,
+                    mean_burst_secs: 15.0,
+                    burst_severity: 0.5,
+                },
+                ..FleetConfig::default()
+            };
+            let reference = sim
+                .run(&full, PlacementStrategy::IdleAware, &config)
+                .unwrap();
+            // The faults must actually land on this trace, or the row
+            // degenerates into the fault-free lattice already covered.
+            assert!(
+                reference.notified > 0
+                    && reference.migrated + reference.drained + reference.spot_demoted > 0,
+                "seed {fault_seed}/{controller:?}: inert fault plan: {reference:?}"
+            );
+            let streamed = sim
+                .run_stream(&lazy, PlacementStrategy::IdleAware, &config)
+                .unwrap();
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{streamed:?}"),
+                "seed {fault_seed}/{controller:?}: streaming diverged from materialized"
+            );
+            for threads in [1, 8] {
+                for window_secs in [1.0, 60.0] {
+                    let windowed = sim
+                        .run_stream_windowed(
+                            &lazy,
+                            PlacementStrategy::IdleAware,
+                            &config,
+                            threads,
+                            window_secs,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        format!("{reference:?}"),
+                        format!("{windowed:?}"),
+                        "seed {fault_seed}/{controller:?} diverged at {threads} threads, \
+                         {window_secs}s windows"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The GP's batched predictor must agree with per-point prediction bit for
 /// bit, and the warm-start update loop must replay identically.
 #[test]

@@ -23,6 +23,20 @@ pub mod rngs {
 use rngs::StdRng;
 
 impl StdRng {
+    /// The raw xoshiro256++ state, for checkpoint serialization.
+    ///
+    /// Not part of the upstream `rand` API: the workspace's
+    /// crash-resumable replay snapshots generator cursors mid-stream,
+    /// which requires round-tripping the generator state itself.
+    pub fn to_state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`Self::to_state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+
     #[inline]
     fn rotl(x: u64, k: u32) -> u64 {
         x.rotate_left(k)
