@@ -482,10 +482,152 @@ fn bench_zone_outage(c: &mut Criterion) {
     );
 }
 
+/// The week-scale headline: the 14-day × 10 000-function diurnal trace,
+/// synthesized as one gzip'd CSV per day and streamed through
+/// `from_csv_parts` — decompression, parsing, and replay overlap, and
+/// peak resident events stay bounded by in-flight + lookahead while the
+/// full trace is ~10 M arrivals. In quick/--fast mode the same pipeline
+/// runs at the downscaled 2-day × 2 000-function shape so CI still
+/// exercises the multi-file gz path and the counter plumbing.
+///
+/// Counters reported into `BENCH_pr.json`: events/sec, ns/event, peak
+/// resident events, and decompress MB/s (compressed input over replay
+/// wall clock — the streaming reader inflates every byte it replays),
+/// plus a windowed row whose overhead ratio prices the speculation +
+/// reconciliation machinery at week scale.
+///
+/// A one-day anchor row with the same functions, market, and trace
+/// generator rides along: it is the day-scale baseline at *identical*
+/// per-event work, so "no per-event regression from scale" is the
+/// multi-day row's events/sec meeting or beating the anchor's.
+fn bench_week_replay(c: &mut Criterion) {
+    use exp::fleet_simulation::{market_config, market_tightness, synthetic_plans};
+    use exp::week_trace::WeekTraceSpec;
+    use freedom::fleet::{
+        AdmissionPolicy, FleetConfig, FleetSimulator, PlacementStrategy, StreamTrace,
+    };
+
+    let spec = if criterion::is_quick() {
+        WeekTraceSpec::downscaled()
+    } else {
+        WeekTraceSpec::headline()
+    };
+    let sim = FleetSimulator::new(synthetic_plans(spec.functions as usize, 4).expect("plans"))
+        .expect("fleet");
+    // The scarce, volatile market — week-scale replay against the
+    // preset where demotions and admission control actually bite.
+    let tightness = market_tightness();
+    let config = FleetConfig {
+        market: market_config(&tightness[2], AdmissionPolicy::Greedy),
+        ..FleetConfig::default()
+    };
+
+    let tag = spec.tag();
+    let parts = spec.gz_parts(8);
+    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+    let trace = StreamTrace::from_csv_parts(&refs).expect("scan gz day parts");
+
+    let mut group = c.benchmark_group("week_replay");
+    group.sample_size(10);
+    group.bench_function(format!("{tag}_gz_streaming"), |b| {
+        b.iter(|| {
+            sim.run_stream(&trace, PlacementStrategy::IdleAware, &config)
+                .expect("replay")
+        })
+    });
+    group.finish();
+
+    // The instrumented passes behind the headline counters: the one-day
+    // anchor first, then the multi-day trace.
+    let anchor_spec = WeekTraceSpec { days: 1, ..spec };
+    let mut wall = 0.0;
+    let mut stats = None;
+    for day_spec in [&anchor_spec, &spec] {
+        let day_tag = day_spec.tag();
+        let day_parts = day_spec.gz_parts(8);
+        let day_gz_bytes: usize = day_parts.iter().map(|p| p.len()).sum();
+        let day_refs: Vec<&[u8]> = day_parts.iter().map(|p| p.as_slice()).collect();
+        let day_trace = StreamTrace::from_csv_parts(&day_refs).expect("scan gz day parts");
+        let started = std::time::Instant::now();
+        let (_, s) = sim
+            .run_stream_with_stats(&day_trace, PlacementStrategy::IdleAware, &config)
+            .expect("replay");
+        let day_wall = started.elapsed().as_secs_f64();
+        let events_per_sec = s.events as f64 / day_wall;
+        assert!(
+            s.peak_resident_events() < s.events / 100,
+            "peak resident {} is not bounded well below {} arrivals",
+            s.peak_resident_events(),
+            s.events
+        );
+        println!(
+            "bench week_replay/{day_tag}: {} events over {} gz days, {:.0} events/sec, \
+             {:.0} ns/event, {:.1} MB/s decompressed, peak resident {}",
+            s.events,
+            day_spec.days,
+            events_per_sec,
+            day_wall * 1e9 / s.events as f64,
+            day_gz_bytes as f64 / 1e6 / day_wall,
+            s.peak_resident_events(),
+        );
+        freedom_bench::report_counter(
+            &format!("week_replay/{day_tag}_events_per_sec"),
+            events_per_sec,
+            "events/sec",
+        );
+        freedom_bench::report_counter(
+            &format!("week_replay/{day_tag}_ns_per_event"),
+            day_wall * 1e9 / s.events as f64,
+            "ns/event",
+        );
+        freedom_bench::report_counter(
+            &format!("week_replay/{day_tag}_peak_resident_events"),
+            s.peak_resident_events() as f64,
+            "events",
+        );
+        freedom_bench::report_counter(
+            &format!("week_replay/{day_tag}_decompress_mb_per_sec"),
+            day_gz_bytes as f64 / 1e6 / day_wall,
+            "MB/s",
+        );
+        wall = day_wall;
+        stats = Some(s);
+    }
+    let stats = stats.expect("instrumented pass ran");
+
+    // Windowed row: hour-long windows across the whole span, overhead
+    // priced against the single-pass streaming wall clock above.
+    let threads = if criterion::is_quick() { 2 } else { 8 };
+    let t0 = std::time::Instant::now();
+    let report = sim
+        .run_stream_windowed(
+            &trace,
+            PlacementStrategy::IdleAware,
+            &config,
+            threads,
+            3600.0,
+        )
+        .expect("windowed replay");
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(report);
+    let id = format!("week_replay/{tag}_windowed_t{threads}_w3600s");
+    println!(
+        "bench {id}: {:.0} events/sec, {:.2}x of single-pass streaming",
+        stats.events as f64 / elapsed,
+        elapsed / wall,
+    );
+    freedom_bench::report_counter(
+        &format!("{id}_events_per_sec"),
+        stats.events as f64 / elapsed,
+        "events/sec",
+    );
+    freedom_bench::report_counter(&format!("{id}_overhead"), elapsed / wall, "ratio");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
     targets = bench_experiments, bench_parallel_vs_sequential, bench_spot_market,
-        bench_control_loop, bench_streaming_replay, bench_zone_outage
+        bench_control_loop, bench_streaming_replay, bench_zone_outage, bench_week_replay
 }
 criterion_main!(benches);

@@ -276,17 +276,18 @@ struct ResolvedAlternate {
     inflation: f64,
 }
 
-/// One function's plan resolved against its ground-truth table.
-#[derive(Debug, Clone)]
-struct ResolvedPlan {
-    best_cost_usd: f64,
-    alternates: Vec<ResolvedAlternate>,
-}
-
 /// Everything a window simulation reads: immutable and shared across
 /// worker threads.
 struct ReplayCtx {
-    plans: Vec<ResolvedPlan>,
+    /// Per-function list-price cost of the best configuration.
+    best_costs: Vec<f64>,
+    /// All accepted alternates across every function in one flat array:
+    /// function `f` owns `alts[alt_offsets[f]..alt_offsets[f + 1]]`, in
+    /// planner order. One contiguous table instead of a `Vec` per
+    /// function keeps the 10k-function arrival path free of per-plan
+    /// pointer chases.
+    alts: Vec<ResolvedAlternate>,
+    alt_offsets: Vec<u32>,
     /// Per-function encoded configurations and actual inflations — what
     /// the control plane's right-sizer learns from.
     views: Vec<FunctionView>,
@@ -431,7 +432,9 @@ impl Carry {
     fn initial(ctx: &ReplayCtx) -> Self {
         Self {
             inflight: Vec::new(),
-            control: ctx.controller.init(ctx.market.admission, ctx.plans.len()),
+            control: ctx
+                .controller
+                .init(ctx.market.admission, ctx.best_costs.len()),
             accum: ObsAccum::zero(*ctx.obs_offsets.last().expect("offsets") as usize),
         }
     }
@@ -1016,7 +1019,7 @@ impl FleetSimulator {
         }
         let fingerprint = replay_fingerprint(&ctx, strategy, config, trace.len(), window_nanos);
         let n = (horizon / window_nanos) as usize + 1;
-        let (mut k, mut carry, mut stream, mut meterings, mut consumed) = match resume {
+        let (mut k, mut carry, mut stream, mut prefix, mut consumed) = match resume {
             Some(snap) => {
                 if snap.fingerprint != fingerprint {
                     return Err(FreedomError::InvalidArgument(
@@ -1035,11 +1038,17 @@ impl FleetSimulator {
                     snap.epoch as usize,
                     snap.carry.clone(),
                     trace.open_at(&snap.checkpoint)?,
-                    vec![snap.metering.clone()],
+                    snap.metering.clone(),
                     snap.events_consumed,
                 )
             }
-            None => (0, Carry::initial(&ctx), trace.open()?, Vec::new(), 0),
+            None => (
+                0,
+                Carry::initial(&ctx),
+                trace.open()?,
+                WindowMetering::default(),
+                0,
+            ),
         };
         while k < n {
             let (start, end) = window_span(k, window_nanos);
@@ -1057,13 +1066,13 @@ impl FleetSimulator {
             };
             consumed += count;
             carry = outcome.carry_out;
-            meterings.push(outcome.metering);
+            prefix.absorb(&outcome.metering);
             k += 1;
             if k < n {
-                let mut prefix = WindowMetering::default();
-                for m in &meterings {
-                    prefix.absorb(m);
-                }
+                // Lend the running prefix to the snapshot rather than
+                // cloning it: it holds every per-invocation record so
+                // far, and a week-scale replay snapshots dozens of
+                // times over millions of events.
                 let snap = ReplaySnapshot {
                     version: SNAPSHOT_VERSION,
                     fingerprint,
@@ -1072,9 +1081,11 @@ impl FleetSimulator {
                     events_consumed: consumed,
                     checkpoint: stream.checkpoint(),
                     carry: carry.clone(),
-                    metering: prefix,
+                    metering: std::mem::take(&mut prefix),
                 };
-                if !on_snapshot(&snap)? {
+                let keep_going = on_snapshot(&snap)?;
+                prefix = snap.metering;
+                if !keep_going {
                     return Ok(None);
                 }
             }
@@ -1084,7 +1095,7 @@ impl FleetSimulator {
             strategy,
             config.slo_theta,
             trace.len(),
-            meterings,
+            vec![prefix],
             ctx.controller_label,
         )))
     }
@@ -1123,7 +1134,10 @@ impl FleetSimulator {
             )));
         }
         let schedule = SupplySchedule::generate(&config.market, &config.faults, horizon)?;
-        let mut plans = Vec::with_capacity(self.plans.len());
+        let mut best_costs = Vec::with_capacity(self.plans.len());
+        let mut alts = Vec::new();
+        let mut alt_offsets = Vec::with_capacity(self.plans.len() + 1);
+        alt_offsets.push(0u32);
         let mut views = Vec::with_capacity(self.plans.len());
         let mut obs_offsets = Vec::with_capacity(self.plans.len() + 1);
         obs_offsets.push(0u32);
@@ -1131,7 +1145,6 @@ impl FleetSimulator {
             let best = plan.table.lookup(&plan.best_config).ok_or_else(|| {
                 FreedomError::InsufficientData("best config missing in table".into())
             })?;
-            let mut alternates = Vec::new();
             let mut alt_encodings = Vec::new();
             let mut alt_inflations = Vec::new();
             if strategy == PlacementStrategy::IdleAware {
@@ -1147,7 +1160,7 @@ impl FleetSimulator {
                         ))
                     })?;
                     let inflation = point.exec_time_secs / best.exec_time_secs;
-                    alternates.push(ResolvedAlternate {
+                    alts.push(ResolvedAlternate {
                         family,
                         milli_vcpus: (cfg.cpu_share() * 1000.0).round() as u32,
                         memory_mib: cfg.memory_mib(),
@@ -1161,12 +1174,11 @@ impl FleetSimulator {
             }
             // One observation slot per accepted alternate plus the
             // trailing on-demand slot.
-            let next = obs_offsets.last().expect("non-empty") + alternates.len() as u32 + 1;
+            let n_alts = alts.len() as u32 - alt_offsets.last().expect("non-empty");
+            alt_offsets.push(alts.len() as u32);
+            let next = obs_offsets.last().expect("non-empty") + n_alts + 1;
             obs_offsets.push(next);
-            plans.push(ResolvedPlan {
-                best_cost_usd: best.exec_cost_usd,
-                alternates,
-            });
+            best_costs.push(best.exec_cost_usd);
             views.push(FunctionView {
                 best_encoding: SearchSpace::encode(&plan.best_config),
                 alt_encodings,
@@ -1175,7 +1187,9 @@ impl FleetSimulator {
         }
         let controller = config.control.controller.build();
         Ok(ReplayCtx {
-            plans,
+            best_costs,
+            alts,
+            alt_offsets,
             views,
             schedule,
             market: config.market,
@@ -1219,6 +1233,15 @@ struct WindowSim<'a> {
     /// Index of the next controller tick to fire (tick `k` fires at
     /// `k · cadence`, `k ≥ 1`, capped at the trace horizon).
     next_tick: u64,
+    /// Instant of the next structural break — the earliest pending
+    /// supply step, preemption notice, or controller tick (`u64::MAX`
+    /// when all three are exhausted). At fleet scale the event loop is
+    /// dominated by arrivals that advance time *between* breaks;
+    /// caching the minimum lets [`WindowSim::advance`] drain due
+    /// completions on a three-instruction guard instead of re-deriving
+    /// all three cursors per arrival. Every break-firing path
+    /// recomputes it.
+    next_break: u64,
     control: ControlState,
     accum: ObsAccum,
     scratch: ControlScratch,
@@ -1244,7 +1267,27 @@ impl WindowSim<'_> {
     /// Ghost completions — entries whose slot was withdrawn since
     /// placement — pop silently: their fate (migrated or demoted) was
     /// already decided and metered at the withdrawal step.
+    #[inline]
     fn advance(&mut self, to_nanos: u64) {
+        if to_nanos < self.next_break {
+            // Fast path: no supply step, notice, or tick falls in
+            // `(now, to_nanos]`, so the only work is draining due
+            // completions — and the completion-scan cap at the next
+            // step is vacuous because `to_nanos` is already below it.
+            while self.queue.next_due(to_nanos).is_some() {
+                let e = self.queue.pop_due();
+                self.complete(e);
+            }
+            return;
+        }
+        self.advance_through_breaks(to_nanos);
+    }
+
+    /// The general advance: interleaves completions with the structural
+    /// breaks due at or before `to_nanos`, re-deriving the break
+    /// cursors each iteration (firing a break can move them).
+    #[cold]
+    fn advance_through_breaks(&mut self, to_nanos: u64) {
         loop {
             let step_at = self
                 .ctx
@@ -1274,14 +1317,7 @@ impl WindowSim<'_> {
             };
             if completion == Some(now) {
                 let e = self.queue.pop_due();
-                if self.ledger.is_live(&e) {
-                    if self.ledger.is_notified(e.slot) {
-                        // Completed under notice: the drain window
-                        // saved it from the announced withdrawal.
-                        self.m.adjustments.push((e.idx, CLASS_DRAINED, 0.0));
-                    }
-                    self.ledger.release(&e);
-                }
+                self.complete(e);
             } else if step == Some(now) {
                 self.supply_step();
             } else if notice == Some(now) {
@@ -1289,6 +1325,43 @@ impl WindowSim<'_> {
             } else {
                 self.fire_tick(now);
             }
+        }
+        self.next_break = self.compute_next_break();
+    }
+
+    /// Recomputes the cached next-break instant from the three break
+    /// cursors.
+    fn compute_next_break(&self) -> u64 {
+        let step = self
+            .ctx
+            .schedule
+            .steps
+            .get(self.supply_cursor)
+            .map_or(u64::MAX, |s| s.at_nanos);
+        let notice = self
+            .ctx
+            .schedule
+            .notices
+            .get(self.notice_cursor)
+            .map_or(u64::MAX, |n| n.at_nanos);
+        step.min(notice)
+            .min(self.next_tick_at().unwrap_or(u64::MAX))
+    }
+
+    /// Retires one popped completion: live entries release their market
+    /// slot (noting a drain-window save when the slot was under
+    /// notice); ghost entries — their slot withdrawn since placement —
+    /// pop silently, their fate already decided and metered at the
+    /// withdrawal step.
+    #[inline]
+    fn complete(&mut self, e: InFlight) {
+        if self.ledger.is_live(&e) {
+            if self.ledger.is_notified(e.slot) {
+                // Completed under notice: the drain window saved it
+                // from the announced withdrawal.
+                self.m.adjustments.push((e.idx, CLASS_DRAINED, 0.0));
+            }
+            self.ledger.release(&e);
         }
     }
 
@@ -1378,9 +1451,12 @@ impl WindowSim<'_> {
     /// when one exists, the planner's order otherwise.
     fn arrival(&mut self, function: usize, idx: u32, at: u64) {
         self.accum.arrivals += 1;
-        let plan = &self.ctx.plans[function];
+        let a0 = self.ctx.alt_offsets[function] as usize;
+        let a1 = self.ctx.alt_offsets[function + 1] as usize;
+        let alternates = &self.ctx.alts[a0..a1];
+        let best_cost_usd = self.ctx.best_costs[function];
         let off = self.ctx.obs_offsets[function] as usize;
-        let n_alts = plan.alternates.len();
+        let n_alts = alternates.len();
         let order = self.control.order_for(function);
         // A revised-empty order means the controller retired every
         // alternate: the function runs on-demand, like a plan that never
@@ -1388,18 +1464,18 @@ impl WindowSim<'_> {
         let no_candidates = n_alts == 0 || order.is_some_and(|o| o.is_empty());
         let (class, cost, inflation) = if no_candidates {
             self.accum.per_function[off + n_alts] += 1;
-            (CLASS_ON_DEMAND, plan.best_cost_usd, 1.0)
+            (CLASS_ON_DEMAND, best_cost_usd, 1.0)
         } else {
             let utilization = self.ledger.utilization();
             if !self.control.admission.admits(utilization) {
                 self.accum.policy_rejected += 1;
                 self.accum.per_function[off + n_alts] += 1;
-                (CLASS_POLICY_REJECT, plan.best_cost_usd, 1.0)
+                (CLASS_POLICY_REJECT, best_cost_usd, 1.0)
             } else {
                 // Try the active alternates in order, best-fit within
                 // each family's available slots.
                 let fit = |ai: usize| {
-                    let alt = &plan.alternates[ai];
+                    let alt = &alternates[ai];
                     self.ledger
                         .best_fit(alt.family, alt.milli_vcpus, alt.memory_mib)
                         .map(|slot| (ai, slot))
@@ -1410,7 +1486,7 @@ impl WindowSim<'_> {
                 };
                 match placed {
                     Some((ai, slot)) => {
-                        let alt = &plan.alternates[ai];
+                        let alt = &alternates[ai];
                         let entry = InFlight {
                             completion_nanos: at + alt.duration_nanos,
                             slot,
@@ -1431,7 +1507,7 @@ impl WindowSim<'_> {
                     None => {
                         self.accum.capacity_missed += 1;
                         self.accum.per_function[off + n_alts] += 1;
-                        (CLASS_CAPACITY_MISS, plan.best_cost_usd, 1.0)
+                        (CLASS_CAPACITY_MISS, best_cost_usd, 1.0)
                     }
                 }
             }
@@ -1498,10 +1574,10 @@ fn replay_fingerprint(
     for b in format!("{strategy:?}|{config:?}").bytes() {
         h.write(u64::from(b));
     }
-    h.write(ctx.plans.len() as u64);
-    for p in &ctx.plans {
-        h.write(p.best_cost_usd.to_bits());
-        h.write(p.alternates.len() as u64);
+    h.write(ctx.best_costs.len() as u64);
+    for (f, cost) in ctx.best_costs.iter().enumerate() {
+        h.write(cost.to_bits());
+        h.write(u64::from(ctx.alt_offsets[f + 1] - ctx.alt_offsets[f]));
     }
     h.write(trace_len as u64);
     h.write(ctx.horizon_nanos);
@@ -1653,6 +1729,17 @@ where
     (meterings, telemetry)
 }
 
+thread_local! {
+    /// Per-thread window-close drain buffer. Every window drains its
+    /// completion queue once at close; the buffer keeps its high-water
+    /// capacity across windows (like the wheel pool in
+    /// [`crate::wheel`]), so a steady-state window close is
+    /// allocation-free apart from the owned carry vector
+    /// (`tests/alloc_steady_state.rs` pins this).
+    static DRAIN_POOL: std::cell::RefCell<Vec<InFlight>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Simulates one time window `[start_nanos, end_nanos)` of the merged
 /// event stream against the shared market, starting from the carried
 /// state (in-flight ledger, controller, partial epoch). Events arrive
@@ -1701,6 +1788,7 @@ fn simulate_window(
         // predecessor; a tick exactly at the start belongs to this
         // window (its predecessor only advanced to `start − 1`).
         next_tick: start_nanos.div_ceil(ctx.cadence_nanos).max(1),
+        next_break: 0,
         control: carry_in.control.clone(),
         accum: carry_in.accum.clone(),
         scratch: ControlScratch::default(),
@@ -1713,6 +1801,7 @@ fn simulate_window(
             notified: 0,
         },
     };
+    sim.next_break = sim.compute_next_break();
 
     for (i, event) in events.enumerate() {
         let at = event_nanos(event.at_secs);
@@ -1731,16 +1820,25 @@ fn simulate_window(
     // Drain: live entries become the canonical carry-over (ascending
     // key order — identical for both queue kinds). Ghost entries —
     // their slot withdrawn since placement — drop silently: their fate
-    // was resolved and metered at the withdrawal step.
-    let remaining = std::mem::take(&mut sim.queue).into_sorted();
-    let mut inflight = Vec::with_capacity(remaining.len());
-    for e in remaining {
-        if sim.ledger.is_live(&e) {
-            let mut carried = e;
-            carried.epoch = 0;
-            inflight.push(carried);
+    // was resolved and metered at the withdrawal step. The drain lands
+    // in a thread-pooled buffer that keeps its capacity across windows
+    // (the carry vector itself must be owned — it travels in the
+    // outcome — but the typically much larger ghost-laden drain does
+    // not).
+    let inflight = DRAIN_POOL.with(|pool| {
+        let mut remaining = pool.borrow_mut();
+        remaining.clear();
+        std::mem::take(&mut sim.queue).drain_into(&mut remaining);
+        let mut inflight = Vec::with_capacity(remaining.len());
+        for &e in remaining.iter() {
+            if sim.ledger.is_live(&e) {
+                let mut carried = e;
+                carried.epoch = 0;
+                inflight.push(carried);
+            }
         }
-    }
+        inflight
+    });
     WindowOutcome {
         metering: sim.m,
         carry_out: Carry {
@@ -1765,56 +1863,88 @@ fn reduce(
     meterings: Vec<WindowMetering>,
     controller: &'static str,
 ) -> FleetReport {
-    let mut costs = Vec::with_capacity(invocations);
-    let mut inflations = Vec::with_capacity(invocations);
-    let mut classes = Vec::with_capacity(invocations);
-    let mut control = Vec::new();
-    let mut notified = 0usize;
-    for m in &meterings {
-        costs.extend_from_slice(&m.costs);
-        inflations.extend_from_slice(&m.inflations);
-        classes.extend_from_slice(&m.classes);
-        // Samples concatenate in window order = tick (time) order.
-        control.extend_from_slice(&m.samples);
-        notified += m.notified as usize;
-    }
+    // A single metering (the whole-trace replay, or a resumable run's
+    // absorbed prefix) hands its arrays over wholesale: at week scale
+    // they hold tens of millions of records, and copying them would
+    // dominate the reduction.
+    let mut meterings = meterings;
+    let adjustments: Vec<(u32, u8, f64)>;
+    let (mut costs, mut inflations, mut classes, control, notified) = if meterings.len() == 1 {
+        let m = meterings.pop().expect("one metering");
+        adjustments = m.adjustments;
+        (
+            m.costs,
+            m.inflations,
+            m.classes,
+            m.samples,
+            m.notified as usize,
+        )
+    } else {
+        let mut costs = Vec::with_capacity(invocations);
+        let mut inflations = Vec::with_capacity(invocations);
+        let mut classes = Vec::with_capacity(invocations);
+        let mut control = Vec::new();
+        let mut adj = Vec::new();
+        let mut notified = 0usize;
+        for m in &meterings {
+            costs.extend_from_slice(&m.costs);
+            inflations.extend_from_slice(&m.inflations);
+            classes.extend_from_slice(&m.classes);
+            // Samples concatenate in window order = tick (time) order.
+            control.extend_from_slice(&m.samples);
+            adj.extend_from_slice(&m.adjustments);
+            notified += m.notified as usize;
+        }
+        adjustments = adj;
+        (costs, inflations, classes, control, notified)
+    };
     debug_assert_eq!(costs.len(), invocations);
-    for m in &meterings {
-        for &(idx, class, cost) in &m.adjustments {
-            if class == CLASS_DRAINED {
-                // A drain annotates an undisturbed admission; a
-                // migrated placement that later drains keeps its
-                // migration record and bill.
-                if classes[idx as usize] == CLASS_ADMITTED {
-                    classes[idx as usize] = CLASS_DRAINED;
-                }
-            } else {
-                costs[idx as usize] = cost;
-                classes[idx as usize] = class;
+    for &(idx, class, cost) in &adjustments {
+        if class == CLASS_DRAINED {
+            // A drain annotates an undisturbed admission; a
+            // migrated placement that later drains keeps its
+            // migration record and bill.
+            if classes[idx as usize] == CLASS_ADMITTED {
+                classes[idx as usize] = CLASS_DRAINED;
             }
+        } else {
+            costs[idx as usize] = cost;
+            classes[idx as usize] = class;
         }
     }
     let mut total_cost = 0.0;
     for &c in &costs {
         total_cost += c;
     }
-    let count = |class: u8| classes.iter().filter(|&&c| c == class).count();
+    // One pass over the class array instead of one filter pass per
+    // outcome class.
+    let mut by_class = [0usize; 256];
+    for &c in &classes {
+        by_class[c as usize] += 1;
+    }
     let threshold = 1.0 + slo_theta;
+    let slo_violations = inflations.iter().filter(|&&x| x > threshold).count();
+    let mean_latency_inflation = stats::mean(&inflations).unwrap_or(1.0);
+    // Selection, not a sort: `inflations`' order is disposable here, and
+    // the full sort is the week-scale replay's single largest cost.
+    let p95_latency_inflation = stats::quantile_in_place(&mut inflations, 0.95).unwrap_or(1.0);
     FleetReport {
         strategy,
         invocations,
         total_cost_usd: total_cost,
-        mean_latency_inflation: stats::mean(&inflations).unwrap_or(1.0),
-        p95_latency_inflation: stats::quantile(&inflations, 0.95).unwrap_or(1.0),
-        spot_admitted: count(CLASS_ADMITTED),
-        drained: count(CLASS_DRAINED),
-        migrated: count(CLASS_MIGRATED),
-        spot_demoted: count(CLASS_DEMOTED),
+        mean_latency_inflation,
+        p95_latency_inflation,
+        spot_admitted: by_class[CLASS_ADMITTED as usize],
+        drained: by_class[CLASS_DRAINED as usize],
+        migrated: by_class[CLASS_MIGRATED as usize],
+        spot_demoted: by_class[CLASS_DEMOTED as usize],
         notified,
-        rejected: count(CLASS_ON_DEMAND) + count(CLASS_CAPACITY_MISS) + count(CLASS_POLICY_REJECT),
-        policy_rejections: count(CLASS_POLICY_REJECT),
-        capacity_misses: count(CLASS_CAPACITY_MISS),
-        slo_violations: inflations.iter().filter(|&&x| x > threshold).count(),
+        rejected: by_class[CLASS_ON_DEMAND as usize]
+            + by_class[CLASS_CAPACITY_MISS as usize]
+            + by_class[CLASS_POLICY_REJECT as usize],
+        policy_rejections: by_class[CLASS_POLICY_REJECT as usize],
+        capacity_misses: by_class[CLASS_CAPACITY_MISS as usize],
+        slo_violations,
         controller,
         control,
     }

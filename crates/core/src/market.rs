@@ -722,8 +722,26 @@ impl SpotLedger {
         let slot = &mut self.slots[entry.slot as usize];
         slot.free_milli -= entry.milli;
         slot.free_mib -= entry.mib;
-        self.residents[entry.slot as usize].push(*entry);
+        Self::insert_resident(&mut self.residents[entry.slot as usize], entry);
         self.occupied_milli += entry.milli as u64;
+    }
+
+    /// Keeps a slot's residents sorted by placement index so
+    /// [`SpotLedger::release`] can binary-search instead of scanning.
+    /// New placements carry the highest index yet issued, so the common
+    /// case degenerates to a push; only migrations (which re-place an
+    /// old index) pay for a mid-vector insert. Resident order is not
+    /// observable otherwise: withdrawals hand displaced entries to the
+    /// engine canonically re-sorted, and notices only count them.
+    #[inline]
+    fn insert_resident(residents: &mut Vec<InFlight>, entry: &InFlight) {
+        match residents.last() {
+            Some(last) if last.idx > entry.idx => {
+                let pos = residents.partition_point(|p| p.idx < entry.idx);
+                residents.insert(pos, *entry);
+            }
+            _ => residents.push(*entry),
+        }
     }
 
     /// Market vCPU utilization in `[0, 1]`; a zero-capacity market reads
@@ -838,6 +856,11 @@ impl SpotLedger {
                     && slot.free_mib >= mib
                     && best.is_none_or(|(free, _)| slot.free_milli < free)
                 {
+                    if slot.free_milli == milli {
+                        // A perfect CPU fit cannot be beaten, and ties keep
+                        // the first slot in flat order — exactly this one.
+                        return Some(flat);
+                    }
                     best = Some((slot.free_milli, flat));
                 }
             }
@@ -882,7 +905,7 @@ impl SpotLedger {
         let slot = &mut self.slots[entry.slot as usize];
         slot.free_milli -= entry.milli;
         slot.free_mib -= entry.mib;
-        self.residents[entry.slot as usize].push(*entry);
+        Self::insert_resident(&mut self.residents[entry.slot as usize], entry);
         self.occupied_milli += entry.milli as u64;
     }
 
@@ -893,10 +916,9 @@ impl SpotLedger {
         slot.free_mib += entry.mib;
         let residents = &mut self.residents[entry.slot as usize];
         let pos = residents
-            .iter()
-            .position(|p| p.idx == entry.idx)
+            .binary_search_by(|p| p.idx.cmp(&entry.idx))
             .expect("released entry must be resident on its slot");
-        residents.swap_remove(pos);
+        residents.remove(pos);
         self.occupied_milli -= entry.milli as u64;
     }
 }

@@ -30,8 +30,9 @@ use crate::stream::StreamCheckpoint;
 use crate::{FreedomError, Result};
 
 /// Current snapshot wire-format version. Bumped on any layout change;
-/// decoders reject other versions rather than guessing.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// decoders reject other versions rather than guessing. Version 2 added
+/// the file index to CSV stream checkpoints (multi-file traces).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// File magic: "FDSN" little-endian.
 const MAGIC: u32 = u32::from_le_bytes(*b"FDSN");

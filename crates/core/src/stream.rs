@@ -4,11 +4,12 @@
 //! plus a merged event view — which caps replay horizons at what fits in
 //! memory. This module produces the same events *lazily*: a
 //! [`StreamTrace`] holds only the trace's **specification** (generator
-//! parameters, or a CSV key map) plus O(functions) scan metadata, and an
-//! [`EventStream`] pulls arrivals one at a time through the same k-way
-//! merge and tie-break contract (time, then function index) as the
-//! materialized view. Peak resident state is `O(functions)` cursors —
-//! one pending event each — instead of `O(total events)`.
+//! parameters, or a CSV key map plus the file list) plus O(functions)
+//! scan metadata, and an [`EventStream`] pulls arrivals one at a time
+//! through the same k-way merge and tie-break contract (time, then
+//! function index) as the materialized view. Peak resident state is
+//! `O(functions)` cursors — one pending event each — instead of
+//! `O(total events)`.
 //!
 //! # The streaming cursor contract
 //!
@@ -20,17 +21,31 @@
 //!   bounded-lookahead merge is exact for every file it accepts.
 //! - **Checkpoint / rewind.** [`EventStream::checkpoint`] captures the
 //!   stream's position (per-function generator states and pending
-//!   events; for CSV, the byte offset plus open rows);
-//!   [`StreamTrace::open_at`] reopens the stream there, replaying the
-//!   identical suffix. This is how the windowed fleet replay re-seeks a
-//!   window by epoch — and re-runs it during reconciliation by rewinding
-//!   to the same checkpoint — without ever holding the merged view.
+//!   events; for CSV, the file index and decompressed byte offset plus
+//!   open rows); [`StreamTrace::open_at`] reopens the stream there,
+//!   replaying the identical suffix. This is how the windowed fleet
+//!   replay re-seeks a window by epoch — and re-runs it during
+//!   reconciliation by rewinding to the same checkpoint — without ever
+//!   holding the merged view.
 //! - **CSV lookahead.** Rows may arrive out of minute order by at most
 //!   [`CSV_LOOKAHEAD_MINUTES`]; the reader buffers the open rows of that
 //!   sliding window (its only super-constant state) and rejects files
-//!   that exceed the bound with a line-numbered error at scan time. The
-//!   materialized [`TraceSource::from_csv`] accepts arbitrary disorder —
-//!   it is the escape hatch for pathological files.
+//!   that exceed the bound with a file- and line-qualified error at scan
+//!   time. The bound is **global across file seams**: the first row of
+//!   file *k+1* may trail the highest minute of files *1..k* by at most
+//!   the same lookahead. The materialized [`TraceSource::from_csv`]
+//!   accepts arbitrary disorder — it is the escape hatch for
+//!   pathological files.
+//! - **Multi-file and gzip inputs.** [`StreamTrace::from_csv_files`]
+//!   replays N per-day files as one logical trace: files are scanned in
+//!   parallel, per-file key lists merge in file order (bit-identical to
+//!   scanning the concatenation), and each file may carry its own header
+//!   row. Files whose first bytes are the gzip magic are decompressed on
+//!   the fly through the vendored [`flate`] inflater; during replay,
+//!   file-backed gzip inputs decompress on a reader thread ahead of the
+//!   parser, bounded to [`READAHEAD_DEPTH`] chunks of
+//!   [`READAHEAD_CHUNK`] bytes. Identical bytes flow either way, so
+//!   gz ≡ plain ≡ materialized, bit for bit.
 //!
 //! Construction performs one **scan pass** (cheap: generation only, no
 //! simulation) recording the event count and horizon per function —
@@ -40,7 +55,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Seek, SeekFrom};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::trace::{
@@ -52,12 +67,20 @@ use crate::{FreedomError, Result};
 /// How far out of minute order CSV rows may arrive before the streaming
 /// reader rejects the file: a row with `minute < max_seen − LOOKAHEAD`
 /// is an error. Bounds the reader's buffered state to the open rows of
-/// a sliding `LOOKAHEAD + 1`-minute window.
+/// a sliding `LOOKAHEAD + 1`-minute window. The bound carries across
+/// file seams: `max_seen` includes every earlier file of the trace.
 pub const CSV_LOOKAHEAD_MINUTES: u64 = 8;
 
 /// Default chunk size of the CSV byte reader. Tests shrink it to force
 /// records across chunk boundaries.
 const CSV_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Decompressed bytes per read-ahead chunk for file-backed gzip inputs.
+pub const READAHEAD_CHUNK: usize = 256 * 1024;
+
+/// Maximum in-flight read-ahead chunks: the decompressor runs at most
+/// `READAHEAD_DEPTH × READAHEAD_CHUNK` bytes ahead of the parser.
+pub const READAHEAD_DEPTH: usize = 4;
 
 /// Where the CSV bytes live. `Mem` shares the buffer across reopened
 /// streams; `File` reopens and seeks, so parallel windows each hold one
@@ -66,6 +89,17 @@ const CSV_CHUNK_BYTES: usize = 64 * 1024;
 enum CsvBytes {
     Mem(Arc<[u8]>),
     File(PathBuf),
+}
+
+/// One input file of a (possibly multi-file) CSV trace.
+#[derive(Debug, Clone)]
+struct CsvFile {
+    bytes: CsvBytes,
+    /// Decompress through the vendored inflater before line splitting.
+    gz: bool,
+    /// Human-readable name used in error attribution ("" for a single
+    /// in-memory input, preserving the historical message format).
+    label: String,
 }
 
 /// A lazily-evaluated arrival trace: the specification plus O(functions)
@@ -86,12 +120,204 @@ enum StreamSpec {
         seed: u64,
     },
     Csv {
-        bytes: CsvBytes,
-        /// `(app, func)` → fleet index, in order of first appearance —
-        /// the same assignment the materialized reader makes.
-        keys: HashMap<(String, String), u32>,
+        files: Vec<CsvFile>,
+        /// Dense per-file row → function-index tables, indexed by
+        /// 0-based line number (`u32::MAX` for non-data lines: blanks
+        /// and headers). Indices are assigned in order of first
+        /// appearance across the file sequence — the same assignment
+        /// the materialized reader makes over the concatenated text.
+        /// Built once at scan time so the replay hot loop does an array
+        /// load per row instead of re-building and hashing the
+        /// `(app, func)` composite key against a map.
+        row_fn: Arc<Vec<Vec<u32>>>,
         chunk: usize,
     },
+}
+
+/// Multiply-xor string hasher for the composite-key maps. The replay
+/// loop probes the key map once per CSV row, and for such short keys
+/// SipHash's setup/finalization dominates the lookup. Not DoS-hardened,
+/// which is acceptable for trace-derived keys; nothing observable
+/// depends on hash order (the maps are probed, never iterated).
+#[derive(Clone, Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x517c_c1b7_2722_0a95;
+        let mut h = self.hash;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            h = (h.rotate_left(5) ^ word).wrapping_mul(SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder().iter().rev() {
+            tail = (tail << 8) | b as u64;
+        }
+        h = (h.rotate_left(5) ^ tail).wrapping_mul(SEED);
+        self.hash = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+type KeyMap = HashMap<String, u32, FxBuild>;
+
+/// Builds the unambiguous `(app, func)` composite key in `scratch`:
+/// the app length prefix makes `("ab","c")` distinct from `("a","bc")`
+/// without allocating per lookup. The length is formatted by hand —
+/// `write!` drags the whole `fmt` machinery into the per-row path.
+fn composite_key(scratch: &mut String, app: &str, func: &str) {
+    scratch.clear();
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut n = app.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    scratch.push_str(std::str::from_utf8(&digits[i..]).expect("ASCII digits"));
+    scratch.push(':');
+    scratch.push_str(app);
+    scratch.push_str(func);
+}
+
+/// Prefixes `trace CSV line N: ...` messages with the file label so
+/// multi-file errors attribute the exact file (`trace CSV day2.csv.gz
+/// line N: ...`).
+fn qualify_err(e: FreedomError, label: &str) -> FreedomError {
+    if label.is_empty() {
+        return e;
+    }
+    match e {
+        FreedomError::InvalidArgument(msg) => {
+            FreedomError::InvalidArgument(match msg.strip_prefix("trace CSV ") {
+                Some(rest) => format!("trace CSV {label} {rest}"),
+                None => format!("{label}: {msg}"),
+            })
+        }
+        other => other,
+    }
+}
+
+fn csv_line_prefix(label: &str, lineno: usize) -> String {
+    if label.is_empty() {
+        format!("trace CSV line {}", lineno + 1)
+    } else {
+        format!("trace CSV {label} line {}", lineno + 1)
+    }
+}
+
+/// Per-file scan result, merged in file order into the trace metadata.
+struct FileScan {
+    /// Composite keys in first-appearance order within this file.
+    keys: Vec<String>,
+    /// Line-number-indexed local key id per line (`u32::MAX` for
+    /// non-data lines); remapped to global indices at merge time.
+    row_fn: Vec<u32>,
+    len: usize,
+    last: f64,
+    /// Highest minute seen (meaningful only when `data_rows > 0`).
+    m_max: u64,
+    data_rows: usize,
+    /// Rows whose minute is strictly below every earlier minute of the
+    /// same file, in line order (minutes strictly decreasing). The first
+    /// cross-seam lookahead violation is always one of these, so the
+    /// merge pass attributes it exactly without a second scan.
+    prefix_mins: Vec<(usize, u64)>,
+}
+
+fn scan_file(file: &CsvFile, chunk: usize) -> Result<FileScan> {
+    let mut reader = ChunkedLines::open(file, 0, 0, chunk, false)?;
+    let mut local = KeyMap::default();
+    let mut keys = Vec::new();
+    let mut row_fn: Vec<u32> = Vec::new();
+    let mut scratch = String::new();
+    let mut len = 0usize;
+    let mut last = f64::NEG_INFINITY;
+    let mut m_max = 0u64;
+    let mut data_rows = 0usize;
+    let mut prefix_mins: Vec<(usize, u64)> = Vec::new();
+    while let Some((lineno, line)) = reader.next_line()? {
+        debug_assert_eq!(row_fn.len(), lineno, "one row_fn entry per line");
+        row_fn.push(u32::MAX);
+        let Some(row) = parse_csv_row(line, lineno).map_err(|e| qualify_err(e, &file.label))?
+        else {
+            continue;
+        };
+        if data_rows > 0 && row.minute.saturating_add(CSV_LOOKAHEAD_MINUTES) < m_max {
+            return Err(FreedomError::InvalidArgument(format!(
+                "{}: minute {} arrives more than {CSV_LOOKAHEAD_MINUTES} minutes behind \
+                 minute {m_max}; the streaming reader's lookahead cannot reorder it (use \
+                 TraceSource::from_csv for arbitrarily-disordered files)",
+                csv_line_prefix(&file.label, lineno),
+                row.minute,
+            )));
+        }
+        if data_rows == 0 || prefix_mins.last().is_some_and(|&(_, m)| row.minute < m) {
+            prefix_mins.push((lineno, row.minute));
+        }
+        m_max = m_max.max(row.minute);
+        data_rows += 1;
+        composite_key(&mut scratch, row.app, row.func);
+        let local_id = match local.get(scratch.as_str()) {
+            Some(&id) => id,
+            None => {
+                let id = keys.len() as u32;
+                local.insert(scratch.clone(), id);
+                keys.push(scratch.clone());
+                id
+            }
+        };
+        *row_fn.last_mut().expect("pushed above") = local_id;
+        if row.count > 0 {
+            len += row.count as usize;
+            last = last.max(minute_event(row.minute, row.count - 1, row.count));
+        }
+    }
+    Ok(FileScan {
+        keys,
+        row_fn,
+        len,
+        last,
+        m_max,
+        data_rows,
+        prefix_mins,
+    })
+}
+
+fn detect_gz(bytes: &CsvBytes) -> Result<bool> {
+    match bytes {
+        CsvBytes::Mem(data) => Ok(flate::is_gzip(data)),
+        CsvBytes::File(path) => {
+            let file = std::fs::File::open(path).map_err(|e| {
+                FreedomError::InvalidArgument(format!(
+                    "cannot read trace CSV {}: {e}",
+                    path.display()
+                ))
+            })?;
+            let mut magic = Vec::with_capacity(2);
+            file.take(2).read_to_end(&mut magic).map_err(|e| {
+                FreedomError::InvalidArgument(format!(
+                    "cannot read trace CSV {}: {e}",
+                    path.display()
+                ))
+            })?;
+            Ok(flate::is_gzip(&magic))
+        }
+    }
 }
 
 impl StreamTrace {
@@ -161,8 +387,86 @@ impl StreamTrace {
     /// Streaming counterpart of [`TraceSource::from_csv_path`]: the scan
     /// reads the file once in [`CSV_CHUNK_BYTES`] chunks; replays re-read
     /// it, so the file must not change while the trace is in use.
-    pub fn from_csv_path(path: impl AsRef<std::path::Path>) -> Result<Self> {
-        Self::from_csv_bytes(CsvBytes::File(path.as_ref().to_path_buf()), CSV_CHUNK_BYTES)
+    /// Gzip'd files (by magic bytes) are decompressed transparently.
+    pub fn from_csv_path(path: impl AsRef<Path>) -> Result<Self> {
+        Self::from_csv_files(&[path])
+    }
+
+    /// A multi-file trace: `paths` replay back to back as one logical
+    /// event stream, in the given order (for the Azure dataset, one file
+    /// per day). Each file is scanned in parallel, may carry its own
+    /// header row, and is gzip-decompressed when its first bytes are the
+    /// gzip magic. Minute order must hold **across** seams too: the
+    /// earliest rows of a file may trail the highest minute of earlier
+    /// files by at most [`CSV_LOOKAHEAD_MINUTES`]; violations name the
+    /// exact file and line.
+    pub fn from_csv_files<P: AsRef<Path>>(paths: &[P]) -> Result<Self> {
+        let mut files = Vec::with_capacity(paths.len());
+        for path in paths {
+            let bytes = CsvBytes::File(path.as_ref().to_path_buf());
+            let gz = detect_gz(&bytes)?;
+            files.push(CsvFile {
+                bytes,
+                gz,
+                label: path.as_ref().display().to_string(),
+            });
+        }
+        Self::from_parts(files, CSV_CHUNK_BYTES)
+    }
+
+    /// A single gzip'd trace file. Unlike the auto-detecting
+    /// constructors this *requires* a gzip member: a garbage header is
+    /// reported as a decode error, never silently parsed as plain CSV.
+    pub fn from_csv_gz(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        Self::from_parts(
+            vec![CsvFile {
+                bytes: CsvBytes::File(path.to_path_buf()),
+                gz: true,
+                label: path.display().to_string(),
+            }],
+            CSV_CHUNK_BYTES,
+        )
+    }
+
+    /// In-memory variant of [`StreamTrace::from_csv_gz`] (gzip required,
+    /// garbage headers are decode errors).
+    pub fn from_csv_gz_bytes(data: &[u8]) -> Result<Self> {
+        Self::from_parts(
+            vec![CsvFile {
+                bytes: CsvBytes::Mem(Arc::from(data)),
+                gz: true,
+                label: String::new(),
+            }],
+            CSV_CHUNK_BYTES,
+        )
+    }
+
+    /// In-memory multi-file trace: each part is one logical file
+    /// (gzip-detected independently, own header allowed), replayed back
+    /// to back. Errors attribute parts as `part 1`, `part 2`, … when
+    /// there is more than one.
+    pub fn from_csv_parts(parts: &[&[u8]]) -> Result<Self> {
+        Self::from_csv_parts_chunked(parts, CSV_CHUNK_BYTES)
+    }
+
+    /// [`StreamTrace::from_csv_parts`] with an explicit reader chunk
+    /// size, for tests that force records across chunk boundaries.
+    pub fn from_csv_parts_chunked(parts: &[&[u8]], chunk_bytes: usize) -> Result<Self> {
+        let files = parts
+            .iter()
+            .enumerate()
+            .map(|(i, part)| CsvFile {
+                bytes: CsvBytes::Mem(Arc::from(*part)),
+                gz: flate::is_gzip(part),
+                label: if parts.len() > 1 {
+                    format!("part {}", i + 1)
+                } else {
+                    String::new()
+                },
+            })
+            .collect();
+        Self::from_parts(files, chunk_bytes)
     }
 
     /// [`StreamTrace::from_csv`] with an explicit reader chunk size
@@ -171,38 +475,86 @@ impl StreamTrace {
     /// identically — which is exactly what tests pin down by shrinking
     /// the chunk to a few bytes.
     pub fn from_csv_chunked(csv: &str, chunk_bytes: usize) -> Result<Self> {
-        Self::from_csv_bytes(CsvBytes::Mem(Arc::from(csv.as_bytes())), chunk_bytes)
+        Self::from_parts(
+            vec![CsvFile {
+                bytes: CsvBytes::Mem(Arc::from(csv.as_bytes())),
+                gz: false,
+                label: String::new(),
+            }],
+            chunk_bytes,
+        )
     }
 
-    fn from_csv_bytes(bytes: CsvBytes, chunk: usize) -> Result<Self> {
-        let mut reader = ChunkedLines::open(&bytes, 0, 0, chunk)?;
-        let mut keys: HashMap<(String, String), u32> = HashMap::new();
+    fn from_parts(files: Vec<CsvFile>, chunk: usize) -> Result<Self> {
+        if files.is_empty() {
+            return Err(FreedomError::InvalidArgument(
+                "trace CSV file list is empty".into(),
+            ));
+        }
+        // Per-file scans are independent (grammar, in-file ordering,
+        // first-appearance key list, prefix-min ladder), so they fan out
+        // like the k-way cursor scan; the sequential merge below is
+        // O(files + functions).
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(files.len());
+        let scans =
+            freedom_parallel::par_run(files.len(), threads, |i| scan_file(&files[i], chunk));
+        let mut keys = KeyMap::default();
+        let mut row_fn: Vec<Vec<u32>> = Vec::with_capacity(files.len());
         let mut len = 0usize;
         let mut last = f64::NEG_INFINITY;
-        let mut m_max = 0u64;
         let mut data_rows = 0usize;
-        while let Some((lineno, line)) = reader.next_line()? {
-            let Some(row) = parse_csv_row(&line, lineno)? else {
-                continue;
-            };
-            if row.minute.saturating_add(CSV_LOOKAHEAD_MINUTES) < m_max {
-                return Err(FreedomError::InvalidArgument(format!(
-                    "trace CSV line {}: minute {} arrives more than {CSV_LOOKAHEAD_MINUTES} \
-                     minutes behind minute {m_max}; the streaming reader's lookahead cannot \
-                     reorder it (use TraceSource::from_csv for arbitrarily-disordered files)",
-                    lineno + 1,
-                    row.minute,
-                )));
+        let mut prior_max: Option<u64> = None;
+        for (file, scan) in files.iter().zip(scans) {
+            let scan = scan?;
+            // Cross-seam lookahead: every row of this file must stay
+            // within the lookahead of the highest minute carried in from
+            // earlier files. The first violating row is necessarily a
+            // prefix-min of its file (any earlier row with an equal or
+            // smaller minute would already violate), so the first
+            // violating prefix-min entry is exact file:line attribution.
+            if let Some(pm) = prior_max {
+                if let Some(&(lineno, minute)) = scan
+                    .prefix_mins
+                    .iter()
+                    .find(|&&(_, m)| m.saturating_add(CSV_LOOKAHEAD_MINUTES) < pm)
+                {
+                    return Err(FreedomError::InvalidArgument(format!(
+                        "{}: minute {minute} arrives more than {CSV_LOOKAHEAD_MINUTES} minutes \
+                         behind minute {pm} carried across the file seam; the streaming \
+                         reader's lookahead cannot reorder it (use TraceSource::from_csv for \
+                         arbitrarily-disordered files)",
+                        csv_line_prefix(&file.label, lineno),
+                    )));
+                }
             }
-            m_max = m_max.max(row.minute);
-            data_rows += 1;
-            let next_index = keys.len() as u32;
-            keys.entry((row.app.to_string(), row.func.to_string()))
-                .or_insert(next_index);
-            if row.count > 0 {
-                len += row.count as usize;
-                last = last.max(minute_event(row.minute, row.count - 1, row.count));
+            if scan.data_rows > 0 {
+                prior_max = Some(prior_max.map_or(scan.m_max, |p| p.max(scan.m_max)));
             }
+            // Folding per-file first-appearance lists in file order
+            // assigns exactly the indices a scan of the concatenation
+            // would: a key's first appearance overall is its first
+            // appearance in the first file that contains it. `remap`
+            // carries local → global ids into the file's dense table.
+            let mut remap = Vec::with_capacity(scan.keys.len());
+            for key in scan.keys {
+                let next_index = keys.len() as u32;
+                remap.push(*keys.entry(key).or_insert(next_index));
+            }
+            row_fn.push(
+                scan.row_fn
+                    .iter()
+                    .map(|&l| match l {
+                        u32::MAX => u32::MAX,
+                        l => remap[l as usize],
+                    })
+                    .collect(),
+            );
+            len += scan.len;
+            last = last.max(scan.last);
+            data_rows += scan.data_rows;
         }
         if data_rows == 0 {
             return Err(FreedomError::InvalidArgument(
@@ -214,7 +566,11 @@ impl StreamTrace {
             n_functions: keys.len(),
             len,
             horizon_nanos,
-            spec: StreamSpec::Csv { bytes, keys, chunk },
+            spec: StreamSpec::Csv {
+                files,
+                row_fn: Arc::new(row_fn),
+                chunk,
+            },
         })
     }
 
@@ -259,10 +615,14 @@ impl StreamTrace {
                     imp: StreamImp::Merge(MergeStream::new(cursors, pending)),
                 })
             }
-            StreamSpec::Csv { bytes, keys, chunk } => Ok(EventStream {
+            StreamSpec::Csv {
+                files,
+                row_fn,
+                chunk,
+            } => Ok(EventStream {
                 imp: StreamImp::Csv(CsvStream {
-                    reader: ChunkedLines::open(bytes, 0, 0, *chunk)?,
-                    keys,
+                    reader: MultiFileLines::open_at(files, 0, 0, 0, *chunk)?,
+                    row_fn,
                     heap: BinaryHeap::new(),
                     m_max: 0,
                     exhausted: false,
@@ -282,10 +642,23 @@ impl StreamTrace {
             (StreamSpec::Synthetic { .. }, CpImp::Merge { cursors, pending }) => Ok(EventStream {
                 imp: StreamImp::Merge(MergeStream::new(cursors.clone(), pending.clone())),
             }),
-            (StreamSpec::Csv { bytes, keys, chunk }, CpImp::Csv(state)) => Ok(EventStream {
+            (
+                StreamSpec::Csv {
+                    files,
+                    row_fn,
+                    chunk,
+                },
+                CpImp::Csv(state),
+            ) => Ok(EventStream {
                 imp: StreamImp::Csv(CsvStream {
-                    reader: ChunkedLines::open(bytes, state.offset, state.lineno, *chunk)?,
-                    keys,
+                    reader: MultiFileLines::open_at(
+                        files,
+                        state.file as usize,
+                        state.offset,
+                        state.lineno,
+                        *chunk,
+                    )?,
+                    row_fn,
                     heap: state.rows.iter().cloned().map(Reverse).collect(),
                     m_max: state.m_max,
                     exhausted: state.exhausted,
@@ -377,13 +750,54 @@ impl StreamTrace {
                 duration_secs,
                 seed,
             } => source.generate(self.n_functions, *duration_secs, *seed),
-            StreamSpec::Csv { bytes, .. } => match bytes {
-                CsvBytes::Mem(data) => TraceSource::from_csv(
-                    std::str::from_utf8(data)
-                        .map_err(|e| FreedomError::InvalidArgument(format!("trace CSV: {e}")))?,
-                ),
-                CsvBytes::File(path) => TraceSource::from_csv_path(path),
-            },
+            StreamSpec::Csv { files, .. } => {
+                let mut text = String::new();
+                for (i, file) in files.iter().enumerate() {
+                    let raw = match &file.bytes {
+                        CsvBytes::Mem(data) => data.to_vec(),
+                        CsvBytes::File(path) => std::fs::read(path).map_err(|e| {
+                            FreedomError::InvalidArgument(format!(
+                                "cannot read trace CSV {}: {e}",
+                                path.display()
+                            ))
+                        })?,
+                    };
+                    let raw = if file.gz {
+                        flate::gunzip(&raw).map_err(|e| {
+                            qualify_err(
+                                FreedomError::InvalidArgument(format!("trace CSV {e}")),
+                                &file.label,
+                            )
+                        })?
+                    } else {
+                        raw
+                    };
+                    let mut part = std::str::from_utf8(&raw).map_err(|e| {
+                        qualify_err(
+                            FreedomError::InvalidArgument(format!("trace CSV {e}")),
+                            &file.label,
+                        )
+                    })?;
+                    // Each file may carry its own header (line 0, per
+                    // the streaming grammar); the concatenation only
+                    // tolerates one at the top, so strip the others with
+                    // the exact same header-detection rule.
+                    if i > 0 {
+                        let first = part.lines().next().unwrap_or("");
+                        if !first.trim().is_empty() && matches!(parse_csv_row(first, 0), Ok(None)) {
+                            part = match part.split_once('\n') {
+                                Some((_, rest)) => rest,
+                                None => "",
+                            };
+                        }
+                    }
+                    if !text.is_empty() && !text.ends_with('\n') {
+                        text.push('\n');
+                    }
+                    text.push_str(part);
+                }
+                TraceSource::from_csv(&text)
+            }
         }
     }
 }
@@ -398,9 +812,10 @@ pub struct StreamCheckpoint {
 impl StreamCheckpoint {
     /// Serializes the checkpoint into a crash-resume snapshot
     /// ([`crate::snapshot`]): per-function generator states and pending
-    /// events for synthetic traces, the byte offset plus open rows for
-    /// CSV ones. [`StreamCheckpoint::load`] restores a checkpoint that
-    /// [`StreamTrace::open_at`] resumes to the identical suffix.
+    /// events for synthetic traces, the file index and decompressed
+    /// byte offset plus open rows for CSV ones. [`StreamCheckpoint::load`]
+    /// restores a checkpoint that [`StreamTrace::open_at`] resumes to
+    /// the identical suffix.
     pub(crate) fn save(&self, w: &mut crate::snapshot::Wire) {
         match &self.imp {
             CpImp::Merge { cursors, pending } => {
@@ -422,6 +837,7 @@ impl StreamCheckpoint {
             }
             CpImp::Csv(s) => {
                 w.u8(1);
+                w.u32(s.file);
                 w.u64(s.offset);
                 w.u64(s.lineno as u64);
                 w.u64(s.m_max);
@@ -462,6 +878,7 @@ impl StreamCheckpoint {
                 CpImp::Merge { cursors, pending }
             }
             1 => {
+                let file = r.u32()?;
                 let offset = r.u64()?;
                 let lineno = r.u64()? as usize;
                 let m_max = r.u64()?;
@@ -478,6 +895,7 @@ impl StreamCheckpoint {
                     });
                 }
                 CpImp::Csv(CsvState {
+                    file,
                     offset,
                     lineno,
                     m_max,
@@ -507,9 +925,11 @@ enum CpImp {
 /// The CSV reader's resumable state.
 #[derive(Debug, Clone)]
 struct CsvState {
-    /// Byte offset of the first unread line.
+    /// Index of the file holding the first unread line.
+    file: u32,
+    /// Decompressed byte offset of that line within its file.
     offset: u64,
-    /// 0-based index of that line.
+    /// 0-based index of that line within its file.
     lineno: usize,
     m_max: u64,
     rows: Vec<OpenRow>,
@@ -522,6 +942,10 @@ pub struct EventStream<'a> {
     imp: StreamImp<'a>,
 }
 
+// One `EventStream` lives per replay, so the size spread between the
+// generator merge and the CSV reader is irrelevant — boxing would only
+// add a pointer hop to the per-event dispatch.
+#[allow(clippy::large_enum_variant)]
 enum StreamImp<'a> {
     Merge(MergeStream),
     Csv(CsvStream<'a>),
@@ -557,10 +981,11 @@ impl<'a> EventStream<'a> {
             },
             StreamImp::Csv(c) => StreamCheckpoint {
                 imp: CpImp::Csv(CsvState {
+                    file: c.reader.file_idx() as u32,
                     offset: c.reader.offset(),
                     lineno: c.reader.lineno(),
                     m_max: c.m_max,
-                    rows: c.heap.iter().map(|Reverse(r)| r.clone()).collect(),
+                    rows: c.heap.iter().map(|Reverse(r)| *r).collect(),
                     exhausted: c.exhausted,
                 }),
             },
@@ -643,7 +1068,7 @@ impl MergeStream {
 /// progress)` — the first two fields reproduce the merge tie-break;
 /// the rest only make the order total (equal-keyed rows emit identical
 /// events, so their relative order is unobservable).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct OpenRow {
     next_bits: u64,
     function: u32,
@@ -652,12 +1077,69 @@ struct OpenRow {
     j: u32,
 }
 
+/// Parses the trailing `,minute,count` of a scan-validated data row
+/// without splitting, trimming, or revalidating the leading string
+/// columns. Returns `None` when either field is not a plain unsigned
+/// integer (header row, blank line) — the caller falls back to the
+/// shared validating parser for those.
+#[inline]
+fn fast_minute_count(bytes: &[u8]) -> Option<(u64, u64)> {
+    let mut last = None;
+    let mut second = None;
+    for i in (0..bytes.len()).rev() {
+        if bytes[i] == b',' {
+            match last {
+                None => last = Some(i),
+                Some(_) => {
+                    second = Some(i);
+                    break;
+                }
+            }
+        }
+    }
+    let (m_start, c_start) = (second?, last?);
+    let minute = parse_u64_trimmed(&bytes[m_start + 1..c_start])?;
+    let count = parse_u64_trimmed(&bytes[c_start + 1..])?;
+    if count > crate::trace::MAX_COUNT_PER_MINUTE {
+        // Scan-validated rows never exceed the cap; route changed bytes
+        // to the validating parser so they fail loudly.
+        return None;
+    }
+    Some((minute, count))
+}
+
+/// `u64` from ASCII digits with surrounding spaces/tabs/CR allowed,
+/// mirroring the `str::trim` + `parse` the validating parser applies
+/// per column; `None` on anything else (including overflow).
+#[inline]
+fn parse_u64_trimmed(mut s: &[u8]) -> Option<u64> {
+    while let [b' ' | b'\t' | b'\r', rest @ ..] = s {
+        s = rest;
+    }
+    while let [rest @ .., b' ' | b'\t' | b'\r'] = s {
+        s = rest;
+    }
+    if s.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &c in s {
+        if !c.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u64::from(c - b'0'))?;
+    }
+    Some(v)
+}
+
 /// Line-by-line CSV event source with bounded minute lookahead.
 struct CsvStream<'a> {
-    reader: ChunkedLines,
-    keys: &'a HashMap<(String, String), u32>,
+    reader: MultiFileLines<'a>,
+    /// Dense per-file line → function tables from the scan pass: the
+    /// replay resolves a row's function with one array load.
+    row_fn: &'a [Vec<u32>],
     heap: BinaryHeap<Reverse<OpenRow>>,
-    /// Highest minute seen so far; events before
+    /// Highest minute seen so far (across file seams); events before
     /// `60·(m_max − lookahead)` can no longer be preempted by unread
     /// rows and are safe to emit.
     m_max: u64,
@@ -691,11 +1173,18 @@ impl CsvStream<'_> {
 
     fn next(&mut self) -> Option<TraceEvent> {
         let event = self.ready()?;
-        let Reverse(mut row) = self.heap.pop().expect("ready implies a top");
+        let mut top = self.heap.peek_mut().expect("ready implies a top");
+        let row = &mut top.0;
         row.j += 1;
         if row.j < row.count {
+            // Re-key in place: dropping the guard sifts once, versus the
+            // two full heap walks of a pop + push. Emission order cannot
+            // change — the heap's order is total (ties only between
+            // entries that would emit identical events), so the minimum
+            // popped next is the same whichever way the tree rebalances.
             row.next_bits = minute_event(row.minute, row.j as u64, row.count as u64).to_bits();
-            self.heap.push(Reverse(row));
+        } else {
+            std::collections::binary_heap::PeekMut::pop(top);
         }
         Some(event)
     }
@@ -713,91 +1202,339 @@ impl CsvStream<'_> {
             self.exhausted = true;
             return;
         };
-        let Some(row) = parse_csv_row(&line, lineno).expect("trace CSV validated at scan time")
-        else {
-            return;
+        // The replay only needs the numeric columns — the function index
+        // comes from the scan's dense table — so parse `minute,count`
+        // straight off the last two comma-separated fields. Anything the
+        // fast path cannot read numerically (the header, blank lines)
+        // goes through the shared validating parser, which classifies it
+        // exactly as the scan pass did or panics on changed bytes.
+        let (minute, count) = match fast_minute_count(line.as_bytes()) {
+            Some(mc) => mc,
+            None => {
+                let Some(row) =
+                    parse_csv_row(line, lineno).expect("trace CSV validated at scan time")
+                else {
+                    return;
+                };
+                (row.minute, row.count)
+            }
         };
         assert!(
-            row.minute.saturating_add(CSV_LOOKAHEAD_MINUTES) >= self.m_max,
+            minute.saturating_add(CSV_LOOKAHEAD_MINUTES) >= self.m_max,
             "trace CSV changed between scan and replay: line {} breaks the lookahead bound",
             lineno + 1
         );
-        self.m_max = self.m_max.max(row.minute);
-        if row.count == 0 {
+        self.m_max = self.m_max.max(minute);
+        if count == 0 {
             return;
         }
-        let function = *self
-            .keys
-            .get(&(row.app.to_string(), row.func.to_string()))
-            .expect("trace CSV validated at scan time");
-        self.heap.push(Reverse(OpenRow {
-            next_bits: minute_event(row.minute, 0, row.count).to_bits(),
+        let function = self.row_fn[self.reader.file_idx()][lineno];
+        debug_assert_ne!(
             function,
-            minute: row.minute,
-            count: row.count as u32,
+            u32::MAX,
+            "trace CSV validated at scan time: line {} is a data row",
+            lineno + 1
+        );
+        self.heap.push(Reverse(OpenRow {
+            next_bits: minute_event(minute, 0, count).to_bits(),
+            function,
+            minute,
+            count: count as u32,
             j: 0,
         }));
         self.peak_open = self.peak_open.max(self.heap.len());
     }
 }
 
-/// Chunked line reader over in-memory or file-backed bytes: reads
-/// fixed-size chunks, assembles lines across chunk boundaries, and
-/// tracks the byte offset and 0-based line number of the next unread
-/// line so checkpoints can re-seek exactly.
+/// Sequential line reader over a file list: drains one [`ChunkedLines`]
+/// per file, advancing across seams transparently. Line numbers and
+/// byte offsets are per-file, so checkpoints record `(file, offset,
+/// lineno)` and errors attribute the exact file.
+struct MultiFileLines<'a> {
+    files: &'a [CsvFile],
+    chunk: usize,
+    file_idx: usize,
+    cur: ChunkedLines,
+}
+
+impl<'a> MultiFileLines<'a> {
+    fn open_at(
+        files: &'a [CsvFile],
+        file_idx: usize,
+        offset: u64,
+        lineno: usize,
+        chunk: usize,
+    ) -> Result<Self> {
+        let Some(file) = files.get(file_idx) else {
+            return Err(FreedomError::InvalidArgument(format!(
+                "stream checkpoint points at file {file_idx} of a {}-file trace",
+                files.len()
+            )));
+        };
+        Ok(Self {
+            files,
+            chunk,
+            file_idx,
+            cur: ChunkedLines::open(file, offset, lineno, chunk, true)?,
+        })
+    }
+
+    fn file_idx(&self) -> usize {
+        self.file_idx
+    }
+
+    /// Decompressed byte offset of the next unread line in its file.
+    fn offset(&self) -> u64 {
+        self.cur.offset()
+    }
+
+    /// 0-based line number of the next unread line in its file.
+    fn lineno(&self) -> usize {
+        self.cur.lineno()
+    }
+
+    /// The next `(per-file lineno, line)` across all files, or `None`
+    /// after the last line of the last file.
+    fn next_line(&mut self) -> Result<Option<(usize, &str)>> {
+        loop {
+            if self.cur.fill_line()? {
+                break;
+            }
+            if self.file_idx + 1 >= self.files.len() {
+                return Ok(None);
+            }
+            self.file_idx += 1;
+            self.cur = ChunkedLines::open(&self.files[self.file_idx], 0, 0, self.chunk, true)?;
+        }
+        self.cur.take_line().map(Some)
+    }
+}
+
+/// The decompressed-byte feed behind a [`ChunkedLines`].
+enum ChunkSrc {
+    Mem {
+        data: Arc<[u8]>,
+        read: usize,
+    },
+    File(std::fs::File),
+    /// Synchronous gzip decode (in-memory inputs and mid-file resumes).
+    /// Boxed: the inflater's window dwarfs the other variants, and the
+    /// feed is touched once per chunk, not per event.
+    Gz(Box<GzFeed>),
+    /// Gzip decode on a reader thread, bounded by the channel depth —
+    /// decompression overlaps parsing and replay.
+    GzAhead(ReadAhead),
+}
+
+/// Raw (compressed) byte source for the inflater.
+type ByteSrc = Box<dyn FnMut(&mut [u8]) -> std::result::Result<usize, String> + Send>;
+
+fn raw_src(bytes: &CsvBytes) -> Result<ByteSrc> {
+    match bytes {
+        CsvBytes::Mem(data) => {
+            let data = Arc::clone(data);
+            let mut read = 0usize;
+            Ok(Box::new(move |buf: &mut [u8]| {
+                let n = (data.len() - read).min(buf.len());
+                buf[..n].copy_from_slice(&data[read..read + n]);
+                read += n;
+                Ok(n)
+            }))
+        }
+        CsvBytes::File(path) => {
+            let mut file = std::fs::File::open(path).map_err(|e| {
+                FreedomError::InvalidArgument(format!(
+                    "cannot read trace CSV {}: {e}",
+                    path.display()
+                ))
+            })?;
+            Ok(Box::new(move |buf: &mut [u8]| {
+                file.read(buf).map_err(|e| e.to_string())
+            }))
+        }
+    }
+}
+
+struct GzFeed {
+    reader: flate::GzReader<ByteSrc>,
+    done: bool,
+}
+
+impl GzFeed {
+    fn new(bytes: &CsvBytes) -> Result<Self> {
+        Ok(Self {
+            reader: flate::GzReader::new(raw_src(bytes)?),
+            done: false,
+        })
+    }
+
+    /// Decompresses and discards `offset` bytes (a checkpoint re-seek
+    /// into the middle of a gzip member has to re-inflate its prefix);
+    /// returns any decompressed bytes read past the offset.
+    fn skip(&mut self, offset: u64, chunk: usize) -> std::result::Result<Vec<u8>, String> {
+        let mut consumed = 0u64;
+        let mut scratch = Vec::new();
+        while consumed < offset {
+            scratch.clear();
+            let more = self
+                .reader
+                .read_chunk(&mut scratch, chunk)
+                .map_err(|e| e.to_string())?;
+            let got = scratch.len() as u64;
+            if consumed + got > offset {
+                let keep = (consumed + got - offset) as usize;
+                return Ok(scratch.split_off(scratch.len() - keep));
+            }
+            consumed += got;
+            if !more {
+                self.done = true;
+                if consumed < offset {
+                    return Err(format!(
+                        "resume offset {offset} is beyond the decompressed stream \
+                         ({consumed} bytes)"
+                    ));
+                }
+            }
+        }
+        Ok(Vec::new())
+    }
+}
+
+/// Bounded read-ahead: a reader thread inflates the file into a
+/// [`READAHEAD_DEPTH`]-deep channel of decompressed chunks. Dropping
+/// the receiver unblocks and joins the thread.
+struct ReadAhead {
+    rx: Option<std::sync::mpsc::Receiver<std::result::Result<Vec<u8>, String>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReadAhead {
+    fn spawn(src: ByteSrc) -> Self {
+        let (tx, rx) = std::sync::mpsc::sync_channel(READAHEAD_DEPTH);
+        let handle = std::thread::spawn(move || {
+            let mut reader = flate::GzReader::new(src);
+            loop {
+                let mut out = Vec::with_capacity(READAHEAD_CHUNK + 512);
+                match reader.read_chunk(&mut out, READAHEAD_CHUNK) {
+                    Ok(more) => {
+                        if !out.is_empty() && tx.send(Ok(out)).is_err() {
+                            return;
+                        }
+                        if !more {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e.to_string()));
+                        return;
+                    }
+                }
+            }
+        });
+        Self {
+            rx: Some(rx),
+            handle: Some(handle),
+        }
+    }
+
+    fn recv(&mut self) -> Option<std::result::Result<Vec<u8>, String>> {
+        self.rx.as_ref().and_then(|rx| rx.recv().ok())
+    }
+}
+
+impl Drop for ReadAhead {
+    fn drop(&mut self) {
+        self.rx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Chunked line reader over in-memory, file-backed, or gzip'd bytes:
+/// reads fixed-size chunks, assembles lines across chunk boundaries,
+/// and tracks the (decompressed) byte offset and 0-based line number of
+/// the next unread line so checkpoints can re-seek exactly. Lines are
+/// borrowed from the internal buffer — the steady-state read path
+/// allocates nothing per line.
 struct ChunkedLines {
     src: ChunkSrc,
     /// Bytes read but not yet emitted as lines; `buf[..pos]` is
     /// consumed.
     buf: Vec<u8>,
     pos: usize,
-    /// Absolute offset of `buf[pos]`.
+    /// Absolute (decompressed) offset of `buf[pos]`.
     offset: u64,
     lineno: usize,
     chunk: usize,
     eof: bool,
-}
-
-enum ChunkSrc {
-    Mem { data: Arc<[u8]>, read: usize },
-    File(std::fs::File),
+    label: String,
+    /// Located but unconsumed line: `(end, newline bytes to skip)`.
+    ready: Option<(usize, usize)>,
 }
 
 impl ChunkedLines {
-    fn open(bytes: &CsvBytes, offset: u64, lineno: usize, chunk: usize) -> Result<Self> {
-        let src = match bytes {
-            CsvBytes::Mem(data) => ChunkSrc::Mem {
-                data: Arc::clone(data),
-                read: (offset as usize).min(data.len()),
-            },
-            CsvBytes::File(path) => {
-                let mut file = std::fs::File::open(path).map_err(|e| {
-                    FreedomError::InvalidArgument(format!(
-                        "cannot read trace CSV {}: {e}",
-                        path.display()
-                    ))
-                })?;
-                file.seek(SeekFrom::Start(offset)).map_err(|e| {
-                    FreedomError::InvalidArgument(format!(
-                        "cannot seek trace CSV {}: {e}",
-                        path.display()
-                    ))
-                })?;
-                ChunkSrc::File(file)
+    fn open(
+        file: &CsvFile,
+        offset: u64,
+        lineno: usize,
+        chunk: usize,
+        read_ahead: bool,
+    ) -> Result<Self> {
+        let mut buf = Vec::new();
+        let src = if file.gz {
+            let file_backed = matches!(file.bytes, CsvBytes::File(_));
+            if offset == 0 && read_ahead && file_backed {
+                ChunkSrc::GzAhead(ReadAhead::spawn(raw_src(&file.bytes)?))
+            } else {
+                let mut feed = GzFeed::new(&file.bytes)?;
+                if offset > 0 {
+                    buf = feed.skip(offset, chunk.max(1)).map_err(|msg| {
+                        FreedomError::InvalidArgument(format!(
+                            "{}: {msg}",
+                            csv_line_prefix(&file.label, lineno)
+                        ))
+                    })?;
+                }
+                ChunkSrc::Gz(Box::new(feed))
+            }
+        } else {
+            match &file.bytes {
+                CsvBytes::Mem(data) => ChunkSrc::Mem {
+                    data: Arc::clone(data),
+                    read: (offset as usize).min(data.len()),
+                },
+                CsvBytes::File(path) => {
+                    let mut f = std::fs::File::open(path).map_err(|e| {
+                        FreedomError::InvalidArgument(format!(
+                            "cannot read trace CSV {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                    f.seek(SeekFrom::Start(offset)).map_err(|e| {
+                        FreedomError::InvalidArgument(format!(
+                            "cannot seek trace CSV {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                    ChunkSrc::File(f)
+                }
             }
         };
         Ok(Self {
             src,
-            buf: Vec::new(),
+            buf,
             pos: 0,
             offset,
             lineno,
             chunk: chunk.max(1),
             eof: false,
+            label: file.label.clone(),
+            ready: None,
         })
     }
 
-    /// Byte offset of the next unread line.
+    /// (Decompressed) byte offset of the next unread line.
     fn offset(&self) -> u64 {
         self.offset
     }
@@ -807,45 +1544,70 @@ impl ChunkedLines {
         self.lineno
     }
 
-    /// The next `(lineno, line)`, or `None` at end of input. The final
-    /// line may lack a trailing newline, exactly like `str::lines`.
-    fn next_line(&mut self) -> Result<Option<(usize, String)>> {
+    /// Locates the next line without consuming it; `false` at end of
+    /// input. Idempotent until [`ChunkedLines::take_line`].
+    fn fill_line(&mut self) -> Result<bool> {
+        if self.ready.is_some() {
+            return Ok(true);
+        }
         loop {
             if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
-                let line = self.take_line(self.pos + nl, 1);
-                return Ok(Some(line?));
+                self.ready = Some((self.pos + nl, 1));
+                return Ok(true);
             }
             if self.eof {
                 if self.pos < self.buf.len() {
-                    let end = self.buf.len();
-                    return Ok(Some(self.take_line(end, 0)?));
+                    self.ready = Some((self.buf.len(), 0));
+                    return Ok(true);
                 }
-                return Ok(None);
+                return Ok(false);
             }
             self.refill()?;
         }
     }
 
-    /// Emits `buf[pos..end]` as a line, consuming `end + skip` bytes.
-    fn take_line(&mut self, end: usize, skip: usize) -> Result<(usize, String)> {
+    /// Consumes the line located by [`ChunkedLines::fill_line`],
+    /// borrowing it from the internal buffer (no per-line allocation).
+    /// The final line may lack a trailing newline, exactly like
+    /// `str::lines`; a `\r` before the newline is stripped.
+    fn take_line(&mut self) -> Result<(usize, &str)> {
+        let (end, skip) = self.ready.take().expect("fill_line located a line");
         let mut bytes = &self.buf[self.pos..end];
-        // `str::lines` strips a carriage return before the newline.
         if skip > 0 && bytes.last() == Some(&b'\r') {
             bytes = &bytes[..bytes.len() - 1];
         }
-        let line = std::str::from_utf8(bytes)
-            .map_err(|e| {
-                FreedomError::InvalidArgument(format!(
-                    "trace CSV line {}: invalid UTF-8: {e}",
-                    self.lineno + 1
-                ))
-            })?
-            .to_string();
         let lineno = self.lineno;
         self.offset += (end + skip - self.pos) as u64;
+        let start = self.pos;
         self.pos = end + skip;
         self.lineno += 1;
+        let line = std::str::from_utf8(&self.buf[start..start + bytes.len()]).map_err(|e| {
+            FreedomError::InvalidArgument(format!(
+                "{}: invalid UTF-8: {e}",
+                csv_line_prefix(&self.label, lineno)
+            ))
+        })?;
         Ok((lineno, line))
+    }
+
+    /// Convenience for scan loops: locate and consume in one call.
+    fn next_line(&mut self) -> Result<Option<(usize, &str)>> {
+        if !self.fill_line()? {
+            return Ok(None);
+        }
+        self.take_line().map(Some)
+    }
+
+    fn gz_err(&self, msg: &str) -> FreedomError {
+        FreedomError::InvalidArgument(format!(
+            "{} near line {}: {msg}",
+            if self.label.is_empty() {
+                "trace CSV".to_string()
+            } else {
+                format!("trace CSV {}", self.label)
+            },
+            self.lineno + 1
+        ))
     }
 
     fn refill(&mut self) -> Result<()> {
@@ -872,6 +1634,32 @@ impl ChunkedLines {
                     self.eof = true;
                 }
             }
+            ChunkSrc::Gz(feed) => {
+                if feed.done {
+                    self.eof = true;
+                } else {
+                    let before = self.buf.len();
+                    let chunk = self.chunk;
+                    let more = match feed.reader.read_chunk(&mut self.buf, chunk) {
+                        Ok(more) => more,
+                        Err(e) => {
+                            let msg = e.to_string();
+                            return Err(self.gz_err(&msg));
+                        }
+                    };
+                    if !more {
+                        feed.done = true;
+                        if self.buf.len() == before {
+                            self.eof = true;
+                        }
+                    }
+                }
+            }
+            ChunkSrc::GzAhead(ahead) => match ahead.recv() {
+                None => self.eof = true,
+                Some(Ok(bytes)) => self.buf.extend_from_slice(&bytes),
+                Some(Err(msg)) => return Err(self.gz_err(&msg)),
+            },
         }
         Ok(())
     }
@@ -880,6 +1668,7 @@ impl ChunkedLines {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flate::{gzip_compress, CompressMode};
 
     const SOURCES: [TraceSource; 4] = [
         TraceSource::Poisson {
@@ -903,6 +1692,10 @@ mod tests {
     ];
 
     const AZURE_FIXTURE: &str = include_str!("../testdata/azure_sample.csv");
+    /// Golden gzip fixture: `azure_sample.csv` compressed with a
+    /// reference implementation (dynamic-Huffman blocks) — known bytes
+    /// that must decode to known rows.
+    const AZURE_FIXTURE_GZ: &[u8] = include_bytes!("../testdata/azure_sample.csv.gz");
 
     fn drain(stream: &mut EventStream<'_>) -> Vec<TraceEvent> {
         stream.events().collect()
@@ -1105,5 +1898,261 @@ mod tests {
         assert!(csv.open_at(&cp).is_err());
         let cp = csv.open().unwrap().checkpoint();
         assert!(synthetic.open_at(&cp).is_err());
+    }
+
+    // ---- gzip and multi-file ingestion ------------------------------
+
+    #[test]
+    fn golden_gz_fixture_decodes_to_known_rows() {
+        // Known bytes → known rows: the checked-in gzip fixture must
+        // replay exactly like its plain-text source, through both the
+        // file-backed and in-memory paths.
+        let plain = StreamTrace::from_csv(AZURE_FIXTURE).unwrap();
+        let reference = drain(&mut plain.open().unwrap());
+        let gz = StreamTrace::from_csv_gz_bytes(AZURE_FIXTURE_GZ).unwrap();
+        assert_eq!(gz.n_functions(), plain.n_functions());
+        assert_eq!(gz.len(), plain.len());
+        assert_eq!(gz.horizon_nanos(), plain.horizon_nanos());
+        assert_eq!(drain(&mut gz.open().unwrap()), reference);
+        let dir = std::env::temp_dir().join(format!("freedom_gz_golden_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("azure.csv.gz");
+        std::fs::write(&path, AZURE_FIXTURE_GZ).unwrap();
+        let from_file = StreamTrace::from_csv_gz(&path).unwrap();
+        assert_eq!(drain(&mut from_file.open().unwrap()), reference);
+        // Auto-detection picks the gz path too.
+        let detected = StreamTrace::from_csv_path(&path).unwrap();
+        assert_eq!(drain(&mut detected.open().unwrap()), reference);
+        // And the materialized escape hatch agrees.
+        let full = from_file.materialize().unwrap();
+        assert_eq!(reference.as_slice(), full.events());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gz_streams_match_plain_for_both_compress_modes() {
+        for mode in [CompressMode::Stored, CompressMode::FixedHuffman] {
+            let gz_bytes = gzip_compress(AZURE_FIXTURE.as_bytes(), mode);
+            let gz = StreamTrace::from_csv_gz_bytes(&gz_bytes).unwrap();
+            let plain = StreamTrace::from_csv(AZURE_FIXTURE).unwrap();
+            let reference = drain(&mut plain.open().unwrap());
+            assert_eq!(drain(&mut gz.open().unwrap()), reference, "{mode:?}");
+            // Checkpoints into the middle of the gzip stream re-seek by
+            // re-inflating the prefix.
+            let mut stream = gz.open().unwrap();
+            for _ in 0..50 {
+                stream.next();
+            }
+            let cp = stream.checkpoint();
+            assert_eq!(
+                drain(&mut gz.open_at(&cp).unwrap()).as_slice(),
+                &reference[50..],
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gz_negative_paths_are_file_qualified_and_line_accurate() {
+        let gz = gzip_compress(AZURE_FIXTURE.as_bytes(), CompressMode::FixedHuffman);
+        let err = |bytes: &[u8]| match StreamTrace::from_csv_gz_bytes(bytes) {
+            Err(FreedomError::InvalidArgument(msg)) => msg,
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        };
+        // Garbage member header: from_csv_gz* requires a gzip member.
+        let msg = err(b"app,func,minute,count\na,f,0,1\n");
+        assert!(msg.contains("bad gzip member header"), "{msg}");
+        assert!(msg.contains("near line 1"), "{msg}");
+        // Truncated stream: decode dies mid-file with the line reached.
+        let msg = err(&gz[..gz.len() / 2]);
+        assert!(msg.contains("truncated gzip stream"), "{msg}");
+        assert!(msg.contains("near line"), "{msg}");
+        // Bad CRC: the trailer check fires after the last line.
+        let mut bad_crc = gz.clone();
+        let n = bad_crc.len();
+        bad_crc[n - 6] ^= 0xff;
+        let msg = err(&bad_crc);
+        assert!(msg.contains("CRC mismatch"), "{msg}");
+        // Corrupt block: an invalid symbol inside the deflate stream.
+        let mut corrupt = gz.clone();
+        for b in corrupt.iter_mut().skip(20).take(16) {
+            *b = 0xff;
+        }
+        let res = StreamTrace::from_csv_gz_bytes(&corrupt);
+        assert!(res.is_err(), "corrupted block must not scan cleanly");
+        // File-backed errors carry the path.
+        let dir = std::env::temp_dir().join(format!("freedom_gz_neg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.csv.gz");
+        std::fs::write(&path, &gz[..gz.len() - 3]).unwrap();
+        match StreamTrace::from_csv_gz(&path) {
+            Err(FreedomError::InvalidArgument(msg)) => {
+                assert!(msg.contains("broken.csv.gz"), "{msg}");
+                assert!(msg.contains("truncated gzip stream"), "{msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_file_parts_replay_like_the_concatenation() {
+        // Three "daily" files, the middle one gzip'd with its own
+        // header, split mid-minute — the logical trace is the row
+        // concatenation.
+        let part1 = "app,func,minute,count\na,f,0,3\nb,g,1,2\na,f,2,1\n";
+        let part2_plain = "app,func,minute,count\na,f,2,2\nc,h,3,4\n";
+        let part2 = gzip_compress(part2_plain.as_bytes(), CompressMode::FixedHuffman);
+        let part3 = "b,g,4,1\na,f,5,2\n";
+        let concat = "app,func,minute,count\na,f,0,3\nb,g,1,2\na,f,2,1\na,f,2,2\nc,h,3,4\n\
+                      b,g,4,1\na,f,5,2\n";
+        let reference_trace = StreamTrace::from_csv(concat).unwrap();
+        let reference = drain(&mut reference_trace.open().unwrap());
+        for chunk in [3usize, 64 * 1024] {
+            let multi = StreamTrace::from_csv_parts_chunked(
+                &[part1.as_bytes(), &part2, part3.as_bytes()],
+                chunk,
+            )
+            .unwrap();
+            assert_eq!(multi.n_functions(), reference_trace.n_functions());
+            assert_eq!(multi.len(), reference_trace.len());
+            assert_eq!(multi.horizon_nanos(), reference_trace.horizon_nanos());
+            assert_eq!(
+                drain(&mut multi.open().unwrap()),
+                reference,
+                "chunk {chunk}"
+            );
+            // The materialized escape hatch strips the per-file headers
+            // and agrees too.
+            assert_eq!(
+                drain(&mut multi.open().unwrap()).as_slice(),
+                multi.materialize().unwrap().events(),
+                "chunk {chunk}"
+            );
+            // Checkpoints landing inside any file re-seek exactly.
+            for split in [0usize, 2, 5, reference.len() - 1, reference.len()] {
+                let mut stream = multi.open().unwrap();
+                for _ in 0..split {
+                    stream.next();
+                }
+                let cp = stream.checkpoint();
+                assert_eq!(
+                    drain(&mut multi.open_at(&cp).unwrap()).as_slice(),
+                    &reference[split..],
+                    "chunk {chunk}, split {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn file_seam_disorder_is_bounded_and_attributed() {
+        // Within the lookahead bound, a later file may open behind the
+        // carried maximum...
+        let ok1 = "a,f,9,1\n";
+        let ok2 = "b,g,2,1\na,f,10,1\n";
+        let multi = StreamTrace::from_csv_parts(&[ok1.as_bytes(), ok2.as_bytes()]).unwrap();
+        let concat = StreamTrace::from_csv("a,f,9,1\nb,g,2,1\na,f,10,1\n").unwrap();
+        assert_eq!(
+            drain(&mut multi.open().unwrap()),
+            drain(&mut concat.open().unwrap())
+        );
+        // ...beyond it, the scan rejects with exact file:line
+        // attribution, even when the violating row is not the file's
+        // first (it is a prefix-min within its file).
+        let bad1 = "a,f,30,1\n";
+        let bad2 = "x,y,29,1\nb,g,21,1\n";
+        match StreamTrace::from_csv_parts(&[bad1.as_bytes(), bad2.as_bytes()]) {
+            Err(FreedomError::InvalidArgument(msg)) => {
+                assert!(msg.contains("part 2"), "{msg}");
+                assert!(msg.contains("line 2"), "{msg}");
+                assert!(msg.contains("file seam"), "{msg}");
+                assert!(msg.contains("minute 21"), "{msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        // The materialized reader remains the escape hatch.
+        // (Concatenating the same rows is accepted there.)
+        assert!(TraceSource::from_csv("a,f,30,1\nx,y,29,1\nb,g,2,1\n").is_ok());
+        // In-file grammar errors name their part.
+        let good = "a,f,0,1\n";
+        let malformed = "a,f,1,1\nbroken-row\n";
+        match StreamTrace::from_csv_parts(&[good.as_bytes(), malformed.as_bytes()]) {
+            Err(FreedomError::InvalidArgument(msg)) => {
+                assert!(msg.contains("part 2"), "{msg}");
+                assert!(msg.contains("line 2"), "{msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_file_key_assignment_matches_first_appearance() {
+        // A function appearing in several files keeps the index of its
+        // first appearance; new functions in later files extend the map.
+        let part1 = "appA,f1,0,1\nappB,f2,0,1\n";
+        let part2 = "appB,f2,1,1\nappC,f3,1,1\nappA,f1,1,1\n";
+        let multi = StreamTrace::from_csv_parts(&[part1.as_bytes(), part2.as_bytes()]).unwrap();
+        assert_eq!(multi.n_functions(), 3);
+        let concat = StreamTrace::from_csv(
+            "appA,f1,0,1\nappB,f2,0,1\nappB,f2,1,1\nappC,f3,1,1\nappA,f1,1,1\n",
+        )
+        .unwrap();
+        assert_eq!(
+            drain(&mut multi.open().unwrap()),
+            drain(&mut concat.open().unwrap())
+        );
+        // The composite key disambiguates app/func boundaries:
+        // ("ab","c") and ("a","bc") are distinct functions.
+        let tricky = StreamTrace::from_csv("ab,c,0,1\na,bc,0,1\n").unwrap();
+        assert_eq!(tricky.n_functions(), 2);
+    }
+
+    #[test]
+    fn file_backed_multi_file_gz_checkpoints_reopen() {
+        let dir = std::env::temp_dir().join(format!("freedom_multi_gz_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Day 1 plain, day 2 gz — mixed inputs on disk.
+        let day1 = dir.join("day1.csv");
+        let day2 = dir.join("day2.csv.gz");
+        let half = AZURE_FIXTURE.lines().count() / 2;
+        let part1: String = AZURE_FIXTURE
+            .lines()
+            .take(half)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let part2: String = AZURE_FIXTURE
+            .lines()
+            .skip(half)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&day1, &part1).unwrap();
+        std::fs::write(
+            &day2,
+            gzip_compress(part2.as_bytes(), CompressMode::FixedHuffman),
+        )
+        .unwrap();
+        let multi = StreamTrace::from_csv_files(&[&day1, &day2]).unwrap();
+        let reference = drain(
+            &mut StreamTrace::from_csv(AZURE_FIXTURE)
+                .unwrap()
+                .open()
+                .unwrap(),
+        );
+        let events = drain(&mut multi.open().unwrap());
+        assert_eq!(events, reference);
+        // A checkpoint inside the gz'd second file reopens exactly
+        // (exercising the decompress-and-skip resume path).
+        let into_second = events.len() - 10;
+        let mut stream = multi.open().unwrap();
+        for _ in 0..into_second {
+            stream.next();
+        }
+        let cp = stream.checkpoint();
+        assert_eq!(
+            drain(&mut multi.open_at(&cp).unwrap()).as_slice(),
+            &reference[into_second..]
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -139,15 +139,29 @@ impl CompletionQueue {
 
     /// Consumes the queue, returning every remaining entry in ascending
     /// `(completion_nanos, slot, idx)` order — the window-close drain.
+    #[cfg(test)]
     pub fn into_sorted(self) -> Vec<InFlight> {
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// The window-close drain without the per-window allocation:
+    /// consumes the queue and appends every remaining entry to `out` in
+    /// ascending `(completion_nanos, slot, idx)` order. The replay
+    /// passes a pooled buffer that keeps its capacity across windows, so
+    /// a steady-state window drains allocation-free.
+    pub fn drain_into(self, out: &mut Vec<InFlight>) {
         match self {
-            CompletionQueue::Wheel(w) => w.into_sorted(),
+            CompletionQueue::Wheel(mut w) => {
+                w.drain_sorted_into(out);
+                w.release();
+            }
             CompletionQueue::Sorted(mut h) => {
-                let mut out = Vec::with_capacity(h.len());
+                out.reserve(h.len());
                 while let Some(Reverse(e)) = h.pop() {
                     out.push(e);
                 }
-                out
             }
         }
     }
@@ -185,6 +199,11 @@ pub(crate) struct TimerWheel {
     now: u64,
     /// `now`'s finest bucket, sorted descending by key.
     ready: Vec<InFlight>,
+    /// Scratch for cascading a coarser bucket: entries are swapped out
+    /// here, re-placed, and the buffer cleared — a `mem::take` of the
+    /// bucket would drop its capacity and put an allocation on the
+    /// steady-state event path (`tests/alloc_steady_state.rs`).
+    cascade: Vec<InFlight>,
     len: usize,
 }
 
@@ -202,6 +221,7 @@ impl TimerWheel {
             horizon,
             now: start,
             ready: Vec::new(),
+            cascade: Vec::new(),
             len: 0,
         }
     }
@@ -305,12 +325,17 @@ impl TimerWheel {
                     return None;
                 }
                 self.now = self.now.max(start);
-                let bucket = std::mem::take(&mut self.levels[level][slot]);
                 self.occupied[level] &= !(1 << slot);
+                // Both arms *swap* the bucket out instead of taking it,
+                // so the drained `Vec`'s capacity stays in rotation —
+                // the steady-state refill path allocates nothing.
                 if level == 0 {
                     // The cursor's new finest bucket: drain it
                     // sorted descending so the minimum pops O(1).
-                    self.ready = bucket;
+                    // `ready` is empty here (the refill loop only runs
+                    // when it is), so the swap hands its spare capacity
+                    // to the emptied bucket.
+                    std::mem::swap(&mut self.ready, &mut self.levels[0][slot]);
                     self.ready.sort_unstable_by(|a, b| {
                         (b.completion_nanos, b.slot, b.idx).cmp(&(
                             a.completion_nanos,
@@ -320,10 +345,15 @@ impl TimerWheel {
                     });
                 } else {
                     // Cascade a coarser bucket: every entry re-routes
-                    // at least one level down (or into ready).
-                    for e in bucket {
+                    // at least one level down (or into ready), so a
+                    // re-place can never land back in this bucket
+                    // while the scratch holds its entries.
+                    std::mem::swap(&mut self.cascade, &mut self.levels[level][slot]);
+                    for i in 0..self.cascade.len() {
+                        let e = self.cascade[i];
                         self.place(e);
                     }
+                    self.cascade.clear();
                 }
                 continue 'refill;
             }
@@ -342,12 +372,25 @@ impl TimerWheel {
     }
 
     /// Drains the wheel, returning every entry in ascending key order
-    /// and leaving it empty. The occupancy bitmaps make this walk only
-    /// the non-empty buckets; emptied buckets keep their capacity, so a
-    /// recycled wheel ([`TimerWheel::acquire`]) simulates its next
-    /// window allocation-free.
+    /// and leaving it empty.
+    #[cfg(test)]
     pub fn into_sorted(mut self) -> Vec<InFlight> {
-        let mut out: Vec<InFlight> = Vec::with_capacity(self.len + self.overflow.len());
+        let mut out = Vec::new();
+        self.drain_sorted_into(&mut out);
+        self.release();
+        out
+    }
+
+    /// Appends every queued entry to `out` in ascending key order and
+    /// leaves the wheel empty. The occupancy bitmaps make this walk only
+    /// the non-empty buckets; emptied buckets — the overflow list
+    /// included — keep their capacity, so a recycled wheel
+    /// ([`TimerWheel::acquire`]) simulates its next window
+    /// allocation-free. The sort covers only the appended suffix, so the
+    /// caller's buffer may carry unrelated prior contents.
+    fn drain_sorted_into(&mut self, out: &mut Vec<InFlight>) {
+        let from = out.len();
+        out.reserve(self.len + self.overflow.len());
         out.append(&mut self.overflow);
         out.extend(self.ready.drain(..).rev());
         for level in 0..LEVELS {
@@ -359,10 +402,8 @@ impl TimerWheel {
             }
             self.occupied[level] = 0;
         }
-        out.sort_unstable_by_key(|e| (e.completion_nanos, e.slot, e.idx));
+        out[from..].sort_unstable_by_key(|e| (e.completion_nanos, e.slot, e.idx));
         self.len = 0;
-        self.release();
-        out
     }
 
     /// Hands a drained wheel back to the thread-local pool for the next

@@ -361,6 +361,72 @@ proptest! {
         let lazy = StreamTrace::from_csv_chunked(&csv, chunk).expect("within lookahead bound");
         check_stream_matches_materialized(&lazy, window_secs * 1_000_000_000)?;
     }
+
+    /// Multi-file ingestion ≡ the concatenated single file: a random row
+    /// soup cut at arbitrary line boundaries into 2–5 files — cuts land
+    /// mid-minute, backward jitter straddles the seams, a random subset
+    /// of the files is gzip'd, and empty files are legal — must replay
+    /// the exact event bits of the uncut CSV, partition identically
+    /// under `window_bounds`, and `checkpoint()`/`open_at()` re-seeks
+    /// must land correctly in whichever file a window starts in.
+    #[test]
+    fn multi_file_csv_ingestion_matches_single_file(
+        rows in prop::collection::vec(
+            (0u8..3, 0u8..4, 0u64..3, 0u64..5, 0u64..40),
+            2..40,
+        ),
+        raw_cuts in prop::collection::vec(0usize..1000, 1..5),
+        gz_mask in 0u8..64,
+        chunk in 1usize..64,
+        window_secs in 1u64..10,
+    ) {
+        let mut lines: Vec<String> = Vec::new();
+        let mut base = 0u64;
+        for &(app, func, advance, back, count) in &rows {
+            base += advance;
+            let minute = base.saturating_sub(back);
+            lines.push(format!("app{app},f{func},{minute},{count}\n"));
+        }
+        let single = lines.concat();
+        let reference = StreamTrace::from_csv_chunked(&single, chunk)
+            .expect("within lookahead bound");
+        let full = reference.materialize().expect("materialize");
+
+        // Cut positions over the line count: duplicates collapse, so a
+        // cut pair may produce an empty middle file.
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (lines.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        let mut start = 0usize;
+        for &cut in cuts.iter().chain(std::iter::once(&lines.len())) {
+            let text = lines[start..cut].concat();
+            parts.push(if gz_mask & (1 << parts.len()) != 0 {
+                flate::gzip_compress(text.as_bytes(), flate::CompressMode::FixedHuffman)
+            } else {
+                text.into_bytes()
+            });
+            start = cut;
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let lazy = StreamTrace::from_csv_parts_chunked(&refs, chunk)
+            .expect("seam disorder stays within the lookahead bound");
+
+        // Same keys in the same first-seen order, same length, and the
+        // event stream matches the uncut reference bit for bit.
+        prop_assert_eq!(lazy.n_functions(), reference.n_functions());
+        prop_assert_eq!(lazy.len(), reference.len());
+        let mut stream = lazy.open().expect("open");
+        for (i, expect) in full.events().iter().enumerate() {
+            let got = stream.next().expect("multi-file stream ended early");
+            prop_assert_eq!(got.at_secs.to_bits(), expect.at_secs.to_bits(), "event {}", i);
+            prop_assert_eq!(got.function, expect.function, "event {}", i);
+        }
+        prop_assert!(stream.next().is_none(), "multi-file stream yielded extra events");
+
+        // window_bounds partitions and checkpoint re-seeks across files.
+        check_stream_matches_materialized(&lazy, window_secs * 1_000_000_000)?;
+    }
 }
 
 /// Emulates the engine's sqrt-spaced checkpoint ladder over a stream

@@ -25,5 +25,6 @@ pub mod fleet_control_loop;
 pub mod fleet_simulation;
 pub mod fleet_zone_outage;
 pub mod table3_alternatives;
+pub mod week_trace;
 
 pub use context::ExperimentOpts;

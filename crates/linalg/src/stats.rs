@@ -50,6 +50,32 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
+/// [`quantile`] computed by selection instead of a full sort: `O(n)`
+/// and allocation-free, at the price of permuting `xs`. Returns the
+/// same value as `quantile` for NaN-free input (the interpolated order
+/// statistics are well-defined regardless of how ties are arranged);
+/// use it when the slice is large and its order is disposable — e.g.
+/// the fleet replay's per-invocation latency array at week scale.
+pub fn quantile_in_place(xs: &mut [f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    let (_, &mut lo_val, rest) = xs.select_nth_unstable_by(lo, cmp);
+    let hi_val = if hi == lo {
+        lo_val
+    } else {
+        // `hi == lo + 1`: the (lo+1)-th order statistic is the minimum
+        // of everything partitioned to the right of `lo`.
+        rest.iter().copied().fold(f64::INFINITY, f64::min)
+    };
+    Some(lo_val * (1.0 - frac) + hi_val * frac)
+}
+
 /// Median (the 0.5 quantile).
 pub fn median(xs: &[f64]) -> Option<f64> {
     quantile(xs, 0.5)
@@ -159,6 +185,30 @@ mod tests {
     fn median_odd_and_even() {
         assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantile_in_place_matches_sorting_quantile() {
+        assert_eq!(quantile_in_place(&mut [], 0.5), None);
+        assert_eq!(quantile_in_place(&mut [1.0], -0.1), None);
+        // Seeded pseudo-random data with duplicates, against the
+        // sort-based reference at every breakpoint-straddling q.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for n in [1usize, 2, 3, 7, 64, 257] {
+            let xs: Vec<f64> = (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 56) as f64) / 8.0
+                })
+                .collect();
+            for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.95, 1.0] {
+                let expect = quantile(&xs, q).unwrap();
+                let got = quantile_in_place(&mut xs.clone(), q).unwrap();
+                assert_eq!(got.to_bits(), expect.to_bits(), "n={n}, q={q}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Pins the replay hot loop's allocation discipline: once the
+//! thread-local pools (timer wheel, window drain buffer) are warm,
+//! replaying more events must not allocate more. Every per-event path —
+//! CSV row parse into the scratch key, wheel push/pop, ledger
+//! place/release, metering pushes into exact-capacity vectors — is
+//! allocation-free; only per-run and per-window structures (context,
+//! metering headers, the carry itself) allocate, and their *count* is
+//! independent of the event count.
+//!
+//! The guard compares whole-run allocation counts between a small and an
+//! 8× larger trace over the same horizon (same ticks, same supply
+//! steps): the marginal allocations per added event must be zero, up to
+//! a small slack for amortized growth of event-count-logarithmic
+//! structures (e.g. the adjustments list).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use faas_freedom::core::fleet::{FleetConfig, FleetSimulator, PlacementStrategy, StreamTrace};
+use freedom_experiments::fleet_simulation::synthetic_plans;
+
+/// Counts every allocation event (alloc, alloc_zeroed, realloc) without
+/// changing behavior. Counting events rather than bytes is deliberate:
+/// a `with_capacity` reserve is one event regardless of size, so the
+/// count isolates *how often* the replay touches the allocator.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A CSV trace with `per_minute` arrivals per function per minute over a
+/// fixed 20-minute horizon: scaling `per_minute` scales the event count
+/// while keeping the control-tick and supply-step schedules identical.
+fn csv_trace(per_minute: u32) -> StreamTrace {
+    let mut s = String::from("app,func,minute,count\n");
+    for minute in 0..20 {
+        for f in 0..12 {
+            writeln!(s, "app{f},fn{f},{minute},{per_minute}").unwrap();
+        }
+    }
+    StreamTrace::from_csv(&s).unwrap()
+}
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Allocation growth must be bounded by pool warm-up and logarithmic
+/// amortized growth, never by the event count. 64 events of slack
+/// absorbs vector-doubling tails; the small/large runs differ by
+/// thousands of events.
+const SLACK: u64 = 64;
+
+#[test]
+fn steady_state_replay_allocations_are_event_count_independent() {
+    let small = csv_trace(2);
+    let large = csv_trace(16);
+    assert!(
+        large.len() >= 8 * small.len(),
+        "{} vs {}",
+        large.len(),
+        small.len()
+    );
+    let plans = synthetic_plans(12, 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+    let config = FleetConfig::default();
+    let run = |trace: &StreamTrace| {
+        sim.run_stream(trace, PlacementStrategy::IdleAware, &config)
+            .unwrap()
+    };
+
+    // Warm-up on the large trace: grows the thread-local wheel pool and
+    // drain buffer to their high-water capacities.
+    let warm = run(&large);
+
+    let before_small = alloc_events();
+    let small_report = run(&small);
+    let small_cost = alloc_events() - before_small;
+
+    let before_large = alloc_events();
+    let large_report = run(&large);
+    let large_cost = alloc_events() - before_large;
+
+    // The replays must have actually replayed (and differ in scale).
+    assert_eq!(warm.invocations, large_report.invocations);
+    assert!(large_report.invocations >= 8 * small_report.invocations);
+
+    assert!(
+        large_cost <= small_cost + SLACK,
+        "replaying {} events allocated {} times, but {} events allocated \
+         {} times: the event loop is allocating per event",
+        large_report.invocations,
+        large_cost,
+        small_report.invocations,
+        small_cost,
+    );
+
+    // The windowed engine reuses the same pools across windows: two
+    // identical warm runs must allocate the same number of times (the
+    // work is deterministic, so any drift would mean a pool failed to
+    // retain capacity).
+    let windowed = |trace: &StreamTrace| {
+        sim.run_stream_windowed(trace, PlacementStrategy::IdleAware, &config, 1, 60.0)
+            .unwrap()
+    };
+    let warm_windowed = windowed(&large);
+    let before_first = alloc_events();
+    let first = windowed(&large);
+    let first_cost = alloc_events() - before_first;
+    let before_second = alloc_events();
+    let second = windowed(&large);
+    let second_cost = alloc_events() - before_second;
+    assert_eq!(format!("{warm_windowed:?}"), format!("{first:?}"));
+    assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    assert!(
+        second_cost <= first_cost + SLACK / 8,
+        "identical warm windowed runs allocated {first_cost} then \
+         {second_cost} times: window scratch is not being reused"
+    );
+}

@@ -625,3 +625,196 @@ fn interfaces_replay_identically() {
     .unwrap();
     assert_eq!(a, b);
 }
+
+/// The ingestion acceptance row: one trace served three ways — the
+/// materialized reference, a single plain CSV, and gzip'd multi-file
+/// parts split mid-minute with bounded seam disorder — must replay
+/// bit-identically for every controller at threads {1, 8} × windows
+/// {1, 60} s, and a crash/resume over the gz multi-file stream must
+/// reproduce the uninterrupted report. This is the lattice the
+/// week-scale bench leans on: streaming-over-gz ≡ streaming-over-plain
+/// ≡ materialized, regardless of how the bytes were sliced into files.
+#[test]
+fn gz_multi_file_ingestion_preserves_the_determinism_lattice() {
+    use faas_freedom::core::fleet::{
+        AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetSimulator, PidConfig,
+        PlacementStrategy, RightSizerConfig, StreamTrace, SupplyProcess,
+    };
+    use faas_freedom::core::market::MarketConfig;
+    use freedom_experiments::fleet_simulation::synthetic_plans;
+
+    // A 30-minute, 40-function trace with seeded counts; every function
+    // appears in minute 0 so later seam disorder cannot reorder the
+    // first-seen key assignment.
+    const HEADER: &str = "app,func,minute,count\n";
+    let n_functions = 40usize;
+    let minutes = 30u64;
+    let mut rows: Vec<String> = Vec::new();
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    for minute in 0..minutes {
+        for f in 0..n_functions {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let count = 1 + (state >> 59); // 1..=32, never a skipped row
+            rows.push(format!("app{},f{f},{minute},{count}\n", f % 7));
+        }
+    }
+
+    // The single-file plain reference.
+    let single = format!("{HEADER}{}", rows.concat());
+    let plain = StreamTrace::from_csv(&single).unwrap();
+
+    // Three files cut mid-minute (the row counts per file are not
+    // multiples of the per-minute row count), each with its own header
+    // — like per-day exports — then bounded disorder at both interior
+    // seams: the last pre-seam row trades places with the first
+    // post-seam row, so each file's tail reaches one minute into its
+    // neighbour. That is well inside the CSV_LOOKAHEAD_MINUTES contract
+    // and must be invisible to replay.
+    let cut1 = 17 * n_functions + 11;
+    let cut2 = 24 * n_functions + 29;
+    let mut parts = [
+        rows[..cut1].to_vec(),
+        rows[cut1..cut2].to_vec(),
+        rows[cut2..].to_vec(),
+    ];
+    for seam in [0usize, 1] {
+        let tail = parts[seam].pop().unwrap();
+        let head = parts[seam + 1].remove(0);
+        parts[seam].push(head);
+        parts[seam + 1].insert(0, tail);
+    }
+    let gz_parts: Vec<Vec<u8>> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, lines)| {
+            let csv = format!("{HEADER}{}", lines.concat());
+            let mode = if i % 2 == 0 {
+                flate::CompressMode::FixedHuffman
+            } else {
+                flate::CompressMode::Stored
+            };
+            flate::gzip_compress(csv.as_bytes(), mode)
+        })
+        .collect();
+    let refs: Vec<&[u8]> = gz_parts.iter().map(|p| p.as_slice()).collect();
+    let gz = StreamTrace::from_csv_parts(&refs).unwrap();
+
+    assert_eq!(plain.len(), gz.len(), "multi-file scan miscounted");
+    assert_eq!(plain.n_functions(), gz.n_functions());
+    let full = plain.materialize().unwrap();
+
+    let sim = FleetSimulator::new(synthetic_plans(plain.n_functions(), 4).unwrap()).unwrap();
+    for controller in [
+        ControllerConfig::Static,
+        ControllerConfig::HeadroomPid(PidConfig::default()),
+        ControllerConfig::SurrogateRightSizer(RightSizerConfig::default()),
+    ] {
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 3,
+                supply: SupplyProcess {
+                    step_secs: 15.0,
+                    min_fraction: 0.3,
+                    seed: 21,
+                },
+                admission: AdmissionPolicy::Headroom {
+                    max_utilization: 0.85,
+                },
+                ..MarketConfig::default()
+            },
+            control: ControlConfig {
+                cadence_secs: 15.0,
+                controller,
+            },
+            ..FleetConfig::default()
+        };
+        let reference = sim
+            .run(&full, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        for (label, lazy) in [("plain", &plain), ("gz-multi", &gz)] {
+            let streamed = sim
+                .run_stream(lazy, PlacementStrategy::IdleAware, &config)
+                .unwrap();
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{streamed:?}"),
+                "{label}/{controller:?}: streaming diverged from materialized"
+            );
+            for threads in [1, 8] {
+                for window_secs in [1.0, 60.0] {
+                    let windowed = sim
+                        .run_stream_windowed(
+                            lazy,
+                            PlacementStrategy::IdleAware,
+                            &config,
+                            threads,
+                            window_secs,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        format!("{reference:?}"),
+                        format!("{windowed:?}"),
+                        "{label}/{controller:?} diverged at {threads} threads, \
+                         {window_secs}s windows"
+                    );
+                }
+            }
+        }
+
+        // Crash/resume over the gz multi-file stream: kill at a middle
+        // snapshot boundary, resume from the persisted state, and the
+        // stitched report must still match the materialized reference.
+        let snapshot_secs = 120.0;
+        let mut epochs = Vec::new();
+        let uninterrupted = sim
+            .run_stream_resumable(
+                &gz,
+                PlacementStrategy::IdleAware,
+                &config,
+                snapshot_secs,
+                None,
+                |s| {
+                    epochs.push(s.epoch());
+                    Ok(true)
+                },
+            )
+            .unwrap()
+            .expect("uninterrupted run completes");
+        assert_eq!(format!("{reference:?}"), format!("{uninterrupted:?}"));
+        assert!(epochs.len() >= 3, "want several boundaries, got {epochs:?}");
+        let kill_at = epochs[epochs.len() / 2];
+        let mut snap = None;
+        let crashed = sim
+            .run_stream_resumable(
+                &gz,
+                PlacementStrategy::IdleAware,
+                &config,
+                snapshot_secs,
+                None,
+                |s| {
+                    snap = Some(s.clone());
+                    Ok(s.epoch() < kill_at)
+                },
+            )
+            .unwrap();
+        assert!(crashed.is_none(), "the kill must abort the run");
+        let resumed = sim
+            .run_stream_resumable(
+                &gz,
+                PlacementStrategy::IdleAware,
+                &config,
+                snapshot_secs,
+                Some(snap.as_ref().unwrap()),
+                |_| Ok(true),
+            )
+            .unwrap()
+            .expect("resumed run completes");
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{resumed:?}"),
+            "resume over gz multi-file diverged from the uninterrupted replay"
+        );
+    }
+}

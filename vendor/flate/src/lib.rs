@@ -1,0 +1,1065 @@
+//! Dependency-free streaming gzip/DEFLATE inflater.
+//!
+//! The workspace builds offline, so instead of `flate2` this crate carries a
+//! small RFC 1951/1952 implementation tuned for the trace-ingestion path:
+//!
+//! * [`GzReader`] — a pull-based streaming decoder. The caller supplies a
+//!   byte source callback; `read_chunk` appends decompressed bytes to a
+//!   caller-owned buffer in bounded increments, so decompression can overlap
+//!   parsing without ever materializing the whole file.
+//! * [`gunzip`] — one-shot convenience wrapper over `GzReader`.
+//! * [`gzip_compress`] — a minimal writer (stored and fixed-Huffman literal
+//!   blocks) so tests, benches and the week-replay tooling can synthesize
+//!   valid gzip members without an external compressor.
+//!
+//! Every decode error is typed ([`InflateError`]) so callers can attribute
+//! truncation, CRC mismatches and corrupt blocks precisely.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Magic bytes that open every gzip member.
+pub const GZIP_MAGIC: [u8; 2] = [0x1f, 0x8b];
+
+/// True when `data` starts with the gzip member magic.
+pub fn is_gzip(data: &[u8]) -> bool {
+    data.len() >= 2 && data[0] == GZIP_MAGIC[0] && data[1] == GZIP_MAGIC[1]
+}
+
+/// Typed decode failures; `Display` renders a stable one-line message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InflateError {
+    /// The member does not start with `1f 8b`.
+    BadMagic { found: [u8; 2] },
+    /// The compression method byte is not 8 (deflate).
+    UnsupportedMethod(u8),
+    /// Reserved FLG bits are set.
+    ReservedFlags(u8),
+    /// The stream ended in the middle of the named structure.
+    Truncated { context: &'static str },
+    /// A deflate block is internally inconsistent.
+    Corrupt { detail: &'static str },
+    /// The member trailer CRC32 does not match the decompressed bytes.
+    BadCrc { expected: u32, found: u32 },
+    /// The member trailer ISIZE does not match the decompressed length.
+    BadLength { expected: u32, found: u32 },
+    /// The byte source callback failed.
+    Source(String),
+}
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InflateError::BadMagic { found } => write!(
+                f,
+                "bad gzip member header: expected magic 1f 8b, found {:02x} {:02x}",
+                found[0], found[1]
+            ),
+            InflateError::UnsupportedMethod(m) => {
+                write!(f, "unsupported gzip compression method {m} (want 8)")
+            }
+            InflateError::ReservedFlags(flg) => {
+                write!(f, "gzip header sets reserved FLG bits ({flg:#04x})")
+            }
+            InflateError::Truncated { context } => {
+                write!(f, "truncated gzip stream (inside {context})")
+            }
+            InflateError::Corrupt { detail } => write!(f, "corrupt deflate block: {detail}"),
+            InflateError::BadCrc { expected, found } => write!(
+                f,
+                "gzip CRC mismatch: trailer says {expected:#010x}, data hashes to {found:#010x}"
+            ),
+            InflateError::BadLength { expected, found } => write!(
+                f,
+                "gzip length mismatch: trailer says {expected} bytes, decoded {found}"
+            ),
+            InflateError::Source(msg) => write!(f, "gzip byte source failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+const WINDOW_SIZE: usize = 32 * 1024;
+const FAST_BITS: u32 = 9;
+const FAST_SIZE: usize = 1 << FAST_BITS;
+const MAX_CODE_LEN: usize = 15;
+
+/// Length codes 257..=285: base lengths and extra-bit counts (RFC 1951 §3.2.5).
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Distance codes 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order in which code-length-code lengths are stored in a dynamic block.
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Slice-by-8 CRC32 tables: `TABLES[0]` is the classic byte-at-a-time
+/// table, `TABLES[k][n]` advances byte `n` through `k` further zero
+/// bytes. Computed once per process and shared by every reader — the
+/// streaming replay hashes hundreds of megabytes per trace, so the CRC
+/// runs eight bytes per step instead of one.
+fn crc32_tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (n, slot) in t[0].iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        for k in 1..8 {
+            for n in 0..256 {
+                t[k][n] = t[0][(t[k - 1][n] & 0xff) as usize] ^ (t[k - 1][n] >> 8);
+            }
+        }
+        t
+    })
+}
+
+/// Folds `bytes` into `crc` eight bytes at a time (slice-by-8), falling
+/// back to the byte table for the tail. Bit-identical to the classic
+/// byte loop.
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    let t = crc32_tables();
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ crc;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    let mut out = 0u32;
+    for i in 0..len {
+        out |= ((code >> i) & 1) << (len - 1 - i);
+    }
+    out
+}
+
+/// Canonical Huffman decoding table: a single-level fast lookup for codes of
+/// at most [`FAST_BITS`] bits plus the counts/symbols arrays for the
+/// bit-serial fallback (the `puff` algorithm).
+struct Huff {
+    counts: [u16; MAX_CODE_LEN + 1],
+    symbols: Vec<u16>,
+    /// `fast[low bits of stream] = (code_len << 12) | symbol`, 0 = miss.
+    fast: Vec<u16>,
+}
+
+impl Huff {
+    /// Build from per-symbol code lengths (0 = unused). Rejects
+    /// over-subscribed codes; incomplete codes are allowed and surface as
+    /// "invalid huffman code" only if the stream actually uses a missing code.
+    fn build(lengths: &[u16]) -> Result<Huff, InflateError> {
+        let mut counts = [0u16; MAX_CODE_LEN + 1];
+        for &len in lengths {
+            counts[len as usize] += 1;
+        }
+        if counts[0] as usize == lengths.len() {
+            return Err(InflateError::Corrupt {
+                detail: "huffman table has no symbols",
+            });
+        }
+        let mut left: i32 = 1;
+        for &count in counts.iter().skip(1) {
+            left = (left << 1) - count as i32;
+            if left < 0 {
+                return Err(InflateError::Corrupt {
+                    detail: "over-subscribed huffman code lengths",
+                });
+            }
+        }
+        // Offsets of the first symbol of each code length in `symbols`.
+        let mut offsets = [0u16; MAX_CODE_LEN + 1];
+        for len in 1..MAX_CODE_LEN {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.len() - counts[0] as usize];
+        let mut cursor = offsets;
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[cursor[len as usize] as usize] = sym as u16;
+                cursor[len as usize] += 1;
+            }
+        }
+        // Fast table: canonical code values per length, bit-reversed into
+        // every index whose low `len` bits match.
+        let mut fast = vec![0u16; FAST_SIZE];
+        let mut code = 0u32;
+        let mut index = 0usize;
+        for len in 1..=MAX_CODE_LEN as u32 {
+            for _ in 0..counts[len as usize] {
+                let sym = symbols[index];
+                index += 1;
+                if len <= FAST_BITS {
+                    let rev = reverse_bits(code, len) as usize;
+                    let step = 1usize << len;
+                    let entry = ((len as u16) << 12) | sym;
+                    let mut slot = rev;
+                    while slot < FAST_SIZE {
+                        fast[slot] = entry;
+                        slot += step;
+                    }
+                }
+                code += 1;
+            }
+            code <<= 1;
+        }
+        Ok(Huff {
+            counts,
+            symbols,
+            fast,
+        })
+    }
+
+    fn fixed_litlen() -> Huff {
+        let mut lengths = [0u16; 288];
+        for (sym, len) in lengths.iter_mut().enumerate() {
+            *len = match sym {
+                0..=143 => 8,
+                144..=255 => 9,
+                256..=279 => 7,
+                _ => 8,
+            };
+        }
+        Huff::build(&lengths).expect("fixed litlen table is well-formed")
+    }
+
+    fn fixed_dist() -> Huff {
+        Huff::build(&[5u16; 30]).expect("fixed dist table is well-formed")
+    }
+}
+
+/// Where the decoder is between `read_chunk` calls. Decoding pauses only at
+/// symbol or sub-copy boundaries, so no mid-symbol bit state is needed.
+enum State {
+    /// Before a member header (start of stream or after a trailer).
+    MemberBoundary,
+    /// Between deflate blocks inside a member.
+    BlockBoundary { final_block: bool },
+    /// Inside a stored block with `remaining` raw bytes to copy.
+    Stored { remaining: usize, final_block: bool },
+    /// Inside a Huffman-coded block.
+    Coded {
+        litlen: Huff,
+        dist: Huff,
+        final_block: bool,
+    },
+    /// Clean end of input after a complete member.
+    Done,
+}
+
+/// Pull-based streaming gzip decoder over a byte-source callback.
+///
+/// The source fills the provided buffer with the next compressed bytes and
+/// returns how many it wrote (0 = end of input). `read_chunk` appends at
+/// least `min` decompressed bytes to `out` unless the stream ends first.
+pub struct GzReader<R> {
+    src: R,
+    /// Compressed-byte staging buffer.
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    eof: bool,
+    /// Bit accumulator, LSB = next bit in the stream.
+    bitbuf: u64,
+    nbits: u32,
+    state: State,
+    window: Vec<u8>,
+    wpos: usize,
+    wfilled: usize,
+    crc: u32,
+    member_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+const SRC_CHUNK: usize = 32 * 1024;
+
+impl<R> GzReader<R>
+where
+    R: FnMut(&mut [u8]) -> Result<usize, String>,
+{
+    pub fn new(src: R) -> GzReader<R> {
+        GzReader {
+            src,
+            buf: vec![0u8; SRC_CHUNK],
+            pos: 0,
+            len: 0,
+            eof: false,
+            bitbuf: 0,
+            nbits: 0,
+            state: State::MemberBoundary,
+            window: vec![0u8; WINDOW_SIZE],
+            wpos: 0,
+            wfilled: 0,
+            crc: 0,
+            member_out: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        }
+    }
+
+    /// Total compressed bytes consumed from the source so far.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Total decompressed bytes produced so far.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+
+    fn refill_src(&mut self) -> Result<(), InflateError> {
+        if self.eof || self.pos < self.len {
+            return Ok(());
+        }
+        let n = (self.src)(&mut self.buf).map_err(InflateError::Source)?;
+        self.pos = 0;
+        self.len = n;
+        self.bytes_in += n as u64;
+        if n == 0 {
+            self.eof = true;
+        }
+        Ok(())
+    }
+
+    /// Top up the bit accumulator as far as the source allows (no error at
+    /// EOF; callers check `nbits`).
+    fn fill_bits(&mut self) -> Result<(), InflateError> {
+        while self.nbits <= 56 {
+            if self.pos >= self.len {
+                self.refill_src()?;
+                if self.pos >= self.len {
+                    return Ok(());
+                }
+            }
+            self.bitbuf |= (self.buf[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        Ok(())
+    }
+
+    fn take_bits(&mut self, n: u32, context: &'static str) -> Result<u64, InflateError> {
+        if self.nbits < n {
+            self.fill_bits()?;
+            if self.nbits < n {
+                return Err(InflateError::Truncated { context });
+            }
+        }
+        let val = self.bitbuf & ((1u64 << n) - 1);
+        self.bitbuf >>= n;
+        self.nbits -= n;
+        Ok(val)
+    }
+
+    fn take_byte(&mut self, context: &'static str) -> Result<u8, InflateError> {
+        Ok(self.take_bits(8, context)? as u8)
+    }
+
+    fn align_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.bitbuf >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Append `bytes` to the output, the sliding window and the running CRC.
+    fn emit_slice(&mut self, bytes: &[u8], out: &mut Vec<u8>) {
+        self.crc = crc32_update(self.crc, bytes);
+        let tail = if bytes.len() > WINDOW_SIZE {
+            &bytes[bytes.len() - WINDOW_SIZE..]
+        } else {
+            bytes
+        };
+        // Ring copy in at most two contiguous segments.
+        let first = (WINDOW_SIZE - self.wpos).min(tail.len());
+        self.window[self.wpos..self.wpos + first].copy_from_slice(&tail[..first]);
+        let rest = tail.len() - first;
+        if rest > 0 {
+            self.window[..rest].copy_from_slice(&tail[first..]);
+        }
+        self.wpos = (self.wpos + tail.len()) & (WINDOW_SIZE - 1);
+        self.wfilled = (self.wfilled + bytes.len()).min(WINDOW_SIZE);
+        self.member_out += bytes.len() as u64;
+        self.bytes_out += bytes.len() as u64;
+        out.extend_from_slice(bytes);
+    }
+
+    fn emit_byte(&mut self, b: u8, out: &mut Vec<u8>) {
+        self.crc = crc32_tables()[0][((self.crc ^ b as u32) & 0xff) as usize] ^ (self.crc >> 8);
+        self.window[self.wpos] = b;
+        self.wpos = (self.wpos + 1) & (WINDOW_SIZE - 1);
+        if self.wfilled < WINDOW_SIZE {
+            self.wfilled += 1;
+        }
+        self.member_out += 1;
+        self.bytes_out += 1;
+        out.push(b);
+    }
+
+    fn skip_zero_terminated(&mut self, context: &'static str) -> Result<(), InflateError> {
+        loop {
+            if self.take_byte(context)? == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    fn read_member_header(&mut self) -> Result<(), InflateError> {
+        let id1 = self.take_byte("gzip header")?;
+        let id2 = self.take_byte("gzip header")?;
+        if [id1, id2] != GZIP_MAGIC {
+            return Err(InflateError::BadMagic { found: [id1, id2] });
+        }
+        let method = self.take_byte("gzip header")?;
+        if method != 8 {
+            return Err(InflateError::UnsupportedMethod(method));
+        }
+        let flg = self.take_byte("gzip header")?;
+        if flg & 0xe0 != 0 {
+            return Err(InflateError::ReservedFlags(flg));
+        }
+        for _ in 0..6 {
+            self.take_byte("gzip header")?; // MTIME, XFL, OS
+        }
+        if flg & 0x04 != 0 {
+            let xlen = self.take_bits(16, "gzip FEXTRA field")? as usize;
+            for _ in 0..xlen {
+                self.take_byte("gzip FEXTRA field")?;
+            }
+        }
+        if flg & 0x08 != 0 {
+            self.skip_zero_terminated("gzip FNAME field")?;
+        }
+        if flg & 0x10 != 0 {
+            self.skip_zero_terminated("gzip FCOMMENT field")?;
+        }
+        if flg & 0x02 != 0 {
+            self.take_bits(16, "gzip FHCRC field")?;
+        }
+        self.crc = 0xffff_ffff;
+        self.member_out = 0;
+        Ok(())
+    }
+
+    fn read_trailer(&mut self) -> Result<(), InflateError> {
+        self.align_byte();
+        let expected_crc = self.take_bits(32, "gzip trailer")? as u32;
+        let expected_len = self.take_bits(32, "gzip trailer")? as u32;
+        let found_crc = !self.crc;
+        if expected_crc != found_crc {
+            return Err(InflateError::BadCrc {
+                expected: expected_crc,
+                found: found_crc,
+            });
+        }
+        let found_len = (self.member_out & 0xffff_ffff) as u32;
+        if expected_len != found_len {
+            return Err(InflateError::BadLength {
+                expected: expected_len,
+                found: found_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Decode one Huffman symbol with `h` (a table owned outside `self`):
+    /// single-level fast lookup first, bit-serial canonical fallback for
+    /// long codes and near-EOF tails.
+    fn decode_with(&mut self, h: &Huff, context: &'static str) -> Result<u16, InflateError> {
+        if self.nbits < MAX_CODE_LEN as u32 {
+            self.fill_bits()?;
+        }
+        let entry = h.fast[(self.bitbuf & (FAST_SIZE as u64 - 1)) as usize];
+        if entry != 0 {
+            let len = (entry >> 12) as u32;
+            if len <= self.nbits {
+                self.bitbuf >>= len;
+                self.nbits -= len;
+                return Ok(entry & 0x0fff);
+            }
+        }
+        let mut code: i32 = 0;
+        let mut first: i32 = 0;
+        let mut index: i32 = 0;
+        for len in 1..=MAX_CODE_LEN {
+            if self.nbits == 0 {
+                self.fill_bits()?;
+                if self.nbits == 0 {
+                    return Err(InflateError::Truncated { context });
+                }
+            }
+            code |= (self.bitbuf & 1) as i32;
+            self.bitbuf >>= 1;
+            self.nbits -= 1;
+            let count = h.counts[len] as i32;
+            if code - first < count {
+                return Ok(h.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(InflateError::Corrupt {
+            detail: "invalid huffman code",
+        })
+    }
+
+    fn read_dynamic_tables(&mut self) -> Result<(Huff, Huff), InflateError> {
+        let hlit = self.take_bits(5, "dynamic huffman table")? as usize + 257;
+        let hdist = self.take_bits(5, "dynamic huffman table")? as usize + 1;
+        let hclen = self.take_bits(4, "dynamic huffman table")? as usize + 4;
+        if hlit > 286 || hdist > 30 {
+            return Err(InflateError::Corrupt {
+                detail: "dynamic block declares too many codes",
+            });
+        }
+        let mut clen_lengths = [0u16; 19];
+        for &slot in CLEN_ORDER.iter().take(hclen) {
+            clen_lengths[slot] = self.take_bits(3, "dynamic huffman table")? as u16;
+        }
+        let clen = Huff::build(&clen_lengths)?;
+        let mut lengths = vec![0u16; hlit + hdist];
+        let mut i = 0usize;
+        while i < lengths.len() {
+            let sym = self.decode_with(&clen, "dynamic huffman table")?;
+            match sym {
+                0..=15 => {
+                    lengths[i] = sym;
+                    i += 1;
+                }
+                16 => {
+                    if i == 0 {
+                        return Err(InflateError::Corrupt {
+                            detail: "repeat code with no previous length",
+                        });
+                    }
+                    let prev = lengths[i - 1];
+                    let reps = self.take_bits(2, "dynamic huffman table")? as usize + 3;
+                    if i + reps > lengths.len() {
+                        return Err(InflateError::Corrupt {
+                            detail: "code-length repeat overruns table",
+                        });
+                    }
+                    for _ in 0..reps {
+                        lengths[i] = prev;
+                        i += 1;
+                    }
+                }
+                17 => {
+                    let reps = self.take_bits(3, "dynamic huffman table")? as usize + 3;
+                    if i + reps > lengths.len() {
+                        return Err(InflateError::Corrupt {
+                            detail: "code-length repeat overruns table",
+                        });
+                    }
+                    i += reps;
+                }
+                18 => {
+                    let reps = self.take_bits(7, "dynamic huffman table")? as usize + 11;
+                    if i + reps > lengths.len() {
+                        return Err(InflateError::Corrupt {
+                            detail: "code-length repeat overruns table",
+                        });
+                    }
+                    i += reps;
+                }
+                _ => {
+                    return Err(InflateError::Corrupt {
+                        detail: "invalid code-length symbol",
+                    })
+                }
+            }
+        }
+        if lengths[256] == 0 {
+            return Err(InflateError::Corrupt {
+                detail: "dynamic block has no end-of-block code",
+            });
+        }
+        let litlen = Huff::build(&lengths[..hlit])?;
+        let dist = Huff::build(&lengths[hlit..])?;
+        Ok((litlen, dist))
+    }
+
+    fn start_block(&mut self) -> Result<(), InflateError> {
+        let final_block = self.take_bits(1, "deflate block header")? != 0;
+        let btype = self.take_bits(2, "deflate block header")?;
+        match btype {
+            0 => {
+                self.align_byte();
+                let len = self.take_bits(16, "stored block header")? as usize;
+                let nlen = self.take_bits(16, "stored block header")? as usize;
+                if len != (!nlen & 0xffff) {
+                    return Err(InflateError::Corrupt {
+                        detail: "stored block length check failed",
+                    });
+                }
+                self.state = State::Stored {
+                    remaining: len,
+                    final_block,
+                };
+            }
+            1 => {
+                self.state = State::Coded {
+                    litlen: Huff::fixed_litlen(),
+                    dist: Huff::fixed_dist(),
+                    final_block,
+                };
+            }
+            2 => {
+                let (litlen, dist) = self.read_dynamic_tables()?;
+                self.state = State::Coded {
+                    litlen,
+                    dist,
+                    final_block,
+                };
+            }
+            _ => {
+                return Err(InflateError::Corrupt {
+                    detail: "reserved block type 3",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn copy_stored(
+        &mut self,
+        remaining: usize,
+        budget: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<usize, InflateError> {
+        let mut left = remaining.min(budget.max(1));
+        let mut copied = 0usize;
+        while left > 0 {
+            if self.nbits >= 8 {
+                let b = (self.bitbuf & 0xff) as u8;
+                self.bitbuf >>= 8;
+                self.nbits -= 8;
+                self.emit_byte(b, out);
+                left -= 1;
+                copied += 1;
+                continue;
+            }
+            if self.pos >= self.len {
+                self.refill_src()?;
+                if self.pos >= self.len {
+                    return Err(InflateError::Truncated {
+                        context: "stored block",
+                    });
+                }
+            }
+            let take = left.min(self.len - self.pos);
+            let start = self.pos;
+            self.pos += take;
+            // Detach the staging buffer so the slice can be emitted
+            // without borrowing `self.buf` across the `&mut self` call.
+            let buf = std::mem::take(&mut self.buf);
+            self.emit_slice(&buf[start..start + take], out);
+            self.buf = buf;
+            left -= take;
+            copied += take;
+        }
+        Ok(copied)
+    }
+
+    fn copy_match(
+        &mut self,
+        len: usize,
+        dist: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), InflateError> {
+        if dist == 0 || dist > self.wfilled {
+            return Err(InflateError::Corrupt {
+                detail: "back-reference before start of stream",
+            });
+        }
+        let mut src = (self.wpos + WINDOW_SIZE - dist) & (WINDOW_SIZE - 1);
+        for _ in 0..len {
+            let b = self.window[src];
+            src = (src + 1) & (WINDOW_SIZE - 1);
+            self.emit_byte(b, out);
+        }
+        Ok(())
+    }
+
+    /// Decompress until at least `min` new bytes are in `out` or the stream
+    /// ends. Returns `Ok(true)` while more input remains, `Ok(false)` once
+    /// the final member has been fully decoded and verified.
+    pub fn read_chunk(&mut self, out: &mut Vec<u8>, min: usize) -> Result<bool, InflateError> {
+        let target = out.len() + min.max(1);
+        loop {
+            if out.len() >= target {
+                return Ok(true);
+            }
+            match std::mem::replace(&mut self.state, State::Done) {
+                State::Done => {
+                    self.state = State::Done;
+                    return Ok(false);
+                }
+                State::MemberBoundary => {
+                    self.fill_bits()?;
+                    if self.nbits == 0 && self.eof {
+                        self.state = State::Done;
+                        return Ok(false);
+                    }
+                    self.state = State::MemberBoundary;
+                    self.read_member_header()?;
+                    self.state = State::BlockBoundary { final_block: false };
+                }
+                State::BlockBoundary { final_block } => {
+                    if final_block {
+                        self.state = State::MemberBoundary;
+                        self.read_trailer()?;
+                        continue;
+                    }
+                    self.state = State::BlockBoundary { final_block };
+                    self.start_block()?;
+                }
+                State::Stored {
+                    remaining,
+                    final_block,
+                } => {
+                    let budget = target - out.len();
+                    let copied = self.copy_stored(remaining, budget, out)?;
+                    let left = remaining - copied;
+                    self.state = if left == 0 {
+                        State::BlockBoundary { final_block }
+                    } else {
+                        State::Stored {
+                            remaining: left,
+                            final_block,
+                        }
+                    };
+                }
+                State::Coded {
+                    litlen,
+                    dist,
+                    final_block,
+                } => {
+                    // Tables are held as locals while decoding so the bit
+                    // reader can borrow `self` mutably; they move back into
+                    // the state when the chunk budget pauses the block.
+                    let mut block_done = false;
+                    loop {
+                        let sym = self.decode_with(&litlen, "huffman-coded block")?;
+                        if sym < 256 {
+                            self.emit_byte(sym as u8, out);
+                        } else if sym == 256 {
+                            block_done = true;
+                            break;
+                        } else {
+                            let li = sym as usize - 257;
+                            if li >= LEN_BASE.len() {
+                                return Err(InflateError::Corrupt {
+                                    detail: "invalid length symbol",
+                                });
+                            }
+                            let extra = LEN_EXTRA[li] as u32;
+                            let len = LEN_BASE[li] as usize
+                                + self.take_bits(extra, "huffman-coded block")? as usize;
+                            let dsym = self.decode_with(&dist, "huffman-coded block")? as usize;
+                            if dsym >= DIST_BASE.len() {
+                                return Err(InflateError::Corrupt {
+                                    detail: "invalid distance symbol",
+                                });
+                            }
+                            let dextra = DIST_EXTRA[dsym] as u32;
+                            let d = DIST_BASE[dsym] as usize
+                                + self.take_bits(dextra, "huffman-coded block")? as usize;
+                            self.copy_match(len, d, out)?;
+                        }
+                        if out.len() >= target {
+                            break;
+                        }
+                    }
+                    self.state = if block_done {
+                        State::BlockBoundary { final_block }
+                    } else {
+                        State::Coded {
+                            litlen,
+                            dist,
+                            final_block,
+                        }
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// One-shot decompression of a complete gzip byte string (all members).
+pub fn gunzip(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut read = 0usize;
+    let mut reader = GzReader::new(move |buf: &mut [u8]| {
+        let n = (data.len() - read).min(buf.len());
+        buf[..n].copy_from_slice(&data[read..read + n]);
+        read += n;
+        Ok(n)
+    });
+    let mut out = Vec::new();
+    while reader.read_chunk(&mut out, 64 * 1024)? {}
+    Ok(out)
+}
+
+/// Block strategy for [`gzip_compress`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompressMode {
+    /// Raw stored blocks (fastest to write, ratio 1.0).
+    Stored,
+    /// Fixed-Huffman literal coding (no match search; exercises the real
+    /// bit-level decode path and shrinks ASCII slightly).
+    FixedHuffman,
+}
+
+struct BitWriter {
+    out: Vec<u8>,
+    bitbuf: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new(out: Vec<u8>) -> BitWriter {
+        BitWriter {
+            out,
+            bitbuf: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Append `len` bits, LSB-first (deflate bit packing order).
+    fn put_bits(&mut self, value: u64, len: u32) {
+        self.bitbuf |= value << self.nbits;
+        self.nbits += len;
+        while self.nbits >= 8 {
+            self.out.push((self.bitbuf & 0xff) as u8);
+            self.bitbuf >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Append a Huffman code, MSB of the code first.
+    fn put_code(&mut self, code: u32, len: u32) {
+        self.put_bits(reverse_bits(code, len) as u64, len);
+    }
+
+    fn align(&mut self) {
+        if self.nbits > 0 {
+            self.out.push((self.bitbuf & 0xff) as u8);
+            self.bitbuf = 0;
+            self.nbits = 0;
+        }
+    }
+}
+
+fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(0xffff_ffff, data)
+}
+
+/// Compress `data` into a single well-formed gzip member.
+pub fn gzip_compress(data: &[u8], mode: CompressMode) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    out.extend_from_slice(&GZIP_MAGIC);
+    out.push(8); // CM = deflate
+    out.push(0); // FLG
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME
+    out.push(0); // XFL
+    out.push(255); // OS = unknown
+    match mode {
+        CompressMode::Stored => {
+            let mut chunks = data.chunks(65535).peekable();
+            if data.is_empty() {
+                out.push(0x01); // BFINAL=1 BTYPE=00, already byte aligned
+                out.extend_from_slice(&[0, 0, 0xff, 0xff]);
+            }
+            while let Some(chunk) = chunks.next() {
+                let bfinal = chunks.peek().is_none();
+                out.push(if bfinal { 0x01 } else { 0x00 });
+                let len = chunk.len() as u16;
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(&(!len).to_le_bytes());
+                out.extend_from_slice(chunk);
+            }
+        }
+        CompressMode::FixedHuffman => {
+            let mut bw = BitWriter::new(out);
+            bw.put_bits(0b1, 1); // BFINAL
+            bw.put_bits(0b01, 2); // BTYPE = fixed
+            for &b in data {
+                let sym = b as u32;
+                if sym <= 143 {
+                    bw.put_code(0x30 + sym, 8);
+                } else {
+                    bw.put_code(0x190 + (sym - 144), 9);
+                }
+            }
+            bw.put_code(0, 7); // end-of-block (symbol 256)
+            bw.align();
+            out = bw.out;
+        }
+    }
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], mode: CompressMode) {
+        let gz = gzip_compress(data, mode);
+        assert!(is_gzip(&gz));
+        let back = gunzip(&gz).expect("roundtrip decode");
+        assert_eq!(back, data, "roundtrip mismatch for {mode:?}");
+    }
+
+    #[test]
+    fn roundtrips_cover_both_modes_and_sizes() {
+        for mode in [CompressMode::Stored, CompressMode::FixedHuffman] {
+            roundtrip(b"", mode);
+            roundtrip(b"hello, gzip", mode);
+            roundtrip(&[0u8; 70000], mode); // multiple stored blocks
+            let mut seq = Vec::new();
+            let mut x = 12345u32;
+            for _ in 0..100_000 {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                seq.push((x >> 24) as u8);
+            }
+            roundtrip(&seq, mode);
+        }
+    }
+
+    #[test]
+    fn concatenated_members_decode_as_one_stream() {
+        let mut gz = gzip_compress(b"first,", CompressMode::FixedHuffman);
+        gz.extend_from_slice(&gzip_compress(b"second", CompressMode::Stored));
+        assert_eq!(gunzip(&gz).unwrap(), b"first,second");
+    }
+
+    #[test]
+    fn streaming_chunks_match_oneshot() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let gz = gzip_compress(&data, CompressMode::FixedHuffman);
+        let mut read = 0usize;
+        let gz2 = gz.clone();
+        let mut reader = GzReader::new(move |buf: &mut [u8]| {
+            // Drip-feed 7 bytes at a time to exercise refill paths.
+            let n = (gz2.len() - read).min(buf.len()).min(7);
+            buf[..n].copy_from_slice(&gz2[read..read + n]);
+            read += n;
+            Ok(n)
+        });
+        let mut out = Vec::new();
+        let mut chunks = 0;
+        while reader.read_chunk(&mut out, 1333).unwrap() {
+            chunks += 1;
+        }
+        assert_eq!(out, data);
+        assert!(chunks > 10, "expected many bounded chunks, got {chunks}");
+        assert_eq!(reader.bytes_out(), data.len() as u64);
+        assert_eq!(reader.bytes_in(), gz.len() as u64);
+    }
+
+    #[test]
+    fn truncated_stream_is_reported() {
+        let gz = gzip_compress(b"some data worth keeping", CompressMode::FixedHuffman);
+        for cut in [1, 5, gz.len() - 9, gz.len() - 1] {
+            let err = gunzip(&gz[..cut]).unwrap_err();
+            assert!(
+                matches!(err, InflateError::Truncated { .. }),
+                "cut at {cut}: expected truncation, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_crc_and_length_are_reported() {
+        let data = b"payload protected by crc32";
+        let mut gz = gzip_compress(data, CompressMode::Stored);
+        let n = gz.len();
+        gz[n - 5] ^= 0xff; // flip a CRC byte
+        assert!(matches!(
+            gunzip(&gz).unwrap_err(),
+            InflateError::BadCrc { .. }
+        ));
+        let mut gz = gzip_compress(data, CompressMode::Stored);
+        let n = gz.len();
+        gz[n - 1] ^= 0x01; // flip an ISIZE byte
+        assert!(matches!(
+            gunzip(&gz).unwrap_err(),
+            InflateError::BadLength { .. }
+        ));
+    }
+
+    #[test]
+    fn garbage_header_and_corrupt_block_are_reported() {
+        assert!(matches!(
+            gunzip(b"not a gzip file at all").unwrap_err(),
+            InflateError::BadMagic { .. }
+        ));
+        let mut gz = gzip_compress(b"x", CompressMode::Stored);
+        gz[2] = 9; // unsupported method
+        assert!(matches!(
+            gunzip(&gz).unwrap_err(),
+            InflateError::UnsupportedMethod(9)
+        ));
+        // Corrupt the stored-block NLEN check.
+        let mut gz = gzip_compress(b"stored block payload", CompressMode::Stored);
+        gz[13] ^= 0xff; // NLEN low byte
+        assert!(matches!(
+            gunzip(&gz).unwrap_err(),
+            InflateError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let msg = InflateError::BadCrc {
+            expected: 1,
+            found: 2,
+        }
+        .to_string();
+        assert!(msg.contains("CRC mismatch"), "{msg}");
+        let msg = InflateError::Truncated {
+            context: "gzip trailer",
+        }
+        .to_string();
+        assert!(msg.contains("truncated"), "{msg}");
+        assert!(msg.contains("gzip trailer"), "{msg}");
+    }
+}
