@@ -595,6 +595,58 @@ fn bench_week_replay(c: &mut Criterion) {
     }
     let stats = stats.expect("instrumented pass ran");
 
+    // Telemetry-on row: the same multi-day single-pass replay with a
+    // live recorder attached. The instrumented ns/event prices the
+    // whole telemetry layer (counters + histograms + sampled wall
+    // timing + span ring); the acceptance bar is ≤5% overhead. The two
+    // variants alternate and compare best-of-N walls — a one-shot pass
+    // pair would let scheduler noise masquerade as recorder overhead
+    // (single-shot walls of identical passes vary by far more than 5%).
+    {
+        use freedom::fleet::Telemetry;
+        let reps = 3;
+        let mut off_best = f64::INFINITY;
+        let mut on_best = f64::INFINITY;
+        let mut spans = 0;
+        let mut dropped = 0;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let report = sim
+                .run_stream(&trace, PlacementStrategy::IdleAware, &config)
+                .expect("replay");
+            off_best = off_best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(report);
+
+            let mut tel = Telemetry::new();
+            let t0 = std::time::Instant::now();
+            let (report, _) = sim
+                .run_stream_traced(&trace, PlacementStrategy::IdleAware, &config, &mut tel)
+                .expect("traced replay");
+            on_best = on_best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(report);
+            spans = tel.spans().count();
+            dropped = tel.dropped_spans();
+        }
+        let tel_ns = on_best * 1e9 / stats.events as f64;
+        println!(
+            "bench week_replay/{tag}_telemetry: {:.0} events/sec, {:.0} ns/event, \
+             {:.3}x of telemetry-off ({spans} spans, {dropped} dropped)",
+            stats.events as f64 / on_best,
+            tel_ns,
+            on_best / off_best,
+        );
+        freedom_bench::report_counter(
+            &format!("week_replay/{tag}_telemetry_ns_per_event"),
+            tel_ns,
+            "ns/event",
+        );
+        freedom_bench::report_counter(
+            &format!("week_replay/{tag}_telemetry_overhead"),
+            on_best / off_best,
+            "ratio",
+        );
+    }
+
     // Windowed row: hour-long windows across the whole span, overhead
     // priced against the single-pass streaming wall clock above.
     let threads = if criterion::is_quick() { 2 } else { 8 };

@@ -54,6 +54,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use freedom_faas::PerfTable;
 use freedom_linalg::stats;
 use freedom_optimizer::SearchSpace;
+use freedom_telemetry as tel;
 use freedom_workloads::FunctionKind;
 
 use crate::controller::{
@@ -77,6 +78,7 @@ pub use crate::snapshot::SNAPSHOT_VERSION as REPLAY_SNAPSHOT_VERSION;
 pub use crate::stream::{EventStream, StreamCheckpoint, StreamTrace};
 pub use crate::trace::{Trace, TraceEvent, TraceSource};
 pub use crate::wheel::CompletionQueueKind;
+pub use freedom_telemetry::{NoopRecorder, Recorder, Telemetry};
 
 /// How the provider places each invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -573,6 +575,21 @@ impl FleetSimulator {
         strategy: PlacementStrategy,
         config: &FleetConfig,
     ) -> Result<FleetReport> {
+        self.run_traced(trace, strategy, config, &mut NoopRecorder)
+    }
+
+    /// [`FleetSimulator::run`] with a telemetry [`Recorder`] attached.
+    /// Telemetry is strictly observational: the report is bit-identical
+    /// to the untraced run for every recorder (the determinism lattice
+    /// pins this), and with [`NoopRecorder`] the instrumentation
+    /// monomorphizes away entirely.
+    pub fn run_traced<R: Recorder>(
+        &self,
+        trace: &Trace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        rec: &mut R,
+    ) -> Result<FleetReport> {
         let horizon = trace
             .events()
             .last()
@@ -588,7 +605,9 @@ impl FleetSimulator {
             &Carry::initial(&ctx),
             0,
             u64::MAX,
+            rec,
         );
+        rec.add(tel::Counter::WindowsSimulated, 1);
         Ok(reduce(
             strategy,
             config.slo_theta,
@@ -623,6 +642,20 @@ impl FleetSimulator {
         strategy: PlacementStrategy,
         config: &FleetConfig,
     ) -> Result<(FleetReport, ReplayStats)> {
+        self.run_stream_traced(trace, strategy, config, &mut NoopRecorder)
+    }
+
+    /// [`FleetSimulator::run_stream_with_stats`] with a telemetry
+    /// [`Recorder`] attached. Strictly observational — the report is
+    /// bit-identical to the untraced streaming replay for every
+    /// recorder.
+    pub fn run_stream_traced<R: Recorder>(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        rec: &mut R,
+    ) -> Result<(FleetReport, ReplayStats)> {
         let ctx = self.prepare(trace.n_functions(), trace.horizon_nanos(), strategy, config)?;
         let mut stream = trace.open()?;
         let outcome = simulate_window(
@@ -633,7 +666,9 @@ impl FleetSimulator {
             &Carry::initial(&ctx),
             0,
             u64::MAX,
+            rec,
         );
+        rec.add(tel::Counter::WindowsSimulated, 1);
         let stats = ReplayStats {
             events: trace.len(),
             peak_inflight: outcome.peak_inflight,
@@ -695,6 +730,33 @@ impl FleetSimulator {
         threads: usize,
         window_secs: f64,
     ) -> Result<FleetReport> {
+        self.run_windowed_traced(
+            trace,
+            strategy,
+            config,
+            replay,
+            threads,
+            window_secs,
+            &mut NoopRecorder,
+        )
+    }
+
+    /// [`FleetSimulator::run_windowed_with`] with a telemetry
+    /// [`Recorder`] attached. Each parallel window records into a fork
+    /// of `rec`; the fork of a window's final accepted run is absorbed
+    /// back in window order, so every sim-derived observation is
+    /// deterministic for any thread count. Strictly observational.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_windowed_traced<R: Recorder + Sync>(
+        &self,
+        trace: &Trace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        replay: &ReplayConfig,
+        threads: usize,
+        window_secs: f64,
+        rec: &mut R,
+    ) -> Result<FleetReport> {
         let horizon = trace
             .events()
             .last()
@@ -714,7 +776,8 @@ impl FleetSimulator {
             ));
         }
         let bounds = trace.window_bounds(window_nanos);
-        let run_one = |k: usize, carry: &Carry| {
+        let tmpl = rec.fork();
+        let run_one = |k: usize, carry: &Carry, wrec: &mut R| {
             let (start, end) = window_span(k, window_nanos);
             simulate_window(
                 &ctx,
@@ -724,6 +787,7 @@ impl FleetSimulator {
                 carry,
                 start,
                 end,
+                wrec,
             )
         };
         // Materialized windows position in O(1) (binary-searched
@@ -731,14 +795,19 @@ impl FleetSimulator {
         // needs no walker state: clean windows are free to pass over.
         let run_round = |pending: &[(usize, Carry, u64)]| {
             freedom_parallel::par_run(pending.len(), threads, |i| {
-                let out = run_one(pending[i].0, &pending[i].1);
+                let mut wrec = tmpl.fork();
+                let out = run_one(pending[i].0, &pending[i].1, &mut wrec);
                 let fp = carry_fingerprint(&out.carry_out);
-                (out, fp)
+                (out, fp, wrec)
             })
         };
         let (meterings, _) =
-            reconcile_windows(&ctx, bounds.len(), replay, run_round, |k, carry| {
-                carry.map(|c| run_one(k, c))
+            reconcile_windows(&ctx, bounds.len(), replay, rec, run_round, |k, carry| {
+                carry.map(|c| {
+                    let mut wrec = tmpl.fork();
+                    let out = run_one(k, c, &mut wrec);
+                    (out, wrec)
+                })
             });
         Ok(reduce(
             strategy,
@@ -808,6 +877,33 @@ impl FleetSimulator {
         threads: usize,
         window_secs: f64,
     ) -> Result<(FleetReport, ReplayStats)> {
+        self.run_stream_windowed_traced(
+            trace,
+            strategy,
+            config,
+            replay,
+            threads,
+            window_secs,
+            &mut NoopRecorder,
+        )
+    }
+
+    /// [`FleetSimulator::run_stream_windowed_with_stats`] with a
+    /// telemetry [`Recorder`] attached: per-window forks merged back in
+    /// window order (see [`FleetSimulator::run_windowed_traced`]), plus
+    /// wall spans for the ladder pre-pass, each speculative round, and
+    /// the fallback walk. Strictly observational.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_stream_windowed_traced<R: Recorder + Sync>(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        replay: &ReplayConfig,
+        threads: usize,
+        window_secs: f64,
+        rec: &mut R,
+    ) -> Result<(FleetReport, ReplayStats)> {
         let horizon = trace.horizon_nanos();
         let window_nanos = validate_window(horizon, window_secs)?;
         let mut ctx = self.prepare(trace.n_functions(), horizon, strategy, config)?;
@@ -835,6 +931,7 @@ impl FleetSimulator {
         // one parallel counting drain over the anchor segments records
         // each window's event count. Seek state: O(√W) anchors ×
         // O(functions) each.
+        let prepass_wall = rec.now_nanos();
         let n = (horizon / window_nanos) as usize + 1;
         let stride = isqrt_ceil(n);
         let n_anchors = n.div_ceil(stride);
@@ -872,15 +969,27 @@ impl FleetSimulator {
             }
         }
         debug_assert_eq!(consumed as usize, trace.len());
+        rec.span_wall(tel::Span::CountPrePass, prepass_wall, anchors.len() as u64);
+        rec.add(tel::Counter::LadderAnchors, anchors.len() as u64);
+        if R::ENABLED {
+            for a in 0..n_anchors {
+                let lo = (a * stride) as u64 * window_nanos;
+                let hi = (((a + 1) * stride).min(n) as u64)
+                    .saturating_mul(window_nanos)
+                    .min(horizon);
+                rec.span_sim(tel::Span::LadderSegment, lo, hi, a as u64);
+            }
+        }
         let redrained = AtomicUsize::new(0);
         let peak_stream = AtomicUsize::new(peak_prepass);
+        let tmpl = rec.fork();
         // Simulates window `k` from an already-positioned stream (the
         // cursor must sit on the window's first event).
-        let sim_at = |s: &mut crate::stream::EventStream, k: usize, carry: &Carry| {
+        let sim_at = |s: &mut crate::stream::EventStream, k: usize, carry: &Carry, wrec: &mut R| {
             let (start, end) = window_span(k, window_nanos);
             let n_events = (base[k + 1] - base[k]) as usize;
             let events = std::iter::from_fn(|| s.next()).take(n_events);
-            simulate_window(&ctx, events, n_events, base[k], carry, start, end)
+            simulate_window(&ctx, events, n_events, base[k], carry, start, end, wrec)
         };
         // A speculative round walks each ladder segment's stream at
         // most once: pending windows (ascending) are grouped by their
@@ -913,10 +1022,11 @@ impl FleetSimulator {
                         s.next();
                     }
                     redrained.fetch_add(skip, Ordering::Relaxed);
-                    let out = sim_at(&mut s, *k, carry);
+                    let mut wrec = tmpl.fork();
+                    let out = sim_at(&mut s, *k, carry, &mut wrec);
                     pos = base[*k + 1];
                     let fp = carry_fingerprint(&out.carry_out);
-                    outs.push((out, fp));
+                    outs.push((out, fp, wrec));
                 }
                 peak_stream.fetch_max(s.peak_resident(), Ordering::Relaxed);
                 outs
@@ -946,7 +1056,11 @@ impl FleetSimulator {
                 s.next();
             }
             let out = match carry {
-                Some(c) => Some(sim_at(s, k, c)),
+                Some(c) => {
+                    let mut wrec = tmpl.fork();
+                    let o = sim_at(s, k, c, &mut wrec);
+                    Some((o, wrec))
+                }
                 None => {
                     let n_events = (base[k + 1] - base[k]) as usize;
                     for _ in 0..n_events {
@@ -961,7 +1075,7 @@ impl FleetSimulator {
             peak_stream.fetch_max(s.peak_resident(), Ordering::Relaxed);
             out
         };
-        let (meterings, telemetry) = reconcile_windows(&ctx, n, replay, run_round, run_suffix);
+        let (meterings, telemetry) = reconcile_windows(&ctx, n, replay, rec, run_round, run_suffix);
         let stats = ReplayStats {
             events: trace.len(),
             peak_inflight: telemetry.peak_inflight,
@@ -970,6 +1084,10 @@ impl FleetSimulator {
             ladder_redrain_events: redrained.into_inner(),
             fallback_windows: telemetry.fallback_windows,
         };
+        rec.add(
+            tel::Counter::RedrainedEvents,
+            stats.ladder_redrain_events as u64,
+        );
         let report = reduce(
             strategy,
             config.slo_theta,
@@ -1004,6 +1122,34 @@ impl FleetSimulator {
         snapshot_secs: f64,
         resume: Option<&ReplaySnapshot>,
         mut on_snapshot: impl FnMut(&ReplaySnapshot) -> Result<bool>,
+    ) -> Result<Option<FleetReport>> {
+        self.run_stream_resumable_traced(
+            trace,
+            strategy,
+            config,
+            snapshot_secs,
+            resume,
+            &mut NoopRecorder,
+            |snap, _rec| on_snapshot(snap),
+        )
+    }
+
+    /// [`FleetSimulator::run_stream_resumable`] with a telemetry
+    /// [`Recorder`] attached. `on_snapshot` additionally receives the
+    /// recorder at every epoch boundary, which is the natural hook for
+    /// emitting per-epoch JSONL metric snapshots
+    /// ([`freedom_telemetry::Telemetry::jsonl_snapshot`]). Strictly
+    /// observational.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_stream_resumable_traced<R: Recorder>(
+        &self,
+        trace: &StreamTrace,
+        strategy: PlacementStrategy,
+        config: &FleetConfig,
+        snapshot_secs: f64,
+        resume: Option<&ReplaySnapshot>,
+        rec: &mut R,
+        mut on_snapshot: impl FnMut(&ReplaySnapshot, &mut R) -> Result<bool>,
     ) -> Result<Option<FleetReport>> {
         let horizon = trace.horizon_nanos();
         let window_nanos = validate_window(horizon, snapshot_secs)?;
@@ -1062,8 +1208,9 @@ impl FleetSimulator {
                         None
                     }
                 });
-                simulate_window(&ctx, events, 0, consumed as u32, &carry, start, end)
+                simulate_window(&ctx, events, 0, consumed as u32, &carry, start, end, rec)
             };
+            rec.add(tel::Counter::WindowsSimulated, 1);
             consumed += count;
             carry = outcome.carry_out;
             prefix.absorb(&outcome.metering);
@@ -1083,7 +1230,12 @@ impl FleetSimulator {
                     carry: carry.clone(),
                     metering: std::mem::take(&mut prefix),
                 };
-                let keep_going = on_snapshot(&snap)?;
+                let boundary = k as u64 * window_nanos;
+                rec.span_sim(tel::Span::SnapshotEpoch, boundary, boundary, k as u64);
+                rec.add(tel::Counter::SnapshotsWritten, 1);
+                let snap_wall = rec.now_nanos();
+                let keep_going = on_snapshot(&snap, rec)?;
+                rec.span_wall(tel::Span::SnapshotEpoch, snap_wall, k as u64);
                 prefix = snap.metering;
                 if !keep_going {
                     return Ok(None);
@@ -1220,8 +1372,15 @@ fn isqrt_ceil(n: usize) -> usize {
 /// One window's live simulation state: the market ledger and completion
 /// queue, the supply and tick cursors, the controller state it carries
 /// forward, and the epoch accumulator feeding the next tick.
-struct WindowSim<'a> {
+struct WindowSim<'a, R: Recorder> {
     ctx: &'a ReplayCtx,
+    /// The window's telemetry sink: the parent recorder in sequential
+    /// engines, a per-window fork in windowed ones. Strictly
+    /// observational — nothing in the simulation reads it back.
+    rec: &'a mut R,
+    /// Simulated instant of the previous arrival ([`u64::MAX`] before
+    /// the first), feeding the arrival-gap histogram.
+    prev_arrival: u64,
     ledger: SpotLedger,
     queue: CompletionQueue,
     /// Most entries the completion queue ever held — the in-flight term
@@ -1248,7 +1407,7 @@ struct WindowSim<'a> {
     m: WindowMetering,
 }
 
-impl WindowSim<'_> {
+impl<R: Recorder> WindowSim<'_, R> {
     /// The next pending tick instant, if any remains before the horizon.
     fn next_tick_at(&self) -> Option<u64> {
         let at = self.next_tick.checked_mul(self.ctx.cadence_nanos)?;
@@ -1356,12 +1515,16 @@ impl WindowSim<'_> {
     #[inline]
     fn complete(&mut self, e: InFlight) {
         if self.ledger.is_live(&e) {
+            self.rec.add(tel::Counter::Completions, 1);
             if self.ledger.is_notified(e.slot) {
                 // Completed under notice: the drain window saved it
                 // from the announced withdrawal.
+                self.rec.add(tel::Counter::Drained, 1);
                 self.m.adjustments.push((e.idx, CLASS_DRAINED, 0.0));
             }
             self.ledger.release(&e);
+        } else {
+            self.rec.add(tel::Counter::GhostCompletions, 1);
         }
     }
 
@@ -1384,6 +1547,7 @@ impl WindowSim<'_> {
                     self.queue.push(moved);
                     self.peak_inflight = self.peak_inflight.max(self.queue.len());
                     self.accum.migrated += 1;
+                    self.rec.add(tel::Counter::Migrated, 1);
                     self.m.adjustments.push((
                         e.idx,
                         CLASS_MIGRATED,
@@ -1392,12 +1556,20 @@ impl WindowSim<'_> {
                 }
                 None => {
                     self.accum.spot_demoted += 1;
+                    self.rec.add(tel::Counter::SpotDemoted, 1);
                     self.m
                         .adjustments
                         .push((e.idx, CLASS_DEMOTED, e.list_cost_usd));
                 }
             }
         }
+        self.rec.add(tel::Counter::SupplySteps, 1);
+        self.rec.span_sim(
+            tel::Span::SupplyStep,
+            step.at_nanos,
+            step.at_nanos,
+            self.supply_cursor as u64,
+        );
         self.supply_cursor += 1;
     }
 
@@ -1412,6 +1584,14 @@ impl WindowSim<'_> {
             .mark_notified(&ctx.schedule.steps[announced.step as usize].caps);
         self.accum.notified += hit;
         self.m.notified += hit;
+        self.rec.add(tel::Counter::NoticesFired, 1);
+        self.rec.add(tel::Counter::Notified, u64::from(hit));
+        self.rec.span_sim(
+            tel::Span::Notice,
+            announced.at_nanos,
+            announced.at_nanos,
+            u64::from(hit),
+        );
         self.notice_cursor += 1;
     }
 
@@ -1442,6 +1622,20 @@ impl WindowSim<'_> {
             rejected: self.accum.policy_rejected + self.accum.capacity_missed,
             replanned,
         });
+        if R::ENABLED {
+            self.rec.add(tel::Counter::ControllerTicks, 1);
+            self.rec.add(tel::Counter::Replans, u64::from(replanned));
+            self.rec.observe(
+                tel::Hist::UtilizationPpm,
+                (utilization.clamp(0.0, 1.0) * 1e6) as u64,
+            );
+            self.rec.span_sim(
+                tel::Span::ControllerTick,
+                at.saturating_sub(self.ctx.cadence_nanos),
+                at,
+                self.next_tick,
+            );
+        }
         self.accum.reset();
         self.next_tick += 1;
     }
@@ -1450,6 +1644,26 @@ impl WindowSim<'_> {
     /// the market, and the placement order is the controller's revision
     /// when one exists, the planner's order otherwise.
     fn arrival(&mut self, function: usize, idx: u32, at: u64) {
+        // Telemetry on the hot path: counter and histogram updates are
+        // array writes into preallocated storage; the only clock read
+        // is the 1-in-64 sampled wall timing. `R::ENABLED` is a
+        // monomorphization constant, so the noop build carries none of
+        // this.
+        if R::ENABLED {
+            self.rec.add(tel::Counter::Arrivals, 1);
+            self.rec
+                .observe(tel::Hist::InflightDepth, self.queue.len() as u64);
+            if self.prev_arrival != u64::MAX {
+                self.rec
+                    .observe(tel::Hist::ArrivalGapNanos, at - self.prev_arrival);
+            }
+            self.prev_arrival = at;
+        }
+        let t0 = if R::ENABLED && self.rec.should_sample() {
+            self.rec.now_nanos()
+        } else {
+            0
+        };
         self.accum.arrivals += 1;
         let a0 = self.ctx.alt_offsets[function] as usize;
         let a1 = self.ctx.alt_offsets[function + 1] as usize;
@@ -1512,6 +1726,21 @@ impl WindowSim<'_> {
                 }
             }
         };
+        if R::ENABLED {
+            self.rec.add(
+                match class {
+                    CLASS_ON_DEMAND => tel::Counter::OnDemand,
+                    CLASS_POLICY_REJECT => tel::Counter::PolicyRejected,
+                    CLASS_CAPACITY_MISS => tel::Counter::CapacityMissed,
+                    _ => tel::Counter::SpotAdmitted,
+                },
+                1,
+            );
+            if t0 != 0 {
+                let dt = self.rec.now_nanos().saturating_sub(t0);
+                self.rec.observe(tel::Hist::AdmissionNanos, dt);
+            }
+        }
         self.m.costs.push(cost);
         self.m.inflations.push(inflation);
         self.m.classes.push(class);
@@ -1620,20 +1849,26 @@ struct ReconcileTelemetry {
 /// first, and the bit-exact [`carry_state_eq`] walk runs only on
 /// fingerprint mismatch, while an already-verified prefix is never
 /// re-walked.
-fn reconcile_windows<B, S>(
+fn reconcile_windows<B, S, R>(
     ctx: &ReplayCtx,
     n: usize,
     replay: &ReplayConfig,
+    rec: &mut R,
     run_round: B,
     mut run_suffix: S,
 ) -> (Vec<WindowMetering>, ReconcileTelemetry)
 where
-    B: Fn(&[(usize, Carry, u64)]) -> Vec<(WindowOutcome, u64)>,
-    S: FnMut(usize, Option<&Carry>) -> Option<WindowOutcome>,
+    R: Recorder,
+    B: Fn(&[(usize, Carry, u64)]) -> Vec<(WindowOutcome, u64, R)>,
+    S: FnMut(usize, Option<&Carry>) -> Option<(WindowOutcome, R)>,
 {
     let init = Carry::initial(ctx);
     let init_fp = carry_fingerprint(&init);
     let mut outs: Vec<Option<WindowOutcome>> = (0..n).map(|_| None).collect();
+    // Each window's recorder fork from its latest (= final accepted)
+    // run; absorbed into `rec` in window order at the end, which is
+    // what makes merged sim-side telemetry thread-count independent.
+    let mut recs: Vec<Option<R>> = (0..n).map(|_| None).collect();
     // Fingerprints of each window's carry-out (`out_fp`) and of the
     // carry it actually ran with (`used_fp`); `used` keeps the full
     // carry for the bit-exact fallback compare.
@@ -1652,13 +1887,18 @@ where
     let mut prev_stale = usize::MAX;
     let mut verified = 0usize;
     loop {
+        let round_wall = rec.now_nanos();
         let results = run_round(&pending);
-        for ((k, carry, carry_fp), (out, fp)) in pending.drain(..).zip(results) {
+        rec.add(tel::Counter::SpeculativeRounds, 1);
+        rec.add(tel::Counter::WindowsSimulated, results.len() as u64);
+        rec.span_wall(tel::Span::Round, round_wall, rounds as u64);
+        for ((k, carry, carry_fp), (out, fp, wrec)) in pending.drain(..).zip(results) {
             telemetry.peak_inflight = telemetry.peak_inflight.max(out.peak_inflight);
             used[k] = carry;
             used_fp[k] = carry_fp;
             outs[k] = Some(out);
             out_fp[k] = fp;
+            recs[k] = Some(wrec);
         }
         // Verification walk from the verified prefix: chain the carried
         // states in window order; any window that ran with a different
@@ -1698,6 +1938,7 @@ where
         let stalled = replay.stall_margin > 0 && next.len() + replay.stall_margin >= prev_stale;
         prev_stale = next.len();
         if stalled || rounds > replay.max_speculative_rounds {
+            let fallback_wall = rec.now_nanos();
             let first = next[0].0;
             let mut chain = next[0].1.clone();
             let mut chain_fp = next[0].2;
@@ -1706,21 +1947,35 @@ where
                 if clean {
                     run_suffix(k, None);
                 } else {
-                    let out = run_suffix(k, Some(&chain))
+                    let (out, wrec) = run_suffix(k, Some(&chain))
                         .expect("the suffix walker simulates stale windows");
                     telemetry.peak_inflight = telemetry.peak_inflight.max(out.peak_inflight);
                     telemetry.fallback_windows += 1;
+                    rec.add(tel::Counter::WindowsSimulated, 1);
                     out_fp[k] = carry_fingerprint(&out.carry_out);
                     outs[k] = Some(out);
+                    recs[k] = Some(wrec);
                     used[k].clone_from(&chain);
                     used_fp[k] = chain_fp;
                 }
                 chain.clone_from(&outs[k].as_ref().expect("window simulated").carry_out);
                 chain_fp = out_fp[k];
             }
+            rec.span_wall(
+                tel::Span::FallbackWalk,
+                fallback_wall,
+                telemetry.fallback_windows as u64,
+            );
             break;
         }
         pending = next;
+    }
+    rec.add(
+        tel::Counter::FallbackWindows,
+        telemetry.fallback_windows as u64,
+    );
+    for wrec in recs.into_iter().flatten() {
+        rec.absorb(wrec);
     }
     let meterings = outs
         .into_iter()
@@ -1747,7 +2002,8 @@ thread_local! {
 /// slice and a lazy cursor merge replay identically. `n_events` is the
 /// metering pre-size hint. The sequential reference engine is the
 /// degenerate call: all events, the initial carry, an unbounded window.
-fn simulate_window(
+#[allow(clippy::too_many_arguments)]
+fn simulate_window<R: Recorder>(
     ctx: &ReplayCtx,
     events: impl Iterator<Item = TraceEvent>,
     n_events: usize,
@@ -1755,7 +2011,9 @@ fn simulate_window(
     carry_in: &Carry,
     start_nanos: u64,
     end_nanos: u64,
+    rec: &mut R,
 ) -> WindowOutcome {
+    let window_wall = rec.now_nanos();
     let start = ctx.schedule.start_state(start_nanos);
     let mut ledger = SpotLedger::new(&ctx.market, start.caps);
     // A notice that fired before this window for a step still ahead:
@@ -1779,6 +2037,8 @@ fn simulate_window(
     }
     let mut sim = WindowSim {
         ctx,
+        rec,
+        prev_arrival: u64::MAX,
         peak_inflight: queue.len(),
         ledger,
         queue,
@@ -1839,6 +2099,15 @@ fn simulate_window(
         }
         inflight
     });
+    let sim_end = if end_nanos == u64::MAX {
+        ctx.horizon_nanos
+    } else {
+        end_nanos.min(ctx.horizon_nanos.max(start_nanos))
+    };
+    sim.rec
+        .span_sim(tel::Span::Window, start_nanos, sim_end, u64::from(base_idx));
+    sim.rec
+        .span_wall(tel::Span::WindowSim, window_wall, u64::from(base_idx));
     WindowOutcome {
         metering: sim.m,
         carry_out: Carry {

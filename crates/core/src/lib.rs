@@ -30,6 +30,14 @@
 //! - [`snapshot`]: versioned crash-resume snapshots — the stream
 //!   checkpoint plus the windowed carry serialized at epoch boundaries
 //!   so a killed replay resumes bit-identically;
+//! - [`telemetry`]: the zero-allocation observability layer — the
+//!   replay engines are generic over a
+//!   [`Recorder`](telemetry::Recorder) (noop by default, monomorphized
+//!   away) that collects preallocated counters, log2 latency/value
+//!   histograms, and simulated-time + wall-time span traces, exported
+//!   as JSONL snapshots, Chrome trace-event JSON, or a terminal
+//!   summary; see the "observability contract" in
+//!   `crates/core/README.md`;
 //! - [`controller`]: the closed-loop control plane — per-epoch
 //!   [`Observation`](controller::Observation)s feed a
 //!   [`Controller`](controller::Controller) that revises admission
@@ -71,6 +79,8 @@ pub mod strategies;
 pub mod stream;
 pub mod trace;
 mod wheel;
+
+pub use freedom_telemetry as telemetry;
 
 pub use autotuner::{Autotuner, GatewayEvaluator, TuneOutcome};
 pub use error::FreedomError;

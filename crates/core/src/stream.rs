@@ -110,6 +110,22 @@ pub struct StreamTrace {
     n_functions: usize,
     len: usize,
     horizon_nanos: u64,
+    /// Wall timings of the construction-time scan pass, one entry per
+    /// scanned unit (file, part, or the synthetic count pass), offsets
+    /// relative to the scan's start. Replayed into a telemetry recorder
+    /// by [`StreamTrace::record_scan`].
+    scan: Arc<Vec<ScanTiming>>,
+}
+
+/// Wall timing of one scan-phase unit, captured while the trace was
+/// constructed.
+#[derive(Debug, Clone, Copy)]
+struct ScanTiming {
+    /// Offset from the start of the scan pass, in wall nanoseconds.
+    start_nanos: u64,
+    dur_nanos: u64,
+    /// Whether the unit was gzip-decompressed while scanning.
+    gz: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -345,6 +361,7 @@ impl StreamTrace {
         threads: usize,
     ) -> Result<Self> {
         source.validate(n_functions, duration_secs)?;
+        let scan_epoch = std::time::Instant::now();
         let per_fn = freedom_parallel::par_run(n_functions, threads, |f| {
             let mut cursor = GenCursor::new(&source, duration_secs, stream_seed(seed, f));
             let mut count = 0usize;
@@ -364,6 +381,11 @@ impl StreamTrace {
             .map(|&(_, last)| event_nanos(last))
             .max()
             .unwrap_or(0);
+        let scan = vec![ScanTiming {
+            start_nanos: 0,
+            dur_nanos: scan_epoch.elapsed().as_nanos() as u64,
+            gz: false,
+        }];
         Ok(Self {
             spec: StreamSpec::Synthetic {
                 source,
@@ -373,6 +395,7 @@ impl StreamTrace {
             n_functions,
             len,
             horizon_nanos,
+            scan: Arc::new(scan),
         })
     }
 
@@ -499,16 +522,27 @@ impl StreamTrace {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(files.len());
-        let scans =
-            freedom_parallel::par_run(files.len(), threads, |i| scan_file(&files[i], chunk));
+        let scan_epoch = std::time::Instant::now();
+        let scans = freedom_parallel::par_run(files.len(), threads, |i| {
+            let started = scan_epoch.elapsed().as_nanos() as u64;
+            let out = scan_file(&files[i], chunk);
+            let dur = (scan_epoch.elapsed().as_nanos() as u64).saturating_sub(started);
+            (out, started, dur)
+        });
+        let mut scan_timings = Vec::with_capacity(files.len());
         let mut keys = KeyMap::default();
         let mut row_fn: Vec<Vec<u32>> = Vec::with_capacity(files.len());
         let mut len = 0usize;
         let mut last = f64::NEG_INFINITY;
         let mut data_rows = 0usize;
         let mut prior_max: Option<u64> = None;
-        for (file, scan) in files.iter().zip(scans) {
+        for (file, (scan, started, dur)) in files.iter().zip(scans) {
             let scan = scan?;
+            scan_timings.push(ScanTiming {
+                start_nanos: started,
+                dur_nanos: dur,
+                gz: file.gz,
+            });
             // Cross-seam lookahead: every row of this file must stay
             // within the lookahead of the highest minute carried in from
             // earlier files. The first violating row is necessarily a
@@ -571,6 +605,7 @@ impl StreamTrace {
                 row_fn: Arc::new(row_fn),
                 chunk,
             },
+            scan: Arc::new(scan_timings),
         })
     }
 
@@ -594,6 +629,43 @@ impl StreamTrace {
     /// ticks are capped at.
     pub fn horizon_nanos(&self) -> u64 {
         self.horizon_nanos
+    }
+
+    /// Replays the construction-time scan timings into a telemetry
+    /// recorder as wall spans: one `Scan` span covering the whole scan
+    /// pass (arg = number of scanned units), plus one span per unit —
+    /// `GzDecompress` for gzip'd files, `Scan` otherwise (arg = unit
+    /// index). The spans are anchored so the pass ends at the
+    /// recorder's current wall clock; call this right after
+    /// constructing the trace.
+    pub fn record_scan<R: freedom_telemetry::Recorder>(&self, rec: &mut R) {
+        if !R::ENABLED || self.scan.is_empty() {
+            return;
+        }
+        let total = self
+            .scan
+            .iter()
+            .map(|t| t.start_nanos + t.dur_nanos)
+            .max()
+            .unwrap_or(0);
+        let base = rec.now_nanos().saturating_sub(total);
+        rec.span_wall_at(
+            freedom_telemetry::Span::Scan,
+            base,
+            total,
+            self.scan.len() as u64,
+        );
+        if self.scan.len() == 1 && !self.scan[0].gz {
+            return; // the umbrella span already is the single unit
+        }
+        for (i, t) in self.scan.iter().enumerate() {
+            let kind = if t.gz {
+                freedom_telemetry::Span::GzDecompress
+            } else {
+                freedom_telemetry::Span::Scan
+            };
+            rec.span_wall_at(kind, base + t.start_nanos, t.dur_nanos, i as u64);
+        }
     }
 
     /// Opens the event stream at position 0.

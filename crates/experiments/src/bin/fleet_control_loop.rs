@@ -7,6 +7,16 @@ fn main() {
     let opts = exp::ExperimentOpts::from_args();
     let result = exp::fleet_control_loop::run(&opts).expect("fleet control loop");
     println!("{}", result.render());
+    // Diagnostics go to stderr: the digests carry sampled wall timings
+    // and engine-dependent effort counters, while stdout must stay
+    // byte-identical across thread counts.
+    eprintln!("\nper-cell telemetry (counters from the live recorder):");
+    for r in &result.rows {
+        eprintln!(
+            "  {}/{}/{}: {}",
+            r.source, r.tightness, r.controller, r.telemetry
+        );
+    }
     match result.write_csv() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write CSV: {e}"),

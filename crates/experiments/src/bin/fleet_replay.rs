@@ -15,11 +15,14 @@
 //! `--threads N`): `--snapshot PATH` (default `target/fleet_replay.snap`),
 //! `--snapshot-secs N` (epoch length, default 60), `--kill-epoch N`
 //! (abort once the boundary of epoch N is reached), `--resume` (load the
-//! snapshot and continue instead of starting fresh).
+//! snapshot and continue instead of starting fresh), `--telemetry PATH`
+//! (per-epoch JSONL metric snapshots), `--trace-json PATH`
+//! (Perfetto-loadable Chrome trace). Either telemetry flag also prints
+//! the terminal summary; the report is bit-identical either way.
 
 use freedom::fleet::{
     ControlConfig, ControllerConfig, FleetConfig, FleetReport, FleetSimulator, PidConfig,
-    PlacementStrategy, StreamTrace, TraceSource,
+    PlacementStrategy, StreamTrace, Telemetry, TraceSource,
 };
 use freedom::market::MarketConfig;
 use freedom::snapshot::ReplaySnapshot;
@@ -56,6 +59,8 @@ fn main() {
         .unwrap_or(60.0);
     let kill_epoch: Option<u64> = flag_value(&args, "--kill-epoch").and_then(|v| v.parse().ok());
     let resume = args.iter().any(|a| a == "--resume");
+    let telemetry_path = flag_value(&args, "--telemetry");
+    let trace_json_path = flag_value(&args, "--trace-json");
 
     // The fixed scenario: the cheap synthetic fleet over a heavy-tail
     // trace on the tight three-zone market under the stormy fault plan.
@@ -114,22 +119,62 @@ fn main() {
         None
     };
 
-    let outcome = sim.run_stream_resumable(
-        &trace,
-        PlacementStrategy::IdleAware,
-        &config,
-        snapshot_secs,
-        resume_from.as_ref(),
-        |snap| {
-            snap.write_to(&snapshot_path)?;
-            if let Some(kill) = kill_epoch {
-                if snap.epoch() >= kill {
-                    return Ok(false);
+    let outcome = if telemetry_path.is_some() || trace_json_path.is_some() {
+        let mut tel = Telemetry::new();
+        trace.record_scan(&mut tel);
+        let epoch_nanos = (snapshot_secs * 1e9) as u64;
+        let mut jsonl = String::new();
+        let out = sim.run_stream_resumable_traced(
+            &trace,
+            PlacementStrategy::IdleAware,
+            &config,
+            snapshot_secs,
+            resume_from.as_ref(),
+            &mut tel,
+            |snap, rec| {
+                snap.write_to(&snapshot_path)?;
+                rec.jsonl_snapshot(
+                    snap.epoch(),
+                    snap.epoch().saturating_mul(epoch_nanos),
+                    &mut jsonl,
+                );
+                if let Some(kill) = kill_epoch {
+                    if snap.epoch() >= kill {
+                        return Ok(false);
+                    }
                 }
-            }
-            Ok(true)
-        },
-    );
+                Ok(true)
+            },
+        );
+        if let Some(path) = &telemetry_path {
+            std::fs::write(path, &jsonl).expect("write telemetry JSONL");
+            println!("telemetry: per-epoch JSONL -> {path}");
+        }
+        if let Some(path) = &trace_json_path {
+            tel.write_chrome_trace(std::path::Path::new(path))
+                .expect("write Chrome trace JSON");
+            println!("telemetry: Chrome trace -> {path} (open in Perfetto or chrome://tracing)");
+        }
+        println!("{}", tel.summary());
+        out
+    } else {
+        sim.run_stream_resumable(
+            &trace,
+            PlacementStrategy::IdleAware,
+            &config,
+            snapshot_secs,
+            resume_from.as_ref(),
+            |snap| {
+                snap.write_to(&snapshot_path)?;
+                if let Some(kill) = kill_epoch {
+                    if snap.epoch() >= kill {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            },
+        )
+    };
     match outcome {
         Ok(Some(report)) => {
             println!(

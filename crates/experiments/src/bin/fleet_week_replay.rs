@@ -16,13 +16,17 @@
 //! 2 × 2 000 under `--fast`), `--out-dir PATH` (where the day files are
 //! written, default `target/week_trace`), `--snapshot PATH`,
 //! `--snapshot-secs N` (epoch length, default 21600 = 6 h),
-//! `--kill-epoch N`, `--resume`, `--verify`.
+//! `--kill-epoch N`, `--resume`, `--verify`, `--telemetry PATH`
+//! (per-epoch JSONL metric snapshots), `--trace-json PATH`
+//! (Perfetto-loadable Chrome trace of sim-time and wall-time spans).
+//! Either telemetry flag also prints the terminal summary; the replay
+//! report is bit-identical with telemetry on or off.
 
 use std::time::Instant;
 
 use freedom::fleet::{
     AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetReport, FleetSimulator,
-    PidConfig, PlacementStrategy, StreamTrace,
+    PidConfig, PlacementStrategy, StreamTrace, Telemetry,
 };
 use freedom::snapshot::ReplaySnapshot;
 use freedom_experiments as exp;
@@ -94,6 +98,8 @@ fn main() {
     let kill_epoch: Option<u64> = flag_value(&args, "--kill-epoch").and_then(|v| v.parse().ok());
     let resume = args.iter().any(|a| a == "--resume");
     let verify = args.iter().any(|a| a == "--verify");
+    let telemetry_path = flag_value(&args, "--telemetry");
+    let trace_json_path = flag_value(&args, "--trace-json");
     let threads = opts.effective_threads();
 
     let synth_start = Instant::now();
@@ -191,22 +197,62 @@ fn main() {
     };
 
     let replay_start = Instant::now();
-    let outcome = sim.run_stream_resumable(
-        &trace,
-        PlacementStrategy::IdleAware,
-        &config,
-        snapshot_secs,
-        resume_from.as_ref(),
-        |snap| {
-            snap.write_to(&snapshot_path)?;
-            if let Some(kill) = kill_epoch {
-                if snap.epoch() >= kill {
-                    return Ok(false);
+    let outcome = if telemetry_path.is_some() || trace_json_path.is_some() {
+        let mut tel = Telemetry::new();
+        trace.record_scan(&mut tel);
+        let epoch_nanos = (snapshot_secs * 1e9) as u64;
+        let mut jsonl = String::new();
+        let out = sim.run_stream_resumable_traced(
+            &trace,
+            PlacementStrategy::IdleAware,
+            &config,
+            snapshot_secs,
+            resume_from.as_ref(),
+            &mut tel,
+            |snap, rec| {
+                snap.write_to(&snapshot_path)?;
+                rec.jsonl_snapshot(
+                    snap.epoch(),
+                    snap.epoch().saturating_mul(epoch_nanos),
+                    &mut jsonl,
+                );
+                if let Some(kill) = kill_epoch {
+                    if snap.epoch() >= kill {
+                        return Ok(false);
+                    }
                 }
-            }
-            Ok(true)
-        },
-    );
+                Ok(true)
+            },
+        );
+        if let Some(path) = &telemetry_path {
+            std::fs::write(path, &jsonl).expect("write telemetry JSONL");
+            println!("telemetry: per-epoch JSONL -> {path}");
+        }
+        if let Some(path) = &trace_json_path {
+            tel.write_chrome_trace(std::path::Path::new(path))
+                .expect("write Chrome trace JSON");
+            println!("telemetry: Chrome trace -> {path} (open in Perfetto or chrome://tracing)");
+        }
+        println!("{}", tel.summary());
+        out
+    } else {
+        sim.run_stream_resumable(
+            &trace,
+            PlacementStrategy::IdleAware,
+            &config,
+            snapshot_secs,
+            resume_from.as_ref(),
+            |snap| {
+                snap.write_to(&snapshot_path)?;
+                if let Some(kill) = kill_epoch {
+                    if snap.epoch() >= kill {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            },
+        )
+    };
     let wall = replay_start.elapsed().as_secs_f64();
     match outcome {
         Ok(Some(report)) => {

@@ -7,6 +7,13 @@ fn main() {
     let opts = exp::ExperimentOpts::from_args();
     let result = exp::fleet_zone_outage::run(&opts).expect("fleet zone outage");
     println!("{}", result.render());
+    // Diagnostics go to stderr: the digests carry sampled wall timings
+    // and engine-dependent effort counters, while stdout must stay
+    // byte-identical across thread counts.
+    eprintln!("\nper-cell telemetry (counters from the live recorder):");
+    for r in &result.rows {
+        eprintln!("  {}/{}: {}", r.faults, r.controller, r.telemetry);
+    }
     match result.write_csv() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write CSV: {e}"),

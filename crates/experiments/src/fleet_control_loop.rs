@@ -24,7 +24,8 @@
 
 use freedom::fleet::{
     AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetReport, FleetSimulator,
-    PidConfig, PlacementStrategy, RightSizerConfig, StreamTrace,
+    PidConfig, PlacementStrategy, ReplayConfig, ReplayStats, RightSizerConfig, StreamTrace,
+    Telemetry,
 };
 
 use crate::context::{par_map, ExperimentOpts};
@@ -92,7 +93,13 @@ pub fn controller_presets(headroom: AdmissionPolicy) -> [ControllerPreset; 4] {
 }
 
 /// One sweep data point.
-#[derive(Debug, Clone)]
+///
+/// `Debug` deliberately covers only the *result* fields: `stats` and
+/// `telemetry` are replay-engine diagnostics (effort counters differ
+/// between the sequential and windowed engines, and the digest carries
+/// sampled wall-clock timings), so they are excluded from the
+/// bit-equality surface the determinism tests compare.
+#[derive(Clone)]
 pub struct ControlRow {
     /// Workload shape label.
     pub source: &'static str,
@@ -111,6 +118,27 @@ pub struct ControlRow {
     pub final_ceiling: f64,
     /// Placement revisions the controller issued over the trace.
     pub replans: u32,
+    /// Replay-engine effort and peak-memory stats of the closed-loop
+    /// replay (peak in-flight, ladder anchors, fallback windows).
+    pub stats: ReplayStats,
+    /// One-line telemetry counter digest of the replay
+    /// ([`Telemetry::brief`]).
+    pub telemetry: String,
+}
+
+impl std::fmt::Debug for ControlRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlRow")
+            .field("source", &self.source)
+            .field("tightness", &self.tightness)
+            .field("controller", &self.controller)
+            .field("baseline_cost_usd", &self.baseline_cost_usd)
+            .field("report", &self.report)
+            .field("settling_secs", &self.settling_secs)
+            .field("final_ceiling", &self.final_ceiling)
+            .field("replans", &self.replans)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ControlRow {
@@ -232,6 +260,10 @@ impl ControlLoopResult {
             "settling_secs",
             "final_ceiling",
             "replans",
+            "peak_inflight",
+            "peak_resident_events",
+            "ladder_anchors",
+            "fallback_windows",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -253,6 +285,10 @@ impl ControlLoopResult {
                 r.settling_secs.to_string(),
                 r.final_ceiling.to_string(),
                 r.replans.to_string(),
+                r.stats.peak_inflight.to_string(),
+                r.stats.peak_resident_events().to_string(),
+                r.stats.ladder_anchors.to_string(),
+                r.stats.fallback_windows.to_string(),
             ]);
         }
         t.write_csv("fleet_control_loop.csv")
@@ -291,12 +327,26 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<ControlLoopResult> {
     let tightness = market_tightness();
     let presets = controller_presets(planner.admission_policy());
 
+    // Every cell replays with a live per-cell recorder: the stats and
+    // counter digest ride along in the row while the report itself stays
+    // bit-identical to the untraced replay (the determinism lattice pins
+    // this).
     let replay = |trace: &StreamTrace, strategy, config: &FleetConfig| {
-        if threads <= 1 {
-            sim.run_stream(trace, strategy, config)
+        let mut tel = Telemetry::with_capacity(4096);
+        let (report, stats) = if threads <= 1 {
+            sim.run_stream_traced(trace, strategy, config, &mut tel)?
         } else {
-            sim.run_stream_windowed(trace, strategy, config, threads, WINDOW_SECS)
-        }
+            sim.run_stream_windowed_traced(
+                trace,
+                strategy,
+                config,
+                &ReplayConfig::default(),
+                threads,
+                WINDOW_SECS,
+                &mut tel,
+            )?
+        };
+        Ok::<_, freedom::FreedomError>((report, stats, tel.brief()))
     };
 
     // Baselines: one best-config-only replay per (source, tightness) —
@@ -310,7 +360,11 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<ControlLoopResult> {
             market: market_config(&tightness[t], AdmissionPolicy::Greedy),
             ..FleetConfig::default()
         };
-        Ok(replay(&traces[s], PlacementStrategy::BestConfigOnly, &config)?.total_cost_usd)
+        Ok(
+            replay(&traces[s], PlacementStrategy::BestConfigOnly, &config)?
+                .0
+                .total_cost_usd,
+        )
     })
     .into_iter()
     .collect::<freedom::Result<Vec<f64>>>()?;
@@ -327,7 +381,7 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<ControlLoopResult> {
             control: preset.control,
             ..FleetConfig::default()
         };
-        let report = replay(&traces[s], PlacementStrategy::IdleAware, &config)?;
+        let (report, stats, telemetry) = replay(&traces[s], PlacementStrategy::IdleAware, &config)?;
         Ok(ControlRow {
             source: sources[s].0,
             tightness: tightness[t].label,
@@ -340,6 +394,8 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<ControlLoopResult> {
                 .map_or(f64::INFINITY, |smp| smp.ceiling),
             replans: report.control.iter().map(|smp| smp.replanned).sum(),
             report,
+            stats,
+            telemetry,
         })
     })
     .into_iter()

@@ -21,8 +21,8 @@
 
 use freedom::fleet::{
     AdmissionPolicy, ControlConfig, ControllerConfig, FaultPlan, FleetConfig, FleetReport,
-    FleetSimulator, PidConfig, PlacementStrategy, RightSizerConfig, StreamTrace, TraceSource,
-    ZoneConfig,
+    FleetSimulator, PidConfig, PlacementStrategy, ReplayConfig, ReplayStats, RightSizerConfig,
+    StreamTrace, Telemetry, TraceSource, ZoneConfig,
 };
 
 use crate::context::{par_map, ExperimentOpts};
@@ -91,7 +91,13 @@ pub fn fault_presets() -> [FaultPreset; 3] {
 }
 
 /// One sweep data point.
-#[derive(Debug, Clone)]
+///
+/// `Debug` deliberately covers only the *result* fields: `stats` and
+/// `telemetry` are replay-engine diagnostics (effort counters differ
+/// between the sequential and windowed engines, and the digest carries
+/// sampled wall-clock timings), so they are excluded from the
+/// bit-equality surface the determinism tests compare.
+#[derive(Clone)]
 pub struct OutageRow {
     /// Fault preset label.
     pub faults: &'static str,
@@ -101,6 +107,23 @@ pub struct OutageRow {
     pub baseline_cost_usd: f64,
     /// The idle-aware replay over the faulted multi-zone market.
     pub report: FleetReport,
+    /// Replay-engine effort and peak-memory stats of the replay
+    /// (peak in-flight, ladder anchors, fallback windows).
+    pub stats: ReplayStats,
+    /// One-line telemetry counter digest of the replay
+    /// ([`Telemetry::brief`]).
+    pub telemetry: String,
+}
+
+impl std::fmt::Debug for OutageRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutageRow")
+            .field("faults", &self.faults)
+            .field("controller", &self.controller)
+            .field("baseline_cost_usd", &self.baseline_cost_usd)
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
 }
 
 impl OutageRow {
@@ -203,6 +226,10 @@ impl ZoneOutageResult {
             "rejected",
             "slo_violations",
             "p95_latency_inflation",
+            "peak_inflight",
+            "peak_resident_events",
+            "ladder_anchors",
+            "fallback_windows",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -220,7 +247,12 @@ impl ZoneOutageResult {
                 r.report.spot_demoted.to_string(),
                 r.rescue_rate().to_string(),
                 r.report.rejected.to_string(),
+                r.report.slo_violations.to_string(),
                 r.report.p95_latency_inflation.to_string(),
+                r.stats.peak_inflight.to_string(),
+                r.stats.peak_resident_events().to_string(),
+                r.stats.ladder_anchors.to_string(),
+                r.stats.fallback_windows.to_string(),
             ]);
         }
         t.write_csv("fleet_zone_outage.csv")
@@ -280,12 +312,26 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<ZoneOutageResult> {
     ];
     let faults = fault_presets();
 
+    // Every cell replays with a live per-cell recorder: the stats and
+    // counter digest ride along in the row while the report itself stays
+    // bit-identical to the untraced replay (the determinism lattice pins
+    // this).
     let replay = |strategy, config: &FleetConfig| {
-        if threads <= 1 {
-            sim.run_stream(&trace, strategy, config)
+        let mut tel = Telemetry::with_capacity(4096);
+        let (report, stats) = if threads <= 1 {
+            sim.run_stream_traced(&trace, strategy, config, &mut tel)?
         } else {
-            sim.run_stream_windowed(&trace, strategy, config, threads, WINDOW_SECS)
-        }
+            sim.run_stream_windowed_traced(
+                &trace,
+                strategy,
+                config,
+                &ReplayConfig::default(),
+                threads,
+                WINDOW_SECS,
+                &mut tel,
+            )?
+        };
+        Ok::<_, freedom::FreedomError>((report, stats, tel.brief()))
     };
 
     // One best-config-only baseline per fault preset: the baseline never
@@ -298,7 +344,9 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<ZoneOutageResult> {
             faults: faults[f].plan,
             ..FleetConfig::default()
         };
-        Ok(replay(PlacementStrategy::BestConfigOnly, &config)?.total_cost_usd)
+        Ok(replay(PlacementStrategy::BestConfigOnly, &config)?
+            .0
+            .total_cost_usd)
     })
     .into_iter()
     .collect::<freedom::Result<Vec<f64>>>()?;
@@ -317,12 +365,14 @@ pub fn run(opts: &ExperimentOpts) -> freedom::Result<ZoneOutageResult> {
             faults: faults[f].plan,
             ..FleetConfig::default()
         };
-        let report = replay(PlacementStrategy::IdleAware, &config)?;
+        let (report, stats, telemetry) = replay(PlacementStrategy::IdleAware, &config)?;
         Ok(OutageRow {
             faults: faults[f].label,
             controller: label,
             baseline_cost_usd: baselines[f],
             report,
+            stats,
+            telemetry,
         })
     })
     .into_iter()

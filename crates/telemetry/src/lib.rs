@@ -1,0 +1,1031 @@
+//! Zero-allocation telemetry for the replay engine.
+//!
+//! The replay hot loop is generic over a [`Recorder`]. With the
+//! [`NoopRecorder`] every call monomorphizes to nothing — no branches,
+//! no allocation, no atomics — so the telemetry-off replay is
+//! bit-for-bit and instruction-for-instruction the untraced engine.
+//! With the live [`Telemetry`] recorder, every observation lands in
+//! preallocated storage: a fixed counter array, fixed log2-bucketed
+//! [`Histogram`]s, and a fixed-capacity [`SpanRing`] that overwrites
+//! its oldest entry (and counts the drop) instead of growing. After
+//! construction, recording never touches the allocator.
+//!
+//! Two clocks coexist. *Simulated-time* spans carry replay-clock
+//! nanoseconds (window bounds, controller ticks, supply steps) and are
+//! deterministic: the same replay produces the same spans regardless of
+//! thread count, because parallel windows record into forked recorders
+//! that are [`Recorder::absorb`]ed back in window order. *Wall-time*
+//! spans carry nanoseconds since the recorder's origin `Instant`
+//! (scan, speculative rounds, fallback walks) and describe the host,
+//! not the replay — they are excluded from determinism guarantees.
+//!
+//! Exports: [`Telemetry::jsonl_snapshot`] (one JSON line per epoch),
+//! [`Telemetry::chrome_trace`] (trace-event JSON loadable in Perfetto
+//! or `chrome://tracing`), and [`Telemetry::summary`] (compact
+//! terminal block).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Monotonic event counters, preallocated as one flat array.
+///
+/// Sim-derived counters (everything except the span/export plumbing)
+/// are deterministic for a given replay: merged parallel recorders
+/// equal the sequential recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Counter {
+    /// Trace arrivals admitted to the placement path.
+    Arrivals,
+    /// Arrivals placed on spot capacity.
+    SpotAdmitted,
+    /// Arrivals bounced to on-demand by the admission policy.
+    PolicyRejected,
+    /// Arrivals bounced to on-demand because spot was full.
+    CapacityMissed,
+    /// Arrivals that ran on-demand because their plan had no active
+    /// alternates (policy and capacity bounces count separately).
+    OnDemand,
+    /// In-flight executions that ran to completion on their placement.
+    Completions,
+    /// Completions of executions that had already been drained or
+    /// demoted off their placement (ledger ghosts).
+    GhostCompletions,
+    /// Executions drained off withdrawn spot capacity under notice.
+    Drained,
+    /// Executions live-migrated to a surviving zone.
+    Migrated,
+    /// Executions demoted from spot to on-demand billing.
+    SpotDemoted,
+    /// Executions caught by a preemption notice.
+    Notified,
+    /// Market supply steps applied.
+    SupplySteps,
+    /// Preemption notices fired.
+    NoticesFired,
+    /// Controller observation/actuation ticks.
+    ControllerTicks,
+    /// Per-function placement revisions the controller issued at ticks.
+    Replans,
+    /// Windows simulated (including speculative re-runs).
+    WindowsSimulated,
+    /// Speculative reconciliation rounds executed.
+    SpeculativeRounds,
+    /// Windows resolved by the sequential exact-carry fallback.
+    FallbackWindows,
+    /// Checkpoint-ladder anchors built for streaming windowed replay.
+    LadderAnchors,
+    /// Events re-drained from gz sources during ladder re-anchoring.
+    RedrainedEvents,
+    /// Resumable-replay snapshots handed to the snapshot callback.
+    SnapshotsWritten,
+}
+
+impl Counter {
+    /// Number of counters; length of [`Counter::ALL`].
+    pub const COUNT: usize = 21;
+
+    /// Every counter, in declaration (= export) order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Arrivals,
+        Counter::SpotAdmitted,
+        Counter::PolicyRejected,
+        Counter::CapacityMissed,
+        Counter::OnDemand,
+        Counter::Completions,
+        Counter::GhostCompletions,
+        Counter::Drained,
+        Counter::Migrated,
+        Counter::SpotDemoted,
+        Counter::Notified,
+        Counter::SupplySteps,
+        Counter::NoticesFired,
+        Counter::ControllerTicks,
+        Counter::Replans,
+        Counter::WindowsSimulated,
+        Counter::SpeculativeRounds,
+        Counter::FallbackWindows,
+        Counter::LadderAnchors,
+        Counter::RedrainedEvents,
+        Counter::SnapshotsWritten,
+    ];
+
+    /// Stable snake_case name used in JSONL and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Arrivals => "arrivals",
+            Counter::SpotAdmitted => "spot_admitted",
+            Counter::PolicyRejected => "policy_rejected",
+            Counter::CapacityMissed => "capacity_missed",
+            Counter::OnDemand => "on_demand",
+            Counter::Completions => "completions",
+            Counter::GhostCompletions => "ghost_completions",
+            Counter::Drained => "drained",
+            Counter::Migrated => "migrated",
+            Counter::SpotDemoted => "spot_demoted",
+            Counter::Notified => "notified",
+            Counter::SupplySteps => "supply_steps",
+            Counter::NoticesFired => "notices_fired",
+            Counter::ControllerTicks => "controller_ticks",
+            Counter::Replans => "replans",
+            Counter::WindowsSimulated => "windows_simulated",
+            Counter::SpeculativeRounds => "speculative_rounds",
+            Counter::FallbackWindows => "fallback_windows",
+            Counter::LadderAnchors => "ladder_anchors",
+            Counter::RedrainedEvents => "redrained_events",
+            Counter::SnapshotsWritten => "snapshots_written",
+        }
+    }
+}
+
+/// Value distributions, each a fixed log2-bucketed [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Hist {
+    /// Wall nanoseconds of the admission hot path, sampled 1-in-64.
+    /// Host-dependent; excluded from determinism guarantees.
+    AdmissionNanos,
+    /// Timer-wheel in-flight depth observed at each arrival.
+    InflightDepth,
+    /// Simulated nanoseconds between consecutive arrivals in a window.
+    ArrivalGapNanos,
+    /// Spot-pool utilization in parts-per-million at controller ticks.
+    UtilizationPpm,
+}
+
+impl Hist {
+    /// Number of histograms; length of [`Hist::ALL`].
+    pub const COUNT: usize = 4;
+
+    /// Every histogram, in declaration (= export) order.
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::AdmissionNanos,
+        Hist::InflightDepth,
+        Hist::ArrivalGapNanos,
+        Hist::UtilizationPpm,
+    ];
+
+    /// Stable snake_case name used in JSONL and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::AdmissionNanos => "admission_ns",
+            Hist::InflightDepth => "inflight_depth",
+            Hist::ArrivalGapNanos => "arrival_gap_ns",
+            Hist::UtilizationPpm => "utilization_ppm",
+        }
+    }
+}
+
+/// Span kinds. A span lives on the simulated-time track or the
+/// wall-time track (never both); the recording call picks the track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Span {
+    /// One replay window over simulated time (arg = window index).
+    Window,
+    /// One speculative reconciliation round (sim extent of the pending
+    /// windows on the sim track; wall duration on the wall track;
+    /// arg = round number).
+    Round,
+    /// One checkpoint-ladder segment (arg = anchor index).
+    LadderSegment,
+    /// One controller cadence interval ending at a tick (arg = tick
+    /// count so far).
+    ControllerTick,
+    /// One market supply step (instant; arg = step count so far).
+    SupplyStep,
+    /// One preemption notice (instant; arg = executions notified).
+    Notice,
+    /// One resumable-replay epoch boundary (sim instant) and the wall
+    /// time spent writing its snapshot (arg = epoch).
+    SnapshotEpoch,
+    /// Wall time scanning/parsing one trace source (arg = source
+    /// index).
+    Scan,
+    /// Wall time decompressing + scanning one gzip member (arg =
+    /// source index).
+    GzDecompress,
+    /// Wall time of the ladder count pre-pass (arg = anchors).
+    CountPrePass,
+    /// Wall time of the sequential exact-carry fallback walk (arg =
+    /// windows resolved).
+    FallbackWalk,
+    /// Wall time simulating one window (arg = first event index).
+    WindowSim,
+}
+
+impl Span {
+    /// Number of span kinds; length of [`Span::ALL`].
+    pub const COUNT: usize = 12;
+
+    /// Every span kind, in declaration (= track id) order.
+    pub const ALL: [Span; Span::COUNT] = [
+        Span::Window,
+        Span::Round,
+        Span::LadderSegment,
+        Span::ControllerTick,
+        Span::SupplyStep,
+        Span::Notice,
+        Span::SnapshotEpoch,
+        Span::Scan,
+        Span::GzDecompress,
+        Span::CountPrePass,
+        Span::FallbackWalk,
+        Span::WindowSim,
+    ];
+
+    /// Stable name used as the trace-event name and track label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Span::Window => "window",
+            Span::Round => "round",
+            Span::LadderSegment => "ladder_segment",
+            Span::ControllerTick => "controller_tick",
+            Span::SupplyStep => "supply_step",
+            Span::Notice => "notice",
+            Span::SnapshotEpoch => "snapshot_epoch",
+            Span::Scan => "scan",
+            Span::GzDecompress => "gz_decompress",
+            Span::CountPrePass => "count_pre_pass",
+            Span::FallbackWalk => "fallback_walk",
+            Span::WindowSim => "window_sim",
+        }
+    }
+}
+
+/// Log2-bucketed integer histogram with exact count/sum/min/max.
+///
+/// Bucket `i` holds values whose bit length is `i`: bucket 0 is the
+/// value 0, bucket 1 is {1}, bucket 2 is {2,3}, …, bucket 64 covers the
+/// top half of `u64`. Merging adds bucket-wise, so merge is associative
+/// and commutative and the merged quantiles equal the quantiles of the
+/// concatenated observations (at bucket resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Record one observation. Never allocates.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Histogram::bucket_of(value)] += 1;
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`), clamped to the exact max. Resolution is one
+    /// power of two; deterministic given the same observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One recorded span: kind, track, start, duration, and a free-form
+/// argument. 40 bytes, `Copy`, preallocated in the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRec {
+    /// What phase this span covers.
+    pub kind: Span,
+    /// `true` = wall-clock track, `false` = simulated-time track.
+    pub wall: bool,
+    /// Start in nanoseconds (sim nanos, or wall nanos since the
+    /// recorder origin).
+    pub start_nanos: u64,
+    /// Duration in nanoseconds (0 for instant markers).
+    pub dur_nanos: u64,
+    /// Kind-specific argument (window index, epoch, …).
+    pub arg: u64,
+}
+
+/// Fixed-capacity span buffer: overwrites the oldest entry once full
+/// and counts every overwrite, instead of growing.
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    buf: Vec<SpanRec>,
+    cap: usize,
+    next: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// Preallocate a ring for `cap` spans (min 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SpanRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record one span. Never allocates beyond the preallocated ring.
+    #[inline]
+    pub fn push(&mut self, rec: SpanRec) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Spans currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanRec> {
+        let (tail, head) = self.buf.split_at(self.next.min(self.buf.len()));
+        head.iter().chain(tail.iter())
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The replay engine's telemetry sink. Implemented by [`NoopRecorder`]
+/// (compiles to nothing) and [`Telemetry`] (preallocated live
+/// recorder). The engine forks one recorder per parallel window and
+/// absorbs the forks back **in window order**, which makes every
+/// sim-derived observation deterministic under any thread count.
+pub trait Recorder: Send {
+    /// `false` only for the noop recorder; lets the hot loop guard
+    /// sampling work behind a compile-time constant.
+    const ENABLED: bool;
+
+    /// An empty recorder sharing this one's origin and configuration,
+    /// for a parallel window.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Fold a forked recorder back in. Callers must absorb forks in
+    /// window order to keep span order deterministic.
+    fn absorb(&mut self, other: Self)
+    where
+        Self: Sized;
+
+    /// Increment a counter.
+    fn add(&mut self, counter: Counter, delta: u64);
+
+    /// Record one histogram observation.
+    fn observe(&mut self, hist: Hist, value: u64);
+
+    /// Wall nanoseconds since the recorder's origin (0 for noop).
+    fn now_nanos(&self) -> u64;
+
+    /// True on a 1-in-N cadence, for sampled wall timing of hot paths.
+    /// Always false for the noop recorder.
+    fn should_sample(&mut self) -> bool;
+
+    /// Record a simulated-time span `[start_nanos, end_nanos]`.
+    fn span_sim(&mut self, kind: Span, start_nanos: u64, end_nanos: u64, arg: u64);
+
+    /// Record a wall-time span from `start_nanos` (a prior
+    /// [`Recorder::now_nanos`]) to now.
+    fn span_wall(&mut self, kind: Span, start_nanos: u64, arg: u64);
+
+    /// Record a wall-time span with an explicit duration (for phases
+    /// timed outside the recorder, e.g. the scan pre-pass).
+    fn span_wall_at(&mut self, kind: Span, start_nanos: u64, dur_nanos: u64, arg: u64);
+}
+
+/// The telemetry-off recorder: every method is an empty `#[inline]`
+/// body, so the monomorphized hot loop is identical to an untraced
+/// one. Zero size, zero cost, zero allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn fork(&self) -> Self {
+        NoopRecorder
+    }
+    #[inline(always)]
+    fn absorb(&mut self, _other: Self) {}
+    #[inline(always)]
+    fn add(&mut self, _counter: Counter, _delta: u64) {}
+    #[inline(always)]
+    fn observe(&mut self, _hist: Hist, _value: u64) {}
+    #[inline(always)]
+    fn now_nanos(&self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    fn should_sample(&mut self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn span_sim(&mut self, _kind: Span, _start_nanos: u64, _end_nanos: u64, _arg: u64) {}
+    #[inline(always)]
+    fn span_wall(&mut self, _kind: Span, _start_nanos: u64, _arg: u64) {}
+    #[inline(always)]
+    fn span_wall_at(&mut self, _kind: Span, _start_nanos: u64, _dur_nanos: u64, _arg: u64) {}
+}
+
+/// Default span-ring capacity: enough for a multi-day replay's ticks,
+/// steps, and windows at day-scale cadences (~650 KiB of spans).
+pub const DEFAULT_SPAN_CAPACITY: usize = 16_384;
+
+/// Sampled hot-path timing cadence: every 64th arrival.
+const SAMPLE_MASK: u32 = 63;
+
+/// The live recorder: one flat counter array, fixed histograms, and a
+/// span ring, all preallocated at construction. Forks share the wall
+/// origin so wall spans from parallel windows land on one timeline.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    origin: Instant,
+    sample_ctr: u32,
+    counters: [u64; Counter::COUNT],
+    hists: [Histogram; Hist::COUNT],
+    spans: SpanRing,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl Telemetry {
+    /// A live recorder with the default span capacity.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// A live recorder whose span ring holds `span_capacity` spans.
+    pub fn with_capacity(span_capacity: usize) -> Self {
+        Telemetry {
+            origin: Instant::now(),
+            sample_ctr: 0,
+            counters: [0; Counter::COUNT],
+            hists: [Histogram::default(); Hist::COUNT],
+            spans: SpanRing::new(span_capacity),
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// One histogram's current state.
+    pub fn hist(&self, h: Hist) -> &Histogram {
+        &self.hists[h as usize]
+    }
+
+    /// Recorded spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRec> {
+        self.spans.iter()
+    }
+
+    /// Spans overwritten because the ring filled up.
+    pub fn dropped_spans(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// One-line digest for sweep tables: the counters that explain a
+    /// cell plus the admission-path p99.
+    pub fn brief(&self) -> String {
+        let adm = self.hist(Hist::AdmissionNanos);
+        format!(
+            "ticks {} steps {} rounds {} fallback {} admission p99 {}ns spans {} (dropped {})",
+            self.counter(Counter::ControllerTicks),
+            self.counter(Counter::SupplySteps),
+            self.counter(Counter::SpeculativeRounds),
+            self.counter(Counter::FallbackWindows),
+            adm.quantile(0.99),
+            self.spans.len(),
+            self.spans.dropped(),
+        )
+    }
+
+    /// Compact multi-line terminal summary: non-zero counters,
+    /// non-empty histograms, span-ring occupancy.
+    pub fn summary(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("telemetry summary\n  counters:");
+        let mut any = false;
+        for c in Counter::ALL {
+            let v = self.counter(c);
+            if v != 0 {
+                let _ = write!(out, " {}={v}", c.name());
+                any = true;
+            }
+        }
+        if !any {
+            out.push_str(" (none)");
+        }
+        out.push('\n');
+        for h in Hist::ALL {
+            let hist = self.hist(h);
+            if hist.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {}: count {} mean {:.0} p50 {} p99 {} max {}",
+                h.name(),
+                hist.count(),
+                hist.mean(),
+                hist.quantile(0.5),
+                hist.quantile(0.99),
+                hist.max(),
+            );
+        }
+        let _ = write!(
+            out,
+            "  spans: {} recorded, {} dropped (ring capacity {})",
+            self.spans.len(),
+            self.spans.dropped(),
+            self.spans.capacity(),
+        );
+        out
+    }
+
+    /// Append one JSONL metric snapshot (cumulative counters and
+    /// histogram digests at a replay epoch) to `out`.
+    pub fn jsonl_snapshot(&self, epoch: u64, sim_nanos: u64, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"epoch\":{epoch},\"sim_secs\":{:.3},\"counters\":{{",
+            sim_nanos as f64 / 1e9
+        );
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", c.name(), self.counter(*c));
+        }
+        out.push_str("},\"hists\":{");
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let hist = self.hist(*h);
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.name(),
+                hist.count(),
+                hist.sum(),
+                hist.min(),
+                hist.max(),
+                hist.quantile(0.5),
+                hist.quantile(0.9),
+                hist.quantile(0.99),
+            );
+        }
+        let _ = write!(
+            out,
+            "}},\"spans\":{},\"spans_dropped\":{}}}",
+            self.spans.len(),
+            self.spans.dropped()
+        );
+        out.push('\n');
+    }
+
+    /// Render every recorded span as Chrome trace-event JSON.
+    ///
+    /// Process 1 is the simulated-time timeline, process 2 the
+    /// wall-time timeline; each span kind gets its own named thread
+    /// track. Timestamps and durations are microseconds, as the
+    /// trace-event format requires. The output loads directly in
+    /// Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(256 + 96 * self.spans.len());
+        out.push_str("[\n");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"simulated time\"}},\n",
+        );
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"wall time\"}},\n",
+        );
+        let mut present = [[false; Span::COUNT]; 2];
+        for rec in self.spans.iter() {
+            present[rec.wall as usize][rec.kind as usize] = true;
+        }
+        for (wall, kinds) in present.iter().enumerate() {
+            for (idx, seen) in kinds.iter().enumerate() {
+                if *seen {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                         \"args\":{{\"name\":\"{}\"}}}},",
+                        wall + 1,
+                        idx + 1,
+                        Span::ALL[idx].name(),
+                    );
+                }
+            }
+        }
+        let mut first = true;
+        for rec in self.spans.iter() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\"arg\":{}}}}}",
+                rec.kind.name(),
+                if rec.wall { "wall" } else { "sim" },
+                rec.start_nanos as f64 / 1e3,
+                rec.dur_nanos as f64 / 1e3,
+                if rec.wall { 2 } else { 1 },
+                rec.kind as usize + 1,
+                rec.arg,
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Write [`Telemetry::chrome_trace`] to a file.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace())
+    }
+}
+
+impl Recorder for Telemetry {
+    const ENABLED: bool = true;
+
+    fn fork(&self) -> Self {
+        Telemetry {
+            origin: self.origin,
+            sample_ctr: 0,
+            counters: [0; Counter::COUNT],
+            hists: [Histogram::default(); Hist::COUNT],
+            spans: SpanRing::new(self.spans.capacity()),
+        }
+    }
+
+    fn absorb(&mut self, other: Self) {
+        for (i, v) in other.counters.iter().enumerate() {
+            self.counters[i] += *v;
+        }
+        for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            h.merge(o);
+        }
+        self.spans.dropped += other.spans.dropped;
+        for rec in other.spans.iter() {
+            self.spans.push(*rec);
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, counter: Counter, delta: u64) {
+        self.counters[counter as usize] += delta;
+    }
+
+    #[inline]
+    fn observe(&mut self, hist: Hist, value: u64) {
+        self.hists[hist as usize].observe(value);
+    }
+
+    #[inline]
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn should_sample(&mut self) -> bool {
+        let hit = self.sample_ctr & SAMPLE_MASK == 0;
+        self.sample_ctr = self.sample_ctr.wrapping_add(1);
+        hit
+    }
+
+    #[inline]
+    fn span_sim(&mut self, kind: Span, start_nanos: u64, end_nanos: u64, arg: u64) {
+        self.spans.push(SpanRec {
+            kind,
+            wall: false,
+            start_nanos,
+            dur_nanos: end_nanos.saturating_sub(start_nanos),
+            arg,
+        });
+    }
+
+    #[inline]
+    fn span_wall(&mut self, kind: Span, start_nanos: u64, arg: u64) {
+        let dur = self.now_nanos().saturating_sub(start_nanos);
+        self.span_wall_at(kind, start_nanos, dur, arg);
+    }
+
+    #[inline]
+    fn span_wall_at(&mut self, kind: Span, start_nanos: u64, dur_nanos: u64, arg: u64) {
+        self.spans.push(SpanRec {
+            kind,
+            wall: true,
+            start_nanos,
+            dur_nanos,
+            arg,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(values: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.observe(v);
+        }
+        h
+    }
+
+    fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+        let mut m = *a;
+        m.merge(b);
+        m
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        // 0 → bucket 0; 1 → 1; 2,3 → 2; 4,7 → 3; 8 → 4; 1023 → 10;
+        // 1024 → 11; u64::MAX → 64.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[3], 2);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.buckets[11], 1);
+        assert_eq!(h.buckets[64], 1);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_and_associative() {
+        let a = hist_of(&[1, 5, 9, 200, 4096]);
+        let b = hist_of(&[0, 0, 17, 1_000_000]);
+        let c = hist_of(&[u64::MAX, 3, 64]);
+
+        assert_eq!(merged(&a, &b), merged(&b, &a));
+        assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+
+        // Merging equals observing the concatenation.
+        let all = hist_of(&[1, 5, 9, 200, 4096, 0, 0, 17, 1_000_000, u64::MAX, 3, 64]);
+        assert_eq!(merged(&merged(&a, &b), &c), all);
+    }
+
+    #[test]
+    fn histogram_merge_identity_is_empty() {
+        let a = hist_of(&[7, 13, 21]);
+        assert_eq!(merged(&a, &Histogram::new()), a);
+        assert_eq!(merged(&Histogram::new(), &a), a);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = hist_of(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512]);
+        assert_eq!(h.quantile(0.0), 1);
+        // rank 5 of 10 lands on value 16 → bucket 5 upper bound 31.
+        assert_eq!(h.quantile(0.5), 31);
+        // p99 rounds up to the last observation's bucket, clamped to max.
+        assert_eq!(h.quantile(0.99), 512);
+        assert_eq!(h.quantile(1.0), 512);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn span_ring_overflow_drops_oldest_and_counts() {
+        let mut ring = SpanRing::new(4);
+        for i in 0..7u64 {
+            ring.push(SpanRec {
+                kind: Span::Window,
+                wall: false,
+                start_nanos: i,
+                dur_nanos: 1,
+                arg: i,
+            });
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 3);
+        let args: Vec<u64> = ring.iter().map(|r| r.arg).collect();
+        assert_eq!(args, vec![3, 4, 5, 6], "oldest spans must be dropped first");
+    }
+
+    #[test]
+    fn span_ring_below_capacity_keeps_order_and_drops_nothing() {
+        let mut ring = SpanRing::new(8);
+        for i in 0..5u64 {
+            ring.push(SpanRec {
+                kind: Span::ControllerTick,
+                wall: false,
+                start_nanos: i * 10,
+                dur_nanos: 10,
+                arg: i,
+            });
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+        let args: Vec<u64> = ring.iter().map(|r| r.arg).collect();
+        assert_eq!(args, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn telemetry_absorb_merges_counters_hists_and_spans_in_order() {
+        let mut parent = Telemetry::with_capacity(16);
+        parent.add(Counter::Arrivals, 10);
+        parent.observe(Hist::InflightDepth, 4);
+        parent.span_sim(Span::Window, 0, 100, 0);
+
+        let mut child = parent.fork();
+        assert_eq!(child.counter(Counter::Arrivals), 0, "forks start empty");
+        child.add(Counter::Arrivals, 5);
+        child.observe(Hist::InflightDepth, 9);
+        child.span_sim(Span::Window, 100, 200, 1);
+
+        parent.absorb(child);
+        assert_eq!(parent.counter(Counter::Arrivals), 15);
+        assert_eq!(parent.hist(Hist::InflightDepth).count(), 2);
+        let args: Vec<u64> = parent.spans().map(|r| r.arg).collect();
+        assert_eq!(args, vec![0, 1], "absorbed spans append after parent spans");
+    }
+
+    #[test]
+    fn noop_recorder_reports_disabled_and_never_samples() {
+        let mut noop = NoopRecorder;
+        const { assert!(!NoopRecorder::ENABLED) };
+        assert!(!noop.should_sample());
+        assert_eq!(noop.now_nanos(), 0);
+        // All recording calls are inert.
+        noop.add(Counter::Arrivals, 1);
+        noop.observe(Hist::AdmissionNanos, 1);
+        noop.span_sim(Span::Window, 0, 1, 0);
+    }
+
+    #[test]
+    fn live_recorder_samples_one_in_sixty_four() {
+        let mut t = Telemetry::with_capacity(4);
+        let hits = (0..256).filter(|_| t.should_sample()).count();
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json_with_both_processes() {
+        let mut t = Telemetry::with_capacity(8);
+        t.span_sim(Span::Window, 0, 60_000_000_000, 0);
+        t.span_sim(Span::ControllerTick, 0, 30_000_000_000, 1);
+        t.span_wall_at(Span::Scan, 0, 5_000_000, 0);
+        let json = t.chrome_trace();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"simulated time\""));
+        assert!(json.contains("\"wall time\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"window\""));
+        assert!(json.contains("\"name\":\"scan\""));
+        // Balanced braces/brackets ⇒ structurally sound without a parser.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn jsonl_snapshot_has_every_counter_and_hist() {
+        let mut t = Telemetry::with_capacity(4);
+        t.add(Counter::Arrivals, 42);
+        t.observe(Hist::AdmissionNanos, 1000);
+        let mut line = String::new();
+        t.jsonl_snapshot(3, 21_600_000_000_000, &mut line);
+        assert!(line.ends_with('\n'));
+        assert!(line.contains("\"epoch\":3"));
+        assert!(line.contains("\"sim_secs\":21600.000"));
+        for c in Counter::ALL {
+            assert!(line.contains(&format!("\"{}\":", c.name())), "{}", c.name());
+        }
+        for h in Hist::ALL {
+            assert!(line.contains(&format!("\"{}\":", h.name())), "{}", h.name());
+        }
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+}

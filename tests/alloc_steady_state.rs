@@ -139,3 +139,67 @@ fn steady_state_replay_allocations_are_event_count_independent() {
          {second_cost} times: window scratch is not being reused"
     );
 }
+
+/// The telemetry layer's zero-allocation claim, enforced with a *live*
+/// recorder: counters, histograms, sampled wall timing, and the span
+/// ring are all preallocated at `Telemetry` construction, so a traced
+/// replay's steady-state allocation count must be as event-count
+/// independent as the recorder-free one. The recorders are built
+/// outside the measured region; everything the hot loop touches —
+/// `add`, `observe`, `span_sim`, `span_wall`, the ring overwrite path —
+/// must stay off the allocator entirely.
+#[test]
+fn telemetry_recording_allocates_nothing_in_steady_state() {
+    use faas_freedom::core::fleet::Telemetry;
+
+    let small = csv_trace(2);
+    let large = csv_trace(16);
+    let plans = synthetic_plans(12, 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+    let config = FleetConfig::default();
+    let run = |trace: &StreamTrace, tel: &mut Telemetry| {
+        sim.run_stream_traced(trace, PlacementStrategy::IdleAware, &config, tel)
+            .unwrap()
+            .0
+    };
+
+    // Preallocate every recorder up front: the ring is sized to
+    // overflow on the large trace, so the overwrite-oldest path is
+    // inside the measured region too.
+    let mut warm_tel = Telemetry::with_capacity(8);
+    let mut small_tel = Telemetry::with_capacity(8);
+    let mut large_tel = Telemetry::with_capacity(8);
+
+    let warm = run(&large, &mut warm_tel);
+
+    let before_small = alloc_events();
+    let small_report = run(&small, &mut small_tel);
+    let small_cost = alloc_events() - before_small;
+
+    let before_large = alloc_events();
+    let large_report = run(&large, &mut large_tel);
+    let large_cost = alloc_events() - before_large;
+
+    assert_eq!(warm.invocations, large_report.invocations);
+    assert!(large_report.invocations >= 8 * small_report.invocations);
+    // The recorder saw the replay, and the ring really did wrap.
+    assert_eq!(
+        large_tel.counter(faas_freedom::core::telemetry::Counter::Arrivals),
+        large_report.invocations as u64
+    );
+    assert!(
+        large_tel.dropped_spans() > 0,
+        "ring sized to overflow must overflow"
+    );
+
+    assert!(
+        large_cost <= small_cost + SLACK,
+        "with a live recorder, replaying {} events allocated {} times, \
+         but {} events allocated {} times: telemetry is allocating per \
+         event",
+        large_report.invocations,
+        large_cost,
+        small_report.invocations,
+        small_cost,
+    );
+}

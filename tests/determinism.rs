@@ -818,3 +818,152 @@ fn gz_multi_file_ingestion_preserves_the_determinism_lattice() {
         );
     }
 }
+
+/// The observability acceptance row: attaching a live telemetry
+/// recorder must not move a single bit of the replay. For every
+/// controller, the streaming and windowed engines replay with
+/// `Telemetry` attached at threads {1, 8} × windows {1, 60} s and the
+/// `FleetReport` must be bit-identical to the recorder-free run of the
+/// same engine — telemetry is strictly observational. On top of the
+/// report identity, the counters the recorder collected are
+/// cross-checked against the report's own ledger (arrivals,
+/// policy rejections, capacity misses), and the windowed engine's
+/// counter set must be independent of the thread count: per-window
+/// recorder forks merge back in window order, so what was measured
+/// cannot depend on who measured it.
+#[test]
+fn telemetry_recording_preserves_the_determinism_lattice() {
+    use faas_freedom::core::fleet::{
+        AdmissionPolicy, ControlConfig, ControllerConfig, FleetConfig, FleetSimulator, PidConfig,
+        PlacementStrategy, ReplayConfig, RightSizerConfig, StreamTrace, SupplyProcess, Telemetry,
+        TraceSource,
+    };
+    use faas_freedom::core::market::MarketConfig;
+    use faas_freedom::core::telemetry::Counter;
+    use freedom_experiments::fleet_simulation::synthetic_plans;
+
+    let n_functions = 120;
+    let duration = 300.0;
+    let lazy = StreamTrace::generate_sharded(
+        TraceSource::HeavyTail {
+            mean_rps: 0.5,
+            alpha: 1.5,
+        },
+        n_functions,
+        duration,
+        11,
+        8,
+    )
+    .unwrap();
+    let sim = FleetSimulator::new(synthetic_plans(n_functions, 4).unwrap()).unwrap();
+
+    for controller in [
+        ControllerConfig::Static,
+        ControllerConfig::HeadroomPid(PidConfig::default()),
+        ControllerConfig::SurrogateRightSizer(RightSizerConfig::default()),
+    ] {
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 3,
+                supply: SupplyProcess {
+                    step_secs: 15.0,
+                    min_fraction: 0.3,
+                    seed: 21,
+                },
+                admission: AdmissionPolicy::Headroom {
+                    max_utilization: 0.85,
+                },
+                ..MarketConfig::default()
+            },
+            control: ControlConfig {
+                cadence_secs: 15.0,
+                controller,
+            },
+            ..FleetConfig::default()
+        };
+
+        // Sequential streaming engine: telemetry-off vs telemetry-on.
+        let off = sim
+            .run_stream(&lazy, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        let mut tel = Telemetry::new();
+        let (on, stats) = sim
+            .run_stream_traced(&lazy, PlacementStrategy::IdleAware, &config, &mut tel)
+            .unwrap();
+        assert_eq!(
+            format!("{off:?}"),
+            format!("{on:?}"),
+            "{controller:?}: a live recorder moved the streaming report"
+        );
+        assert_eq!(stats.events, lazy.len());
+        // The recorder's ledger must agree with the report's.
+        assert_eq!(tel.counter(Counter::Arrivals), on.invocations as u64);
+        assert_eq!(
+            tel.counter(Counter::PolicyRejected),
+            on.policy_rejections as u64
+        );
+        assert_eq!(
+            tel.counter(Counter::CapacityMissed),
+            on.capacity_misses as u64
+        );
+        assert!(tel.counter(Counter::SupplySteps) > 0, "no supply steps");
+        assert!(
+            tel.counter(Counter::ControllerTicks) > 0,
+            "no controller ticks"
+        );
+
+        // Windowed engine: telemetry-off vs telemetry-on at every
+        // lattice point, plus thread-count independence of the
+        // recorded counters.
+        for window_secs in [1.0, 60.0] {
+            let mut counters_by_threads = Vec::new();
+            for threads in [1, 8] {
+                let woff = sim
+                    .run_stream_windowed(
+                        &lazy,
+                        PlacementStrategy::IdleAware,
+                        &config,
+                        threads,
+                        window_secs,
+                    )
+                    .unwrap();
+                let mut wtel = Telemetry::new();
+                let (won, _) = sim
+                    .run_stream_windowed_traced(
+                        &lazy,
+                        PlacementStrategy::IdleAware,
+                        &config,
+                        &ReplayConfig::default(),
+                        threads,
+                        window_secs,
+                        &mut wtel,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    format!("{woff:?}"),
+                    format!("{won:?}"),
+                    "{controller:?}: a live recorder moved the windowed report \
+                     at {threads} threads, {window_secs}s windows"
+                );
+                assert_eq!(
+                    format!("{off:?}"),
+                    format!("{won:?}"),
+                    "{controller:?}: traced windowed diverged from sequential \
+                     at {threads} threads, {window_secs}s windows"
+                );
+                assert_eq!(wtel.counter(Counter::Arrivals), won.invocations as u64);
+                counters_by_threads.push(
+                    Counter::ALL
+                        .iter()
+                        .map(|&c| (c.name(), wtel.counter(c)))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            assert_eq!(
+                counters_by_threads[0], counters_by_threads[1],
+                "{controller:?}: recorded counters depend on the thread count \
+                 at {window_secs}s windows"
+            );
+        }
+    }
+}
