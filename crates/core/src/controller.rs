@@ -28,7 +28,12 @@
 //!   and re-plans each function's placement order through
 //!   [`IdleCapacityPlanner::revise_order`], dropping alternates whose
 //!   observed inflation breaks the θ guardrail the offline model
-//!   mispredicted.
+//!   mispredicted;
+//! - [`update_brownout`] layers graceful degradation over any of them:
+//!   when the epoch's retry pressure (retried / admitted) crosses the
+//!   [`BrownoutConfig`] enter threshold, the fleet sheds retries before
+//!   fresh arrivals and tightens the admission ceiling, recovering with
+//!   hysteresis once pressure falls below the exit threshold.
 //!
 //! # Determinism
 //!
@@ -53,6 +58,7 @@ use freedom_surrogates::{Surrogate, SurrogateKind};
 
 use crate::market::AdmissionPolicy;
 use crate::provider::{IdleCapacityPlanner, PlannerConfig};
+use crate::retry::BrownoutConfig;
 use crate::{FreedomError, Result};
 
 /// Upper bound on controller ticks per replay, mirroring
@@ -264,6 +270,9 @@ pub struct ObsAccum {
     pub policy_rejected: u32,
     /// Admitted-but-nothing-fits misses this epoch.
     pub capacity_missed: u32,
+    /// Retry activations this epoch — the numerator of the brownout
+    /// pressure signal `retried / max(spot_admitted, 1)`.
+    pub retried: u32,
     /// Flattened per-(function, placement) invocation counts; function
     /// `f` owns `offsets[f]..offsets[f + 1]`, one slot per accepted
     /// alternate plus a trailing on-demand slot.
@@ -281,6 +290,7 @@ impl ObsAccum {
             notified: 0,
             policy_rejected: 0,
             capacity_missed: 0,
+            retried: 0,
             per_function: vec![0; slots],
         }
     }
@@ -294,6 +304,7 @@ impl ObsAccum {
         self.notified = 0;
         self.policy_rejected = 0;
         self.capacity_missed = 0;
+        self.retried = 0;
         self.per_function.fill(0);
     }
 
@@ -306,6 +317,7 @@ impl ObsAccum {
         w.u32(self.notified);
         w.u32(self.policy_rejected);
         w.u32(self.capacity_missed);
+        w.u32(self.retried);
         w.len(self.per_function.len());
         for &c in &self.per_function {
             w.u32(c);
@@ -321,6 +333,7 @@ impl ObsAccum {
         let notified = r.u32()?;
         let policy_rejected = r.u32()?;
         let capacity_missed = r.u32()?;
+        let retried = r.u32()?;
         let n = r.len()?;
         let mut per_function = Vec::with_capacity(n);
         for _ in 0..n {
@@ -334,6 +347,7 @@ impl ObsAccum {
             notified,
             policy_rejected,
             capacity_missed,
+            retried,
             per_function,
         })
     }
@@ -427,6 +441,12 @@ pub struct ControlState {
     /// Right-sizer output: per function, the revised placement order
     /// (`None` = the planner's original order).
     pub orders: Vec<Option<Vec<u8>>>,
+    /// Whether the control plane is in brownout: retry pressure crossed
+    /// the enter threshold and has not yet recovered below the exit
+    /// threshold. While set, retries are shed before fresh arrivals and
+    /// fresh admissions face the tightened brownout ceiling. Carried
+    /// state — a window reconstructing mid-trace must agree on the mode.
+    pub brownout: bool,
 }
 
 impl ControlState {
@@ -439,6 +459,7 @@ impl ControlState {
             observed: Vec::new(),
             observed_batches: Vec::new(),
             orders: Vec::new(),
+            brownout: false,
         }
     }
 
@@ -467,6 +488,7 @@ impl ControlState {
         };
         save_log(w, &self.observed);
         save_log(w, &self.observed_batches);
+        w.bool(self.brownout);
         w.len(self.orders.len());
         for order in &self.orders {
             match order {
@@ -513,6 +535,7 @@ impl ControlState {
         };
         let observed = load_log(r)?;
         let observed_batches = load_log(r)?;
+        let brownout = r.bool()?;
         let n = r.len()?;
         let mut orders = Vec::with_capacity(n);
         for _ in 0..n {
@@ -540,6 +563,7 @@ impl ControlState {
             observed,
             observed_batches,
             orders,
+            brownout,
         })
     }
 }
@@ -561,6 +585,7 @@ pub fn control_state_eq(a: &ControlState, b: &ControlState) -> bool {
         && a.observed == b.observed
         && a.observed_batches == b.observed_batches
         && a.orders == b.orders
+        && a.brownout == b.brownout
 }
 
 /// Hashes exactly the fields [`control_state_eq`] compares, in the same
@@ -584,6 +609,7 @@ pub(crate) fn hash_control_state(h: &mut crate::market::Fnv64, s: &ControlState)
     };
     hash_log(h, &s.observed);
     hash_log(h, &s.observed_batches);
+    h.write(u64::from(s.brownout));
     h.write(s.orders.len() as u64);
     for order in &s.orders {
         match order {
@@ -604,10 +630,29 @@ pub(crate) fn hash_obs_accum(h: &mut crate::market::Fnv64, a: &ObsAccum) {
     h.write(u64::from(a.arrivals) | (u64::from(a.spot_admitted) << 32));
     h.write(u64::from(a.spot_demoted) | (u64::from(a.policy_rejected) << 32));
     h.write(u64::from(a.capacity_missed) | (u64::from(a.migrated) << 32));
-    h.write(u64::from(a.notified));
+    h.write(u64::from(a.notified) | (u64::from(a.retried) << 32));
     h.write(a.per_function.len() as u64);
     for &c in &a.per_function {
         h.write(u64::from(c));
+    }
+}
+
+/// Advances the brownout state machine at a controller tick.
+///
+/// Pressure is the closing epoch's `retried / max(spot_admitted, 1)`.
+/// The mode enters at `enter_pressure` and exits only strictly below
+/// `exit_pressure` (`< enter_pressure` by validation) — the hysteresis
+/// band keeps one noisy epoch from flapping the fleet in and out of
+/// degradation. Runs *after* the controller's own `tick` so every
+/// controller composes with brownout without knowing about it.
+pub fn update_brownout(state: &mut ControlState, accum: &ObsAccum, cfg: &BrownoutConfig) {
+    let pressure = f64::from(accum.retried) / f64::from(accum.spot_admitted.max(1));
+    if state.brownout {
+        if pressure < cfg.exit_pressure {
+            state.brownout = false;
+        }
+    } else if pressure >= cfg.enter_pressure {
+        state.brownout = true;
     }
 }
 
@@ -659,6 +704,10 @@ pub struct ControlSample {
     pub rejected: u32,
     /// Functions whose placement order this tick revised.
     pub replanned: u32,
+    /// Retry activations in the epoch.
+    pub retried: u32,
+    /// Whether the control plane was in brownout after this tick.
+    pub brownout: bool,
 }
 
 impl ControlSample {
@@ -673,6 +722,8 @@ impl ControlSample {
         w.u32(self.migrated);
         w.u32(self.rejected);
         w.u32(self.replanned);
+        w.u32(self.retried);
+        w.bool(self.brownout);
     }
 
     /// Restores a sample serialized with [`ControlSample::save`].
@@ -687,6 +738,8 @@ impl ControlSample {
             migrated: r.u32()?,
             rejected: r.u32()?,
             replanned: r.u32()?,
+            retried: r.u32()?,
+            brownout: r.bool()?,
         })
     }
 }
@@ -916,6 +969,7 @@ impl Controller for SurrogateRightSizer {
             observed: vec![Vec::new(); n_functions],
             observed_batches: vec![Vec::new(); n_functions],
             orders: vec![None; n_functions],
+            brownout: false,
         }
     }
 
@@ -1274,6 +1328,48 @@ mod tests {
             !control_state_eq(&a, &b),
             "the batch partition is carried state"
         );
+        b = a.clone();
+        b.brownout = true;
+        assert!(!control_state_eq(&a, &b), "brownout mode is carried state");
         assert_eq!(admission_ceiling(&AdmissionPolicy::Greedy), f64::INFINITY);
+    }
+
+    #[test]
+    fn brownout_enters_at_pressure_and_exits_with_hysteresis() {
+        let cfg = BrownoutConfig {
+            enter_pressure: 0.5,
+            exit_pressure: 0.2,
+            utilization_ceiling: 0.6,
+        };
+        let mut state = ControlState::passthrough(AdmissionPolicy::Greedy);
+        let mut accum = ObsAccum::zero(1);
+
+        // Calm epoch: stays out.
+        accum.spot_admitted = 10;
+        accum.retried = 2;
+        update_brownout(&mut state, &accum, &cfg);
+        assert!(!state.brownout, "0.2 pressure is below the 0.5 entry");
+
+        // Storm epoch: enters.
+        accum.retried = 5;
+        update_brownout(&mut state, &accum, &cfg);
+        assert!(state.brownout);
+
+        // Pressure back inside the hysteresis band: still browned out.
+        accum.retried = 3;
+        update_brownout(&mut state, &accum, &cfg);
+        assert!(state.brownout, "0.3 is above the 0.2 exit — must hold");
+
+        // Recovery below the exit threshold releases the mode.
+        accum.retried = 1;
+        update_brownout(&mut state, &accum, &cfg);
+        assert!(!state.brownout);
+
+        // An epoch with zero admissions uses the max(1) denominator
+        // rather than dividing by zero.
+        let mut empty = ObsAccum::zero(1);
+        empty.retried = 1;
+        update_brownout(&mut state, &empty, &cfg);
+        assert!(state.brownout, "1 retry over 0 admissions is pressure 1.0");
     }
 }

@@ -11,6 +11,14 @@
 //! windowed/streaming engine, the determinism lattice (sequential ≡
 //! windowed ≡ streaming, bit-identical for every thread count × window
 //! size × controller) holds with faults enabled by construction.
+//!
+//! Per-invocation *transient* faults (crash-on-start, mid-flight abort,
+//! straggler slowdown) ride the same contract from the other direction:
+//! instead of expanding into a timeline up front, each spot attempt
+//! draws its fault as a stateless hash of `(seed, function, arrival
+//! index, attempt)` — see [`FaultPlan::fault_for`] — so the retry layer
+//! in [`crate::fleet`] replays the identical failure script no matter
+//! how the windowed engines partition the trace.
 
 use crate::{FreedomError, Result};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -22,6 +30,13 @@ const MAX_FAULT_EVENTS: usize = 1 << 20;
 /// Seed salt for the notice-delivery drop stream, kept distinct from the
 /// interval streams so adding drops never perturbs outage placement.
 pub(crate) const NOTICE_DROP_SALT: u64 = 0xa076_1d64_78bd_642f;
+
+/// Seed salt for the per-invocation transient-fault stream. Transient
+/// faults are drawn *statelessly* — a hash of `(seed, function, arrival
+/// index, attempt)` rather than a sequential RNG walk — so a windowed
+/// replay that sees arrivals partitioned across windows draws the exact
+/// same fault for every attempt as the sequential engine.
+pub(crate) const TRANSIENT_SALT: u64 = 0x2545_f491_4f6c_dd1d;
 
 /// A seeded description of the failure events to inject into a replay.
 ///
@@ -49,6 +64,58 @@ pub struct FaultPlan {
     /// Fractional capacity cut applied while a burst is active
     /// (in `[0, 1]`; caps are floored, so small slots can hit zero).
     pub burst_severity: f64,
+    /// Per-attempt probability that a spot placement crashes before it
+    /// starts (sandbox init failure): nothing runs, nothing is billed,
+    /// and the retry layer re-admits the invocation after backoff.
+    pub crash_prob: f64,
+    /// Per-attempt probability that a spot execution aborts mid-flight
+    /// at a seeded fraction of its duration. The partial run bills at
+    /// the admitted spot price before the retry layer takes over.
+    pub abort_prob: f64,
+    /// Per-attempt probability that a spot execution straggles: it
+    /// completes, but `straggler_factor` slower than planned. Stragglers
+    /// are the hedging target — they finish eventually, so a hedged
+    /// re-issue can race them instead of waiting.
+    pub straggler_prob: f64,
+    /// Duration multiplier applied to straggler attempts (>= 1).
+    pub straggler_factor: f64,
+}
+
+/// One transient per-invocation fault, drawn for a single spot attempt.
+///
+/// On-demand placements never fault: the paper's premise is that the
+/// *cheap* capacity is the unreliable capacity, and the platform absorbs
+/// its failures through retries rather than surfacing them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransientFault {
+    /// The attempt crashes before starting; zero occupancy, zero bill.
+    CrashOnStart,
+    /// The attempt aborts after running `at_fraction` of its duration.
+    MidFlightAbort {
+        /// Fraction of the planned duration that elapses before the
+        /// abort, in `(0, 1)`.
+        at_fraction: f64,
+    },
+    /// The attempt completes, but `factor` slower than planned.
+    Straggler {
+        /// Duration multiplier (>= 1).
+        factor: f64,
+    },
+}
+
+/// splitmix64 finisher: the avalanche stage used by every stateless
+/// per-event draw in this module (and by the retry layer's jitter).
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Maps the top 53 bits of a hash onto `[0, 1)`.
+pub(crate) fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 impl FaultPlan {
@@ -61,13 +128,63 @@ impl FaultPlan {
         burst_rate_per_hour: 0.0,
         mean_burst_secs: 0.0,
         burst_severity: 0.0,
+        crash_prob: 0.0,
+        abort_prob: 0.0,
+        straggler_prob: 0.0,
+        straggler_factor: 0.0,
     };
 
-    /// Whether this plan injects anything at all.
+    /// Whether this plan injects any *supply-side* faults (outages,
+    /// bursts, dropped notices). Transient per-invocation faults are
+    /// gated separately by [`FaultPlan::has_transient`].
     pub fn is_active(&self) -> bool {
         self.outage_rate_per_hour > 0.0
             || self.burst_rate_per_hour > 0.0
             || self.notice_drop_fraction > 0.0
+    }
+
+    /// Whether this plan injects per-invocation transient faults.
+    pub fn has_transient(&self) -> bool {
+        self.crash_prob > 0.0 || self.abort_prob > 0.0 || self.straggler_prob > 0.0
+    }
+
+    /// Draws the transient fault (if any) for one spot attempt.
+    ///
+    /// Stateless and pure in `(seed, function, idx, attempt)`: the draw
+    /// hashes the attempt's identity instead of consuming a sequential
+    /// RNG stream, so the windowed engines — which interleave attempts
+    /// in a different order than the sequential walk — reproduce every
+    /// draw exactly. `attempt` is 1-based; a retried invocation rolls a
+    /// fresh, independent fault on each attempt.
+    ///
+    /// The identity packs into one word — `idx` in the low 32 bits,
+    /// `attempt` above it, `function` in the high bits — finished by a
+    /// single avalanche round: this draw sits on the per-placement hot
+    /// path of the replay engines, and one [`mix`] of a packed distinct
+    /// input is the same construction (and statistical quality) as a
+    /// SplitMix64 output step.
+    pub fn fault_for(&self, function: u32, idx: u32, attempt: u8) -> Option<TransientFault> {
+        if !self.has_transient() {
+            return None;
+        }
+        let packed = u64::from(idx) | (u64::from(attempt) << 32) | (u64::from(function) << 40);
+        let h = mix(self.seed ^ TRANSIENT_SALT ^ packed);
+        let u = unit(h);
+        if u < self.crash_prob {
+            return Some(TransientFault::CrashOnStart);
+        }
+        if u < self.crash_prob + self.abort_prob {
+            // Second independent draw for where in the run the abort
+            // lands, kept away from the endpoints.
+            let at_fraction = 0.10 + 0.80 * unit(mix(h));
+            return Some(TransientFault::MidFlightAbort { at_fraction });
+        }
+        if u < self.crash_prob + self.abort_prob + self.straggler_prob {
+            return Some(TransientFault::Straggler {
+                factor: self.straggler_factor,
+            });
+        }
+        None
     }
 
     /// Validates rates, durations, and fractions.
@@ -104,6 +221,30 @@ impl FaultPlan {
             return Err(FreedomError::InvalidArgument(
                 "FaultPlan.mean_burst_secs must be > 0 when bursts are enabled".into(),
             ));
+        }
+        for (name, v) in [
+            ("crash_prob", self.crash_prob),
+            ("abort_prob", self.abort_prob),
+            ("straggler_prob", self.straggler_prob),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(FreedomError::InvalidArgument(format!(
+                    "FaultPlan.{name} must be in [0, 1], got {v}"
+                )));
+            }
+        }
+        if self.crash_prob + self.abort_prob + self.straggler_prob > 1.0 {
+            return Err(FreedomError::InvalidArgument(
+                "FaultPlan transient fault probabilities must sum to <= 1".into(),
+            ));
+        }
+        if self.straggler_prob > 0.0
+            && !(self.straggler_factor.is_finite() && self.straggler_factor >= 1.0)
+        {
+            return Err(FreedomError::InvalidArgument(format!(
+                "FaultPlan.straggler_factor must be finite and >= 1 when stragglers are enabled, got {}",
+                self.straggler_factor
+            )));
         }
         Ok(())
     }
@@ -238,6 +379,10 @@ mod tests {
             burst_rate_per_hour: 4.0,
             mean_burst_secs: 20.0,
             burst_severity: 0.5,
+            crash_prob: 0.02,
+            abort_prob: 0.03,
+            straggler_prob: 0.05,
+            straggler_factor: 3.0,
         }
     }
 
@@ -280,6 +425,50 @@ mod tests {
     }
 
     #[test]
+    fn transient_draws_are_stateless_and_track_their_probabilities() {
+        let plan = FaultPlan {
+            seed: 33,
+            crash_prob: 0.10,
+            abort_prob: 0.15,
+            straggler_prob: 0.20,
+            straggler_factor: 4.0,
+            ..FaultPlan::NONE
+        };
+        assert!(plan.has_transient() && !plan.is_active());
+        let (mut crash, mut abort, mut straggle) = (0u32, 0u32, 0u32);
+        const N: u32 = 20_000;
+        for idx in 0..N {
+            let f = plan.fault_for(idx % 7, idx, 1);
+            assert_eq!(f, plan.fault_for(idx % 7, idx, 1), "draws must be pure");
+            match f {
+                Some(TransientFault::CrashOnStart) => crash += 1,
+                Some(TransientFault::MidFlightAbort { at_fraction }) => {
+                    assert!((0.10..0.90).contains(&at_fraction));
+                    abort += 1;
+                }
+                Some(TransientFault::Straggler { factor }) => {
+                    assert_eq!(factor, 4.0);
+                    straggle += 1;
+                }
+                None => {}
+            }
+        }
+        for (hits, expect) in [(crash, 0.10), (abort, 0.15), (straggle, 0.20)] {
+            let rate = f64::from(hits) / f64::from(N);
+            assert!(
+                (rate - expect).abs() < 0.02,
+                "rate {rate} too far from {expect}"
+            );
+        }
+        // Fresh attempts re-roll: the same invocation must not be doomed
+        // to the identical fault forever.
+        let differs = (0..N).any(|idx| plan.fault_for(0, idx, 1) != plan.fault_for(0, idx, 2));
+        assert!(differs);
+        assert_eq!(FaultPlan::NONE.fault_for(1, 2, 1), None);
+        assert!(!FaultPlan::NONE.has_transient());
+    }
+
+    #[test]
     fn invalid_plans_are_rejected() {
         let mut p = active_plan(1);
         p.burst_severity = 1.5;
@@ -292,6 +481,17 @@ mod tests {
         assert!(p.validate().is_err());
         let mut p = active_plan(1);
         p.outage_rate_per_hour = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = active_plan(1);
+        p.crash_prob = 1.2;
+        assert!(p.validate().is_err());
+        let mut p = active_plan(1);
+        p.crash_prob = 0.5;
+        p.abort_prob = 0.4;
+        p.straggler_prob = 0.3;
+        assert!(p.validate().is_err());
+        let mut p = active_plan(1);
+        p.straggler_factor = 0.5;
         assert!(p.validate().is_err());
     }
 }

@@ -49,6 +49,8 @@
 //! in the README) — and stay bit-identical to the materialized
 //! reference.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use freedom_faas::PerfTable;
@@ -58,15 +60,18 @@ use freedom_telemetry as tel;
 use freedom_workloads::FunctionKind;
 
 use crate::controller::{
-    admission_ceiling, control_state_eq, hash_control_state, hash_obs_accum, ControlSample,
-    ControlScratch, ControlState, Controller, FunctionView, ObsAccum, Observation, MAX_TICKS,
+    admission_ceiling, control_state_eq, hash_control_state, hash_obs_accum, update_brownout,
+    ControlSample, ControlScratch, ControlState, Controller, FunctionView, ObsAccum, Observation,
+    MAX_TICKS,
 };
 pub use crate::faults::FaultPlan;
+use crate::faults::TransientFault;
 use crate::market::{
     carry_eq, family_index, hash_inflight, Fnv64, InFlight, MarketConfig, SpotLedger,
-    SupplySchedule,
+    SupplySchedule, N_MARKET_FAMILIES, RUN_ABORT, RUN_HEDGE, RUN_NORMAL,
 };
 use crate::provider::PlannedPlacement;
+use crate::retry::{PendingRetry, RetryBudget, KIND_HEDGE, KIND_RETRY};
 use crate::snapshot::{ReplaySnapshot, Unwire, Wire, SNAPSHOT_VERSION};
 use crate::trace::{event_nanos, MAX_WINDOWS};
 use crate::wheel::CompletionQueue;
@@ -74,6 +79,7 @@ use crate::{FreedomError, Result};
 
 pub use crate::controller::{ControlConfig, ControllerConfig, PidConfig, RightSizerConfig};
 pub use crate::market::{AdmissionPolicy, SupplyProcess, ZoneConfig};
+pub use crate::retry::{BrownoutConfig, RetryPolicy};
 pub use crate::snapshot::SNAPSHOT_VERSION as REPLAY_SNAPSHOT_VERSION;
 pub use crate::stream::{EventStream, StreamCheckpoint, StreamTrace};
 pub use crate::trace::{Trace, TraceEvent, TraceSource};
@@ -130,6 +136,12 @@ pub struct FleetConfig {
     /// simulated-time events the supply schedule composes. Defaults to
     /// [`FaultPlan::NONE`] — nothing injected.
     pub faults: FaultPlan,
+    /// How the platform absorbs the per-invocation transient faults a
+    /// [`FaultPlan`] injects: backoff/attempt caps, per-family retry
+    /// budgets, hedged re-issue of stragglers, and the brownout
+    /// thresholds. Inert unless `faults` draws transient faults (or
+    /// hedging is enabled).
+    pub retry: RetryPolicy,
 }
 
 impl Default for FleetConfig {
@@ -139,6 +151,7 @@ impl Default for FleetConfig {
             slo_theta: 0.10,
             control: ControlConfig::default(),
             faults: FaultPlan::NONE,
+            retry: RetryPolicy::DEFAULT,
         }
     }
 }
@@ -191,6 +204,23 @@ pub struct FleetReport {
     /// Rejections where the policy admitted but no warm slot fit the
     /// request.
     pub capacity_misses: usize,
+    /// Retry activations: every time a pending retry reached its fire
+    /// instant — or was dead-lettered at scheduling time (attempt cap,
+    /// past-horizon backoff). Each activation lands in exactly one
+    /// outcome class, extending the accounting partition to
+    /// `invocations + retried` records.
+    pub retried: usize,
+    /// Hedged re-issues that beat their straggler to completion (the
+    /// hedge defines the invocation's latency). Hedges are extra racing
+    /// copies, not activations: they carry cost but no outcome class.
+    pub hedge_wins: usize,
+    /// Retry activations abandoned without re-execution: attempt cap or
+    /// horizon reached, family retry budget dry, or shed by brownout.
+    /// The invocation never completed.
+    pub dead_lettered: usize,
+    /// The subset of `dead_lettered` dropped by brownout mode (retry
+    /// pressure shedding), telemetry for the degradation experiments.
+    pub shed_retries: usize,
     /// Invocations whose latency inflation exceeded `1 + slo_theta`.
     pub slo_violations: usize,
     /// Label of the controller that ran the control loop.
@@ -227,6 +257,14 @@ const CLASS_DEMOTED: u8 = 3;
 const CLASS_POLICY_REJECT: u8 = 4;
 const CLASS_MIGRATED: u8 = 5;
 const CLASS_DRAINED: u8 = 6;
+/// A retry activation abandoned without re-execution (attempt cap,
+/// past-horizon backoff, dry budget, or brownout shed). Only retry
+/// records carry this class — a first attempt always lands in one of
+/// the classes above.
+const CLASS_DEAD_LETTERED: u8 = 7;
+
+/// [`RetryRecord`] flag bit: the activation was shed by brownout mode.
+const RETRY_FLAG_SHED: u8 = 1;
 
 /// Engine knobs of the windowed replay — none of them observable in the
 /// [`FleetReport`], which stays bit-identical to the sequential
@@ -313,6 +351,63 @@ struct ReplayCtx {
     /// Completion-queue implementation windows simulate with
     /// ([`ReplayConfig::completion_queue`]; both orders bit-identical).
     queue: CompletionQueueKind,
+    /// The fault plan, kept past schedule generation for the
+    /// per-invocation transient draws ([`FaultPlan::fault_for`]).
+    faults: FaultPlan,
+    /// The retry policy in force.
+    retry: RetryPolicy,
+    /// Whether any transient-fault probability is non-zero — hoisted so
+    /// the no-fault arrival path skips the draw entirely and stays
+    /// byte-identical to the pre-retry engine.
+    transient_active: bool,
+    /// Per-function best-config execution time in nanoseconds — the
+    /// denominator of every end-to-end (queueing-inclusive) inflation a
+    /// retry chain records.
+    best_duration_nanos: Vec<u64>,
+    /// `retry.hedge_delay_secs` in integer nanoseconds (0 = disabled).
+    hedge_delay_nanos: u64,
+}
+
+/// One retry activation's outcome, recorded at the instant the
+/// activation resolved (fire or immediate dead-letter). Retry records
+/// extend the per-invocation accounting: every activation lands in
+/// exactly one outcome class, and its inflation — always end-to-end,
+/// `(completion − arrival) / best_duration` — overrides the
+/// invocation's earlier (placeholder) inflation at reduction, last
+/// record wins.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryRecord {
+    /// Global arrival index of the invocation retried.
+    idx: u32,
+    /// 1-based attempt number the activation started (>= 2).
+    attempt: u8,
+    /// Outcome class (same encoding as per-invocation classes, plus
+    /// [`CLASS_DEAD_LETTERED`]). Supply steps may re-bill it through an
+    /// adjustment keyed by `(idx, attempt)`, like a first attempt.
+    class: u8,
+    /// [`RETRY_FLAG_SHED`] when brownout dropped the activation.
+    flags: u8,
+    /// What the activation billed (spot price when placed, on-demand
+    /// fallback otherwise, 0 for dead letters).
+    cost_usd: f64,
+    /// End-to-end latency inflation as of this activation's resolution.
+    inflation: f64,
+}
+
+/// One hedged re-issue: an extra copy racing a straggler. Hedges carry
+/// cost (the race's loser still billed) but no outcome class — the
+/// invocation's class stays with the straggling attempt — and a winning
+/// hedge overrides the invocation's latency inflation at reduction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HedgeRecord {
+    /// Global arrival index of the invocation hedged.
+    idx: u32,
+    /// Whether the hedge finishes before the straggler it races.
+    won: bool,
+    /// Spot cost of the hedged copy.
+    cost_usd: f64,
+    /// End-to-end inflation if the hedge defines the latency.
+    inflation_if_won: f64,
 }
 
 /// Per-arrival metering of one window, in arrival order, plus outcome
@@ -328,11 +423,17 @@ pub(crate) struct WindowMetering {
     costs: Vec<f64>,
     inflations: Vec<f64>,
     classes: Vec<u8>,
-    /// `(global index, new class, re-billed cost)` — recorded at the
-    /// event that changed an invocation's outcome (a withdrawal step for
+    /// `(global index, attempt, new class, re-billed cost)` — recorded
+    /// at the event that changed an outcome (a withdrawal step for
     /// migrations/demotions, a completion under notice for drains; the
-    /// drain's cost field is ignored at reduction).
-    adjustments: Vec<(u32, u8, f64)>,
+    /// drain's cost field is ignored at reduction). Attempt 1 targets
+    /// the per-invocation record, attempts >= 2 the matching
+    /// [`RetryRecord`].
+    adjustments: Vec<(u32, u8, u8, f64)>,
+    /// Retry activations resolved this window, in resolution order.
+    retries: Vec<RetryRecord>,
+    /// Hedged re-issues placed this window, in placement order.
+    hedges: Vec<HedgeRecord>,
     samples: Vec<ControlSample>,
     /// In-flight placements notified this window (telemetry sum).
     notified: u32,
@@ -356,10 +457,27 @@ impl WindowMetering {
             w.u8(c);
         }
         w.len(self.adjustments.len());
-        for &(idx, class, cost) in &self.adjustments {
+        for &(idx, attempt, class, cost) in &self.adjustments {
             w.u32(idx);
+            w.u8(attempt);
             w.u8(class);
             w.f64(cost);
+        }
+        w.len(self.retries.len());
+        for r in &self.retries {
+            w.u32(r.idx);
+            w.u8(r.attempt);
+            w.u8(r.class);
+            w.u8(r.flags);
+            w.f64(r.cost_usd);
+            w.f64(r.inflation);
+        }
+        w.len(self.hedges.len());
+        for h in &self.hedges {
+            w.u32(h.idx);
+            w.u8(u8::from(h.won));
+            w.f64(h.cost_usd);
+            w.f64(h.inflation_if_won);
         }
         w.len(self.samples.len());
         for s in &self.samples {
@@ -386,7 +504,29 @@ impl WindowMetering {
         let n_adj = r.len()?;
         let mut adjustments = Vec::with_capacity(n_adj);
         for _ in 0..n_adj {
-            adjustments.push((r.u32()?, r.u8()?, r.f64()?));
+            adjustments.push((r.u32()?, r.u8()?, r.u8()?, r.f64()?));
+        }
+        let n_retries = r.len()?;
+        let mut retries = Vec::with_capacity(n_retries);
+        for _ in 0..n_retries {
+            retries.push(RetryRecord {
+                idx: r.u32()?,
+                attempt: r.u8()?,
+                class: r.u8()?,
+                flags: r.u8()?,
+                cost_usd: r.f64()?,
+                inflation: r.f64()?,
+            });
+        }
+        let n_hedges = r.len()?;
+        let mut hedges = Vec::with_capacity(n_hedges);
+        for _ in 0..n_hedges {
+            hedges.push(HedgeRecord {
+                idx: r.u32()?,
+                won: r.u8()? != 0,
+                cost_usd: r.f64()?,
+                inflation_if_won: r.f64()?,
+            });
         }
         let n_samples = r.len()?;
         let mut samples = Vec::with_capacity(n_samples);
@@ -399,6 +539,8 @@ impl WindowMetering {
             inflations,
             classes,
             adjustments,
+            retries,
+            hedges,
             samples,
             notified,
         })
@@ -412,6 +554,8 @@ impl WindowMetering {
         self.inflations.extend_from_slice(&other.inflations);
         self.classes.extend_from_slice(&other.classes);
         self.adjustments.extend_from_slice(&other.adjustments);
+        self.retries.extend_from_slice(&other.retries);
+        self.hedges.extend_from_slice(&other.hedges);
         self.samples.extend_from_slice(&other.samples);
         self.notified += other.notified;
     }
@@ -424,16 +568,23 @@ impl WindowMetering {
 #[derive(Debug, Clone)]
 pub(crate) struct Carry {
     inflight: Vec<InFlight>,
+    /// Pending retry/hedge events firing in a later window, in
+    /// [`PendingRetry::key`] order.
+    retries: Vec<PendingRetry>,
+    /// Per-family retry token buckets (balance + last refill instant).
+    budget: RetryBudget,
     control: ControlState,
     accum: ObsAccum,
 }
 
 impl Carry {
-    /// The exact state entering window 0: empty market, the controller's
-    /// initial state, a zeroed epoch.
+    /// The exact state entering window 0: empty market, full retry
+    /// budgets, the controller's initial state, a zeroed epoch.
     fn initial(ctx: &ReplayCtx) -> Self {
         Self {
             inflight: Vec::new(),
+            retries: Vec::new(),
+            budget: RetryBudget::new(&ctx.retry, N_MARKET_FAMILIES),
             control: ctx
                 .controller
                 .init(ctx.market.admission, ctx.best_costs.len()),
@@ -442,8 +593,9 @@ impl Carry {
     }
 
     /// Serializes the carried state into a crash-resume snapshot:
-    /// in-flight entries field-for-field (costs as bit patterns), then
-    /// the controller state and partial observation epoch.
+    /// in-flight entries field-for-field (costs as bit patterns), the
+    /// pending retries and budget buckets, then the controller state
+    /// and partial observation epoch.
     pub(crate) fn save(&self, w: &mut Wire) {
         w.len(self.inflight.len());
         for e in &self.inflight {
@@ -453,7 +605,26 @@ impl Carry {
             w.u32(e.epoch);
             w.u32(e.milli);
             w.u32(e.mib);
+            w.u32(e.meta);
             w.f64(e.list_cost_usd);
+        }
+        w.len(self.retries.len());
+        for p in &self.retries {
+            w.u64(p.at_nanos);
+            w.u32(p.idx);
+            w.u32(p.function);
+            w.u8(p.attempt);
+            w.u8(p.kind);
+            w.u8(p.family);
+            w.u64(p.arrival_nanos);
+            w.u64(p.orig_completion_nanos);
+        }
+        w.len(self.budget.tokens.len());
+        for &t in &self.budget.tokens {
+            w.u64(t);
+        }
+        for &t in &self.budget.last_refill {
+            w.u64(t);
         }
         self.control.save(w);
         self.accum.save(w);
@@ -472,11 +643,40 @@ impl Carry {
                 epoch: r.u32()?,
                 milli: r.u32()?,
                 mib: r.u32()?,
+                meta: r.u32()?,
                 list_cost_usd: r.f64()?,
             });
         }
+        let n_retries = r.len()?;
+        let mut retries = Vec::with_capacity(n_retries);
+        for _ in 0..n_retries {
+            retries.push(PendingRetry {
+                at_nanos: r.u64()?,
+                idx: r.u32()?,
+                function: r.u32()?,
+                attempt: r.u8()?,
+                kind: r.u8()?,
+                family: r.u8()?,
+                arrival_nanos: r.u64()?,
+                orig_completion_nanos: r.u64()?,
+            });
+        }
+        let n_families = r.len()?;
+        let mut tokens = Vec::with_capacity(n_families);
+        for _ in 0..n_families {
+            tokens.push(r.u64()?);
+        }
+        let mut last_refill = Vec::with_capacity(n_families);
+        for _ in 0..n_families {
+            last_refill.push(r.u64()?);
+        }
         Ok(Self {
             inflight,
+            retries,
+            budget: RetryBudget {
+                tokens,
+                last_refill,
+            },
             control: ControlState::load(r)?,
             accum: ObsAccum::load(r)?,
         })
@@ -485,9 +685,12 @@ impl Carry {
 
 /// Whether two carried states are identical — the speculation check of
 /// the windowed replay. Every component exact: in-flight entries down to
-/// cost bits, controller floats by bit pattern, epoch counters by value.
+/// cost bits, pending retries and budget buckets by value, controller
+/// floats by bit pattern, epoch counters by value.
 fn carry_state_eq(a: &Carry, b: &Carry) -> bool {
     carry_eq(&a.inflight, &b.inflight)
+        && a.retries == b.retries
+        && a.budget == b.budget
         && control_state_eq(&a.control, &b.control)
         && a.accum == b.accum
 }
@@ -1278,6 +1481,7 @@ impl FleetSimulator {
             )));
         }
         config.control.validate()?;
+        config.retry.validate()?;
         let cadence_nanos = ((config.control.cadence_secs * 1e9) as u64).max(1);
         if horizon / cadence_nanos >= MAX_TICKS {
             return Err(FreedomError::InvalidArgument(format!(
@@ -1293,6 +1497,7 @@ impl FleetSimulator {
         let mut views = Vec::with_capacity(self.plans.len());
         let mut obs_offsets = Vec::with_capacity(self.plans.len() + 1);
         obs_offsets.push(0u32);
+        let mut best_duration_nanos = Vec::with_capacity(self.plans.len());
         for plan in &self.plans {
             let best = plan.table.lookup(&plan.best_config).ok_or_else(|| {
                 FreedomError::InsufficientData("best config missing in table".into())
@@ -1331,6 +1536,7 @@ impl FleetSimulator {
             let next = obs_offsets.last().expect("non-empty") + n_alts + 1;
             obs_offsets.push(next);
             best_costs.push(best.exec_cost_usd);
+            best_duration_nanos.push(((best.exec_time_secs * 1e9) as u64).max(1));
             views.push(FunctionView {
                 best_encoding: SearchSpace::encode(&plan.best_config),
                 alt_encodings,
@@ -1351,6 +1557,11 @@ impl FleetSimulator {
             horizon_nanos: horizon,
             obs_offsets,
             queue: CompletionQueueKind::default(),
+            faults: config.faults,
+            retry: config.retry,
+            transient_active: config.faults.has_transient(),
+            best_duration_nanos,
+            hedge_delay_nanos: (config.retry.hedge_delay_secs * 1e9) as u64,
         })
     }
 }
@@ -1393,14 +1604,23 @@ struct WindowSim<'a, R: Recorder> {
     /// `k · cadence`, `k ≥ 1`, capped at the trace horizon).
     next_tick: u64,
     /// Instant of the next structural break — the earliest pending
-    /// supply step, preemption notice, or controller tick (`u64::MAX`
-    /// when all three are exhausted). At fleet scale the event loop is
+    /// supply step, preemption notice, retry/hedge event, or controller
+    /// tick (`u64::MAX` when all are exhausted). At fleet scale the
+    /// event loop is
     /// dominated by arrivals that advance time *between* breaks;
     /// caching the minimum lets [`WindowSim::advance`] drain due
     /// completions on a three-instruction guard instead of re-deriving
     /// all three cursors per arrival. Every break-firing path
     /// recomputes it.
     next_break: u64,
+    /// Pending retry and hedge events, ordered by
+    /// [`PendingRetry::key`]. Scheduling always happens at admission
+    /// time (an arrival or a firing retry), never at a completion pop —
+    /// the reference engine never pops completions after the last
+    /// arrival, so completion-time scheduling would diverge the two.
+    retries: BinaryHeap<Reverse<PendingRetry>>,
+    /// Per-family retry token buckets, charged at fire time.
+    budget: RetryBudget,
     control: ControlState,
     accum: ObsAccum,
     scratch: ControlScratch,
@@ -1420,8 +1640,10 @@ impl<R: Recorder> WindowSim<'_, R> {
     /// capacity first (so a finishing invocation is never spuriously
     /// demoted by a simultaneous supply drop), then supply steps
     /// withdraw and resolve their displaced residents, then notices
-    /// mark slots, then the controller ticks — observing the epoch
-    /// *including* anything a same-instant step just caused.
+    /// mark slots, then retries and hedges re-enter admission (seeing
+    /// the capacity the same-instant completions just released), then
+    /// the controller ticks — observing the epoch *including* anything
+    /// a same-instant step or retry just caused.
     ///
     /// Ghost completions — entries whose slot was withdrawn since
     /// placement — pop silently: their fate (migrated or demoted) was
@@ -1453,34 +1675,50 @@ impl<R: Recorder> WindowSim<'_, R> {
                 .schedule
                 .steps
                 .get(self.supply_cursor)
-                .map(|s| s.at_nanos);
-            // Cap the completion scan at the next unprocessed step: a
-            // migration at that step pushes entries back into the
-            // queue, and the wheel's cursor must not have advanced past
-            // the push instant. Correctness is unaffected — any
-            // completion beyond the step fires after it anyway.
+                .map_or(u64::MAX, |s| s.at_nanos);
+            let retry_at = self.retries.peek().map_or(u64::MAX, |r| r.0.at_nanos);
+            // Cap the completion scan at the next unprocessed step or
+            // pending retry: both push entries back into the queue, and
+            // the wheel's cursor must not have advanced past the push
+            // instant. Correctness is unaffected — any completion
+            // beyond the break fires after it anyway.
             let completion = self
                 .queue
-                .next_due(to_nanos.min(step_at.unwrap_or(u64::MAX)));
-            let step = step_at.filter(|&v| v <= to_nanos);
-            let notice = self
+                .next_due(to_nanos.min(step_at).min(retry_at))
+                .unwrap_or(u64::MAX);
+            let notice_at = self
                 .ctx
                 .schedule
                 .notices
                 .get(self.notice_cursor)
-                .map(|n| n.at_nanos)
-                .filter(|&v| v <= to_nanos);
-            let tick = self.next_tick_at().filter(|&v| v <= to_nanos);
-            let Some(now) = [completion, step, notice, tick].into_iter().flatten().min() else {
+                .map_or(u64::MAX, |n| n.at_nanos);
+            let tick_at = self.next_tick_at().unwrap_or(u64::MAX);
+            // `u64::MAX` stands in for "exhausted": the same-instant
+            // priority below (completion < step < notice < retry <
+            // tick) is a chain of equality checks against the minimum,
+            // so the sentinel never wins unless everything is spent.
+            let now = completion
+                .min(step_at)
+                .min(notice_at)
+                .min(retry_at)
+                .min(tick_at);
+            if now > to_nanos {
                 break;
-            };
-            if completion == Some(now) {
+            }
+            if completion == now {
                 let e = self.queue.pop_due();
                 self.complete(e);
-            } else if step == Some(now) {
+            } else if step_at == now {
                 self.supply_step();
-            } else if notice == Some(now) {
+            } else if notice_at == now {
                 self.fire_notice();
+            } else if retry_at == now {
+                let Reverse(p) = self.retries.pop().expect("retry head exists");
+                if p.kind == KIND_RETRY {
+                    self.fire_retry(p);
+                } else {
+                    self.fire_hedge(p);
+                }
             } else {
                 self.fire_tick(now);
             }
@@ -1488,7 +1726,7 @@ impl<R: Recorder> WindowSim<'_, R> {
         self.next_break = self.compute_next_break();
     }
 
-    /// Recomputes the cached next-break instant from the three break
+    /// Recomputes the cached next-break instant from the four break
     /// cursors.
     fn compute_next_break(&self) -> u64 {
         let step = self
@@ -1503,7 +1741,9 @@ impl<R: Recorder> WindowSim<'_, R> {
             .notices
             .get(self.notice_cursor)
             .map_or(u64::MAX, |n| n.at_nanos);
+        let retry = self.retries.peek().map_or(u64::MAX, |r| r.0.at_nanos);
         step.min(notice)
+            .min(retry)
             .min(self.next_tick_at().unwrap_or(u64::MAX))
     }
 
@@ -1516,11 +1756,18 @@ impl<R: Recorder> WindowSim<'_, R> {
     fn complete(&mut self, e: InFlight) {
         if self.ledger.is_live(&e) {
             self.rec.add(tel::Counter::Completions, 1);
-            if self.ledger.is_notified(e.slot) {
+            // A hedge pop just releases its slot: the invocation's
+            // outcome class stays with the attempt it raced, and the
+            // race was decided at placement. An abort pop is the fault
+            // surfacing, not a successful run — no drain annotation
+            // (the scheduled retry carries the invocation onward).
+            if e.run_kind() == RUN_NORMAL && self.ledger.is_notified(e.slot) {
                 // Completed under notice: the drain window saved it
                 // from the announced withdrawal.
                 self.rec.add(tel::Counter::Drained, 1);
-                self.m.adjustments.push((e.idx, CLASS_DRAINED, 0.0));
+                self.m
+                    .adjustments
+                    .push((e.idx, e.attempt(), CLASS_DRAINED, 0.0));
             }
             self.ledger.release(&e);
         } else {
@@ -1536,6 +1783,12 @@ impl<R: Recorder> WindowSim<'_, R> {
         let ctx = self.ctx;
         let step = &ctx.schedule.steps[self.supply_cursor];
         for e in self.ledger.withdraw(&step.caps) {
+            // A withdrawn hedge drops silently: it was a speculative
+            // extra copy, the invocation's outcome stays with the
+            // attempt it raced, and its (already recorded) bill stands.
+            if e.run_kind() == RUN_HEDGE {
+                continue;
+            }
             match self.ledger.migrate_target(e.slot, e.milli, e.mib) {
                 Some(slot) => {
                     let moved = InFlight {
@@ -1550,6 +1803,7 @@ impl<R: Recorder> WindowSim<'_, R> {
                     self.rec.add(tel::Counter::Migrated, 1);
                     self.m.adjustments.push((
                         e.idx,
+                        e.attempt(),
                         CLASS_MIGRATED,
                         e.list_cost_usd * ctx.market.zones.migration_rebill,
                     ));
@@ -1559,7 +1813,7 @@ impl<R: Recorder> WindowSim<'_, R> {
                     self.rec.add(tel::Counter::SpotDemoted, 1);
                     self.m
                         .adjustments
-                        .push((e.idx, CLASS_DEMOTED, e.list_cost_usd));
+                        .push((e.idx, e.attempt(), CLASS_DEMOTED, e.list_cost_usd));
                 }
             }
         }
@@ -1611,6 +1865,12 @@ impl<R: Recorder> WindowSim<'_, R> {
             self.ctx
                 .controller
                 .tick(&mut self.control, &mut self.scratch, &obs, &self.ctx.views);
+        // Brownout is re-evaluated each tick from the closing epoch's
+        // retry pressure, after the controller has seen the epoch (the
+        // sample records the post-update mode).
+        if let Some(b) = &self.ctx.retry.brownout {
+            update_brownout(&mut self.control, &self.accum, b);
+        }
         self.m.samples.push(ControlSample {
             at_secs: at as f64 / 1e9,
             utilization,
@@ -1621,6 +1881,8 @@ impl<R: Recorder> WindowSim<'_, R> {
             migrated: self.accum.migrated,
             rejected: self.accum.policy_rejected + self.accum.capacity_missed,
             replanned,
+            retried: self.accum.retried,
+            brownout: self.control.brownout,
         });
         if R::ENABLED {
             self.rec.add(tel::Counter::ControllerTicks, 1);
@@ -1681,7 +1943,16 @@ impl<R: Recorder> WindowSim<'_, R> {
             (CLASS_ON_DEMAND, best_cost_usd, 1.0)
         } else {
             let utilization = self.ledger.utilization();
-            if !self.control.admission.admits(utilization) {
+            // Brownout tightens fresh-arrival admission: while the mode
+            // is active, arrivals are additionally rejected whenever
+            // utilization is at or above the brownout ceiling.
+            let brownout_block = self.control.brownout
+                && self
+                    .ctx
+                    .retry
+                    .brownout
+                    .is_some_and(|b| utilization >= b.utilization_ceiling);
+            if !self.control.admission.admits(utilization) || brownout_block {
                 self.accum.policy_rejected += 1;
                 self.accum.per_function[off + n_alts] += 1;
                 (CLASS_POLICY_REJECT, best_cost_usd, 1.0)
@@ -1700,23 +1971,11 @@ impl<R: Recorder> WindowSim<'_, R> {
                 };
                 match placed {
                     Some((ai, slot)) => {
-                        let alt = &alternates[ai];
-                        let entry = InFlight {
-                            completion_nanos: at + alt.duration_nanos,
-                            slot,
-                            idx,
-                            epoch: self.ledger.epoch(slot),
-                            milli: alt.milli_vcpus,
-                            mib: alt.memory_mib,
-                            list_cost_usd: alt.list_cost_usd,
-                        };
-                        self.ledger.place(&entry);
-                        self.queue.push(entry);
-                        self.peak_inflight = self.peak_inflight.max(self.queue.len());
+                        let (cost, rel_inflation, _) =
+                            self.place_attempt(function, idx, at, at, 1, ai, slot, utilization);
                         self.accum.spot_admitted += 1;
                         self.accum.per_function[off + ai] += 1;
-                        let price = self.ctx.market.spot.demand_fraction(utilization);
-                        (CLASS_ADMITTED, alt.list_cost_usd * price, alt.inflation)
+                        (CLASS_ADMITTED, cost, rel_inflation)
                     }
                     None => {
                         self.accum.capacity_missed += 1;
@@ -1744,6 +2003,393 @@ impl<R: Recorder> WindowSim<'_, R> {
         self.m.costs.push(cost);
         self.m.inflations.push(inflation);
         self.m.classes.push(class);
+    }
+
+    /// Executes one placed attempt: draws the attempt's transient fault,
+    /// places the (possibly faulted) run on `slot`, and schedules the
+    /// follow-up the fault calls for — all at admission time, never at a
+    /// completion pop (the reference engine never pops completions after
+    /// the last arrival, so completion-time scheduling would diverge the
+    /// engines). Returns `(billed cost, relative inflation of the run,
+    /// run end instant)`; a crash-on-start bills nothing, occupies no
+    /// slot, and "ends" at `at`.
+    #[allow(clippy::too_many_arguments)]
+    fn place_attempt(
+        &mut self,
+        function: usize,
+        idx: u32,
+        at: u64,
+        arrival_nanos: u64,
+        attempt: u8,
+        ai: usize,
+        slot: u32,
+        utilization: f64,
+    ) -> (f64, f64, u64) {
+        let ctx = self.ctx;
+        let alt = &ctx.alts[ctx.alt_offsets[function] as usize + ai];
+        let fault = if ctx.transient_active {
+            ctx.faults.fault_for(function as u32, idx, attempt)
+        } else {
+            None
+        };
+        if R::ENABLED && fault.is_some() {
+            self.rec.add(tel::Counter::TransientFaults, 1);
+        }
+        let family = alt.family as u8;
+        if matches!(fault, Some(TransientFault::CrashOnStart)) {
+            // Crashed before starting: no slot consumed, nothing
+            // billed; the retry re-enters admission after backoff. The
+            // relative inflation is a placeholder — the retry chain's
+            // final record overrides it at reduction.
+            self.schedule_or_deadletter(
+                at,
+                idx,
+                function as u32,
+                arrival_nanos,
+                attempt + 1,
+                family,
+            );
+            return (0.0, alt.inflation, at);
+        }
+        let (kind, duration, rel_inflation) = match fault {
+            Some(TransientFault::MidFlightAbort { at_fraction }) => (
+                RUN_ABORT,
+                (((alt.duration_nanos as f64) * at_fraction) as u64).max(1),
+                // Placeholder, overridden by the retry chain.
+                alt.inflation,
+            ),
+            Some(TransientFault::Straggler { factor }) => (
+                RUN_NORMAL,
+                ((alt.duration_nanos as f64) * factor) as u64,
+                alt.inflation * factor,
+            ),
+            _ => (RUN_NORMAL, alt.duration_nanos, alt.inflation),
+        };
+        let entry = InFlight {
+            completion_nanos: at + duration,
+            slot,
+            idx,
+            epoch: self.ledger.epoch(slot),
+            milli: alt.milli_vcpus,
+            mib: alt.memory_mib,
+            meta: InFlight::meta_of(kind, attempt),
+            list_cost_usd: alt.list_cost_usd,
+        };
+        self.ledger.place(&entry);
+        self.queue.push(entry);
+        self.peak_inflight = self.peak_inflight.max(self.queue.len());
+        if kind == RUN_ABORT {
+            // The retry is scheduled now, to fire at the abort's
+            // surfacing instant plus backoff. A later migration or
+            // demotion of the aborting run does not cancel it: the
+            // fault is a property of the attempt, not of the slot it
+            // happens to occupy.
+            self.schedule_or_deadletter(
+                at + duration,
+                idx,
+                function as u32,
+                arrival_nanos,
+                attempt + 1,
+                family,
+            );
+        } else if matches!(fault, Some(TransientFault::Straggler { .. })) {
+            self.maybe_schedule_hedge(
+                idx,
+                function as u32,
+                arrival_nanos,
+                attempt,
+                family,
+                at,
+                at + duration,
+            );
+        }
+        let price = ctx.market.spot.demand_fraction(utilization);
+        (alt.list_cost_usd * price, rel_inflation, at + duration)
+    }
+
+    /// Schedules attempt `next_attempt` of invocation `idx` to re-enter
+    /// admission after backoff — or dead-letters it immediately when
+    /// the attempt cap is spent or the backoff lands past the horizon
+    /// (the reference engine never advances there, so a past-horizon
+    /// retry must resolve *now* to keep the engines identical).
+    fn schedule_or_deadletter(
+        &mut self,
+        base_nanos: u64,
+        idx: u32,
+        function: u32,
+        arrival_nanos: u64,
+        next_attempt: u8,
+        family: u8,
+    ) {
+        let policy = &self.ctx.retry;
+        let at = base_nanos.saturating_add(policy.backoff_nanos(idx, next_attempt));
+        if next_attempt > policy.max_attempts || at > self.ctx.horizon_nanos {
+            let best_d = self.ctx.best_duration_nanos[function as usize] as f64;
+            let inflation = ((base_nanos.saturating_sub(arrival_nanos)) as f64 / best_d).max(1.0);
+            self.push_retry_record(RetryRecord {
+                idx,
+                attempt: next_attempt,
+                class: CLASS_DEAD_LETTERED,
+                flags: 0,
+                cost_usd: 0.0,
+                inflation,
+            });
+            return;
+        }
+        if R::ENABLED {
+            self.rec
+                .observe(tel::Hist::RetryBackoffNanos, at - base_nanos);
+        }
+        self.retries.push(Reverse(PendingRetry {
+            at_nanos: at,
+            idx,
+            function,
+            attempt: next_attempt,
+            kind: KIND_RETRY,
+            family,
+            arrival_nanos,
+            orig_completion_nanos: 0,
+        }));
+        self.next_break = self.next_break.min(at);
+    }
+
+    /// Schedules a hedged re-issue of a straggling attempt, if hedging
+    /// is on and the hedge can still fire before both the straggler's
+    /// completion and the horizon. A hedge that cannot race is dropped
+    /// silently — hedges have no accounting presence until placed.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_schedule_hedge(
+        &mut self,
+        idx: u32,
+        function: u32,
+        arrival_nanos: u64,
+        attempt: u8,
+        family: u8,
+        at: u64,
+        straggle_completion: u64,
+    ) {
+        let delay = self.ctx.hedge_delay_nanos;
+        if delay == 0 {
+            return;
+        }
+        let t_h = at.saturating_add(delay);
+        if t_h >= straggle_completion || t_h > self.ctx.horizon_nanos {
+            return;
+        }
+        self.retries.push(Reverse(PendingRetry {
+            at_nanos: t_h,
+            idx,
+            function,
+            attempt,
+            kind: KIND_HEDGE,
+            family,
+            arrival_nanos,
+            orig_completion_nanos: straggle_completion,
+        }));
+        self.next_break = self.next_break.min(t_h);
+    }
+
+    /// Fires one pending retry: the activation re-enters admission as a
+    /// first-class event. Brownout sheds it first (retries yield to
+    /// fresh arrivals under overload), then the family budget is
+    /// charged, then the full admission pass re-runs — policy gate,
+    /// controller-ordered best-fit, fresh fault draw — exactly as a
+    /// fresh arrival would. The activation's outcome lands in one
+    /// [`RetryRecord`]; terminal fallbacks record end-to-end inflation
+    /// (queueing included) against the function's best-config time.
+    fn fire_retry(&mut self, p: PendingRetry) {
+        let now = p.at_nanos;
+        let function = p.function as usize;
+        let best_dur = self.ctx.best_duration_nanos[function];
+        let best_d = best_dur as f64;
+        let end_to_end = move |end: u64| (end.saturating_sub(p.arrival_nanos)) as f64 / best_d;
+        if self.control.brownout {
+            self.push_retry_record(RetryRecord {
+                idx: p.idx,
+                attempt: p.attempt,
+                class: CLASS_DEAD_LETTERED,
+                flags: RETRY_FLAG_SHED,
+                cost_usd: 0.0,
+                inflation: end_to_end(now).max(1.0),
+            });
+            return;
+        }
+        if !self
+            .budget
+            .try_spend(p.family as usize, now, &self.ctx.retry)
+        {
+            self.push_retry_record(RetryRecord {
+                idx: p.idx,
+                attempt: p.attempt,
+                class: CLASS_DEAD_LETTERED,
+                flags: 0,
+                cost_usd: 0.0,
+                inflation: end_to_end(now).max(1.0),
+            });
+            return;
+        }
+        let a0 = self.ctx.alt_offsets[function] as usize;
+        let a1 = self.ctx.alt_offsets[function + 1] as usize;
+        let alternates = &self.ctx.alts[a0..a1];
+        let n_alts = alternates.len();
+        let off = self.ctx.obs_offsets[function] as usize;
+        let best_cost_usd = self.ctx.best_costs[function];
+        let order = self.control.order_for(function);
+        let no_candidates = n_alts == 0 || order.is_some_and(|o| o.is_empty());
+        let (class, cost, inflation) = if no_candidates {
+            self.accum.per_function[off + n_alts] += 1;
+            (CLASS_ON_DEMAND, best_cost_usd, end_to_end(now + best_dur))
+        } else {
+            let utilization = self.ledger.utilization();
+            if !self.control.admission.admits(utilization) {
+                self.accum.policy_rejected += 1;
+                self.accum.per_function[off + n_alts] += 1;
+                (
+                    CLASS_POLICY_REJECT,
+                    best_cost_usd,
+                    end_to_end(now + best_dur),
+                )
+            } else {
+                let fit = |ai: usize| {
+                    let alt = &alternates[ai];
+                    self.ledger
+                        .best_fit(alt.family, alt.milli_vcpus, alt.memory_mib)
+                        .map(|slot| (ai, slot))
+                };
+                let placed = match order {
+                    Some(order) => order.iter().find_map(|&ai| fit(ai as usize)),
+                    None => (0..n_alts).find_map(fit),
+                };
+                match placed {
+                    Some((ai, slot)) => {
+                        let (cost, _, end) = self.place_attempt(
+                            function,
+                            p.idx,
+                            now,
+                            p.arrival_nanos,
+                            p.attempt,
+                            ai,
+                            slot,
+                            utilization,
+                        );
+                        self.accum.spot_admitted += 1;
+                        self.accum.per_function[off + ai] += 1;
+                        (CLASS_ADMITTED, cost, end_to_end(end))
+                    }
+                    None => {
+                        self.accum.capacity_missed += 1;
+                        self.accum.per_function[off + n_alts] += 1;
+                        (
+                            CLASS_CAPACITY_MISS,
+                            best_cost_usd,
+                            end_to_end(now + best_dur),
+                        )
+                    }
+                }
+            }
+        };
+        if R::ENABLED {
+            self.rec.add(
+                match class {
+                    CLASS_ON_DEMAND => tel::Counter::OnDemand,
+                    CLASS_POLICY_REJECT => tel::Counter::PolicyRejected,
+                    CLASS_CAPACITY_MISS => tel::Counter::CapacityMissed,
+                    _ => tel::Counter::SpotAdmitted,
+                },
+                1,
+            );
+        }
+        self.push_retry_record(RetryRecord {
+            idx: p.idx,
+            attempt: p.attempt,
+            class,
+            flags: 0,
+            cost_usd: cost,
+            inflation,
+        });
+    }
+
+    /// Fires one pending hedge: re-issues the straggling invocation's
+    /// work as an extra racing copy. Hedges spend no retry budget,
+    /// never fault, and have no outcome class — a placed hedge records
+    /// its bill and whether it beats the straggler (decided at
+    /// placement, since both completion instants are fixed there); an
+    /// unplaceable hedge (brownout, policy denial, no fit) drops
+    /// silently.
+    fn fire_hedge(&mut self, p: PendingRetry) {
+        if self.control.brownout {
+            return;
+        }
+        let function = p.function as usize;
+        let ctx = self.ctx;
+        let a0 = ctx.alt_offsets[function] as usize;
+        let a1 = ctx.alt_offsets[function + 1] as usize;
+        let alternates = &ctx.alts[a0..a1];
+        let n_alts = alternates.len();
+        let order = self.control.order_for(function);
+        if n_alts == 0 || order.is_some_and(|o| o.is_empty()) {
+            return;
+        }
+        let utilization = self.ledger.utilization();
+        if !self.control.admission.admits(utilization) {
+            return;
+        }
+        let fit = |ai: usize| {
+            let alt = &alternates[ai];
+            self.ledger
+                .best_fit(alt.family, alt.milli_vcpus, alt.memory_mib)
+                .map(|slot| (ai, slot))
+        };
+        let placed = match order {
+            Some(order) => order.iter().find_map(|&ai| fit(ai as usize)),
+            None => (0..n_alts).find_map(fit),
+        };
+        let Some((ai, slot)) = placed else {
+            return;
+        };
+        let alt = &alternates[ai];
+        let completion = p.at_nanos + alt.duration_nanos;
+        let entry = InFlight {
+            completion_nanos: completion,
+            slot,
+            idx: p.idx,
+            epoch: self.ledger.epoch(slot),
+            milli: alt.milli_vcpus,
+            mib: alt.memory_mib,
+            meta: InFlight::meta_of(RUN_HEDGE, p.attempt),
+            list_cost_usd: alt.list_cost_usd,
+        };
+        self.ledger.place(&entry);
+        self.queue.push(entry);
+        self.peak_inflight = self.peak_inflight.max(self.queue.len());
+        let won = completion < p.orig_completion_nanos;
+        if R::ENABLED && won {
+            self.rec.add(tel::Counter::HedgeWins, 1);
+        }
+        let best_d = ctx.best_duration_nanos[function] as f64;
+        self.m.hedges.push(HedgeRecord {
+            idx: p.idx,
+            won,
+            cost_usd: alt.list_cost_usd * ctx.market.spot.demand_fraction(utilization),
+            inflation_if_won: (completion.saturating_sub(p.arrival_nanos)) as f64 / best_d,
+        });
+    }
+
+    /// Appends one retry record — the single accounting slot of one
+    /// retry activation. `accum.retried` (the brownout-pressure
+    /// numerator) counts exactly these.
+    fn push_retry_record(&mut self, r: RetryRecord) {
+        self.accum.retried += 1;
+        if R::ENABLED {
+            self.rec.add(tel::Counter::Retried, 1);
+            if r.class == CLASS_DEAD_LETTERED {
+                self.rec.add(tel::Counter::DeadLettered, 1);
+            }
+            if r.flags & RETRY_FLAG_SHED != 0 {
+                self.rec.add(tel::Counter::ShedRetries, 1);
+            }
+        }
+        self.m.retries.push(r);
     }
 }
 
@@ -1782,6 +2428,18 @@ fn window_span(k: usize, window_nanos: u64) -> (u64, u64) {
 fn carry_fingerprint(c: &Carry) -> u64 {
     let mut h = Fnv64::new();
     hash_inflight(&mut h, &c.inflight);
+    h.write(c.retries.len() as u64);
+    for p in &c.retries {
+        h.write(p.at_nanos);
+        h.write(u64::from(p.idx) | (u64::from(p.function) << 32));
+        h.write(u64::from(p.attempt) | (u64::from(p.kind) << 8) | (u64::from(p.family) << 16));
+        h.write(p.arrival_nanos);
+        h.write(p.orig_completion_nanos);
+    }
+    for (&t, &r) in c.budget.tokens.iter().zip(&c.budget.last_refill) {
+        h.write(t);
+        h.write(r);
+    }
     hash_control_state(&mut h, &c.control);
     hash_obs_accum(&mut h, &c.accum);
     h.finish()
@@ -2049,6 +2707,8 @@ fn simulate_window<R: Recorder>(
         // window (its predecessor only advanced to `start − 1`).
         next_tick: start_nanos.div_ceil(ctx.cadence_nanos).max(1),
         next_break: 0,
+        retries: carry_in.retries.iter().map(|&p| Reverse(p)).collect(),
+        budget: carry_in.budget.clone(),
         control: carry_in.control.clone(),
         accum: carry_in.accum.clone(),
         scratch: ControlScratch::default(),
@@ -2057,6 +2717,8 @@ fn simulate_window<R: Recorder>(
             inflations: Vec::with_capacity(n_events),
             classes: Vec::with_capacity(n_events),
             adjustments: Vec::new(),
+            retries: Vec::new(),
+            hedges: Vec::new(),
             samples: Vec::new(),
             notified: 0,
         },
@@ -2108,10 +2770,17 @@ fn simulate_window<R: Recorder>(
         .span_sim(tel::Span::Window, start_nanos, sim_end, u64::from(base_idx));
     sim.rec
         .span_wall(tel::Span::WindowSim, window_wall, u64::from(base_idx));
+    // Pending retries outliving the window carry over in key order
+    // (every entry fires at or after `end_nanos` — the close advanced
+    // through `end_nanos − 1`).
+    let mut pending: Vec<PendingRetry> = sim.retries.into_iter().map(|Reverse(p)| p).collect();
+    pending.sort();
     WindowOutcome {
         metering: sim.m,
         carry_out: Carry {
             inflight,
+            retries: pending,
+            budget: sim.budget,
             control: sim.control,
             accum: sim.accum,
         },
@@ -2137,59 +2806,114 @@ fn reduce(
     // they hold tens of millions of records, and copying them would
     // dominate the reduction.
     let mut meterings = meterings;
-    let adjustments: Vec<(u32, u8, f64)>;
-    let (mut costs, mut inflations, mut classes, control, notified) = if meterings.len() == 1 {
-        let m = meterings.pop().expect("one metering");
-        adjustments = m.adjustments;
-        (
-            m.costs,
-            m.inflations,
-            m.classes,
-            m.samples,
-            m.notified as usize,
-        )
-    } else {
-        let mut costs = Vec::with_capacity(invocations);
-        let mut inflations = Vec::with_capacity(invocations);
-        let mut classes = Vec::with_capacity(invocations);
-        let mut control = Vec::new();
-        let mut adj = Vec::new();
-        let mut notified = 0usize;
-        for m in &meterings {
-            costs.extend_from_slice(&m.costs);
-            inflations.extend_from_slice(&m.inflations);
-            classes.extend_from_slice(&m.classes);
-            // Samples concatenate in window order = tick (time) order.
-            control.extend_from_slice(&m.samples);
-            adj.extend_from_slice(&m.adjustments);
-            notified += m.notified as usize;
-        }
-        adjustments = adj;
-        (costs, inflations, classes, control, notified)
-    };
-    debug_assert_eq!(costs.len(), invocations);
-    for &(idx, class, cost) in &adjustments {
-        if class == CLASS_DRAINED {
-            // A drain annotates an undisturbed admission; a
-            // migrated placement that later drains keeps its
-            // migration record and bill.
-            if classes[idx as usize] == CLASS_ADMITTED {
-                classes[idx as usize] = CLASS_DRAINED;
-            }
+    let adjustments: Vec<(u32, u8, u8, f64)>;
+    let (mut costs, mut inflations, mut classes, control, notified, mut retries, hedges) =
+        if meterings.len() == 1 {
+            let m = meterings.pop().expect("one metering");
+            adjustments = m.adjustments;
+            (
+                m.costs,
+                m.inflations,
+                m.classes,
+                m.samples,
+                m.notified as usize,
+                m.retries,
+                m.hedges,
+            )
         } else {
-            costs[idx as usize] = cost;
-            classes[idx as usize] = class;
+            let mut costs = Vec::with_capacity(invocations);
+            let mut inflations = Vec::with_capacity(invocations);
+            let mut classes = Vec::with_capacity(invocations);
+            let mut control = Vec::new();
+            let mut adj = Vec::new();
+            let mut retries = Vec::new();
+            let mut hedges = Vec::new();
+            let mut notified = 0usize;
+            for m in &meterings {
+                costs.extend_from_slice(&m.costs);
+                inflations.extend_from_slice(&m.inflations);
+                classes.extend_from_slice(&m.classes);
+                // Samples concatenate in window order = tick (time) order.
+                control.extend_from_slice(&m.samples);
+                adj.extend_from_slice(&m.adjustments);
+                // Retry and hedge records concatenate in window order =
+                // resolution (time) order, which the inflation-override
+                // pass below relies on (last record wins).
+                retries.extend_from_slice(&m.retries);
+                hedges.extend_from_slice(&m.hedges);
+                notified += m.notified as usize;
+            }
+            adjustments = adj;
+            (
+                costs, inflations, classes, control, notified, retries, hedges,
+            )
+        };
+    debug_assert_eq!(costs.len(), invocations);
+    // Adjustments on attempt 1 target the per-invocation arrays;
+    // attempts >= 2 target the matching retry record (a later window
+    // may re-bill a retry placed in an earlier one).
+    let retry_pos: HashMap<(u32, u8), usize> = retries
+        .iter()
+        .enumerate()
+        .map(|(i, r)| ((r.idx, r.attempt), i))
+        .collect();
+    for &(idx, attempt, class, cost) in &adjustments {
+        if attempt <= 1 {
+            if class == CLASS_DRAINED {
+                // A drain annotates an undisturbed admission; a
+                // migrated placement that later drains keeps its
+                // migration record and bill.
+                if classes[idx as usize] == CLASS_ADMITTED {
+                    classes[idx as usize] = CLASS_DRAINED;
+                }
+            } else {
+                costs[idx as usize] = cost;
+                classes[idx as usize] = class;
+            }
+        } else if let Some(&at) = retry_pos.get(&(idx, attempt)) {
+            let r = &mut retries[at];
+            if class == CLASS_DRAINED {
+                if r.class == CLASS_ADMITTED {
+                    r.class = CLASS_DRAINED;
+                }
+            } else {
+                r.cost_usd = cost;
+                r.class = class;
+            }
+        }
+    }
+    // A retry chain's records override the invocation's inflation in
+    // resolution order (the last activation is the one that defines the
+    // end-to-end latency); a winning hedge overrides last of all (the
+    // race resolves after the straggling chain terminated).
+    for r in &retries {
+        inflations[r.idx as usize] = r.inflation;
+    }
+    for h in &hedges {
+        if h.won {
+            inflations[h.idx as usize] = h.inflation_if_won;
         }
     }
     let mut total_cost = 0.0;
     for &c in &costs {
         total_cost += c;
     }
-    // One pass over the class array instead of one filter pass per
-    // outcome class.
+    for r in &retries {
+        total_cost += r.cost_usd;
+    }
+    for h in &hedges {
+        total_cost += h.cost_usd;
+    }
+    // One pass over the class arrays instead of one filter pass per
+    // outcome class. Retry records extend the partition: every
+    // activation contributes exactly one class, so the by-class sum is
+    // `invocations + retried`.
     let mut by_class = [0usize; 256];
     for &c in &classes {
         by_class[c as usize] += 1;
+    }
+    for r in &retries {
+        by_class[r.class as usize] += 1;
     }
     let threshold = 1.0 + slo_theta;
     let slo_violations = inflations.iter().filter(|&&x| x > threshold).count();
@@ -2211,6 +2935,13 @@ fn reduce(
         rejected: by_class[CLASS_ON_DEMAND as usize]
             + by_class[CLASS_CAPACITY_MISS as usize]
             + by_class[CLASS_POLICY_REJECT as usize],
+        retried: retries.len(),
+        hedge_wins: hedges.iter().filter(|h| h.won).count(),
+        dead_lettered: by_class[CLASS_DEAD_LETTERED as usize],
+        shed_retries: retries
+            .iter()
+            .filter(|r| r.flags & RETRY_FLAG_SHED != 0)
+            .count(),
         policy_rejections: by_class[CLASS_POLICY_REJECT as usize],
         capacity_misses: by_class[CLASS_CAPACITY_MISS as usize],
         slo_violations,
@@ -2252,15 +2983,22 @@ mod tests {
     }
 
     fn accounting_is_total(report: &FleetReport) {
+        // Every execution — first attempts plus retry activations —
+        // lands in exactly one terminal class; hedges are excluded as
+        // pure duplicates of an attempt already accounted for.
         assert_eq!(
             report.spot_admitted
                 + report.drained
                 + report.migrated
                 + report.spot_demoted
-                + report.rejected,
-            report.invocations
+                + report.rejected
+                + report.dead_lettered,
+            report.invocations + report.retried
         );
         assert!(report.policy_rejections + report.capacity_misses <= report.rejected);
+        // Shed activations are retry records, so the shed count can
+        // never exceed the retry count.
+        assert!(report.shed_retries <= report.retried);
     }
 
     #[test]
@@ -2471,6 +3209,7 @@ mod tests {
                 burst_rate_per_hour: 90.0,
                 mean_burst_secs: 10.0,
                 burst_severity: 0.6,
+                ..FaultPlan::NONE
             },
             ..calm
         };
@@ -2600,6 +3339,7 @@ mod tests {
                 burst_rate_per_hour: 45.0,
                 mean_burst_secs: 10.0,
                 burst_severity: 0.6,
+                ..FaultPlan::NONE
             },
             control: ControlConfig {
                 cadence_secs: 10.0,
@@ -3270,5 +4010,216 @@ mod tests {
                 )
                 .is_err());
         }
+    }
+
+    /// A volatile market plus per-invocation transients and a plain
+    /// backoff policy (no hedging, no brownout).
+    fn flaky_config() -> FleetConfig {
+        FleetConfig {
+            faults: FaultPlan {
+                seed: 17,
+                crash_prob: 0.10,
+                abort_prob: 0.08,
+                straggler_prob: 0.12,
+                straggler_factor: 4.0,
+                ..FaultPlan::NONE
+            },
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_base_secs: 0.5,
+                backoff_cap_secs: 8.0,
+                budget_per_sec: 2.0,
+                budget_burst: 8.0,
+                ..RetryPolicy::DEFAULT
+            },
+            ..volatile_config(ControllerConfig::Static)
+        }
+    }
+
+    #[test]
+    fn transient_faults_drive_retries_into_the_ledger() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = Trace::poisson(180.0, 0.8, 7).unwrap();
+        let config = flaky_config();
+        let report = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        accounting_is_total(&report);
+        assert!(report.retried > 0, "transients must retry: {report:?}");
+        assert!(
+            report.hedge_wins == 0 && report.shed_retries == 0,
+            "no hedging or brownout configured: {report:?}"
+        );
+        // The same seeds replay bit-identically; a different retry seed
+        // moves the jittered backoffs and diverges.
+        let again = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        assert_eq!(format!("{report:?}"), format!("{again:?}"));
+        let reseeded = FleetConfig {
+            retry: RetryPolicy {
+                seed: config.retry.seed + 1,
+                ..config.retry
+            },
+            ..config
+        };
+        let moved = sim
+            .run(&trace, PlacementStrategy::IdleAware, &reseeded)
+            .unwrap();
+        assert_ne!(
+            format!("{report:?}"),
+            format!("{moved:?}"),
+            "the retry seed must matter"
+        );
+        // Without transients the whole retry layer is inert: no retry
+        // records, no dead letters, and the report matches a run under
+        // the default policy bit for bit.
+        let calm = FleetConfig {
+            faults: FaultPlan::NONE,
+            ..config
+        };
+        let quiet = sim
+            .run(&trace, PlacementStrategy::IdleAware, &calm)
+            .unwrap();
+        assert_eq!(quiet.retried, 0);
+        assert_eq!(quiet.dead_lettered, 0);
+        let default_policy = sim
+            .run(
+                &trace,
+                PlacementStrategy::IdleAware,
+                &FleetConfig {
+                    retry: RetryPolicy::DEFAULT,
+                    ..calm
+                },
+            )
+            .unwrap();
+        assert_eq!(format!("{quiet:?}"), format!("{default_policy:?}"));
+    }
+
+    #[test]
+    fn attempt_cap_dead_letters_what_it_cannot_retry() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = Trace::poisson(180.0, 0.8, 7).unwrap();
+        // max_attempts = 1 means a transient failure has no second
+        // chance: every crash or abort dead-letters immediately.
+        let config = FleetConfig {
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..flaky_config().retry
+            },
+            ..flaky_config()
+        };
+        let report = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        accounting_is_total(&report);
+        assert!(report.dead_lettered > 0, "cap must bite: {report:?}");
+        assert_eq!(
+            report.retried, report.dead_lettered,
+            "with a cap of one every retry record is a dead letter"
+        );
+        // A generous cap re-executes instead: strictly fewer dead
+        // letters under the same fault plan.
+        let generous = sim
+            .run(&trace, PlacementStrategy::IdleAware, &flaky_config())
+            .unwrap();
+        assert!(
+            generous.dead_lettered < report.dead_lettered,
+            "{} vs {}",
+            generous.dead_lettered,
+            report.dead_lettered
+        );
+    }
+
+    #[test]
+    fn hedges_race_stragglers_and_win_some() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = Trace::poisson(180.0, 0.8, 7).unwrap();
+        // Stragglers only — a hedge fired shortly after the slowdown is
+        // detected beats a 6x-inflated original often.
+        let config = FleetConfig {
+            faults: FaultPlan {
+                seed: 17,
+                straggler_prob: 0.25,
+                straggler_factor: 6.0,
+                ..FaultPlan::NONE
+            },
+            retry: RetryPolicy {
+                hedge_delay_secs: 0.5,
+                ..RetryPolicy::DEFAULT
+            },
+            ..volatile_config(ControllerConfig::Static)
+        };
+        let hedged = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        accounting_is_total(&hedged);
+        assert!(hedged.hedge_wins > 0, "hedges must win races: {hedged:?}");
+        // Hedging is pure duplication: it changes no terminal class, so
+        // the admission ledger matches the unhedged run exactly, and the
+        // won races can only shorten observed latency.
+        let unhedged = sim
+            .run(
+                &trace,
+                PlacementStrategy::IdleAware,
+                &FleetConfig {
+                    retry: RetryPolicy {
+                        hedge_delay_secs: 0.0,
+                        ..config.retry
+                    },
+                    ..config
+                },
+            )
+            .unwrap();
+        assert_eq!(unhedged.hedge_wins, 0);
+        assert!(
+            hedged.mean_latency_inflation <= unhedged.mean_latency_inflation,
+            "{} vs {}",
+            hedged.mean_latency_inflation,
+            unhedged.mean_latency_inflation
+        );
+    }
+
+    #[test]
+    fn brownout_sheds_retries_under_pressure() {
+        let plans = make_plans(5);
+        let sim = FleetSimulator::new(plans).unwrap();
+        let trace = Trace::poisson(180.0, 1.2, 7).unwrap();
+        // Aggressive transients against a sensitive brownout: retry
+        // pressure crosses the enter threshold and activations get shed.
+        let base = flaky_config();
+        let config = FleetConfig {
+            faults: FaultPlan {
+                crash_prob: 0.25,
+                abort_prob: 0.20,
+                ..base.faults
+            },
+            retry: RetryPolicy {
+                brownout: Some(BrownoutConfig {
+                    enter_pressure: 0.05,
+                    exit_pressure: 0.01,
+                    utilization_ceiling: 0.6,
+                }),
+                ..base.retry
+            },
+            ..base
+        };
+        let report = sim
+            .run(&trace, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        accounting_is_total(&report);
+        assert!(report.shed_retries > 0, "brownout must shed: {report:?}");
+        assert!(
+            report.shed_retries <= report.dead_lettered,
+            "shed activations are dead letters: {report:?}"
+        );
+        // The control telemetry records the mode flipping on.
+        assert!(
+            report.control.iter().any(|s| s.brownout),
+            "no control sample saw brownout: {report:?}"
+        );
     }
 }

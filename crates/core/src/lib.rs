@@ -27,6 +27,13 @@
 //!   shocks, dropped preemption notices) expanded into simulated-time
 //!   events the market schedule composes, so every fault scenario is a
 //!   pure function of its seed;
+//! - [`retry`]: invocation-level failure semantics — seeded per-attempt
+//!   transient faults ([`faults::TransientFault`]) absorbed by a
+//!   [`retry::RetryPolicy`]: exponential backoff with deterministic
+//!   jitter, per-family token-bucket retry budgets in simulated time,
+//!   hedged re-issue of stragglers, dead-letter accounting, and a
+//!   brownout mode that sheds retries before fresh arrivals under
+//!   retry-pressure overload;
 //! - [`snapshot`]: versioned crash-resume snapshots — the stream
 //!   checkpoint plus the windowed carry serialized at epoch boundaries
 //!   so a killed replay resumes bit-identically;
@@ -74,6 +81,7 @@ pub mod fleet;
 pub mod interfaces;
 pub mod market;
 pub mod provider;
+pub mod retry;
 pub mod snapshot;
 pub mod strategies;
 pub mod stream;

@@ -515,10 +515,11 @@ fn compose_faults(
 /// One in-flight spot placement, as stored in the completion queue and
 /// in the carry-over state crossing replay-window boundaries.
 ///
-/// Ordering (and equality) is by `(completion_nanos, slot, idx)`: `slot`
-/// is a flat market-wide index so it encodes the zone and family, and
-/// `idx` — the invocation's global arrival index — is unique, so ties
-/// never cascade to the remaining fields. `epoch` deliberately stays out
+/// Ordering (and equality) is by `(completion_nanos, slot, idx, meta)`:
+/// `slot` is a flat market-wide index so it encodes the zone and family,
+/// and `(idx, meta)` — the invocation's global arrival index plus its
+/// attempt/kind word — uniquely names one run of it, so ties never
+/// cascade to the remaining fields. `epoch` deliberately stays out
 /// of the key: the sequential engine and a window reconstructing carried
 /// state assign different epochs to the same placement.
 #[derive(Debug, Clone, Copy)]
@@ -543,11 +544,41 @@ pub(crate) struct InFlight {
     /// what the invocation is re-billed if demoted (or a
     /// `migration_rebill` fraction of it if migrated).
     pub list_cost_usd: f64,
+    /// Retry-layer metadata, packed by [`InFlight::meta_of`]: low 2 bits
+    /// the run kind ([`RUN_NORMAL`] / [`RUN_ABORT`] / [`RUN_HEDGE`]),
+    /// next 6 bits the 1-based attempt number. Participates in the key
+    /// so an invocation's racing copies (a straggler and its hedge, or
+    /// successive attempts) order canonically even on a completion tie.
+    pub meta: u32,
 }
 
+/// A plain execution: completes its work, drains under notice as usual.
+pub(crate) const RUN_NORMAL: u32 = 0;
+/// A mid-flight abort: occupies its slot until the seeded abort instant,
+/// then releases without having completed (the retry layer re-issues).
+pub(crate) const RUN_ABORT: u32 = 1;
+/// A hedged re-issue racing a straggler; invisible to retry/drain
+/// accounting, dropped (not migrated) if its slot is withdrawn.
+pub(crate) const RUN_HEDGE: u32 = 2;
+
 impl InFlight {
-    pub(crate) fn key(&self) -> (u64, u32, u32) {
-        (self.completion_nanos, self.slot, self.idx)
+    pub(crate) fn key(&self) -> (u64, u32, u32, u32) {
+        (self.completion_nanos, self.slot, self.idx, self.meta)
+    }
+
+    /// Packs the retry layer's run metadata.
+    pub(crate) fn meta_of(kind: u32, attempt: u8) -> u32 {
+        kind | (u32::from(attempt) << 2)
+    }
+
+    /// The run kind packed into `meta`.
+    pub(crate) fn run_kind(&self) -> u32 {
+        self.meta & 3
+    }
+
+    /// The 1-based attempt number packed into `meta`.
+    pub(crate) fn attempt(&self) -> u8 {
+        ((self.meta >> 2) & 63) as u8
     }
 }
 
@@ -579,6 +610,7 @@ pub(crate) fn carry_eq(a: &[InFlight], b: &[InFlight]) -> bool {
                 && x.milli == y.milli
                 && x.mib == y.mib
                 && x.list_cost_usd.to_bits() == y.list_cost_usd.to_bits()
+                && x.meta == y.meta
         })
 }
 
@@ -624,6 +656,7 @@ pub(crate) fn hash_inflight(h: &mut Fnv64, entries: &[InFlight]) {
         h.write((u64::from(e.slot) << 32) | u64::from(e.idx));
         h.write((u64::from(e.milli) << 32) | u64::from(e.mib));
         h.write(e.list_cost_usd.to_bits());
+        h.write(u64::from(e.meta));
     }
 }
 
@@ -726,22 +759,18 @@ impl SpotLedger {
         self.occupied_milli += entry.milli as u64;
     }
 
-    /// Keeps a slot's residents sorted by placement index so
-    /// [`SpotLedger::release`] can binary-search instead of scanning.
-    /// New placements carry the highest index yet issued, so the common
-    /// case degenerates to a push; only migrations (which re-place an
-    /// old index) pay for a mid-vector insert. Resident order is not
-    /// observable otherwise: withdrawals hand displaced entries to the
-    /// engine canonically re-sorted, and notices only count them.
+    /// Records a resident with an O(1) append. Resident order is not
+    /// observable: withdrawals hand displaced entries to the engine
+    /// canonically re-sorted, notices only count them, and
+    /// [`SpotLedger::release`] matches its exact record by `(idx, meta,
+    /// completion)` — unique even for a straggler/hedge twin pair — so
+    /// no path needs the vector sorted. Keeping it unsorted turns the
+    /// retry-heavy placement mix (which re-places old indices out of
+    /// arrival order) from a mid-vector memmove into a push, and
+    /// release into a swap-remove.
     #[inline]
     fn insert_resident(residents: &mut Vec<InFlight>, entry: &InFlight) {
-        match residents.last() {
-            Some(last) if last.idx > entry.idx => {
-                let pos = residents.partition_point(|p| p.idx < entry.idx);
-                residents.insert(pos, *entry);
-            }
-            _ => residents.push(*entry),
-        }
+        residents.push(*entry);
     }
 
     /// Market vCPU utilization in `[0, 1]`; a zero-capacity market reads
@@ -910,15 +939,28 @@ impl SpotLedger {
     }
 
     /// Releases a live completion's capacity back to its slot.
+    ///
+    /// A slot can host two records with the same invocation index — a
+    /// straggling attempt and the hedge racing it — so the scan matches
+    /// the exact record by `(idx, meta, completion)`. Releasing an
+    /// arbitrary same-index twin would leave the wrong record standing,
+    /// and a later withdrawal would misclassify the survivor (a hedge
+    /// drops silently; a real attempt must migrate or demote). The
+    /// unordered resident vector makes the removal a swap-remove.
     pub fn release(&mut self, entry: &InFlight) {
         let slot = &mut self.slots[entry.slot as usize];
         slot.free_milli += entry.milli;
         slot.free_mib += entry.mib;
         let residents = &mut self.residents[entry.slot as usize];
         let pos = residents
-            .binary_search_by(|p| p.idx.cmp(&entry.idx))
+            .iter()
+            .position(|p| {
+                p.idx == entry.idx
+                    && p.meta == entry.meta
+                    && p.completion_nanos == entry.completion_nanos
+            })
             .expect("released entry must be resident on its slot");
-        residents.remove(pos);
+        residents.swap_remove(pos);
         self.occupied_milli -= entry.milli as u64;
     }
 }
@@ -948,6 +990,7 @@ mod tests {
             milli,
             mib,
             list_cost_usd: 0.1,
+            meta: InFlight::meta_of(RUN_NORMAL, 1),
         }
     }
 
@@ -1089,6 +1132,7 @@ mod tests {
             mean_burst_secs: 10.0,
             burst_severity: 0.5,
             notice_drop_fraction: 0.0,
+            ..FaultPlan::NONE
         };
         let horizon = 600_000_000_000;
         let a = SupplySchedule::generate(&config, &faults, horizon).unwrap();
@@ -1247,6 +1291,34 @@ mod tests {
             ledger.withdraw(&caps).is_empty(),
             "slot 0 drained before drop"
         );
+    }
+
+    #[test]
+    fn release_distinguishes_same_index_twins() {
+        // A straggling attempt and its hedge share one invocation index
+        // and may land on the same slot. Releasing the hedge must leave
+        // the original attempt resident — not an arbitrary same-index
+        // twin — or a later withdrawal misclassifies the survivor.
+        let config = MarketConfig {
+            vms_per_family: 2,
+            ..MarketConfig::default()
+        };
+        let mut ledger = SpotLedger::new(&config, &[2; N_MARKET_FAMILIES]);
+        let original = entry(90, 1, 7, 1000, 512);
+        let mut hedge = entry(50, 1, 7, 1000, 512);
+        hedge.meta = InFlight::meta_of(RUN_HEDGE, 2);
+        ledger.place(&original);
+        ledger.place(&hedge);
+        // The hedge wins the race and completes first.
+        ledger.release(&hedge);
+        // Supply withdraws the slot: the displaced record must be the
+        // still-running original attempt, not the released hedge.
+        let mut caps = [2; N_MARKET_FAMILIES];
+        caps[0] = 1;
+        let displaced = ledger.withdraw(&caps);
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(displaced[0].completion_nanos, 90);
+        assert_eq!(displaced[0].run_kind(), RUN_NORMAL);
     }
 
     #[test]
@@ -1446,6 +1518,7 @@ mod tests {
             milli: 500,
             mib: 256,
             list_cost_usd: 0.25,
+            meta: InFlight::meta_of(RUN_NORMAL, 1),
         };
         let mut other = entry;
         other.epoch = 0; // epoch is not part of the carried identity
@@ -1453,5 +1526,8 @@ mod tests {
         other.list_cost_usd = 0.26;
         assert!(!carry_eq(&[entry], &[other]));
         assert!(!carry_eq(&[entry], &[]));
+        let mut other = entry;
+        other.meta = InFlight::meta_of(RUN_ABORT, 2);
+        assert!(!carry_eq(&[entry], &[other]), "meta is carried identity");
     }
 }

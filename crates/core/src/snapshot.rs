@@ -17,11 +17,13 @@
 //! external serialization crates): magic, [`SNAPSHOT_VERSION`], a replay
 //! fingerprint (strategy + config + trace shape + cadence, so a snapshot
 //! cannot silently resume a *different* replay), then the epoch header
-//! and the length-prefixed checkpoint/carry/metering sections. Floats
-//! travel as IEEE-754 bit patterns — bit-identity survives the disk
-//! round-trip by construction. Decoding validates magic, version,
-//! and exact length; any mismatch is a clean
-//! [`FreedomError::InvalidArgument`], never a panic or a partial state.
+//! and the length-prefixed checkpoint/carry/metering sections, closed by
+//! a trailing FNV-64 checksum over every preceding byte. Floats travel
+//! as IEEE-754 bit patterns — bit-identity survives the disk round-trip
+//! by construction. Decoding validates the checksum first, then magic,
+//! version, and exact length; truncation, bit flips, and version skew
+//! are each a clean [`FreedomError::InvalidArgument`], never a panic or
+//! a partial state.
 
 use std::path::Path;
 
@@ -31,11 +33,25 @@ use crate::{FreedomError, Result};
 
 /// Current snapshot wire-format version. Bumped on any layout change;
 /// decoders reject other versions rather than guessing. Version 2 added
-/// the file index to CSV stream checkpoints (multi-file traces).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// the file index to CSV stream checkpoints (multi-file traces); version
+/// 3 added the pending-retry heap and retry-budget carry state plus the
+/// trailing FNV-64 integrity checksum.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// File magic: "FDSN" little-endian.
 const MAGIC: u32 = u32::from_le_bytes(*b"FDSN");
+
+/// FNV-1a 64-bit over `bytes` — the snapshot's integrity checksum. Not
+/// cryptographic; it exists to turn torn writes and bit rot into clean
+/// decode errors instead of silently resuming corrupt state.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// A resumable position in a streaming fleet replay, taken at a window
 /// (epoch) boundary. Opaque outside the crate: produce one with
@@ -100,12 +116,27 @@ impl ReplaySnapshot {
         self.checkpoint.save(&mut w);
         self.carry.save(&mut w);
         self.metering.save(&mut w);
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        let checksum = fnv64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
     }
 
-    /// Decodes a snapshot, validating magic, version, and exact length.
+    /// Decodes a snapshot, validating the trailing checksum first, then
+    /// magic, version, and exact length.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let mut r = Unwire::new(bytes);
+        let Some(body_len) = bytes.len().checked_sub(8) else {
+            return Err(FreedomError::InvalidArgument(
+                "snapshot: too short to hold the integrity checksum".into(),
+            ));
+        };
+        let stored = u64::from_le_bytes(bytes[body_len..].try_into().unwrap());
+        if stored != fnv64(&bytes[..body_len]) {
+            return Err(FreedomError::InvalidArgument(
+                "snapshot: checksum mismatch (truncated, torn, or bit-flipped)".into(),
+            ));
+        }
+        let mut r = Unwire::new(&bytes[..body_len]);
         if r.u32()? != MAGIC {
             return Err(FreedomError::InvalidArgument(
                 "snapshot: bad magic (not a replay snapshot)".into(),
@@ -318,19 +349,57 @@ mod tests {
         assert!(r2.u32().is_err());
     }
 
+    /// Seals a raw body with the trailing checksum the decoder expects,
+    /// so header-validation tests get past the integrity layer.
+    fn sealed(body: Vec<u8>) -> Vec<u8> {
+        let mut bytes = body;
+        let checksum = fnv64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
     #[test]
     fn corrupt_headers_are_rejected() {
         assert!(ReplaySnapshot::from_bytes(b"").is_err());
         assert!(ReplaySnapshot::from_bytes(b"NOPE").is_err());
+        // Wrong magic and version skew each fail cleanly even when the
+        // checksum itself is intact.
+        let mut w = Wire::new();
+        w.u32(u32::from_le_bytes(*b"XXXX"));
+        w.u32(SNAPSHOT_VERSION);
+        assert!(ReplaySnapshot::from_bytes(&sealed(w.into_bytes())).is_err());
         let mut w = Wire::new();
         w.u32(MAGIC);
         w.u32(SNAPSHOT_VERSION + 1);
-        assert!(ReplaySnapshot::from_bytes(&w.into_bytes()).is_err());
+        assert!(ReplaySnapshot::from_bytes(&sealed(w.into_bytes())).is_err());
         // A giant length prefix fails cleanly instead of allocating.
         let mut w = Wire::new();
         w.u64(u64::MAX);
         let bytes = w.into_bytes();
         assert!(Unwire::new(&bytes).len().is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_breaks_the_checksum() {
+        // A sealed header: any one-bit corruption anywhere in the file —
+        // body or checksum — must be rejected before decoding begins.
+        let mut w = Wire::new();
+        w.u32(MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(0x1234_5678_9abc_def0);
+        let bytes = sealed(w.into_bytes());
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                let err =
+                    ReplaySnapshot::from_bytes(&flipped).expect_err("bit flip must not decode");
+                assert!(
+                    format!("{err}").contains("checksum"),
+                    "flip at byte {byte} bit {bit} failed past the checksum: {err}"
+                );
+            }
+        }
     }
 
     #[test]

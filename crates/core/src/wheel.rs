@@ -456,9 +456,14 @@ mod tests {
             epoch: 0,
             milli: 100,
             mib: 64,
+            meta: InFlight::meta_of(crate::market::RUN_NORMAL, 1),
             list_cost_usd: 0.1,
         }
     }
+
+    /// The packed meta word every test entry carries
+    /// (`meta_of(RUN_NORMAL, 1)`).
+    const META: u32 = 1 << 2;
 
     /// Drives a wheel and a heap through the same push/advance schedule
     /// and asserts identical pop sequences — the model-based pin of the
@@ -531,7 +536,12 @@ mod tests {
         let order: Vec<_> = (0..4).map(|_| wheel.pop_due()).map(|e| e.key()).collect();
         assert_eq!(
             order,
-            vec![(t, 0, 3), (t, 0, 7), (t, 1, 1), (t, 2, 9)],
+            vec![
+                (t, 0, 3, META),
+                (t, 0, 7, META),
+                (t, 1, 1, META),
+                (t, 2, 9, META)
+            ],
             "equal instants must drain by (slot, idx)"
         );
     }
@@ -575,11 +585,11 @@ mod tests {
         wheel.push(entry(step, 3, 2));
         wheel.push(entry(step + 50, 2, 3));
         assert_eq!(wheel.next_due(step), Some(step), "push at the cursor");
-        assert_eq!(wheel.pop_due().key(), (step, 3, 2));
+        assert_eq!(wheel.pop_due().key(), (step, 3, 2, META));
         assert_eq!(wheel.next_due(step + 50), Some(step + 50));
         // Stale twin (slot 0) pops before the migrated clone (slot 2).
-        assert_eq!(wheel.pop_due().key(), (step + 50, 0, 1));
-        assert_eq!(wheel.pop_due().key(), (step + 50, 2, 3));
+        assert_eq!(wheel.pop_due().key(), (step + 50, 0, 1, META));
+        assert_eq!(wheel.pop_due().key(), (step + 50, 2, 3, META));
         assert_eq!(wheel.len(), 0);
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests for the framework-level invariants.
 
 use freedom::fleet::{
-    AdmissionPolicy, FaultPlan, FleetConfig, FleetSimulator, FunctionPlan, PlacementStrategy,
-    SupplyProcess, Trace, TraceSource, ZoneConfig,
+    AdmissionPolicy, BrownoutConfig, FaultPlan, FleetConfig, FleetSimulator, FunctionPlan,
+    PlacementStrategy, RetryPolicy, SupplyProcess, Trace, TraceSource, ZoneConfig,
 };
 use freedom::interfaces::hierarchical_ideal;
 use freedom::market::MarketConfig;
@@ -717,6 +717,7 @@ proptest! {
                 burst_rate_per_hour: burst_rate,
                 mean_burst_secs: 10.0,
                 burst_severity,
+                ..FaultPlan::NONE
             },
             ..FleetConfig::default()
         };
@@ -771,6 +772,112 @@ proptest! {
                 format!("{:?}", report),
                 format!("{:?}", windowed),
                 "windowed engine diverged under faults"
+            );
+        }
+    }
+
+    /// The retry ledger is total for any transient-fault mix and retry
+    /// policy: every execution — first attempts plus retries, hedges
+    /// excluded as pure duplicates — ends in exactly one of the six
+    /// terminal classes (admitted, drained, migrated, demoted, rejected,
+    /// dead-lettered), retries never appear without transients to cause
+    /// them, and the windowed engine stays bit-identical for every seed.
+    #[test]
+    fn transient_faults_keep_retry_accounting_total(
+        trace_seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        retry_seed in 0u64..10_000,
+        crash_prob in 0.0f64..0.3,
+        abort_prob in 0.0f64..0.3,
+        straggler_prob in 0.0f64..0.3,
+        straggler_factor in 1.5f64..8.0,
+        max_attempts in 1u8..6,
+        backoff_base_secs in 0.1f64..4.0,
+        jitter_frac in 0.0f64..1.0,
+        budget_per_sec in 0.1f64..8.0,
+        budget_burst in 0.5f64..16.0,
+        hedge_delay_secs in 0.0f64..6.0,
+        brownout_on in 0u32..2,
+        window_secs in 1.0f64..90.0,
+    ) {
+        let plans = market_fixture();
+        let sim = FleetSimulator::new(plans.clone()).expect("non-empty fleet");
+        let trace = TraceSource::HeavyTail { mean_rps: 1.0, alpha: 1.4 }
+            .generate(10, 60.0, trace_seed)
+            .expect("valid parameters");
+        let config = FleetConfig {
+            market: MarketConfig {
+                vms_per_family: 2,
+                supply: SupplyProcess { step_secs: 5.0, min_fraction: 0.1, seed: 7 },
+                zones: ZoneConfig {
+                    n_zones: 2,
+                    notice_secs: 4.0,
+                    shock: 0.5,
+                    migration_rebill: 0.5,
+                },
+                ..MarketConfig::default()
+            },
+            faults: FaultPlan {
+                seed: fault_seed,
+                crash_prob,
+                abort_prob,
+                straggler_prob,
+                straggler_factor,
+                ..FaultPlan::NONE
+            },
+            retry: RetryPolicy {
+                max_attempts,
+                backoff_base_secs,
+                backoff_cap_secs: backoff_base_secs * 8.0,
+                jitter_frac,
+                seed: retry_seed,
+                budget_per_sec,
+                budget_burst,
+                hedge_delay_secs,
+                brownout: (brownout_on == 1).then_some(BrownoutConfig {
+                    enter_pressure: 0.2,
+                    exit_pressure: 0.05,
+                    utilization_ceiling: 0.7,
+                }),
+            },
+            ..FleetConfig::default()
+        };
+        for strategy in PlacementStrategy::ALL {
+            let report = sim.run(&trace, strategy, &config).expect("replay");
+            prop_assert_eq!(
+                report.spot_admitted
+                    + report.drained
+                    + report.migrated
+                    + report.spot_demoted
+                    + report.rejected
+                    + report.dead_lettered,
+                trace.len() + report.retried,
+                "retry accounting leaked under {:?}: {:?}",
+                strategy,
+                report
+            );
+            // Retries and dead letters need a transient to cause them,
+            // and a hedge can only win against a straggler it raced.
+            if crash_prob == 0.0 && abort_prob == 0.0 && straggler_prob == 0.0 {
+                prop_assert_eq!(report.retried, 0, "retries without faults");
+                prop_assert_eq!(report.dead_lettered, 0);
+                prop_assert_eq!(report.hedge_wins, 0);
+            }
+            if straggler_prob == 0.0 || hedge_delay_secs == 0.0 {
+                prop_assert_eq!(report.hedge_wins, 0, "hedge win without a straggler race");
+            }
+            // Shedding is brownout's lever: without a brownout config
+            // no retry is ever dropped on the floor.
+            if brownout_on == 0 {
+                prop_assert_eq!(report.shed_retries, 0, "shed without brownout");
+            }
+            let windowed = sim
+                .run_windowed(&trace, strategy, &config, 4, window_secs)
+                .expect("replay");
+            prop_assert_eq!(
+                format!("{:?}", report),
+                format!("{:?}", windowed),
+                "windowed engine diverged under transient faults"
             );
         }
     }

@@ -1,0 +1,21 @@
+//! Runs the retry-storm sweep (transient faults × retry policies over
+//! the tight spot market) and writes its CSV artifact. Exits non-zero
+//! if the mid-storm kill/resume chaos check diverged, so CI can pin
+//! crash-resumability under retry load.
+
+use freedom_experiments as exp;
+
+fn main() {
+    let opts = exp::ExperimentOpts::from_args();
+    let result = exp::fleet_retry_storm::run(&opts).expect("fleet retry storm");
+    println!("{}", result.render());
+    match result.write_csv() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    assert!(
+        result.resume_bit_identical(),
+        "mid-storm kill/resume diverged: {:?}",
+        result.resume_checks
+    );
+}

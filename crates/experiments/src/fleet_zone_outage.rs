@@ -73,6 +73,7 @@ pub fn fault_presets() -> [FaultPreset; 3] {
                 burst_rate_per_hour: 0.0,
                 mean_burst_secs: 1.0,
                 burst_severity: 0.0,
+                ..FaultPlan::NONE
             },
         },
         FaultPreset {
@@ -85,6 +86,7 @@ pub fn fault_presets() -> [FaultPreset; 3] {
                 burst_rate_per_hour: 6.0,
                 mean_burst_secs: 30.0,
                 burst_severity: 0.6,
+                ..FaultPlan::NONE
             },
         },
     ]
@@ -423,5 +425,55 @@ mod tests {
             calm.displaced()
         );
         assert!(result.render().contains("zone outages"));
+    }
+
+    #[test]
+    fn rescue_rate_is_total_on_zero_displacement() {
+        use freedom::fleet::{SupplyProcess, TraceSource};
+
+        // A steady full-supply market displaces nothing: the rate must
+        // pin to 1.0, not divide by zero or report 0% rescued.
+        let plans = crate::fleet_simulation::synthetic_plans(6, 4).unwrap();
+        let sim = FleetSimulator::new(plans).unwrap();
+        let config = FleetConfig {
+            market: freedom::market::MarketConfig {
+                supply: SupplyProcess {
+                    step_secs: 10.0,
+                    min_fraction: 1.0,
+                    seed: 3,
+                },
+                ..freedom::market::MarketConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let lazy = StreamTrace::generate(
+            TraceSource::Poisson {
+                rps_per_function: 0.5,
+            },
+            6,
+            30.0,
+            5,
+        )
+        .unwrap();
+        let (report, stats) = sim
+            .run_stream_with_stats(&lazy, PlacementStrategy::IdleAware, &config)
+            .unwrap();
+        assert_eq!(report.invocations, lazy.len());
+        let mut row = OutageRow {
+            faults: "calm",
+            controller: "static",
+            baseline_cost_usd: 1.0,
+            report,
+            stats,
+            telemetry: String::new(),
+        };
+        assert_eq!(row.displaced(), 0, "{:?}", row.report);
+        assert_eq!(row.rescue_rate(), 1.0);
+        // With displacement, the rate is the rescued share.
+        row.report.drained = 2;
+        row.report.migrated = 1;
+        row.report.spot_demoted = 1;
+        assert_eq!(row.displaced(), 4);
+        assert_eq!(row.rescue_rate(), 0.75);
     }
 }

@@ -22,6 +22,7 @@ pub mod fig13_weighted_mo;
 pub mod fig14_hierarchical;
 pub mod fig15_provider_savings;
 pub mod fleet_control_loop;
+pub mod fleet_retry_storm;
 pub mod fleet_simulation;
 pub mod fleet_zone_outage;
 pub mod table3_alternatives;

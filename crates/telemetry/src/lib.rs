@@ -79,11 +79,25 @@ pub enum Counter {
     RedrainedEvents,
     /// Resumable-replay snapshots handed to the snapshot callback.
     SnapshotsWritten,
+    /// Transient per-invocation faults drawn on spot attempts
+    /// (crash-on-start, mid-flight abort, straggler).
+    TransientFaults,
+    /// Retry activations: every time the retry layer re-entered
+    /// admission for a faulted invocation (including activations that
+    /// were immediately shed or dead-lettered).
+    Retried,
+    /// Hedged re-issues that beat the straggler they raced.
+    HedgeWins,
+    /// Invocations abandoned by the retry layer (attempt cap or family
+    /// budget exhausted, retry past the horizon, or shed in brownout).
+    DeadLettered,
+    /// Retries shed (dead-lettered) because brownout was active.
+    ShedRetries,
 }
 
 impl Counter {
     /// Number of counters; length of [`Counter::ALL`].
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 26;
 
     /// Every counter, in declaration (= export) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -108,6 +122,11 @@ impl Counter {
         Counter::LadderAnchors,
         Counter::RedrainedEvents,
         Counter::SnapshotsWritten,
+        Counter::TransientFaults,
+        Counter::Retried,
+        Counter::HedgeWins,
+        Counter::DeadLettered,
+        Counter::ShedRetries,
     ];
 
     /// Stable snake_case name used in JSONL and summaries.
@@ -134,6 +153,11 @@ impl Counter {
             Counter::LadderAnchors => "ladder_anchors",
             Counter::RedrainedEvents => "redrained_events",
             Counter::SnapshotsWritten => "snapshots_written",
+            Counter::TransientFaults => "transient_faults",
+            Counter::Retried => "retried",
+            Counter::HedgeWins => "hedge_wins",
+            Counter::DeadLettered => "dead_lettered",
+            Counter::ShedRetries => "shed_retries",
         }
     }
 }
@@ -151,11 +175,13 @@ pub enum Hist {
     ArrivalGapNanos,
     /// Spot-pool utilization in parts-per-million at controller ticks.
     UtilizationPpm,
+    /// Simulated nanoseconds of backoff applied to each scheduled retry.
+    RetryBackoffNanos,
 }
 
 impl Hist {
     /// Number of histograms; length of [`Hist::ALL`].
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every histogram, in declaration (= export) order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -163,6 +189,7 @@ impl Hist {
         Hist::InflightDepth,
         Hist::ArrivalGapNanos,
         Hist::UtilizationPpm,
+        Hist::RetryBackoffNanos,
     ];
 
     /// Stable snake_case name used in JSONL and summaries.
@@ -172,6 +199,7 @@ impl Hist {
             Hist::InflightDepth => "inflight_depth",
             Hist::ArrivalGapNanos => "arrival_gap_ns",
             Hist::UtilizationPpm => "utilization_ppm",
+            Hist::RetryBackoffNanos => "retry_backoff_ns",
         }
     }
 }

@@ -5,8 +5,9 @@
 //! preemption notices.
 
 use faas_freedom::core::fleet::{
-    AdmissionPolicy, ControlConfig, ControllerConfig, FaultPlan, FleetConfig, FleetSimulator,
-    PidConfig, PlacementStrategy, StreamTrace, SupplyProcess, TraceSource, ZoneConfig,
+    AdmissionPolicy, BrownoutConfig, ControlConfig, ControllerConfig, FaultPlan, FleetConfig,
+    FleetSimulator, PidConfig, PlacementStrategy, RetryPolicy, StreamTrace, SupplyProcess,
+    TraceSource, ZoneConfig,
 };
 use faas_freedom::core::market::MarketConfig;
 use faas_freedom::core::snapshot::ReplaySnapshot;
@@ -44,9 +45,39 @@ fn faulted_config() -> FleetConfig {
             burst_rate_per_hour: 24.0,
             mean_burst_secs: 12.0,
             burst_severity: 0.5,
+            ..FaultPlan::NONE
         },
         ..FleetConfig::default()
     }
+}
+
+/// The faulted scenario plus per-invocation transient faults and a full
+/// retry policy — backoff, hedging, per-family budgets, brownout — so a
+/// kill lands with backoff timers armed and the budget partially drained.
+fn stormy_config() -> FleetConfig {
+    let mut config = faulted_config();
+    config.faults = FaultPlan {
+        crash_prob: 0.08,
+        abort_prob: 0.06,
+        straggler_prob: 0.10,
+        straggler_factor: 4.0,
+        ..config.faults
+    };
+    config.retry = RetryPolicy {
+        max_attempts: 4,
+        backoff_base_secs: 0.5,
+        backoff_cap_secs: 8.0,
+        hedge_delay_secs: 2.0,
+        budget_per_sec: 1.0,
+        budget_burst: 4.0,
+        brownout: Some(BrownoutConfig {
+            enter_pressure: 0.2,
+            exit_pressure: 0.05,
+            utilization_ceiling: 0.7,
+        }),
+        ..RetryPolicy::DEFAULT
+    };
+    config
 }
 
 fn hot_stream() -> StreamTrace {
@@ -225,7 +256,109 @@ fn foreign_and_corrupt_snapshots_are_rejected() {
     let bytes = snap.to_bytes();
     assert!(ReplaySnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
     assert!(ReplaySnapshot::from_bytes(&bytes[1..]).is_err());
+    // Single-bit payload corruption at seeded pseudo-random offsets must
+    // fail the integrity checksum, never decode into a skewed resume.
+    let mut lcg: u64 = 0xa076_1d64_78bd_642f;
+    for _ in 0..32 {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let byte = (lcg >> 33) as usize % bytes.len();
+        let bit = (lcg >> 29) as u8 % 8;
+        let mut flipped = bytes.clone();
+        flipped[byte] ^= 1 << bit;
+        assert!(
+            ReplaySnapshot::from_bytes(&flipped).is_err(),
+            "bit flip at byte {byte} bit {bit} decoded anyway"
+        );
+    }
     let roundtrip = ReplaySnapshot::from_bytes(&bytes).unwrap();
     assert_eq!(roundtrip.epoch(), snap.epoch());
     assert_eq!(roundtrip.fingerprint(), snap.fingerprint());
+}
+
+/// Kill the replay in the middle of a retry storm — pending backoff
+/// timers in the heap, hedges armed against stragglers, the per-family
+/// budget partially drained, brownout toggling — and resume from disk.
+/// The carried retry state must survive the round-trip: the resumed
+/// report matches the uninterrupted one bit for bit at every boundary.
+#[test]
+fn kill_mid_retry_storm_resumes_bit_identically() {
+    let plans =
+        freedom_experiments::fleet_simulation::synthetic_plans(FunctionKind::ALL.len(), 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+    let config = stormy_config();
+    let lazy = hot_stream();
+    let snapshot_secs = 20.0;
+
+    let reference = sim
+        .run_stream(&lazy, PlacementStrategy::IdleAware, &config)
+        .unwrap();
+    assert!(
+        reference.retried > 0,
+        "the storm must actually retry: {reference:?}"
+    );
+    assert!(
+        reference.retried + reference.dead_lettered > 4,
+        "want a real storm, got {reference:?}"
+    );
+
+    let mut epochs: Vec<u64> = Vec::new();
+    let full = sim
+        .run_stream_resumable(
+            &lazy,
+            PlacementStrategy::IdleAware,
+            &config,
+            snapshot_secs,
+            None,
+            |s| {
+                epochs.push(s.epoch());
+                Ok(true)
+            },
+        )
+        .unwrap()
+        .expect("uninterrupted run completes");
+    assert_eq!(format!("{reference:?}"), format!("{full:?}"));
+    assert!(epochs.len() >= 5, "want several boundaries, got {epochs:?}");
+
+    // Kill at every boundary: a retry heap or budget bug that only
+    // bites at one particular epoch still fails the sweep.
+    let dir = std::env::temp_dir().join(format!("freedom-retry-storm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for &kill_at in &epochs {
+        let path = dir.join(format!("storm-{kill_at}.snap"));
+        let crashed = sim
+            .run_stream_resumable(
+                &lazy,
+                PlacementStrategy::IdleAware,
+                &config,
+                snapshot_secs,
+                None,
+                |s| {
+                    s.write_to(&path)?;
+                    Ok(s.epoch() < kill_at)
+                },
+            )
+            .unwrap();
+        assert!(crashed.is_none(), "epoch {kill_at}: kill must abort");
+
+        let snap = ReplaySnapshot::read_from(&path).unwrap();
+        let resumed = sim
+            .run_stream_resumable(
+                &lazy,
+                PlacementStrategy::IdleAware,
+                &config,
+                snapshot_secs,
+                Some(&snap),
+                |_| Ok(true),
+            )
+            .unwrap()
+            .expect("resumed run completes");
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{resumed:?}"),
+            "resume from epoch {kill_at} diverged mid-retry-storm"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

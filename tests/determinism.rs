@@ -527,6 +527,7 @@ fn fault_injection_preserves_the_determinism_lattice() {
                     burst_rate_per_hour: 18.0,
                     mean_burst_secs: 15.0,
                     burst_severity: 0.5,
+                    ..FaultPlan::NONE
                 },
                 ..FleetConfig::default()
             };
@@ -539,6 +540,140 @@ fn fault_injection_preserves_the_determinism_lattice() {
                 reference.notified > 0
                     && reference.migrated + reference.drained + reference.spot_demoted > 0,
                 "seed {fault_seed}/{controller:?}: inert fault plan: {reference:?}"
+            );
+            let streamed = sim
+                .run_stream(&lazy, PlacementStrategy::IdleAware, &config)
+                .unwrap();
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{streamed:?}"),
+                "seed {fault_seed}/{controller:?}: streaming diverged from materialized"
+            );
+            for threads in [1, 8] {
+                for window_secs in [1.0, 60.0] {
+                    let windowed = sim
+                        .run_stream_windowed(
+                            &lazy,
+                            PlacementStrategy::IdleAware,
+                            &config,
+                            threads,
+                            window_secs,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        format!("{reference:?}"),
+                        format!("{windowed:?}"),
+                        "seed {fault_seed}/{controller:?} diverged at {threads} threads, \
+                         {window_secs}s windows"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The retry acceptance row: with per-invocation transient faults
+/// (crash-on-start, mid-flight aborts, stragglers) and the full retry
+/// stack — seeded backoff, hedged re-issue, per-family budgets,
+/// brownout — layered on top of the zone-outage fault plan, the
+/// determinism lattice must keep holding. For two fault seeds and every
+/// controller, the streaming engines replay bit-identically to the
+/// materialized sequential reference at threads {1, 8} × windows
+/// {1, 60} s. Retries are ordinary simulated-time events (`completion <
+/// step < notice < retry < tick`), so nothing about scheduling a
+/// backoff, racing a hedge, or draining a budget may depend on which
+/// engine, thread, or window boundary observes it.
+#[test]
+fn retries_and_hedging_preserve_the_determinism_lattice() {
+    use faas_freedom::core::fleet::{
+        AdmissionPolicy, BrownoutConfig, ControlConfig, ControllerConfig, FaultPlan, FleetConfig,
+        FleetSimulator, PidConfig, PlacementStrategy, RetryPolicy, RightSizerConfig, StreamTrace,
+        SupplyProcess, TraceSource, ZoneConfig,
+    };
+    use faas_freedom::core::market::MarketConfig;
+    use freedom_experiments::fleet_simulation::synthetic_plans;
+
+    let n_functions = 120;
+    let duration = 300.0;
+    let lazy = StreamTrace::generate_sharded(
+        TraceSource::HeavyTail {
+            mean_rps: 0.5,
+            alpha: 1.5,
+        },
+        n_functions,
+        duration,
+        11,
+        8,
+    )
+    .unwrap();
+    let full = lazy.materialize().unwrap();
+    let plans = synthetic_plans(n_functions, 4).unwrap();
+    let sim = FleetSimulator::new(plans).unwrap();
+
+    for fault_seed in [29, 31] {
+        for controller in [
+            ControllerConfig::Static,
+            ControllerConfig::HeadroomPid(PidConfig::default()),
+            ControllerConfig::SurrogateRightSizer(RightSizerConfig::default()),
+        ] {
+            let config = FleetConfig {
+                market: MarketConfig {
+                    vms_per_family: 3,
+                    supply: SupplyProcess {
+                        step_secs: 15.0,
+                        min_fraction: 0.3,
+                        seed: 21,
+                    },
+                    zones: ZoneConfig {
+                        n_zones: 3,
+                        notice_secs: 5.0,
+                        shock: 0.5,
+                        migration_rebill: 0.5,
+                    },
+                    admission: AdmissionPolicy::Headroom {
+                        max_utilization: 0.85,
+                    },
+                    ..MarketConfig::default()
+                },
+                control: ControlConfig {
+                    cadence_secs: 15.0,
+                    controller,
+                },
+                faults: FaultPlan {
+                    seed: fault_seed,
+                    outage_rate_per_hour: 24.0,
+                    mean_outage_secs: 30.0,
+                    notice_drop_fraction: 0.25,
+                    crash_prob: 0.06,
+                    abort_prob: 0.05,
+                    straggler_prob: 0.08,
+                    straggler_factor: 4.0,
+                    ..FaultPlan::NONE
+                },
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    backoff_base_secs: 0.5,
+                    backoff_cap_secs: 8.0,
+                    hedge_delay_secs: 2.0,
+                    budget_per_sec: 1.0,
+                    budget_burst: 4.0,
+                    brownout: Some(BrownoutConfig {
+                        enter_pressure: 0.2,
+                        exit_pressure: 0.05,
+                        utilization_ceiling: 0.7,
+                    }),
+                    ..RetryPolicy::DEFAULT
+                },
+                ..FleetConfig::default()
+            };
+            let reference = sim
+                .run(&full, PlacementStrategy::IdleAware, &config)
+                .unwrap();
+            // The transients must actually bite on this trace, or the
+            // row degenerates into the fault lattice already covered.
+            assert!(
+                reference.retried > 0,
+                "seed {fault_seed}/{controller:?}: inert retry plan: {reference:?}"
             );
             let streamed = sim
                 .run_stream(&lazy, PlacementStrategy::IdleAware, &config)
